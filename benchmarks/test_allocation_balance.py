@@ -1,0 +1,13 @@
+"""Figure 2 (illustration): balanced vs Pastry-style range allocation."""
+
+from conftest import run_once
+from repro.bench import format_table, run_allocation_balance
+
+
+def test_balanced_allocation_beats_pastry(benchmark, print_series):
+    rows = run_once(benchmark, run_allocation_balance, (4, 8, 16, 32, 64, 128))
+    print_series("Figure 2: key-space imbalance (max owned share / ideal share)",
+                 format_table(rows, ["nodes", "pastry_imbalance", "balanced_imbalance"]))
+    for row in rows:
+        assert row["balanced_imbalance"] <= 1.001
+        assert row["pastry_imbalance"] > row["balanced_imbalance"]

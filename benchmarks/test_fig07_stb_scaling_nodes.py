@@ -1,0 +1,18 @@
+"""Figure 7: STBenchmark running time, 800K tuples/relation (scaled), 1-16 nodes."""
+
+from conftest import LAN_NODE_COUNTS, STB_TUPLES, run_once, series
+from repro.bench import format_table, run_stb_node_sweep
+
+
+def test_fig07_stb_running_time_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_stb_node_sweep, LAN_NODE_COUNTS, STB_TUPLES)
+    print_series("Figure 7: STBenchmark running time (s) vs nodes",
+                 format_table(rows, ["scenario", "nodes", "execution_seconds"]))
+    # Shape: adding nodes speeds every scenario up substantially from 1 node...
+    for scenario in ("join", "select", "correspondence"):
+        times = series(rows, "execution_seconds", "scenario", scenario, "nodes")
+        assert times[max(LAN_NODE_COUNTS)] < times[1]
+    # ...and Join is the most expensive scenario, Select among the cheapest
+    # (same ordering as the paper's Figure 7).
+    at_16 = {r["scenario"]: r["execution_seconds"] for r in rows if r["nodes"] == max(LAN_NODE_COUNTS)}
+    assert at_16["join"] > at_16["select"]

@@ -1,0 +1,17 @@
+"""Figure 8: STBenchmark total network traffic, 1-16 nodes."""
+
+from conftest import LAN_NODE_COUNTS, STB_TUPLES, run_once, series
+from repro.bench import format_table, run_stb_node_sweep
+
+
+def test_fig08_stb_total_traffic_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_stb_node_sweep, LAN_NODE_COUNTS, STB_TUPLES)
+    print_series("Figure 8: STBenchmark total traffic (MB) vs nodes",
+                 format_table(rows, ["scenario", "nodes", "traffic_mb"]))
+    # Shape: traffic grows (moderately) with the number of nodes, and the Join
+    # scenario moves the most data.
+    for scenario in ("join", "copy"):
+        traffic = series(rows, "traffic_mb", "scenario", scenario, "nodes")
+        assert traffic[max(LAN_NODE_COUNTS)] >= traffic[2]
+    at_8 = {r["scenario"]: r["traffic_mb"] for r in rows if r["nodes"] == 8}
+    assert at_8["join"] >= at_8["select"]

@@ -1,0 +1,15 @@
+"""Figure 9: STBenchmark per-node network traffic, 1-16 nodes."""
+
+from conftest import LAN_NODE_COUNTS, STB_TUPLES, run_once, series
+from repro.bench import format_table, run_stb_node_sweep
+
+
+def test_fig09_stb_per_node_traffic_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_stb_node_sweep, LAN_NODE_COUNTS, STB_TUPLES)
+    print_series("Figure 9: STBenchmark per-node traffic (MB) vs nodes",
+                 format_table(rows, ["scenario", "nodes", "per_node_mb"]))
+    # Shape: after the jump from 1 node to distributed operation, per-node
+    # traffic decreases as nodes are added.
+    for scenario in ("join", "copy", "correspondence"):
+        per_node = series(rows, "per_node_mb", "scenario", scenario, "nodes")
+        assert per_node[max(LAN_NODE_COUNTS)] <= per_node[2]

@@ -1,0 +1,20 @@
+"""Figure 10: TPC-H running time, scale factor 0.5 (scaled), 1-16 nodes."""
+
+from conftest import (LAN_NODE_COUNTS, TPCH_SCALING_LAN_SWEEP, TPCH_SF_NODE_SWEEP,
+                      run_once, series)
+from repro.bench import format_table, run_tpch_sweep
+
+
+def test_fig10_tpch_running_time_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_sweep, LAN_NODE_COUNTS, TPCH_SF_NODE_SWEEP,
+                    scaling=TPCH_SCALING_LAN_SWEEP)
+    print_series("Figure 10: TPC-H running time (s) vs nodes",
+                 format_table(rows, ["query", "nodes", "execution_seconds"]))
+    # Shape: every query gets faster as nodes are added (near-linear for the
+    # join queries), and the join queries cost more than the aggregation-only
+    # queries Q1/Q6 at small node counts.
+    for query in ("Q1", "Q3", "Q5", "Q10"):
+        times = series(rows, "execution_seconds", "query", query, "nodes")
+        assert times[max(LAN_NODE_COUNTS)] < times[1]
+    at_1 = {r["query"]: r["execution_seconds"] for r in rows if r["nodes"] == 1}
+    assert at_1["Q5"] > at_1["Q6"]

@@ -1,0 +1,17 @@
+"""Figure 11: TPC-H total network traffic, 1-16 nodes."""
+
+from conftest import (LAN_NODE_COUNTS, TPCH_SCALING_LAN_SWEEP, TPCH_SF_NODE_SWEEP,
+                      run_once, series)
+from repro.bench import format_table, run_tpch_sweep
+
+
+def test_fig11_tpch_total_traffic_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_sweep, LAN_NODE_COUNTS, TPCH_SF_NODE_SWEEP,
+                    scaling=TPCH_SCALING_LAN_SWEEP)
+    print_series("Figure 11: TPC-H total traffic (MB) vs nodes",
+                 format_table(rows, ["query", "nodes", "traffic_mb"]))
+    # Shape: the join/rehash queries (Q3, Q5, Q10) move much more data than
+    # the local-aggregation queries (Q1, Q6).
+    at_8 = {r["query"]: r["traffic_mb"] for r in rows if r["nodes"] == 8}
+    assert at_8["Q10"] > at_8["Q1"]
+    assert at_8["Q3"] > at_8["Q6"]

@@ -1,0 +1,16 @@
+"""Figure 12: TPC-H per-node network traffic, 1-16 nodes."""
+
+from conftest import (LAN_NODE_COUNTS, TPCH_SCALING_LAN_SWEEP, TPCH_SF_NODE_SWEEP,
+                      run_once, series)
+from repro.bench import format_table, run_tpch_sweep
+
+
+def test_fig12_tpch_per_node_traffic_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_sweep, LAN_NODE_COUNTS, TPCH_SF_NODE_SWEEP,
+                    scaling=TPCH_SCALING_LAN_SWEEP)
+    print_series("Figure 12: TPC-H per-node traffic (MB) vs nodes",
+                 format_table(rows, ["query", "nodes", "per_node_mb"]))
+    # Shape: per-node traffic keeps decreasing as nodes are added.
+    for query in ("Q3", "Q5", "Q10"):
+        per_node = series(rows, "per_node_mb", "query", query, "nodes")
+        assert per_node[max(LAN_NODE_COUNTS)] <= per_node[2]

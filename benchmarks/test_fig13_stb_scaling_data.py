@@ -1,0 +1,17 @@
+"""Figure 13: STBenchmark running time vs data size, 8 nodes."""
+
+from conftest import STB_DATA_SWEEP, run_once, series
+from repro.bench import format_table, run_stb_data_sweep
+
+
+def test_fig13_stb_running_time_vs_data_size(benchmark, print_series):
+    rows = run_once(benchmark, run_stb_data_sweep, STB_DATA_SWEEP, 8)
+    print_series("Figure 13: STBenchmark running time (s) vs tuples/relation (8 nodes)",
+                 format_table(rows, ["scenario", "tuples_per_relation", "execution_seconds"]))
+    # Shape: execution time grows approximately linearly with the data size.
+    for scenario in ("copy", "join", "select"):
+        times = series(rows, "execution_seconds", "scenario", scenario, "tuples_per_relation")
+        smallest, largest = min(STB_DATA_SWEEP), max(STB_DATA_SWEEP)
+        assert times[largest] > times[smallest]
+        growth = times[largest] / times[smallest]
+        assert growth > (largest / smallest) * 0.25

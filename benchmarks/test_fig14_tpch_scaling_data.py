@@ -1,0 +1,14 @@
+"""Figure 14: TPC-H running time vs database scale factor, 8 nodes."""
+
+from conftest import TPCH_SF_DATA_SWEEP, run_once, series
+from repro.bench import format_table, run_tpch_data_sweep
+
+
+def test_fig14_tpch_running_time_vs_scale_factor(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_data_sweep, TPCH_SF_DATA_SWEEP, 8)
+    print_series("Figure 14: TPC-H running time (s) vs scale factor (8 nodes)",
+                 format_table(rows, ["query", "scale_factor", "execution_seconds"]))
+    # Shape: running time grows approximately linearly with the scale factor.
+    for query in ("Q1", "Q3", "Q10"):
+        times = series(rows, "execution_seconds", "query", query, "scale_factor")
+        assert times[max(TPCH_SF_DATA_SWEEP)] > times[min(TPCH_SF_DATA_SWEEP)]

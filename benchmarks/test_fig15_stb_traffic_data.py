@@ -1,0 +1,18 @@
+"""Figure 15: STBenchmark network traffic vs data size, 8 nodes."""
+
+from conftest import STB_DATA_SWEEP, run_once, series
+from repro.bench import format_table, run_stb_data_sweep
+
+
+def test_fig15_stb_traffic_vs_data_size(benchmark, print_series):
+    rows = run_once(benchmark, run_stb_data_sweep, STB_DATA_SWEEP, 8)
+    print_series("Figure 15: STBenchmark traffic (MB) vs tuples/relation (8 nodes)",
+                 format_table(rows, ["scenario", "tuples_per_relation", "traffic_mb"]))
+    # Shape: traffic grows approximately linearly with the data size, and the
+    # Join scenario moves the most data overall.
+    for scenario in ("copy", "join"):
+        traffic = series(rows, "traffic_mb", "scenario", scenario, "tuples_per_relation")
+        assert traffic[max(STB_DATA_SWEEP)] > traffic[min(STB_DATA_SWEEP)]
+    largest = max(STB_DATA_SWEEP)
+    at_largest = {r["scenario"]: r["traffic_mb"] for r in rows if r["tuples_per_relation"] == largest}
+    assert at_largest["join"] >= at_largest["select"]

@@ -1,0 +1,17 @@
+"""Figure 16: TPC-H network traffic vs database scale factor, 8 nodes."""
+
+from conftest import TPCH_SF_DATA_SWEEP, run_once, series
+from repro.bench import format_table, run_tpch_data_sweep
+
+
+def test_fig16_tpch_traffic_vs_scale_factor(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_data_sweep, TPCH_SF_DATA_SWEEP, 8)
+    print_series("Figure 16: TPC-H traffic (MB) vs scale factor (8 nodes)",
+                 format_table(rows, ["query", "scale_factor", "traffic_mb"]))
+    # Shape: traffic scales with the data, and the join queries dominate.
+    for query in ("Q3", "Q10"):
+        traffic = series(rows, "traffic_mb", "query", query, "scale_factor")
+        assert traffic[max(TPCH_SF_DATA_SWEEP)] > traffic[min(TPCH_SF_DATA_SWEEP)]
+    largest = max(TPCH_SF_DATA_SWEEP)
+    at_largest = {r["query"]: r["traffic_mb"] for r in rows if r["scale_factor"] == largest}
+    assert at_largest["Q10"] > at_largest["Q1"]

@@ -1,0 +1,19 @@
+"""Figure 17: TPC-H running time vs per-node bandwidth (simulated WAN)."""
+
+from conftest import TPCH_SF_WAN, WAN_BANDWIDTHS, run_once, series
+from repro.bench import format_table, run_bandwidth_sweep
+
+
+def test_fig17_running_time_vs_bandwidth(benchmark, print_series):
+    rows = run_once(benchmark, run_bandwidth_sweep, WAN_BANDWIDTHS, 8, TPCH_SF_WAN)
+    print_series("Figure 17: TPC-H running time (s) vs per-node bandwidth (KB/s)",
+                 format_table(rows, ["query", "bandwidth_kb_per_s", "execution_seconds"]))
+    # Shape: very low bandwidth hurts badly; queries that rehash a lot (Q3,
+    # Q5, Q10) are hit much harder than the aggregation-only queries (Q1, Q6).
+    for query in ("Q3", "Q5", "Q10"):
+        times = series(rows, "execution_seconds", "query", query, "bandwidth_kb_per_s")
+        assert times[min(WAN_BANDWIDTHS)] > times[max(WAN_BANDWIDTHS)]
+    lowest = min(WAN_BANDWIDTHS)
+    at_low = {r["query"]: r["execution_seconds"] for r in rows if r["bandwidth_kb_per_s"] == lowest}
+    assert at_low["Q10"] > at_low["Q6"]
+    assert at_low["Q3"] > at_low["Q1"]

@@ -1,0 +1,16 @@
+"""Figure 18: larger-scale running time on the EC2 profile, 10-100 nodes."""
+
+from conftest import EC2_NODE_COUNTS, TPCH_SCALING_EC2, TPCH_SF_EC2, run_once, series
+from repro.bench import format_table, run_tpch_sweep
+
+
+def test_fig18_ec2_running_time_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_sweep, EC2_NODE_COUNTS, TPCH_SF_EC2,
+                    ("Q1", "Q3", "Q5", "Q6", "Q10"), "ec2", scaling=TPCH_SCALING_EC2)
+    print_series("Figure 18: TPC-H SF 10 running time (s) on EC2 profile vs nodes",
+                 format_table(rows, ["query", "nodes", "execution_seconds"]))
+    # Shape: increasing the node count from 10 to 100 keeps decreasing the
+    # execution time of the expensive queries.
+    for query in ("Q3", "Q5", "Q10"):
+        times = series(rows, "execution_seconds", "query", query, "nodes")
+        assert times[max(EC2_NODE_COUNTS)] < times[min(EC2_NODE_COUNTS)]

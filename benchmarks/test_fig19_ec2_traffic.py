@@ -1,0 +1,14 @@
+"""Figure 19: total traffic on the EC2 profile, 10-100 nodes."""
+
+from conftest import EC2_NODE_COUNTS, TPCH_SCALING_EC2, TPCH_SF_EC2, run_once, series
+from repro.bench import format_table, run_tpch_sweep
+
+
+def test_fig19_ec2_total_traffic_vs_nodes(benchmark, print_series):
+    rows = run_once(benchmark, run_tpch_sweep, EC2_NODE_COUNTS, TPCH_SF_EC2,
+                    ("Q1", "Q3", "Q5", "Q6", "Q10"), "ec2", scaling=TPCH_SCALING_EC2)
+    print_series("Figure 19: TPC-H SF 10 total traffic (MB) on EC2 profile vs nodes",
+                 format_table(rows, ["query", "nodes", "traffic_mb"]))
+    at_mid = {r["query"]: r["traffic_mb"] for r in rows if r["nodes"] == EC2_NODE_COUNTS[1]}
+    assert at_mid["Q10"] > at_mid["Q1"]
+    assert at_mid["Q5"] > at_mid["Q6"]

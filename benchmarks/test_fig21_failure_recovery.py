@@ -1,0 +1,22 @@
+"""Figure 21: running time under a mid-query failure — restart vs incremental recovery."""
+
+from conftest import FAILURE_TIMES, TPCH_SF_FAILURE, run_once
+from repro.bench import format_table, run_failure_recovery_experiment
+from repro.query.service import RECOVERY_INCREMENTAL, RECOVERY_RESTART
+
+
+def test_fig21_restart_vs_incremental_recovery(benchmark, print_series):
+    rows = run_once(benchmark, run_failure_recovery_experiment, FAILURE_TIMES, 8,
+                    TPCH_SF_FAILURE, ("Q1", "Q10"))
+    print_series("Figure 21: running time (s) with a failure, restart vs incremental recovery",
+                 format_table(rows, ["query", "failure_time", "mode", "execution_seconds"]))
+    for query in ("Q1", "Q10"):
+        baseline = next(r for r in rows if r["query"] == query and r["mode"] == "no-failure")
+        restarts = [r for r in rows if r["query"] == query and r["mode"] == RECOVERY_RESTART]
+        recoveries = [r for r in rows if r["query"] == query and r["mode"] == RECOVERY_INCREMENTAL]
+        mean_restart = sum(r["execution_seconds"] for r in restarts) / len(restarts)
+        mean_recovery = sum(r["execution_seconds"] for r in recoveries) / len(recoveries)
+        # Shape: both are slower than failure-free execution, and incremental
+        # recovery beats aborting and restarting (the paper reports ~20%).
+        assert mean_restart > baseline["execution_seconds"]
+        assert mean_recovery <= mean_restart * 1.05

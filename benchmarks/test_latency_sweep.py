@@ -1,0 +1,15 @@
+"""Section VI-C (text): realistic added latency has little impact on run time."""
+
+from conftest import LATENCIES_MS, run_once, series
+from repro.bench import format_table, run_latency_sweep
+
+
+def test_latency_has_modest_impact(benchmark, print_series):
+    rows = run_once(benchmark, run_latency_sweep, LATENCIES_MS, 8, 1.0)
+    print_series("Section VI-C: TPC-H running time (s) vs added latency (ms)",
+                 format_table(rows, ["query", "latency_ms", "execution_seconds"]))
+    # Shape: up to 200 ms of added latency changes run time far less than
+    # proportionally (the paper observed "little impact").
+    for query in ("Q3", "Q6"):
+        times = series(rows, "execution_seconds", "query", query, "latency_ms")
+        assert times[max(LATENCIES_MS)] < times[min(LATENCIES_MS)] + 10 * (max(LATENCIES_MS) / 1000.0)

@@ -1,0 +1,75 @@
+"""A small collaborative data sharing confederation (the paper's motivating use).
+
+Two research groups share gene annotations through ORCHESTRA's publish /
+import cycle:
+
+* *UniLab* curates a gene catalogue in its own schema and publishes updates;
+* *BioCenter* keeps a differently-shaped local table, imports UniLab's data
+  through a schema mapping, and resolves conflicts with its own curated values
+  using trust priorities.
+
+Run with::
+
+    python examples/life_sciences_sharing.py
+"""
+
+from repro.cdss import Orchestra, Participant, SchemaMapping
+from repro.common.types import Schema
+from repro.query.expressions import col, concat, lit
+
+UNILAB_GENES = Schema("unilab_genes", ["u_gene", "u_symbol", "u_organism"], key=["u_gene"])
+BIOCENTER_CATALOG = Schema("biocenter_catalog", ["b_gene", "b_label"], key=["b_gene"])
+
+
+def main() -> None:
+    orchestra = Orchestra(num_nodes=5)
+
+    unilab = orchestra.add_participant(Participant("unilab", [UNILAB_GENES]))
+    mapping = SchemaMapping(
+        "unilab_to_biocenter",
+        BIOCENTER_CATALOG,
+        [UNILAB_GENES],
+        outputs=[
+            ("b_gene", col("u_gene")),
+            ("b_label", concat(col("u_symbol"), lit(" ("), col("u_organism"), lit(")"))),
+        ],
+    )
+    biocenter = orchestra.add_participant(
+        Participant("biocenter", [BIOCENTER_CATALOG], mappings=[mapping],
+                    trust={"biocenter": 10, "import": 5})
+    )
+
+    # UniLab publishes its first batch of curated genes.
+    unilab.insert("unilab_genes", "ENSG0001", "BRCA1", "human")
+    unilab.insert("unilab_genes", "ENSG0002", "TP53", "human")
+    unilab.insert("unilab_genes", "ENSG0003", "EGFR", "mouse")
+    epoch = unilab.publish()
+    print(f"UniLab published 3 genes at epoch {epoch}")
+
+    # BioCenter has one locally curated label it trusts more than any import.
+    biocenter.local_database["biocenter_catalog"].add("ENSG0002", "TP53 [curated]")
+
+    report = biocenter.import_updates()
+    print(f"BioCenter import at epoch {report.epoch}: "
+          f"{report.total_changes()} changes, "
+          f"{len(report.reconciliation.conflicts)} conflict(s) reconciled")
+    for gene, label in sorted(biocenter.local_database["biocenter_catalog"].rows):
+        print(f"  {gene}: {label}")
+
+    # A later publication only reaches BioCenter on its next import.
+    unilab.insert("unilab_genes", "ENSG0004", "MYC", "human")
+    unilab.publish()
+    report = biocenter.import_updates()
+    print(f"\nsecond import picked up {report.total_changes()} new change(s)")
+
+    # Ad-hoc analytics over the shared, versioned storage.
+    per_organism = orchestra.run_query(
+        "SELECT u_organism, COUNT(*) AS genes FROM unilab_genes GROUP BY u_organism"
+    )
+    print("\ngenes per organism in the shared storage:")
+    for organism, count in sorted(per_organism.rows):
+        print(f"  {organism}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable installs
+(``pip install -e .``) work in offline environments whose setuptools lacks the
+``wheel`` package required by the PEP 517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

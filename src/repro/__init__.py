@@ -1,0 +1,11 @@
+"""Reproduction of "Reliable Storage and Querying for Collaborative Data
+Sharing Systems" (Taylor & Ives, ICDE 2010).
+
+The package implements the distributed, replicated, versioned storage layer
+and the fault-tolerant distributed query processor of the ORCHESTRA
+collaborative data sharing system, running on a deterministic discrete-event
+network simulator.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Benchmark harness: the parameter sweeps behind every evaluation figure."""
+
+from .harness import (
+    MeasuredQuery,
+    clear_caches,
+    format_table,
+    run_allocation_balance,
+    run_bandwidth_sweep,
+    run_failure_recovery_experiment,
+    run_latency_sweep,
+    run_recovery_overhead_experiment,
+    run_stb_data_sweep,
+    run_stb_node_sweep,
+    run_tpch_data_sweep,
+    run_tpch_sweep,
+)
+
+__all__ = [
+    "MeasuredQuery",
+    "clear_caches",
+    "format_table",
+    "run_allocation_balance",
+    "run_bandwidth_sweep",
+    "run_failure_recovery_experiment",
+    "run_latency_sweep",
+    "run_recovery_overhead_experiment",
+    "run_stb_data_sweep",
+    "run_stb_node_sweep",
+    "run_tpch_data_sweep",
+    "run_tpch_sweep",
+]

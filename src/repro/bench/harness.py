@@ -1,0 +1,415 @@
+"""Experiment harness: the parameter sweeps behind every figure of Section VI.
+
+Each ``run_*`` function builds simulated clusters, loads a workload, executes
+queries through the distributed engine and returns a list of result rows (one
+dict per measured point) with the same quantities the paper plots:
+
+* execution time — simulated seconds (the virtual clock of the network
+  simulator), *not* wall-clock time of the benchmark process;
+* network traffic — bytes recorded by the traffic meter, reported in MB;
+* per-node traffic — total traffic divided by the number of participants.
+
+The sweeps accept size parameters so the benchmark suite can run scaled-down
+workloads by default (the full paper-scale sweeps take hours of simulation);
+EXPERIMENTS.md records which scale each reported table used.  Results of a
+sweep are memoised per-process so that figures sharing a sweep (e.g. Figures
+7, 8 and 9) only pay for it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from ..cluster import Cluster
+from ..net.profiles import EC2_LARGE, LAN_GIGABIT, NetworkProfile, wan_profile
+from ..overlay.allocation import BalancedAllocation, PastryAllocation, allocation_imbalance
+from ..query.service import (
+    RECOVERY_INCREMENTAL,
+    RECOVERY_RESTART,
+    QueryOptions,
+)
+from ..workloads import stbenchmark, tpch
+
+MB = 1_000_000.0
+
+
+@dataclass
+class MeasuredQuery:
+    """One measured query execution."""
+
+    label: str
+    nodes: int
+    execution_seconds: float
+    total_bytes: int
+    rows: int
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+    @property
+    def per_node_mb(self) -> float:
+        return self.total_bytes / MB / max(1, self.nodes)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Plain-text table used by the benchmark output and the examples."""
+    if not rows:
+        return "(no results)"
+    columns = list(columns or rows[0].keys())
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _measure(cluster: Cluster, query, label: str, options: QueryOptions | None = None) -> MeasuredQuery:
+    before_traffic = cluster.traffic_snapshot()
+    result = cluster.query(query, options=options)
+    return MeasuredQuery(
+        label=label,
+        nodes=result.statistics.participating_nodes,
+        execution_seconds=result.statistics.execution_time,
+        total_bytes=result.statistics.bytes_total,
+        rows=len(result.rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# STBenchmark sweeps (Figures 7, 8, 9, 13, 15)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _stb_point(scenario: str, num_nodes: int, tuples_per_relation: int, seed: int) -> MeasuredQuery:
+    instance = stbenchmark.generate(scenario, tuples_per_relation, seed)
+    cluster = Cluster(num_nodes, profile=LAN_GIGABIT)
+    cluster.publish_relations(instance.relation_list())
+    return _measure(cluster, instance.query, scenario)
+
+
+def run_stb_node_sweep(
+    node_counts: Iterable[int],
+    tuples_per_relation: int,
+    scenarios: Sequence[str] = stbenchmark.SCENARIOS,
+    seed: int = 0,
+) -> list[dict]:
+    """Figures 7–9: STBenchmark scenarios, varying the number of nodes."""
+    rows = []
+    for scenario in scenarios:
+        for num_nodes in node_counts:
+            point = _stb_point(scenario, num_nodes, tuples_per_relation, seed)
+            rows.append({
+                "scenario": scenario,
+                "nodes": num_nodes,
+                "tuples_per_relation": tuples_per_relation,
+                "execution_seconds": point.execution_seconds,
+                "traffic_mb": point.total_mb,
+                "per_node_mb": point.per_node_mb,
+                "result_rows": point.rows,
+            })
+    return rows
+
+
+def run_stb_data_sweep(
+    tuple_counts: Iterable[int],
+    num_nodes: int,
+    scenarios: Sequence[str] = stbenchmark.SCENARIOS,
+    seed: int = 0,
+) -> list[dict]:
+    """Figures 13 and 15: STBenchmark scenarios, varying tuples/relation."""
+    rows = []
+    for scenario in scenarios:
+        for tuples_per_relation in tuple_counts:
+            point = _stb_point(scenario, num_nodes, tuples_per_relation, seed)
+            rows.append({
+                "scenario": scenario,
+                "nodes": num_nodes,
+                "tuples_per_relation": tuples_per_relation,
+                "execution_seconds": point.execution_seconds,
+                "traffic_mb": point.total_mb,
+                "per_node_mb": point.per_node_mb,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# TPC-H sweeps (Figures 10, 11, 12, 14, 16, 17, 18, 19, 20)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _tpch_cluster(num_nodes: int, scale_factor: float, profile_key: str,
+                  bandwidth_kbps: float, latency_ms: float, seed: int,
+                  scaling: float) -> tuple:
+    """Build (and cache) a cluster loaded with a TPC-H instance."""
+    if profile_key == "lan":
+        profile: NetworkProfile = LAN_GIGABIT
+    elif profile_key == "ec2":
+        profile = EC2_LARGE
+    elif profile_key == "wan":
+        profile = wan_profile(bandwidth_kbps, latency_ms)
+    elif profile_key == "lan-latency":
+        profile = LAN_GIGABIT.with_latency(latency_ms / 1000.0)
+    else:
+        raise ValueError(f"unknown profile key {profile_key!r}")
+    instance = tpch.generate(scale_factor, seed, scaling=scaling)
+    cluster = Cluster(num_nodes, profile=profile)
+    cluster.publish_relations(instance.relation_list())
+    return cluster, instance
+
+
+@lru_cache(maxsize=None)
+def _tpch_point(query_name: str, num_nodes: int, scale_factor: float, profile_key: str,
+                bandwidth_kbps: float, latency_ms: float, seed: int,
+                scaling: float) -> MeasuredQuery:
+    cluster, _instance = _tpch_cluster(
+        num_nodes, scale_factor, profile_key, bandwidth_kbps, latency_ms, seed, scaling
+    )
+    return _measure(cluster, tpch.query(query_name), query_name)
+
+
+def run_tpch_sweep(
+    node_counts: Iterable[int],
+    scale_factor: float,
+    queries: Sequence[str] = tpch.QUERIES,
+    profile_key: str = "lan",
+    bandwidth_kbps: float = 0.0,
+    latency_ms: float = 0.0,
+    seed: int = 0,
+    scaling: float = tpch.DEFAULT_SCALING,
+) -> list[dict]:
+    """TPC-H queries across a node-count sweep (Figures 10–12 and 18–20).
+
+    ``scaling`` is the fraction of the official TPC-H cardinalities generated
+    per unit scale factor.  The node-count sweeps run at a larger fraction
+    than the default so that the per-query data volume stays much larger than
+    the (fixed-size) control traffic, which is the regime the paper's cluster
+    and EC2 experiments operate in.
+    """
+    rows = []
+    for query_name in queries:
+        for num_nodes in node_counts:
+            point = _tpch_point(
+                query_name, num_nodes, scale_factor, profile_key, bandwidth_kbps,
+                latency_ms, seed, scaling,
+            )
+            rows.append({
+                "query": query_name,
+                "nodes": num_nodes,
+                "scale_factor": scale_factor,
+                "execution_seconds": point.execution_seconds,
+                "traffic_mb": point.total_mb,
+                "per_node_mb": point.per_node_mb,
+                "result_rows": point.rows,
+            })
+    return rows
+
+
+def run_tpch_data_sweep(
+    scale_factors: Iterable[float],
+    num_nodes: int,
+    queries: Sequence[str] = tpch.QUERIES,
+    seed: int = 0,
+    scaling: float = tpch.DEFAULT_SCALING,
+) -> list[dict]:
+    """Figures 14 and 16: TPC-H queries, varying the database scale factor."""
+    rows = []
+    for query_name in queries:
+        for scale_factor in scale_factors:
+            point = _tpch_point(query_name, num_nodes, scale_factor, "lan", 0.0, 0.0, seed,
+                                scaling)
+            rows.append({
+                "query": query_name,
+                "nodes": num_nodes,
+                "scale_factor": scale_factor,
+                "execution_seconds": point.execution_seconds,
+                "traffic_mb": point.total_mb,
+                "per_node_mb": point.per_node_mb,
+            })
+    return rows
+
+
+def run_bandwidth_sweep(
+    bandwidths_kb_per_second: Iterable[float],
+    num_nodes: int,
+    scale_factor: float,
+    queries: Sequence[str] = tpch.QUERIES,
+    latency_ms: float = 20.0,
+    seed: int = 0,
+    scaling: float = tpch.DEFAULT_SCALING,
+) -> list[dict]:
+    """Figure 17: running time versus per-node bandwidth (HTB-shaped WAN)."""
+    rows = []
+    for query_name in queries:
+        for bandwidth in bandwidths_kb_per_second:
+            point = _tpch_point(
+                query_name, num_nodes, scale_factor, "wan", bandwidth, latency_ms, seed,
+                scaling,
+            )
+            rows.append({
+                "query": query_name,
+                "bandwidth_kb_per_s": bandwidth,
+                "nodes": num_nodes,
+                "scale_factor": scale_factor,
+                "execution_seconds": point.execution_seconds,
+                "traffic_mb": point.total_mb,
+            })
+    return rows
+
+
+def run_latency_sweep(
+    latencies_ms: Iterable[float],
+    num_nodes: int,
+    scale_factor: float,
+    queries: Sequence[str] = ("Q3", "Q6"),
+    seed: int = 0,
+    scaling: float = tpch.DEFAULT_SCALING,
+) -> list[dict]:
+    """Section VI-C: added link latency has little impact on run time."""
+    rows = []
+    for query_name in queries:
+        for latency in latencies_ms:
+            point = _tpch_point(
+                query_name, num_nodes, scale_factor, "lan-latency", 0.0, latency, seed,
+                scaling,
+            )
+            rows.append({
+                "query": query_name,
+                "latency_ms": latency,
+                "nodes": num_nodes,
+                "execution_seconds": point.execution_seconds,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Failure / recovery experiments (Figure 21 and the Section VI-E overhead)
+# ---------------------------------------------------------------------------
+
+
+def run_failure_recovery_experiment(
+    failure_times: Iterable[float],
+    num_nodes: int = 8,
+    scale_factor: float = 2.0,
+    queries: Sequence[str] = ("Q1", "Q10"),
+    seed: int = 0,
+    detection_delay: float = 0.002,
+) -> list[dict]:
+    """Figure 21: kill one node at varying offsets; compare restart with
+    incremental recovery (plus the no-failure baseline)."""
+    rows = []
+    for query_name in queries:
+        baseline_cluster, instance = _build_fresh_tpch_cluster(num_nodes, scale_factor, seed,
+                                                               detection_delay)
+        baseline = _measure(baseline_cluster, tpch.query(query_name), query_name)
+        rows.append({
+            "query": query_name,
+            "failure_time": None,
+            "mode": "no-failure",
+            "execution_seconds": baseline.execution_seconds,
+            "result_rows": baseline.rows,
+        })
+        for failure_time in failure_times:
+            for mode in (RECOVERY_RESTART, RECOVERY_INCREMENTAL):
+                cluster, _ = _build_fresh_tpch_cluster(num_nodes, scale_factor, seed,
+                                                       detection_delay)
+                cluster.enable_query_processing()
+                victim = cluster.addresses[num_nodes // 2]
+                cluster.fail_node(victim, at_time=cluster.now + failure_time)
+                measured = _measure(
+                    cluster, tpch.query(query_name), query_name,
+                    options=QueryOptions(recovery_mode=mode),
+                )
+                rows.append({
+                    "query": query_name,
+                    "failure_time": failure_time,
+                    "mode": mode,
+                    "execution_seconds": measured.execution_seconds,
+                    "result_rows": measured.rows,
+                })
+    return rows
+
+
+def _build_fresh_tpch_cluster(num_nodes: int, scale_factor: float, seed: int,
+                              detection_delay: float) -> tuple[Cluster, tpch.TpchInstance]:
+    instance = tpch.generate(scale_factor, seed)
+    cluster = Cluster(num_nodes, profile=LAN_GIGABIT)
+    cluster.network.failure_detection_delay = detection_delay
+    cluster.publish_relations(instance.relation_list())
+    return cluster, instance
+
+
+def run_recovery_overhead_experiment(
+    num_nodes: int = 8,
+    scale_factor: float = 1.0,
+    queries: Sequence[str] = tpch.QUERIES,
+    seed: int = 0,
+) -> list[dict]:
+    """Section VI-E: cost of carrying provenance tags / recovery support."""
+    rows = []
+    cluster, _instance = _build_fresh_tpch_cluster(num_nodes, scale_factor, seed, 0.05)
+    for query_name in queries:
+        with_support = _measure(
+            cluster, tpch.query(query_name), query_name,
+            options=QueryOptions(provenance_enabled=True),
+        )
+        without_support = _measure(
+            cluster, tpch.query(query_name), query_name,
+            options=QueryOptions(provenance_enabled=False),
+        )
+        time_overhead = (
+            (with_support.execution_seconds - without_support.execution_seconds)
+            / without_support.execution_seconds * 100.0
+        )
+        traffic_overhead = (
+            (with_support.total_bytes - without_support.total_bytes)
+            / max(1, without_support.total_bytes) * 100.0
+        )
+        rows.append({
+            "query": query_name,
+            "time_with_support_s": with_support.execution_seconds,
+            "time_without_support_s": without_support.execution_seconds,
+            "time_overhead_pct": time_overhead,
+            "traffic_overhead_pct": traffic_overhead,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Range allocation balance (Figure 2 illustration)
+# ---------------------------------------------------------------------------
+
+
+def run_allocation_balance(node_counts: Iterable[int]) -> list[dict]:
+    """Quantify Figure 2: key-space imbalance of Pastry-style vs. balanced
+    allocation for small memberships."""
+    rows = []
+    for num_nodes in node_counts:
+        addresses = [f"node-{i:03d}" for i in range(num_nodes)]
+        pastry = allocation_imbalance(PastryAllocation().allocate(addresses))
+        balanced = allocation_imbalance(BalancedAllocation().allocate(addresses))
+        rows.append({
+            "nodes": num_nodes,
+            "pastry_imbalance": pastry,
+            "balanced_imbalance": balanced,
+        })
+    return rows
+
+
+def clear_caches() -> None:
+    """Drop memoised sweep results (used between unrelated benchmark runs)."""
+    _stb_point.cache_clear()
+    _tpch_point.cache_clear()
+    _tpch_cluster.cache_clear()

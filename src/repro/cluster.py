@@ -1,0 +1,345 @@
+"""Cluster wiring: build a simulated CDSS deployment in one call.
+
+A :class:`Cluster` creates the simulated network from a
+:class:`~repro.net.profiles.NetworkProfile`, adds the requested number of
+participant nodes and attaches to each one the full per-node stack used by the
+paper's system: RPC endpoint, membership view, epoch gossip, storage service
+(coordinator / index / data / inverse roles) and — when the query engine is
+installed via :meth:`enable_query_processing` — the distributed query
+executor.
+
+The class also offers *blocking* convenience wrappers (``publish``,
+``retrieve``, ``run``) that drive the discrete-event loop until the operation
+completes, which is what examples, tests and benchmarks use.  All of the
+underlying operations remain message-based and asynchronous; the wrappers
+simply run the virtual clock forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .common.errors import ReproError
+from .common.types import RelationData, Schema, Value
+from .net.profiles import LAN_GIGABIT, NetworkProfile
+from .net.simnet import Network, SimNode, TrafficSnapshot
+from .net.transport import rpc_endpoint
+from .overlay.allocation import RangeAllocator
+from .overlay.gossip import EpochGossip
+from .overlay.membership import MembershipView
+from .overlay.replication import BackgroundReplicator, ReplicationReport
+from .overlay.routing import RoutingSnapshot
+from .storage.client import RetrieveResult, StorageClient, UpdateBatch, register_retrieve_handlers
+from .storage.pages import CoordinatorRecord
+from .storage.service import StorageService, storage_of
+
+
+@dataclass
+class ClusterNode:
+    """All per-node components of one simulated participant."""
+
+    node: SimNode
+    membership: MembershipView
+    gossip: EpochGossip
+    storage: StorageService
+    storage_client: StorageClient
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+
+class Cluster:
+    """A simulated deployment of the storage and query subsystem."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        profile: NetworkProfile = LAN_GIGABIT,
+        replication_factor: int = 3,
+        allocator: RangeAllocator | None = None,
+        page_capacity: int = 2048,
+        address_prefix: str = "node",
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.profile = profile
+        self.replication_factor = min(replication_factor, num_nodes)
+        self.page_capacity = page_capacity
+        self.network: Network = profile.create_network()
+        self.addresses = [f"{address_prefix}-{i:03d}" for i in range(num_nodes)]
+        self.nodes: dict[str, ClusterNode] = {}
+        self.current_epoch = 0
+        self._query_services: dict[str, object] = {}
+        # The optimizer's catalog is maintained as relations are published.
+        from .optimizer.catalog import Catalog
+
+        self.catalog = Catalog()
+        for address in self.addresses:
+            sim_node = self.network.add_node(address, profile.host)
+            rpc_endpoint(sim_node)
+            membership = MembershipView(
+                sim_node, self.addresses, self.replication_factor, allocator=allocator
+            )
+            gossip = EpochGossip(sim_node, peers=lambda: list(self.live_addresses()))
+            storage = StorageService(sim_node)
+            register_retrieve_handlers(storage, self.replication_factor)
+            client = StorageClient(
+                sim_node, membership, self.replication_factor, page_capacity
+            )
+            self.nodes[address] = ClusterNode(sim_node, membership, gossip, storage, client)
+
+    # ------------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def node(self, address: str) -> ClusterNode:
+        return self.nodes[address]
+
+    def live_addresses(self) -> list[str]:
+        return self.network.live_nodes()
+
+    def first_live_address(self) -> str:
+        live = self.live_addresses()
+        if not live:
+            raise ReproError("all cluster nodes have failed")
+        return live[0]
+
+    def storage(self, address: str) -> StorageService:
+        return storage_of(self.network.node(address))
+
+    def snapshot(self, from_address: str | None = None) -> RoutingSnapshot:
+        address = from_address or self.first_live_address()
+        return self.nodes[address].membership.snapshot()
+
+    # -------------------------------------------------------------------- clock
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the event loop; returns the simulated time."""
+        return self.network.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.network.now
+
+    def traffic_snapshot(self) -> TrafficSnapshot:
+        return self.network.traffic.snapshot()
+
+    # ------------------------------------------------------------------ publish
+
+    def next_epoch(self) -> int:
+        self.current_epoch += 1
+        return self.current_epoch
+
+    def publish(
+        self,
+        data: UpdateBatch | RelationData,
+        epoch: int | None = None,
+        from_address: str | None = None,
+    ) -> int:
+        """Publish a batch (blocking wrapper) and gossip the new epoch.
+
+        Returns the epoch the batch was published at.
+        """
+        if isinstance(data, RelationData):
+            batch = UpdateBatch(schema=data.schema, inserts=list(data.rows))
+            self.catalog.register_relation(data)
+        else:
+            batch = data
+            if batch.relation not in self.catalog:
+                self.catalog.register_relation(
+                    RelationData(batch.schema, list(batch.inserts))
+                )
+        epoch = epoch if epoch is not None else self.next_epoch()
+        self.current_epoch = max(self.current_epoch, epoch)
+        publisher = self.nodes[from_address or self.first_live_address()]
+        results: list[CoordinatorRecord] = []
+        publisher.storage_client.publish(batch, epoch, on_complete=results.append)
+        self.network.run()
+        if not results:
+            raise ReproError(f"publish of {batch.relation!r} at epoch {epoch} did not complete")
+        publisher.gossip.announce(epoch)
+        self.network.run()
+        return epoch
+
+    def publish_relations(
+        self, relations: Iterable[RelationData], epoch: int | None = None
+    ) -> int:
+        """Publish several relations under a single epoch; returns the epoch."""
+        epoch = epoch if epoch is not None else self.next_epoch()
+        for relation in relations:
+            self.publish(relation, epoch=epoch)
+        return epoch
+
+    # ------------------------------------------------------------------ retrieve
+
+    def retrieve(
+        self,
+        relation: str,
+        epoch: int | None = None,
+        key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
+        from_address: str | None = None,
+    ) -> RetrieveResult:
+        """Retrieve a relation version (blocking wrapper around Algorithm 1)."""
+        requester = self.nodes[from_address or self.first_live_address()]
+        epoch = epoch if epoch is not None else self.current_epoch
+        results: list[RetrieveResult] = []
+        errors: list[Exception] = []
+        requester.storage_client.retrieve(
+            relation,
+            epoch,
+            on_complete=results.append,
+            key_predicate=key_predicate,
+            on_error=errors.append,
+        )
+        self.network.run()
+        if errors:
+            raise errors[0]
+        if not results:
+            raise ReproError(f"retrieval of {relation!r}@{epoch} did not complete")
+        return results[0]
+
+    # ------------------------------------------------------------------ failures
+
+    def fail_node(self, address: str, at_time: float | None = None) -> None:
+        """Crash a node immediately or at an absolute simulated time."""
+        if at_time is None:
+            self.network.fail_node(address)
+        else:
+            self.network.fail_node_at(address, at_time)
+
+    # ------------------------------------------------------- background repair
+
+    def run_background_replication(self) -> ReplicationReport:
+        """One anti-entropy round repairing under-replicated tuples.
+
+        Runs directly against the nodes' local stores (this is maintenance
+        traffic, not part of any measured query), using the Bloom-filter
+        exchange of the PAST-style replicator.
+        """
+        snapshot = self.snapshot()
+
+        def list_items(address: str, key_range) -> dict[object, int]:
+            service = self.storage(address)
+            return {
+                (tup.relation, tup.tuple_id.key_values, tup.tuple_id.epoch): tup.estimated_size()
+                for tup in service.all_local_tuples()
+                if key_range.contains(tup.hash_key)
+            }
+
+        def copy_item(src: str, dst: str, key) -> int:
+            relation, key_values, epoch = key
+            source = self.storage(src)
+            for tup in source.all_local_tuples(relation):
+                if tup.tuple_id.key_values == key_values and tup.tuple_id.epoch == epoch:
+                    self.storage(dst).store_tuple(tup)
+                    return tup.estimated_size()
+            return 0
+
+        replicator = BackgroundReplicator(self.replication_factor, list_items, copy_item)
+        return replicator.run_round(snapshot)
+
+    # ------------------------------------------------------------------ queries
+
+    def query(
+        self,
+        query,
+        epoch: int | None = None,
+        options=None,
+        from_address: str | None = None,
+        planner_options=None,
+    ):
+        """Compile and execute a query (blocking wrapper).
+
+        ``query`` may be a :class:`~repro.query.logical.LogicalQuery` (compiled
+        with the cost-based optimizer against this cluster's catalog), an
+        already-compiled :class:`~repro.query.physical.PhysicalPlan`, or a SQL
+        string (parsed by the single-block SQL frontend).
+        """
+        from .optimizer.cost import MachineProfile
+        from .optimizer.planner import compile_query
+        from .query.logical import LogicalQuery
+        from .query.physical import PhysicalPlan
+        from .query.service import QueryOptions
+
+        self.enable_query_processing()
+        if isinstance(query, str):
+            from .query.sql import parse_query
+
+            query = parse_query(query, self.catalog.schemas())
+        if isinstance(query, LogicalQuery):
+            compiled = compile_query(
+                query,
+                self.catalog,
+                machine=MachineProfile.for_cluster(self),
+                options=planner_options,
+            )
+            plan = compiled.plan
+        elif isinstance(query, PhysicalPlan):
+            plan = query
+        else:
+            raise TypeError(f"cannot execute query of type {type(query).__name__}")
+
+        initiator = from_address or self.first_live_address()
+        service = self.query_service(initiator)
+        epoch = epoch if epoch is not None else self.current_epoch
+        results = []
+        errors: list[Exception] = []
+        service.execute(
+            plan,
+            epoch,
+            on_complete=results.append,
+            options=options or QueryOptions(),
+            on_error=errors.append,
+        )
+        self.network.run()
+        if errors:
+            raise errors[0]
+        if not results:
+            raise ReproError(f"query {plan.name!r} did not complete")
+        return results[0]
+
+    # ------------------------------------------------------------ query wiring
+
+    def enable_query_processing(self) -> None:
+        """Attach the distributed query executor to every node.
+
+        Implemented lazily (imported here) so the storage layer has no import
+        dependency on the query engine.
+        """
+        from .query.service import QueryService
+
+        for cluster_node in self.nodes.values():
+            if cluster_node.address not in self._query_services:
+                self._query_services[cluster_node.address] = QueryService(
+                    cluster_node.node,
+                    cluster_node.membership,
+                    cluster_node.storage,
+                    replication_factor=self.replication_factor,
+                )
+
+    def query_service(self, address: str):
+        if address not in self._query_services:
+            self.enable_query_processing()
+        return self._query_services[address]
+
+
+def build_cluster(
+    num_nodes: int,
+    profile: NetworkProfile = LAN_GIGABIT,
+    relations: Sequence[RelationData] = (),
+    replication_factor: int = 3,
+    page_capacity: int = 2048,
+) -> Cluster:
+    """Create a cluster and publish ``relations`` as epoch 1 in one call."""
+    cluster = Cluster(
+        num_nodes,
+        profile=profile,
+        replication_factor=replication_factor,
+        page_capacity=page_capacity,
+    )
+    if relations:
+        cluster.publish_relations(relations)
+    return cluster

@@ -1,0 +1,139 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The original ORCHESTRA storage and query layer distinguishes three broad
+failure categories: problems in the networking/overlay substrate, problems in
+the versioned storage layer, and problems during distributed query execution.
+We mirror that structure so callers can catch at the granularity they care
+about (e.g. the recovery manager catches :class:`NodeFailedError` but lets a
+:class:`PlanError` propagate, because the latter indicates a bug rather than a
+runtime fault).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Network / overlay substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the simulated networking substrate."""
+
+
+class NodeFailedError(NetworkError):
+    """Raised when a message is sent to (or from) a node that has failed.
+
+    This models the broken-TCP-connection signal the paper relies on for fast
+    failure detection (Section V-A).
+    """
+
+    def __init__(self, node_id: str, detail: str = "") -> None:
+        self.node_id = node_id
+        message = f"node {node_id!r} has failed"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class UnknownNodeError(NetworkError):
+    """Raised when addressing a node that was never registered in the network."""
+
+
+class ConnectionClosedError(NetworkError):
+    """Raised when using a transport connection after it was closed or dropped."""
+
+
+class RoutingError(NetworkError):
+    """Raised when a key cannot be routed (e.g. empty routing table snapshot)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for versioned-storage errors."""
+
+
+class RelationNotFoundError(StorageError):
+    """The requested relation does not exist at the requested epoch."""
+
+
+class EpochNotFoundError(StorageError):
+    """No published version of the relation exists at or before the epoch."""
+
+
+class TupleNotFoundError(StorageError):
+    """A tuple ID referenced by an index page could not be located anywhere."""
+
+
+class StaleDataError(StorageError):
+    """A node attempted to serve data that the index says is stale.
+
+    The paper guarantees this can never surface to a query (Section IV): when
+    the correct version is missing locally, the node must fetch it from a
+    replica rather than return the stale version.  This error therefore only
+    appears in tests that deliberately disable the fallback.
+    """
+
+
+class SchemaError(StorageError):
+    """A tuple does not conform to its relation's schema."""
+
+
+# ---------------------------------------------------------------------------
+# Query processing
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for distributed query-processing errors."""
+
+
+class PlanError(QueryError):
+    """A query plan is malformed (bad operator wiring, unknown attribute...)."""
+
+
+class ExpressionError(QueryError):
+    """A scalar expression or predicate references unknown attributes or types."""
+
+
+class QueryAbortedError(QueryError):
+    """The query was aborted (for instance because restart-based recovery
+    decided to re-run it from scratch and the caller asked for no retries)."""
+
+
+class RecoveryError(QueryError):
+    """Incremental recovery could not complete (e.g. no replica holds the
+    failed node's data)."""
+
+
+class OptimizerError(QueryError):
+    """The optimizer could not produce a plan for the logical query."""
+
+
+class SQLSyntaxError(QueryError):
+    """The single-block SQL parser rejected the statement."""
+
+
+# ---------------------------------------------------------------------------
+# CDSS layer
+# ---------------------------------------------------------------------------
+
+
+class CDSSError(ReproError):
+    """Base class for collaborative-data-sharing-layer errors."""
+
+
+class MappingError(CDSSError):
+    """A schema mapping is malformed or references unknown relations."""
+
+
+class ReconciliationError(CDSSError):
+    """Conflict resolution failed or was mis-configured."""

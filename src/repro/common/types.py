@@ -1,0 +1,346 @@
+"""Core data model shared by the storage, query and CDSS layers.
+
+The paper stores *relational* data: every relation has a schema with a set of
+key attributes, and each stored tuple is identified by a :class:`TupleId`
+consisting of the tuple's key attribute values plus the epoch in which the
+tuple was last modified (Section IV, Example 4.1: ``⟨f, 1⟩`` identifies the
+version of ``R(f, ...)`` written in epoch 1).  The hash key used to place a
+tuple on the ring is derived from the key attributes only, so that a tuple can
+always be located given its ID.
+
+Types defined here:
+
+* :class:`Schema` — relation name, attribute names, key attributes.
+* :class:`TupleId` — key values + epoch, hashable and orderable.
+* :class:`VersionedTuple` — a stored tuple: its ID plus all attribute values.
+* :class:`Row` — a light-weight mapping view used by the query engine for
+  intermediate results (attribute name → value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .errors import SchemaError
+from .hashing import sha1_key
+
+#: Attribute values are restricted to types with deterministic hashing and
+#: serialization.  ``None`` models SQL NULL.
+Value = object
+
+
+def partition_hash(values: Sequence[Value]) -> int:
+    """Ring position derived from a tuple's partition-key values.
+
+    This is the *single* hash function used for data placement everywhere in
+    the system: base tuples are stored at ``partition_hash`` of their
+    partition-key values, and the rehash operator routes intermediate tuples
+    with the same function, so a rehash on a join key co-locates the stream
+    with base data partitioned on that key.
+    """
+    return sha1_key(("tuple", tuple(values)))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Schema of a stored relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a CDSS instance.
+    attributes:
+        Ordered attribute names.
+    key:
+        Names of the (unique) key attributes — a subset of ``attributes``.
+        Together with the epoch they form the tuple ID.
+    partition_key:
+        The prefix of ``key`` used for hash partitioning.  Defaults to the
+        first key attribute, matching the paper's "partitioning on their key
+        attribute (first key attribute, if more than one attribute was
+        present)"; relations whose natural partitioning spans several
+        attributes (e.g. a value-correspondence table) can override it.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    key: tuple[str, ...]
+    partition_key: tuple[str, ...]
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        key: Sequence[str] | None = None,
+        partition_key: Sequence[str] | None = None,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        if not self.attributes:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        object.__setattr__(self, "key", tuple(key) if key is not None else (self.attributes[0],))
+        object.__setattr__(
+            self,
+            "partition_key",
+            tuple(partition_key) if partition_key is not None else (self.key[0],),
+        )
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attribute names in schema {name!r}")
+        missing = [k for k in self.key if k not in self.attributes]
+        if missing:
+            raise SchemaError(f"key attributes {missing} not present in schema {name!r}")
+        if self.partition_key != self.key[: len(self.partition_key)]:
+            raise SchemaError(
+                f"partition key {self.partition_key} must be a prefix of the key "
+                f"{self.key} in schema {name!r}"
+            )
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(f"attribute {attribute!r} not in schema {self.name!r}") from None
+
+    def key_indexes(self) -> tuple[int, ...]:
+        return tuple(self.index_of(a) for a in self.key)
+
+    def key_of(self, values: Sequence[Value]) -> tuple[Value, ...]:
+        """Extract the key attribute values from a full value tuple."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects {self.arity} values, got {len(values)}"
+            )
+        return tuple(values[i] for i in self.key_indexes())
+
+    def tuple_id_for(self, values: Sequence[Value], epoch: int) -> "TupleId":
+        """Tuple ID (key values + epoch) of a full value tuple at ``epoch``."""
+        return TupleId(self.key_of(values), epoch, partition_width=len(self.partition_key))
+
+    def tuple_id_for_key(self, key_values: Sequence[Value], epoch: int) -> "TupleId":
+        """Tuple ID built from key values only (used for deletes)."""
+        if len(key_values) != len(self.key):
+            raise SchemaError(
+                f"relation {self.name!r} expects {len(self.key)} key values, "
+                f"got {len(key_values)}"
+            )
+        return TupleId(tuple(key_values), epoch, partition_width=len(self.partition_key))
+
+    def partition_hash_of(self, values: Sequence[Value]) -> int:
+        """Ring position of a full value tuple."""
+        return self.tuple_id_for(values, 0).hash_key
+
+    def project(self, attributes: Sequence[str], new_name: str | None = None) -> "Schema":
+        """Schema of a projection onto ``attributes`` (key becomes all attributes)."""
+        return Schema(new_name or self.name, tuple(attributes), tuple(attributes)[:1])
+
+    def rename(self, new_name: str) -> "Schema":
+        return Schema(new_name, self.attributes, self.key)
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """Unique identifier of a stored tuple version: key values + epoch.
+
+    The ID hash (``hash_key``) is derived from the tuple's *partition-key*
+    values — a prefix of the key values — so two versions of the same logical
+    tuple land on the same ring position and a tuple can be fetched knowing
+    only its ID (Section IV: "a tuple's hash key must be derived from
+    (possibly a subset of) the attributes in its ID").
+    """
+
+    key_values: tuple[Value, ...]
+    epoch: int
+    partition_width: int = 0
+
+    def __init__(self, key_values: Sequence[Value], epoch: int, partition_width: int = 0):
+        object.__setattr__(self, "key_values", tuple(key_values))
+        object.__setattr__(self, "epoch", int(epoch))
+        width = int(partition_width)
+        if width <= 0 or width > len(self.key_values):
+            width = len(self.key_values)
+        object.__setattr__(self, "partition_width", width)
+
+    @property
+    def partition_values(self) -> tuple[Value, ...]:
+        return self.key_values[: self.partition_width]
+
+    @property
+    def hash_key(self) -> int:
+        """Ring position of the tuple, derived from its partition-key values."""
+        return partition_hash(self.partition_values)
+
+    def with_epoch(self, epoch: int) -> "TupleId":
+        return TupleId(self.key_values, epoch, self.partition_width)
+
+    def __repr__(self) -> str:
+        key_repr = ", ".join(repr(v) for v in self.key_values)
+        return f"⟨{key_repr} @ {self.epoch}⟩"
+
+
+@dataclass(frozen=True)
+class VersionedTuple:
+    """A fully materialised tuple version as stored at a data storage node."""
+
+    relation: str
+    tuple_id: TupleId
+    values: tuple[Value, ...]
+    deleted: bool = False
+
+    def __init__(
+        self,
+        relation: str,
+        tuple_id: TupleId,
+        values: Sequence[Value],
+        deleted: bool = False,
+    ):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "tuple_id", tuple_id)
+        object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "deleted", bool(deleted))
+
+    @property
+    def epoch(self) -> int:
+        return self.tuple_id.epoch
+
+    @property
+    def hash_key(self) -> int:
+        return self.tuple_id.hash_key
+
+    def estimated_size(self) -> int:
+        """Rough wire size in bytes; used by the traffic accounting."""
+        return estimate_values_size(self.values) + 8 + len(self.relation)
+
+
+class Row(Mapping[str, Value]):
+    """An immutable attribute-name → value mapping over a value tuple.
+
+    The query engine manipulates rows rather than raw value tuples so that
+    operators can address attributes by (possibly qualified) name after joins
+    and projections.  ``Row`` is a thin view: it shares the underlying value
+    tuple and only stores the attribute ordering once per schema.
+    """
+
+    __slots__ = ("_attributes", "_values")
+
+    def __init__(self, attributes: Sequence[str], values: Sequence[Value]):
+        if len(attributes) != len(values):
+            raise SchemaError(
+                f"row has {len(values)} values for {len(attributes)} attributes"
+            )
+        self._attributes = tuple(attributes)
+        self._values = tuple(values)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Value]) -> "Row":
+        return cls(tuple(mapping.keys()), tuple(mapping.values()))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def values(self) -> tuple[Value, ...]:
+        return self._values
+
+    def __getitem__(self, key: str) -> Value:
+        try:
+            return self._values[self._attributes.index(key)]
+        except ValueError:
+            raise KeyError(key) from None
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._attributes == other._attributes and self._values == other._values
+        return NotImplemented
+
+    def project(self, attributes: Sequence[str]) -> "Row":
+        return Row(tuple(attributes), tuple(self[a] for a in attributes))
+
+    def concat(self, other: "Row") -> "Row":
+        return Row(self._attributes + other._attributes, self._values + other._values)
+
+    def estimated_size(self) -> int:
+        return estimate_values_size(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}={v!r}" for a, v in zip(self._attributes, self._values))
+        return f"Row({inner})"
+
+
+def estimate_values_size(values: Iterable[Value]) -> int:
+    """Estimate the serialized size of a value tuple in bytes.
+
+    The simulator charges network transfer time proportional to this estimate;
+    it intentionally mirrors a compact binary encoding (4-byte ints, 8-byte
+    floats, UTF-8 strings with a 2-byte length prefix) rather than Python's
+    in-memory sizes.
+    """
+    total = 2  # arity header
+    for value in values:
+        if value is None:
+            total += 1
+        elif isinstance(value, bool):
+            total += 1
+        elif isinstance(value, int):
+            total += 5
+        elif isinstance(value, float):
+            total += 9
+        elif isinstance(value, str):
+            total += 2 + len(value.encode("utf-8"))
+        elif isinstance(value, bytes):
+            total += 2 + len(value)
+        elif isinstance(value, tuple):
+            total += estimate_values_size(value)
+        else:
+            total += 16
+    return total
+
+
+@dataclass
+class RelationData:
+    """An in-memory relation instance: schema plus a list of value tuples.
+
+    Workload generators produce ``RelationData`` objects which are then
+    published into the versioned distributed storage; the reference (oracle)
+    query evaluator used in tests also runs directly over them.
+    """
+
+    schema: Schema
+    rows: list[tuple[Value, ...]] = field(default_factory=list)
+
+    def add(self, *values: Value) -> None:
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"relation {self.schema.name!r} expects {self.schema.arity} values, "
+                f"got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def extend(self, rows: Iterable[Sequence[Value]]) -> None:
+        for values in rows:
+            self.add(*values)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def estimated_size(self) -> int:
+        return sum(estimate_values_size(r) for r in self.rows)

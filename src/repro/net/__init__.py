@@ -1,0 +1,23 @@
+"""Simulated networking substrate: event loop, transport and network profiles."""
+
+from .profiles import EC2_LARGE, LAN_GIGABIT, PROFILES, WAN_DEFAULT, NetworkProfile, wan_profile
+from .simnet import HostSpec, Message, Network, SimNode, TrafficMeter, TrafficSnapshot, broadcast
+from .transport import RpcEndpoint, rpc_endpoint
+
+__all__ = [
+    "EC2_LARGE",
+    "HostSpec",
+    "LAN_GIGABIT",
+    "Message",
+    "Network",
+    "NetworkProfile",
+    "PROFILES",
+    "RpcEndpoint",
+    "SimNode",
+    "TrafficMeter",
+    "TrafficSnapshot",
+    "WAN_DEFAULT",
+    "broadcast",
+    "rpc_endpoint",
+    "wan_profile",
+]

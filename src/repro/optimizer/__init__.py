@@ -1,0 +1,21 @@
+"""Cost-based query optimizer (Volcano-style top-down search)."""
+
+from .catalog import Catalog, TableStatistics
+from .cost import CostModel, MachineProfile, PlanEstimate
+from .planner import CompiledQuery, PlannerOptions, compile_query
+from .volcano import JoinEdge, RelationTerm, SearchStatistics, VolcanoJoinSearch
+
+__all__ = [
+    "Catalog",
+    "CompiledQuery",
+    "CostModel",
+    "JoinEdge",
+    "MachineProfile",
+    "PlanEstimate",
+    "PlannerOptions",
+    "RelationTerm",
+    "SearchStatistics",
+    "TableStatistics",
+    "VolcanoJoinSearch",
+    "compile_query",
+]

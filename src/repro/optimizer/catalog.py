@@ -1,0 +1,100 @@
+"""Catalog and table statistics used by the cost-based optimizer.
+
+The paper's optimizer "relies on information (previously computed and stored)
+about machine CPU and disk performance, as well as pairwise bandwidth" and
+"estimates costs by assuming that each horizontally partitioned relation will
+be evenly distributed by the storage layer across all nodes".  The catalog
+holds the data-side half of that information: per-relation row counts, row
+widths and per-column distinct-value estimates, either registered explicitly
+or derived from an in-memory :class:`~repro.common.types.RelationData` (as the
+workload generators do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..common.errors import OptimizerError
+from ..common.types import RelationData, Schema, estimate_values_size
+
+
+@dataclass
+class TableStatistics:
+    """Summary statistics for one stored relation."""
+
+    row_count: int
+    avg_row_size: float
+    distinct: dict[str, int] = field(default_factory=dict)
+
+    def distinct_values(self, attribute: str) -> int:
+        """Estimated number of distinct values of ``attribute`` (≥ 1)."""
+        return max(1, self.distinct.get(attribute, max(1, self.row_count // 10)))
+
+    @classmethod
+    def from_relation(cls, data: RelationData, sample_limit: int = 5000) -> "TableStatistics":
+        """Derive statistics from an in-memory relation (sampling large ones)."""
+        rows = data.rows
+        row_count = len(rows)
+        sample = rows if row_count <= sample_limit else rows[:: max(1, row_count // sample_limit)]
+        if sample:
+            avg_row_size = sum(estimate_values_size(r) for r in sample) / len(sample)
+        else:
+            avg_row_size = 1.0
+        distinct: dict[str, int] = {}
+        for index, attribute in enumerate(data.schema.attributes):
+            seen = {row[index] for row in sample}
+            if row_count and len(sample) < row_count:
+                # Scale the sampled distinct count up, capped by the row count.
+                scaled = int(len(seen) * row_count / max(1, len(sample)))
+                distinct[attribute] = min(row_count, max(len(seen), scaled))
+            else:
+                distinct[attribute] = len(seen)
+        return cls(row_count=row_count, avg_row_size=avg_row_size, distinct=distinct)
+
+
+class Catalog:
+    """Schemas plus statistics for every relation known to the optimizer."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+
+    def register(self, schema: Schema, statistics: TableStatistics) -> None:
+        self._schemas[schema.name] = schema
+        self._statistics[schema.name] = statistics
+
+    def register_relation(self, data: RelationData) -> None:
+        self.register(data.schema, TableStatistics.from_relation(data))
+
+    @classmethod
+    def from_relations(cls, relations: Iterable[RelationData]) -> "Catalog":
+        catalog = cls()
+        for data in relations:
+            catalog.register_relation(data)
+        return catalog
+
+    @classmethod
+    def from_mapping(cls, relations: Mapping[str, RelationData]) -> "Catalog":
+        return cls.from_relations(relations.values())
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._schemas
+
+    def relations(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def schema(self, relation: str) -> Schema:
+        try:
+            return self._schemas[relation]
+        except KeyError:
+            raise OptimizerError(f"relation {relation!r} is not in the catalog") from None
+
+    def statistics(self, relation: str) -> TableStatistics:
+        try:
+            return self._statistics[relation]
+        except KeyError:
+            raise OptimizerError(f"relation {relation!r} has no statistics") from None
+
+    def schemas(self) -> dict[str, Schema]:
+        return dict(self._schemas)

@@ -1,0 +1,148 @@
+"""Cost model: worst-case completion-time estimates per plan stage.
+
+Following the paper's description of the ORCHESTRA optimizer, the cost of a
+subplan is the sum over its stages of the estimated completion time of the
+*slowest* node or link used by that stage — a worst-case expected completion
+time.  The model assumes every horizontally partitioned relation is spread
+evenly over all nodes (which the balanced allocator guarantees), so the
+per-node share of any stage is ``1/n`` of the total work, except for the final
+result collection, which is bottlenecked by the initiator's ingress link.
+
+Selectivity estimation uses the usual System-R style heuristics over the
+catalog statistics (1/distinct for equality, 1/3 for range predicates,
+containment for joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..query.expressions import (
+    BooleanOp,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    split_conjuncts,
+)
+from .catalog import TableStatistics
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Machine and network characteristics the optimizer plans against.
+
+    The defaults mirror the LAN profile; benchmarks derive profiles from the
+    cluster's :class:`~repro.net.profiles.NetworkProfile` so that plan choice
+    reacts to bandwidth the same way the paper's optimizer does.
+    """
+
+    num_nodes: int = 8
+    tuples_per_second_cpu: float = 2_000_000.0
+    bytes_per_second_network: float = 125_000_000.0
+    bytes_per_second_disk: float = 80_000_000.0
+    latency_seconds: float = 0.0001
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "MachineProfile":
+        """Build a profile from a :class:`repro.cluster.Cluster`."""
+        host = cluster.profile.host
+        return cls(
+            num_nodes=len(cluster.live_addresses()),
+            tuples_per_second_cpu=2_000_000.0 * host.cpu_factor,
+            bytes_per_second_network=min(host.egress_bandwidth, host.ingress_bandwidth),
+            bytes_per_second_disk=host.disk_read_bandwidth,
+            latency_seconds=cluster.profile.latency,
+        )
+
+
+@dataclass
+class PlanEstimate:
+    """Cost and cardinality estimate for a physical subplan."""
+
+    cost: float
+    rows: float
+    row_size: float
+    #: Attributes the output is hash-partitioned on (None = unknown/arbitrary).
+    partitioning: tuple[str, ...] | None = None
+
+
+class CostModel:
+    """Stage-cost formulas shared by the Volcano search and the planner."""
+
+    def __init__(self, machine: MachineProfile) -> None:
+        self.machine = machine
+
+    # -- selectivity / cardinality -------------------------------------------------
+
+    def selectivity(self, predicate: Expression | None, statistics: TableStatistics) -> float:
+        if predicate is None:
+            return 1.0
+        result = 1.0
+        for conjunct in split_conjuncts(predicate):
+            result *= self._conjunct_selectivity(conjunct, statistics)
+        return max(result, 1e-6)
+
+    def _conjunct_selectivity(self, conjunct: Expression, statistics: TableStatistics) -> float:
+        if isinstance(conjunct, Comparison):
+            references = sorted(conjunct.references())
+            if conjunct.operator == "=":
+                if references:
+                    return 1.0 / statistics.distinct_values(references[0])
+                return 0.1
+            if conjunct.operator == "!=":
+                return 0.9
+            return 1.0 / 3.0
+        if isinstance(conjunct, InList):
+            references = sorted(conjunct.references())
+            if references:
+                per_value = 1.0 / statistics.distinct_values(references[0])
+                return min(1.0, per_value * len(conjunct.values))
+            return 0.2
+        if isinstance(conjunct, BooleanOp) and conjunct.operator == "or":
+            return min(1.0, sum(
+                self._conjunct_selectivity(op, statistics) for op in conjunct.operands
+            ))
+        if isinstance(conjunct, Literal):
+            return 1.0 if conjunct.value else 0.0
+        return 0.25
+
+    def join_cardinality(
+        self, left_rows: float, right_rows: float, left_distinct: float, right_distinct: float
+    ) -> float:
+        denominator = max(left_distinct, right_distinct, 1.0)
+        return max(1.0, left_rows * right_rows / denominator)
+
+    # -- stage costs --------------------------------------------------------------------
+
+    @property
+    def _nodes(self) -> int:
+        return max(1, self.machine.num_nodes)
+
+    def scan_cost(self, rows: float, row_size: float) -> float:
+        """Parallel scan: each node reads and filters its share of the data."""
+        per_node_rows = rows / self._nodes
+        cpu = per_node_rows / self.machine.tuples_per_second_cpu
+        disk = per_node_rows * row_size / self.machine.bytes_per_second_disk
+        return cpu + disk + self.machine.latency_seconds
+
+    def rehash_cost(self, rows: float, row_size: float) -> float:
+        """Repartitioning: nearly all rows cross the network once."""
+        per_node_rows = rows / self._nodes
+        crossing_fraction = (self._nodes - 1) / self._nodes
+        network = per_node_rows * crossing_fraction * row_size / self.machine.bytes_per_second_network
+        cpu = per_node_rows / self.machine.tuples_per_second_cpu
+        return network + cpu + self.machine.latency_seconds
+
+    def join_cost(self, left_rows: float, right_rows: float, output_rows: float) -> float:
+        per_node = (left_rows + right_rows + output_rows) / self._nodes
+        return per_node / self.machine.tuples_per_second_cpu
+
+    def aggregate_cost(self, rows: float) -> float:
+        return rows / self._nodes / self.machine.tuples_per_second_cpu
+
+    def ship_cost(self, rows: float, row_size: float) -> float:
+        """Result collection: bottlenecked by the initiator's ingress link."""
+        network = rows * row_size / self.machine.bytes_per_second_network
+        cpu = rows / self.machine.tuples_per_second_cpu
+        return network + cpu + self.machine.latency_seconds

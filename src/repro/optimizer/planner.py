@@ -1,0 +1,341 @@
+"""Query compilation: logical single-block queries → distributed physical plans.
+
+``compile_query`` performs the work of the ORCHESTRA optimizer described in
+Section VI:
+
+1. flatten the single-block logical plan into base relations, pushed-down
+   selection predicates, equi-join edges, projection, aggregation and
+   presentation (ORDER BY / LIMIT);
+2. split each relation's predicate into a *sargable* part (evaluable from key
+   attributes at the index nodes) and a *residual* part, and detect covering
+   index scans;
+3. choose the join order, join shape (bushy allowed) and rehash placement with
+   the Volcano-style search of :mod:`repro.optimizer.volcano`;
+4. choose the aggregation strategy: a purely local partial aggregation merged
+   at the query initiator (TPC-H Q1/Q6 style) when the number of groups is
+   small, or partial aggregation → rehash on the grouping key → final
+   aggregation (the paper's Example 5.1 shape) when it is large;
+5. attach the final projection and the Ship operator with its collector mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import OptimizerError, PlanError
+from ..query.expressions import (
+    AggregateSpec,
+    Column,
+    Comparison,
+    Expression,
+    and_,
+    col,
+    split_sargable,
+)
+from ..query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+from ..query.physical import (
+    COLLECT_APPEND,
+    COLLECT_MERGE_PARTIALS,
+    COLLECT_REPLACE_GROUPS,
+    PhysicalOperator,
+    PhysicalPlan,
+    PlanBuilder,
+)
+from .catalog import Catalog
+from .cost import CostModel, MachineProfile
+from .volcano import JoinEdge, RelationTerm, SearchStatistics, VolcanoJoinSearch
+
+
+@dataclass
+class PlannerOptions:
+    """Tuning knobs for plan compilation."""
+
+    #: Below this many estimated groups, aggregation is done locally and the
+    #: partial results are merged at the query initiator; above it, the plan
+    #: rehashes on the grouping key and aggregates in a distributed fashion.
+    small_group_threshold: int = 4096
+    #: Allow covering index scans when a relation's needed columns are all key
+    #: attributes.
+    enable_covering_scans: bool = True
+
+
+@dataclass
+class CompiledQuery:
+    """A physical plan plus the estimates the optimizer produced for it."""
+
+    plan: PhysicalPlan
+    estimated_cost: float
+    estimated_rows: float
+    search_statistics: SearchStatistics
+
+
+@dataclass
+class _FlattenedBlock:
+    scans: dict[str, LogicalScan]
+    predicates: list[Expression]
+    project: list[tuple[str, Expression]] | None
+    aggregate: LogicalAggregate | None
+
+
+def _flatten(query: LogicalQuery) -> _FlattenedBlock:
+    """Decompose a single-block logical plan into its components."""
+    node: LogicalPlan = query.root
+    project: list[tuple[str, Expression]] | None = None
+    aggregate: LogicalAggregate | None = None
+
+    if isinstance(node, LogicalProject):
+        project = list(node.outputs)
+        node = node.child
+    if isinstance(node, LogicalAggregate):
+        aggregate = node
+        node = node.child
+    if project is None and isinstance(node, LogicalProject):
+        project = list(node.outputs)
+        node = node.child
+
+    scans: dict[str, LogicalScan] = {}
+    predicates: list[Expression] = []
+
+    def collect(plan: LogicalPlan) -> None:
+        if isinstance(plan, LogicalScan):
+            if plan.schema.name in scans:
+                raise PlanError(
+                    f"relation {plan.schema.name!r} appears twice; self-joins need aliases"
+                )
+            scans[plan.schema.name] = plan
+            return
+        if isinstance(plan, LogicalSelect):
+            predicates.append(plan.predicate)
+            collect(plan.child)
+            return
+        if isinstance(plan, LogicalJoin):
+            for left_attr, right_attr in plan.condition:
+                predicates.append(Comparison("=", col(left_attr), col(right_attr)))
+            collect(plan.left)
+            collect(plan.right)
+            return
+        if isinstance(plan, LogicalProject):
+            raise PlanError("projections below joins are not supported in a single block")
+        if isinstance(plan, LogicalAggregate):
+            raise PlanError("nested aggregation is not supported in a single block")
+        raise PlanError(f"unsupported logical operator {type(plan).__name__}")
+
+    collect(node)
+    return _FlattenedBlock(scans, predicates, project, aggregate)
+
+
+def compile_query(
+    query: LogicalQuery,
+    catalog: Catalog,
+    machine: MachineProfile | None = None,
+    options: PlannerOptions | None = None,
+    epoch: int | None = None,
+) -> CompiledQuery:
+    """Compile a logical query into a distributed physical plan."""
+    machine = machine or MachineProfile()
+    options = options or PlannerOptions()
+    cost_model = CostModel(machine)
+    builder = PlanBuilder()
+    block = _flatten(query)
+    if not block.scans:
+        raise OptimizerError("the query references no relations")
+
+    from ..query.expressions import split_conjuncts
+
+    conjuncts: list[Expression] = []
+    for predicate in block.predicates:
+        conjuncts.extend(split_conjuncts(predicate))
+
+    attribute_owner: dict[str, str] = {}
+    for name, scan in block.scans.items():
+        for attribute in scan.schema.attributes:
+            if attribute in attribute_owner:
+                raise PlanError(
+                    f"attribute {attribute!r} appears in both {attribute_owner[attribute]!r} "
+                    f"and {name!r}; qualify attribute names to keep them unique"
+                )
+            attribute_owner[attribute] = name
+
+    local_predicates: dict[str, list[Expression]] = {name: [] for name in block.scans}
+    join_edges: list[JoinEdge] = []
+    residual_predicates: list[Expression] = []
+    for conjunct in conjuncts:
+        owners = {attribute_owner[a] for a in conjunct.references() if a in attribute_owner}
+        unknown = [a for a in conjunct.references() if a not in attribute_owner]
+        if unknown:
+            raise PlanError(f"predicate references unknown attributes {unknown}")
+        if len(owners) == 1:
+            local_predicates[owners.pop()].append(conjunct)
+        elif (
+            len(owners) == 2
+            and isinstance(conjunct, Comparison)
+            and conjunct.operator == "="
+            and isinstance(conjunct.left, Column)
+            and isinstance(conjunct.right, Column)
+        ):
+            left_rel = attribute_owner[conjunct.left.name]
+            right_rel = attribute_owner[conjunct.right.name]
+            join_edges.append(
+                JoinEdge(left_rel, conjunct.left.name, right_rel, conjunct.right.name)
+            )
+        else:
+            residual_predicates.append(conjunct)
+
+    needed = _needed_columns(block, join_edges, residual_predicates, query)
+
+    terms: dict[str, RelationTerm] = {}
+    for name, scan in block.scans.items():
+        schema = scan.schema
+        predicate = and_(*local_predicates[name]) if local_predicates[name] else None
+        sargable, residual = split_sargable(predicate, schema.key)
+        needed_columns = needed[name]
+        covering = (
+            options.enable_covering_scans
+            and set(needed_columns) <= set(schema.key)
+        )
+        terms[name] = RelationTerm(
+            name=name,
+            schema=schema,
+            needed_columns=needed_columns,
+            sargable=sargable,
+            residual=residual,
+            covering=covering,
+            epoch=scan.epoch if scan.epoch is not None else epoch,
+        )
+
+    search = VolcanoJoinSearch(terms, join_edges, catalog, cost_model, builder)
+    join_plan, join_estimate = search.best_join_plan()
+    plan_root: PhysicalOperator = join_plan
+    total_cost = join_estimate.cost
+    rows = join_estimate.rows
+
+    if residual_predicates:
+        plan_root = builder.select(plan_root, and_(*residual_predicates))
+        rows = max(1.0, rows * 0.25)
+
+    ship_order_by = tuple(query.order_by)
+    ship_limit = query.limit
+
+    if block.aggregate is not None:
+        aggregate = block.aggregate
+        group_by = tuple(aggregate.group_by)
+        specs = tuple(aggregate.aggregates)
+        groups = _estimate_groups(group_by, block, catalog, rows)
+        partial = builder.aggregate(plan_root, group_by, specs, merge_partials=False)
+        total_cost += cost_model.aggregate_cost(rows)
+        if groups <= options.small_group_threshold:
+            # Distributed partial aggregation, re-aggregated at the initiator.
+            ship = builder.ship(
+                partial,
+                collector_mode=COLLECT_MERGE_PARTIALS,
+                group_by=group_by,
+                aggregates=specs,
+                order_by=ship_order_by,
+                limit=ship_limit,
+            )
+            total_cost += cost_model.ship_cost(groups * machine.num_nodes, 64.0)
+        else:
+            # Example 5.1 shape: rehash on the grouping key, aggregate, ship.
+            rehashed = builder.rehash(partial, group_by)
+            merge_specs = tuple(
+                AggregateSpec(spec.name, spec.function, col(spec.name)) for spec in specs
+            )
+            final = builder.aggregate(rehashed, group_by, merge_specs, merge_partials=True)
+            ship = builder.ship(
+                final,
+                collector_mode=COLLECT_REPLACE_GROUPS,
+                group_by=group_by,
+                aggregates=merge_specs,
+                order_by=ship_order_by,
+                limit=ship_limit,
+            )
+            total_cost += cost_model.rehash_cost(groups, 64.0)
+            total_cost += cost_model.aggregate_cost(groups)
+            total_cost += cost_model.ship_cost(groups, 64.0)
+        rows = groups
+        if block.project is not None:
+            raise PlanError("projections above aggregates are not supported")
+    else:
+        if block.project is not None:
+            plan_root = builder.project(plan_root, block.project)
+        ship = builder.ship(
+            plan_root,
+            collector_mode=COLLECT_APPEND,
+            order_by=ship_order_by,
+            limit=ship_limit,
+        )
+        total_cost += cost_model.ship_cost(rows, join_estimate.row_size)
+
+    plan = PhysicalPlan(root=ship, name=query.name)
+    return CompiledQuery(
+        plan=plan,
+        estimated_cost=total_cost,
+        estimated_rows=rows,
+        search_statistics=search.statistics,
+    )
+
+
+def _needed_columns(
+    block: _FlattenedBlock,
+    join_edges: list[JoinEdge],
+    residual_predicates: list[Expression],
+    query: LogicalQuery,
+) -> dict[str, tuple[str, ...]]:
+    """Columns of each relation that any part of the query references."""
+    referenced: set[str] = set()
+    for edges in join_edges:
+        referenced.add(edges.left_attribute)
+        referenced.add(edges.right_attribute)
+    for predicate in residual_predicates:
+        referenced |= predicate.references()
+    for predicates in (block.predicates,):
+        for predicate in predicates:
+            referenced |= predicate.references()
+    if block.project is not None:
+        for _name, expr in block.project:
+            referenced |= expr.references()
+    if block.aggregate is not None:
+        referenced |= set(block.aggregate.group_by)
+        for spec in block.aggregate.aggregates:
+            referenced |= spec.argument.references()
+    for attribute, _asc in query.order_by:
+        referenced.add(attribute)
+
+    wants_all = block.project is None and block.aggregate is None
+    result: dict[str, tuple[str, ...]] = {}
+    for name, scan in block.scans.items():
+        if wants_all:
+            result[name] = scan.schema.attributes
+        else:
+            result[name] = tuple(
+                attribute for attribute in scan.schema.attributes if attribute in referenced
+            ) or (scan.schema.attributes[0],)
+    return result
+
+
+def _estimate_groups(
+    group_by: tuple[str, ...],
+    block: _FlattenedBlock,
+    catalog: Catalog,
+    input_rows: float,
+) -> float:
+    if not group_by:
+        return 1.0
+    estimate = 1.0
+    for attribute in group_by:
+        for name in block.scans:
+            schema = block.scans[name].schema
+            if attribute in schema.attributes and name in catalog.relations():
+                estimate *= catalog.statistics(name).distinct_values(attribute)
+                break
+        else:
+            estimate *= 100.0
+    return min(estimate, max(1.0, input_rows))

@@ -1,0 +1,35 @@
+"""Content-addressable overlay: range allocation, routing, membership,
+epoch gossip and replication."""
+
+from .allocation import (
+    ALLOCATORS,
+    BalancedAllocation,
+    PastryAllocation,
+    RangeAllocator,
+    allocation_imbalance,
+    node_positions,
+)
+from .gossip import EpochGossip
+from .membership import MembershipView, membership_of
+from .replication import BackgroundReplicator, BloomFilter, ReplicationReport, replica_set
+from .routing import RangeMove, RoutingSnapshot, RoutingTable, physical_address
+
+__all__ = [
+    "ALLOCATORS",
+    "BackgroundReplicator",
+    "BalancedAllocation",
+    "BloomFilter",
+    "EpochGossip",
+    "MembershipView",
+    "PastryAllocation",
+    "RangeAllocator",
+    "RangeMove",
+    "ReplicationReport",
+    "RoutingSnapshot",
+    "RoutingTable",
+    "allocation_imbalance",
+    "membership_of",
+    "node_positions",
+    "physical_address",
+    "replica_set",
+]

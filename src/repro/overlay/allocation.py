@@ -1,0 +1,120 @@
+"""Key-range allocation strategies (Section III-A, Figure 2).
+
+Classic DHTs place each node at the ring position given by the hash of its
+address and let it own the arc between itself and a neighbour.  With only
+dozens of nodes this produces highly non-uniform ownership (in the paper's
+Figure 2(a), two nodes own three quarters of the ring).  ORCHESTRA therefore
+supports a second scheme tailored to its smaller, more stable membership: the
+ring is divided into *equal-size* contiguous ranges, one per node, handed out
+in the order of the nodes' hash IDs (Figure 2(b)).  The balanced scheme is the
+one used in all of the paper's experiments; the Pastry-style scheme is kept
+for very large memberships.
+
+Both allocators are pure functions from a set of node addresses to a mapping
+``address → KeyRange`` whose ranges exactly partition the ring — a property
+the tests verify with hypothesis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping
+
+from ..common.hashing import KEY_SPACE_SIZE, KeyRange, node_id_for, ring_add, ring_distance
+
+
+class RangeAllocator(ABC):
+    """Strategy interface for assigning key ranges to nodes."""
+
+    @abstractmethod
+    def allocate(self, addresses: Iterable[str]) -> dict[str, KeyRange]:
+        """Return the range owned by each address.
+
+        The returned ranges must partition the full ring (no gaps, no
+        overlaps) whenever at least one address is given.
+        """
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+def node_positions(addresses: Iterable[str]) -> dict[str, int]:
+    """Ring position (hashed ID) of each node address."""
+    return {address: node_id_for(address) for address in addresses}
+
+
+class PastryAllocation(RangeAllocator):
+    """Pastry-style allocation: a key belongs to the node with nearest ID.
+
+    Every node owns the arc spanning from the midpoint between itself and its
+    counter-clockwise neighbour to the midpoint between itself and its
+    clockwise neighbour.  This reproduces the skew shown in Figure 2(a): the
+    arc sizes follow the gaps between hashed node IDs.
+    """
+
+    def allocate(self, addresses: Iterable[str]) -> dict[str, KeyRange]:
+        positions = node_positions(addresses)
+        if not positions:
+            return {}
+        if len(positions) == 1:
+            (address,) = positions
+            return {address: KeyRange.full_ring(positions[address])}
+
+        ordered = sorted(positions.items(), key=lambda item: item[1])
+        count = len(ordered)
+        result: dict[str, KeyRange] = {}
+        for index, (address, position) in enumerate(ordered):
+            prev_position = ordered[(index - 1) % count][1]
+            next_position = ordered[(index + 1) % count][1]
+            # Midpoint halfway along the clockwise arc from prev to this node.
+            start = ring_add(prev_position, ring_distance(prev_position, position) // 2)
+            end = ring_add(position, ring_distance(position, next_position) // 2)
+            result[address] = KeyRange(start, end)
+        return result
+
+
+class BalancedAllocation(RangeAllocator):
+    """Evenly sized sequential ranges, assigned in hash-ID order (Figure 2(b)).
+
+    This is the allocation used for every experiment in the paper: it gives
+    each node exactly ``1/n`` of the ring, and it keeps each node's ownership
+    *contiguous*, which is what allows index pages to be co-located with the
+    tuples they reference (Section IV).
+    """
+
+    def allocate(self, addresses: Iterable[str]) -> dict[str, KeyRange]:
+        positions = node_positions(addresses)
+        if not positions:
+            return {}
+        ordered = sorted(positions.items(), key=lambda item: item[1])
+        count = len(ordered)
+        if count == 1:
+            return {ordered[0][0]: KeyRange.full_ring(0)}
+        boundaries = [(KEY_SPACE_SIZE * i) // count for i in range(count + 1)]
+        result: dict[str, KeyRange] = {}
+        for index, (address, _position) in enumerate(ordered):
+            start = boundaries[index]
+            end = boundaries[index + 1] % KEY_SPACE_SIZE
+            result[address] = KeyRange(start, end)
+        return result
+
+
+def allocation_imbalance(allocation: Mapping[str, KeyRange]) -> float:
+    """Ratio of the largest owned fraction to the ideal fraction ``1/n``.
+
+    1.0 means perfectly balanced; the Pastry-style allocation on small
+    memberships typically shows values well above 2, which is the effect the
+    paper's Figure 2 illustrates and `benchmarks/test_allocation_balance.py`
+    quantifies.
+    """
+    if not allocation:
+        return 0.0
+    ideal = 1.0 / len(allocation)
+    largest = max(key_range.fraction() for key_range in allocation.values())
+    return largest / ideal
+
+
+ALLOCATORS: dict[str, RangeAllocator] = {
+    "pastry": PastryAllocation(),
+    "balanced": BalancedAllocation(),
+}

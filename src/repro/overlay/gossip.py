@@ -1,0 +1,112 @@
+"""Epoch tracking via gossip (Section IV).
+
+ORCHESTRA assigns a logical timestamp — an *epoch* — that advances every time
+a participant publishes a batch of updates.  A participant that starts an
+import or a distributed query does so "with respect to the data available at
+the specific epoch in which the import starts"; it must see all state
+published up to that epoch and nothing newer.  The paper notes the current
+epoch "can be determined through a simple gossip protocol and does not
+require a single point of failure".
+
+:class:`EpochGossip` implements that protocol over the RPC layer: each node
+keeps the highest epoch it has heard of, publishing a new epoch pushes the
+value to a random-ish subset of peers immediately, and periodic anti-entropy
+rounds exchange the value with ring neighbours so that the epoch converges
+even if the initial push misses nodes.  In the deterministic simulator the
+"random" fan-out peers are chosen by hashing, keeping runs reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..common.hashing import sha1_key
+from ..net.simnet import SimNode
+from ..net.transport import RpcEndpoint, rpc_endpoint
+
+_GOSSIP_METHOD = "gossip.epoch"
+
+
+class EpochGossip:
+    """Per-node epoch tracker with push gossip and periodic anti-entropy."""
+
+    #: How many peers a new epoch is pushed to immediately.
+    FANOUT = 3
+    #: Interval between periodic anti-entropy rounds, simulated seconds.
+    ANTI_ENTROPY_INTERVAL = 1.0
+    #: Wire size of a gossip message.
+    MESSAGE_SIZE = 16
+
+    def __init__(self, node: SimNode, peers: Callable[[], list[str]]) -> None:
+        self.node = node
+        self.rpc: RpcEndpoint = rpc_endpoint(node)
+        self._peers = peers
+        self.current_epoch = 0
+        self._listeners: list[Callable[[int], None]] = []
+        self.rpc.register(_GOSSIP_METHOD, self._on_gossip)
+        node.services["gossip"] = self
+
+    # -- observers ---------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[int], None]) -> None:
+        """``listener(epoch)`` is invoked whenever a strictly newer epoch is learnt."""
+        self._listeners.append(listener)
+
+    # -- advancing the epoch -------------------------------------------------------
+
+    def announce(self, epoch: int) -> None:
+        """Adopt ``epoch`` locally (if newer) and push it to a few peers."""
+        if not self._adopt(epoch):
+            return
+        for peer in self._fanout_peers(epoch):
+            self.rpc.cast(peer, _GOSSIP_METHOD, {"epoch": self.current_epoch}, self.MESSAGE_SIZE)
+
+    def start_anti_entropy(self, rounds: int = 0) -> None:
+        """Kick off periodic anti-entropy with ring neighbours.
+
+        ``rounds`` bounds the number of rounds (0 means a single round); the
+        benchmarks keep this small so queries dominate the traffic figures, as
+        gossip overhead is negligible in the paper.
+        """
+
+        def run(remaining: int) -> None:
+            if not self.node.alive:
+                return
+            for peer in self._fanout_peers(self.current_epoch + remaining):
+                self.rpc.cast(
+                    peer, _GOSSIP_METHOD, {"epoch": self.current_epoch}, self.MESSAGE_SIZE
+                )
+            if remaining > 0:
+                self.node.network.schedule(
+                    self.ANTI_ENTROPY_INTERVAL, lambda: run(remaining - 1)
+                )
+
+        run(rounds)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _adopt(self, epoch: int) -> bool:
+        if epoch <= self.current_epoch:
+            return False
+        self.current_epoch = epoch
+        for listener in list(self._listeners):
+            listener(epoch)
+        return True
+
+    def _fanout_peers(self, salt: int) -> list[str]:
+        peers = [p for p in self._peers() if p != self.node.address]
+        if not peers:
+            return []
+        peers.sort()
+        # Deterministic pseudo-random selection: rotate by a hash of the node
+        # address and the salt so different announcements reach different peers.
+        offset = sha1_key((self.node.address, salt)) % len(peers)
+        ordered = peers[offset:] + peers[:offset]
+        return ordered[: self.FANOUT]
+
+    def _on_gossip(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        epoch = int(payload["epoch"])
+        if self._adopt(epoch):
+            # Re-push so the value keeps spreading epidemically.
+            for peer in self._fanout_peers(epoch):
+                self.rpc.cast(peer, _GOSSIP_METHOD, {"epoch": epoch}, self.MESSAGE_SIZE)

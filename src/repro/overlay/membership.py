@@ -1,0 +1,105 @@
+"""Membership tracking: node arrival, departure and failure (Section III-C).
+
+Every participant keeps a full view of the membership (the complete routing
+table of Section III-B).  Membership changes are handled conservatively:
+
+* **Arrival** — the joining node is added to the view and the balanced
+  allocator recomputes every range.  In-flight queries are unaffected because
+  they run against their own routing *snapshot*; the new node only serves
+  fresh queries (Section V-C).
+* **Departure / failure** — the transport layer's dropped-connection signal
+  (our simulator's failure listeners) removes the node from the view.  The
+  node's ring neighbours already hold replicas of its data, so the storage
+  layer can serve its range immediately; queries that were running receive the
+  failure event from their own listeners and start recovery.
+
+:class:`MembershipView` is the per-node component; it exposes the live
+:class:`~repro.overlay.routing.RoutingTable`, notifies listeners of membership
+changes (the storage engine uses this to re-ship data into the new ranges) and
+answers the "which nodes participate right now" question the query initiator
+asks when taking a snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..net.simnet import SimNode
+from .allocation import RangeAllocator
+from .routing import RangeMove, RoutingSnapshot, RoutingTable
+
+#: ``listener(kind, address, moves)`` where kind is "join", "leave" or "fail".
+MembershipListener = Callable[[str, str, list[RangeMove]], None]
+
+
+class MembershipView:
+    """A node's view of the CDSS membership and the derived routing table."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        initial_members: Iterable[str],
+        replication_factor: int = 3,
+        allocator: RangeAllocator | None = None,
+    ) -> None:
+        self.node = node
+        self.replication_factor = replication_factor
+        self.routing_table = RoutingTable(initial_members, allocator=allocator)
+        self._listeners: list[MembershipListener] = []
+        node.add_failure_listener(self._on_peer_failure)
+        node.services["membership"] = self
+
+    # -- observers ------------------------------------------------------------
+
+    def add_listener(self, listener: MembershipListener) -> None:
+        self._listeners.append(listener)
+
+    def members(self) -> tuple[str, ...]:
+        return self.routing_table.members
+
+    def is_member(self, address: str) -> bool:
+        return address in self.routing_table.members
+
+    def snapshot(self) -> RoutingSnapshot:
+        """Immutable snapshot of the current allocation, for query initiation."""
+        return self.routing_table.snapshot()
+
+    # -- membership changes -----------------------------------------------------
+
+    def node_joined(self, address: str) -> list[RangeMove]:
+        """Record that ``address`` joined the CDSS."""
+        moves = self.routing_table.add_node(address)
+        if moves or address in self.routing_table.members:
+            self._notify("join", address, moves)
+        return moves
+
+    def node_left(self, address: str) -> list[RangeMove]:
+        """Record a graceful departure (planned maintenance)."""
+        moves = self.routing_table.remove_node(address)
+        self._notify("leave", address, moves)
+        return moves
+
+    def node_failed(self, address: str) -> list[RangeMove]:
+        """Record a crash failure detected through the transport layer."""
+        if address not in self.routing_table.members:
+            return []
+        moves = self.routing_table.remove_node(address)
+        self._notify("fail", address, moves)
+        return moves
+
+    # -- internals ----------------------------------------------------------------
+
+    def _on_peer_failure(self, address: str) -> None:
+        self.node_failed(address)
+
+    def _notify(self, kind: str, address: str, moves: list[RangeMove]) -> None:
+        for listener in list(self._listeners):
+            listener(kind, address, moves)
+
+
+def membership_of(node: SimNode) -> MembershipView:
+    """Return the node's membership view (must have been created already)."""
+    view = node.services.get("membership")
+    if not isinstance(view, MembershipView):
+        raise LookupError(f"node {node.address!r} has no membership view")
+    return view

@@ -1,0 +1,343 @@
+"""Full (one-hop) routing tables and immutable routing snapshots.
+
+Following Section III-B, every node keeps a *complete* routing table — one
+entry per participant — giving single-hop routing for memberships of up to a
+few hundred nodes.  The table maps each node address to the key range it owns
+under the active allocation strategy.
+
+Query execution (Section V) never consults the live table directly: the query
+initiator takes an immutable :class:`RoutingSnapshot` when the query starts
+and disseminates it with the plan, so that every participant uses exactly the
+same key → node assignment for the lifetime of the query even if membership
+changes mid-flight.  After a failure, the initiator derives a *new* snapshot
+from the old one with :meth:`RoutingSnapshot.reassign_failed`, which spreads
+each failed node's range over the replicas of its data — this is the first
+stage of incremental recovery (Section V-D).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..common.errors import RoutingError
+from ..common.hashing import KEY_SPACE_MASK, KeyRange, node_id_for
+from .allocation import BalancedAllocation, RangeAllocator
+
+
+@dataclass(frozen=True)
+class RangeMove:
+    """A piece of the key space whose owner changed between two snapshots."""
+
+    key_range: KeyRange
+    old_owner: str
+    new_owner: str
+
+
+class RoutingSnapshot:
+    """An immutable assignment of key ranges to node addresses."""
+
+    def __init__(self, ranges: Mapping[str, KeyRange], version: int = 0) -> None:
+        if not ranges:
+            raise RoutingError("a routing snapshot must contain at least one node")
+        self._ranges = dict(ranges)
+        self.version = version
+        # Pre-sort the ring boundaries for O(log n) owner lookup and for the
+        # clockwise/counter-clockwise neighbour computations replication needs.
+        self._ordered = sorted(
+            ((key_range.start, address) for address, key_range in self._ranges.items()
+             if not key_range.is_empty()),
+        )
+        if not self._ordered:
+            raise RoutingError("a routing snapshot must cover the ring")
+        self._starts = [start for start, _address in self._ordered]
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Addresses participating in this snapshot, in ring order."""
+        return tuple(address for _start, address in self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._ranges and not self._ranges[address].is_empty()
+
+    def range_of(self, address: str) -> KeyRange:
+        try:
+            return self._ranges[address]
+        except KeyError:
+            raise RoutingError(f"node {address!r} not in routing snapshot") from None
+
+    def ranges(self) -> dict[str, KeyRange]:
+        return dict(self._ranges)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def owner_of(self, key: int) -> str:
+        """The node responsible for ``key`` under this snapshot.
+
+        Because the allocated ranges tile the ring, the owner is the entry
+        with the largest start ≤ key (wrapping to the last entry for keys
+        before the first boundary); a binary search keeps per-tuple routing
+        cheap during rehash operations.
+        """
+        key &= KEY_SPACE_MASK
+        index = bisect_right(self._starts, key) - 1
+        if index < 0:
+            index = len(self._ordered) - 1
+        _candidate_start, candidate = self._ordered[index]
+        if self._ranges[candidate].contains(key):
+            return candidate
+        # Fall back to a linear scan for unusual allocations (e.g. Pastry-style
+        # ranges whose starts are midpoints and may not be in tiling order).
+        for address, key_range in self._ranges.items():
+            if key_range.contains(key):
+                return address
+        raise RoutingError(f"no node owns key {key}")
+
+    def neighbours(self, address: str, count: int, clockwise: bool) -> list[str]:
+        """``count`` distinct ring neighbours of ``address`` in one direction."""
+        order = self.nodes
+        if address not in order:
+            raise RoutingError(f"node {address!r} not in routing snapshot")
+        index = order.index(address)
+        step = 1 if clockwise else -1
+        result: list[str] = []
+        position = index
+        while len(result) < count and len(result) < len(order) - 1:
+            position = (position + step) % len(order)
+            candidate = order[position]
+            if candidate != address and candidate not in result:
+                result.append(candidate)
+        return result
+
+    def replicas_for_key(self, key: int, replication_factor: int) -> list[str]:
+        """Owner plus replica holders for ``key``.
+
+        As in Pastry/PAST (Section III-C): ``⌊r/2⌋`` nodes clockwise and the
+        same number counter-clockwise of the owner, for ``r`` total copies
+        (fewer when the membership is smaller than ``r``).
+        """
+        owner = self.owner_of(key)
+        return self.replicas_for_owner(owner, replication_factor)
+
+    def replicas_for_owner(self, owner: str, replication_factor: int) -> list[str]:
+        if replication_factor < 1:
+            raise ValueError("replication factor must be at least 1")
+        extra = replication_factor - 1
+        clockwise = self.neighbours(owner, (extra + 1) // 2, clockwise=True)
+        counter = self.neighbours(owner, extra // 2, clockwise=False)
+        replicas = [owner]
+        for candidate in clockwise + counter:
+            if candidate not in replicas:
+                replicas.append(candidate)
+        return replicas[:replication_factor]
+
+    # -- deriving new snapshots --------------------------------------------------
+
+    def reassign_failed(
+        self,
+        failed: Iterable[str],
+        replication_factor: int,
+    ) -> tuple["RoutingSnapshot", list[RangeMove]]:
+        """Derive a snapshot with the failed nodes' ranges handed to replicas.
+
+        Each failed node's range is split evenly among the surviving holders
+        of its replicated data ("if the failed nodes' data is available on
+        more than one replica, the initiator will evenly divide among them the
+        task of recomputing the missing answers", Section V-D).  Returns the
+        new snapshot plus the list of moved ranges, which the recovery manager
+        uses to know which leaf operations to restart and which previously
+        sent data to re-create.
+        """
+        failed_set = {address for address in failed if address in self._ranges}
+        survivors = [address for address in self.nodes if address not in failed_set]
+        if not survivors:
+            raise RoutingError("all nodes failed; cannot reassign ranges")
+        if not failed_set:
+            return self, []
+
+        new_ranges: dict[str, KeyRange] = {
+            address: key_range
+            for address, key_range in self._ranges.items()
+            if address not in failed_set
+        }
+        moves: list[RangeMove] = []
+        merged_ranges: dict[str, list[KeyRange]] = {a: [new_ranges[a]] for a in new_ranges}
+
+        for failed_address in sorted(failed_set):
+            failed_range = self._ranges[failed_address]
+            if failed_range.is_empty():
+                continue
+            # Surviving replica holders for this node's data, in preference order.
+            holders = [
+                address
+                for address in self.replicas_for_owner(failed_address, replication_factor)
+                if address not in failed_set
+            ]
+            if not holders:
+                # Data owned only by failed nodes: replication factor was too
+                # small for the failure pattern.  Hand the range to the ring
+                # successor anyway; the storage layer will raise when asked
+                # for tuples that no longer exist anywhere.
+                holders = [self.neighbour_successor(failed_address, survivors)]
+            pieces = failed_range.split(len(holders))
+            for holder, piece in zip(holders, pieces):
+                if piece.is_empty():
+                    continue
+                merged_ranges.setdefault(holder, []).append(piece)
+                moves.append(RangeMove(piece, failed_address, holder))
+
+        flattened = _flatten_ranges(merged_ranges)
+        return RoutingSnapshot(flattened, version=self.version + 1), moves
+
+    def neighbour_successor(self, address: str, survivors: Sequence[str]) -> str:
+        """The first surviving node clockwise of ``address``."""
+        order = self.nodes
+        index = order.index(address)
+        for offset in range(1, len(order) + 1):
+            candidate = order[(index + offset) % len(order)]
+            if candidate in survivors:
+                return candidate
+        raise RoutingError("no surviving successor found")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingSnapshot(v{self.version}, {len(self)} nodes)"
+
+
+def _flatten_ranges(merged: Mapping[str, list[KeyRange]]) -> dict[str, KeyRange]:
+    """Collapse multi-arc ownership into per-arc pseudo-entries.
+
+    After reassignment a surviving node may own several disjoint arcs.  The
+    snapshot data structure keys ranges by owner address, so we encode the
+    extra arcs under synthetic sub-addresses ``"addr#k"`` that map back to the
+    same physical node.  :class:`RoutingTable` and the storage layer resolve
+    sub-addresses with :func:`physical_address`.  Suffixes are chosen to be
+    unique across the whole result, so repeated reassignments (multiple
+    successive failures) never overwrite an existing entry.
+    """
+    result: dict[str, KeyRange] = {}
+    existing_keys = set(merged.keys())
+
+    def unique_key(address: str) -> str:
+        suffix = 1
+        candidate = f"{address}#{suffix}"
+        while candidate in result or candidate in existing_keys:
+            suffix += 1
+            candidate = f"{address}#{suffix}"
+        return candidate
+
+    for address, pieces in merged.items():
+        non_empty = [p for p in pieces if not p.is_empty()]
+        if not non_empty:
+            continue
+        result[address] = non_empty[0]
+        for piece in non_empty[1:]:
+            result[unique_key(address)] = piece
+    return result
+
+
+def physical_address(address: str) -> str:
+    """Map a (possibly synthetic ``addr#k``) snapshot entry to its node."""
+    return address.split("#", 1)[0]
+
+
+class RoutingTable:
+    """The live, mutable routing table a node (or the cluster bootstrap) keeps.
+
+    The table recomputes the allocation whenever membership changes and can
+    produce immutable snapshots for queries.  With the balanced allocator a
+    single join or leave shifts *every* boundary slightly — the paper accepts
+    this cost in exchange for uniform data distribution (Section III-C).
+    """
+
+    def __init__(
+        self,
+        addresses: Iterable[str],
+        allocator: RangeAllocator | None = None,
+    ) -> None:
+        self.allocator = allocator or BalancedAllocation()
+        self._members: list[str] = []
+        self._allocation: dict[str, KeyRange] = {}
+        self._version = 0
+        for address in addresses:
+            self._members.append(address)
+        self._recompute()
+
+    # -- membership --------------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(self._members)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def add_node(self, address: str) -> list[RangeMove]:
+        if address in self._members:
+            return []
+        before = dict(self._allocation)
+        self._members.append(address)
+        self._recompute()
+        return self._diff(before)
+
+    def remove_node(self, address: str) -> list[RangeMove]:
+        if address not in self._members:
+            return []
+        before = dict(self._allocation)
+        self._members.remove(address)
+        self._recompute()
+        return self._diff(before)
+
+    def _recompute(self) -> None:
+        self._allocation = self.allocator.allocate(self._members)
+        self._version += 1
+
+    def _diff(self, before: Mapping[str, KeyRange]) -> list[RangeMove]:
+        """Ranges whose ownership changed, expressed as moves (approximate:
+        reported at the granularity of the new owners' ranges)."""
+        moves: list[RangeMove] = []
+        for address, new_range in self._allocation.items():
+            old_range = before.get(address)
+            if old_range is not None and old_range == new_range:
+                continue
+            previous_owner = _owner_in(before, new_range.start)
+            if previous_owner is not None and previous_owner != address:
+                moves.append(RangeMove(new_range, previous_owner, address))
+        return moves
+
+    # -- lookups ------------------------------------------------------------------
+
+    def owner_of(self, key: int) -> str:
+        for address, key_range in self._allocation.items():
+            if key_range.contains(key):
+                return address
+        raise RoutingError(f"no node owns key {key}")
+
+    def range_of(self, address: str) -> KeyRange:
+        try:
+            return self._allocation[address]
+        except KeyError:
+            raise RoutingError(f"node {address!r} not in routing table") from None
+
+    def allocation(self) -> dict[str, KeyRange]:
+        return dict(self._allocation)
+
+    def snapshot(self) -> RoutingSnapshot:
+        """An immutable snapshot of the current allocation."""
+        return RoutingSnapshot(self._allocation, version=self._version)
+
+    def node_id(self, address: str) -> int:
+        return node_id_for(address)
+
+
+def _owner_in(allocation: Mapping[str, KeyRange], key: int) -> str | None:
+    for address, key_range in allocation.items():
+        if key_range.contains(key):
+            return address
+    return None

@@ -1,0 +1,512 @@
+"""Scalar expressions, predicates and aggregate functions.
+
+The query engine evaluates expressions against :class:`~repro.common.types.Row`
+objects (attribute-name → value mappings).  Expressions are small immutable
+trees built from columns, literals, arithmetic, comparisons, boolean
+connectives and scalar functions (string concatenation for the STBenchmark
+*Concatenate* scenario, arithmetic for TPC-H aggregates).
+
+Two pieces of analysis live here because the storage and execution layers need
+them:
+
+* :func:`split_conjuncts` / :func:`split_sargable` — separate the part of a
+  selection predicate that can be evaluated from a tuple's *key attributes
+  alone* (a "sargable" predicate in the paper's wording, pushed to the index
+  nodes) from the residual part that needs the full tuple (evaluated at the
+  data storage nodes or in a Select operator).
+* :class:`AggregateFunction` — distributive/algebraic aggregates (SUM, COUNT,
+  MIN, MAX, AVG) with explicit partial states so the Aggregate operator can
+  re-aggregate partially aggregated intermediate results (Table I).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..common.errors import ExpressionError
+from ..common.types import Row, Value
+
+
+class Expression(ABC):
+    """Base class of all scalar expressions."""
+
+    @abstractmethod
+    def evaluate(self, row: Row) -> Value:
+        """Value of this expression for ``row``."""
+
+    @abstractmethod
+    def references(self) -> frozenset[str]:
+        """Names of the attributes this expression reads."""
+
+    # Operator sugar so plans read naturally: col("a") + lit(1), etc.
+    def __add__(self, other: "Expression") -> "Expression":
+        return Arithmetic("+", self, _coerce(other))
+
+    def __sub__(self, other: "Expression") -> "Expression":
+        return Arithmetic("-", self, _coerce(other))
+
+    def __mul__(self, other: "Expression") -> "Expression":
+        return Arithmetic("*", self, _coerce(other))
+
+    def __truediv__(self, other: "Expression") -> "Expression":
+        return Arithmetic("/", self, _coerce(other))
+
+    def eq(self, other) -> "Comparison":
+        return Comparison("=", self, _coerce(other))
+
+    def ne(self, other) -> "Comparison":
+        return Comparison("!=", self, _coerce(other))
+
+    def lt(self, other) -> "Comparison":
+        return Comparison("<", self, _coerce(other))
+
+    def le(self, other) -> "Comparison":
+        return Comparison("<=", self, _coerce(other))
+
+    def gt(self, other) -> "Comparison":
+        return Comparison(">", self, _coerce(other))
+
+    def ge(self, other) -> "Comparison":
+        return Comparison(">=", self, _coerce(other))
+
+
+def _coerce(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """Reference to an attribute of the input row."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Value:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExpressionError(f"row has no attribute {self.name!r}") from None
+
+    def references(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Value
+
+    def evaluate(self, row: Row) -> Value:
+        return self.value
+
+    def references(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison; NULL (None) operands make the comparison false."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return _COMPARATORS[self.operator](left, right)
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+_ARITHMETIC: dict[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic; NULL operands propagate NULL."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> Value:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        return _ARITHMETIC[self.operator](left, right)
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """AND / OR over a list of predicates, or NOT over a single one."""
+
+    operator: str  # "and" | "or" | "not"
+    operands: tuple[Expression, ...]
+
+    def __init__(self, operator: str, operands: Sequence[Expression]):
+        if operator not in ("and", "or", "not"):
+            raise ExpressionError(f"unknown boolean operator {operator!r}")
+        if operator == "not" and len(operands) != 1:
+            raise ExpressionError("NOT takes exactly one operand")
+        object.__setattr__(self, "operator", operator)
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, row: Row) -> bool:
+        if self.operator == "and":
+            return all(op.evaluate(row) for op in self.operands)
+        if self.operator == "or":
+            return any(op.evaluate(row) for op in self.operands)
+        return not self.operands[0].evaluate(row)
+
+    def references(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for op in self.operands:
+            result |= op.references()
+        return result
+
+    def __repr__(self) -> str:
+        if self.operator == "not":
+            return f"(not {self.operands[0]!r})"
+        joiner = f" {self.operator} "
+        return "(" + joiner.join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """Membership test ``expr IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Value, ...]
+
+    def __init__(self, operand: Expression, values: Iterable[Value]):
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, row: Row) -> bool:
+        return self.operand.evaluate(row) in self.values
+
+    def references(self) -> frozenset[str]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} in {list(self.values)!r})"
+
+
+_FUNCTIONS: dict[str, Callable[..., Value]] = {
+    "concat": lambda *args: "".join("" if a is None else str(a) for a in args),
+    "upper": lambda s: None if s is None else str(s).upper(),
+    "lower": lambda s: None if s is None else str(s).lower(),
+    "substr": lambda s, start, length=None: None if s is None else (
+        str(s)[int(start): int(start) + int(length)] if length is not None else str(s)[int(start):]
+    ),
+    "abs": lambda x: None if x is None else abs(x),
+    "round": lambda x, digits=0: None if x is None else round(x, int(digits)),
+}
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Scalar function evaluation (the Compute-function operator's workhorse)."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+
+    def __init__(self, name: str, arguments: Sequence[Expression]):
+        lowered = name.lower()
+        if lowered not in _FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {name!r}")
+        object.__setattr__(self, "name", lowered)
+        object.__setattr__(self, "arguments", tuple(_coerce(a) for a in arguments))
+
+    def evaluate(self, row: Row) -> Value:
+        return _FUNCTIONS[self.name](*(a.evaluate(row) for a in self.arguments))
+
+    def references(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for argument in self.arguments:
+            result |= argument.references()
+        return result
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def col(name: str) -> Column:
+    return Column(name)
+
+
+def lit(value: Value) -> Literal:
+    return Literal(value)
+
+
+def and_(*predicates: Expression) -> Expression:
+    flattened = [p for p in predicates if p is not None]
+    if not flattened:
+        return Literal(True)
+    if len(flattened) == 1:
+        return flattened[0]
+    return BooleanOp("and", flattened)
+
+
+def or_(*predicates: Expression) -> Expression:
+    if not predicates:
+        return Literal(False)
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanOp("or", predicates)
+
+
+def not_(predicate: Expression) -> Expression:
+    return BooleanOp("not", (predicate,))
+
+
+def concat(*arguments: Expression) -> FunctionCall:
+    return FunctionCall("concat", arguments)
+
+
+# ---------------------------------------------------------------------------
+# Sargable predicate analysis
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(predicate: Expression | None) -> list[Expression]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, BooleanOp) and predicate.operator == "and":
+        result: list[Expression] = []
+        for operand in predicate.operands:
+            result.extend(split_conjuncts(operand))
+        return result
+    if isinstance(predicate, Literal) and predicate.value is True:
+        return []
+    return [predicate]
+
+
+def split_sargable(
+    predicate: Expression | None, key_attributes: Sequence[str]
+) -> tuple[Expression | None, Expression | None]:
+    """Split ``predicate`` into (sargable, residual) parts.
+
+    The sargable part references only ``key_attributes`` and can therefore be
+    evaluated by an index node from the tuple IDs alone; the residual part
+    needs the full tuple.  Either part may be ``None``.
+    """
+    key_set = set(key_attributes)
+    sargable: list[Expression] = []
+    residual: list[Expression] = []
+    for conjunct in split_conjuncts(predicate):
+        if conjunct.references() <= key_set:
+            sargable.append(conjunct)
+        else:
+            residual.append(conjunct)
+    return (
+        and_(*sargable) if sargable else None,
+        and_(*residual) if residual else None,
+    )
+
+
+def key_predicate_function(
+    sargable: Expression | None, key_attributes: Sequence[str]
+) -> Callable[[tuple[Value, ...]], bool] | None:
+    """Compile a sargable predicate to a function over raw key-value tuples.
+
+    This is the form the storage layer's index nodes accept (they hold tuple
+    IDs, not full rows).
+    """
+    if sargable is None:
+        return None
+    attributes = tuple(key_attributes)
+
+    def evaluate(key_values: tuple[Value, ...]) -> bool:
+        return bool(sargable.evaluate(Row(attributes, key_values)))
+
+    return evaluate
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class AggregateFunction(ABC):
+    """An aggregate with an explicit, mergeable partial state.
+
+    ``initial`` → ``add`` (per input row) → ``merge`` (combine partials from
+    different nodes) → ``result``.  The partial state must be a plain value
+    (or small tuple) so it can ship between nodes as part of a row.
+    """
+
+    name: str = "agg"
+
+    @abstractmethod
+    def initial(self) -> Value:
+        ...
+
+    @abstractmethod
+    def add(self, state: Value, value: Value) -> Value:
+        ...
+
+    @abstractmethod
+    def merge(self, state: Value, other: Value) -> Value:
+        ...
+
+    def result(self, state: Value) -> Value:
+        return state
+
+    def __repr__(self) -> str:
+        return self.name.upper()
+
+
+class Sum(AggregateFunction):
+    name = "sum"
+
+    def initial(self) -> Value:
+        return None
+
+    def add(self, state: Value, value: Value) -> Value:
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+    def merge(self, state: Value, other: Value) -> Value:
+        return self.add(state, other)
+
+
+class Count(AggregateFunction):
+    name = "count"
+
+    def initial(self) -> Value:
+        return 0
+
+    def add(self, state: Value, value: Value) -> Value:
+        return state + (0 if value is None else 1)
+
+    def merge(self, state: Value, other: Value) -> Value:
+        return state + other
+
+
+class Min(AggregateFunction):
+    name = "min"
+
+    def initial(self) -> Value:
+        return None
+
+    def add(self, state: Value, value: Value) -> Value:
+        if value is None:
+            return state
+        return value if state is None else min(state, value)
+
+    def merge(self, state: Value, other: Value) -> Value:
+        return self.add(state, other)
+
+
+class Max(AggregateFunction):
+    name = "max"
+
+    def initial(self) -> Value:
+        return None
+
+    def add(self, state: Value, value: Value) -> Value:
+        if value is None:
+            return state
+        return value if state is None else max(state, value)
+
+    def merge(self, state: Value, other: Value) -> Value:
+        return self.add(state, other)
+
+
+class Avg(AggregateFunction):
+    """Average, carried as a (sum, count) pair until the final result."""
+
+    name = "avg"
+
+    def initial(self) -> Value:
+        return (0.0, 0)
+
+    def add(self, state: Value, value: Value) -> Value:
+        total, count = state
+        if value is None:
+            return state
+        return (total + value, count + 1)
+
+    def merge(self, state: Value, other: Value) -> Value:
+        return (state[0] + other[0], state[1] + other[1])
+
+    def result(self, state: Value) -> Value:
+        total, count = state
+        return None if count == 0 else total / count
+
+
+AGGREGATES: dict[str, Callable[[], AggregateFunction]] = {
+    "sum": Sum,
+    "count": Count,
+    "min": Min,
+    "max": Max,
+    "avg": Avg,
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output column: ``name = func(expression)``."""
+
+    name: str
+    function: AggregateFunction
+    argument: Expression
+
+    def __repr__(self) -> str:
+        return f"{self.name}={self.function!r}({self.argument!r})"

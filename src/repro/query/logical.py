@@ -1,0 +1,213 @@
+"""Logical query plans (single-block select-project-join-aggregate queries).
+
+The logical plan is the optimizer's input: a relational-algebra tree built
+either programmatically (the workloads construct their queries this way) or by
+the single-block SQL parser.  Logical plans carry no placement or exchange
+information — that is the optimizer's job when it produces a
+:class:`~repro.query.physical.PhysicalPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..common.errors import PlanError
+from ..common.types import Schema
+from .expressions import AggregateSpec, Column, Expression
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def output_attributes(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        return ()
+
+    def referenced_relations(self) -> set[str]:
+        result: set[str] = set()
+        for child in self.children():
+            result |= child.referenced_relations()
+        return result
+
+
+@dataclass
+class LogicalScan(LogicalPlan):
+    """Scan of a stored relation (optionally at an explicit epoch)."""
+
+    schema: Schema
+    epoch: int | None = None
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.schema.attributes
+
+    def referenced_relations(self) -> set[str]:
+        return {self.schema.name}
+
+    def __repr__(self) -> str:
+        return f"Scan({self.schema.name})"
+
+
+@dataclass
+class LogicalSelect(LogicalPlan):
+    """Filter rows with a predicate."""
+
+    child: LogicalPlan
+    predicate: Expression
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.child.output_attributes()
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate!r}, {self.child!r})"
+
+
+@dataclass
+class LogicalProject(LogicalPlan):
+    """Projection / scalar computation: output columns are named expressions."""
+
+    child: LogicalPlan
+    outputs: list[tuple[str, Expression]]
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return tuple(name for name, _expr in self.outputs)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def is_simple_projection(self) -> bool:
+        """True when every output is a bare column reference (no computation)."""
+        return all(isinstance(expr, Column) for _name, expr in self.outputs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(name for name, _ in self.outputs)
+        return f"Project([{cols}], {self.child!r})"
+
+
+@dataclass
+class LogicalJoin(LogicalPlan):
+    """Equi-join on one or more attribute pairs."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    #: pairs of (left attribute, right attribute)
+    condition: list[tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        if not self.condition:
+            raise PlanError("joins must have at least one equi-join condition")
+        left_attrs = set(self.left.output_attributes())
+        right_attrs = set(self.right.output_attributes())
+        for left_attr, right_attr in self.condition:
+            if left_attr not in left_attrs:
+                raise PlanError(f"join attribute {left_attr!r} not produced by left input")
+            if right_attr not in right_attrs:
+                raise PlanError(f"join attribute {right_attr!r} not produced by right input")
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.left.output_attributes() + self.right.output_attributes()
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    @property
+    def left_keys(self) -> tuple[str, ...]:
+        return tuple(l for l, _r in self.condition)
+
+    @property
+    def right_keys(self) -> tuple[str, ...]:
+        return tuple(r for _l, r in self.condition)
+
+    def __repr__(self) -> str:
+        cond = ", ".join(f"{l}={r}" for l, r in self.condition)
+        return f"Join({cond}, {self.left!r}, {self.right!r})"
+
+
+@dataclass
+class LogicalAggregate(LogicalPlan):
+    """Grouping and aggregation (GROUP BY may be empty for scalar aggregates)."""
+
+    child: LogicalPlan
+    group_by: list[str]
+    aggregates: list[AggregateSpec]
+    having: Expression | None = None
+
+    def __post_init__(self) -> None:
+        available = set(self.child.output_attributes())
+        for attr in self.group_by:
+            if attr not in available:
+                raise PlanError(f"group-by attribute {attr!r} not produced by input")
+        if not self.aggregates and not self.group_by:
+            raise PlanError("an aggregate needs group-by attributes or aggregate functions")
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return tuple(self.group_by) + tuple(spec.name for spec in self.aggregates)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregate(group_by={self.group_by}, "
+            f"aggs=[{', '.join(repr(a) for a in self.aggregates)}], {self.child!r})"
+        )
+
+
+@dataclass
+class LogicalQuery:
+    """A complete single-block query: the plan root plus presentation details."""
+
+    root: LogicalPlan
+    order_by: list[tuple[str, bool]] = field(default_factory=list)  # (attribute, ascending)
+    limit: int | None = None
+    name: str = "query"
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.root.output_attributes()
+
+    def referenced_relations(self) -> set[str]:
+        return self.root.referenced_relations()
+
+
+def validate_plan(plan: LogicalPlan, catalog: dict[str, Schema] | None = None) -> None:
+    """Sanity-check a logical plan (attribute references, known relations)."""
+    if isinstance(plan, LogicalScan):
+        if catalog is not None and plan.schema.name not in catalog:
+            raise PlanError(f"unknown relation {plan.schema.name!r}")
+        return
+    for child in plan.children():
+        validate_plan(child, catalog)
+    available: set[str] = set()
+    for child in plan.children():
+        available |= set(child.output_attributes())
+    if isinstance(plan, LogicalSelect):
+        missing = plan.predicate.references() - available
+        if missing:
+            raise PlanError(f"selection references unknown attributes {sorted(missing)}")
+    elif isinstance(plan, LogicalProject):
+        for _name, expr in plan.outputs:
+            missing = expr.references() - available
+            if missing:
+                raise PlanError(f"projection references unknown attributes {sorted(missing)}")
+    elif isinstance(plan, LogicalAggregate):
+        for spec in plan.aggregates:
+            missing = spec.argument.references() - available
+            if missing:
+                raise PlanError(
+                    f"aggregate {spec.name!r} references unknown attributes {sorted(missing)}"
+                )
+
+
+def relations_in(plan: LogicalPlan) -> list[LogicalScan]:
+    """All scans in the plan, left-to-right."""
+    if isinstance(plan, LogicalScan):
+        return [plan]
+    result: list[LogicalScan] = []
+    for child in plan.children():
+        result.extend(relations_in(child))
+    return result

@@ -1,0 +1,684 @@
+"""Runtime (per-node) query operators — the engine side of Table I.
+
+Every node participating in a query instantiates the same *fragment*: one
+runtime operator per physical operator in the plan, wired parent-to-child
+exactly as in the plan, with exchanges (rehash / ship) split into a sender
+half (on the producing side) and a receiver half (on the consuming side).
+Data flows bottom-up in a push style: sources call ``emit`` which invokes the
+parent's ``accept``; when a source finishes it calls ``end_of_stream`` on its
+parent, and the notification cascades to the exchange senders, which forward
+it over the network.
+
+All operators carry the provenance and phase machinery of Section V-D:
+
+* every :class:`~repro.query.provenance.TaggedRow` carries the set of nodes
+  that processed it;
+* stateful operators (join hash tables, aggregate groups, exchange caches) can
+  ``purge_tainted`` state derived from failed nodes;
+* ``reset_for_phase`` re-arms end-of-stream tracking so the same fragment can
+  run additional incremental-recovery phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+from ..common.errors import PlanError
+from ..common.types import Row, Value, partition_hash
+from ..common.types import VersionedTuple
+from .expressions import AggregateSpec, Expression
+from .physical import (
+    PhysAggregate,
+    PhysHashJoin,
+    PhysProject,
+    PhysRehash,
+    PhysScan,
+    PhysSelect,
+    PhysShip,
+    PhysicalOperator,
+    PhysicalPlan,
+)
+from .provenance import TaggedRow
+
+# Per-row CPU costs (seconds) for the simulator's cost accounting.  They are
+# calibrated so that single-node runs of the scaled workloads land in the same
+# order of magnitude as the paper's figures; only relative behaviour matters.
+COST_SELECT_PER_ROW = 0.15e-6
+COST_PROJECT_PER_ROW = 0.25e-6
+COST_JOIN_PER_ROW = 0.6e-6
+COST_AGGREGATE_PER_ROW = 0.5e-6
+COST_REHASH_PER_ROW = 0.35e-6
+COST_SCAN_PER_ROW = 0.8e-6
+
+
+class FragmentContext(Protocol):
+    """What runtime operators need from their host (implemented by the query
+    service's per-query node context)."""
+
+    address: str
+    phase: int
+    failed_nodes: set[str]
+    provenance_enabled: bool
+
+    def charge_cpu(self, seconds: float) -> None: ...
+
+    def destination_for(self, hash_key: int) -> str: ...
+
+    def participants(self) -> list[str]: ...
+
+    def initiator(self) -> str: ...
+
+    def send_rows(self, destination: str, exchange_id: int, rows: list[TaggedRow]) -> None: ...
+
+    def send_eos(self, destination: str, exchange_id: int) -> None: ...
+
+
+class RuntimeOperator:
+    """Base class of all per-node runtime operators."""
+
+    def __init__(self, context: FragmentContext, op_id: int, num_inputs: int = 1) -> None:
+        self.context = context
+        self.op_id = op_id
+        self.num_inputs = num_inputs
+        self.parent: "RuntimeOperator | None" = None
+        self.parent_input = 0
+        self._inputs_done: set[int] = set()
+        self.finished = False
+
+    # -- wiring ------------------------------------------------------------------
+
+    def connect(self, parent: "RuntimeOperator", parent_input: int = 0) -> None:
+        self.parent = parent
+        self.parent_input = parent_input
+
+    def emit(self, rows: list[TaggedRow]) -> None:
+        if rows and self.parent is not None:
+            self.parent.accept(rows, self.parent_input)
+
+    def emit_eos(self) -> None:
+        if self.parent is not None:
+            self.parent.end_of_stream(self.parent_input)
+
+    # -- dataflow -----------------------------------------------------------------
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        raise NotImplementedError
+
+    def end_of_stream(self, input_index: int = 0) -> None:
+        self._inputs_done.add(input_index)
+        if len(self._inputs_done) >= self.num_inputs and not self.finished:
+            self.finished = True
+            self.finish()
+
+    def finish(self) -> None:
+        """Called once all inputs reached end-of-stream; default: propagate."""
+        self.emit_eos()
+
+    # -- recovery -------------------------------------------------------------------
+
+    def purge_tainted(self, failed: set[str]) -> int:
+        """Drop state derived from ``failed`` nodes; returns dropped item count."""
+        return 0
+
+    def reset_for_phase(self, phase: int) -> None:
+        """Re-arm end-of-stream tracking for a new recovery phase."""
+        self._inputs_done.clear()
+        self.finished = False
+
+
+# ---------------------------------------------------------------------------
+# Leaf: scan source
+# ---------------------------------------------------------------------------
+
+
+class ScanSource(RuntimeOperator):
+    """Entry point of scanned tuples into the local fragment.
+
+    Tuples are delivered either by the local data-storage role (distributed
+    scan) or by the local index-node role (covering scan).  Delivery is
+    idempotent per tuple ID, which makes recovery rescans safe: a tuple that
+    was already produced by this node is silently skipped.
+    """
+
+    def __init__(self, context: FragmentContext, spec: PhysScan) -> None:
+        super().__init__(context, spec.op_id, num_inputs=1)
+        self.spec = spec
+        self._emitted_ids: set = set()
+        self.rows_produced = 0
+
+    def deliver_tuples(self, tuples: Sequence[VersionedTuple]) -> None:
+        """Distributed scan: full tuples delivered at the data storage node."""
+        schema = self.spec.schema
+        columns = self.spec.output_attributes()
+        fresh: list[TaggedRow] = []
+        for tup in tuples:
+            if tup.tuple_id in self._emitted_ids:
+                continue
+            self._emitted_ids.add(tup.tuple_id)
+            row = Row(schema.attributes, tup.values)
+            if self.spec.residual is not None and not self.spec.residual.evaluate(row):
+                continue
+            if columns != schema.attributes:
+                row = row.project(columns)
+            fresh.append(TaggedRow(row, frozenset({self.context.address}), self.context.phase))
+        if fresh:
+            self.rows_produced += len(fresh)
+            self.context.charge_cpu(COST_SCAN_PER_ROW * len(tuples))
+            self.emit(fresh)
+
+    def deliver_key_rows(self, tuple_ids: Sequence) -> None:
+        """Covering index scan: rows built from tuple IDs at the index node."""
+        key_attributes = self.spec.schema.key
+        columns = self.spec.output_attributes()
+        fresh: list[TaggedRow] = []
+        for tid in tuple_ids:
+            if tid in self._emitted_ids:
+                continue
+            self._emitted_ids.add(tid)
+            row = Row(key_attributes, tid.key_values)
+            if self.spec.residual is not None and not self.spec.residual.evaluate(row):
+                continue
+            if columns != key_attributes:
+                row = row.project(columns)
+            fresh.append(TaggedRow(row, frozenset({self.context.address}), self.context.phase))
+        if fresh:
+            self.rows_produced += len(fresh)
+            self.context.charge_cpu(COST_SCAN_PER_ROW * len(tuple_ids))
+            self.emit(fresh)
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:  # pragma: no cover
+        raise PlanError("ScanSource has no operator inputs")
+
+    def complete(self) -> None:
+        """Called by the query service when all scan producers are done."""
+        self.end_of_stream(0)
+
+
+# ---------------------------------------------------------------------------
+# Stateless operators
+# ---------------------------------------------------------------------------
+
+
+class SelectOperator(RuntimeOperator):
+    """Selection on intermediate results."""
+
+    def __init__(self, context: FragmentContext, spec: PhysSelect) -> None:
+        super().__init__(context, spec.op_id)
+        self.predicate: Expression = spec.predicate
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        self.context.charge_cpu(COST_SELECT_PER_ROW * len(rows))
+        self.emit([row for row in rows if self.predicate.evaluate(row.row)])
+
+
+class ProjectOperator(RuntimeOperator):
+    """Projection / scalar function evaluation (Project and Compute-function)."""
+
+    def __init__(self, context: FragmentContext, spec: PhysProject) -> None:
+        super().__init__(context, spec.op_id)
+        self.outputs = list(spec.outputs)
+        self._attributes = tuple(name for name, _ in self.outputs)
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        self.context.charge_cpu(COST_PROJECT_PER_ROW * len(rows) * max(1, len(self.outputs)))
+        projected: list[TaggedRow] = []
+        for tagged in rows:
+            values = tuple(expr.evaluate(tagged.row) for _name, expr in self.outputs)
+            projected.append(TaggedRow(Row(self._attributes, values), tagged.nodes, tagged.phase))
+        self.emit(projected)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined hash join
+# ---------------------------------------------------------------------------
+
+
+class HashJoinOperator(RuntimeOperator):
+    """Symmetric (pipelined) hash join.
+
+    Both inputs are kept in hash tables keyed by their join-key values, so the
+    operator produces results incrementally as rows arrive from either side —
+    and, for recovery, retains the in-memory snapshot needed to re-produce
+    results without rescanning (Section V-D).
+    """
+
+    def __init__(self, context: FragmentContext, spec: PhysHashJoin) -> None:
+        super().__init__(context, spec.op_id, num_inputs=2)
+        self.spec = spec
+        self._tables: tuple[dict, dict] = ({}, {})
+        self._key_attrs = (spec.left_keys, spec.right_keys)
+        self.rows_joined = 0
+
+    def _key_of(self, row: Row, side: int) -> tuple[Value, ...]:
+        return tuple(row[attr] for attr in self._key_attrs[side])
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        if input_index not in (0, 1):
+            raise PlanError("hash join has exactly two inputs")
+        self.context.charge_cpu(COST_JOIN_PER_ROW * len(rows))
+        own_table = self._tables[input_index]
+        other_table = self._tables[1 - input_index]
+        output: list[TaggedRow] = []
+        for tagged in rows:
+            key = self._key_of(tagged.row, input_index)
+            own_table.setdefault(key, []).append(tagged)
+            for match in other_table.get(key, ()):
+                if input_index == 0:
+                    left, right = tagged, match
+                else:
+                    left, right = match, tagged
+                joined = left.row.concat(right.row)
+                output.append(left.merge(right, joined))
+        if output:
+            self.rows_joined += len(output)
+            self.context.charge_cpu(COST_JOIN_PER_ROW * len(output))
+            self.emit(output)
+
+    def purge_tainted(self, failed: set[str]) -> int:
+        dropped = 0
+        for table in self._tables:
+            for key in list(table.keys()):
+                kept = [row for row in table[key] if not row.tainted_by(failed)]
+                dropped += len(table[key]) - len(kept)
+                if kept:
+                    table[key] = kept
+                else:
+                    del table[key]
+        return dropped
+
+    def state_size(self) -> int:
+        return sum(len(rows) for table in self._tables for rows in table.values())
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SubGroup:
+    """Aggregate state for one (group key, contributing node set) pair.
+
+    Partitioning each group into per-node-set sub-groups is what allows
+    recovery to drop exactly the contributions of failed nodes without
+    touching the rest of the group (Section V-D).
+    """
+
+    nodes: frozenset[str]
+    states: list[Value]
+    phase: int = 0
+
+
+class AggregateOperator(RuntimeOperator):
+    """Blocking hash aggregation with re-aggregation support.
+
+    ``merge_partials`` selects whether the input consists of raw rows (apply
+    ``add``) or of partial aggregate states produced by an upstream aggregate
+    (apply ``merge``).  Groups are internally partitioned into sub-groups per
+    contributing node set to support taint purging.
+    """
+
+    def __init__(self, context: FragmentContext, spec: PhysAggregate) -> None:
+        super().__init__(context, spec.op_id)
+        self.spec = spec
+        self.group_by = spec.group_by
+        self.aggregates: tuple[AggregateSpec, ...] = spec.aggregates
+        self.merge_partials = spec.merge_partials
+        # group key -> {node set -> _SubGroup}
+        self._groups: dict[tuple, dict[frozenset, _SubGroup]] = {}
+        self._dirty: set[tuple] = set()
+        self._has_emitted = False
+        self._output_attributes = spec.output_attributes()
+
+    # -- input ----------------------------------------------------------------------
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        self.context.charge_cpu(COST_AGGREGATE_PER_ROW * len(rows) * max(1, len(self.aggregates)))
+        for tagged in rows:
+            group_key = tuple(tagged.row[attr] for attr in self.group_by)
+            subgroups = self._groups.setdefault(group_key, {})
+            subgroup = subgroups.get(tagged.nodes)
+            if subgroup is None:
+                subgroup = _SubGroup(
+                    nodes=tagged.nodes,
+                    states=[spec.function.initial() for spec in self.aggregates],
+                    phase=tagged.phase,
+                )
+                subgroups[tagged.nodes] = subgroup
+            subgroup.phase = max(subgroup.phase, tagged.phase)
+            for index, spec in enumerate(self.aggregates):
+                value = spec.argument.evaluate(tagged.row)
+                if self.merge_partials:
+                    subgroup.states[index] = spec.function.merge(subgroup.states[index], value)
+                else:
+                    subgroup.states[index] = spec.function.add(subgroup.states[index], value)
+            self._dirty.add(group_key)
+
+    # -- output ----------------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Emit aggregate rows.
+
+        On the first completion every group is emitted.  On later completions
+        (incremental-recovery phases) only the groups whose state changed
+        since the previous emission are re-emitted; the downstream collector
+        replaces the previous values for those groups.
+
+        Partial aggregates emit **one row per sub-group** (per contributing
+        node set) rather than merging sub-groups: the downstream aggregate or
+        collector merges them anyway, and keeping them separate means a later
+        taint purge drops exactly the failed nodes' contributions instead of
+        entangling them with healthy ones (the point of the sub-group scheme
+        in Section V-D).
+        """
+        groups_to_emit = (
+            set(self._groups.keys()) if not self._has_emitted else set(self._dirty)
+        )
+        output: list[TaggedRow] = []
+        for group_key in sorted(groups_to_emit, key=repr):
+            subgroups = self._groups.get(group_key)
+            if not subgroups:
+                continue
+            if self.merge_partials:
+                merged_states = [spec.function.initial() for spec in self.aggregates]
+                contributing: frozenset[str] = frozenset()
+                for subgroup in subgroups.values():
+                    contributing |= subgroup.nodes
+                    for index, spec in enumerate(self.aggregates):
+                        merged_states[index] = spec.function.merge(
+                            merged_states[index], subgroup.states[index]
+                        )
+                values = tuple(group_key) + tuple(
+                    spec.function.result(state)
+                    for spec, state in zip(self.aggregates, merged_states)
+                )
+                row = Row(self._output_attributes, values)
+                output.append(TaggedRow(
+                    row, contributing | {self.context.address}, self.context.phase
+                ))
+            else:
+                # Partial aggregation: one row of mergeable states per sub-group.
+                for subgroup in subgroups.values():
+                    values = tuple(group_key) + tuple(subgroup.states)
+                    row = Row(self._output_attributes, values)
+                    output.append(TaggedRow(
+                        row,
+                        subgroup.nodes | {self.context.address},
+                        self.context.phase,
+                    ))
+        self._has_emitted = True
+        self._dirty.clear()
+        if not self.merge_partials:
+            # Partial aggregates emit deltas: once shipped, the accumulated
+            # state must not be re-shipped in a later phase, so clear it.
+            self._groups.clear()
+        self.emit(output)
+        self.emit_eos()
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def purge_tainted(self, failed: set[str]) -> int:
+        dropped = 0
+        for group_key in list(self._groups.keys()):
+            subgroups = self._groups[group_key]
+            for node_set in list(subgroups.keys()):
+                if node_set & failed:
+                    del subgroups[node_set]
+                    dropped += 1
+                    self._dirty.add(group_key)
+            if not subgroups:
+                del self._groups[group_key]
+        return dropped
+
+    def group_count(self) -> int:
+        return len(self._groups)
+
+
+# ---------------------------------------------------------------------------
+# Exchanges: rehash and ship senders, exchange receivers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CachedRow:
+    """A sent row remembered for possible re-transmission during recovery."""
+
+    tagged: TaggedRow
+    destination: str
+    hash_key: int | None
+
+
+class ExchangeSender(RuntimeOperator):
+    """Common machinery of the rehash and ship senders: batching, caching of
+    sent rows (the downstream cache of Section V-D) and end-of-stream fan-out."""
+
+    BATCH_ROWS = 256
+
+    def __init__(self, context: FragmentContext, op_id: int) -> None:
+        super().__init__(context, op_id)
+        self._buffers: dict[str, list[TaggedRow]] = {}
+        self._cache: list[_CachedRow] = []
+        self.rows_sent = 0
+
+    # Subclasses decide where a row goes.
+    def route(self, tagged: TaggedRow) -> tuple[str, int | None]:
+        raise NotImplementedError
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        self.context.charge_cpu(COST_REHASH_PER_ROW * len(rows))
+        for tagged in rows:
+            destination, hash_key = self.route(tagged)
+            self._cache.append(_CachedRow(tagged, destination, hash_key))
+            buffer = self._buffers.setdefault(destination, [])
+            buffer.append(tagged)
+            if len(buffer) >= self.BATCH_ROWS:
+                self._flush_destination(destination)
+
+    def _flush_destination(self, destination: str) -> None:
+        buffer = self._buffers.get(destination)
+        if buffer:
+            self.context.send_rows(destination, self.op_id, buffer)
+            self.rows_sent += len(buffer)
+            self._buffers[destination] = []
+
+    def flush_all(self) -> None:
+        for destination in list(self._buffers.keys()):
+            self._flush_destination(destination)
+
+    def finish(self) -> None:
+        self.flush_all()
+        for destination in self.eos_destinations():
+            self.context.send_eos(destination, self.op_id)
+
+    def eos_destinations(self) -> list[str]:
+        raise NotImplementedError
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def purge_tainted(self, failed: set[str]) -> int:
+        before = len(self._cache)
+        self._cache = [entry for entry in self._cache if not entry.tagged.tainted_by(failed)]
+        for destination, buffer in self._buffers.items():
+            self._buffers[destination] = [
+                row for row in buffer if not row.tainted_by(failed)
+            ]
+        return before - len(self._cache)
+
+    def resend_for_failed(self, failed: set[str]) -> int:
+        """Re-transmit cached rows whose original destination failed.
+
+        The rows are re-routed under the *current* snapshot (the context
+        already holds the post-failure routing) and stamped with the current
+        phase.  Returns the number of rows re-sent.
+        """
+        resent: dict[str, list[TaggedRow]] = {}
+        for entry in self._cache:
+            if entry.destination not in failed:
+                continue
+            new_destination, new_hash = self._reroute(entry)
+            refreshed = entry.tagged.with_phase(self.context.phase)
+            resent.setdefault(new_destination, []).append(refreshed)
+            entry.destination = new_destination
+            entry.tagged = refreshed
+        count = 0
+        for destination, rows in resent.items():
+            self.context.send_rows(destination, self.op_id, rows)
+            count += len(rows)
+            self.rows_sent += len(rows)
+        return count
+
+    def _reroute(self, entry: _CachedRow) -> tuple[str, int | None]:
+        return self.route(entry.tagged)
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+class RehashSender(ExchangeSender):
+    """Partition the input across all participants by hashing key attributes."""
+
+    def __init__(self, context: FragmentContext, spec: PhysRehash) -> None:
+        super().__init__(context, spec.op_id)
+        self.keys = spec.keys
+
+    def route(self, tagged: TaggedRow) -> tuple[str, int]:
+        key_values = tuple(tagged.row[attr] for attr in self.keys)
+        hash_key = partition_hash(key_values)
+        return self.context.destination_for(hash_key), hash_key
+
+    def eos_destinations(self) -> list[str]:
+        return self.context.participants()
+
+
+class ShipSender(ExchangeSender):
+    """Send every input row to the query initiator."""
+
+    def __init__(self, context: FragmentContext, spec: PhysShip) -> None:
+        super().__init__(context, spec.op_id)
+
+    def route(self, tagged: TaggedRow) -> tuple[str, None]:
+        return self.context.initiator(), None
+
+    def eos_destinations(self) -> list[str]:
+        return [self.context.initiator()]
+
+
+class ExchangeReceiver(RuntimeOperator):
+    """Receiving half of a rehash exchange on one node.
+
+    Incoming rows are tagged with the local node (they have now been processed
+    here) and forwarded to the exchange's parent operator.  The receiver
+    tracks end-of-stream notifications from every sender; when all expected
+    senders for the current phase are done it signals end-of-stream upward.
+    """
+
+    def __init__(self, context: FragmentContext, exchange_id: int) -> None:
+        super().__init__(context, exchange_id, num_inputs=1)
+        self.exchange_id = exchange_id
+        #: End-of-stream notifications received, as (sender, phase) pairs.
+        #: Stale phase-0 notifications that are still in flight when recovery
+        #: starts must not count towards the recovery phase's completion.
+        self._eos_senders: set[tuple[str, int]] = set()
+        self._expected_senders: set[str] = set(context.participants())
+        self.rows_received = 0
+
+    def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
+        live = [row for row in rows if not row.tainted_by(self.context.failed_nodes)]
+        if not live:
+            return
+        self.rows_received += len(live)
+        tagged_here = [row.with_node(self.context.address) for row in live]
+        self.emit(tagged_here)
+
+    def sender_eos(self, sender: str, phase: int = 0) -> None:
+        self._eos_senders.add((sender, phase))
+        self._check_done()
+
+    def _check_done(self) -> None:
+        expected = {s for s in self._expected_senders if s not in self.context.failed_nodes}
+        current = {s for s, p in self._eos_senders if p == self.context.phase}
+        if expected <= current and not self.finished:
+            self.finished = True
+            self.emit_eos()
+
+    def sender_failed(self, address: str) -> None:
+        """A sender failed: it will never send EOS, stop waiting for it."""
+        self._check_done()
+
+    def reset_for_phase(self, phase: int) -> None:
+        super().reset_for_phase(phase)
+        self._expected_senders = {
+            address for address in self.context.participants()
+            if address not in self.context.failed_nodes
+        }
+
+
+# ---------------------------------------------------------------------------
+# Fragment assembly
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fragment:
+    """All runtime operators of one query on one node."""
+
+    operators: dict[int, RuntimeOperator]
+    scan_sources: dict[int, ScanSource]
+    senders: dict[int, ExchangeSender]
+    receivers: dict[int, ExchangeReceiver]
+
+    def purge_tainted(self, failed: set[str]) -> int:
+        return sum(op.purge_tainted(failed) for op in self.operators.values())
+
+    def reset_for_phase(self, phase: int) -> None:
+        for op in self.operators.values():
+            op.reset_for_phase(phase)
+
+
+def build_fragment(plan: PhysicalPlan, context: FragmentContext) -> Fragment:
+    """Instantiate the runtime operators of ``plan`` for one node."""
+    operators: dict[int, RuntimeOperator] = {}
+    scan_sources: dict[int, ScanSource] = {}
+    senders: dict[int, ExchangeSender] = {}
+    receivers: dict[int, ExchangeReceiver] = {}
+
+    def build(op: PhysicalOperator) -> RuntimeOperator:
+        """Build the runtime operator for ``op``; returns the operator whose
+        output feeds ``op``'s parent (for exchanges this is the receiver)."""
+        if isinstance(op, PhysScan):
+            runtime: RuntimeOperator = ScanSource(context, op)
+            scan_sources[op.op_id] = runtime  # type: ignore[assignment]
+        elif isinstance(op, PhysSelect):
+            runtime = SelectOperator(context, op)
+            build(op.child).connect(runtime, 0)
+        elif isinstance(op, PhysProject):
+            runtime = ProjectOperator(context, op)
+            build(op.child).connect(runtime, 0)
+        elif isinstance(op, PhysHashJoin):
+            runtime = HashJoinOperator(context, op)
+            build(op.left).connect(runtime, 0)
+            build(op.right).connect(runtime, 1)
+        elif isinstance(op, PhysAggregate):
+            runtime = AggregateOperator(context, op)
+            build(op.child).connect(runtime, 0)
+        elif isinstance(op, PhysRehash):
+            sender = RehashSender(context, op)
+            build(op.child).connect(sender, 0)
+            senders[op.op_id] = sender
+            operators[-op.op_id] = sender  # keep sender reachable for purging
+            receiver = ExchangeReceiver(context, op.op_id)
+            receivers[op.op_id] = receiver
+            runtime = receiver
+        elif isinstance(op, PhysShip):
+            sender = ShipSender(context, op)
+            build(op.child).connect(sender, 0)
+            senders[op.op_id] = sender
+            runtime = sender
+        else:
+            raise PlanError(f"unknown physical operator {type(op).__name__}")
+        operators[op.op_id] = runtime
+        return runtime
+
+    build(plan.root)
+    return Fragment(operators, scan_sources, senders, receivers)

@@ -1,0 +1,330 @@
+"""Physical (distributed) query plans.
+
+A physical plan is what the query initiator disseminates to every node, along
+with the routing-table snapshot.  It is a tree of operator descriptors — the
+operators of Table I — in which data exchange is explicit:
+
+* :class:`PhysRehash` repartitions its input across all nodes by hashing a set
+  of attributes with the same hash function the storage layer uses for base
+  data, so that tuples that must meet (join or group together) are co-located.
+* :class:`PhysShip` sends its input to the query initiator, whose collector
+  assembles the final result (optionally performing the last aggregation
+  step, as in TPC-H Q1/Q6, or ordering the output).
+
+Every operator has a plan-unique ``op_id``; data and end-of-stream messages
+reference the *exchange* operator they belong to, which is how a receiving
+node routes an incoming batch to the right runtime operator.
+
+The plan also records, per scan, whether the scan is *covering* (only key
+attributes are needed, so index nodes can answer it without touching the data
+storage nodes) and the sargable/residual split of any pushed-down predicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..common.errors import PlanError
+from ..common.types import Schema
+from .expressions import AggregateSpec, Expression
+
+
+@dataclass
+class PhysicalOperator:
+    """Base class for physical operator descriptors."""
+
+    op_id: int
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def output_attributes(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def estimated_descriptor_size(self) -> int:
+        """Rough wire size of this descriptor when the plan is disseminated."""
+        return 48
+
+
+@dataclass
+class PhysScan(PhysicalOperator):
+    """Leaf scan over a stored relation version.
+
+    ``covering`` selects the *covering index scan* of Table I: when only key
+    attributes are needed the index nodes produce the rows themselves.
+    Otherwise this is the *distributed scan*: index nodes filter tuple IDs
+    with the sargable predicate and data storage nodes produce the rows,
+    applying the residual predicate before pushing them into the local plan.
+    """
+
+    schema: Schema = None  # type: ignore[assignment]
+    columns: tuple[str, ...] = ()
+    epoch: int | None = None
+    sargable: Expression | None = None
+    residual: Expression | None = None
+    covering: bool = False
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return tuple(self.columns) if self.columns else self.schema.attributes
+
+    def __repr__(self) -> str:
+        kind = "CoveringIndexScan" if self.covering else "DistributedScan"
+        return f"{kind}({self.schema.name})"
+
+
+@dataclass
+class PhysSelect(PhysicalOperator):
+    """Selection on intermediate results."""
+
+    child: PhysicalOperator = None  # type: ignore[assignment]
+    predicate: Expression = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.child.output_attributes()
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate!r})"
+
+
+@dataclass
+class PhysProject(PhysicalOperator):
+    """Projection and scalar function evaluation (Project / Compute-function)."""
+
+    child: PhysicalOperator = None  # type: ignore[assignment]
+    outputs: list[tuple[str, Expression]] = field(default_factory=list)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.outputs)
+
+    def __repr__(self) -> str:
+        return f"Project({[name for name, _ in self.outputs]})"
+
+
+@dataclass
+class PhysHashJoin(PhysicalOperator):
+    """Pipelined (symmetric) hash join; both inputs must already be partitioned
+    on their join keys when this operator runs."""
+
+    left: PhysicalOperator = None  # type: ignore[assignment]
+    right: PhysicalOperator = None  # type: ignore[assignment]
+    left_keys: tuple[str, ...] = ()
+    right_keys: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.left.output_attributes() + self.right.output_attributes()
+
+    def __repr__(self) -> str:
+        cond = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"HashJoin({cond})"
+
+
+@dataclass
+class PhysRehash(PhysicalOperator):
+    """Exchange: repartition the input across all nodes by hashing ``keys``."""
+
+    child: PhysicalOperator = None  # type: ignore[assignment]
+    keys: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.child.output_attributes()
+
+    def __repr__(self) -> str:
+        return f"Rehash({list(self.keys)})"
+
+
+@dataclass
+class PhysAggregate(PhysicalOperator):
+    """Blocking, hash-based grouping operator.
+
+    ``merge_partials`` distinguishes the two roles the operator plays:
+
+    * ``False`` — it consumes raw rows and produces *partial* aggregate states
+      (one row per group seen locally);
+    * ``True`` — it consumes partial states (from a previous aggregate, after
+      a rehash) and merges them into final per-group results.
+    """
+
+    child: PhysicalOperator = None  # type: ignore[assignment]
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    merge_partials: bool = False
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return tuple(self.group_by) + tuple(spec.name for spec in self.aggregates)
+
+    def __repr__(self) -> str:
+        mode = "Final" if self.merge_partials else "Partial"
+        return f"{mode}Aggregate(group_by={list(self.group_by)})"
+
+
+#: How the initiator-side collector treats arriving rows.
+COLLECT_APPEND = "append"
+#: Arriving rows are partial aggregate states to merge by group key.
+COLLECT_MERGE_PARTIALS = "merge_partials"
+#: Arriving rows are final per-group results; later phases replace earlier
+#: rows with the same group key (used during incremental recovery).
+COLLECT_REPLACE_GROUPS = "replace_groups"
+
+
+@dataclass
+class PhysShip(PhysicalOperator):
+    """Exchange: send all input rows to the query initiator."""
+
+    child: PhysicalOperator = None  # type: ignore[assignment]
+    collector_mode: str = COLLECT_APPEND
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    order_by: tuple[tuple[str, bool], ...] = ()
+    limit: int | None = None
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        if self.collector_mode == COLLECT_MERGE_PARTIALS:
+            return tuple(self.group_by) + tuple(spec.name for spec in self.aggregates)
+        return self.child.output_attributes()
+
+    def __repr__(self) -> str:
+        return f"Ship(mode={self.collector_mode})"
+
+
+@dataclass
+class PhysicalPlan:
+    """A complete distributed plan: the ship root plus plan-wide metadata."""
+
+    root: PhysShip
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.root, PhysShip):
+            raise PlanError("the root of a physical plan must be a Ship operator")
+        ids = [op.op_id for op in self.operators()]
+        if len(ids) != len(set(ids)):
+            raise PlanError("operator ids in a physical plan must be unique")
+
+    # -- traversal ---------------------------------------------------------------
+
+    def operators(self) -> list[PhysicalOperator]:
+        """All operators, children before parents (post-order)."""
+        result: list[PhysicalOperator] = []
+
+        def visit(op: PhysicalOperator) -> None:
+            for child in op.children():
+                visit(child)
+            result.append(op)
+
+        visit(self.root)
+        return result
+
+    def operator(self, op_id: int) -> PhysicalOperator:
+        for op in self.operators():
+            if op.op_id == op_id:
+                return op
+        raise PlanError(f"no operator with id {op_id}")
+
+    def scans(self) -> list[PhysScan]:
+        return [op for op in self.operators() if isinstance(op, PhysScan)]
+
+    def exchanges(self) -> list[PhysicalOperator]:
+        return [op for op in self.operators() if isinstance(op, (PhysRehash, PhysShip))]
+
+    def rehashes(self) -> list[PhysRehash]:
+        return [op for op in self.operators() if isinstance(op, PhysRehash)]
+
+    def parent_of(self, op_id: int) -> PhysicalOperator | None:
+        for op in self.operators():
+            if any(child.op_id == op_id for child in op.children()):
+                return op
+        return None
+
+    def output_attributes(self) -> tuple[str, ...]:
+        return self.root.output_attributes()
+
+    def estimated_size(self) -> int:
+        """Wire size of the plan when disseminated with the routing snapshot."""
+        return 128 + sum(op.estimated_descriptor_size() for op in self.operators())
+
+    def describe(self) -> str:
+        """Human-readable, indented plan description (used in examples/docs)."""
+        lines: list[str] = []
+
+        def visit(op: PhysicalOperator, depth: int) -> None:
+            lines.append("  " * depth + repr(op))
+            for child in op.children():
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+class PlanBuilder:
+    """Small helper for constructing physical plans with unique operator ids."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def scan(self, schema: Schema, columns: Sequence[str] | None = None, epoch: int | None = None,
+             sargable: Expression | None = None, residual: Expression | None = None,
+             covering: bool = False) -> PhysScan:
+        return PhysScan(
+            op_id=self.next_id(),
+            schema=schema,
+            columns=tuple(columns) if columns else schema.attributes,
+            epoch=epoch,
+            sargable=sargable,
+            residual=residual,
+            covering=covering,
+        )
+
+    def select(self, child: PhysicalOperator, predicate: Expression) -> PhysSelect:
+        return PhysSelect(op_id=self.next_id(), child=child, predicate=predicate)
+
+    def project(self, child: PhysicalOperator, outputs: Sequence[tuple[str, Expression]]) -> PhysProject:
+        return PhysProject(op_id=self.next_id(), child=child, outputs=list(outputs))
+
+    def hash_join(self, left: PhysicalOperator, right: PhysicalOperator,
+                  left_keys: Sequence[str], right_keys: Sequence[str]) -> PhysHashJoin:
+        return PhysHashJoin(
+            op_id=self.next_id(), left=left, right=right,
+            left_keys=tuple(left_keys), right_keys=tuple(right_keys),
+        )
+
+    def rehash(self, child: PhysicalOperator, keys: Sequence[str]) -> PhysRehash:
+        return PhysRehash(op_id=self.next_id(), child=child, keys=tuple(keys))
+
+    def aggregate(self, child: PhysicalOperator, group_by: Sequence[str],
+                  aggregates: Sequence[AggregateSpec], merge_partials: bool = False) -> PhysAggregate:
+        return PhysAggregate(
+            op_id=self.next_id(), child=child, group_by=tuple(group_by),
+            aggregates=tuple(aggregates), merge_partials=merge_partials,
+        )
+
+    def ship(self, child: PhysicalOperator, collector_mode: str = COLLECT_APPEND,
+             group_by: Sequence[str] = (), aggregates: Sequence[AggregateSpec] = (),
+             order_by: Sequence[tuple[str, bool]] = (), limit: int | None = None) -> PhysShip:
+        return PhysShip(
+            op_id=self.next_id(), child=child, collector_mode=collector_mode,
+            group_by=tuple(group_by), aggregates=tuple(aggregates),
+            order_by=tuple(order_by), limit=limit,
+        )

@@ -1,0 +1,116 @@
+"""Reference (oracle) query evaluator used by the test suite.
+
+The distributed engine's results are checked against this straightforward
+single-process evaluator: it executes a :class:`~repro.query.logical.LogicalQuery`
+directly over in-memory :class:`~repro.common.types.RelationData` instances
+with no partitioning, no batching and no failure handling.  Any divergence
+between the two engines on the same input is a correctness bug in the
+distributed engine (or in the optimizer's plan).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..common.errors import PlanError
+from ..common.types import RelationData, Row, Value
+from .expressions import AggregateSpec
+from .logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+
+
+def evaluate_plan(plan: LogicalPlan, relations: Mapping[str, RelationData]) -> list[Row]:
+    """Evaluate a logical plan tree, returning rows."""
+    if isinstance(plan, LogicalScan):
+        data = relations.get(plan.schema.name)
+        if data is None:
+            raise PlanError(f"reference evaluator has no relation {plan.schema.name!r}")
+        return [Row(plan.schema.attributes, values) for values in data.rows]
+    if isinstance(plan, LogicalSelect):
+        rows = evaluate_plan(plan.child, relations)
+        return [row for row in rows if plan.predicate.evaluate(row)]
+    if isinstance(plan, LogicalProject):
+        rows = evaluate_plan(plan.child, relations)
+        attributes = tuple(name for name, _ in plan.outputs)
+        return [
+            Row(attributes, tuple(expr.evaluate(row) for _name, expr in plan.outputs))
+            for row in rows
+        ]
+    if isinstance(plan, LogicalJoin):
+        left_rows = evaluate_plan(plan.left, relations)
+        right_rows = evaluate_plan(plan.right, relations)
+        index: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[attr] for attr in plan.right_keys)
+            index.setdefault(key, []).append(row)
+        output = []
+        for row in left_rows:
+            key = tuple(row[attr] for attr in plan.left_keys)
+            for match in index.get(key, ()):
+                output.append(row.concat(match))
+        return output
+    if isinstance(plan, LogicalAggregate):
+        rows = evaluate_plan(plan.child, relations)
+        return _aggregate(rows, plan.group_by, plan.aggregates)
+    raise PlanError(f"reference evaluator cannot handle {type(plan).__name__}")
+
+
+def _aggregate(
+    rows: Iterable[Row], group_by: Sequence[str], aggregates: Sequence[AggregateSpec]
+) -> list[Row]:
+    groups: dict[tuple, list[Value]] = {}
+    for row in rows:
+        key = tuple(row[attr] for attr in group_by)
+        states = groups.get(key)
+        if states is None:
+            states = [spec.function.initial() for spec in aggregates]
+            groups[key] = states
+        for index, spec in enumerate(aggregates):
+            states[index] = spec.function.add(states[index], spec.argument.evaluate(row))
+    attributes = tuple(group_by) + tuple(spec.name for spec in aggregates)
+    result = []
+    for key, states in groups.items():
+        values = tuple(key) + tuple(
+            spec.function.result(state) for spec, state in zip(aggregates, states)
+        )
+        result.append(Row(attributes, values))
+    return result
+
+
+def evaluate_query(
+    query: LogicalQuery, relations: Mapping[str, RelationData]
+) -> list[tuple[Value, ...]]:
+    """Evaluate a full query (plan + ordering + limit) to value tuples."""
+    rows = evaluate_plan(query.root, relations)
+    values = [row.values for row in rows]
+    attributes = query.output_attributes()
+    if query.order_by:
+        for attribute, ascending in reversed(query.order_by):
+            index = attributes.index(attribute)
+            values = sorted(
+                values, key=lambda r: (r[index] is None, r[index]), reverse=not ascending
+            )
+    if query.limit is not None:
+        values = values[: query.limit]
+    return list(values)
+
+
+def normalise(rows: Iterable[Sequence[Value]], float_digits: int = 6) -> list[tuple[Value, ...]]:
+    """Canonical form of a result set for order-insensitive comparison.
+
+    Floats are rounded so the distributed engine's different summation order
+    does not produce spurious mismatches.
+    """
+    def canon(value: Value) -> Value:
+        if isinstance(value, float):
+            return round(value, float_digits)
+        return value
+
+    return sorted(tuple(canon(v) for v in row) for row in rows)

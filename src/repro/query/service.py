@@ -1,0 +1,1044 @@
+"""Distributed query execution service (Sections V-A through V-D).
+
+One :class:`QueryService` runs on every node.  It plays two roles:
+
+* **participant** — it receives the plan + routing snapshot from a query
+  initiator, instantiates the local operator fragment, performs the index-node
+  and data-node sides of the leaf scans, exchanges data and end-of-stream
+  messages with the other participants, and executes recovery instructions;
+* **initiator (coordinator)** — for queries submitted locally it resolves the
+  scanned relation versions, takes the routing snapshot, disseminates the
+  plan, collects the shipped results, detects participant failures through the
+  transport layer, and drives either a full restart or the four-stage
+  incremental recovery of Section V-D.
+
+All communication uses one-way casts; completion is tracked with the
+end-of-stream protocol described in the paper (scans → rehash → ship), so the
+initiator knows the result is complete exactly when every participant has
+reported end-of-stream for the final ship exchange.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..common.errors import QueryError
+from ..common.hashing import KeyRange
+from ..common.serialization import TupleBatch
+from ..common.types import Row, Value
+from ..net.simnet import SimNode
+from ..net.transport import RpcEndpoint, rpc_endpoint
+from ..overlay.membership import MembershipView
+from ..overlay.routing import RoutingSnapshot, physical_address
+from ..storage.client import StorageClient
+from ..storage.pages import CoordinatorRecord, PageRef
+from ..storage.service import StorageService
+from .expressions import key_predicate_function
+from .operators import Fragment, build_fragment
+from .physical import (
+    COLLECT_MERGE_PARTIALS,
+    COLLECT_REPLACE_GROUPS,
+    PhysScan,
+    PhysShip,
+    PhysicalPlan,
+)
+from .provenance import TaggedRow, batch_size
+
+#: Recovery strategies of Section V-D / Figure 21.
+RECOVERY_RESTART = "restart"
+RECOVERY_INCREMENTAL = "incremental"
+
+
+@dataclass
+class QueryOptions:
+    """Per-query knobs.
+
+    ``provenance_enabled`` turns the per-tuple provenance tags (and therefore
+    incremental-recovery support) on or off — the Section VI-E overhead
+    experiment compares the two.  ``recovery_mode`` selects what the initiator
+    does when a participant fails mid-query.
+    """
+
+    provenance_enabled: bool = True
+    recovery_mode: str = RECOVERY_INCREMENTAL
+    batch_rows: int = 256
+    max_restarts: int = 3
+
+
+@dataclass
+class QueryStatistics:
+    """Execution statistics reported alongside the result rows."""
+
+    started_at: float = 0.0
+    completed_at: float = 0.0
+    phases: int = 1
+    restarts: int = 0
+    failures_handled: int = 0
+    rows_shipped: int = 0
+    bytes_total: int = 0
+    bytes_per_node: dict[str, int] = field(default_factory=dict)
+    participating_nodes: int = 0
+
+    @property
+    def execution_time(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class QueryResult:
+    """Final answer of a distributed query."""
+
+    attributes: tuple[str, ...]
+    rows: list[tuple[Value, ...]]
+    statistics: QueryStatistics
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> list[dict[str, Value]]:
+        return [dict(zip(self.attributes, row)) for row in self.rows]
+
+
+@dataclass
+class _ScanSpec:
+    """Initiator-computed description of one leaf scan.
+
+    The initiator keeps the full page assignment (``pages_by_index_node``
+    covering every index node); each participant receives a slimmed copy that
+    lists only the pages *it* must serve as index node, because that is all a
+    participant needs — the expected end-of-stream senders and the scan-done
+    recipients are precomputed by the initiator (see :meth:`QueryService._launch`).
+    """
+
+    scan_op_id: int
+    relation: str
+    epoch: int
+    covering: bool
+    pages_by_index_node: dict[str, list[PageRef]]
+    key_predicate: Callable[[tuple[Value, ...]], bool] | None
+
+    def index_nodes(self) -> list[str]:
+        return sorted(self.pages_by_index_node.keys())
+
+    def estimated_size(self) -> int:
+        pages = sum(len(refs) for refs in self.pages_by_index_node.values())
+        return 64 + 64 * pages
+
+    def restricted_to(self, address: str) -> "_ScanSpec":
+        """A copy carrying only the page assignment of ``address``."""
+        own_pages = self.pages_by_index_node.get(address)
+        return _ScanSpec(
+            scan_op_id=self.scan_op_id,
+            relation=self.relation,
+            epoch=self.epoch,
+            covering=self.covering,
+            pages_by_index_node={address: list(own_pages)} if own_pages else {},
+            key_predicate=self.key_predicate,
+        )
+
+
+def _owned_ranges(snapshot: RoutingSnapshot, address: str) -> list[KeyRange]:
+    """All key ranges owned by the physical node ``address`` under ``snapshot``."""
+    return [
+        snapshot.range_of(entry)
+        for entry in snapshot.nodes
+        if physical_address(entry) == address
+    ]
+
+
+def _scan_completion_maps(
+    scan_specs: Mapping[int, "_ScanSpec"],
+    participants: Sequence[str],
+    owned_ranges: Mapping[str, Sequence[KeyRange]],
+) -> tuple[dict[str, dict[int, list[str]]], dict[str, dict[int, list[str]]]]:
+    """Precompute the scan end-of-stream exchanges for every participant.
+
+    Returns two maps, both keyed by participant address and scan operator id:
+
+    * ``expected[participant][scan]`` — index nodes whose ``scan_done`` the
+      participant must wait for before its leaf scan can complete.  For a
+      non-covering scan these are the index nodes owning a page whose hash
+      range overlaps one of the participant's key ranges (only those index
+      nodes can route tuple IDs to it); for a covering scan rows are produced
+      at the index node itself, so a participant only waits for itself.
+    * ``receivers[index_node][scan]`` — the inverse map: participants an index
+      node must notify when it finishes requesting tuples for its pages.
+
+    Both maps are derived from the same page/range overlap relation, so a
+    ``scan_done`` is sent exactly to the nodes that are waiting for it.  This
+    keeps the completion protocol O(pages) instead of O(participants²): thanks
+    to the co-location of index pages and tuple data (Section IV) a page
+    overlaps only one or two adjacent nodes' ranges.
+    """
+    expected: dict[str, dict[int, list[str]]] = {
+        address: {} for address in participants
+    }
+    receivers: dict[str, dict[int, list[str]]] = {
+        address: {} for address in participants
+    }
+    for op_id, spec in scan_specs.items():
+        for address in participants:
+            expected[address][op_id] = []
+            receivers[address][op_id] = []
+        for index_node, pages in spec.pages_by_index_node.items():
+            if index_node not in receivers:
+                continue
+            if spec.covering:
+                # Covering scans produce rows right at the index node.
+                if pages:
+                    receivers[index_node][op_id].append(index_node)
+                    expected[index_node][op_id].append(index_node)
+                continue
+            for participant in participants:
+                ranges = owned_ranges.get(participant, ())
+                if any(
+                    ref.hash_range.overlaps(key_range)
+                    for ref in pages
+                    for key_range in ranges
+                ):
+                    receivers[index_node][op_id].append(participant)
+                    expected[participant][op_id].append(index_node)
+    return expected, receivers
+
+
+class _ResultCollector:
+    """Initiator-side collector for the ship exchange of one query."""
+
+    def __init__(self, ship: PhysShip, participants: Sequence[str]) -> None:
+        self.ship = ship
+        self.mode = ship.collector_mode
+        self._rows: list[TaggedRow] = []
+        self._groups: dict[tuple, TaggedRow] = {}
+        self._partials: list[TaggedRow] = []
+        #: End-of-stream notifications received, as (sender, phase) pairs.
+        self._eos_senders: set[tuple[str, int]] = set()
+        self._expected: set[str] = set(participants)
+        self.rows_received = 0
+
+    def accept(self, rows: list[TaggedRow], failed: set[str]) -> None:
+        live = [row for row in rows if not row.tainted_by(failed)]
+        self.rows_received += len(live)
+        if self.mode == COLLECT_MERGE_PARTIALS:
+            self._partials.extend(live)
+        elif self.mode == COLLECT_REPLACE_GROUPS:
+            for row in live:
+                key = tuple(row.row[attr] for attr in self.ship.group_by)
+                current = self._groups.get(key)
+                if current is None or row.phase >= current.phase:
+                    self._groups[key] = row
+        else:
+            self._rows.extend(live)
+
+    def sender_eos(self, sender: str, phase: int = 0) -> None:
+        self._eos_senders.add((sender, phase))
+
+    def purge_tainted(self, failed: set[str]) -> None:
+        self._rows = [row for row in self._rows if not row.tainted_by(failed)]
+        self._partials = [row for row in self._partials if not row.tainted_by(failed)]
+        for key in list(self._groups.keys()):
+            if self._groups[key].tainted_by(failed):
+                del self._groups[key]
+
+    def reset_eos(self, participants: Sequence[str], failed: set[str]) -> None:
+        self._expected = {address for address in participants if address not in failed}
+
+    def is_complete(self, failed: set[str], phase: int) -> bool:
+        expected = {address for address in self._expected if address not in failed}
+        current = {sender for sender, sender_phase in self._eos_senders if sender_phase == phase}
+        return expected <= current
+
+    # -- final result -------------------------------------------------------------
+
+    def final_rows(self) -> list[tuple[Value, ...]]:
+        attributes = self.ship.output_attributes()
+        if self.mode == COLLECT_MERGE_PARTIALS:
+            rows = self._merge_partials()
+        elif self.mode == COLLECT_REPLACE_GROUPS:
+            rows = [tagged.row.values for tagged in self._groups.values()]
+        else:
+            rows = [tagged.row.values for tagged in self._rows]
+        if self.ship.order_by:
+            for attribute, ascending in reversed(self.ship.order_by):
+                index = attributes.index(attribute)
+                rows = sorted(rows, key=lambda r: (r[index] is None, r[index]), reverse=not ascending)
+        if self.ship.limit is not None:
+            rows = rows[: self.ship.limit]
+        return list(rows)
+
+    def _merge_partials(self) -> list[tuple[Value, ...]]:
+        group_by = self.ship.group_by
+        aggregates = self.ship.aggregates
+        merged: dict[tuple, list[Value]] = {}
+        for tagged in self._partials:
+            key = tuple(tagged.row[attr] for attr in group_by)
+            states = merged.get(key)
+            if states is None:
+                states = [spec.function.initial() for spec in aggregates]
+                merged[key] = states
+            for index, spec in enumerate(aggregates):
+                states[index] = spec.function.merge(states[index], tagged.row[spec.name])
+        results = []
+        for key, states in merged.items():
+            values = tuple(key) + tuple(
+                spec.function.result(state) for spec, state in zip(aggregates, states)
+            )
+            results.append(values)
+        return results
+
+
+class _NodeQueryContext:
+    """Per-node, per-query execution context (implements FragmentContext)."""
+
+    def __init__(
+        self,
+        service: "QueryService",
+        query_id: int,
+        plan: PhysicalPlan,
+        snapshot: RoutingSnapshot,
+        initiator: str,
+        options: QueryOptions,
+        scan_specs: Mapping[int, _ScanSpec],
+    ) -> None:
+        self.service = service
+        self.query_id = query_id
+        self.plan = plan
+        self.snapshot = snapshot
+        self.initiator_address = initiator
+        self.options = options
+        self.scan_specs = dict(scan_specs)
+        self.phase = 0
+        self.failed_nodes: set[str] = set()
+        self.provenance_enabled = options.provenance_enabled
+        self.fragment: Fragment = build_fragment(plan, self)
+        # scan op id -> participants this node must notify when it finishes its
+        # index-node duties for that scan (precomputed by the initiator; during
+        # a recovery phase the notification reverts to a full broadcast).
+        self.scan_done_receivers: dict[int, Sequence[str]] = {}
+        # scan op id -> set of index nodes whose scan_done we are waiting for
+        self._pending_scan_done: dict[int, set[str]] = {}
+        self._scan_completed: set[int] = set()
+
+    # -- FragmentContext interface ----------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.service.node.address
+
+    def charge_cpu(self, seconds: float) -> None:
+        self.service.node.charge_cpu(seconds)
+
+    def destination_for(self, hash_key: int) -> str:
+        return physical_address(self.snapshot.owner_of(hash_key))
+
+    def participants(self) -> list[str]:
+        return self.service.participants_of(self.snapshot)
+
+    def initiator(self) -> str:
+        return self.initiator_address
+
+    def send_rows(self, destination: str, exchange_id: int, rows: list[TaggedRow]) -> None:
+        self.service.send_data(self, destination, exchange_id, rows)
+
+    def send_eos(self, destination: str, exchange_id: int) -> None:
+        self.service.send_eos(self, destination, exchange_id)
+
+    # -- scan end-of-stream bookkeeping -------------------------------------------------
+
+    def arm_scans(self, expected_index_nodes: Mapping[int, Sequence[str]]) -> None:
+        """Arm (or re-arm, for a recovery phase) the per-scan EOS tracking."""
+        self._scan_completed.clear()
+        for scan_op_id in self.fragment.scan_sources:
+            expected = set(expected_index_nodes.get(scan_op_id, ()))
+            expected -= self.failed_nodes
+            self._pending_scan_done[scan_op_id] = expected
+            if not expected:
+                self._complete_scan(scan_op_id)
+
+    def scan_done_received(self, scan_op_id: int, sender: str) -> None:
+        pending = self._pending_scan_done.get(scan_op_id)
+        if pending is None:
+            return
+        pending.discard(sender)
+        if not pending:
+            self._complete_scan(scan_op_id)
+
+    def drop_failed_scan_producers(self, failed: set[str]) -> None:
+        for scan_op_id, pending in self._pending_scan_done.items():
+            pending -= failed
+            if not pending:
+                self._complete_scan(scan_op_id)
+
+    def _complete_scan(self, scan_op_id: int) -> None:
+        if scan_op_id in self._scan_completed:
+            return
+        self._scan_completed.add(scan_op_id)
+        source = self.fragment.scan_sources.get(scan_op_id)
+        if source is not None:
+            source.complete()
+
+
+@dataclass
+class _ActiveQuery:
+    """Initiator-side state of one running query."""
+
+    query_id: int
+    plan: PhysicalPlan
+    epoch: int
+    options: QueryOptions
+    snapshot: RoutingSnapshot
+    original_snapshot: RoutingSnapshot
+    scan_specs: dict[int, _ScanSpec]
+    collector: _ResultCollector
+    on_complete: Callable[[QueryResult], None]
+    statistics: QueryStatistics
+    failed_nodes: set[str] = field(default_factory=set)
+    phase: int = 0
+    completed: bool = False
+    traffic_start: object = None
+
+
+class QueryService:
+    """Per-node query execution service and (for local submissions) coordinator."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        membership: MembershipView,
+        storage: StorageService,
+        replication_factor: int = 3,
+    ) -> None:
+        self.node = node
+        self.rpc: RpcEndpoint = rpc_endpoint(node)
+        self.membership = membership
+        self.storage = storage
+        self.replication_factor = replication_factor
+        self._query_ids = itertools.count(1)
+        #: Queries this node participates in (including ones it initiated).
+        self._contexts: dict[int, _NodeQueryContext] = {}
+        #: Queries this node initiated.
+        self._active: dict[int, _ActiveQuery] = {}
+        self._register_handlers()
+        node.add_failure_listener(self._on_peer_failure)
+        node.services["query"] = self
+
+    # ------------------------------------------------------------------ registration
+
+    def _register_handlers(self) -> None:
+        self.rpc.register("query.start", self._on_start)
+        self.rpc.register("query.scan_tuples", self._on_scan_tuples)
+        self.rpc.register("query.scan_done", self._on_scan_done)
+        self.rpc.register("query.data", self._on_data)
+        self.rpc.register("query.eos", self._on_eos)
+        self.rpc.register("query.recover", self._on_recover)
+        self.rpc.register("query.abort", self._on_abort)
+
+    # ------------------------------------------------------------------ coordinator
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        epoch: int,
+        on_complete: Callable[[QueryResult], None],
+        options: QueryOptions | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> int:
+        """Initiate ``plan`` at ``epoch``; the callback receives the result."""
+        options = options or QueryOptions()
+        query_id = next(self._query_ids)
+        snapshot = self.membership.snapshot()
+        statistics = QueryStatistics(
+            started_at=self.node.network.now,
+            participating_nodes=len(self.participants_of(snapshot)),
+        )
+        self._resolve_scans(
+            plan, epoch, snapshot,
+            # The routing snapshot the query runs with is taken at launch time
+            # (after scan resolution), so a node that failed in the meantime
+            # is already excluded rather than discovered mid-query.
+            on_ready=lambda records: self._launch(
+                query_id, plan, epoch, options, self.membership.snapshot(), records,
+                statistics, on_complete,
+            ),
+            on_error=on_error or (lambda exc: (_ for _ in ()).throw(exc)),
+        )
+        return query_id
+
+    def _resolve_scans(
+        self,
+        plan: PhysicalPlan,
+        epoch: int,
+        snapshot: RoutingSnapshot,
+        on_ready: Callable[[dict[int, tuple[CoordinatorRecord, int]]], None],
+        on_error: Callable[[Exception], None],
+    ) -> None:
+        """Resolve each scanned relation version and fetch its coordinator record."""
+        storage_client: StorageClient = self.node.services["storage_client"]
+        scans = plan.scans()
+        records: dict[int, tuple[CoordinatorRecord, int]] = {}
+        remaining = len(scans)
+        if remaining == 0:
+            on_ready(records)
+            return
+        errors: list[Exception] = []
+
+        def scan_resolved(scan: PhysScan, record: CoordinatorRecord, resolved_epoch: int) -> None:
+            nonlocal remaining
+            records[scan.op_id] = (record, resolved_epoch)
+            remaining -= 1
+            if remaining == 0:
+                if errors:
+                    on_error(errors[0])
+                else:
+                    on_ready(records)
+
+        def scan_failed(exc: Exception) -> None:
+            nonlocal remaining
+            errors.append(exc)
+            remaining -= 1
+            if remaining == 0:
+                on_error(errors[0])
+
+        for scan in scans:
+            scan_epoch = scan.epoch if scan.epoch is not None else epoch
+
+            def resolve(scan=scan, scan_epoch=scan_epoch) -> None:
+                storage_client.resolve_epoch(
+                    scan.schema.name, scan_epoch, snapshot,
+                    on_resolved=lambda resolved, scan=scan: storage_client.fetch_coordinator(
+                        scan.schema.name, resolved, snapshot,
+                        on_record=lambda record, scan=scan, resolved=resolved: scan_resolved(
+                            scan, record, resolved
+                        ),
+                        on_error=scan_failed,
+                    ),
+                    on_error=scan_failed,
+                )
+
+            resolve()
+
+    def _launch(
+        self,
+        query_id: int,
+        plan: PhysicalPlan,
+        epoch: int,
+        options: QueryOptions,
+        snapshot: RoutingSnapshot,
+        scan_records: dict[int, tuple[CoordinatorRecord, int]],
+        statistics: QueryStatistics,
+        on_complete: Callable[[QueryResult], None],
+    ) -> None:
+        participants = self.participants_of(snapshot)
+        statistics.participating_nodes = len(participants)
+        # Assign every index page of every scanned relation to its owner under
+        # the launch snapshot; these assignments drive the leaf scans.
+        scan_specs: dict[int, _ScanSpec] = {}
+        for scan in plan.scans():
+            record, resolved_epoch = scan_records[scan.op_id]
+            pages_by_node: dict[str, list[PageRef]] = {}
+            for ref in record.pages:
+                owner = physical_address(snapshot.owner_of(ref.storage_key))
+                pages_by_node.setdefault(owner, []).append(ref)
+            scan_specs[scan.op_id] = _ScanSpec(
+                scan_op_id=scan.op_id,
+                relation=scan.schema.name,
+                epoch=resolved_epoch,
+                covering=scan.covering,
+                pages_by_index_node=pages_by_node,
+                key_predicate=key_predicate_function(scan.sargable, scan.schema.key),
+            )
+        collector = _ResultCollector(plan.root, participants)
+        active = _ActiveQuery(
+            query_id=query_id,
+            plan=plan,
+            epoch=epoch,
+            options=options,
+            snapshot=snapshot,
+            original_snapshot=snapshot,
+            scan_specs=scan_specs,
+            collector=collector,
+            on_complete=on_complete,
+            statistics=statistics,
+            traffic_start=self.node.network.traffic.snapshot(),
+        )
+        self._active[query_id] = active
+        # Each participant receives only what it needs: the plan, the routing
+        # snapshot, its own index-node page assignments, the index nodes it
+        # must wait for (scan end-of-stream senders) and the nodes it must
+        # notify when its own index duties finish.  Shipping the full page
+        # catalogue to every node would make plan dissemination grow with
+        # (pages × participants) — a real implementation sends scan requests
+        # only to the index nodes that own the pages (Algorithm 1).
+        owned_ranges = {
+            address: _owned_ranges(snapshot, address) for address in participants
+        }
+        expected_by_participant, receivers_by_index_node = _scan_completion_maps(
+            scan_specs, participants, owned_ranges
+        )
+        base_size = plan.estimated_size() + 32 * len(snapshot)
+        for address in participants:
+            per_node_specs = {
+                op_id: spec.restricted_to(address) for op_id, spec in scan_specs.items()
+            }
+            expected = expected_by_participant[address]
+            receivers = receivers_by_index_node[address]
+            start_payload = {
+                "query_id": query_id,
+                "initiator": self.node.address,
+                "plan": plan,
+                "snapshot": snapshot,
+                "options": options,
+                "scan_specs": per_node_specs,
+                "expected_scan_senders": expected,
+                "scan_done_receivers": receivers,
+            }
+            size = (
+                base_size
+                + sum(spec.estimated_size() for spec in per_node_specs.values())
+                + 16 * sum(len(nodes) for nodes in expected.values())
+                + 16 * sum(len(nodes) for nodes in receivers.values())
+            )
+            self.rpc.cast(address, "query.start", start_payload, size)
+
+    def participants_of(self, snapshot: RoutingSnapshot) -> list[str]:
+        seen: list[str] = []
+        for entry in snapshot.nodes:
+            address = physical_address(entry)
+            if address not in seen:
+                seen.append(address)
+        return seen
+
+    # ------------------------------------------------------------- participant side
+
+    def _on_start(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        query_id: int = payload["query_id"]
+        plan: PhysicalPlan = payload["plan"]
+        snapshot: RoutingSnapshot = payload["snapshot"]
+        options: QueryOptions = payload["options"]
+        scan_specs: Mapping[int, _ScanSpec] = payload["scan_specs"]
+        context = _NodeQueryContext(
+            self, query_id, plan, snapshot, payload["initiator"], options, scan_specs
+        )
+        self._contexts[query_id] = context
+        context.scan_done_receivers = dict(payload["scan_done_receivers"])
+        context.arm_scans(payload["expected_scan_senders"])
+        # Perform this node's index-node duties for each scan.
+        for spec in scan_specs.values():
+            assigned = spec.pages_by_index_node.get(self.node.address, [])
+            if assigned:
+                self._run_index_scan(context, spec, assigned, restrict_ranges=None)
+
+    def _run_index_scan(
+        self,
+        context: _NodeQueryContext,
+        spec: _ScanSpec,
+        pages: Sequence[PageRef],
+        restrict_ranges: Sequence[KeyRange] | None,
+    ) -> None:
+        """Index-node role: filter pages and fan out tuple requests.
+
+        ``restrict_ranges`` limits the produced tuple IDs to the given hash
+        ranges (used during incremental recovery, where only the failed nodes'
+        ranges must be re-produced).  When all assigned pages have been
+        processed, a ``scan_done`` marker is sent to every participant that may
+        have received tuple requests from this index node (the set precomputed
+        by the initiator); during a recovery phase it is broadcast to everyone.
+        """
+        remaining = {"count": len(pages)}
+
+        def page_processed() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                done_payload = {
+                    "query_id": context.query_id,
+                    "scan_op_id": spec.scan_op_id,
+                    "sender": self.node.address,
+                    "phase": context.phase,
+                }
+                receivers = context.scan_done_receivers.get(spec.scan_op_id)
+                if receivers is None or context.phase > 0:
+                    receivers = context.participants()
+                for address in receivers:
+                    self.rpc.cast(address, "query.scan_done", done_payload, 12)
+
+        if not pages:
+            page_processed()
+            return
+
+        for ref in pages:
+            self._process_scan_page(context, spec, ref, restrict_ranges, page_processed)
+
+    def _process_scan_page(
+        self,
+        context: _NodeQueryContext,
+        spec: _ScanSpec,
+        ref: PageRef,
+        restrict_ranges: Sequence[KeyRange] | None,
+        done: Callable[[], None],
+    ) -> None:
+        page = self.storage.local_page(ref.page_id)
+        if page is None:
+            # Fetch the page from a replica before scanning it (the ring may
+            # have moved since the page was written).
+            from ..storage.client import search_targets
+
+            targets = search_targets(
+                context.snapshot, ref.storage_key, self.replication_factor,
+                exclude=(self.node.address,),
+            )
+
+            def attempt(index: int) -> None:
+                if index >= len(targets):
+                    done()
+                    return
+                self.rpc.call(
+                    targets[index], "store.get_page", {"page_id": ref.page_id}, 32,
+                    on_reply=lambda rep: self._scan_page_contents(
+                        context, spec, rep["page"], restrict_ranges, done
+                    ) if not rep.get("missing") else attempt(index + 1),
+                    on_failure=lambda _addr: attempt(index + 1),
+                )
+
+            attempt(0)
+            return
+        self._scan_page_contents(context, spec, page, restrict_ranges, done)
+
+    def _scan_page_contents(self, context, spec, page, restrict_ranges, done) -> None:
+        self.node.charge_cpu(0.2e-6 * len(page.tuple_ids))
+        matching = page.tuple_ids
+        if spec.key_predicate is not None:
+            matching = [tid for tid in matching if spec.key_predicate(tid.key_values)]
+        if restrict_ranges:
+            matching = [
+                tid for tid in matching
+                if any(key_range.contains(tid.hash_key) for key_range in restrict_ranges)
+            ]
+        if spec.covering:
+            # Covering index scan: rows are produced right here at the index node.
+            source = context.fragment.scan_sources.get(spec.scan_op_id)
+            if source is not None and matching:
+                source.deliver_key_rows(matching)
+            done()
+            return
+        by_data_node: dict[str, list] = {}
+        for tid in matching:
+            owner = physical_address(context.snapshot.owner_of(tid.hash_key))
+            by_data_node.setdefault(owner, []).append(tid)
+        for data_node, tids in by_data_node.items():
+            self.rpc.cast(
+                data_node, "query.scan_tuples",
+                {
+                    "query_id": context.query_id,
+                    "scan_op_id": spec.scan_op_id,
+                    "relation": spec.relation,
+                    "tuple_ids": tids,
+                },
+                size=24 * len(tids) + 64,
+            )
+        done()
+
+    def _on_scan_tuples(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        context = self._contexts.get(payload["query_id"])
+        if context is None:
+            return
+        source = context.fragment.scan_sources.get(payload["scan_op_id"])
+        if source is None:
+            return
+        found, _missing = self.storage.lookup_tuples(payload["relation"], payload["tuple_ids"])
+        source.deliver_tuples(found)
+
+    def _on_scan_done(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        context = self._contexts.get(payload["query_id"])
+        if context is None:
+            return
+        if payload["phase"] != context.phase:
+            return
+        context.scan_done_received(payload["scan_op_id"], payload["sender"])
+
+    # ----------------------------------------------------------------- data exchange
+
+    def send_data(
+        self,
+        context: _NodeQueryContext,
+        destination: str,
+        exchange_id: int,
+        rows: list[TaggedRow],
+    ) -> None:
+        attributes = rows[0].row.attributes if rows else ()
+        batch = TupleBatch.build(attributes, [row.row.values for row in rows])
+        size = batch.wire_size
+        if context.provenance_enabled:
+            size += batch_size(rows) - sum(r.row.estimated_size() for r in rows)
+        payload = {
+            "query_id": context.query_id,
+            "exchange_id": exchange_id,
+            "sender": self.node.address,
+            "phase": context.phase,
+            "rows": rows,
+        }
+        self.rpc.cast(destination, "query.data", payload, size)
+
+    def send_eos(self, context: _NodeQueryContext, destination: str, exchange_id: int) -> None:
+        payload = {
+            "query_id": context.query_id,
+            "exchange_id": exchange_id,
+            "sender": self.node.address,
+            "phase": context.phase,
+        }
+        self.rpc.cast(destination, "query.eos", payload, 12)
+
+    def _on_data(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        query_id = payload["query_id"]
+        exchange_id = payload["exchange_id"]
+        rows: list[TaggedRow] = payload["rows"]
+        active = self._active.get(query_id)
+        if active is not None and exchange_id == active.plan.root.op_id:
+            if not active.completed:
+                active.collector.accept(rows, active.failed_nodes)
+            return
+        context = self._contexts.get(query_id)
+        if context is None:
+            return
+        receiver = context.fragment.receivers.get(exchange_id)
+        if receiver is not None:
+            receiver.accept(rows)
+
+    def _on_eos(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        query_id = payload["query_id"]
+        exchange_id = payload["exchange_id"]
+        sender = payload["sender"]
+        active = self._active.get(query_id)
+        if active is not None and exchange_id == active.plan.root.op_id:
+            if not active.completed:
+                active.collector.sender_eos(sender, payload["phase"])
+                self._maybe_complete(active)
+            return
+        context = self._contexts.get(query_id)
+        if context is None:
+            return
+        receiver = context.fragment.receivers.get(exchange_id)
+        if receiver is not None:
+            receiver.sender_eos(sender, payload["phase"])
+
+    def _maybe_complete(self, active: _ActiveQuery) -> None:
+        if active.completed or not active.collector.is_complete(
+            active.failed_nodes, active.phase
+        ):
+            return
+        active.completed = True
+        network = self.node.network
+        active.statistics.completed_at = network.now
+        traffic = active.traffic_start.delta(network.traffic.snapshot())
+        active.statistics.bytes_total += traffic.total_bytes
+        for address, count in traffic.per_node_bytes().items():
+            active.statistics.bytes_per_node[address] = (
+                active.statistics.bytes_per_node.get(address, 0) + count
+            )
+        active.statistics.rows_shipped = active.collector.rows_received
+        result = QueryResult(
+            attributes=active.plan.output_attributes(),
+            rows=active.collector.final_rows(),
+            statistics=active.statistics,
+        )
+        # Clean up participant-side state for this query everywhere.
+        for address in self.participants_of(active.snapshot):
+            if address not in active.failed_nodes:
+                self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
+        del self._active[active.query_id]
+        active.on_complete(result)
+
+    def _on_abort(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        self._contexts.pop(payload["query_id"], None)
+
+    # ------------------------------------------------------------------- failures
+
+    def _on_peer_failure(self, failed_address: str) -> None:
+        for context in self._contexts.values():
+            context.failed_nodes.add(failed_address)
+        for active in list(self._active.values()):
+            if active.completed:
+                continue
+            if failed_address not in self.participants_of(active.snapshot):
+                continue
+            if failed_address in active.failed_nodes:
+                continue
+            active.failed_nodes.add(failed_address)
+            active.statistics.failures_handled += 1
+            if active.options.recovery_mode == RECOVERY_RESTART:
+                self._restart_query(active)
+            else:
+                self._incremental_recovery(active, failed_address)
+
+    # -- full restart ------------------------------------------------------------------
+
+    def _restart_query(self, active: _ActiveQuery) -> None:
+        """Abort the in-flight execution and re-run the query from scratch."""
+        if active.statistics.restarts >= active.options.max_restarts:
+            raise QueryError(
+                f"query {active.query_id} exceeded the maximum number of restarts"
+            )
+        for address in self.participants_of(active.snapshot):
+            if address not in active.failed_nodes and address != self.node.address:
+                self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
+        self._contexts.pop(active.query_id, None)
+        del self._active[active.query_id]
+
+        # Account the aborted attempt's traffic before the relaunch resets the
+        # per-attempt traffic baseline.
+        aborted_traffic = active.traffic_start.delta(self.node.network.traffic.snapshot())
+        statistics = active.statistics
+        statistics.bytes_total += aborted_traffic.total_bytes
+        for address, count in aborted_traffic.per_node_bytes().items():
+            statistics.bytes_per_node[address] = (
+                statistics.bytes_per_node.get(address, 0) + count
+            )
+        statistics.restarts += 1
+
+        def relaunch() -> None:
+            new_snapshot = self.membership.snapshot()
+            query_id = next(self._query_ids)
+            new_statistics = statistics  # keep cumulative timing and counters
+            self._resolve_scans(
+                active.plan, active.epoch, new_snapshot,
+                on_ready=lambda specs: self._launch(
+                    query_id, active.plan, active.epoch, active.options, new_snapshot,
+                    specs, new_statistics, active.on_complete,
+                ),
+                on_error=lambda exc: (_ for _ in ()).throw(exc),
+            )
+
+        relaunch()
+
+    # -- incremental recovery -------------------------------------------------------------
+
+    def _incremental_recovery(self, active: _ActiveQuery, failed_address: str) -> None:
+        """The four recovery stages of Section V-D, driven by the initiator."""
+        # Stage 1: determine the change in the assignment of ranges to nodes.
+        failed_ranges = [active.snapshot.range_of(entry)
+                         for entry in active.snapshot.nodes
+                         if physical_address(entry) == failed_address]
+        new_snapshot, _moves = active.snapshot.reassign_failed(
+            [entry for entry in active.snapshot.nodes
+             if physical_address(entry) == failed_address],
+            self.replication_factor,
+        )
+        active.snapshot = new_snapshot
+        active.phase += 1
+        active.statistics.phases += 1
+
+        # Stage 2 will be executed at every node on receipt of the recover
+        # message (drop tainted intermediate results).  The collector purges
+        # its own tainted results here.
+        active.collector.purge_tainted(active.failed_nodes)
+        active.collector.reset_eos(self.participants_of(new_snapshot), active.failed_nodes)
+
+        # Stage 3: restart leaf-level operations for the failed ranges.
+        rescan_by_node: dict[str, list] = {}
+        recovery_index_nodes: dict[int, set[str]] = {op: set() for op in active.scan_specs}
+        for op_id, spec in active.scan_specs.items():
+            for index_node, pages in spec.pages_by_index_node.items():
+                for ref in pages:
+                    if index_node == failed_address:
+                        # The failed node was the index node: the new owner of
+                        # the page re-scans it entirely.
+                        new_owner = physical_address(new_snapshot.owner_of(ref.storage_key))
+                        rescan_by_node.setdefault(new_owner, []).append((op_id, ref, None))
+                        recovery_index_nodes[op_id].add(new_owner)
+                    elif not spec.covering:
+                        # Live index node: re-produce only the tuple IDs whose
+                        # data lived on the failed node.
+                        rescan_by_node.setdefault(index_node, []).append(
+                            (op_id, ref, failed_ranges)
+                        )
+                        recovery_index_nodes[op_id].add(index_node)
+            # Update the spec's page assignment (failed node's pages move to
+            # the new owners) so a later failure reassigns from current state.
+            reassigned: dict[str, list[PageRef]] = {}
+            for index_node, pages in spec.pages_by_index_node.items():
+                for ref in pages:
+                    target = index_node
+                    if index_node == failed_address:
+                        target = physical_address(new_snapshot.owner_of(ref.storage_key))
+                    reassigned.setdefault(target, []).append(ref)
+            spec.pages_by_index_node = reassigned
+
+        # Stage 2 + 4 are executed by the participants when they receive the
+        # recover message: purge tainted state, then re-create data that was
+        # sent to the failed nodes from the exchange caches.
+        recover_payload = {
+            "query_id": active.query_id,
+            "failed": set(active.failed_nodes),
+            "snapshot": new_snapshot,
+            "phase": active.phase,
+            "rescans": rescan_by_node,
+            "recovery_index_nodes": {op: sorted(nodes) for op, nodes in recovery_index_nodes.items()},
+        }
+        size = 64 + 32 * len(new_snapshot) + 64 * sum(len(v) for v in rescan_by_node.values())
+        for address in self.participants_of(new_snapshot):
+            self.rpc.cast(address, "query.recover", recover_payload, size)
+
+    def _on_recover(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        context = self._contexts.get(payload["query_id"])
+        if context is None:
+            return
+        failed: set[str] = set(payload["failed"])
+        context.failed_nodes |= failed
+        context.snapshot = payload["snapshot"]
+        context.phase = payload["phase"]
+
+        # Stage 2: drop all intermediate results dependent on the failed nodes.
+        context.fragment.purge_tainted(failed)
+        context.fragment.reset_for_phase(context.phase)
+
+        # Stage 4: re-create data that was sent to the failed nodes.  This must
+        # happen before the new phase's end-of-stream tracking is armed so the
+        # re-sent rows are on the wire (FIFO per node pair) before any phase
+        # end-of-stream marker this node may emit.
+        for sender in context.fragment.senders.values():
+            sender.resend_for_failed(failed)
+
+        # Re-arm scan end-of-stream tracking for the recovery phase.
+        context.arm_scans(payload["recovery_index_nodes"])
+
+        # Stage 3: restart leaf-level operations for this node's share of the
+        # failed ranges (acting as index node for the rescanned pages).
+        my_rescans = payload["rescans"].get(self.node.address, [])
+        by_scan: dict[int, list[tuple[PageRef, Sequence[KeyRange] | None]]] = {}
+        for op_id, ref, ranges in my_rescans:
+            by_scan.setdefault(op_id, []).append((ref, ranges))
+        for op_id, entries in by_scan.items():
+            spec = context.scan_specs.get(op_id)
+            if spec is None:
+                continue
+            self._run_recovery_scan(context, spec, entries)
+
+    def _run_recovery_scan(
+        self,
+        context: _NodeQueryContext,
+        spec: _ScanSpec,
+        entries: Sequence[tuple[PageRef, Sequence[KeyRange] | None]],
+    ) -> None:
+        remaining = {"count": len(entries)}
+
+        def page_processed() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                done_payload = {
+                    "query_id": context.query_id,
+                    "scan_op_id": spec.scan_op_id,
+                    "sender": self.node.address,
+                    "phase": context.phase,
+                }
+                for address in context.participants():
+                    self.rpc.cast(address, "query.scan_done", done_payload, 12)
+
+        for ref, ranges in entries:
+            self._process_scan_page(context, spec, ref, ranges, page_processed)
+
+
+def query_service_of(node: SimNode) -> QueryService:
+    service = node.services.get("query")
+    if not isinstance(service, QueryService):
+        raise LookupError(f"node {node.address!r} has no query service")
+    return service

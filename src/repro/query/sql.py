@@ -1,0 +1,425 @@
+"""A single-block SQL frontend.
+
+The paper's optimizer "currently handles single-block SQL queries, including
+function evaluation and grouping".  This module provides the matching parser:
+one ``SELECT`` block with an optional ``WHERE`` conjunction, ``GROUP BY``,
+``ORDER BY`` and ``LIMIT`` — no subqueries, no ``UNION``, no outer joins.
+Attribute names must be unique across the referenced relations (TPC-H and the
+STBenchmark schemas satisfy this by prefixing attribute names).
+
+``parse_query`` produces a :class:`~repro.query.logical.LogicalQuery` that the
+optimizer compiles to a distributed physical plan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..common.errors import SQLSyntaxError
+from ..common.types import Schema
+from .expressions import (
+    AGGREGATES,
+    AggregateSpec,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    and_,
+    col,
+    lit,
+    not_,
+    or_,
+)
+from .logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9\.]*)"
+    r"|(?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*|\+|-|/|;))"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "and", "or", "not",
+    "as", "asc", "desc", "in", "between", "having", "distinct",
+}
+
+
+@dataclass
+class _Token:
+    kind: str  # "number" | "string" | "name" | "op" | "keyword"
+    value: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    stripped = text.strip()
+    while position < len(stripped):
+        match = _TOKEN_PATTERN.match(stripped, position)
+        if match is None:
+            raise SQLSyntaxError(f"cannot tokenize SQL near: {stripped[position:position + 20]!r}")
+        position = match.end()
+        if match.lastgroup == "number":
+            tokens.append(_Token("number", match.group("number")))
+        elif match.lastgroup == "string":
+            tokens.append(_Token("string", match.group("string")[1:-1].replace("''", "'")))
+        elif match.lastgroup == "name":
+            name = match.group("name")
+            if name.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", name.lower()))
+            else:
+                tokens.append(_Token("name", name))
+        else:
+            tokens.append(_Token("op", match.group("op")))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], schemas: Mapping[str, Schema]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.schemas = {name.lower(): schema for name, schema in schemas.items()}
+
+    # -- token helpers ------------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of SQL statement")
+        self.position += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> str | None:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value in keywords:
+            self.position += 1
+            return token.value
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SQLSyntaxError(f"expected {keyword.upper()!r} near token {self._peek()}")
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == op:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise SQLSyntaxError(f"expected {op!r} near token {self._peek()}")
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse(self) -> LogicalQuery:
+        self._expect_keyword("select")
+        self._accept_keyword("distinct")
+        select_list = self._select_list()
+        self._expect_keyword("from")
+        relations = self._relation_list()
+        predicate: Expression | None = None
+        if self._accept_keyword("where"):
+            predicate = self._expression()
+        group_by: list[str] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._name_list()
+        having: Expression | None = None
+        if self._accept_keyword("having"):
+            having = self._expression()
+        order_by: list[tuple[str, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._order_list()
+        limit: int | None = None
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.kind != "number":
+                raise SQLSyntaxError("LIMIT expects a number")
+            limit = int(float(token.value))
+        self._accept_op(";")
+        if self._peek() is not None:
+            raise SQLSyntaxError(f"unexpected trailing token {self._peek()}")
+        return self._build_query(select_list, relations, predicate, group_by, having,
+                                 order_by, limit)
+
+    def _select_list(self) -> list[tuple[str, object]]:
+        """Items are (output name, Expression | AggregateSpec | "*")."""
+        items: list[tuple[str, object]] = []
+        while True:
+            if self._accept_op("*"):
+                items.append(("*", "*"))
+            else:
+                expression = self._select_item()
+                name = None
+                if self._accept_keyword("as"):
+                    token = self._next()
+                    name = token.value
+                elif self._peek() is not None and self._peek().kind == "name":
+                    name = self._next().value
+                if isinstance(expression, AggregateSpec):
+                    if name:
+                        expression = AggregateSpec(name, expression.function, expression.argument)
+                    items.append((expression.name, expression))
+                else:
+                    items.append((name or _default_name(expression, len(items)), expression))
+            if not self._accept_op(","):
+                break
+        return items
+
+    def _select_item(self):
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.value.lower() in AGGREGATES:
+            lookahead = self.tokens[self.position + 1] if self.position + 1 < len(self.tokens) else None
+            if lookahead is not None and lookahead.kind == "op" and lookahead.value == "(":
+                func_name = self._next().value.lower()
+                self._expect_op("(")
+                if self._accept_op("*"):
+                    argument: Expression = lit(1)
+                else:
+                    argument = self._expression()
+                self._expect_op(")")
+                return AggregateSpec(f"{func_name}_{self.position}", AGGREGATES[func_name](), argument)
+        return self._expression()
+
+    def _relation_list(self) -> list[str]:
+        relations = []
+        while True:
+            token = self._next()
+            if token.kind != "name":
+                raise SQLSyntaxError(f"expected a relation name, got {token}")
+            relations.append(token.value)
+            if not self._accept_op(","):
+                break
+        return relations
+
+    def _name_list(self) -> list[str]:
+        names = []
+        while True:
+            token = self._next()
+            if token.kind != "name":
+                raise SQLSyntaxError(f"expected an attribute name, got {token}")
+            names.append(_unqualified(token.value))
+            if not self._accept_op(","):
+                break
+        return names
+
+    def _order_list(self) -> list[tuple[str, bool]]:
+        result = []
+        while True:
+            token = self._next()
+            if token.kind != "name":
+                raise SQLSyntaxError(f"expected an attribute name, got {token}")
+            ascending = True
+            if self._accept_keyword("desc"):
+                ascending = False
+            else:
+                self._accept_keyword("asc")
+            result.append((_unqualified(token.value), ascending))
+            if not self._accept_op(","):
+                break
+        return result
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expression:
+        parts = [self._and_expression()]
+        while self._accept_keyword("or"):
+            parts.append(self._and_expression())
+        return or_(*parts) if len(parts) > 1 else parts[0]
+
+    def _and_expression(self) -> Expression:
+        parts = [self._not_expression()]
+        while self._accept_keyword("and"):
+            parts.append(self._not_expression())
+        return and_(*parts) if len(parts) > 1 else parts[0]
+
+    def _not_expression(self) -> Expression:
+        if self._accept_keyword("not"):
+            return not_(self._not_expression())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            operator = self._next().value
+            if operator == "<>":
+                operator = "!="
+            right = self._additive()
+            return Comparison(operator, left, right)
+        if self._accept_keyword("between"):
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return and_(Comparison(">=", left, low), Comparison("<=", left, high))
+        if self._accept_keyword("in"):
+            self._expect_op("(")
+            values = []
+            while True:
+                token = self._next()
+                if token.kind == "number":
+                    values.append(_number(token.value))
+                elif token.kind == "string":
+                    values.append(token.value)
+                else:
+                    raise SQLSyntaxError("IN lists may only contain literals")
+                if not self._accept_op(","):
+                    break
+            self._expect_op(")")
+            return InList(left, values)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            if self._accept_op("+"):
+                left = left + self._multiplicative()
+            elif self._accept_op("-"):
+                left = left - self._multiplicative()
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._primary()
+        while True:
+            if self._accept_op("*"):
+                left = left * self._primary()
+            elif self._accept_op("/"):
+                left = left / self._primary()
+            else:
+                return left
+
+    def _primary(self) -> Expression:
+        if self._accept_op("("):
+            inner = self._expression()
+            self._expect_op(")")
+            return inner
+        if self._accept_op("-"):
+            return lit(0) - self._primary()
+        token = self._next()
+        if token.kind == "number":
+            return lit(_number(token.value))
+        if token.kind == "string":
+            return lit(token.value)
+        if token.kind == "name":
+            lookahead = self._peek()
+            if lookahead is not None and lookahead.kind == "op" and lookahead.value == "(":
+                self._next()
+                arguments = []
+                if not self._accept_op(")"):
+                    while True:
+                        arguments.append(self._expression())
+                        if not self._accept_op(","):
+                            break
+                    self._expect_op(")")
+                return FunctionCall(token.value, arguments)
+            return col(_unqualified(token.value))
+        raise SQLSyntaxError(f"unexpected token {token} in expression")
+
+    # -- query assembly --------------------------------------------------------------------
+
+    def _build_query(
+        self,
+        select_list: list[tuple[str, object]],
+        relations: Sequence[str],
+        predicate: Expression | None,
+        group_by: list[str],
+        having: Expression | None,
+        order_by: list[tuple[str, bool]],
+        limit: int | None,
+    ) -> LogicalQuery:
+        plan: LogicalPlan | None = None
+        for relation in relations:
+            schema = self.schemas.get(relation.lower())
+            if schema is None:
+                raise SQLSyntaxError(f"unknown relation {relation!r}")
+            scan = LogicalScan(schema)
+            plan = scan if plan is None else _cross_join(plan, scan, predicate)
+        assert plan is not None
+        if predicate is not None:
+            plan = LogicalSelect(plan, predicate)
+
+        aggregates = [item for _name, item in select_list if isinstance(item, AggregateSpec)]
+        plain = [(name, item) for name, item in select_list
+                 if not isinstance(item, AggregateSpec) and item != "*"]
+        has_star = any(item == "*" for _name, item in select_list)
+
+        if aggregates or group_by:
+            plan = LogicalAggregate(plan, group_by=group_by, aggregates=aggregates, having=having)
+        elif not has_star and plain:
+            plan = LogicalProject(plan, [(name, expr) for name, expr in plain])
+        return LogicalQuery(root=plan, order_by=order_by, limit=limit, name="sql")
+
+
+def _cross_join(left: LogicalPlan, right: LogicalPlan, predicate: Expression | None) -> LogicalPlan:
+    """Combine FROM-list relations; join conditions live in the WHERE clause.
+
+    The logical join node requires an equi-join condition, so FROM-list
+    combinations are represented by joining on the first pair of equality
+    conjuncts found in the predicate; the planner re-derives the real join
+    graph from the flattened conjuncts, so the exact placement here does not
+    affect the final plan.
+    """
+    from .expressions import split_conjuncts
+    from .logical import LogicalJoin
+
+    left_attrs = set(left.output_attributes())
+    right_attrs = set(right.output_attributes())
+    if predicate is not None:
+        for conjunct in split_conjuncts(predicate):
+            if isinstance(conjunct, Comparison) and conjunct.operator == "=":
+                refs = conjunct.references()
+                left_refs = refs & left_attrs
+                right_refs = refs & right_attrs
+                if left_refs and right_refs and len(refs) == 2:
+                    left_attr = next(iter(left_refs))
+                    right_attr = next(iter(right_refs))
+                    return LogicalJoin(left, right, [(left_attr, right_attr)])
+    # Fall back to a synthetic condition on the first attributes; the planner
+    # treats all equality conjuncts uniformly so this only matters for plans
+    # evaluated directly by the reference evaluator.
+    return LogicalJoin(
+        left, right, [(next(iter(left_attrs)), next(iter(right_attrs)))]
+    )
+
+
+def _unqualified(name: str) -> str:
+    """Strip a ``relation.`` qualifier; attribute names are globally unique."""
+    return name.split(".")[-1]
+
+
+def _number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+def _default_name(expression: Expression, index: int) -> str:
+    if hasattr(expression, "name") and isinstance(getattr(expression, "name"), str):
+        return getattr(expression, "name")
+    return f"column_{index}"
+
+
+def parse_query(sql: str, schemas: Mapping[str, Schema]) -> LogicalQuery:
+    """Parse a single-block SQL statement into a logical query."""
+    return _Parser(_tokenize(sql), schemas).parse()

@@ -1,0 +1,36 @@
+"""Distributed, replicated, versioned relational storage (Section IV)."""
+
+from .client import RetrieveResult, StorageClient, UpdateBatch, register_retrieve_handlers
+from .localstore import BPlusTree, LocalStore
+from .pages import (
+    CoordinatorRecord,
+    IndexPage,
+    PageId,
+    PageRef,
+    catalog_key,
+    choose_page_count,
+    coordinator_key,
+    initial_page_layout,
+    inverse_key,
+)
+from .service import StorageService, storage_of
+
+__all__ = [
+    "BPlusTree",
+    "CoordinatorRecord",
+    "IndexPage",
+    "LocalStore",
+    "PageId",
+    "PageRef",
+    "RetrieveResult",
+    "StorageClient",
+    "StorageService",
+    "UpdateBatch",
+    "catalog_key",
+    "choose_page_count",
+    "coordinator_key",
+    "initial_page_layout",
+    "inverse_key",
+    "register_retrieve_handlers",
+    "storage_of",
+]

@@ -1,0 +1,838 @@
+"""Storage client: versioned publish and Algorithm-1 retrieval.
+
+A :class:`StorageClient` runs on the node that initiates a storage operation
+(a participant publishing its update log, or a node retrieving a relation
+version).  It decides *placement* using a routing snapshot taken from the
+node's membership view, talks to the per-node :class:`~repro.storage.service.
+StorageService` instances over RPC, and implements the two protocols of
+Section IV:
+
+Publish
+    Creating a new version of a relation.  New tuples are written to their
+    data storage nodes (and replicas), affected index pages get new versions,
+    unaffected pages are *shared* with the previous version, and a new
+    relation coordinator record plus catalog entry is written for the epoch.
+
+Retrieve (Algorithm 1)
+    Look up the relation coordinator at ``h(⟨R, e⟩)``, fan scan requests out
+    to the index nodes holding the pages, which filter tuple IDs with the
+    sargable predicate and forward requests to the data storage nodes, which
+    finally send the matching tuples directly back to the requester —
+    bypassing the index node and coordinator, exactly as in Example 4.2.
+
+Both protocols tolerate data that is not where the routing snapshot says it
+should be (e.g. just after a membership change): reads fall back to the
+replicas of the missing item before giving up, so stale data is never
+returned and missing data is only reported when no replica holds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..common.errors import EpochNotFoundError, RelationNotFoundError, TupleNotFoundError
+from ..common.types import Schema, TupleId, Value, VersionedTuple
+from ..net.simnet import SimNode
+from ..net.transport import RpcEndpoint, rpc_endpoint
+from ..overlay.membership import MembershipView
+from ..overlay.replication import replica_set
+from ..overlay.routing import RoutingSnapshot, physical_address
+from .pages import (
+    CoordinatorRecord,
+    IndexPage,
+    PageId,
+    PageRef,
+    catalog_key,
+    choose_page_count,
+    coordinator_key,
+    initial_page_layout,
+    inverse_key,
+)
+from .service import INDEX_SCAN_COST_PER_ID, StorageService
+
+
+@dataclass
+class UpdateBatch:
+    """One participant's published changes to a single relation.
+
+    ``inserts`` and ``modifications`` carry full value tuples; a modification
+    replaces the current version of the tuple with the same key values.
+    ``deletes`` carries key-value tuples only.
+    """
+
+    schema: Schema
+    inserts: list[tuple[Value, ...]] = field(default_factory=list)
+    modifications: list[tuple[Value, ...]] = field(default_factory=list)
+    deletes: list[tuple[Value, ...]] = field(default_factory=list)
+
+    @property
+    def relation(self) -> str:
+        return self.schema.name
+
+    def is_empty(self) -> bool:
+        return not (self.inserts or self.modifications or self.deletes)
+
+    def change_count(self) -> int:
+        return len(self.inserts) + len(self.modifications) + len(self.deletes)
+
+
+def search_targets(
+    snapshot: RoutingSnapshot,
+    key: int,
+    replication_factor: int,
+    exclude: Iterable[str] = (),
+) -> list[str]:
+    """Nodes to try, in order, when looking for the item stored at ``key``.
+
+    The item's replica set under ``snapshot`` comes first.  The remaining live
+    nodes of the snapshot follow, because after a membership change data may
+    legitimately sit outside the current replica set until background
+    replication catches up — the paper's "proactively try to retrieve the
+    missing state from other nearby nodes" fallback (Section IV).
+    """
+    excluded = set(exclude)
+    ordered = [addr for addr in replica_set(snapshot, key, replication_factor)
+               if addr not in excluded]
+    for entry in snapshot.nodes:
+        address = physical_address(entry)
+        if address not in ordered and address not in excluded:
+            ordered.append(address)
+    return ordered
+
+
+class _Completion:
+    """Counts outstanding sub-operations and fires a callback when all finish."""
+
+    def __init__(self, on_complete: Callable[[], None]) -> None:
+        self._on_complete = on_complete
+        self._outstanding = 0
+        self._sealed = False
+        self._fired = False
+
+    def add(self, count: int = 1) -> None:
+        self._outstanding += count
+
+    def done(self, count: int = 1) -> None:
+        self._outstanding -= count
+        self._maybe_fire()
+
+    def seal(self) -> None:
+        self._sealed = True
+        self._maybe_fire()
+
+    def _maybe_fire(self) -> None:
+        if self._sealed and self._outstanding <= 0 and not self._fired:
+            self._fired = True
+            self._on_complete()
+
+
+@dataclass
+class RetrieveResult:
+    """Outcome of a retrieval: the matching tuples plus basic statistics."""
+
+    relation: str
+    epoch: int
+    resolved_epoch: int
+    tuples: list[VersionedTuple]
+    pages_scanned: int = 0
+    missing: list[TupleId] = field(default_factory=list)
+
+    def rows(self) -> list[tuple[Value, ...]]:
+        return [t.values for t in self.tuples]
+
+
+class StorageClient:
+    """Publish and retrieve operations issued from one node."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        membership: MembershipView,
+        replication_factor: int = 3,
+        page_capacity: int = 2048,
+    ) -> None:
+        self.node = node
+        self.rpc: RpcEndpoint = rpc_endpoint(node)
+        self.membership = membership
+        self.replication_factor = replication_factor
+        self.page_capacity = page_capacity
+        self._retrievals: dict[int, "_RetrieveOperation"] = {}
+        self._next_request_id = 0
+        self.rpc.register("store.retrieve_manifest", self._on_retrieve_manifest)
+        self.rpc.register("store.retrieve_result", self._on_retrieve_result)
+        node.services["storage_client"] = self
+
+    # ------------------------------------------------------------------ publish
+
+    def publish(
+        self,
+        batch: UpdateBatch,
+        epoch: int,
+        on_complete: Callable[[CoordinatorRecord], None],
+        snapshot: RoutingSnapshot | None = None,
+    ) -> None:
+        """Publish ``batch`` as the version of its relation at ``epoch``."""
+        snapshot = snapshot or self.membership.snapshot()
+        operation = _PublishOperation(self, batch, epoch, snapshot, on_complete)
+        operation.start()
+
+    # ----------------------------------------------------------------- retrieve
+
+    def retrieve(
+        self,
+        relation: str,
+        epoch: int,
+        on_complete: Callable[[RetrieveResult], None],
+        key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+        snapshot: RoutingSnapshot | None = None,
+    ) -> None:
+        """Retrieve all tuples of ``relation`` visible at ``epoch`` (Algorithm 1)."""
+        snapshot = snapshot or self.membership.snapshot()
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        operation = _RetrieveOperation(
+            self, request_id, relation, epoch, key_predicate, snapshot, on_complete, on_error
+        )
+        self._retrievals[request_id] = operation
+        operation.start()
+
+    # -------------------------------------------------------- epoch resolution
+
+    def resolve_epoch(
+        self,
+        relation: str,
+        epoch: int,
+        snapshot: RoutingSnapshot,
+        on_resolved: Callable[[int], None],
+        on_error: Callable[[Exception], None],
+    ) -> None:
+        """Find the newest publish epoch of ``relation`` that is ≤ ``epoch``."""
+        targets = search_targets(snapshot, catalog_key(relation), self.replication_factor,
+                                 exclude=())
+
+        def attempt(index: int) -> None:
+            if index >= len(targets):
+                on_error(RelationNotFoundError(f"relation {relation!r} is not published"))
+                return
+
+            def handle(reply: Mapping[str, object]) -> None:
+                if reply.get("missing"):
+                    attempt(index + 1)
+                    return
+                epochs = [e for e in reply["epochs"] if e <= epoch]
+                if not epochs:
+                    on_error(EpochNotFoundError(
+                        f"relation {relation!r} has no version at or before epoch {epoch}"))
+                    return
+                on_resolved(max(epochs))
+
+            self.rpc.call(
+                targets[index], "store.get_catalog", {"relation": relation}, 24,
+                on_reply=handle,
+                on_failure=lambda _addr: attempt(index + 1),
+            )
+
+        attempt(0)
+
+    def fetch_coordinator(
+        self,
+        relation: str,
+        epoch: int,
+        snapshot: RoutingSnapshot,
+        on_record: Callable[[CoordinatorRecord], None],
+        on_error: Callable[[Exception], None],
+    ) -> None:
+        """Fetch the coordinator record for ``relation``@``epoch`` with failover."""
+        targets = search_targets(snapshot, coordinator_key(relation, epoch),
+                                 self.replication_factor, exclude=())
+
+        def attempt(index: int) -> None:
+            if index >= len(targets):
+                on_error(RelationNotFoundError(
+                    f"coordinator record for {relation!r}@{epoch} not found on any replica"))
+                return
+            self.rpc.call(
+                targets[index],
+                "store.get_coordinator",
+                {"relation": relation, "epoch": epoch},
+                32,
+                on_reply=lambda rep: on_record(rep["record"]) if not rep.get("missing") else attempt(index + 1),
+                on_failure=lambda _addr: attempt(index + 1),
+            )
+
+        attempt(0)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _call_with_failover(
+        self,
+        targets: Sequence[str],
+        method: str,
+        payload: Mapping[str, object],
+        size: int,
+        on_reply: Callable[[Mapping[str, object]], None],
+        on_exhausted: Callable[[], None],
+    ) -> None:
+        if not targets:
+            on_exhausted()
+            return
+        self.rpc.call(
+            targets[0], method, payload, size,
+            on_reply=on_reply,
+            on_failure=lambda _addr: self._call_with_failover(
+                targets[1:], method, payload, size, on_reply, on_exhausted
+            ),
+        )
+
+    # ----------------------------------------------- retrieve message handlers
+
+    def _on_retrieve_manifest(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        operation = self._retrievals.get(payload["request_id"])
+        if operation is not None:
+            operation.on_manifest(payload)
+
+    def _on_retrieve_result(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        operation = self._retrievals.get(payload["request_id"])
+        if operation is not None:
+            operation.on_result(payload)
+
+    def _finish_retrieval(self, request_id: int) -> None:
+        self._retrievals.pop(request_id, None)
+
+
+class _PublishOperation:
+    """State machine for publishing one :class:`UpdateBatch` at one epoch."""
+
+    def __init__(
+        self,
+        client: StorageClient,
+        batch: UpdateBatch,
+        epoch: int,
+        snapshot: RoutingSnapshot,
+        on_complete: Callable[[CoordinatorRecord], None],
+    ) -> None:
+        self.client = client
+        self.batch = batch
+        self.epoch = epoch
+        self.snapshot = snapshot
+        self.on_complete = on_complete
+        self.relation = batch.relation
+        self._previous_record: CoordinatorRecord | None = None
+        self._previous_pages: dict[PageId, IndexPage] = {}
+
+    # -- step 1: discover the previous version -------------------------------
+
+    def start(self) -> None:
+        targets = replica_set(
+            self.snapshot, catalog_key(self.relation), self.client.replication_factor
+        )
+        self.client._call_with_failover(
+            targets,
+            "store.get_catalog",
+            {"relation": self.relation},
+            24,
+            on_reply=self._with_catalog,
+            on_exhausted=lambda: self._with_catalog({"missing": True}),
+        )
+
+    def _with_catalog(self, reply: Mapping[str, object]) -> None:
+        previous_epochs = [] if reply.get("missing") else [e for e in reply["epochs"] if e < self.epoch]
+        if not previous_epochs:
+            self._build_first_version()
+            return
+        previous_epoch = max(previous_epochs)
+        self.client.fetch_coordinator(
+            self.relation,
+            previous_epoch,
+            self.snapshot,
+            on_record=self._with_previous_record,
+            on_error=lambda exc: self._build_first_version(),
+        )
+
+    def _with_previous_record(self, record: CoordinatorRecord) -> None:
+        self._previous_record = record
+        affected = self._affected_pages(record)
+        if not affected:
+            # No overlap with existing pages (can only happen for an empty
+            # batch); simply reuse the old record under the new epoch.
+            self._write_version(list(record.pages), [], [])
+            return
+        completion = _Completion(lambda: self._build_incremental_version(affected))
+        for ref in affected:
+            completion.add()
+            targets = [
+                physical_address(addr)
+                for addr in self.snapshot.replicas_for_key(ref.storage_key, self.client.replication_factor)
+            ]
+            self.client._call_with_failover(
+                targets,
+                "store.get_page",
+                {"page_id": ref.page_id},
+                32,
+                on_reply=lambda rep, ref=ref: self._store_previous_page(ref, rep, completion),
+                on_exhausted=completion.done,
+            )
+        completion.seal()
+
+    def _store_previous_page(self, ref: PageRef, reply: Mapping[str, object], completion: _Completion) -> None:
+        if not reply.get("missing"):
+            self._previous_pages[ref.page_id] = reply["page"]
+        completion.done()
+
+    def _affected_pages(self, record: CoordinatorRecord) -> list[PageRef]:
+        schema = self.batch.schema
+        changed_hashes = [
+            schema.tuple_id_for(values, 0).hash_key
+            for values in list(self.batch.inserts) + list(self.batch.modifications)
+        ] + [schema.tuple_id_for_key(key, 0).hash_key for key in self.batch.deletes]
+        affected: dict[PageId, PageRef] = {}
+        for hash_key in changed_hashes:
+            ref = record.page_for_hash(hash_key)
+            affected[ref.page_id] = ref
+        return list(affected.values())
+
+    # -- step 2: build the new version ----------------------------------------
+
+    def _build_first_version(self) -> None:
+        schema = self.batch.schema
+        num_pages = choose_page_count(
+            len(self.batch.inserts), len(self.snapshot.nodes), self.client.page_capacity
+        )
+        layout = initial_page_layout(self.relation, self.epoch, num_pages)
+        pages = {ref.page_id: IndexPage(ref, []) for ref in layout}
+        new_tuples: list[VersionedTuple] = []
+        for values in self.batch.inserts:
+            tid = schema.tuple_id_for(values, self.epoch)
+            new_tuples.append(VersionedTuple(self.relation, tid, values))
+            for ref in layout:
+                if ref.hash_range.contains(tid.hash_key):
+                    pages[ref.page_id].tuple_ids.append(tid)
+                    break
+        for page in pages.values():
+            page.tuple_ids.sort(key=lambda tid: (tid.hash_key, tid.epoch))
+        self._write_version(list(layout), list(pages.values()), new_tuples)
+
+    def _build_incremental_version(self, affected: Sequence[PageRef]) -> None:
+        schema = self.batch.schema
+        record = self._previous_record
+        assert record is not None
+        new_tuples: list[VersionedTuple] = []
+        inserts_by_page: dict[PageId, list[TupleId]] = {}
+        removals_by_page: dict[PageId, list[TupleId]] = {}
+
+        def page_of(hash_key: int) -> PageRef:
+            return record.page_for_hash(hash_key)
+
+        for values in self.batch.inserts:
+            tid = schema.tuple_id_for(values, self.epoch)
+            new_tuples.append(VersionedTuple(self.relation, tid, values))
+            inserts_by_page.setdefault(page_of(tid.hash_key).page_id, []).append(tid)
+
+        for values in self.batch.modifications:
+            key_values = schema.key_of(values)
+            tid = schema.tuple_id_for(values, self.epoch)
+            new_tuples.append(VersionedTuple(self.relation, tid, values))
+            ref = page_of(tid.hash_key)
+            inserts_by_page.setdefault(ref.page_id, []).append(tid)
+            old = self._find_current_id(ref, key_values)
+            if old is not None:
+                removals_by_page.setdefault(ref.page_id, []).append(old)
+
+        for key in self.batch.deletes:
+            key_values = tuple(key)
+            hash_key = schema.tuple_id_for_key(key_values, 0).hash_key
+            ref = page_of(hash_key)
+            old = self._find_current_id(ref, key_values)
+            if old is not None:
+                removals_by_page.setdefault(ref.page_id, []).append(old)
+
+        new_refs: list[PageRef] = []
+        new_pages: list[IndexPage] = []
+        sequence = 0
+        for ref in record.pages:
+            if ref.page_id not in inserts_by_page and ref.page_id not in removals_by_page:
+                new_refs.append(ref)  # page shared with the previous version
+                continue
+            previous = self._previous_pages.get(ref.page_id, IndexPage(ref, []))
+            new_page = previous.with_changes(
+                self.epoch,
+                sequence,
+                inserts=inserts_by_page.get(ref.page_id, ()),
+                removals=removals_by_page.get(ref.page_id, ()),
+            )
+            sequence += 1
+            new_refs.append(new_page.ref)
+            new_pages.append(new_page)
+        self._write_version(new_refs, new_pages, new_tuples)
+
+    def _find_current_id(self, ref: PageRef, key_values: tuple[Value, ...]) -> TupleId | None:
+        page = self._previous_pages.get(ref.page_id)
+        if page is None:
+            return None
+        candidates = [tid for tid in page.tuple_ids if tid.key_values == key_values]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda tid: tid.epoch)
+
+    # -- step 3: write everything out -------------------------------------------
+
+    def _write_version(
+        self,
+        refs: list[PageRef],
+        new_pages: list[IndexPage],
+        new_tuples: list[VersionedTuple],
+    ) -> None:
+        record = CoordinatorRecord(self.relation, self.epoch, refs)
+        completion = _Completion(lambda: self.on_complete(record))
+        replication = self.client.replication_factor
+        rpc = self.client.rpc
+
+        # Tuples, batched by destination node.
+        tuples_by_destination: dict[str, list[VersionedTuple]] = {}
+        for tup in new_tuples:
+            for destination in replica_set(self.snapshot, tup.hash_key, replication):
+                tuples_by_destination.setdefault(destination, []).append(tup)
+        for destination, tuples in tuples_by_destination.items():
+            completion.add()
+            size = sum(t.estimated_size() for t in tuples)
+            rpc.call(
+                destination, "store.put_tuples", {"tuples": tuples}, size,
+                on_reply=lambda _rep: completion.done(),
+                on_failure=lambda _addr: completion.done(),
+            )
+
+        # Inverse entries (tuple key → page holding its current version),
+        # co-located with the tuples themselves.
+        inverse_by_destination: dict[str, list[tuple]] = {}
+        ref_by_page = {ref.page_id: ref for ref in refs}
+        for page in new_pages:
+            for tid in page.tuple_ids:
+                if tid.epoch != self.epoch:
+                    continue
+                entry = (tid.key_values, ref_by_page[page.page_id], self.epoch)
+                for destination in replica_set(self.snapshot, tid.hash_key, replication):
+                    inverse_by_destination.setdefault(destination, []).append(entry)
+        for destination, entries in inverse_by_destination.items():
+            completion.add()
+            rpc.call(
+                destination, "store.put_inverse",
+                {"relation": self.relation, "entries": entries}, 48 * len(entries),
+                on_reply=lambda _rep: completion.done(),
+                on_failure=lambda _addr: completion.done(),
+            )
+
+        # Index pages, placed at the midpoint of their hash range.
+        for page in new_pages:
+            for destination in replica_set(self.snapshot, page.ref.storage_key, replication):
+                completion.add()
+                rpc.call(
+                    destination, "store.put_page", {"page": page}, page.estimated_size(),
+                    on_reply=lambda _rep: completion.done(),
+                    on_failure=lambda _addr: completion.done(),
+                )
+
+        # Relation coordinator record and catalog entry.
+        for destination in replica_set(
+            self.snapshot, coordinator_key(self.relation, self.epoch), replication
+        ):
+            completion.add()
+            rpc.call(
+                destination, "store.put_coordinator", {"record": record},
+                record.estimated_size(),
+                on_reply=lambda _rep: completion.done(),
+                on_failure=lambda _addr: completion.done(),
+            )
+        for destination in replica_set(self.snapshot, catalog_key(self.relation), replication):
+            completion.add()
+            rpc.call(
+                destination, "store.put_catalog",
+                {"relation": self.relation, "epochs": [self.epoch]}, 16,
+                on_reply=lambda _rep: completion.done(),
+                on_failure=lambda _addr: completion.done(),
+            )
+
+        completion.seal()
+
+
+class _RetrieveOperation:
+    """State machine for one Algorithm-1 retrieval."""
+
+    def __init__(
+        self,
+        client: StorageClient,
+        request_id: int,
+        relation: str,
+        epoch: int,
+        key_predicate: Callable[[tuple[Value, ...]], bool] | None,
+        snapshot: RoutingSnapshot,
+        on_complete: Callable[[RetrieveResult], None],
+        on_error: Callable[[Exception], None] | None,
+    ) -> None:
+        self.client = client
+        self.request_id = request_id
+        self.relation = relation
+        self.epoch = epoch
+        self.key_predicate = key_predicate
+        self.snapshot = snapshot
+        self.on_complete = on_complete
+        self.on_error = on_error or (lambda exc: (_ for _ in ()).throw(exc))
+        self.resolved_epoch: int | None = None
+        self._expected_pages = 0
+        self._manifests: dict[PageId, int] = {}
+        self._results_per_page: dict[PageId, int] = {}
+        self._tuples: list[VersionedTuple] = []
+        self._missing: list[TupleId] = []
+        self._finished = False
+
+    def start(self) -> None:
+        self.client.resolve_epoch(
+            self.relation, self.epoch, self.snapshot,
+            on_resolved=self._with_epoch,
+            on_error=self._fail,
+        )
+
+    def _with_epoch(self, resolved_epoch: int) -> None:
+        self.resolved_epoch = resolved_epoch
+        self.client.fetch_coordinator(
+            self.relation, resolved_epoch, self.snapshot,
+            on_record=self._with_record,
+            on_error=self._fail,
+        )
+
+    def _with_record(self, record: CoordinatorRecord) -> None:
+        self._expected_pages = len(record.pages)
+        if not record.pages:
+            self._finish()
+            return
+        for ref in record.pages:
+            index_node = physical_address(self.snapshot.owner_of(ref.storage_key))
+            self.client.rpc.cast(
+                index_node,
+                "store.retrieve_page",
+                {
+                    "request_id": self.request_id,
+                    "requester": self.client.node.address,
+                    "relation": self.relation,
+                    "page_ref": ref,
+                    "key_predicate": self.key_predicate,
+                    "snapshot": self.snapshot,
+                    "replication_factor": self.client.replication_factor,
+                },
+                size=96,
+            )
+
+    # -- messages from index / data nodes -----------------------------------------
+
+    def on_manifest(self, payload: Mapping[str, object]) -> None:
+        page_id: PageId = payload["page_id"]
+        self._manifests[page_id] = payload["data_requests"]
+        self._maybe_finish()
+
+    def on_result(self, payload: Mapping[str, object]) -> None:
+        page_id: PageId = payload["page_id"]
+        self._tuples.extend(payload["tuples"])
+        self._missing.extend(payload.get("missing", ()))
+        self._results_per_page[page_id] = self._results_per_page.get(page_id, 0) + 1
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._finished or len(self._manifests) < self._expected_pages:
+            return
+        for page_id, expected in self._manifests.items():
+            if self._results_per_page.get(page_id, 0) < expected:
+                return
+        self._finish()
+
+    def _finish(self) -> None:
+        self._finished = True
+        self.client._finish_retrieval(self.request_id)
+        if self._missing:
+            self.on_error(TupleNotFoundError(
+                f"{len(self._missing)} tuple(s) of {self.relation!r} could not be "
+                f"found on any replica"))
+            return
+        self.on_complete(
+            RetrieveResult(
+                relation=self.relation,
+                epoch=self.epoch,
+                resolved_epoch=self.resolved_epoch or self.epoch,
+                tuples=self._tuples,
+                pages_scanned=self._expected_pages,
+                missing=self._missing,
+            )
+        )
+
+    def _fail(self, exc: Exception) -> None:
+        self._finished = True
+        self.client._finish_retrieval(self.request_id)
+        self.on_error(exc)
+
+
+def register_retrieve_handlers(service: StorageService, replication_factor: int = 3) -> None:
+    """Register the index-node and data-node sides of the retrieve protocol.
+
+    These handlers complement :class:`StorageService`'s request/response
+    methods with the *push* messages of Algorithm 1: an index node receiving a
+    ``store.retrieve_page`` cast filters the page's tuple IDs and forwards
+    per-data-node ``store.retrieve_tuples`` casts; a data node receiving one
+    looks the tuples up (fetching any that are missing from replicas first)
+    and sends the results straight to the requester.
+    """
+    rpc = service.rpc
+    node = service.node
+
+    def on_retrieve_tuples(_src: str, payload: Mapping[str, object], _respond) -> None:
+        snapshot: RoutingSnapshot = payload["snapshot"]
+        relation = payload["relation"]
+        requested: list[TupleId] = payload["tuple_ids"]
+        requester = payload["requester"]
+        request_id = payload["request_id"]
+        page_id = payload["page_id"]
+        replication_factor = payload["replication_factor"]
+        found, missing = service.lookup_tuples(relation, requested)
+
+        def send_result(extra: list[VersionedTuple], still_missing: list[TupleId]) -> None:
+            tuples = found + extra
+            size = sum(t.estimated_size() for t in tuples) + 24 * len(still_missing)
+            rpc.cast(requester, "store.retrieve_result",
+                     {"request_id": request_id, "page_id": page_id,
+                      "tuples": tuples, "missing": still_missing}, size)
+
+        if not missing:
+            send_result([], [])
+            return
+
+        # Proactively fetch missing versions from replicas before answering,
+        # so the requester never sees stale or incomplete data (Section IV).
+        # Each missing tuple is chased across the replica/search list until a
+        # copy is found; a replica replying without the tuple (it may simply
+        # not hold that range yet) moves the search to the next candidate.
+        recovered: list[VersionedTuple] = []
+        still_missing: list[TupleId] = []
+        pending = _CompletionCounter(len(missing), lambda: send_result(recovered, still_missing))
+        for tid in missing:
+            replicas = search_targets(
+                snapshot, tid.hash_key, replication_factor, exclude=(node.address,)
+            )
+
+            def attempt(index: int, tid=tid, replicas=replicas) -> None:
+                if index >= len(replicas):
+                    still_missing.append(tid)
+                    pending.done()
+                    return
+
+                def handle(reply: Mapping[str, object]) -> None:
+                    fetched_tuples = [t for t in reply.get("tuples", []) if t.tuple_id == tid]
+                    if fetched_tuples:
+                        service.store_tuple(fetched_tuples[0])
+                        recovered.append(fetched_tuples[0])
+                        pending.done()
+                    else:
+                        attempt(index + 1)
+
+                rpc.call(
+                    replicas[index], "store.get_tuples",
+                    {"relation": relation, "tuple_ids": [tid]}, 48,
+                    on_reply=handle,
+                    on_failure=lambda _addr: attempt(index + 1),
+                )
+
+            attempt(0)
+
+    def on_retrieve_page(_src: str, payload: Mapping[str, object], _respond) -> None:
+        snapshot: RoutingSnapshot = payload["snapshot"]
+        ref: PageRef = payload["page_ref"]
+        requester: str = payload["requester"]
+        request_id = payload["request_id"]
+        relation = payload["relation"]
+        predicate = payload.get("key_predicate")
+        replication_factor = payload["replication_factor"]
+
+        def scan_page(page: IndexPage) -> None:
+            """Filter the page and forward per-data-node tuple requests."""
+            node.charge_cpu(INDEX_SCAN_COST_PER_ID * len(page.tuple_ids))
+            if predicate is None:
+                matching = list(page.tuple_ids)
+            else:
+                matching = [tid for tid in page.tuple_ids if predicate(tid.key_values)]
+            by_data_node: dict[str, list[TupleId]] = {}
+            for tid in matching:
+                owner = physical_address(snapshot.owner_of(tid.hash_key))
+                by_data_node.setdefault(owner, []).append(tid)
+            rpc.cast(requester, "store.retrieve_manifest",
+                     {"request_id": request_id, "page_id": ref.page_id,
+                      "data_requests": len(by_data_node)}, 48)
+            for data_node, tids in by_data_node.items():
+                rpc.cast(data_node, "store.retrieve_tuples",
+                         {"request_id": request_id, "requester": requester,
+                          "relation": relation, "tuple_ids": tids,
+                          "page_id": ref.page_id, "snapshot": snapshot,
+                          "replication_factor": replication_factor},
+                         size=24 * len(tids) + 64)
+
+        def page_unavailable() -> None:
+            rpc.cast(requester, "store.retrieve_manifest",
+                     {"request_id": request_id, "page_id": ref.page_id,
+                      "data_requests": 0}, 48)
+
+        page = service.local_page(ref.page_id)
+        if page is not None:
+            scan_page(page)
+            return
+        # The page is not here (e.g. the ring moved since it was written):
+        # fetch it from a replica, keep a local copy, then continue.
+        targets = search_targets(
+            snapshot, ref.storage_key, replication_factor, exclude=(node.address,)
+        )
+
+        def fetched(reply: Mapping[str, object]) -> None:
+            if reply.get("missing"):
+                page_unavailable()
+                return
+            service.store_page(reply["page"])
+            scan_page(reply["page"])
+
+        _failover_call(rpc, targets, "store.get_page", {"page_id": ref.page_id}, 32,
+                       fetched, page_unavailable)
+
+    rpc.register("store.retrieve_page", on_retrieve_page)
+    rpc.register("store.retrieve_tuples", on_retrieve_tuples)
+
+
+class _CompletionCounter:
+    """Fire a callback after N completions (helper for fan-out fetches)."""
+
+    def __init__(self, outstanding: int, on_complete: Callable[[], None]) -> None:
+        self._outstanding = outstanding
+        self._on_complete = on_complete
+        if outstanding == 0:
+            on_complete()
+
+    def done(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._on_complete()
+
+
+def _failover_call(
+    rpc: RpcEndpoint,
+    targets: Sequence[str],
+    method: str,
+    payload: Mapping[str, object],
+    size: int,
+    on_reply: Callable[[Mapping[str, object]], None],
+    on_exhausted: Callable[[], None],
+) -> None:
+    """Try ``targets`` in order until one replies; used for replica failover."""
+    if not targets:
+        on_exhausted()
+        return
+    rpc.call(
+        targets[0], method, payload, size,
+        on_reply=on_reply,
+        on_failure=lambda _addr: _failover_call(
+            rpc, targets[1:], method, payload, size, on_reply, on_exhausted
+        ),
+    )

@@ -1,0 +1,269 @@
+"""Per-node storage service: the RPC surface of the versioned storage layer.
+
+Every participant runs one :class:`StorageService`.  It owns the node's local
+ordered store (:class:`~repro.storage.localstore.LocalStore`) and registers
+the RPC methods that implement the four roles a node can play in Figure 3 of
+the paper:
+
+* **relation coordinator** — serves the list of index pages for a relation
+  version (``store.put_coordinator`` / ``store.get_coordinator``), plus the
+  small catalog record listing the epochs at which a relation was published;
+* **index node** — stores index pages and answers scan requests by filtering
+  the page's tuple IDs with a sargable predicate (``store.put_page`` /
+  ``store.scan_page``);
+* **data storage node** — stores full tuple versions keyed by tuple ID and
+  serves point reads and scans (``store.put_tuples`` / ``store.get_tuples``);
+* **inverse node** — maps a tuple key to the page currently holding its
+  latest version, used when a tuple is modified (``store.put_inverse`` /
+  ``store.get_inverse``).
+
+The service is deliberately ignorant of *placement*: clients decide which node
+to contact using a routing snapshot, and replicas receive the same ``put``
+messages as the owner.  If a read misses (e.g. the ring moved after a failure
+and this node only just inherited a range), the client — not the service —
+falls back to the replicas, implementing the paper's "search other nodes
+nearby in the system until it found a copy" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..common.types import TupleId, VersionedTuple
+from ..net.simnet import SimNode
+from ..net.transport import RpcEndpoint, rpc_endpoint
+from .localstore import LocalStore
+from .pages import CoordinatorRecord, IndexPage, PageId, PageRef
+
+#: CPU cost (seconds) of processing one tuple ID during an index-page scan.
+INDEX_SCAN_COST_PER_ID = 0.2e-6
+#: CPU cost (seconds) of materialising one stored tuple during a data scan.
+DATA_SCAN_COST_PER_TUPLE = 1.0e-6
+#: CPU cost (seconds) of inserting one tuple version.
+INSERT_COST_PER_TUPLE = 1.5e-6
+
+_COORD_TREE = "coordinator"
+_CATALOG_TREE = "catalog"
+_PAGE_TREE = "pages"
+_TUPLE_TREE = "tuples"
+_INVERSE_TREE = "inverse"
+
+
+class StorageService:
+    """Storage RPC handlers and local state for a single simulated node."""
+
+    def __init__(self, node: SimNode) -> None:
+        self.node = node
+        self.rpc: RpcEndpoint = rpc_endpoint(node)
+        self.store = LocalStore()
+        #: Local observers notified when tuples are written (used by tests and
+        #: by the background replicator's bookkeeping).
+        self._write_listeners: list[Callable[[VersionedTuple], None]] = []
+        self._register_handlers()
+        node.services["storage"] = self
+
+    # ------------------------------------------------------------------ setup
+
+    def _register_handlers(self) -> None:
+        self.rpc.register("store.put_coordinator", self._on_put_coordinator)
+        self.rpc.register("store.get_coordinator", self._on_get_coordinator)
+        self.rpc.register("store.put_catalog", self._on_put_catalog)
+        self.rpc.register("store.get_catalog", self._on_get_catalog)
+        self.rpc.register("store.put_page", self._on_put_page)
+        self.rpc.register("store.get_page", self._on_get_page)
+        self.rpc.register("store.scan_page", self._on_scan_page)
+        self.rpc.register("store.put_tuples", self._on_put_tuples)
+        self.rpc.register("store.get_tuples", self._on_get_tuples)
+        self.rpc.register("store.put_inverse", self._on_put_inverse)
+        self.rpc.register("store.get_inverse", self._on_get_inverse)
+
+    def add_write_listener(self, listener: Callable[[VersionedTuple], None]) -> None:
+        self._write_listeners.append(listener)
+
+    # ------------------------------------------------------- coordinator role
+
+    def _on_put_coordinator(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        record: CoordinatorRecord = payload["record"]
+        self.store.put(
+            _COORD_TREE,
+            (record.relation, record.epoch),
+            record,
+            size=record.estimated_size(),
+        )
+        respond({"ok": True}, size=8)
+
+    def _on_get_coordinator(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        record = self.store.get(_COORD_TREE, (payload["relation"], payload["epoch"]))
+        if record is None:
+            respond({"missing": True}, size=8)
+        else:
+            respond({"record": record}, size=record.estimated_size())
+
+    def _on_put_catalog(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        relation = payload["relation"]
+        epochs: set[int] = set(self.store.get(_CATALOG_TREE, relation, default=()))
+        epochs.update(payload["epochs"])
+        self.store.put(_CATALOG_TREE, relation, tuple(sorted(epochs)), size=8 * len(epochs))
+        respond({"ok": True}, size=8)
+
+    def _on_get_catalog(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        epochs = self.store.get(_CATALOG_TREE, payload["relation"])
+        if epochs is None:
+            respond({"missing": True}, size=8)
+        else:
+            respond({"epochs": tuple(epochs)}, size=8 + 8 * len(epochs))
+
+    # -------------------------------------------------------- index node role
+
+    def _on_put_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        page: IndexPage = payload["page"]
+        self.store.put(_PAGE_TREE, page.page_id, page, size=page.estimated_size())
+        respond({"ok": True}, size=8)
+
+    def _on_get_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        page = self.store.get(_PAGE_TREE, payload["page_id"])
+        if page is None:
+            respond({"missing": True}, size=8)
+        else:
+            respond({"page": page}, size=page.estimated_size())
+
+    def _on_scan_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        """Filter a page's tuple IDs with an optional sargable predicate.
+
+        The predicate is a callable over the tuple's *key values* (sargable in
+        the paper's sense: evaluable from the index entry alone).
+        """
+        page = self.store.get(_PAGE_TREE, payload["page_id"])
+        if page is None:
+            respond({"missing": True}, size=8)
+            return
+        predicate = payload.get("key_predicate")
+        self.node.charge_cpu(INDEX_SCAN_COST_PER_ID * len(page.tuple_ids))
+        if predicate is None:
+            matching = list(page.tuple_ids)
+        else:
+            matching = [tid for tid in page.tuple_ids if predicate(tid.key_values)]
+        respond({"tuple_ids": matching}, size=8 + 24 * len(matching))
+
+    # ------------------------------------------------------ data storage role
+
+    def _on_put_tuples(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        tuples: Iterable[VersionedTuple] = payload["tuples"]
+        total = 0
+        count = 0
+        for tup in tuples:
+            self.store.put(
+                _TUPLE_TREE,
+                (tup.relation, tup.hash_key, tup.tuple_id),
+                tup,
+                size=tup.estimated_size(),
+            )
+            total += tup.estimated_size()
+            count += 1
+            for listener in self._write_listeners:
+                listener(tup)
+        self.node.charge_cpu(INSERT_COST_PER_TUPLE * count)
+        self.node.charge_disk_read(0)  # writes are asynchronous in the prototype
+        respond({"ok": True, "count": count}, size=16)
+
+    def _on_get_tuples(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        relation = payload["relation"]
+        requested: Iterable[TupleId] = payload["tuple_ids"]
+        found, missing = self.lookup_tuples(relation, requested)
+        size = sum(t.estimated_size() for t in found) + 24 * len(missing)
+        respond({"tuples": found, "missing": missing}, size=size)
+
+    # ----------------------------------------------------------- inverse role
+
+    def _on_put_inverse(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        relation = payload["relation"]
+        for key_values, page_ref, epoch in payload["entries"]:
+            self.store.put(
+                _INVERSE_TREE,
+                (relation, key_values),
+                (page_ref, epoch),
+                size=48,
+            )
+        respond({"ok": True}, size=8)
+
+    def _on_get_inverse(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        entry = self.store.get(_INVERSE_TREE, (payload["relation"], payload["key_values"]))
+        if entry is None:
+            respond({"missing": True}, size=8)
+        else:
+            page_ref, epoch = entry
+            respond({"page_ref": page_ref, "epoch": epoch}, size=56)
+
+    # ------------------------------------------------------- local (in-process)
+
+    def local_coordinator(self, relation: str, epoch: int) -> CoordinatorRecord | None:
+        return self.store.get(_COORD_TREE, (relation, epoch))
+
+    def local_catalog(self, relation: str) -> tuple[int, ...] | None:
+        return self.store.get(_CATALOG_TREE, relation)
+
+    def local_page(self, page_id: PageId) -> IndexPage | None:
+        return self.store.get(_PAGE_TREE, page_id)
+
+    def local_pages_for_relation(self, relation: str) -> list[IndexPage]:
+        return [page for _key, page in self.store.items(_PAGE_TREE) if page.page_id.relation == relation]
+
+    def lookup_tuples(
+        self, relation: str, tuple_ids: Iterable[TupleId]
+    ) -> tuple[list[VersionedTuple], list[TupleId]]:
+        """Local point lookups; returns (found tuples, missing IDs)."""
+        found: list[VersionedTuple] = []
+        missing: list[TupleId] = []
+        count = 0
+        for tid in tuple_ids:
+            tup = self.store.get(_TUPLE_TREE, (relation, tid.hash_key, tid))
+            count += 1
+            if tup is None:
+                missing.append(tid)
+            else:
+                found.append(tup)
+        self.node.charge_cpu(DATA_SCAN_COST_PER_TUPLE * count)
+        self.node.charge_disk_read(sum(t.estimated_size() for t in found))
+        return found, missing
+
+    def store_tuple(self, tup: VersionedTuple) -> None:
+        """Directly store a tuple locally (used by background replication)."""
+        self.store.put(
+            _TUPLE_TREE,
+            (tup.relation, tup.hash_key, tup.tuple_id),
+            tup,
+            size=tup.estimated_size(),
+        )
+
+    def store_page(self, page: IndexPage) -> None:
+        self.store.put(_PAGE_TREE, page.page_id, page, size=page.estimated_size())
+
+    def store_coordinator(self, record: CoordinatorRecord) -> None:
+        self.store.put(_COORD_TREE, (record.relation, record.epoch), record,
+                       size=record.estimated_size())
+
+    def local_tuples_in_range(self, relation: str, hash_range) -> list[VersionedTuple]:
+        """All locally stored tuple versions of ``relation`` within ``hash_range``."""
+        result = []
+        for (rel, hash_key, _tid), tup in self.store.items(_TUPLE_TREE):
+            if rel == relation and hash_range.contains(hash_key):
+                result.append(tup)
+        return result
+
+    def all_local_tuples(self, relation: str | None = None) -> list[VersionedTuple]:
+        return [
+            tup
+            for (rel, _hash, _tid), tup in self.store.items(_TUPLE_TREE)
+            if relation is None or rel == relation
+        ]
+
+    def tuple_count(self) -> int:
+        return self.store.count(_TUPLE_TREE)
+
+
+def storage_of(node: SimNode) -> StorageService:
+    """Return the node's storage service (must exist)."""
+    service = node.services.get("storage")
+    if not isinstance(service, StorageService):
+        raise LookupError(f"node {node.address!r} has no storage service")
+    return service

@@ -1,0 +1,15 @@
+"""Workload generators: STBenchmark mapping scenarios and scaled-down TPC-H."""
+
+from . import stbenchmark, tpch
+from .stbenchmark import SCENARIOS, ScenarioInstance, generate_all
+from .tpch import QUERIES, TpchInstance
+
+__all__ = [
+    "QUERIES",
+    "SCENARIOS",
+    "ScenarioInstance",
+    "TpchInstance",
+    "generate_all",
+    "stbenchmark",
+    "tpch",
+]

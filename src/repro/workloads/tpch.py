@@ -1,0 +1,425 @@
+"""A scaled-down TPC-H workload generator and the queries used in the paper.
+
+Section VI-A uses the standard TPC-H benchmark "to add diversity and scale":
+the 8 TPC-H tables are generated at several scale factors, partitioned on
+their (first) key attribute — with the tiny Nation and Region tables
+replicated everywhere — and queries 1, 3, 5, 6 and 10 (the single-block
+queries the optimizer handles) are measured to completion.
+
+``dbgen`` is not available offline, so this module generates synthetic data
+with the same schema, key relationships, cardinality ratios and value
+distributions that the queries depend on (order/lineitem fan-out, date ranges,
+region→nation→customer/supplier hierarchy, numeric measures).  Row counts are
+``base cardinality × scale factor × scaling``; ``scaling`` defaults to 1/2000
+of real TPC-H so that simulated runs at scale factors 0.25–10 stay laptop
+sized while preserving the *ratios* between scale factors that the paper's
+figures vary.
+
+Dates are encoded as integers ``YYYYMMDD`` so date predicates remain simple
+comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..common.types import RelationData, Schema
+from ..query.expressions import AggregateSpec, Avg, Count, Sum, and_, col, lit
+from ..query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+
+#: Queries from the paper's evaluation (single-SQL-block subset of TPC-H).
+QUERIES = ("Q1", "Q3", "Q5", "Q6", "Q10")
+
+#: Fraction of the official TPC-H cardinalities generated per unit scale
+#: factor.  The paper runs SF 0.25–10 on real hardware; the simulator runs the
+#: same scale factors at 1/2000 of the row counts.
+DEFAULT_SCALING = 1.0 / 2000.0
+
+#: Official rows-per-scale-factor cardinalities of the TPC-H tables.
+BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["O", "F"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+SHIP_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"]
+
+
+# ---------------------------------------------------------------------------
+# Schemas (attribute names carry the usual TPC-H prefixes, which keeps them
+# globally unique as the single-block planner requires).
+# ---------------------------------------------------------------------------
+
+REGION = Schema("region", ["r_regionkey", "r_name", "r_comment"], key=["r_regionkey"])
+NATION = Schema(
+    "nation", ["n_nationkey", "n_name", "n_regionkey", "n_comment"], key=["n_nationkey"]
+)
+SUPPLIER = Schema(
+    "supplier",
+    ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+    key=["s_suppkey"],
+)
+CUSTOMER = Schema(
+    "customer",
+    ["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal",
+     "c_mktsegment", "c_comment"],
+    key=["c_custkey"],
+)
+PART = Schema(
+    "part",
+    ["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
+     "p_retailprice", "p_comment"],
+    key=["p_partkey"],
+)
+PARTSUPP = Schema(
+    "partsupp",
+    ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+    key=["ps_partkey", "ps_suppkey"],
+    partition_key=["ps_partkey"],
+)
+ORDERS = Schema(
+    "orders",
+    ["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+     "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"],
+    key=["o_orderkey"],
+)
+LINEITEM = Schema(
+    "lineitem",
+    ["l_orderkey", "l_linenumber", "l_partkey", "l_suppkey", "l_quantity",
+     "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+     "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode", "l_comment"],
+    key=["l_orderkey", "l_linenumber"],
+    partition_key=["l_orderkey"],
+)
+
+SCHEMAS = {
+    schema.name: schema
+    for schema in (REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP, ORDERS, LINEITEM)
+}
+
+#: Tables small enough that the paper replicates them at every node.
+REPLICATED_TABLES = ("region", "nation")
+
+
+@dataclass
+class TpchInstance:
+    """A generated TPC-H database at one scale factor."""
+
+    scale_factor: float
+    scaling: float
+    relations: dict[str, RelationData] = field(default_factory=dict)
+
+    def relation_list(self) -> list[RelationData]:
+        return list(self.relations.values())
+
+    def total_tuples(self) -> int:
+        return sum(len(data) for data in self.relations.values())
+
+    def row_count(self, table: str) -> int:
+        return len(self.relations[table])
+
+
+def _rows_for(table: str, scale_factor: float, scaling: float) -> int:
+    base = BASE_CARDINALITIES[table]
+    if table in ("region", "nation"):
+        return base  # fixed-size tables, never scaled
+    return max(5, int(base * scale_factor * scaling))
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> int:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return year * 10_000 + month * 100 + day
+
+
+def generate(scale_factor: float, seed: int = 0, scaling: float = DEFAULT_SCALING) -> TpchInstance:
+    """Generate all eight TPC-H tables at ``scale_factor``."""
+    rng = random.Random(seed)
+    instance = TpchInstance(scale_factor=scale_factor, scaling=scaling)
+
+    region = RelationData(REGION)
+    for key, name in enumerate(REGIONS):
+        region.add(key, name, f"region comment {key}")
+    instance.relations["region"] = region
+
+    nation = RelationData(NATION)
+    for key, (name, regionkey) in enumerate(NATIONS):
+        nation.add(key, name, regionkey, f"nation comment {key}")
+    instance.relations["nation"] = nation
+
+    num_suppliers = _rows_for("supplier", scale_factor, scaling)
+    supplier = RelationData(SUPPLIER)
+    for key in range(num_suppliers):
+        supplier.add(
+            key,
+            f"Supplier#{key:09d}",
+            f"address-{rng.randint(0, 10_000)}",
+            rng.randrange(len(NATIONS)),
+            f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            "supplier comment",
+        )
+    instance.relations["supplier"] = supplier
+
+    num_customers = _rows_for("customer", scale_factor, scaling)
+    customer = RelationData(CUSTOMER)
+    for key in range(num_customers):
+        customer.add(
+            key,
+            f"Customer#{key:09d}",
+            f"address-{rng.randint(0, 10_000)}",
+            rng.randrange(len(NATIONS)),
+            f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(SEGMENTS),
+            "customer comment",
+        )
+    instance.relations["customer"] = customer
+
+    num_parts = _rows_for("part", scale_factor, scaling)
+    part = RelationData(PART)
+    for key in range(num_parts):
+        part.add(
+            key,
+            f"part name {key}",
+            f"Manufacturer#{key % 5 + 1}",
+            f"Brand#{key % 25 + 1}",
+            rng.choice(["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]),
+            rng.randint(1, 50),
+            rng.choice(["SM CASE", "LG BOX", "MED BAG", "JUMBO PKG", "WRAP CAN"]),
+            round(900 + (key % 1000) * 0.1, 2),
+            "part comment",
+        )
+    instance.relations["part"] = part
+
+    num_partsupp = _rows_for("partsupp", scale_factor, scaling)
+    partsupp = RelationData(PARTSUPP)
+    for index in range(num_partsupp):
+        partsupp.add(
+            index % max(1, num_parts),
+            (index * 7) % max(1, num_suppliers),
+            rng.randint(1, 9999),
+            round(rng.uniform(1.0, 1000.0), 2),
+            "partsupp comment",
+        )
+    instance.relations["partsupp"] = partsupp
+
+    num_orders = _rows_for("orders", scale_factor, scaling)
+    orders = RelationData(ORDERS)
+    order_dates: list[int] = []
+    for key in range(num_orders):
+        orderdate = _date(rng, 1992, 1998)
+        order_dates.append(orderdate)
+        orders.add(
+            key,
+            rng.randrange(max(1, num_customers)),
+            rng.choice(["O", "F", "P"]),
+            round(rng.uniform(800.0, 500_000.0), 2),
+            orderdate,
+            rng.choice(ORDER_PRIORITIES),
+            f"Clerk#{rng.randint(1, 1000):09d}",
+            0,
+            "order comment",
+        )
+    instance.relations["orders"] = orders
+
+    num_lineitems = _rows_for("lineitem", scale_factor, scaling)
+    lineitem = RelationData(LINEITEM)
+    lines_per_order = max(1, num_lineitems // max(1, num_orders))
+    line_count = 0
+    for orderkey in range(num_orders):
+        for linenumber in range(1, lines_per_order + rng.randint(0, 3)):
+            if line_count >= num_lineitems:
+                break
+            shipdate = min(19981201, order_dates[orderkey] + rng.randint(1, 120))
+            quantity = rng.randint(1, 50)
+            extendedprice = round(quantity * rng.uniform(900.0, 2000.0), 2)
+            lineitem.add(
+                orderkey,
+                linenumber,
+                rng.randrange(max(1, num_parts)),
+                rng.randrange(max(1, num_suppliers)),
+                quantity,
+                extendedprice,
+                round(rng.uniform(0.0, 0.1), 2),
+                round(rng.uniform(0.0, 0.08), 2),
+                rng.choice(RETURN_FLAGS),
+                rng.choice(LINE_STATUSES),
+                shipdate,
+                shipdate + rng.randint(0, 30),
+                shipdate + rng.randint(0, 30),
+                rng.choice(SHIP_MODES),
+                "lineitem comment",
+            )
+            line_count += 1
+        if line_count >= num_lineitems:
+            break
+    instance.relations["lineitem"] = lineitem
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# The paper's queries.  Each builder returns a LogicalQuery; the optimizer
+# turns it into a distributed physical plan.
+# ---------------------------------------------------------------------------
+
+
+def query_1() -> LogicalQuery:
+    """Q1: pricing summary report — aggregation over lineitem, re-aggregated
+    at the coordinator (small group count: returnflag × linestatus)."""
+    scan = LogicalScan(LINEITEM)
+    filtered = LogicalSelect(scan, col("l_shipdate").le(19980902))
+    aggregate = LogicalAggregate(
+        filtered,
+        group_by=["l_returnflag", "l_linestatus"],
+        aggregates=[
+            AggregateSpec("sum_qty", Sum(), col("l_quantity")),
+            AggregateSpec("sum_base_price", Sum(), col("l_extendedprice")),
+            AggregateSpec(
+                "sum_disc_price", Sum(),
+                col("l_extendedprice") * (lit(1) - col("l_discount")),
+            ),
+            AggregateSpec(
+                "sum_charge", Sum(),
+                col("l_extendedprice") * (lit(1) - col("l_discount")) * (lit(1) + col("l_tax")),
+            ),
+            AggregateSpec("avg_qty", Avg(), col("l_quantity")),
+            AggregateSpec("avg_price", Avg(), col("l_extendedprice")),
+            AggregateSpec("avg_disc", Avg(), col("l_discount")),
+            AggregateSpec("count_order", Count(), col("l_orderkey")),
+        ],
+    )
+    return LogicalQuery(aggregate, order_by=[("l_returnflag", True), ("l_linestatus", True)], name="Q1")
+
+
+def query_3(segment: str = "BUILDING", date: int = 19950315) -> LogicalQuery:
+    """Q3: shipping priority — customer ⋈ orders ⋈ lineitem, grouped by order."""
+    customer = LogicalSelect(LogicalScan(CUSTOMER), col("c_mktsegment").eq(segment))
+    orders = LogicalSelect(LogicalScan(ORDERS), col("o_orderdate").lt(date))
+    lineitem = LogicalSelect(LogicalScan(LINEITEM), col("l_shipdate").gt(date))
+    join_co = LogicalJoin(customer, orders, [("c_custkey", "o_custkey")])
+    join_all = LogicalJoin(join_co, lineitem, [("o_orderkey", "l_orderkey")])
+    aggregate = LogicalAggregate(
+        join_all,
+        group_by=["l_orderkey", "o_orderdate", "o_shippriority"],
+        aggregates=[
+            AggregateSpec(
+                "revenue", Sum(), col("l_extendedprice") * (lit(1) - col("l_discount"))
+            )
+        ],
+    )
+    return LogicalQuery(aggregate, order_by=[("revenue", False)], limit=10, name="Q3")
+
+
+def query_5(region: str = "ASIA", date_low: int = 19940101, date_high: int = 19950101) -> LogicalQuery:
+    """Q5: local supplier volume — six-way join grouped by nation name."""
+    customer = LogicalScan(CUSTOMER)
+    orders = LogicalSelect(
+        LogicalScan(ORDERS),
+        and_(col("o_orderdate").ge(date_low), col("o_orderdate").lt(date_high)),
+    )
+    lineitem = LogicalScan(LINEITEM)
+    supplier = LogicalScan(SUPPLIER)
+    nation = LogicalScan(NATION)
+    region_scan = LogicalSelect(LogicalScan(REGION), col("r_name").eq(region))
+    join = LogicalJoin(customer, orders, [("c_custkey", "o_custkey")])
+    join = LogicalJoin(join, lineitem, [("o_orderkey", "l_orderkey")])
+    join = LogicalJoin(join, supplier, [("l_suppkey", "s_suppkey")])
+    join = LogicalJoin(join, nation, [("s_nationkey", "n_nationkey")])
+    join = LogicalJoin(join, region_scan, [("n_regionkey", "r_regionkey")])
+    filtered = LogicalSelect(join, col("c_nationkey").eq(col("s_nationkey")))
+    aggregate = LogicalAggregate(
+        filtered,
+        group_by=["n_name"],
+        aggregates=[
+            AggregateSpec(
+                "revenue", Sum(), col("l_extendedprice") * (lit(1) - col("l_discount"))
+            )
+        ],
+    )
+    return LogicalQuery(aggregate, order_by=[("revenue", False)], name="Q5")
+
+
+def query_6(date_low: int = 19940101, date_high: int = 19950101) -> LogicalQuery:
+    """Q6: forecasting revenue change — scalar aggregation at the coordinator."""
+    scan = LogicalScan(LINEITEM)
+    predicate = and_(
+        col("l_shipdate").ge(date_low),
+        col("l_shipdate").lt(date_high),
+        col("l_discount").ge(0.02),
+        col("l_discount").le(0.08),
+        col("l_quantity").lt(24),
+    )
+    aggregate = LogicalAggregate(
+        LogicalSelect(scan, predicate),
+        group_by=[],
+        aggregates=[AggregateSpec("revenue", Sum(), col("l_extendedprice") * col("l_discount"))],
+    )
+    return LogicalQuery(aggregate, name="Q6")
+
+
+def query_10(date_low: int = 19931001, date_high: int = 19940101) -> LogicalQuery:
+    """Q10: returned item reporting — four-way join followed by aggregation."""
+    customer = LogicalScan(CUSTOMER)
+    orders = LogicalSelect(
+        LogicalScan(ORDERS),
+        and_(col("o_orderdate").ge(date_low), col("o_orderdate").lt(date_high)),
+    )
+    lineitem = LogicalSelect(LogicalScan(LINEITEM), col("l_returnflag").eq("R"))
+    nation = LogicalScan(NATION)
+    join = LogicalJoin(customer, orders, [("c_custkey", "o_custkey")])
+    join = LogicalJoin(join, lineitem, [("o_orderkey", "l_orderkey")])
+    join = LogicalJoin(join, nation, [("c_nationkey", "n_nationkey")])
+    aggregate = LogicalAggregate(
+        join,
+        group_by=["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name"],
+        aggregates=[
+            AggregateSpec(
+                "revenue", Sum(), col("l_extendedprice") * (lit(1) - col("l_discount"))
+            )
+        ],
+    )
+    return LogicalQuery(aggregate, order_by=[("revenue", False)], limit=20, name="Q10")
+
+
+QUERY_BUILDERS = {
+    "Q1": query_1,
+    "Q3": query_3,
+    "Q5": query_5,
+    "Q6": query_6,
+    "Q10": query_10,
+}
+
+
+def query(name: str) -> LogicalQuery:
+    """Build one of the paper's TPC-H queries by name (``Q1``, ``Q3``, ...)."""
+    try:
+        return QUERY_BUILDERS[name.upper()]()
+    except KeyError:
+        raise ValueError(f"unknown TPC-H query {name!r}; choose from {QUERIES}") from None

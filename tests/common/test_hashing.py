@@ -1,0 +1,178 @@
+"""Unit and property tests for the 160-bit key ring (repro.common.hashing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    KEY_SPACE_SIZE,
+    KeyRange,
+    format_key,
+    node_id_for,
+    ranges_partition_ring,
+    ring_add,
+    ring_distance,
+    sha1_key,
+)
+
+keys = st.integers(min_value=0, max_value=KEY_SPACE_SIZE - 1)
+
+
+class TestSha1Key:
+    def test_within_key_space(self):
+        assert 0 <= sha1_key("hello") < KEY_SPACE_SIZE
+
+    def test_deterministic(self):
+        assert sha1_key(("r", 3)) == sha1_key(("r", 3))
+
+    def test_different_inputs_differ(self):
+        assert sha1_key("a") != sha1_key("b")
+
+    def test_composite_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert sha1_key(("ab", "c")) != sha1_key(("a", "bc"))
+
+    def test_int_and_str_do_not_collide(self):
+        assert sha1_key(1) != sha1_key("1")
+
+    def test_none_and_bool_supported(self):
+        assert sha1_key(None) != sha1_key(False)
+        assert sha1_key(True) != sha1_key(1)
+
+    def test_nested_tuples(self):
+        assert sha1_key((1, (2, 3))) != sha1_key((1, 2, 3))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            sha1_key(object())
+
+    def test_node_id_differs_from_plain_hash(self):
+        assert node_id_for("node-1") != sha1_key("node-1")
+
+    def test_format_key_prefix(self):
+        assert format_key(0).startswith("0x")
+
+
+class TestRingArithmetic:
+    def test_ring_add_wraps(self):
+        assert ring_add(KEY_SPACE_SIZE - 1, 2) == 1
+
+    def test_ring_distance_simple(self):
+        assert ring_distance(10, 15) == 5
+
+    def test_ring_distance_wraps(self):
+        assert ring_distance(KEY_SPACE_SIZE - 5, 5) == 10
+
+    @given(a=keys, b=keys)
+    def test_distance_and_add_are_inverse(self, a, b):
+        assert ring_add(a, ring_distance(a, b)) == b
+
+
+class TestKeyRange:
+    def test_simple_contains(self):
+        key_range = KeyRange(10, 20)
+        assert key_range.contains(10)
+        assert key_range.contains(19)
+        assert not key_range.contains(20)
+        assert not key_range.contains(9)
+
+    def test_wrapping_contains(self):
+        key_range = KeyRange(KEY_SPACE_SIZE - 10, 10)
+        assert key_range.contains(KEY_SPACE_SIZE - 1)
+        assert key_range.contains(0)
+        assert key_range.contains(9)
+        assert not key_range.contains(10)
+        assert not key_range.contains(KEY_SPACE_SIZE // 2)
+
+    def test_full_ring_contains_everything(self):
+        key_range = KeyRange.full_ring(42)
+        assert key_range.contains(0)
+        assert key_range.contains(KEY_SPACE_SIZE - 1)
+        assert key_range.size() == KEY_SPACE_SIZE
+
+    def test_empty_range(self):
+        key_range = KeyRange.empty(42)
+        assert key_range.is_empty()
+        assert not key_range.contains(42)
+        assert key_range.size() == 0
+
+    def test_full_ring_requires_equal_bounds(self):
+        with pytest.raises(ValueError):
+            KeyRange(1, 2, full=True)
+
+    def test_out_of_space_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(-1, 10)
+        with pytest.raises(ValueError):
+            KeyRange(0, KEY_SPACE_SIZE)
+
+    def test_midpoint_inside_range(self):
+        key_range = KeyRange(100, 200)
+        assert key_range.contains(key_range.midpoint())
+        assert key_range.midpoint() == 150
+
+    def test_midpoint_of_wrapping_range(self):
+        key_range = KeyRange(KEY_SPACE_SIZE - 100, 100)
+        assert key_range.contains(key_range.midpoint())
+
+    def test_split_partitions_range(self):
+        key_range = KeyRange(0, 1000)
+        pieces = key_range.split(3)
+        assert len(pieces) == 3
+        assert sum(p.size() for p in pieces) == key_range.size()
+        # Pieces chain together.
+        assert pieces[0].end == pieces[1].start
+        assert pieces[1].end == pieces[2].start
+
+    def test_split_full_ring(self):
+        pieces = KeyRange.full_ring(0).split(4)
+        assert sum(p.size() for p in pieces) == KEY_SPACE_SIZE
+        assert ranges_partition_ring(pieces)
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            KeyRange(0, 10).split(0)
+
+    def test_overlaps(self):
+        assert KeyRange(0, 100).overlaps(KeyRange(50, 150))
+        assert not KeyRange(0, 100).overlaps(KeyRange(100, 200))
+        assert KeyRange.full_ring(0).overlaps(KeyRange(5, 6))
+
+    def test_keys_sample_inside(self):
+        key_range = KeyRange(1000, 2000)
+        sample = list(key_range.keys_sample(10))
+        assert len(sample) == 10
+        assert all(key_range.contains(k) for k in sample)
+
+    @given(start=keys, size=st.integers(min_value=1, max_value=KEY_SPACE_SIZE - 1), pieces=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=50)
+    def test_split_property(self, start, size, pieces):
+        key_range = KeyRange(start, ring_add(start, size))
+        parts = key_range.split(pieces)
+        assert len(parts) == pieces
+        assert sum(p.size() for p in parts) == key_range.size()
+        for p in parts:
+            if not p.is_empty():
+                assert key_range.contains(p.start)
+
+    @given(start=keys, size=st.integers(min_value=1, max_value=KEY_SPACE_SIZE - 1), key=keys)
+    @settings(max_examples=50)
+    def test_contains_matches_distance(self, start, size, key):
+        key_range = KeyRange(start, ring_add(start, size))
+        assert key_range.contains(key) == (ring_distance(start, key) < size)
+
+
+class TestRangesPartitionRing:
+    def test_single_full_ring(self):
+        assert ranges_partition_ring([KeyRange.full_ring(0)])
+
+    def test_two_halves(self):
+        half = KEY_SPACE_SIZE // 2
+        assert ranges_partition_ring([KeyRange(0, half), KeyRange(half, 0)])
+
+    def test_gap_detected(self):
+        half = KEY_SPACE_SIZE // 2
+        assert not ranges_partition_ring([KeyRange(0, half), KeyRange(half + 1, 0)])
+
+    def test_empty_collection(self):
+        assert not ranges_partition_ring([])

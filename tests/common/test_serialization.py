@@ -1,0 +1,90 @@
+"""Round-trip and sizing tests for the wire serialization layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.serialization import (
+    SerializationError,
+    TupleBatch,
+    decode_value,
+    decode_values,
+    encode_value,
+    encode_values,
+)
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+values = st.one_of(scalar_values, st.tuples(scalar_values, scalar_values))
+
+
+class TestValueCodec:
+    @given(value=values)
+    @settings(max_examples=200)
+    def test_round_trip(self, value):
+        payload = encode_value(value)
+        decoded, offset = decode_value(payload)
+        assert decoded == value
+        assert offset == len(payload)
+
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError):
+            encode_value(object())
+
+    def test_truncated_payload(self):
+        with pytest.raises(SerializationError):
+            decode_value(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            decode_value(bytes([250]))
+
+    @given(row=st.lists(scalar_values, max_size=10))
+    @settings(max_examples=100)
+    def test_values_round_trip(self, row):
+        payload = encode_values(tuple(row))
+        decoded, offset = decode_values(payload)
+        assert decoded == tuple(row)
+        assert offset == len(payload)
+
+
+class TestTupleBatch:
+    def test_build_and_sizes(self):
+        batch = TupleBatch.build(("x", "y"), [("a", 1), ("b", 2)])
+        assert len(batch) == 2
+        assert batch.raw_size > 0
+        assert batch.compressed_size > 0
+        assert batch.wire_size == batch.compressed_size + TupleBatch.HEADER_BYTES
+
+    def test_round_trip_through_payload(self):
+        rows = [(f"value-{i}", i, 1.5 * i) for i in range(50)]
+        batch = TupleBatch.build(("s", "n", "f"), rows)
+        restored = TupleBatch.unmarshal(batch.compressed_payload())
+        assert restored.attributes == ("s", "n", "f")
+        assert restored.rows == rows
+
+    def test_repetitive_data_compresses_well(self):
+        rows = [("the same long string " * 3, 7)] * 200
+        batch = TupleBatch.build(("s", "n"), rows)
+        assert batch.compressed_size < batch.raw_size / 5
+
+    def test_empty_batch(self):
+        batch = TupleBatch.build(("x",), [])
+        assert len(batch) == 0
+        restored = TupleBatch.unmarshal(batch.compressed_payload())
+        assert restored.rows == []
+
+    @given(
+        rows=st.lists(st.tuples(st.text(max_size=20), st.integers(-1000, 1000)), max_size=30)
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, rows):
+        batch = TupleBatch.build(("a", "b"), rows)
+        restored = TupleBatch.unmarshal(batch.compressed_payload())
+        assert restored.rows == rows

@@ -1,0 +1,181 @@
+"""End-to-end correctness: published workloads queried through the full stack.
+
+These tests exercise the complete pipeline the paper's evaluation uses —
+workload generator → publish into replicated versioned storage → cost-based
+optimizer → distributed push execution — and compare every distributed result
+against the single-process oracle evaluator.  They also check the properties
+the distributed layers must not change: results are identical regardless of
+the number of nodes, of the network profile, and of whether provenance
+(recovery support) is enabled.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net.profiles import EC2_LARGE, LAN_GIGABIT, wan_profile
+from repro.query.reference import evaluate_query, normalise
+from repro.query.service import QueryOptions
+from repro.workloads import stbenchmark, tpch
+
+#: Small-but-not-trivial sizes so the whole module stays fast.
+TPCH_SCALE = 0.25
+STB_TUPLES = 300
+
+
+@pytest.fixture(scope="module")
+def tpch_instance():
+    return tpch.generate(TPCH_SCALE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tpch_cluster(tpch_instance):
+    cluster = Cluster(6, profile=LAN_GIGABIT)
+    cluster.publish_relations(tpch_instance.relation_list())
+    return cluster
+
+
+class TestTpchAgainstOracle:
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_distributed_matches_reference(self, tpch_cluster, tpch_instance, query_name):
+        query = tpch.query(query_name)
+        result = tpch_cluster.query(query)
+        expected = evaluate_query(query, tpch_instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_provenance_off_same_answers(self, tpch_cluster, tpch_instance, query_name):
+        query = tpch.query(query_name)
+        with_tags = tpch_cluster.query(query, options=QueryOptions(provenance_enabled=True))
+        without_tags = tpch_cluster.query(query, options=QueryOptions(provenance_enabled=False))
+        assert normalise(with_tags.rows) == normalise(without_tags.rows)
+
+    def test_statistics_are_populated(self, tpch_cluster):
+        result = tpch_cluster.query(tpch.query("Q3"))
+        stats = result.statistics
+        assert stats.participating_nodes == 6
+        assert stats.execution_time > 0
+        assert stats.bytes_total > 0
+        assert stats.rows_shipped >= len(result.rows)
+
+
+class TestStbenchmarkAgainstOracle:
+    @pytest.mark.parametrize("scenario", stbenchmark.SCENARIOS)
+    def test_distributed_matches_reference(self, scenario):
+        instance = stbenchmark.generate(scenario, STB_TUPLES, seed=3)
+        cluster = Cluster(5)
+        cluster.publish_relations(instance.relation_list())
+        result = cluster.query(instance.query)
+        expected = evaluate_query(instance.query, instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+    def test_copy_returns_every_tuple(self):
+        instance = stbenchmark.generate("copy", STB_TUPLES, seed=3)
+        cluster = Cluster(4)
+        cluster.publish_relations(instance.relation_list())
+        result = cluster.query(instance.query)
+        assert len(result.rows) == STB_TUPLES
+
+
+class TestClusterSizeInvariance:
+    """Answers must not depend on how the data is partitioned."""
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 5, 9])
+    def test_tpch_q10_same_result_any_cluster_size(self, tpch_instance, num_nodes):
+        query = tpch.query("Q10")
+        cluster = Cluster(num_nodes)
+        cluster.publish_relations(tpch_instance.relation_list())
+        result = cluster.query(query)
+        expected = evaluate_query(query, tpch_instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+    @pytest.mark.parametrize("num_nodes", [1, 3, 8])
+    def test_stb_join_same_result_any_cluster_size(self, num_nodes):
+        instance = stbenchmark.generate("join", STB_TUPLES, seed=11)
+        cluster = Cluster(num_nodes)
+        cluster.publish_relations(instance.relation_list())
+        result = cluster.query(instance.query)
+        expected = evaluate_query(instance.query, instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+
+class TestNetworkProfileInvariance:
+    """The network profile changes time and traffic, never the answer."""
+
+    @pytest.mark.parametrize("profile", [
+        LAN_GIGABIT,
+        EC2_LARGE,
+        wan_profile(400, latency_ms=80.0),
+    ], ids=["lan", "ec2", "wan-400KBps"])
+    def test_q5_same_rows_on_every_profile(self, tpch_instance, profile):
+        query = tpch.query("Q5")
+        cluster = Cluster(4, profile=profile)
+        cluster.publish_relations(tpch_instance.relation_list())
+        result = cluster.query(query)
+        expected = evaluate_query(query, tpch_instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+    def test_wan_is_slower_than_lan_but_same_traffic_order(self, tpch_instance):
+        query = tpch.query("Q10")
+        results = {}
+        for name, profile in (("lan", LAN_GIGABIT), ("wan", wan_profile(200, latency_ms=100.0))):
+            cluster = Cluster(4, profile=profile)
+            cluster.publish_relations(tpch_instance.relation_list())
+            results[name] = cluster.query(query).statistics
+        assert results["wan"].execution_time > results["lan"].execution_time
+        # Same protocol, same data: traffic should be close (identical modulo
+        # nondeterministic batching boundaries).
+        lan_bytes = results["lan"].bytes_total
+        wan_bytes = results["wan"].bytes_total
+        assert abs(lan_bytes - wan_bytes) <= 0.2 * max(lan_bytes, wan_bytes)
+
+
+class TestVersionedWorkloads:
+    """Queries over historical epochs keep returning the old answers."""
+
+    def test_tpch_updates_do_not_change_old_epoch(self, tpch_instance):
+        from repro.storage.client import UpdateBatch
+
+        query = tpch.query("Q6")
+        cluster = Cluster(4)
+        first_epoch = cluster.publish_relations(tpch_instance.relation_list())
+        before = cluster.query(query, epoch=first_epoch)
+
+        # Publish a second epoch that modifies a slice of lineitem rows.
+        lineitem = tpch_instance.relations["lineitem"]
+        modified = []
+        for row in lineitem.rows[:50]:
+            row = list(row)
+            price_index = lineitem.schema.attributes.index("l_extendedprice")
+            row[price_index] = row[price_index] * 100
+            modified.append(tuple(row))
+        cluster.publish(UpdateBatch(lineitem.schema, modifications=modified))
+
+        after_old = cluster.query(query, epoch=first_epoch)
+        after_new = cluster.query(query)
+        assert normalise(after_old.rows) == normalise(before.rows)
+        expected_old = evaluate_query(query, tpch_instance.relations)
+        assert normalise(after_old.rows) == normalise(expected_old)
+        # The modification multiplied revenue inputs, so the new epoch differs.
+        assert normalise(after_new.rows) != normalise(before.rows)
+
+    def test_each_epoch_remains_queryable(self):
+        from repro.common.types import RelationData, Schema
+        from repro.storage.client import UpdateBatch
+
+        schema = Schema("events", ["e_id", "e_kind", "e_weight"], key=["e_id"])
+        base = RelationData(schema)
+        for i in range(120):
+            base.add(f"e{i:03d}", f"kind-{i % 4}", i)
+        cluster = Cluster(5)
+        epochs = [cluster.publish(base)]
+        # Three further epochs, each inserting another 40 rows.
+        for round_index in range(3):
+            batch = UpdateBatch(schema)
+            for i in range(40):
+                n = 120 + round_index * 40 + i
+                batch.inserts.append((f"e{n:03d}", f"kind-{n % 4}", n))
+            epochs.append(cluster.publish(batch))
+
+        for index, epoch in enumerate(epochs):
+            result = cluster.query("SELECT COUNT(*) AS n FROM events", epoch=epoch)
+            assert result.rows[0][0] == 120 + 40 * index

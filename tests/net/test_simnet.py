@@ -1,0 +1,242 @@
+"""Tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.common.errors import NodeFailedError, UnknownNodeError
+from repro.net.simnet import HostSpec, Network, broadcast
+
+
+def make_pair(latency=0.001, bandwidth=1_000_000.0):
+    net = Network(latency=latency, default_host=HostSpec(
+        egress_bandwidth=bandwidth, ingress_bandwidth=bandwidth))
+    a = net.add_node("a")
+    b = net.add_node("b")
+    return net, a, b
+
+
+class TestEventLoop:
+    def test_schedule_and_run_orders_events(self):
+        net = Network()
+        order = []
+        net.schedule(0.2, lambda: order.append("late"))
+        net.schedule(0.1, lambda: order.append("early"))
+        net.run()
+        assert order == ["early", "late"]
+        assert net.now == pytest.approx(0.2)
+
+    def test_equal_time_events_preserve_insertion_order(self):
+        net = Network()
+        order = []
+        for i in range(5):
+            net.schedule(0.5, lambda i=i: order.append(i))
+        net.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_bound(self):
+        net = Network()
+        fired = []
+        net.schedule(1.0, lambda: fired.append(1))
+        net.run(until=0.5)
+        assert fired == []
+        assert net.now == pytest.approx(0.5)
+        net.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        net = Network()
+        seen = []
+        net.schedule(0.1, lambda: net.schedule(0.1, lambda: seen.append(net.now)))
+        net.run()
+        assert seen[0] == pytest.approx(0.2)
+
+
+class TestMessaging:
+    def test_message_delivery_invokes_handler(self):
+        net, a, b = make_pair()
+        received = []
+        b.register_handler("greet", lambda msg: received.append(msg.payload["text"]))
+        a.send("b", "greet", {"text": "hi"}, size=10)
+        net.run()
+        assert received == ["hi"]
+
+    def test_delivery_time_includes_latency_and_bandwidth(self):
+        net, a, b = make_pair(latency=0.05, bandwidth=1000.0)
+        times = []
+        b.register_handler("data", lambda msg: times.append(net.now))
+        a.send("b", "data", {}, size=1000 - net.MESSAGE_OVERHEAD_BYTES)
+        net.run()
+        # 1000 bytes on a 1000 B/s egress + ingress plus 50 ms latency.
+        assert times[0] >= 2.0 + 0.05
+
+    def test_local_messages_do_not_count_as_traffic(self):
+        net, a, _b = make_pair()
+        a.register_handler("loop", lambda msg: None)
+        a.send("a", "loop", {}, size=500)
+        net.run()
+        assert net.traffic.total_bytes == 0
+
+    def test_remote_traffic_is_recorded(self):
+        net, a, b = make_pair()
+        b.register_handler("data", lambda msg: None)
+        a.send("b", "data", {}, size=100)
+        net.run()
+        assert net.traffic.total_bytes == 100 + net.MESSAGE_OVERHEAD_BYTES
+        assert net.traffic.bytes_sent["a"] == net.traffic.total_bytes
+        assert net.traffic.bytes_received["b"] == net.traffic.total_bytes
+
+    def test_unknown_handler_raises(self):
+        net, a, b = make_pair()
+        a.send("b", "nope", {}, size=1)
+        with pytest.raises(UnknownNodeError):
+            net.run()
+
+    def test_unknown_destination_raises(self):
+        net, a, _b = make_pair()
+        with pytest.raises(UnknownNodeError):
+            a.send("missing", "x", {}, size=1)
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+    def test_broadcast_reaches_all(self):
+        net = Network()
+        nodes = [net.add_node(f"n{i}") for i in range(4)]
+        received = []
+        for node in nodes:
+            node.register_handler("b", lambda msg, node=node: received.append(node.address))
+        broadcast(net, "n0", [n.address for n in nodes if n.address != "n0"], "b", {}, 10)
+        net.run()
+        assert sorted(received) == ["n1", "n2", "n3"]
+
+    def test_cpu_charge_delays_later_handlers(self):
+        net, a, b = make_pair(latency=0.0)
+        handled_at = []
+
+        def slow_handler(msg):
+            handled_at.append(net.now)
+            b.charge_cpu(1.0)
+
+        b.register_handler("work", slow_handler)
+        a.send("b", "work", {}, size=1)
+        a.send("b", "work", {}, size=1)
+        net.run()
+        assert handled_at[1] - handled_at[0] >= 1.0
+
+    def test_pairwise_latency_override(self):
+        net, a, b = make_pair(latency=0.001)
+        net.set_pairwise_latency("a", "b", 0.5)
+        times = []
+        b.register_handler("x", lambda msg: times.append(net.now))
+        a.send("b", "x", {}, size=1)
+        net.run()
+        assert times[0] >= 0.5
+
+
+class TestTraffic:
+    def test_snapshot_delta(self):
+        net, a, b = make_pair()
+        b.register_handler("d", lambda msg: None)
+        a.send("b", "d", {}, size=100)
+        net.run()
+        before = net.traffic.snapshot()
+        a.send("b", "d", {}, size=200)
+        net.run()
+        delta = before.delta(net.traffic.snapshot())
+        assert delta.total_bytes == 200 + net.MESSAGE_OVERHEAD_BYTES
+        assert delta.total_messages == 1
+
+    def test_per_node_bytes(self):
+        net, a, b = make_pair()
+        b.register_handler("d", lambda msg: None)
+        a.send("b", "d", {}, size=100)
+        net.run()
+        snap = net.traffic.snapshot()
+        per_node = snap.per_node_bytes()
+        assert per_node["a"] == per_node["b"] == snap.total_bytes
+        assert snap.max_per_node_bytes() == snap.total_bytes
+        assert snap.mean_per_node_bytes() == pytest.approx(snap.total_bytes / 2)
+
+
+class TestFailures:
+    def test_failed_node_does_not_receive(self):
+        net, a, b = make_pair()
+        received = []
+        b.register_handler("d", lambda msg: received.append(1))
+        net.fail_node("b")
+        a.send("b", "d", {}, size=1)
+        net.run()
+        assert received == []
+
+    def test_failed_sender_cannot_send(self):
+        net, a, _b = make_pair()
+        net.fail_node("a")
+        with pytest.raises(NodeFailedError):
+            a.send("b", "d", {}, size=1)
+
+    def test_in_flight_message_from_failed_sender_is_dropped(self):
+        net, a, b = make_pair(latency=1.0)
+        received = []
+        b.register_handler("d", lambda msg: received.append(1))
+        a.send("b", "d", {}, size=1)
+        net.fail_node("a", detection_delay=0.0)
+        net.run()
+        assert received == []
+
+    def test_failure_listeners_notified(self):
+        net = Network(failure_detection_delay=0.1)
+        a = net.add_node("a")
+        b = net.add_node("b")
+        c = net.add_node("c")
+        notified = []
+        a.add_failure_listener(lambda addr: notified.append(("a", addr)))
+        c.add_failure_listener(lambda addr: notified.append(("c", addr)))
+        net.fail_node("b")
+        net.run()
+        assert ("a", "b") in notified
+        assert ("c", "b") in notified
+
+    def test_failed_node_not_notified_of_others(self):
+        net = Network()
+        a = net.add_node("a")
+        b = net.add_node("b")
+        notified = []
+        b.add_failure_listener(lambda addr: notified.append(addr))
+        net.fail_node("b")
+        net.fail_node("a")
+        net.run()
+        assert notified == []
+
+    def test_fail_node_at_schedules_crash(self):
+        net, a, b = make_pair()
+        received = []
+        b.register_handler("d", lambda msg: received.append(net.now))
+        net.fail_node_at("b", at_time=0.5)
+        net.schedule(0.1, lambda: a.send("b", "d", {}, size=1))
+        net.schedule(1.0, lambda: None)
+        net.run()
+        assert len(received) == 1  # only the pre-failure message
+
+    def test_restart_node(self):
+        net, a, b = make_pair()
+        received = []
+        b.register_handler("d", lambda msg: received.append(1))
+        net.fail_node("b")
+        net.run()
+        net.restart_node("b")
+        a.send("b", "d", {}, size=1)
+        net.run()
+        assert received == [1]
+
+    def test_live_nodes(self):
+        net, _a, _b = make_pair()
+        assert sorted(net.live_nodes()) == ["a", "b"]
+        net.fail_node("a")
+        assert net.live_nodes() == ["b"]

@@ -1,0 +1,105 @@
+"""Tests for the RPC / connection layer built on the simulator."""
+
+import pytest
+
+from repro.net.simnet import Network
+from repro.net.transport import RpcEndpoint, rpc_endpoint
+
+
+def make_cluster(n=3):
+    net = Network()
+    endpoints = {}
+    for i in range(n):
+        node = net.add_node(f"n{i}")
+        endpoints[node.address] = RpcEndpoint(node)
+    return net, endpoints
+
+
+class TestRpcCall:
+    def test_request_response(self):
+        net, eps = make_cluster(2)
+
+        def handler(src, payload, respond):
+            respond({"echo": payload["value"], "from": src}, size=16)
+
+        eps["n1"].register("echo", handler)
+        replies = []
+        eps["n0"].call("n1", "echo", {"value": 42}, size=8, on_reply=replies.append)
+        net.run()
+        assert replies == [{"echo": 42, "from": "n0"}]
+
+    def test_multiple_outstanding_calls_matched_by_id(self):
+        net, eps = make_cluster(2)
+        eps["n1"].register("double", lambda src, p, r: r({"result": p["x"] * 2}, 8))
+        results = []
+        for x in range(5):
+            eps["n0"].call("n1", "double", {"x": x}, 8, on_reply=lambda rep: results.append(rep["result"]))
+        net.run()
+        assert sorted(results) == [0, 2, 4, 6, 8]
+
+    def test_missing_method_raises(self):
+        net, eps = make_cluster(2)
+        eps["n0"].call("n1", "nothing", {}, 8, on_reply=lambda rep: None)
+        with pytest.raises(Exception):
+            net.run()
+
+    def test_cast_is_one_way(self):
+        net, eps = make_cluster(2)
+        seen = []
+        eps["n1"].register("notify", lambda src, p, r: seen.append((src, p["k"])))
+        eps["n0"].cast("n1", "notify", {"k": "v"}, 8)
+        net.run()
+        assert seen == [("n0", "v")]
+
+    def test_rpc_endpoint_helper_is_idempotent(self):
+        net = Network()
+        node = net.add_node("x")
+        first = rpc_endpoint(node)
+        second = rpc_endpoint(node)
+        assert first is second
+
+    def test_rpc_traffic_recorded(self):
+        net, eps = make_cluster(2)
+        eps["n1"].register("m", lambda src, p, r: r({}, 100))
+        eps["n0"].call("n1", "m", {}, 50, on_reply=lambda rep: None)
+        net.run()
+        assert net.traffic.total_messages == 2
+        assert net.traffic.total_bytes > 150
+
+
+class TestFailureHandling:
+    def test_on_failure_called_when_destination_dies(self):
+        net, eps = make_cluster(2)
+        eps["n1"].register("slow", lambda src, p, r: None)  # never responds
+        failures = []
+        eps["n0"].call("n1", "slow", {}, 8, on_reply=lambda rep: None,
+                       on_failure=failures.append)
+        net.schedule(0.5, lambda: net.fail_node("n1"))
+        net.run()
+        assert failures == ["n1"]
+
+    def test_reply_after_failover_is_ignored(self):
+        net, eps = make_cluster(2)
+        # Handler responds, but only after the caller has already failed the call over.
+        eps["n1"].register("late", lambda src, p, r: net.schedule(2.0, lambda: None))
+        failures, replies = [], []
+        eps["n0"].call("n1", "late", {}, 8, on_reply=replies.append, on_failure=failures.append)
+        net.schedule(0.01, lambda: net.fail_node("n1"))
+        net.run()
+        assert failures == ["n1"]
+        assert replies == []
+
+    def test_ping_timeout_detects_dead_node(self):
+        net, eps = make_cluster(2)
+        net.fail_node("n1")
+        timed_out = []
+        eps["n0"].ping("n1", on_timeout=timed_out.append, timeout=0.5)
+        net.run()
+        assert timed_out == ["n1"]
+
+    def test_ping_of_live_node_does_not_time_out(self):
+        net, eps = make_cluster(2)
+        timed_out = []
+        eps["n0"].ping("n1", on_timeout=timed_out.append, timeout=5.0)
+        net.run()
+        assert timed_out == []

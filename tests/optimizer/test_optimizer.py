@@ -1,0 +1,233 @@
+"""Tests for the catalog, cost model and Volcano-style plan search."""
+
+import pytest
+
+from repro.common.errors import OptimizerError, PlanError
+from repro.common.types import RelationData, Schema
+from repro.optimizer.catalog import Catalog, TableStatistics
+from repro.optimizer.cost import CostModel, MachineProfile
+from repro.optimizer.planner import PlannerOptions, compile_query
+from repro.query.expressions import AggregateSpec, Sum, and_, col, lit
+from repro.query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+from repro.query.physical import (
+    COLLECT_MERGE_PARTIALS,
+    COLLECT_REPLACE_GROUPS,
+    PhysAggregate,
+    PhysHashJoin,
+    PhysRehash,
+    PhysScan,
+)
+
+R = Schema("R", ["r_id", "r_group", "r_value"], key=["r_id"])
+S = Schema("S", ["s_id", "s_group", "s_value"], key=["s_id"])
+T = Schema("T", ["t_id", "t_sref", "t_note"], key=["t_id"])
+
+
+def make_catalog(r_rows=10_000, s_rows=1_000, t_rows=100):
+    catalog = Catalog()
+    catalog.register(R, TableStatistics(r_rows, 60, {"r_id": r_rows, "r_group": 50, "r_value": r_rows}))
+    catalog.register(S, TableStatistics(s_rows, 60, {"s_id": s_rows, "s_group": 50, "s_value": s_rows}))
+    catalog.register(T, TableStatistics(t_rows, 40, {"t_id": t_rows, "t_sref": t_rows}))
+    return catalog
+
+
+class TestCatalog:
+    def test_from_relation_data(self):
+        data = RelationData(Schema("X", ["a", "b"], key=["a"]))
+        for i in range(100):
+            data.add(f"k{i}", i % 10)
+        statistics = TableStatistics.from_relation(data)
+        assert statistics.row_count == 100
+        assert statistics.distinct["a"] == 100
+        assert statistics.distinct["b"] == 10
+        assert statistics.avg_row_size > 0
+
+    def test_sampling_large_relations(self):
+        data = RelationData(Schema("Y", ["a"], key=["a"]))
+        for i in range(20_000):
+            data.add(i)
+        statistics = TableStatistics.from_relation(data, sample_limit=1000)
+        assert statistics.row_count == 20_000
+        assert statistics.distinct["a"] > 1000
+
+    def test_catalog_registration_and_lookup(self):
+        catalog = make_catalog()
+        assert "R" in catalog
+        assert catalog.schema("R") is R
+        assert catalog.statistics("S").row_count == 1_000
+        assert set(catalog.relations()) == {"R", "S", "T"}
+
+    def test_unknown_relation_raises(self):
+        catalog = Catalog()
+        with pytest.raises(OptimizerError):
+            catalog.schema("missing")
+        with pytest.raises(OptimizerError):
+            catalog.statistics("missing")
+
+    def test_distinct_default(self):
+        statistics = TableStatistics(1000, 50)
+        assert statistics.distinct_values("anything") >= 1
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = CostModel(MachineProfile(num_nodes=8))
+        self.statistics = TableStatistics(10_000, 60, {"a": 100, "k": 10_000})
+
+    def test_equality_selectivity_uses_distinct(self):
+        assert self.model.selectivity(col("a").eq(5), self.statistics) == pytest.approx(1 / 100)
+
+    def test_range_selectivity(self):
+        assert self.model.selectivity(col("a").lt(5), self.statistics) == pytest.approx(1 / 3)
+
+    def test_conjunction_multiplies(self):
+        predicate = and_(col("a").eq(5), col("k").eq("x"))
+        expected = (1 / 100) * (1 / 10_000)
+        assert self.model.selectivity(predicate, self.statistics) == pytest.approx(expected)
+
+    def test_none_predicate(self):
+        assert self.model.selectivity(None, self.statistics) == 1.0
+
+    def test_more_nodes_scan_cheaper(self):
+        few = CostModel(MachineProfile(num_nodes=2)).scan_cost(100_000, 60)
+        many = CostModel(MachineProfile(num_nodes=16)).scan_cost(100_000, 60)
+        assert many < few
+
+    def test_rehash_cost_scales_with_rows(self):
+        assert self.model.rehash_cost(200_000, 60) > self.model.rehash_cost(10_000, 60)
+
+    def test_ship_cost_not_parallel(self):
+        # Collection at the initiator does not get cheaper with more nodes.
+        few = CostModel(MachineProfile(num_nodes=2)).ship_cost(100_000, 60)
+        many = CostModel(MachineProfile(num_nodes=32)).ship_cost(100_000, 60)
+        assert many == pytest.approx(few)
+
+    def test_join_cardinality_containment(self):
+        assert self.model.join_cardinality(1000, 100, 100, 100) == pytest.approx(1000)
+
+
+class TestPlanCompilation:
+    def test_single_relation_scan(self):
+        query = LogicalQuery(LogicalScan(R), name="scan")
+        compiled = compile_query(query, make_catalog())
+        scans = compiled.plan.scans()
+        assert len(scans) == 1 and scans[0].schema.name == "R"
+
+    def test_predicate_pushdown_and_sargable_split(self):
+        predicate = and_(col("r_id").eq("k5"), col("r_value").gt(100))
+        query = LogicalQuery(LogicalSelect(LogicalScan(R), predicate), name="filter")
+        compiled = compile_query(query, make_catalog())
+        scan = compiled.plan.scans()[0]
+        assert scan.sargable is not None and scan.sargable.references() == {"r_id"}
+        assert scan.residual is not None and scan.residual.references() == {"r_value"}
+
+    def test_covering_scan_detected(self):
+        query = LogicalQuery(
+            LogicalProject(LogicalScan(R), [("r_id", col("r_id"))]), name="cover"
+        )
+        compiled = compile_query(query, make_catalog())
+        assert compiled.plan.scans()[0].covering
+
+    def test_covering_scan_can_be_disabled(self):
+        query = LogicalQuery(
+            LogicalProject(LogicalScan(R), [("r_id", col("r_id"))]), name="cover"
+        )
+        compiled = compile_query(
+            query, make_catalog(), options=PlannerOptions(enable_covering_scans=False)
+        )
+        assert not compiled.plan.scans()[0].covering
+
+    def test_join_on_partition_key_avoids_rehash_on_that_side(self):
+        join = LogicalJoin(LogicalScan(S), LogicalScan(T), [("s_id", "t_sref")])
+        query = LogicalQuery(join, name="colocated")
+        compiled = compile_query(query, make_catalog())
+        rehashes = compiled.plan.rehashes()
+        # S is partitioned on s_id already, so only T needs repartitioning.
+        assert len(rehashes) == 1
+        assert rehashes[0].keys == ("t_sref",)
+
+    def test_join_on_non_key_rehashes_both_sides(self):
+        join = LogicalJoin(LogicalScan(R), LogicalScan(S), [("r_group", "s_group")])
+        query = LogicalQuery(join, name="both_rehash")
+        compiled = compile_query(query, make_catalog())
+        assert len(compiled.plan.rehashes()) == 2
+
+    def test_three_way_join_builds_smaller_relations_first(self):
+        j1 = LogicalJoin(LogicalScan(R), LogicalScan(S), [("r_group", "s_group")])
+        j2 = LogicalJoin(j1, LogicalScan(T), [("s_id", "t_sref")])
+        query = LogicalQuery(j2, name="three")
+        compiled = compile_query(query, make_catalog())
+        joins = [op for op in compiled.plan.operators() if isinstance(op, PhysHashJoin)]
+        assert len(joins) == 2
+        assert compiled.estimated_cost > 0
+        assert compiled.search_statistics.subsets_explored >= 6
+
+    def test_small_group_aggregate_merges_at_initiator(self):
+        query = LogicalQuery(
+            LogicalAggregate(LogicalScan(R), ["r_group"], [AggregateSpec("t", Sum(), col("r_value"))]),
+            name="small_groups",
+        )
+        compiled = compile_query(query, make_catalog())
+        assert compiled.plan.root.collector_mode == COLLECT_MERGE_PARTIALS
+        aggregates = [op for op in compiled.plan.operators() if isinstance(op, PhysAggregate)]
+        assert len(aggregates) == 1 and not aggregates[0].merge_partials
+
+    def test_large_group_aggregate_rehashes(self):
+        query = LogicalQuery(
+            LogicalAggregate(LogicalScan(R), ["r_id"], [AggregateSpec("t", Sum(), col("r_value"))]),
+            name="large_groups",
+        )
+        compiled = compile_query(query, make_catalog(), options=PlannerOptions(small_group_threshold=10))
+        assert compiled.plan.root.collector_mode == COLLECT_REPLACE_GROUPS
+        aggregates = [op for op in compiled.plan.operators() if isinstance(op, PhysAggregate)]
+        assert len(aggregates) == 2
+        assert any(isinstance(op, PhysRehash) for op in compiled.plan.operators())
+
+    def test_projection_pushed_below_ship(self):
+        query = LogicalQuery(
+            LogicalProject(LogicalScan(R), [("r_id", col("r_id")), ("double", col("r_value") * lit(2))]),
+            name="proj",
+        )
+        compiled = compile_query(query, make_catalog())
+        assert compiled.plan.output_attributes() == ("r_id", "double")
+
+    def test_needed_columns_reduce_scan_width(self):
+        query = LogicalQuery(
+            LogicalProject(LogicalScan(R), [("r_value", col("r_value"))]), name="narrow"
+        )
+        compiled = compile_query(query, make_catalog())
+        scan = compiled.plan.scans()[0]
+        assert set(scan.columns) <= {"r_id", "r_value"}
+
+    def test_duplicate_attribute_names_rejected(self):
+        other = Schema("R2", ["r_id", "other"], key=["r_id"])
+        catalog = make_catalog()
+        catalog.register(other, TableStatistics(10, 20, {}))
+        join = LogicalJoin(LogicalScan(R), LogicalScan(other), [("r_id", "other")])
+        with pytest.raises(PlanError):
+            compile_query(LogicalQuery(join, name="dup"), catalog)
+
+    def test_bandwidth_sensitive_machine_profile(self):
+        query = LogicalQuery(
+            LogicalJoin(LogicalScan(R), LogicalScan(S), [("r_group", "s_group")]), name="bw"
+        )
+        fast = compile_query(query, make_catalog(), machine=MachineProfile(num_nodes=8))
+        slow = compile_query(
+            query, make_catalog(),
+            machine=MachineProfile(num_nodes=8, bytes_per_second_network=100_000.0),
+        )
+        assert slow.estimated_cost > fast.estimated_cost
+
+    def test_branch_and_bound_prunes(self):
+        j1 = LogicalJoin(LogicalScan(R), LogicalScan(S), [("r_group", "s_group")])
+        j2 = LogicalJoin(j1, LogicalScan(T), [("s_id", "t_sref")])
+        compiled = compile_query(LogicalQuery(j2, name="prune"), make_catalog())
+        statistics = compiled.search_statistics
+        assert statistics.alternatives_considered > 0

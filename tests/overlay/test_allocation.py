@@ -1,0 +1,127 @@
+"""Tests for key-range allocation strategies (Figure 2 of the paper)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import KEY_SPACE_SIZE, ranges_partition_ring, sha1_key
+from repro.overlay.allocation import (
+    ALLOCATORS,
+    BalancedAllocation,
+    PastryAllocation,
+    allocation_imbalance,
+    node_positions,
+)
+
+addresses_strategy = st.lists(
+    st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+    min_size=1,
+    max_size=24,
+    unique=True,
+)
+
+
+def addresses(n):
+    return [f"node-{i}" for i in range(n)]
+
+
+class TestBalancedAllocation:
+    def test_single_node_owns_full_ring(self):
+        allocation = BalancedAllocation().allocate(addresses(1))
+        (key_range,) = allocation.values()
+        assert key_range.size() == KEY_SPACE_SIZE
+
+    def test_ranges_partition_ring(self):
+        allocation = BalancedAllocation().allocate(addresses(16))
+        assert ranges_partition_ring(allocation.values())
+
+    def test_ranges_are_equal_size(self):
+        allocation = BalancedAllocation().allocate(addresses(8))
+        sizes = [r.size() for r in allocation.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_membership(self):
+        assert BalancedAllocation().allocate([]) == {}
+
+    def test_assignment_follows_hash_order(self):
+        allocation = BalancedAllocation().allocate(addresses(4))
+        ordered_by_hash = sorted(addresses(4), key=lambda a: node_positions([a])[a])
+        ordered_by_range = sorted(allocation, key=lambda a: allocation[a].start)
+        assert ordered_by_hash == ordered_by_range
+
+    def test_imbalance_is_one(self):
+        allocation = BalancedAllocation().allocate(addresses(10))
+        assert allocation_imbalance(allocation) == pytest.approx(1.0, rel=1e-6)
+
+    @given(addrs=addresses_strategy)
+    @settings(max_examples=50)
+    def test_partition_property(self, addrs):
+        allocation = BalancedAllocation().allocate(addrs)
+        assert set(allocation) == set(addrs)
+        assert ranges_partition_ring(allocation.values())
+
+    @given(addrs=addresses_strategy, key=st.integers(0, KEY_SPACE_SIZE - 1))
+    @settings(max_examples=50)
+    def test_every_key_has_exactly_one_owner(self, addrs, key):
+        allocation = BalancedAllocation().allocate(addrs)
+        owners = [a for a, r in allocation.items() if r.contains(key)]
+        assert len(owners) == 1
+
+
+class TestPastryAllocation:
+    def test_single_node_owns_full_ring(self):
+        allocation = PastryAllocation().allocate(addresses(1))
+        (key_range,) = allocation.values()
+        assert key_range.size() == KEY_SPACE_SIZE
+
+    def test_ranges_partition_ring(self):
+        allocation = PastryAllocation().allocate(addresses(12))
+        assert ranges_partition_ring(allocation.values())
+
+    def test_node_owns_range_containing_its_id(self):
+        allocation = PastryAllocation().allocate(addresses(8))
+        positions = node_positions(addresses(8))
+        for address, key_range in allocation.items():
+            assert key_range.contains(positions[address])
+
+    def test_small_membership_is_skewed(self):
+        # The motivation for the balanced allocator (Figure 2): with a handful
+        # of nodes the Pastry allocation is visibly unbalanced.
+        allocation = PastryAllocation().allocate(addresses(5))
+        assert allocation_imbalance(allocation) > 1.1
+
+    @given(addrs=addresses_strategy)
+    @settings(max_examples=50)
+    def test_partition_property(self, addrs):
+        allocation = PastryAllocation().allocate(addrs)
+        assert ranges_partition_ring(allocation.values())
+
+
+class TestComparison:
+    def test_balanced_beats_pastry_on_imbalance(self):
+        addrs = addresses(10)
+        balanced = allocation_imbalance(BalancedAllocation().allocate(addrs))
+        pastry = allocation_imbalance(PastryAllocation().allocate(addrs))
+        assert balanced < pastry
+
+    def test_allocator_registry(self):
+        assert set(ALLOCATORS) == {"pastry", "balanced"}
+
+    def test_data_distribution_uniformity(self):
+        # Hash a batch of synthetic tuple keys and compare how evenly the two
+        # allocators spread them over 8 nodes.
+        addrs = addresses(8)
+        keys = [sha1_key(("tuple", i)) for i in range(2000)]
+
+        def spread(allocation):
+            counts = {a: 0 for a in allocation}
+            for key in keys:
+                for address, key_range in allocation.items():
+                    if key_range.contains(key):
+                        counts[address] += 1
+                        break
+            return max(counts.values()) / (len(keys) / len(addrs))
+
+        assert spread(BalancedAllocation().allocate(addrs)) < spread(
+            PastryAllocation().allocate(addrs)
+        )

@@ -1,0 +1,111 @@
+"""Tests for membership views and the epoch gossip protocol."""
+
+from repro.common.hashing import ranges_partition_ring
+from repro.net.simnet import Network
+from repro.overlay.gossip import EpochGossip
+from repro.overlay.membership import MembershipView, membership_of
+
+
+def build_cluster(n=5, replication_factor=3):
+    net = Network()
+    members = [f"n{i}" for i in range(n)]
+    views = {}
+    for address in members:
+        node = net.add_node(address)
+        views[address] = MembershipView(node, members, replication_factor)
+    return net, views
+
+
+class TestMembershipView:
+    def test_initial_members(self):
+        _net, views = build_cluster(4)
+        assert set(views["n0"].members()) == {"n0", "n1", "n2", "n3"}
+        assert views["n0"].is_member("n3")
+
+    def test_snapshot_partitions_ring(self):
+        _net, views = build_cluster(6)
+        snapshot = views["n0"].snapshot()
+        assert ranges_partition_ring(snapshot.ranges().values())
+
+    def test_failure_detection_updates_view(self):
+        net, views = build_cluster(5)
+        net.fail_node("n2")
+        net.run()
+        assert not views["n0"].is_member("n2")
+        assert not views["n4"].is_member("n2")
+        assert ranges_partition_ring(views["n0"].routing_table.allocation().values())
+
+    def test_failure_notifies_listeners(self):
+        net, views = build_cluster(4)
+        events = []
+        views["n0"].add_listener(lambda kind, addr, moves: events.append((kind, addr)))
+        net.fail_node("n3")
+        net.run()
+        assert ("fail", "n3") in events
+
+    def test_join_and_leave(self):
+        net, views = build_cluster(3)
+        new_node = net.add_node("n99")
+        MembershipView(new_node, list(views["n0"].members()) + ["n99"], 3)
+        moves = views["n0"].node_joined("n99")
+        assert views["n0"].is_member("n99")
+        assert moves
+        views["n0"].node_left("n1")
+        assert not views["n0"].is_member("n1")
+
+    def test_membership_of_helper(self):
+        net, views = build_cluster(2)
+        assert membership_of(net.node("n0")) is views["n0"]
+
+    def test_unknown_failure_ignored(self):
+        _net, views = build_cluster(3)
+        assert views["n0"].node_failed("not-a-member") == []
+
+
+class TestEpochGossip:
+    def build(self, n=6):
+        net = Network()
+        members = [f"n{i}" for i in range(n)]
+        gossips = {}
+        for address in members:
+            node = net.add_node(address)
+            gossips[address] = EpochGossip(node, peers=lambda members=members: members)
+        return net, gossips
+
+    def test_announce_propagates_epoch(self):
+        net, gossips = self.build(6)
+        gossips["n0"].announce(5)
+        net.run()
+        assert all(g.current_epoch == 5 for g in gossips.values())
+
+    def test_older_epoch_ignored(self):
+        net, gossips = self.build(4)
+        gossips["n0"].announce(5)
+        net.run()
+        gossips["n1"].announce(3)
+        net.run()
+        assert all(g.current_epoch == 5 for g in gossips.values())
+
+    def test_listeners_invoked_on_new_epoch(self):
+        net, gossips = self.build(3)
+        seen = []
+        gossips["n2"].add_listener(seen.append)
+        gossips["n0"].announce(7)
+        net.run()
+        assert seen == [7]
+
+    def test_anti_entropy_heals_partition(self):
+        net, gossips = self.build(5)
+        # Manually advance one node without announcing (simulating a missed push).
+        gossips["n3"].current_epoch = 9
+        gossips["n3"].start_anti_entropy(rounds=2)
+        net.run()
+        assert sum(1 for g in gossips.values() if g.current_epoch == 9) >= 3
+
+    def test_failed_node_does_not_gossip(self):
+        net, gossips = self.build(4)
+        net.fail_node("n0")
+        gossips["n1"].announce(2)
+        net.run()
+        live = [g for a, g in gossips.items() if a != "n0"]
+        assert all(g.current_epoch == 2 for g in live)

@@ -1,0 +1,121 @@
+"""Tests for replica placement, Bloom filters and background replication."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import sha1_key
+from repro.overlay.replication import BackgroundReplicator, BloomFilter, replica_set
+from repro.overlay.routing import RoutingTable
+
+
+def addresses(n):
+    return [f"node-{i}" for i in range(n)]
+
+
+class TestReplicaSet:
+    def test_owner_first(self):
+        snapshot = RoutingTable(addresses(6)).snapshot()
+        key = sha1_key("item")
+        replicas = replica_set(snapshot, key, 3)
+        assert replicas[0] == snapshot.owner_of(key)
+        assert len(replicas) == 3
+
+    def test_replicas_are_ring_neighbours(self):
+        snapshot = RoutingTable(addresses(6)).snapshot()
+        key = sha1_key("item")
+        owner = snapshot.owner_of(key)
+        neighbours = set(snapshot.neighbours(owner, 1, True) + snapshot.neighbours(owner, 1, False))
+        replicas = replica_set(snapshot, key, 3)
+        assert set(replicas[1:]) <= neighbours
+
+    def test_replication_factor_one(self):
+        snapshot = RoutingTable(addresses(4)).snapshot()
+        assert len(replica_set(snapshot, 123, 1)) == 1
+
+    def test_small_cluster_caps_replicas(self):
+        snapshot = RoutingTable(addresses(2)).snapshot()
+        assert len(replica_set(snapshot, 123, 3)) == 2
+
+
+class TestBloomFilter:
+    def test_added_items_are_members(self):
+        bloom = BloomFilter(expected_items=100)
+        for i in range(100):
+            bloom.add(("k", i))
+        assert all(("k", i) in bloom for i in range(100))
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(expected_items=500, false_positive_rate=0.01)
+        for i in range(500):
+            bloom.add(("present", i))
+        false_positives = sum(1 for i in range(2000) if ("absent", i) in bloom)
+        assert false_positives < 2000 * 0.05
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, false_positive_rate=1.5)
+
+    def test_size_scales_with_expected_items(self):
+        assert BloomFilter(10_000).size_bytes() > BloomFilter(10).size_bytes()
+
+    @given(items=st.lists(st.integers(), max_size=200, unique=True))
+    @settings(max_examples=30)
+    def test_no_false_negatives(self, items):
+        bloom = BloomFilter(expected_items=max(1, len(items)))
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+
+class TestBackgroundReplicator:
+    def _make_state(self, snapshot, replication_factor):
+        """Node → {key: size} store where only owners hold their items."""
+        stores = {addr: {} for addr in snapshot.nodes}
+        items = []
+        for i in range(200):
+            key = sha1_key(("item", i))
+            owner = snapshot.owner_of(key)
+            stores[owner][key] = 100
+            items.append(key)
+        return stores, items
+
+    def test_round_repairs_missing_replicas(self):
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        replication_factor = 3
+        stores, items = self._make_state(snapshot, replication_factor)
+
+        def list_items(address, key_range):
+            return {k: v for k, v in stores[address].items() if key_range.contains(k)}
+
+        def copy_item(src, dst, key):
+            stores[dst][key] = stores[src][key]
+            return stores[src][key]
+
+        replicator = BackgroundReplicator(replication_factor, list_items, copy_item)
+        report = replicator.run_round(snapshot)
+        assert report.items_copied > 0
+        # After the round every item should be on `replication_factor` nodes
+        # (modulo Bloom-filter false positives, which can only *skip* copies).
+        fully_replicated = 0
+        for key in items:
+            holders = [a for a in stores if key in stores[a]]
+            if len(holders) >= replication_factor:
+                fully_replicated += 1
+        assert fully_replicated >= len(items) * 0.95
+
+    def test_second_round_is_mostly_idle(self):
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        stores, _items = self._make_state(snapshot, 3)
+
+        def list_items(address, key_range):
+            return {k: v for k, v in stores[address].items() if key_range.contains(k)}
+
+        def copy_item(src, dst, key):
+            stores[dst][key] = stores[src][key]
+            return stores[src][key]
+
+        replicator = BackgroundReplicator(3, list_items, copy_item)
+        first = replicator.run_round(snapshot)
+        second = replicator.run_round(snapshot)
+        assert second.items_copied <= first.items_copied * 0.1

@@ -1,0 +1,194 @@
+"""Tests for routing tables, snapshots and failure reassignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import RoutingError
+from repro.common.hashing import KEY_SPACE_SIZE, ranges_partition_ring, sha1_key
+from repro.overlay.allocation import PastryAllocation
+from repro.overlay.routing import RoutingSnapshot, RoutingTable, physical_address
+
+
+def addresses(n):
+    return [f"node-{i}" for i in range(n)]
+
+
+class TestRoutingTable:
+    def test_snapshot_partitions_ring(self):
+        table = RoutingTable(addresses(8))
+        snapshot = table.snapshot()
+        assert ranges_partition_ring(snapshot.ranges().values())
+        assert len(snapshot) == 8
+
+    def test_owner_lookup_consistent_with_ranges(self):
+        table = RoutingTable(addresses(6))
+        for i in range(100):
+            key = sha1_key(("probe", i))
+            owner = table.owner_of(key)
+            assert table.range_of(owner).contains(key)
+
+    def test_add_node_changes_version(self):
+        table = RoutingTable(addresses(4))
+        version = table.version
+        table.add_node("new-node")
+        assert table.version == version + 1
+        assert "new-node" in table.members
+
+    def test_add_existing_node_is_noop(self):
+        table = RoutingTable(addresses(4))
+        version = table.version
+        assert table.add_node("node-1") == []
+        assert table.version == version
+
+    def test_remove_node(self):
+        table = RoutingTable(addresses(4))
+        table.remove_node("node-2")
+        assert "node-2" not in table.members
+        assert ranges_partition_ring(table.allocation().values())
+
+    def test_remove_unknown_node_is_noop(self):
+        table = RoutingTable(addresses(4))
+        assert table.remove_node("missing") == []
+
+    def test_membership_changes_report_moves(self):
+        table = RoutingTable(addresses(4))
+        moves = table.add_node("node-99")
+        assert moves  # the new node took over ranges from existing nodes
+        assert any(m.new_owner == "node-99" for m in moves)
+
+    def test_pastry_allocator_supported(self):
+        table = RoutingTable(addresses(5), allocator=PastryAllocation())
+        assert ranges_partition_ring(table.allocation().values())
+
+    def test_unknown_range_of(self):
+        table = RoutingTable(addresses(2))
+        with pytest.raises(RoutingError):
+            table.range_of("missing")
+
+
+class TestRoutingSnapshot:
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingSnapshot({})
+
+    def test_owner_of_matches_contains(self):
+        snapshot = RoutingTable(addresses(10)).snapshot()
+        for i in range(200):
+            key = sha1_key(("k", i))
+            owner = snapshot.owner_of(key)
+            assert snapshot.range_of(owner).contains(key)
+
+    def test_nodes_in_ring_order(self):
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        starts = [snapshot.range_of(a).start for a in snapshot.nodes]
+        assert starts == sorted(starts)
+
+    def test_contains(self):
+        snapshot = RoutingTable(addresses(3)).snapshot()
+        assert "node-0" in snapshot
+        assert "missing" not in snapshot
+
+    def test_neighbours_clockwise_and_counter(self):
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        nodes = snapshot.nodes
+        cw = snapshot.neighbours(nodes[0], 2, clockwise=True)
+        ccw = snapshot.neighbours(nodes[0], 2, clockwise=False)
+        assert cw == [nodes[1], nodes[2]]
+        assert ccw == [nodes[-1], nodes[-2]]
+
+    def test_neighbours_capped_by_membership(self):
+        snapshot = RoutingTable(addresses(3)).snapshot()
+        assert len(snapshot.neighbours(snapshot.nodes[0], 10, clockwise=True)) == 2
+
+    def test_replicas_for_key(self):
+        snapshot = RoutingTable(addresses(6)).snapshot()
+        key = sha1_key("some-key")
+        replicas = snapshot.replicas_for_key(key, replication_factor=3)
+        assert len(replicas) == 3
+        assert replicas[0] == snapshot.owner_of(key)
+        assert len(set(replicas)) == 3
+
+    def test_replicas_more_than_members(self):
+        snapshot = RoutingTable(addresses(2)).snapshot()
+        replicas = snapshot.replicas_for_key(0, replication_factor=5)
+        assert len(replicas) == 2
+
+    def test_replication_factor_must_be_positive(self):
+        snapshot = RoutingTable(addresses(2)).snapshot()
+        with pytest.raises(ValueError):
+            snapshot.replicas_for_key(0, replication_factor=0)
+
+
+class TestFailureReassignment:
+    def test_reassign_preserves_partition(self):
+        snapshot = RoutingTable(addresses(8)).snapshot()
+        failed = snapshot.nodes[2]
+        new_snapshot, moves = snapshot.reassign_failed([failed], replication_factor=3)
+        assert ranges_partition_ring(new_snapshot.ranges().values())
+        assert failed not in new_snapshot
+        assert moves
+        assert all(m.old_owner == failed for m in moves)
+
+    def test_moved_ranges_cover_failed_range(self):
+        snapshot = RoutingTable(addresses(8)).snapshot()
+        failed = snapshot.nodes[0]
+        failed_range = snapshot.range_of(failed)
+        _new_snapshot, moves = snapshot.reassign_failed([failed], replication_factor=3)
+        assert sum(m.key_range.size() for m in moves) == failed_range.size()
+
+    def test_new_owners_are_replica_holders(self):
+        snapshot = RoutingTable(addresses(8)).snapshot()
+        failed = snapshot.nodes[3]
+        replicas = {physical_address(r) for r in snapshot.replicas_for_owner(failed, 3)}
+        _new, moves = snapshot.reassign_failed([failed], replication_factor=3)
+        for move in moves:
+            assert physical_address(move.new_owner) in replicas
+
+    def test_multiple_failures(self):
+        snapshot = RoutingTable(addresses(10)).snapshot()
+        failed = list(snapshot.nodes[:3])
+        new_snapshot, _moves = snapshot.reassign_failed(failed, replication_factor=3)
+        assert ranges_partition_ring(new_snapshot.ranges().values())
+        for address in failed:
+            assert address not in new_snapshot
+
+    def test_no_failures_returns_same_snapshot(self):
+        snapshot = RoutingTable(addresses(4)).snapshot()
+        same, moves = snapshot.reassign_failed([], replication_factor=3)
+        assert same is snapshot
+        assert moves == []
+
+    def test_all_failed_raises(self):
+        snapshot = RoutingTable(addresses(3)).snapshot()
+        with pytest.raises(RoutingError):
+            snapshot.reassign_failed(list(snapshot.nodes), replication_factor=3)
+
+    def test_version_increments(self):
+        snapshot = RoutingTable(addresses(4)).snapshot()
+        new_snapshot, _ = snapshot.reassign_failed([snapshot.nodes[0]], replication_factor=3)
+        assert new_snapshot.version == snapshot.version + 1
+
+    def test_physical_address_of_synthetic_entries(self):
+        assert physical_address("node-1#2") == "node-1"
+        assert physical_address("node-1") == "node-1"
+
+    @given(
+        n=st.integers(min_value=3, max_value=16),
+        fail_count=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30)
+    def test_reassignment_property(self, n, fail_count):
+        fail_count = min(fail_count, n - 1)
+        snapshot = RoutingTable(addresses(n)).snapshot()
+        failed = list(snapshot.nodes[:fail_count])
+        new_snapshot, moves = snapshot.reassign_failed(failed, replication_factor=3)
+        assert ranges_partition_ring(new_snapshot.ranges().values())
+        total_moved = sum(m.key_range.size() for m in moves)
+        total_failed = sum(snapshot.range_of(f).size() for f in failed)
+        assert total_moved == total_failed
+        # Every key still has exactly one owner, and it is a surviving node.
+        for i in range(20):
+            key = sha1_key(("probe", i))
+            owner = physical_address(new_snapshot.owner_of(key))
+            assert owner not in failed

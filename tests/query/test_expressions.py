@@ -1,0 +1,198 @@
+"""Tests for scalar expressions, predicates and aggregate functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ExpressionError
+from repro.common.types import Row
+from repro.query.expressions import (
+    AGGREGATES,
+    AggregateSpec,
+    Avg,
+    BooleanOp,
+    Comparison,
+    Count,
+    FunctionCall,
+    InList,
+    Max,
+    Min,
+    Sum,
+    and_,
+    col,
+    concat,
+    key_predicate_function,
+    lit,
+    not_,
+    or_,
+    split_conjuncts,
+    split_sargable,
+)
+
+ROW = Row(("a", "b", "s"), (10, 2.5, "text"))
+
+
+class TestScalarExpressions:
+    def test_column_and_literal(self):
+        assert col("a").evaluate(ROW) == 10
+        assert lit(7).evaluate(ROW) == 7
+
+    def test_column_missing_attribute(self):
+        with pytest.raises(ExpressionError):
+            col("missing").evaluate(ROW)
+
+    def test_arithmetic(self):
+        assert (col("a") + lit(5)).evaluate(ROW) == 15
+        assert (col("a") - lit(1)).evaluate(ROW) == 9
+        assert (col("a") * col("b")).evaluate(ROW) == 25.0
+        assert (col("a") / lit(4)).evaluate(ROW) == 2.5
+
+    def test_arithmetic_null_propagates(self):
+        row = Row(("a",), (None,))
+        assert (col("a") + lit(1)).evaluate(row) is None
+
+    def test_comparisons(self):
+        assert col("a").eq(10).evaluate(ROW)
+        assert col("a").ne(11).evaluate(ROW)
+        assert col("a").lt(11).evaluate(ROW)
+        assert col("a").le(10).evaluate(ROW)
+        assert col("a").gt(9).evaluate(ROW)
+        assert col("a").ge(10).evaluate(ROW)
+
+    def test_comparison_with_null_is_false(self):
+        row = Row(("a",), (None,))
+        assert not col("a").eq(1).evaluate(row)
+
+    def test_unknown_comparison_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("a"), lit(1))
+
+    def test_boolean_connectives(self):
+        assert and_(col("a").gt(1), col("b").gt(1)).evaluate(ROW)
+        assert not and_(col("a").gt(1), col("b").gt(100)).evaluate(ROW)
+        assert or_(col("a").gt(100), col("b").gt(1)).evaluate(ROW)
+        assert not_(col("a").gt(100)).evaluate(ROW)
+
+    def test_empty_and_is_true(self):
+        assert and_().evaluate(ROW) is True
+
+    def test_not_requires_single_operand(self):
+        with pytest.raises(ExpressionError):
+            BooleanOp("not", (col("a"), col("b")))
+
+    def test_in_list(self):
+        assert InList(col("a"), [1, 10, 20]).evaluate(ROW)
+        assert not InList(col("a"), [1, 2]).evaluate(ROW)
+
+    def test_references(self):
+        expr = and_(col("a").gt(1), col("b").lt(col("c")))
+        assert expr.references() == {"a", "b", "c"}
+
+    def test_functions(self):
+        assert concat(col("s"), lit("!")).evaluate(ROW) == "text!"
+        assert FunctionCall("upper", [col("s")]).evaluate(ROW) == "TEXT"
+        assert FunctionCall("substr", [col("s"), lit(0), lit(2)]).evaluate(ROW) == "te"
+        assert FunctionCall("abs", [lit(-3)]).evaluate(ROW) == 3
+        assert FunctionCall("round", [lit(2.567), lit(1)]).evaluate(ROW) == 2.6
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("nope", [col("a")])
+
+    def test_concat_handles_null(self):
+        row = Row(("s",), (None,))
+        assert concat(col("s"), lit("x")).evaluate(row) == "x"
+
+
+class TestSargableAnalysis:
+    def test_split_conjuncts_flattens_nested_and(self):
+        predicate = and_(col("a").gt(1), and_(col("b").lt(2), col("c").eq(3)))
+        assert len(split_conjuncts(predicate)) == 3
+
+    def test_split_conjuncts_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_split_sargable(self):
+        predicate = and_(col("k").eq(5), col("v").gt(10))
+        sargable, residual = split_sargable(predicate, ["k"])
+        assert sargable is not None and sargable.references() == {"k"}
+        assert residual is not None and residual.references() == {"v"}
+
+    def test_fully_sargable(self):
+        sargable, residual = split_sargable(col("k").eq(5), ["k"])
+        assert sargable is not None
+        assert residual is None
+
+    def test_not_sargable(self):
+        sargable, residual = split_sargable(col("v").eq(5), ["k"])
+        assert sargable is None
+        assert residual is not None
+
+    def test_key_predicate_function(self):
+        sargable, _ = split_sargable(col("k").gt(5), ["k"])
+        fn = key_predicate_function(sargable, ["k"])
+        assert fn((6,)) is True
+        assert fn((5,)) is False
+
+    def test_key_predicate_function_none(self):
+        assert key_predicate_function(None, ["k"]) is None
+
+
+class TestAggregateFunctions:
+    def test_sum(self):
+        agg = Sum()
+        state = agg.initial()
+        for value in (1, 2, None, 3):
+            state = agg.add(state, value)
+        assert agg.result(state) == 6
+        assert agg.merge(state, 4) == 10
+
+    def test_count(self):
+        agg = Count()
+        state = agg.initial()
+        for value in (1, None, "x"):
+            state = agg.add(state, value)
+        assert agg.result(state) == 2
+
+    def test_min_max(self):
+        low, high = Min(), Max()
+        ls, hs = low.initial(), high.initial()
+        for value in (5, 2, 8, None):
+            ls = low.add(ls, value)
+            hs = high.add(hs, value)
+        assert low.result(ls) == 2
+        assert high.result(hs) == 8
+
+    def test_avg(self):
+        agg = Avg()
+        state = agg.initial()
+        for value in (2, 4, None):
+            state = agg.add(state, value)
+        assert agg.result(state) == 3.0
+        assert agg.result(agg.initial()) is None
+
+    def test_registry(self):
+        assert set(AGGREGATES) == {"sum", "count", "min", "max", "avg"}
+
+    def test_aggregate_spec_repr(self):
+        spec = AggregateSpec("total", Sum(), col("x"))
+        assert "total" in repr(spec)
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+           split=st.integers(0, 50))
+    @settings(max_examples=50)
+    def test_partial_merge_equals_direct(self, values, split):
+        """Aggregating in two partials and merging equals aggregating directly."""
+        split = min(split, len(values))
+        for factory in (Sum, Count, Min, Max, Avg):
+            agg = factory()
+            direct = agg.initial()
+            for value in values:
+                direct = agg.add(direct, value)
+            left = agg.initial()
+            for value in values[:split]:
+                left = agg.add(left, value)
+            right = agg.initial()
+            for value in values[split:]:
+                right = agg.add(right, value)
+            assert agg.result(agg.merge(left, right)) == agg.result(direct)

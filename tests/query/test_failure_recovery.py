@@ -1,0 +1,193 @@
+"""Tests for failure handling: full restart and incremental recovery (Section V-D).
+
+The paper's correctness requirement is that a query whose participant fails
+mid-execution still returns the *exact* (correct, complete, duplicate-free)
+answer set.  Each test kills one or more nodes at various points during
+execution and compares against the oracle evaluator.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.optimizer.planner import PlannerOptions
+from repro.query.expressions import AggregateSpec, Count, Min, Sum, col
+from repro.query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+)
+from repro.query.reference import evaluate_query, normalise
+from repro.query.service import (
+    RECOVERY_INCREMENTAL,
+    RECOVERY_RESTART,
+    QueryOptions,
+)
+
+
+def build_relations(num_r=350, num_s=90, groups=45):
+    r = RelationData(Schema("R", ["x", "y", "v"], key=["x"]))
+    s = RelationData(Schema("S", ["u", "yy", "z"], key=["u"]))
+    for i in range(num_r):
+        r.add(f"k{i}", f"g{i % groups}", i)
+    for j in range(num_s):
+        s.add(f"u{j}", f"g{j % groups}", j * 7)
+    return r, s
+
+
+def join_aggregate_query(r, s):
+    join = LogicalJoin(LogicalScan(r.schema), LogicalScan(s.schema), [("y", "yy")])
+    return LogicalQuery(
+        LogicalAggregate(join, ["x"], [AggregateSpec("total", Sum(), col("z"))]),
+        name="join_agg",
+    )
+
+
+def run_with_failure(query, relations, fail_offsets, mode, nodes=6,
+                     planner_options=None, detection_delay=None):
+    """Run ``query`` on a fresh cluster, failing one node per offset."""
+    cluster = Cluster(nodes)
+    if detection_delay is not None:
+        cluster.network.failure_detection_delay = detection_delay
+    cluster.publish_relations(list(relations.values()))
+    cluster.enable_query_processing()
+    victims = [cluster.addresses[2 + i] for i in range(len(fail_offsets))]
+    for victim, offset in zip(victims, fail_offsets):
+        cluster.fail_node(victim, at_time=cluster.now + offset)
+    result = cluster.query(
+        query,
+        options=QueryOptions(recovery_mode=mode),
+        planner_options=planner_options,
+    )
+    expected = evaluate_query(query, relations)
+    assert normalise(result.rows) == normalise(expected)
+    return result
+
+
+class TestIncrementalRecovery:
+    @pytest.mark.parametrize("offset", [0.0005, 0.001, 0.0015, 0.002, 0.003])
+    def test_join_aggregate_correct_after_failure(self, offset):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        run_with_failure(query, {"R": r, "S": s}, [offset], RECOVERY_INCREMENTAL)
+
+    @pytest.mark.parametrize("offset", [0.001, 0.002])
+    def test_rehash_aggregate_strategy(self, offset):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        run_with_failure(
+            query, {"R": r, "S": s}, [offset], RECOVERY_INCREMENTAL,
+            planner_options=PlannerOptions(small_group_threshold=1),
+        )
+
+    def test_scan_only_query_with_failure(self):
+        r, s = build_relations()
+        query = LogicalQuery(LogicalScan(r.schema), name="copy")
+        result = run_with_failure(query, {"R": r, "S": s}, [0.001], RECOVERY_INCREMENTAL)
+        assert len(result.rows) == len(r.rows)
+
+    def test_projection_query_with_failure(self):
+        r, s = build_relations()
+        query = LogicalQuery(
+            LogicalProject(LogicalScan(r.schema), [("x", col("x")), ("v", col("v"))]),
+            name="proj",
+        )
+        run_with_failure(query, {"R": r, "S": s}, [0.0012], RECOVERY_INCREMENTAL)
+
+    def test_scalar_aggregate_with_failure(self):
+        r, s = build_relations()
+        query = LogicalQuery(
+            LogicalAggregate(
+                LogicalScan(r.schema),
+                [],
+                [AggregateSpec("total", Sum(), col("v")), AggregateSpec("n", Count(), col("v"))],
+            ),
+            name="scalar",
+        )
+        run_with_failure(query, {"R": r, "S": s}, [0.001], RECOVERY_INCREMENTAL)
+
+    def test_statistics_report_recovery(self):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        result = run_with_failure(
+            query, {"R": r, "S": s}, [0.0015], RECOVERY_INCREMENTAL,
+            detection_delay=0.005,
+        )
+        if result.statistics.failures_handled:
+            assert result.statistics.phases >= 2
+            assert result.statistics.restarts == 0
+
+    def test_two_failures(self):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        run_with_failure(
+            query, {"R": r, "S": s}, [0.001, 0.0025], RECOVERY_INCREMENTAL,
+            nodes=8, detection_delay=0.001,
+        )
+
+    def test_failure_before_query_start(self):
+        r, s = build_relations(num_r=100, num_s=30)
+        cluster = Cluster(6)
+        cluster.publish_relations([r, s])
+        cluster.enable_query_processing()
+        cluster.fail_node(cluster.addresses[4])
+        cluster.run()
+        query = join_aggregate_query(r, s)
+        result = cluster.query(query, options=QueryOptions(recovery_mode=RECOVERY_INCREMENTAL))
+        expected = evaluate_query(query, {"R": r, "S": s})
+        assert normalise(result.rows) == normalise(expected)
+        assert result.statistics.participating_nodes == 5
+
+
+class TestRestartRecovery:
+    @pytest.mark.parametrize("offset", [0.001, 0.002])
+    def test_restart_produces_correct_results(self, offset):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        result = run_with_failure(query, {"R": r, "S": s}, [offset], RECOVERY_RESTART)
+        if result.statistics.failures_handled:
+            assert result.statistics.restarts >= 1
+
+    def test_restart_time_includes_both_attempts(self):
+        r, s = build_relations()
+        query = join_aggregate_query(r, s)
+        # Detect quickly so the failure is handled mid-query deterministically.
+        result = run_with_failure(
+            query, {"R": r, "S": s}, [0.0015], RECOVERY_RESTART, detection_delay=0.0005
+        )
+        baseline = run_with_failure(query, {"R": r, "S": s}, [10_000.0], RECOVERY_RESTART)
+        if result.statistics.restarts:
+            assert result.statistics.execution_time > baseline.statistics.execution_time
+
+
+class TestRecoveryComparison:
+    def test_incremental_not_slower_than_restart(self):
+        """Figure 21's qualitative claim: incremental recovery beats restart."""
+        r, s = build_relations(num_r=500, num_s=120)
+        query = join_aggregate_query(r, s)
+        relations = {"R": r, "S": s}
+        times = {}
+        for mode in (RECOVERY_INCREMENTAL, RECOVERY_RESTART):
+            result = run_with_failure(
+                query, relations, [0.0015], mode, detection_delay=0.0005,
+                planner_options=PlannerOptions(small_group_threshold=1),
+            )
+            times[mode] = result.statistics.execution_time
+        assert times[RECOVERY_INCREMENTAL] <= times[RECOVERY_RESTART] * 1.1
+
+    def test_provenance_overhead_is_small(self):
+        """Section VI-E: recovery support costs a few percent of run time."""
+        r, s = build_relations(num_r=400, num_s=100)
+        query = join_aggregate_query(r, s)
+        cluster = Cluster(6)
+        cluster.publish_relations([r, s])
+        with_prov = cluster.query(query, options=QueryOptions(provenance_enabled=True))
+        without_prov = cluster.query(query, options=QueryOptions(provenance_enabled=False))
+        assert with_prov.statistics.bytes_total >= without_prov.statistics.bytes_total
+        # The overhead must stay modest.  The paper reports ≤2% extra traffic on
+        # TPC-H (reproduced by benchmarks/test_overhead_recovery_support.py);
+        # the rows in this unit test are only ~20 bytes wide, so the fixed
+        # per-row tag is a much larger fraction here than on realistic tuples.
+        assert with_prov.statistics.bytes_total <= without_prov.statistics.bytes_total * 1.35

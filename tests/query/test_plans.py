@@ -1,0 +1,220 @@
+"""Tests for logical plans, physical plans and the SQL frontend."""
+
+import pytest
+
+from repro.common.errors import PlanError, SQLSyntaxError
+from repro.common.types import Schema
+from repro.query.expressions import AggregateSpec, Sum, col, lit
+from repro.query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+    relations_in,
+    validate_plan,
+)
+from repro.query.physical import (
+    COLLECT_APPEND,
+    PhysicalPlan,
+    PlanBuilder,
+)
+from repro.query.sql import parse_query
+
+R = Schema("R", ["x", "y"], key=["x"])
+S = Schema("S", ["u", "yy", "z"], key=["u"])
+
+
+class TestLogicalPlans:
+    def test_scan_outputs(self):
+        assert LogicalScan(R).output_attributes() == ("x", "y")
+        assert LogicalScan(R).referenced_relations() == {"R"}
+
+    def test_select_preserves_attributes(self):
+        plan = LogicalSelect(LogicalScan(R), col("x").eq("a"))
+        assert plan.output_attributes() == ("x", "y")
+
+    def test_project_outputs(self):
+        plan = LogicalProject(LogicalScan(R), [("renamed", col("y"))])
+        assert plan.output_attributes() == ("renamed",)
+        assert plan.is_simple_projection()
+
+    def test_project_with_expression_not_simple(self):
+        plan = LogicalProject(LogicalScan(R), [("computed", col("y") + lit(1))])
+        assert not plan.is_simple_projection()
+
+    def test_join_outputs_and_keys(self):
+        join = LogicalJoin(LogicalScan(R), LogicalScan(S), [("y", "yy")])
+        assert join.output_attributes() == ("x", "y", "u", "yy", "z")
+        assert join.left_keys == ("y",)
+        assert join.right_keys == ("yy",)
+
+    def test_join_requires_condition(self):
+        with pytest.raises(PlanError):
+            LogicalJoin(LogicalScan(R), LogicalScan(S), [])
+
+    def test_join_validates_attributes(self):
+        with pytest.raises(PlanError):
+            LogicalJoin(LogicalScan(R), LogicalScan(S), [("nope", "yy")])
+
+    def test_aggregate_outputs(self):
+        agg = LogicalAggregate(
+            LogicalScan(S), ["yy"], [AggregateSpec("total", Sum(), col("z"))]
+        )
+        assert agg.output_attributes() == ("yy", "total")
+
+    def test_aggregate_validates_group_by(self):
+        with pytest.raises(PlanError):
+            LogicalAggregate(LogicalScan(S), ["missing"], [])
+
+    def test_aggregate_requires_something(self):
+        with pytest.raises(PlanError):
+            LogicalAggregate(LogicalScan(S), [], [])
+
+    def test_validate_plan_catches_bad_references(self):
+        plan = LogicalSelect(LogicalScan(R), col("nope").eq(1))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_validate_plan_accepts_valid(self):
+        join = LogicalJoin(LogicalScan(R), LogicalScan(S), [("y", "yy")])
+        validate_plan(LogicalSelect(join, col("z").gt(1)))
+
+    def test_relations_in(self):
+        join = LogicalJoin(LogicalScan(R), LogicalScan(S), [("y", "yy")])
+        assert [scan.schema.name for scan in relations_in(join)] == ["R", "S"]
+
+    def test_query_metadata(self):
+        query = LogicalQuery(LogicalScan(R), order_by=[("x", True)], limit=5, name="q")
+        assert query.output_attributes() == ("x", "y")
+        assert query.referenced_relations() == {"R"}
+
+
+class TestPhysicalPlans:
+    def build_plan(self):
+        builder = PlanBuilder()
+        scan_r = builder.scan(R)
+        scan_s = builder.scan(S)
+        rehash = builder.rehash(scan_r, ["y"])
+        join = builder.hash_join(rehash, scan_s, ["y"], ["yy"])
+        ship = builder.ship(join)
+        return PhysicalPlan(root=ship, name="test")
+
+    def test_operators_post_order(self):
+        plan = self.build_plan()
+        ops = plan.operators()
+        assert ops[-1] is plan.root
+        assert len({op.op_id for op in ops}) == len(ops)
+
+    def test_scans_and_exchanges(self):
+        plan = self.build_plan()
+        assert len(plan.scans()) == 2
+        assert len(plan.rehashes()) == 1
+        assert len(plan.exchanges()) == 2
+
+    def test_operator_lookup_and_parent(self):
+        plan = self.build_plan()
+        scan = plan.scans()[0]
+        assert plan.operator(scan.op_id) is scan
+        parent = plan.parent_of(scan.op_id)
+        assert parent is not None
+        with pytest.raises(PlanError):
+            plan.operator(999)
+
+    def test_root_must_be_ship(self):
+        builder = PlanBuilder()
+        scan = builder.scan(R)
+        with pytest.raises(PlanError):
+            PhysicalPlan(root=scan)  # type: ignore[arg-type]
+
+    def test_output_attributes_and_describe(self):
+        plan = self.build_plan()
+        assert plan.output_attributes() == ("x", "y", "u", "yy", "z")
+        description = plan.describe()
+        assert "HashJoin" in description and "Ship" in description
+
+    def test_estimated_size_positive(self):
+        assert self.build_plan().estimated_size() > 128
+
+    def test_collector_mode_default(self):
+        assert self.build_plan().root.collector_mode == COLLECT_APPEND
+
+
+class TestSQLParser:
+    SCHEMAS = {"R": R, "S": S}
+
+    def test_simple_select_star(self):
+        query = parse_query("SELECT * FROM R", self.SCHEMAS)
+        assert isinstance(query.root, LogicalScan)
+
+    def test_projection(self):
+        query = parse_query("SELECT x FROM R", self.SCHEMAS)
+        assert isinstance(query.root, LogicalProject)
+        assert query.output_attributes() == ("x",)
+
+    def test_where_clause(self):
+        query = parse_query("SELECT * FROM R WHERE x = 'a' AND y > 3", self.SCHEMAS)
+        assert isinstance(query.root, LogicalSelect)
+
+    def test_join_query(self):
+        query = parse_query(
+            "SELECT x, z FROM R, S WHERE y = yy AND z < 100", self.SCHEMAS
+        )
+        assert query.referenced_relations() == {"R", "S"}
+
+    def test_group_by_aggregate(self):
+        query = parse_query(
+            "SELECT x, MIN(z) FROM R, S WHERE y = yy GROUP BY x", self.SCHEMAS
+        )
+        assert isinstance(query.root, LogicalAggregate)
+        assert query.root.group_by == ["x"]
+
+    def test_aggregate_alias(self):
+        query = parse_query("SELECT SUM(z) AS total FROM S", self.SCHEMAS)
+        assert query.output_attributes() == ("total",)
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) AS n FROM S", self.SCHEMAS)
+        assert query.output_attributes() == ("n",)
+
+    def test_order_by_and_limit(self):
+        query = parse_query("SELECT * FROM R ORDER BY x DESC LIMIT 10", self.SCHEMAS)
+        assert query.order_by == [("x", False)]
+        assert query.limit == 10
+
+    def test_between_and_in(self):
+        query = parse_query(
+            "SELECT * FROM S WHERE z BETWEEN 1 AND 10 AND u IN ('a', 'b')", self.SCHEMAS
+        )
+        assert isinstance(query.root, LogicalSelect)
+
+    def test_arithmetic_in_select(self):
+        query = parse_query("SELECT SUM(z * 2) AS doubled FROM S", self.SCHEMAS)
+        assert isinstance(query.root, LogicalAggregate)
+
+    def test_function_call(self):
+        query = parse_query("SELECT concat(x, y) AS c FROM R", self.SCHEMAS)
+        assert query.output_attributes() == ("c",)
+
+    def test_qualified_names_are_stripped(self):
+        query = parse_query("SELECT R.x FROM R WHERE R.y = 'v'", self.SCHEMAS)
+        assert query.output_attributes() == ("x",)
+
+    def test_string_escaping(self):
+        query = parse_query("SELECT * FROM R WHERE y = 'it''s'", self.SCHEMAS)
+        assert isinstance(query.root, LogicalSelect)
+
+    def test_unknown_relation(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM Unknown", self.SCHEMAS)
+
+    def test_syntax_errors(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT FROM R", self.SCHEMAS)
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * R", self.SCHEMAS)
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM R LIMIT abc", self.SCHEMAS)
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM R extra tokens %%", self.SCHEMAS)

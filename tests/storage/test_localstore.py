@@ -1,0 +1,185 @@
+"""Tests for the local B+-tree store (BerkeleyDB substitute)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.localstore import BPlusTree, LocalStore
+
+
+class TestBPlusTreeBasics:
+    def test_put_and_get(self):
+        tree = BPlusTree()
+        tree.put(5, "five")
+        tree.put(3, "three")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert tree.get(99) is None
+        assert tree.get(99, "default") == "default"
+
+    def test_overwrite(self):
+        tree = BPlusTree()
+        tree.put(1, "a")
+        tree.put(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_contains_and_len(self):
+        tree = BPlusTree()
+        for i in range(10):
+            tree.put(i, i)
+        assert len(tree) == 10
+        assert 5 in tree
+        assert 50 not in tree
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.put(1, "a")
+        assert tree.delete(1)
+        assert not tree.delete(1)
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_first(self):
+        tree = BPlusTree()
+        assert tree.first() is None
+        tree.put(10, "ten")
+        tree.put(2, "two")
+        assert tree.first() == (2, "two")
+
+    def test_items_in_order_after_many_inserts(self):
+        tree = BPlusTree(order=8)
+        import random
+        rng = random.Random(7)
+        keys = list(range(2000))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.put(key, key * 2)
+        assert [k for k, _ in tree.items()] == list(range(2000))
+        assert all(v == k * 2 for k, v in tree.items())
+
+    def test_tuple_keys(self):
+        tree = BPlusTree()
+        tree.put(("r", 2), "a")
+        tree.put(("r", 1), "b")
+        tree.put(("q", 9), "c")
+        assert [k for k, _ in tree.items()] == [("q", 9), ("r", 1), ("r", 2)]
+
+
+class TestBPlusTreeRangeScan:
+    def make_tree(self, n=500, order=16):
+        tree = BPlusTree(order=order)
+        for i in range(n):
+            tree.put(i, f"v{i}")
+        return tree
+
+    def test_range_scan_half_open(self):
+        tree = self.make_tree()
+        result = [k for k, _ in tree.range_scan(10, 20)]
+        assert result == list(range(10, 20))
+
+    def test_range_scan_inclusive(self):
+        tree = self.make_tree()
+        result = [k for k, _ in tree.range_scan(10, 20, include_high=True)]
+        assert result == list(range(10, 21))
+
+    def test_range_scan_unbounded_low(self):
+        tree = self.make_tree(50)
+        assert [k for k, _ in tree.range_scan(None, 5)] == [0, 1, 2, 3, 4]
+
+    def test_range_scan_unbounded_high(self):
+        tree = self.make_tree(50)
+        assert [k for k, _ in tree.range_scan(45, None)] == [45, 46, 47, 48, 49]
+
+    def test_range_scan_empty_range(self):
+        tree = self.make_tree(50)
+        assert list(tree.range_scan(30, 30)) == []
+
+    def test_range_scan_missing_bounds(self):
+        tree = BPlusTree()
+        for i in range(0, 100, 10):
+            tree.put(i, i)
+        assert [k for k, _ in tree.range_scan(15, 45)] == [20, 30, 40]
+
+    @given(
+        keys=st.lists(st.integers(-10_000, 10_000), unique=True, max_size=300),
+        low=st.integers(-10_000, 10_000),
+        high=st.integers(-10_000, 10_000),
+    )
+    @settings(max_examples=50)
+    def test_range_scan_matches_sorted_filter(self, keys, low, high):
+        tree = BPlusTree(order=8)
+        for key in keys:
+            tree.put(key, key)
+        expected = sorted(k for k in keys if low <= k < high)
+        assert [k for k, _ in tree.range_scan(low, high)] == expected
+
+    @given(keys=st.lists(st.integers(), unique=True, max_size=400))
+    @settings(max_examples=50)
+    def test_items_sorted_property(self, keys):
+        tree = BPlusTree(order=6)
+        for key in keys:
+            tree.put(key, str(key))
+        result = [k for k, _ in tree.items()]
+        assert result == sorted(keys)
+        assert len(tree) == len(keys)
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["put", "delete"]), st.integers(0, 50)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_dict_model(self, operations):
+        tree = BPlusTree(order=5)
+        model = {}
+        for op, key in operations:
+            if op == "put":
+                tree.put(key, key)
+                model[key] = key
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert dict(tree.items()) == model
+        assert len(tree) == len(model)
+
+
+class TestLocalStore:
+    def test_named_trees_are_isolated(self):
+        store = LocalStore()
+        store.put("a", 1, "x")
+        store.put("b", 1, "y")
+        assert store.get("a", 1) == "x"
+        assert store.get("b", 1) == "y"
+        assert store.count("a") == 1
+
+    def test_bytes_stored_accumulates(self):
+        store = LocalStore()
+        store.put("t", 1, "v", size=100)
+        store.put("t", 2, "w", size=50)
+        assert store.bytes_stored == 150
+
+    def test_contains_and_delete(self):
+        store = LocalStore()
+        store.put("t", "k", "v")
+        assert store.contains("t", "k")
+        assert store.delete("t", "k")
+        assert not store.contains("t", "k")
+
+    def test_filter_items(self):
+        store = LocalStore()
+        for i in range(10):
+            store.put("t", i, i * i)
+        evens = store.filter_items("t", lambda k, v: k % 2 == 0)
+        assert len(evens) == 5
+
+    def test_range_scan_delegates(self):
+        store = LocalStore()
+        for i in range(10):
+            store.put("t", i, i)
+        assert [k for k, _ in store.range_scan("t", 2, 5)] == [2, 3, 4]

@@ -1,0 +1,113 @@
+"""Tests for the STBenchmark and TPC-H workload generators."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.query.reference import evaluate_query, normalise
+from repro.workloads import stbenchmark, tpch
+
+
+class TestSTBenchmarkGenerator:
+    def test_all_scenarios_generate(self):
+        instances = stbenchmark.generate_all(tuples_per_relation=50, seed=1)
+        assert set(instances) == set(stbenchmark.SCENARIOS)
+        for instance in instances.values():
+            assert instance.total_tuples() > 0
+            assert instance.query.name.startswith("stb_")
+
+    def test_deterministic_for_same_seed(self):
+        a = stbenchmark.generate("copy", 20, seed=7)
+        b = stbenchmark.generate("copy", 20, seed=7)
+        assert a.relations["CopySource"].rows == b.relations["CopySource"].rows
+
+    def test_copy_has_seven_attributes(self):
+        instance = stbenchmark.generate("copy", 10)
+        assert instance.relations["CopySource"].schema.arity == 7
+
+    def test_join_arities_match_paper(self):
+        instance = stbenchmark.generate("join", 10)
+        arities = sorted(data.schema.arity for data in instance.relations.values())
+        assert arities == [5, 7, 9]
+
+    def test_select_predicate_filters_about_half(self):
+        instance = stbenchmark.generate("select", 400, seed=3)
+        expected = evaluate_query(instance.query, instance.relations)
+        assert 0.3 * 400 < len(expected) < 0.7 * 400
+
+    def test_strings_are_wide(self):
+        instance = stbenchmark.generate("copy", 20, seed=2)
+        row = instance.relations["CopySource"].rows[0]
+        assert any(isinstance(v, str) and len(v) >= 15 for v in row[1:])
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            stbenchmark.generate("nope", 10)
+
+    @pytest.mark.parametrize("scenario", stbenchmark.SCENARIOS)
+    def test_scenarios_run_on_cluster_and_match_oracle(self, scenario):
+        instance = stbenchmark.generate(scenario, tuples_per_relation=60, seed=5)
+        cluster = Cluster(4)
+        cluster.publish_relations(instance.relation_list())
+        result = cluster.query(instance.query)
+        expected = evaluate_query(instance.query, instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+
+class TestTpchGenerator:
+    def test_all_tables_generated(self):
+        instance = tpch.generate(scale_factor=0.5, seed=1)
+        assert set(instance.relations) == set(tpch.SCHEMAS)
+        assert instance.row_count("region") == 5
+        assert instance.row_count("nation") == 25
+
+    def test_cardinality_ratios(self):
+        instance = tpch.generate(scale_factor=1.0, seed=1)
+        assert instance.row_count("lineitem") > instance.row_count("orders")
+        assert instance.row_count("orders") > instance.row_count("customer")
+        assert instance.row_count("customer") > instance.row_count("supplier")
+
+    def test_scale_factor_scales_rows(self):
+        small = tpch.generate(scale_factor=0.5, seed=1)
+        large = tpch.generate(scale_factor=2.0, seed=1)
+        ratio = large.row_count("orders") / small.row_count("orders")
+        assert 3.0 < ratio < 5.0
+
+    def test_foreign_keys_are_valid(self):
+        instance = tpch.generate(scale_factor=0.5, seed=2)
+        customers = {row[0] for row in instance.relations["customer"].rows}
+        orders = instance.relations["orders"].rows
+        assert all(row[1] in customers for row in orders)
+        order_keys = {row[0] for row in orders}
+        assert all(row[0] in order_keys for row in instance.relations["lineitem"].rows)
+
+    def test_dates_are_in_range(self):
+        instance = tpch.generate(scale_factor=0.25, seed=3)
+        for row in instance.relations["orders"].rows:
+            assert 19920101 <= row[4] <= 19981231
+
+    def test_query_builders(self):
+        for name in tpch.QUERIES:
+            query = tpch.query(name)
+            assert query.name == name
+        with pytest.raises(ValueError):
+            tpch.query("Q99")
+
+    @pytest.mark.parametrize("name", ["Q1", "Q6"])
+    def test_aggregation_queries_match_oracle_on_cluster(self, name):
+        instance = tpch.generate(scale_factor=0.25, seed=4)
+        cluster = Cluster(4)
+        cluster.publish_relations(instance.relation_list())
+        query = tpch.query(name)
+        result = cluster.query(query)
+        expected = evaluate_query(query, instance.relations)
+        assert normalise(result.rows) == normalise(expected)
+
+    @pytest.mark.parametrize("name", ["Q3", "Q5", "Q10"])
+    def test_join_queries_match_oracle_on_cluster(self, name):
+        instance = tpch.generate(scale_factor=0.25, seed=4)
+        cluster = Cluster(4)
+        cluster.publish_relations(instance.relation_list())
+        query = tpch.query(name)
+        result = cluster.query(query)
+        expected = evaluate_query(query, instance.relations)
+        assert normalise(result.rows) == normalise(expected)
