@@ -1,0 +1,58 @@
+"""Cache subsystem: cold vs. warm network traffic (repro.cache).
+
+Not a paper figure — the paper measures cold executions only — but the
+regime the ROADMAP's heavy-traffic north star lives in: the same retrievals
+and queries arriving over and over.  The version-keyed caches must turn the
+warm repeats into (near-)zero network traffic without ever serving stale
+data.
+"""
+
+from conftest import run_once, series  # noqa: F401  (shared fixtures)
+from repro.bench import (
+    format_table,
+    run_result_cache_experiment,
+    run_retrieval_cache_experiment,
+)
+
+
+def test_cache_warm_retrieval_ships_fewer_bytes(benchmark, print_series):
+    rows = run_once(
+        benchmark, run_retrieval_cache_experiment,
+        num_nodes=8, tuples_per_relation=800, repeats=3,
+    )
+    print_series(
+        "Cache: STBenchmark retrieval, cold vs warm (bytes on the wire)",
+        format_table(rows, ["run", "traffic_bytes", "pages_scanned",
+                            "pages_from_cache", "cache_hits", "cache_bytes_saved"]),
+    )
+    cold, warm1, warm2 = rows
+    assert cold["run"] == "cold" and cold["pages_from_cache"] == 0
+    # Acceptance criterion: the warm repeat ships strictly fewer bytes than
+    # the cold run — in fact every page is answered locally.
+    assert warm1["traffic_bytes"] < cold["traffic_bytes"]
+    assert warm1["pages_from_cache"] == warm1["pages_scanned"]
+    assert warm2["traffic_bytes"] < cold["traffic_bytes"]
+    # Identical answers, and the hit counters actually moved.
+    assert warm1["tuples"] == cold["tuples"]
+    assert warm1["cache_hits"] > 0
+    assert warm1["cache_bytes_saved"] > 0
+
+
+def test_result_cache_eliminates_warm_query_traffic(benchmark, print_series):
+    rows = run_once(
+        benchmark, run_result_cache_experiment,
+        queries=("Q1", "Q6"), num_nodes=8, scale_factor=1.0, repeats=2,
+    )
+    print_series(
+        "Cache: TPC-H repeat queries through the semantic result cache",
+        format_table(rows, ["query", "run", "execution_seconds", "traffic_bytes",
+                            "result_rows", "result_cache_hit"]),
+    )
+    for query_name in ("Q1", "Q6"):
+        cold, warm = [r for r in rows if r["query"] == query_name]
+        assert not cold["result_cache_hit"]
+        assert warm["result_cache_hit"]
+        assert warm["traffic_bytes"] < cold["traffic_bytes"]
+        assert warm["traffic_bytes"] == 0
+        assert warm["result_rows"] == cold["result_rows"]
+        assert warm["execution_seconds"] < cold["execution_seconds"]

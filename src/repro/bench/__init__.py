@@ -9,6 +9,8 @@ from .harness import (
     run_failure_recovery_experiment,
     run_latency_sweep,
     run_recovery_overhead_experiment,
+    run_result_cache_experiment,
+    run_retrieval_cache_experiment,
     run_stb_data_sweep,
     run_stb_node_sweep,
     run_tpch_data_sweep,
@@ -24,6 +26,8 @@ __all__ = [
     "run_failure_recovery_experiment",
     "run_latency_sweep",
     "run_recovery_overhead_experiment",
+    "run_result_cache_experiment",
+    "run_retrieval_cache_experiment",
     "run_stb_data_sweep",
     "run_stb_node_sweep",
     "run_tpch_data_sweep",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Sequence
 
+from ..cache import CacheConfig
 from ..cluster import Cluster
 from ..net.profiles import EC2_LARGE, LAN_GIGABIT, NetworkProfile, wan_profile
 from ..overlay.allocation import BalancedAllocation, PastryAllocation, allocation_imbalance
@@ -384,6 +385,92 @@ def run_recovery_overhead_experiment(
             "time_overhead_pct": time_overhead,
             "traffic_overhead_pct": traffic_overhead,
         })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Cache subsystem: cold vs. warm traffic (repro.cache)
+# ---------------------------------------------------------------------------
+
+
+def run_retrieval_cache_experiment(
+    num_nodes: int = 8,
+    tuples_per_relation: int = 800,
+    scenario: str = "select",
+    repeats: int = 3,
+    policy: str = "greedy-dual",
+    seed: int = 0,
+) -> list[dict]:
+    """Cold vs. warm Algorithm-1 retrieval of an STBenchmark relation.
+
+    Run 1 is cold (every coordinator record, page scan and tuple batch crosses
+    the simulated network); later runs are warm and are served from the
+    version-keyed per-node cache.  One row per run with the traffic delta, the
+    cache counters and how many pages were answered locally.
+    """
+    instance = stbenchmark.generate(scenario, tuples_per_relation, seed)
+    cluster = Cluster(num_nodes, profile=LAN_GIGABIT,
+                      cache_config=CacheConfig(policy=policy))
+    cluster.publish_relations(instance.relation_list())
+    relation = instance.relation_list()[0].schema.name
+    rows = []
+    for run in range(repeats):
+        before_traffic = cluster.traffic_snapshot()
+        before_stats = cluster.cache_statistics()["node"]
+        result = cluster.retrieve(relation)
+        traffic = before_traffic.delta(cluster.traffic_snapshot())
+        after_stats = cluster.cache_statistics()["node"]
+        rows.append({
+            "run": "cold" if run == 0 else f"warm-{run}",
+            "relation": relation,
+            "nodes": num_nodes,
+            "tuples": len(result.tuples),
+            "traffic_bytes": traffic.total_bytes,
+            "traffic_mb": traffic.total_bytes / MB,
+            "pages_scanned": result.pages_scanned,
+            "pages_from_cache": result.pages_from_cache,
+            "cache_hits": after_stats.hits - before_stats.hits,
+            "cache_bytes_saved": after_stats.bytes_saved - before_stats.bytes_saved,
+        })
+    return rows
+
+
+def run_result_cache_experiment(
+    queries: Sequence[str] = ("Q1", "Q6"),
+    num_nodes: int = 8,
+    scale_factor: float = 1.0,
+    repeats: int = 2,
+    policy: str = "greedy-dual",
+    seed: int = 0,
+) -> list[dict]:
+    """Cold vs. warm TPC-H execution through the semantic result cache.
+
+    Each query runs ``repeats`` times on one cluster; the first execution is
+    cold, repeats hit the initiator's result cache (same plan fingerprint,
+    same relation-version epochs) and ship zero bytes.
+    """
+    instance = tpch.generate(scale_factor, seed)
+    cluster = Cluster(num_nodes, profile=LAN_GIGABIT,
+                      cache_config=CacheConfig(policy=policy))
+    cluster.publish_relations(instance.relation_list())
+    rows = []
+    for query_name in queries:
+        for run in range(repeats):
+            before_traffic = cluster.traffic_snapshot()
+            saved_before = cluster.cache_statistics()["result"].bytes_saved
+            result = cluster.query(tpch.query(query_name))
+            traffic = before_traffic.delta(cluster.traffic_snapshot())
+            saved = cluster.cache_statistics()["result"].bytes_saved - saved_before
+            rows.append({
+                "query": query_name,
+                "run": "cold" if run == 0 else f"warm-{run}",
+                "execution_seconds": result.statistics.execution_time,
+                "traffic_bytes": traffic.total_bytes,
+                "traffic_mb": traffic.total_bytes / MB,
+                "result_rows": len(result.rows),
+                "result_cache_hit": result.statistics.result_cache_hit,
+                "result_cache_bytes_saved": saved,
+            })
     return rows
 
 

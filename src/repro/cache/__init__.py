@@ -1,0 +1,54 @@
+"""Version-keyed multi-tier caching subsystem.
+
+Published relation versions are immutable: a new epoch creates new page
+versions and *shares* unchanged ones, so anything addressed by
+``(relation, epoch)`` or by a page version can be cached without a
+coherence protocol.  This package exploits that across three tiers:
+
+* :class:`~repro.cache.store.CacheStore` — the generic byte-budgeted store
+  with pluggable eviction (:mod:`repro.cache.policies`: LRU and a cost-aware
+  GreedyDual-Size policy weighing bytes-over-network saved);
+* :class:`~repro.cache.node.NodeCache` — the per-node cache of coordinator
+  records, index pages, per-page tuple batches and epoch resolutions used by
+  the storage client/service (Algorithm 1's retrieval path);
+* :class:`~repro.cache.result.SemanticResultCache` — the initiator-side
+  query-result cache keyed by a canonical plan fingerprint plus the exact
+  relation-version epochs the query scanned, invalidated precisely when a
+  newer covering version is published.
+
+:class:`~repro.cache.config.CacheConfig` wires all of it into a
+:class:`~repro.cluster.Cluster`; :class:`~repro.cache.node.CacheResidency`
+feeds cache residency into the optimizer's cost model.
+"""
+
+from .config import CacheConfig
+from .node import CacheResidency, NodeCache
+from .policies import (
+    POLICY_GREEDY_DUAL,
+    POLICY_LRU,
+    EvictionPolicy,
+    GreedyDualPolicy,
+    LruPolicy,
+    make_policy,
+)
+from .result import CachedResult, SemanticResultCache, plan_fingerprint
+from .stats import CacheStats
+from .store import CacheEntry, CacheStore
+
+__all__ = [
+    "CacheConfig",
+    "CacheEntry",
+    "CacheResidency",
+    "CacheStats",
+    "CacheStore",
+    "CachedResult",
+    "EvictionPolicy",
+    "GreedyDualPolicy",
+    "LruPolicy",
+    "NodeCache",
+    "POLICY_GREEDY_DUAL",
+    "POLICY_LRU",
+    "SemanticResultCache",
+    "make_policy",
+    "plan_fingerprint",
+]

@@ -1,0 +1,46 @@
+"""Cluster-level cache configuration.
+
+Caching is *opt-in per cluster*: the figure-reproduction benchmarks measure
+cold executions (the regime the paper reports), so a cluster built without a
+:class:`CacheConfig` behaves byte-for-byte like the cache-less system.  The
+cache-traffic benchmarks, the examples and any long-lived deployment pass a
+config to turn the subsystem on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import NodeCache
+from .policies import POLICY_GREEDY_DUAL, make_policy
+from .result import SemanticResultCache
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Byte budgets and eviction policy for every cache of a cluster."""
+
+    #: Budget of each node's page/tuple/coordinator/resolution cache.
+    node_budget_bytes: int = 32_000_000
+    #: Budget of each node's initiator-side semantic result cache.
+    result_budget_bytes: int = 16_000_000
+    #: Eviction policy name ("lru" or "greedy-dual").
+    policy: str = POLICY_GREEDY_DUAL
+    #: Whether query initiators keep a semantic result cache at all.
+    result_cache: bool = True
+
+    def build_node_cache(self, address: str) -> NodeCache:
+        return NodeCache(
+            self.node_budget_bytes,
+            policy=make_policy(self.policy),
+            name=f"{address}/node-cache",
+        )
+
+    def build_result_cache(self, address: str) -> SemanticResultCache | None:
+        if not self.result_cache:
+            return None
+        return SemanticResultCache(
+            self.result_budget_bytes,
+            policy=make_policy(self.policy),
+            name=f"{address}/result-cache",
+        )

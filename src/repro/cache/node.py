@@ -1,0 +1,210 @@
+"""Per-node cache over the version-keyed storage objects.
+
+One :class:`NodeCache` sits next to each simulated node's storage stack and
+holds, under a single byte budget and eviction policy, the four object kinds
+the retrieval path (Algorithm 1) repeatedly ships over the network:
+
+* ``coord`` — relation coordinator records, keyed ``(relation, epoch)``;
+* ``page`` — index-page versions, keyed by :class:`~repro.storage.pages.PageId`;
+* ``scan`` — the tuple batch a predicate-less retrieval produced for one page
+  version, keyed by the page's ID;
+* ``resolve`` — epoch resolutions, keyed ``(relation, requested_epoch)``.
+
+The first three are *version-keyed*: published relation versions are
+immutable, a new epoch creates new page versions and shares unchanged ones,
+so a coordinator record, page, or per-page tuple batch addressed by its
+version can never go stale and is evicted only under byte pressure.  Epoch
+*resolutions* ("newest publish ≤ e") are the one mutable kind — a later
+publish at an epoch ≤ e would change the answer — so they are invalidated
+through :meth:`note_publish` (exact) and :meth:`note_epoch` (the conservative
+gossip-driven guard).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .policies import EvictionPolicy
+from .stats import CacheStats
+from .store import CacheStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..common.types import VersionedTuple
+    from ..storage.pages import CoordinatorRecord, IndexPage, PageId
+
+#: Approximate wire cost of one RPC exchange (request + reply framing); added
+#: to an entry's benefit because a hit saves the round-trip, not just the body.
+RPC_EXCHANGE_OVERHEAD = 112
+
+KIND_COORDINATOR = "coord"
+KIND_PAGE = "page"
+KIND_SCAN = "scan"
+KIND_RESOLVE = "resolve"
+
+#: Kinds counted by the optimizer's residency estimate.  Only the scan
+#: batches carry actual tuple bytes; pages (tuple-ID lists) and coordinator
+#: records are metadata over the same data and counting them too would
+#: double-book the relation's warm footprint.
+_RESIDENCY_KINDS = (KIND_SCAN,)
+
+
+class NodeCache:
+    """Version-keyed multi-kind cache for one simulated node."""
+
+    def __init__(
+        self,
+        byte_budget: int,
+        policy: EvictionPolicy | None = None,
+        name: str = "node-cache",
+    ) -> None:
+        self.store = CacheStore(byte_budget, policy=policy, name=name,
+                                on_remove=self._on_entry_removed)
+        # Incremental per-relation footprint of the relation-bearing kinds so
+        # the optimizer's residency probe is O(1) per relation instead of a
+        # full entry scan on the query-compilation hot path.
+        self._relation_bytes: dict[str, int] = {}
+
+    @staticmethod
+    def _relation_of(key) -> str | None:
+        if key[0] not in _RESIDENCY_KINDS:
+            return None
+        return key[1].relation  # residency kinds are keyed by PageId
+
+    def _on_entry_removed(self, entry) -> None:
+        relation = self._relation_of(entry.key)
+        if relation is not None:
+            remaining = self._relation_bytes.get(relation, 0) - entry.size
+            if remaining > 0:
+                self._relation_bytes[relation] = remaining
+            else:
+                self._relation_bytes.pop(relation, None)
+
+    def _account_insert(self, key, size: int, inserted: bool) -> None:
+        if not inserted:
+            return
+        relation = self._relation_of(key)
+        if relation is not None:
+            self._relation_bytes[relation] = self._relation_bytes.get(relation, 0) + size
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.store.stats
+
+    @property
+    def bytes_used(self) -> int:
+        return self.store.bytes_used
+
+    # -- coordinator records ---------------------------------------------------
+
+    def get_coordinator(self, relation: str, epoch: int) -> "CoordinatorRecord | None":
+        return self.store.get((KIND_COORDINATOR, relation, epoch))
+
+    def put_coordinator(self, record: "CoordinatorRecord") -> None:
+        size = record.estimated_size()
+        key = (KIND_COORDINATOR, record.relation, record.epoch)
+        inserted = self.store.put(key, record, size, benefit=size + RPC_EXCHANGE_OVERHEAD)
+        self._account_insert(key, size, inserted)
+
+    # -- index pages -----------------------------------------------------------
+
+    def get_page(self, page_id: "PageId") -> "IndexPage | None":
+        return self.store.get((KIND_PAGE, page_id))
+
+    def peek_page(self, page_id: "PageId") -> "IndexPage | None":
+        """Page lookup without touching hit/miss counters or recency.
+
+        Used when the page is served *to a remote peer* (the bytes still ship,
+        so nothing is saved network-wise) rather than consumed locally.
+        """
+        return self.store.peek((KIND_PAGE, page_id))
+
+    def put_page(self, page: "IndexPage") -> None:
+        size = page.estimated_size()
+        key = (KIND_PAGE, page.page_id)
+        inserted = self.store.put(key, page, size, benefit=size + RPC_EXCHANGE_OVERHEAD)
+        self._account_insert(key, size, inserted)
+
+    # -- per-page retrieval results (tuple batches) ----------------------------
+
+    def get_scan(self, page_id: "PageId") -> "tuple[VersionedTuple, ...] | None":
+        return self.store.get((KIND_SCAN, page_id))
+
+    def put_scan(self, page_id: "PageId", tuples: Sequence["VersionedTuple"]) -> None:
+        batch = tuple(tuples)
+        size = 64 + sum(t.estimated_size() for t in batch)
+        key = (KIND_SCAN, page_id)
+        # A hit saves the retrieve_page cast, the per-data-node tuple requests
+        # and the shipped tuple bytes; the dominant term is the tuple bytes.
+        inserted = self.store.put(key, batch, size, benefit=size + 2 * RPC_EXCHANGE_OVERHEAD)
+        self._account_insert(key, size, inserted)
+
+    # -- epoch resolutions -----------------------------------------------------
+
+    def get_resolution(self, relation: str, epoch: int) -> int | None:
+        return self.store.get((KIND_RESOLVE, relation, epoch))
+
+    def put_resolution(self, relation: str, epoch: int, resolved: int) -> None:
+        self.store.put((KIND_RESOLVE, relation, epoch), resolved, 24,
+                       benefit=24 + RPC_EXCHANGE_OVERHEAD)
+
+    # -- invalidation ----------------------------------------------------------
+
+    def note_publish(self, relation: str, epoch: int) -> int:
+        """A new version of ``relation`` was published at ``epoch``.
+
+        Resolutions whose requested epoch covers the publish can change and
+        are dropped.  Version-keyed entries (coordinator records, pages, scan
+        batches) are immutable *between distinct epochs*, but the driver API
+        allows republishing a relation at an epoch that was already used —
+        which rewrites that version in place — so entries of the relation at
+        the published epoch (or later) are dropped too.  For the normal
+        fresh-epoch publish nothing is cached at the new epoch yet and this
+        is a no-op for those tiers, keeping shared-page hits intact.
+        """
+
+        def stale(key, _value) -> bool:
+            kind = key[0]
+            if kind == KIND_RESOLVE:
+                return key[1] == relation and key[2] >= epoch
+            if kind == KIND_COORDINATOR:
+                return key[1] == relation and key[2] >= epoch
+            if kind in (KIND_PAGE, KIND_SCAN):
+                return key[1].relation == relation and key[1].epoch >= epoch
+            return False
+
+        return self.store.invalidate_where(stale)
+
+    def note_epoch(self, epoch: int) -> int:
+        """Gossip learnt of ``epoch``: conservatively drop covering resolutions.
+
+        The gossip message carries no relation name, so every resolution whose
+        requested epoch is ≥ the announced one is dropped; resolutions of
+        strictly older epochs are immutable and survive.
+        """
+        return self.store.invalidate_where(
+            lambda key, _value: key[0] == KIND_RESOLVE and key[2] >= epoch
+        )
+
+    # -- residency (optimizer input) -------------------------------------------
+
+    def cached_bytes_for_relation(self, relation: str) -> int:
+        """Tuple-batch bytes of ``relation`` currently resident (O(1))."""
+        return self._relation_bytes.get(relation, 0)
+
+    def residency(self) -> "CacheResidency":
+        return CacheResidency(self)
+
+
+class CacheResidency:
+    """Snapshot interface the cost model consults (see optimizer/cost.py).
+
+    Kept deliberately thin: the cost model asks "how many bytes of relation R
+    are warm on the initiating node" and converts that into a fraction of the
+    relation's total footprint using its own catalog statistics.
+    """
+
+    def __init__(self, cache: NodeCache) -> None:
+        self._cache = cache
+
+    def cached_bytes(self, relation: str) -> int:
+        return self._cache.cached_bytes_for_relation(relation)

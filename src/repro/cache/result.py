@@ -1,0 +1,270 @@
+"""Initiator-side semantic result cache.
+
+A distributed query's answer is fully determined by (a) the canonical shape
+of its physical plan and (b) the exact relation-version epochs its scans
+resolved to.  Published versions are immutable, so a cached result keyed by
+``(plan fingerprint, requested epoch)`` whose recorded resolutions still hold
+can be returned without touching the network at all — no plan dissemination,
+no scans, no ship exchange.
+
+Staleness has exactly one source: a *later* publish whose epoch is ≤ the
+requested epoch would change what the scans resolve to.  Two hooks cover it:
+
+* :meth:`note_publish` (exact) — invalidates entries that scanned the
+  published relation at an older resolution and whose requested epoch covers
+  the new version;
+* :meth:`note_epoch` (conservative) — driven by the epoch gossip, which
+  carries no relation name: every entry whose requested epoch is ≥ the newly
+  announced epoch is dropped.  Entries pinned to strictly older epochs are
+  immutable and survive, which is what keeps warm repeats hitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..common.types import Value
+from .policies import EvictionPolicy
+from .stats import CacheStats
+from .store import CacheStore
+
+KIND_RESULT = "result"
+
+
+def plan_fingerprint(plan) -> Hashable:
+    """Canonical, hashable fingerprint of a physical plan's semantics.
+
+    Two plans that produce the same rows for the same stored data map to the
+    same fingerprint: operator ids, optimizer bookkeeping and object identity
+    are excluded; expressions enter through their (deterministic) ``repr``.
+    The tree shape is preserved by nesting, so a fingerprint collision would
+    require structurally identical plans.
+    """
+    # Imported lazily: repro.query.service imports this module, so a
+    # module-level import of repro.query.physical would be circular.
+    from ..query.physical import (
+        PhysAggregate,
+        PhysHashJoin,
+        PhysProject,
+        PhysRehash,
+        PhysScan,
+        PhysSelect,
+        PhysShip,
+    )
+
+    def visit(op) -> tuple:
+        children = tuple(visit(child) for child in op.children())
+        if isinstance(op, PhysScan):
+            descriptor = (
+                "scan", op.schema.name, tuple(op.columns), op.epoch,
+                repr(op.sargable), repr(op.residual), op.covering,
+            )
+        elif isinstance(op, PhysSelect):
+            descriptor = ("select", repr(op.predicate))
+        elif isinstance(op, PhysProject):
+            descriptor = ("project", tuple((name, repr(expr)) for name, expr in op.outputs))
+        elif isinstance(op, PhysHashJoin):
+            descriptor = ("join", tuple(op.left_keys), tuple(op.right_keys))
+        elif isinstance(op, PhysRehash):
+            descriptor = ("rehash", tuple(op.keys))
+        elif isinstance(op, PhysAggregate):
+            descriptor = (
+                "aggregate", tuple(op.group_by),
+                tuple(repr(spec) for spec in op.aggregates), op.merge_partials,
+            )
+        elif isinstance(op, PhysShip):
+            descriptor = (
+                "ship", op.collector_mode, tuple(op.group_by),
+                tuple(repr(spec) for spec in op.aggregates),
+                tuple(op.order_by), op.limit,
+            )
+        else:  # forward-compatible: new operators fall back to their repr
+            descriptor = (type(op).__name__, repr(op))
+        return descriptor + (children,)
+
+    return visit(plan.root)
+
+
+@dataclass
+class CachedResult:
+    """One cached query answer plus the versions it was computed against."""
+
+    attributes: tuple[str, ...]
+    rows: tuple[tuple[Value, ...], ...]
+    #: One triple per leaf scan: ``(relation, resolved epoch, pinned epoch)``.
+    #: ``pinned`` is the epoch the plan hard-codes for that scan (None when
+    #: the scan follows the query's requested epoch).  Each scan is kept
+    #: separately — a hand-built plan may read the same relation at two
+    #: different epochs.
+    scans: tuple[tuple[str, int, int | None], ...]
+    #: Requested epoch of the query that produced the entry.
+    epoch: int
+    #: Network bytes the cold execution shipped (= bytes a hit saves).
+    cold_bytes: int
+
+    def scan_bound(self, scan: tuple[str, int, int | None], epoch: int) -> int:
+        """Newest publish epoch a scan would see for a query at ``epoch``."""
+        _relation, _resolved, pinned = scan
+        return pinned if pinned is not None else epoch
+
+    def estimated_size(self) -> int:
+        from ..common.types import estimate_values_size
+
+        return 128 + sum(estimate_values_size(row) for row in self.rows)
+
+
+class SemanticResultCache:
+    """Plan-fingerprint → result cache for one query initiator."""
+
+    def __init__(
+        self,
+        byte_budget: int,
+        policy: EvictionPolicy | None = None,
+        name: str = "result-cache",
+    ) -> None:
+        self.store = CacheStore(byte_budget, policy=policy, name=name,
+                                on_remove=self._on_entry_removed)
+        #: Secondary index fingerprint → cached requested epochs, so a lookup
+        #: never scans unrelated entries (kept in sync through ``on_remove``).
+        self._by_fingerprint: dict[Hashable, set[int]] = {}
+        #: Publish epochs learnt per relation (via :meth:`note_publish`); the
+        #: ground truth for deciding whether a cached entry still answers a
+        #: given epoch.  Unbounded only by the number of distinct publishes.
+        self._published: dict[str, list[int]] = {}
+        self._attributed_epochs: set[int] = set()
+        #: Epochs the gossip announced whose relation we never learnt: they
+        #: must be assumed to affect *any* relation until attributed.
+        self._wildcard_epochs: set[int] = set()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.store.stats
+
+    def _on_entry_removed(self, entry) -> None:
+        epochs = self._by_fingerprint.get(entry.key[1])
+        if epochs is not None:
+            epochs.discard(entry.key[2])
+            if not epochs:
+                del self._by_fingerprint[entry.key[1]]
+
+    # -- lookup / store --------------------------------------------------------
+
+    def lookup(self, fingerprint: Hashable, epoch: int) -> CachedResult | None:
+        """Best cached answer for the query ``fingerprint`` at ``epoch``.
+
+        Every candidate — the exact ``(fingerprint, epoch)`` entry included —
+        is validated against the publishes learnt so far, so entries whose
+        scanned versions a later publish superseded are never served, while
+        an entry cached at an *older* requested epoch keeps answering newer
+        ones (a publish of an unrelated relation mints a fresh cluster epoch
+        but must not turn every warm query cold).
+        """
+        for entry_epoch in sorted(
+            (e for e in self._by_fingerprint.get(fingerprint, ()) if e <= epoch),
+            reverse=True,
+        ):
+            key = (KIND_RESULT, fingerprint, entry_epoch)
+            cached = self.store.peek(key)
+            if cached is None:
+                continue
+            if self._is_current(cached, epoch):
+                return self.store.get(key)
+            if entry_epoch == epoch:
+                # Stale at its own requested epoch: publishes only accumulate,
+                # so this entry can never become valid again — drop it.
+                self.store.invalidate(key)
+        self.store.stats.record_miss(KIND_RESULT)
+        return None
+
+    def _is_current(self, cached: "CachedResult", epoch: int) -> bool:
+        """Would a re-run at ``epoch`` resolve to the same scanned versions?"""
+        for scan in cached.scans:
+            _relation, resolved, _pinned = scan
+            bound = cached.scan_bound(scan, epoch)
+            for published in self._published.get(scan[0], ()):
+                if resolved < published <= bound:
+                    return False
+            for wildcard in self._wildcard_epochs:
+                if resolved < wildcard <= bound:
+                    return False
+        return True
+
+    def contains(self, fingerprint: Hashable, epoch: int) -> bool:
+        return (KIND_RESULT, fingerprint, epoch) in self.store
+
+    def store_result(
+        self,
+        fingerprint: Hashable,
+        epoch: int,
+        attributes: Sequence[str],
+        rows: Sequence[tuple[Value, ...]],
+        scans: Iterable[tuple[str, int, int | None]],
+        cold_bytes: int,
+    ) -> bool:
+        entry = CachedResult(
+            attributes=tuple(attributes),
+            rows=tuple(tuple(row) for row in rows),
+            scans=tuple((relation, resolved, pinned) for relation, resolved, pinned in scans),
+            epoch=epoch,
+            cold_bytes=int(cold_bytes),
+        )
+        # A hit saves the entire cold execution's traffic, not just the result
+        # bytes — that is the benefit GreedyDual weighs under pressure.
+        stored = self.store.put(
+            (KIND_RESULT, fingerprint, epoch),
+            entry,
+            entry.estimated_size(),
+            benefit=max(entry.cold_bytes, entry.estimated_size()),
+        )
+        if stored:
+            self._by_fingerprint.setdefault(fingerprint, set()).add(epoch)
+        return stored
+
+    # -- invalidation ----------------------------------------------------------
+
+    def note_publish(self, relation: str, epoch: int) -> int:
+        """Exact invalidation: ``relation`` gained a new version at ``epoch``.
+
+        An entry goes stale iff it scanned that relation at a resolution older
+        than ``epoch`` *and* the scan's epoch bound covers the new version — a
+        re-run would now resolve the scan to the fresh epoch.  The publish is
+        also recorded so :meth:`lookup` can keep reusing entries the publish
+        does *not* affect at later epochs.
+        """
+        epochs = self._published.setdefault(relation, [])
+        if epoch not in epochs:
+            epochs.append(epoch)
+        self._attributed_epochs.add(epoch)
+        self._wildcard_epochs.discard(epoch)
+
+        def stale(_key, entry: CachedResult) -> bool:
+            # ``<=`` on the resolution side: republishing at the very epoch a
+            # scan resolved to rewrites that version in place, so entries that
+            # read it are stale too.  (Entries stored *after* this publish
+            # resolve to the rewritten version and are created later, so the
+            # event ordering of note_publish keeps them safe; the timeless
+            # ``_is_current`` predicate stays strict for that reason.)
+            return any(
+                scan[0] == relation
+                and scan[1] <= epoch <= entry.scan_bound(scan, entry.epoch)
+                for scan in entry.scans
+            )
+
+        return self.store.invalidate_where(stale)
+
+    def note_epoch(self, epoch: int) -> int:
+        """Conservative gossip guard: drop entries covering the new epoch.
+
+        Gossip carries no relation name, so until (unless) the publish is
+        attributed through :meth:`note_publish` the epoch is remembered as a
+        wildcard that blocks reuse of any entry it could affect.
+        """
+        if epoch not in self._attributed_epochs:
+            self._wildcard_epochs.add(epoch)
+        return self.store.invalidate_where(
+            lambda _key, entry: any(
+                scan[1] < epoch <= entry.scan_bound(scan, entry.epoch)
+                for scan in entry.scans
+            )
+        )

@@ -1,0 +1,75 @@
+"""Hit/miss/byte-saved counters shared by every cache tier.
+
+The counters deliberately mirror what the traffic benchmarks report: a *hit*
+records the ``benefit`` of the entry — the bytes that would have crossed the
+simulated network on a miss — so ``bytes_saved`` is directly comparable to
+the :class:`~repro.net.simnet.TrafficMeter` deltas the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache store (or an aggregate over several)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    rejected: int = 0
+    bytes_saved: int = 0
+    #: Per-kind hit/miss breakdown, keyed by the entry-kind tag (the first
+    #: element of namespaced cache keys: "coord", "page", "scan", ...).
+    hits_by_kind: dict[str, int] = field(default_factory=dict)
+    misses_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def record_hit(self, kind: str, benefit: float) -> None:
+        self.hits += 1
+        self.bytes_saved += int(benefit)
+        self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + 1
+
+    def record_miss(self, kind: str) -> None:
+        self.misses += 1
+        self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate ``other`` into this instance (used for cluster totals)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        self.rejected += other.rejected
+        self.bytes_saved += other.bytes_saved
+        for kind, count in other.hits_by_kind.items():
+            self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + count
+        for kind, count in other.misses_by_kind.items():
+            self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + count
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "rejected": self.rejected,
+            "bytes_saved": self.bytes_saved,
+            "hits_by_kind": dict(self.hits_by_kind),
+            "misses_by_kind": dict(self.misses_by_kind),
+        }

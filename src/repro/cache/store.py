@@ -1,0 +1,159 @@
+"""Generic byte-budgeted cache store with pluggable eviction.
+
+:class:`CacheStore` is the one cache implementation every tier of the
+subsystem shares: the per-node page/tuple cache, the coordinator-record and
+epoch-resolution tiers, and the initiator-side semantic result cache are all
+``CacheStore`` instances with different key namespaces and benefit metrics.
+
+Invariants the property tests pin down:
+
+* the sum of entry sizes never exceeds ``byte_budget``, at any point, for any
+  operation sequence;
+* an entry larger than the whole budget is rejected outright (never inserted,
+  never evicts anything);
+* eviction order is fully delegated to the policy, which sees every insert,
+  access and removal.
+
+Keys are namespaced tuples whose first element names the entry *kind* (e.g.
+``("page", page_id)``); the kind feeds the per-kind hit/miss breakdown and
+lets :meth:`invalidate_where` target one tier without touching the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+from .policies import EvictionPolicy, LruPolicy
+from .stats import CacheStats
+
+
+@dataclass
+class CacheEntry:
+    """One cached item plus the accounting the policy and stats need."""
+
+    key: Hashable
+    value: Any
+    size: int
+    #: Bytes that would cross the network if this entry had to be re-fetched;
+    #: what a hit adds to ``bytes_saved`` and what GreedyDual weighs.
+    benefit: float
+
+
+def _kind_of(key: Hashable) -> str:
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "other"
+
+
+class CacheStore:
+    """A byte-budgeted key → value cache with pluggable eviction."""
+
+    def __init__(
+        self,
+        byte_budget: int,
+        policy: EvictionPolicy | None = None,
+        name: str = "cache",
+        on_remove: Callable[[CacheEntry], None] | None = None,
+    ) -> None:
+        if byte_budget < 0:
+            raise ValueError("cache byte budget cannot be negative")
+        self.name = name
+        self.byte_budget = byte_budget
+        self.policy = policy or LruPolicy()
+        self.stats = CacheStats()
+        #: Invoked for every entry leaving the store (eviction, invalidation
+        #: or replacement); lets owners keep incremental aggregates in sync.
+        self.on_remove = on_remove
+        self._entries: dict[Hashable, CacheEntry] = {}
+        self._bytes_used = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, key: Hashable, record_miss: bool = True) -> Any | None:
+        """Cached value for ``key``, or None; updates statistics and recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            if record_miss:
+                self.stats.record_miss(_kind_of(key))
+            return None
+        self.policy.record_access(key)
+        self.stats.record_hit(_kind_of(key), entry.benefit)
+        return entry.value
+
+    def peek(self, key: Hashable) -> Any | None:
+        """Value without touching statistics or recency (planner probes)."""
+        entry = self._entries.get(key)
+        return entry.value if entry is not None else None
+
+    # -- updates ---------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any, size: int, benefit: float | None = None) -> bool:
+        """Insert (or replace) ``key``; returns False if the item is uncacheable.
+
+        ``size`` is the entry's budget footprint; ``benefit`` defaults to the
+        size (re-fetching ships roughly the entry itself over the network).
+        """
+        size = max(1, int(size))
+        if size > self.byte_budget:
+            self.stats.rejected += 1
+            return False
+        if key in self._entries:
+            self._remove(key)
+        self._evict_until_fits(size)
+        entry = CacheEntry(key, value, size, float(benefit if benefit is not None else size))
+        self._entries[key] = entry
+        self._bytes_used += size
+        self.policy.record_insert(key, size, entry.benefit)
+        self.stats.insertions += 1
+        return True
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        if key not in self._entries:
+            return False
+        self._remove(key)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_where(self, predicate: Callable[[Hashable, Any], bool]) -> int:
+        """Drop every entry for which ``predicate(key, value)`` holds."""
+        doomed = [key for key, entry in self._entries.items() if predicate(key, entry.value)]
+        for key in doomed:
+            self._remove(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self._remove(key)
+
+    # -- internals -------------------------------------------------------------
+
+    def _evict_until_fits(self, incoming_size: int) -> None:
+        while self._entries and self._bytes_used + incoming_size > self.byte_budget:
+            victim = self.policy.choose_victim()
+            self._remove(victim)
+            self.stats.evictions += 1
+
+    def _remove(self, key: Hashable) -> None:
+        entry = self._entries.pop(key)
+        self._bytes_used -= entry.size
+        self.policy.record_remove(key)
+        if self.on_remove is not None:
+            self.on_remove(entry)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from .cache import CacheConfig, CacheStats, NodeCache, SemanticResultCache
 from .common.errors import ReproError
 from .common.types import RelationData, Schema, Value
 from .net.profiles import LAN_GIGABIT, NetworkProfile
@@ -44,6 +45,10 @@ class ClusterNode:
     gossip: EpochGossip
     storage: StorageService
     storage_client: StorageClient
+    #: Version-keyed page/tuple/coordinator cache (None when caching is off).
+    cache: NodeCache | None = None
+    #: Initiator-side semantic result cache (None when caching is off).
+    result_cache: SemanticResultCache | None = None
 
     @property
     def address(self) -> str:
@@ -61,12 +66,16 @@ class Cluster:
         allocator: RangeAllocator | None = None,
         page_capacity: int = 2048,
         address_prefix: str = "node",
+        cache_config: CacheConfig | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.profile = profile
         self.replication_factor = min(replication_factor, num_nodes)
         self.page_capacity = page_capacity
+        #: Caching is opt-in: without a config the cluster behaves exactly
+        #: like the cache-less system (the regime the paper's figures report).
+        self.cache_config = cache_config
         self.network: Network = profile.create_network()
         self.addresses = [f"{address_prefix}-{i:03d}" for i in range(num_nodes)]
         self.nodes: dict[str, ClusterNode] = {}
@@ -83,12 +92,26 @@ class Cluster:
                 sim_node, self.addresses, self.replication_factor, allocator=allocator
             )
             gossip = EpochGossip(sim_node, peers=lambda: list(self.live_addresses()))
-            storage = StorageService(sim_node)
+            node_cache = result_cache = None
+            if cache_config is not None:
+                node_cache = cache_config.build_node_cache(address)
+                result_cache = cache_config.build_result_cache(address)
+                # Gossip is the conservative staleness guard: learning of a
+                # newer epoch drops every cached resolution/result that the
+                # new publish could affect (version-keyed entries survive).
+                gossip.add_listener(node_cache.note_epoch)
+                if result_cache is not None:
+                    gossip.add_listener(result_cache.note_epoch)
+            storage = StorageService(sim_node, cache=node_cache)
             register_retrieve_handlers(storage, self.replication_factor)
             client = StorageClient(
-                sim_node, membership, self.replication_factor, page_capacity
+                sim_node, membership, self.replication_factor, page_capacity,
+                cache=node_cache,
             )
-            self.nodes[address] = ClusterNode(sim_node, membership, gossip, storage, client)
+            self.nodes[address] = ClusterNode(
+                sim_node, membership, gossip, storage, client,
+                cache=node_cache, result_cache=result_cache,
+            )
 
     # ------------------------------------------------------------------ access
 
@@ -162,6 +185,14 @@ class Cluster:
             raise ReproError(f"publish of {batch.relation!r} at epoch {epoch} did not complete")
         publisher.gossip.announce(epoch)
         self.network.run()
+        # Exact invalidation: gossip only carries the epoch number, so tell
+        # every cache *which* relation changed.  This also covers publishes at
+        # an epoch the gossip already knew (announce() would not re-fire).
+        for cluster_node in self.nodes.values():
+            if cluster_node.cache is not None:
+                cluster_node.cache.note_publish(batch.relation, epoch)
+            if cluster_node.result_cache is not None:
+                cluster_node.result_cache.note_publish(batch.relation, epoch)
         return epoch
 
     def publish_relations(
@@ -265,16 +296,19 @@ class Cluster:
         from .query.service import QueryOptions
 
         self.enable_query_processing()
+        initiator = from_address or self.first_live_address()
         if isinstance(query, str):
             from .query.sql import parse_query
 
             query = parse_query(query, self.catalog.schemas())
         if isinstance(query, LogicalQuery):
+            initiator_cache = self.nodes[initiator].cache
             compiled = compile_query(
                 query,
                 self.catalog,
                 machine=MachineProfile.for_cluster(self),
                 options=planner_options,
+                residency=initiator_cache.residency() if initiator_cache else None,
             )
             plan = compiled.plan
         elif isinstance(query, PhysicalPlan):
@@ -282,7 +316,6 @@ class Cluster:
         else:
             raise TypeError(f"cannot execute query of type {type(query).__name__}")
 
-        initiator = from_address or self.first_live_address()
         service = self.query_service(initiator)
         epoch = epoch if epoch is not None else self.current_epoch
         results = []
@@ -318,12 +351,35 @@ class Cluster:
                     cluster_node.membership,
                     cluster_node.storage,
                     replication_factor=self.replication_factor,
+                    result_cache=cluster_node.result_cache,
                 )
 
     def query_service(self, address: str):
         if address not in self._query_services:
             self.enable_query_processing()
         return self._query_services[address]
+
+    # ------------------------------------------------------------ cache metrics
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache_config is not None
+
+    def cache_statistics(self) -> dict[str, CacheStats]:
+        """Cluster-wide cache counters, aggregated over all nodes.
+
+        Returns ``{"node": ..., "result": ...}`` — the node-cache tiers
+        (coordinator records, pages, tuple batches, resolutions) and the
+        semantic result caches.  Empty stats when caching is disabled.
+        """
+        node_total = CacheStats()
+        result_total = CacheStats()
+        for cluster_node in self.nodes.values():
+            if cluster_node.cache is not None:
+                node_total.merge(cluster_node.cache.stats)
+            if cluster_node.result_cache is not None:
+                result_total.merge(cluster_node.result_cache.stats)
+        return {"node": node_total, "result": result_total}
 
 
 def build_cluster(
@@ -332,6 +388,7 @@ def build_cluster(
     relations: Sequence[RelationData] = (),
     replication_factor: int = 3,
     page_capacity: int = 2048,
+    cache_config: CacheConfig | None = None,
 ) -> Cluster:
     """Create a cluster and publish ``relations`` as epoch 1 in one call."""
     cluster = Cluster(
@@ -339,6 +396,7 @@ def build_cluster(
         profile=profile,
         replication_factor=replication_factor,
         page_capacity=page_capacity,
+        cache_config=cache_config,
     )
     if relations:
         cluster.publish_relations(relations)

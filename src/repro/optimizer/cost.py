@@ -68,10 +68,37 @@ class PlanEstimate:
 
 
 class CostModel:
-    """Stage-cost formulas shared by the Volcano search and the planner."""
+    """Stage-cost formulas shared by the Volcano search and the planner.
 
-    def __init__(self, machine: MachineProfile) -> None:
+    ``residency`` (a :class:`~repro.cache.node.CacheResidency`, optional)
+    makes the costing *cache-aware*: the model asks how many bytes of a
+    relation are warm in the initiating node's version-keyed cache and
+    discounts the scan's I/O share accordingly, so plans over warm relations
+    are priced ahead of plans that must re-read cold data.
+
+    This is the warm-working-set heuristic of buffer-pool-aware optimizers,
+    and — like theirs — it is an *estimate*, not a guarantee of realized
+    savings: local residency is used as a proxy for the relation's recent
+    working set being warm cluster-wide, while the executing leaf scans read
+    each participant's own store.  The residency bytes come from the node's
+    cached tuple batches, which Algorithm-1 *retrievals* populate — query
+    leaf scans do not feed the tier (repeat queries are served wholesale by
+    the semantic result cache instead), so the discount speaks for relations
+    this node recently retrieved.  Because every complete plan scans each
+    base relation exactly once, the discount mostly shifts absolute cost
+    estimates (and branch-and-bound thresholds) rather than join order.
+    """
+
+    def __init__(self, machine: MachineProfile, residency=None) -> None:
         self.machine = machine
+        self.residency = residency
+
+    def warm_fraction(self, relation: str | None, total_bytes: float) -> float:
+        """Fraction of ``relation``'s footprint resident in the local cache."""
+        if self.residency is None or relation is None or total_bytes <= 0:
+            return 0.0
+        cached = self.residency.cached_bytes(relation)
+        return min(1.0, cached / total_bytes)
 
     # -- selectivity / cardinality -------------------------------------------------
 
@@ -119,11 +146,17 @@ class CostModel:
     def _nodes(self) -> int:
         return max(1, self.machine.num_nodes)
 
-    def scan_cost(self, rows: float, row_size: float) -> float:
-        """Parallel scan: each node reads and filters its share of the data."""
+    def scan_cost(self, rows: float, row_size: float, relation: str | None = None) -> float:
+        """Parallel scan: each node reads and filters its share of the data.
+
+        When the relation is (partly) warm in the version-keyed cache, the
+        warm share skips the storage read — cached page/tuple batches are
+        served from memory — so only the cold fraction pays the I/O cost.
+        """
         per_node_rows = rows / self._nodes
         cpu = per_node_rows / self.machine.tuples_per_second_cpu
         disk = per_node_rows * row_size / self.machine.bytes_per_second_disk
+        disk *= 1.0 - self.warm_fraction(relation, rows * row_size)
         return cpu + disk + self.machine.latency_seconds
 
     def rehash_cost(self, rows: float, row_size: float) -> float:

@@ -138,11 +138,25 @@ def compile_query(
     machine: MachineProfile | None = None,
     options: PlannerOptions | None = None,
     epoch: int | None = None,
+    residency=None,
 ) -> CompiledQuery:
-    """Compile a logical query into a distributed physical plan."""
+    """Compile a logical query into a distributed physical plan.
+
+    ``residency`` (a :class:`~repro.cache.node.CacheResidency`) makes the
+    cost model cache-aware: relations warm in the initiator's version-keyed
+    cache are priced below cold ones, steering join-order and shape choices
+    toward plans the caches can serve.
+
+    Known tradeoff: the semantic result cache keys on the *physical* plan's
+    fingerprint, so if residency flips a near-tie join order between a cold
+    and a warm compile, the warm repeat misses the entry the cold run stored
+    (a missed optimisation, never a wrong answer).  Leaf-scan discounts are
+    additive constants shared by every complete plan, so in practice the
+    chosen order is stable.
+    """
     machine = machine or MachineProfile()
     options = options or PlannerOptions()
-    cost_model = CostModel(machine)
+    cost_model = CostModel(machine, residency=residency)
     builder = PlanBuilder()
     block = _flatten(query)
     if not block.scans:

@@ -135,7 +135,8 @@ class VolcanoJoinSearch:
             covering=term.covering,
         )
         estimate = PlanEstimate(
-            cost=self.cost.scan_cost(statistics.row_count, statistics.avg_row_size),
+            cost=self.cost.scan_cost(statistics.row_count, statistics.avg_row_size,
+                                     relation=name),
             rows=rows,
             row_size=row_size,
             partitioning=partitioning,

@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from ..cache.result import SemanticResultCache, plan_fingerprint
 from ..common.errors import QueryError
 from ..common.hashing import KeyRange
 from ..common.serialization import TupleBatch
@@ -65,6 +66,9 @@ class QueryOptions:
     recovery_mode: str = RECOVERY_INCREMENTAL
     batch_rows: int = 256
     max_restarts: int = 3
+    #: Consult/fill the initiator's semantic result cache (only effective when
+    #: the cluster was built with a :class:`~repro.cache.config.CacheConfig`).
+    use_result_cache: bool = True
 
 
 @dataclass
@@ -80,6 +84,8 @@ class QueryStatistics:
     bytes_total: int = 0
     bytes_per_node: dict[str, int] = field(default_factory=dict)
     participating_nodes: int = 0
+    #: True when the answer was served from the semantic result cache.
+    result_cache_hit: bool = False
 
     @property
     def execution_time(self) -> float:
@@ -397,6 +403,12 @@ class _ActiveQuery:
     phase: int = 0
     completed: bool = False
     traffic_start: object = None
+    #: Canonical plan fingerprint (None when result caching is off) and one
+    #: ``(relation, resolved epoch, pinned epoch)`` triple per leaf scan,
+    #: recorded so the finished result can enter the semantic cache with
+    #: exact version keys.
+    fingerprint: object = None
+    scans: tuple = ()
 
 
 class QueryService:
@@ -408,12 +420,15 @@ class QueryService:
         membership: MembershipView,
         storage: StorageService,
         replication_factor: int = 3,
+        result_cache: SemanticResultCache | None = None,
     ) -> None:
         self.node = node
         self.rpc: RpcEndpoint = rpc_endpoint(node)
         self.membership = membership
         self.storage = storage
         self.replication_factor = replication_factor
+        #: Semantic result cache for queries this node initiates (optional).
+        self.result_cache = result_cache
         self._query_ids = itertools.count(1)
         #: Queries this node participates in (including ones it initiated).
         self._contexts: dict[int, _NodeQueryContext] = {}
@@ -447,6 +462,13 @@ class QueryService:
         """Initiate ``plan`` at ``epoch``; the callback receives the result."""
         options = options or QueryOptions()
         query_id = next(self._query_ids)
+        fingerprint = None
+        if self.result_cache is not None and options.use_result_cache:
+            fingerprint = plan_fingerprint(plan)
+            cached = self.result_cache.lookup(fingerprint, epoch)
+            if cached is not None:
+                self._serve_cached_result(cached, on_complete)
+                return query_id
         snapshot = self.membership.snapshot()
         statistics = QueryStatistics(
             started_at=self.node.network.now,
@@ -459,11 +481,32 @@ class QueryService:
             # is already excluded rather than discovered mid-query.
             on_ready=lambda records: self._launch(
                 query_id, plan, epoch, options, self.membership.snapshot(), records,
-                statistics, on_complete,
+                statistics, on_complete, fingerprint=fingerprint,
             ),
             on_error=on_error or (lambda exc: (_ for _ in ()).throw(exc)),
         )
         return query_id
+
+    def _serve_cached_result(self, cached, on_complete: Callable[[QueryResult], None]) -> None:
+        """Answer a query from the semantic result cache: no network at all."""
+        statistics = QueryStatistics(
+            started_at=self.node.network.now,
+            participating_nodes=1,
+            result_cache_hit=True,
+        )
+
+        def deliver() -> None:
+            # Materialising the cached rows is the only work left; charge the
+            # initiator a per-row CPU cost comparable to local dispatch.
+            self.node.charge_cpu(0.1e-6 * len(cached.rows))
+            statistics.completed_at = self.node.network.now
+            on_complete(QueryResult(
+                attributes=tuple(cached.attributes),
+                rows=[tuple(row) for row in cached.rows],
+                statistics=statistics,
+            ))
+
+        self.node.network.schedule(1e-6, deliver)
 
     def _resolve_scans(
         self,
@@ -528,6 +571,7 @@ class QueryService:
         scan_records: dict[int, tuple[CoordinatorRecord, int]],
         statistics: QueryStatistics,
         on_complete: Callable[[QueryResult], None],
+        fingerprint: object = None,
     ) -> None:
         participants = self.participants_of(snapshot)
         statistics.participating_nodes = len(participants)
@@ -549,6 +593,11 @@ class QueryService:
                 key_predicate=key_predicate_function(scan.sargable, scan.schema.key),
             )
         collector = _ResultCollector(plan.root, participants)
+        pinned_epochs = {scan.op_id: scan.epoch for scan in plan.scans()}
+        scanned = tuple(
+            (spec.relation, spec.epoch, pinned_epochs.get(op_id))
+            for op_id, spec in sorted(scan_specs.items())
+        )
         active = _ActiveQuery(
             query_id=query_id,
             plan=plan,
@@ -561,6 +610,8 @@ class QueryService:
             on_complete=on_complete,
             statistics=statistics,
             traffic_start=self.node.network.traffic.snapshot(),
+            fingerprint=fingerprint,
+            scans=scanned,
         )
         self._active[query_id] = active
         # Each participant receives only what it needs: the plan, the routing
@@ -677,7 +728,7 @@ class QueryService:
         restrict_ranges: Sequence[KeyRange] | None,
         done: Callable[[], None],
     ) -> None:
-        page = self.storage.local_page(ref.page_id)
+        page = self.storage.local_or_cached_page(ref.page_id)
         if page is None:
             # Fetch the page from a replica before scanning it (the ring may
             # have moved since the page was written).
@@ -688,15 +739,21 @@ class QueryService:
                 exclude=(self.node.address,),
             )
 
+            def fetched(rep) -> None:
+                # Keep the immutable page version for the next query that
+                # scans it here (the ring will not move back on its own).
+                if self.storage.cache is not None:
+                    self.storage.cache.put_page(rep["page"])
+                self._scan_page_contents(context, spec, rep["page"], restrict_ranges, done)
+
             def attempt(index: int) -> None:
                 if index >= len(targets):
                     done()
                     return
                 self.rpc.call(
                     targets[index], "store.get_page", {"page_id": ref.page_id}, 32,
-                    on_reply=lambda rep: self._scan_page_contents(
-                        context, spec, rep["page"], restrict_ranges, done
-                    ) if not rep.get("missing") else attempt(index + 1),
+                    on_reply=lambda rep: fetched(rep)
+                    if not rep.get("missing") else attempt(index + 1),
                     on_failure=lambda _addr: attempt(index + 1),
                 )
 
@@ -841,6 +898,19 @@ class QueryService:
             rows=active.collector.final_rows(),
             statistics=active.statistics,
         )
+        if (
+            self.result_cache is not None
+            and active.options.use_result_cache
+            and active.fingerprint is not None
+        ):
+            self.result_cache.store_result(
+                active.fingerprint,
+                active.epoch,
+                result.attributes,
+                result.rows,
+                active.scans,
+                cold_bytes=active.statistics.bytes_total,
+            )
         # Clean up participant-side state for this query everywhere.
         for address in self.participants_of(active.snapshot):
             if address not in active.failed_nodes:
@@ -904,6 +974,7 @@ class QueryService:
                 on_ready=lambda specs: self._launch(
                     query_id, active.plan, active.epoch, active.options, new_snapshot,
                     specs, new_statistics, active.on_complete,
+                    fingerprint=active.fingerprint,
                 ),
                 on_error=lambda exc: (_ for _ in ()).throw(exc),
             )

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..cache.node import NodeCache
 from ..common.errors import EpochNotFoundError, RelationNotFoundError, TupleNotFoundError
 from ..common.types import Schema, TupleId, Value, VersionedTuple
 from ..net.simnet import SimNode
@@ -137,6 +138,9 @@ class RetrieveResult:
     tuples: list[VersionedTuple]
     pages_scanned: int = 0
     missing: list[TupleId] = field(default_factory=list)
+    #: Pages whose tuple batch was served from the local version-keyed cache
+    #: (no index/data-node traffic at all for those pages).
+    pages_from_cache: int = 0
 
     def rows(self) -> list[tuple[Value, ...]]:
         return [t.values for t in self.tuples]
@@ -151,12 +155,17 @@ class StorageClient:
         membership: MembershipView,
         replication_factor: int = 3,
         page_capacity: int = 2048,
+        cache: NodeCache | None = None,
     ) -> None:
         self.node = node
         self.rpc: RpcEndpoint = rpc_endpoint(node)
         self.membership = membership
         self.replication_factor = replication_factor
         self.page_capacity = page_capacity
+        #: Optional version-keyed cache: coordinator records, index pages,
+        #: per-page tuple batches and epoch resolutions are served from (and
+        #: fill) it instead of re-crossing the simulated network.
+        self.cache = cache
         self._retrievals: dict[int, "_RetrieveOperation"] = {}
         self._next_request_id = 0
         self.rpc.register("store.retrieve_manifest", self._on_retrieve_manifest)
@@ -209,6 +218,11 @@ class StorageClient:
         on_error: Callable[[Exception], None],
     ) -> None:
         """Find the newest publish epoch of ``relation`` that is ≤ ``epoch``."""
+        if self.cache is not None:
+            cached = self.cache.get_resolution(relation, epoch)
+            if cached is not None:
+                self.node.network.schedule(1e-6, lambda: on_resolved(cached))
+                return
         targets = search_targets(snapshot, catalog_key(relation), self.replication_factor,
                                  exclude=())
 
@@ -226,7 +240,10 @@ class StorageClient:
                     on_error(EpochNotFoundError(
                         f"relation {relation!r} has no version at or before epoch {epoch}"))
                     return
-                on_resolved(max(epochs))
+                resolved = max(epochs)
+                if self.cache is not None:
+                    self.cache.put_resolution(relation, epoch, resolved)
+                on_resolved(resolved)
 
             self.rpc.call(
                 targets[index], "store.get_catalog", {"relation": relation}, 24,
@@ -245,8 +262,18 @@ class StorageClient:
         on_error: Callable[[Exception], None],
     ) -> None:
         """Fetch the coordinator record for ``relation``@``epoch`` with failover."""
+        if self.cache is not None:
+            cached = self.cache.get_coordinator(relation, epoch)
+            if cached is not None:
+                self.node.network.schedule(1e-6, lambda: on_record(cached))
+                return
         targets = search_targets(snapshot, coordinator_key(relation, epoch),
                                  self.replication_factor, exclude=())
+
+        def deliver(record: CoordinatorRecord) -> None:
+            if self.cache is not None:
+                self.cache.put_coordinator(record)
+            on_record(record)
 
         def attempt(index: int) -> None:
             if index >= len(targets):
@@ -258,7 +285,7 @@ class StorageClient:
                 "store.get_coordinator",
                 {"relation": relation, "epoch": epoch},
                 32,
-                on_reply=lambda rep: on_record(rep["record"]) if not rep.get("missing") else attempt(index + 1),
+                on_reply=lambda rep: deliver(rep["record"]) if not rep.get("missing") else attempt(index + 1),
                 on_failure=lambda _addr: attempt(index + 1),
             )
 
@@ -360,7 +387,15 @@ class _PublishOperation:
             self._write_version(list(record.pages), [], [])
             return
         completion = _Completion(lambda: self._build_incremental_version(affected))
+        cache = self.client.cache
         for ref in affected:
+            if cache is not None:
+                cached_page = cache.get_page(ref.page_id)
+                if cached_page is not None:
+                    # Page versions are immutable: a previously fetched copy of
+                    # an affected page can seed the new version locally.
+                    self._previous_pages[ref.page_id] = cached_page
+                    continue
             completion.add()
             targets = [
                 physical_address(addr)
@@ -379,6 +414,8 @@ class _PublishOperation:
     def _store_previous_page(self, ref: PageRef, reply: Mapping[str, object], completion: _Completion) -> None:
         if not reply.get("missing"):
             self._previous_pages[ref.page_id] = reply["page"]
+            if self.client.cache is not None:
+                self.client.cache.put_page(reply["page"])
         completion.done()
 
     def _affected_pages(self, record: CoordinatorRecord) -> list[PageRef]:
@@ -585,6 +622,14 @@ class _RetrieveOperation:
         self._tuples: list[VersionedTuple] = []
         self._missing: list[TupleId] = []
         self._finished = False
+        # Per-page tuple accumulation for the version-keyed batch cache; only
+        # predicate-less retrievals are cacheable (a predicate is an opaque
+        # callable, so its results cannot be keyed).
+        self._cacheable = key_predicate is None and client.cache is not None
+        self._page_tuples: dict[PageId, list[VersionedTuple]] = {}
+        self._cached_pages: set[PageId] = set()
+        self._unavailable_pages: set[PageId] = set()
+        self._pages_from_cache = 0
 
     def start(self) -> None:
         self.client.resolve_epoch(
@@ -606,7 +651,25 @@ class _RetrieveOperation:
         if not record.pages:
             self._finish()
             return
+        remote_refs = []
         for ref in record.pages:
+            if self._cacheable:
+                batch = self.client.cache.get_scan(ref.page_id)
+                if batch is not None:
+                    # The whole page scan is warm: no index-node cast, no
+                    # data-node requests, no tuples on the wire.  Unchanged
+                    # pages shared with an older epoch hit here even when the
+                    # relation has been republished since.
+                    self._manifests[ref.page_id] = 0
+                    self._tuples.extend(batch)
+                    self._cached_pages.add(ref.page_id)
+                    self._pages_from_cache += 1
+                    continue
+            remote_refs.append(ref)
+        if not remote_refs:
+            self._maybe_finish()
+            return
+        for ref in remote_refs:
             index_node = physical_address(self.snapshot.owner_of(ref.storage_key))
             self.client.rpc.cast(
                 index_node,
@@ -628,6 +691,8 @@ class _RetrieveOperation:
     def on_manifest(self, payload: Mapping[str, object]) -> None:
         page_id: PageId = payload["page_id"]
         self._manifests[page_id] = payload["data_requests"]
+        if payload.get("missing"):
+            self._unavailable_pages.add(page_id)
         self._maybe_finish()
 
     def on_result(self, payload: Mapping[str, object]) -> None:
@@ -635,6 +700,8 @@ class _RetrieveOperation:
         self._tuples.extend(payload["tuples"])
         self._missing.extend(payload.get("missing", ()))
         self._results_per_page[page_id] = self._results_per_page.get(page_id, 0) + 1
+        if self._cacheable:
+            self._page_tuples.setdefault(page_id, []).extend(payload["tuples"])
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
@@ -653,6 +720,17 @@ class _RetrieveOperation:
                 f"{len(self._missing)} tuple(s) of {self.relation!r} could not be "
                 f"found on any replica"))
             return
+        if self._cacheable:
+            # Every remotely scanned page completed with nothing missing, so
+            # each per-page batch is the page's full answer (an empty batch
+            # for pages whose range holds no tuples); page versions are
+            # immutable, so these entries can never go stale.  Pages no
+            # replica could produce are the one thing that must not be
+            # cached — absence here is not knowledge of emptiness.
+            for page_id in self._manifests:
+                if page_id in self._cached_pages or page_id in self._unavailable_pages:
+                    continue
+                self.client.cache.put_scan(page_id, self._page_tuples.get(page_id, ()))
         self.on_complete(
             RetrieveResult(
                 relation=self.relation,
@@ -661,6 +739,7 @@ class _RetrieveOperation:
                 tuples=self._tuples,
                 pages_scanned=self._expected_pages,
                 missing=self._missing,
+                pages_from_cache=self._pages_from_cache,
             )
         )
 
@@ -773,11 +852,14 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
                          size=24 * len(tids) + 64)
 
         def page_unavailable() -> None:
+            # ``missing`` distinguishes "no replica holds this page" from a
+            # successfully scanned page that simply matched nothing — only
+            # the latter may enter the requester's scan cache.
             rpc.cast(requester, "store.retrieve_manifest",
                      {"request_id": request_id, "page_id": ref.page_id,
-                      "data_requests": 0}, 48)
+                      "data_requests": 0, "missing": True}, 48)
 
-        page = service.local_page(ref.page_id)
+        page = service.local_or_cached_page(ref.page_id)
         if page is not None:
             scan_page(page)
             return

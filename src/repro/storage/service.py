@@ -52,10 +52,15 @@ _INVERSE_TREE = "inverse"
 class StorageService:
     """Storage RPC handlers and local state for a single simulated node."""
 
-    def __init__(self, node: SimNode) -> None:
+    def __init__(self, node: SimNode, cache=None) -> None:
         self.node = node
         self.rpc: RpcEndpoint = rpc_endpoint(node)
         self.store = LocalStore()
+        #: Optional :class:`~repro.cache.node.NodeCache`.  Index pages are
+        #: version-keyed and immutable, so a page this node cached while
+        #: acting as a client can safely be served to peers after the ring
+        #: moved, instead of failing over to replicas.
+        self.cache = cache
         #: Local observers notified when tuples are written (used by tests and
         #: by the background replicator's bookkeeping).
         self._write_listeners: list[Callable[[VersionedTuple], None]] = []
@@ -122,6 +127,13 @@ class StorageService:
 
     def _on_get_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
         page = self.store.get(_PAGE_TREE, payload["page_id"])
+        if page is None and self.cache is not None:
+            # Serve a remote reader from the cache, but bypass the hit
+            # counters: the page still crosses the network in the reply, so
+            # counting its size as "bytes saved" would overstate the savings
+            # (what is actually avoided is only the requester's failover
+            # retry against the next replica).
+            page = self.cache.peek_page(payload["page_id"])
         if page is None:
             respond({"missing": True}, size=8)
         else:
@@ -204,6 +216,21 @@ class StorageService:
 
     def local_page(self, page_id: PageId) -> IndexPage | None:
         return self.store.get(_PAGE_TREE, page_id)
+
+    def local_or_cached_page(self, page_id: PageId) -> IndexPage | None:
+        """Page from the local store, falling back to the node cache.
+
+        The one lookup policy every *local consumer* of a page shares (index
+        scans, Algorithm-1 page handling): page versions are immutable, so a
+        copy cached while this node acted as a client is as good as an owned
+        one and saves the replica round-trip.  Peers asking over RPC are
+        served through :meth:`_on_get_page`, which deliberately bypasses the
+        hit counters (the bytes still ship).
+        """
+        page = self.store.get(_PAGE_TREE, page_id)
+        if page is None and self.cache is not None:
+            page = self.cache.get_page(page_id)
+        return page
 
     def local_pages_for_relation(self, relation: str) -> list[IndexPage]:
         return [page for _key, page in self.store.items(_PAGE_TREE) if page.page_id.relation == relation]

@@ -1,0 +1,151 @@
+"""Property-style tests for the cache store and its eviction policies.
+
+The two invariants the subsystem leans on:
+
+* the byte budget is *never* exceeded, at any point, under any operation
+  sequence (inserts, re-inserts, accesses, invalidations, oversized items);
+* GreedyDual evicts lower-benefit entries before higher-benefit ones under
+  pressure, while LRU evicts by recency regardless of benefit.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import CacheStore, GreedyDualPolicy, LruPolicy, make_policy
+
+
+class TestBudgetInvariant:
+    @pytest.mark.parametrize("policy_name", ["lru", "greedy-dual"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_budget_never_exceeded_under_random_operations(self, policy_name, seed):
+        rng = random.Random(seed)
+        budget = 1000
+        store = CacheStore(budget, policy=make_policy(policy_name))
+        keys = [("item", i) for i in range(50)]
+        for _step in range(2000):
+            action = rng.random()
+            key = rng.choice(keys)
+            if action < 0.55:
+                size = rng.randint(1, 400)
+                benefit = rng.randint(1, 5000)
+                store.put(key, f"value-{key}", size, benefit=benefit)
+            elif action < 0.85:
+                store.get(key)
+            elif action < 0.95:
+                store.invalidate(key)
+            else:
+                # Oversized items must be rejected without evicting anything.
+                held = len(store)
+                assert not store.put(key, "huge", budget + 1)
+                assert len(store) == held
+            assert store.bytes_used <= budget
+            assert store.bytes_used == sum(e.size for e in store.entries())
+
+    def test_zero_budget_accepts_nothing(self):
+        store = CacheStore(0)
+        assert not store.put(("k",), "v", 1)
+        assert store.bytes_used == 0
+        assert store.stats.rejected == 1
+
+    def test_replacement_releases_old_footprint(self):
+        store = CacheStore(100)
+        store.put(("k",), "a", 80)
+        store.put(("k",), "b", 60)
+        assert store.bytes_used == 60
+        assert len(store) == 1
+        assert store.get(("k",)) == "b"
+
+
+class TestGreedyDual:
+    def test_low_benefit_evicted_before_high_benefit(self):
+        store = CacheStore(300, policy=GreedyDualPolicy())
+        store.put(("low",), "low", 100, benefit=10)
+        store.put(("high",), "high", 100, benefit=10_000)
+        store.put(("mid",), "mid", 100, benefit=100)
+        # Budget is full; each new entry forces exactly one eviction, and the
+        # victims must come out in benefit order: low, then mid.
+        store.put(("new1",), "n1", 100, benefit=10_000)
+        assert ("low",) not in store
+        assert ("high",) in store and ("mid",) in store
+        store.put(("new2",), "n2", 100, benefit=10_000)
+        assert ("mid",) not in store
+        assert ("high",) in store
+
+    def test_benefit_is_weighed_per_byte(self):
+        store = CacheStore(300, policy=GreedyDualPolicy())
+        # Same total benefit, but the big entry saves fewer bytes per byte of
+        # budget it occupies — it must lose under pressure.
+        store.put(("big",), "big", 200, benefit=1000)
+        store.put(("small",), "small", 100, benefit=1000)
+        store.put(("incoming",), "x", 150, benefit=1000)
+        assert ("big",) not in store
+        assert ("small",) in store
+
+    def test_inflation_ages_out_untouched_entries(self):
+        store = CacheStore(200, policy=GreedyDualPolicy())
+        store.put(("old-high",), "v", 100, benefit=500)
+        # Churn through many low-benefit entries; each eviction raises L, so
+        # the untouched high-benefit entry eventually becomes the victim.
+        for i in range(50):
+            store.put(("churn", i), "v", 100, benefit=50)
+        assert ("old-high",) not in store
+
+    def test_access_refreshes_score(self):
+        store = CacheStore(200, policy=GreedyDualPolicy())
+        store.put(("kept",), "v", 100, benefit=60)
+        store.put(("other",), "v", 100, benefit=50)
+        for i in range(20):
+            assert store.get(("kept",)) == "v"  # refresh with current L
+            store.put(("churn", i), "v", 100, benefit=55)
+        assert ("kept",) in store
+
+    def test_heap_stays_bounded_under_hit_heavy_steady_state(self):
+        policy = GreedyDualPolicy()
+        store = CacheStore(10_000, policy=policy)
+        for i in range(10):
+            store.put(("k", i), i, 100, benefit=100)
+        for _round in range(5000):  # all hits, no evictions
+            store.get(("k", _round % 10))
+        assert len(policy._heap) <= max(64, 4 * 10) + 10
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        store = CacheStore(300, policy=LruPolicy())
+        store.put(("a",), 1, 100)
+        store.put(("b",), 2, 100)
+        store.put(("c",), 3, 100)
+        assert store.get(("a",)) == 1  # refresh a; b is now the oldest
+        store.put(("d",), 4, 100)
+        assert ("b",) not in store
+        assert all(k in store for k in [("a",), ("c",), ("d",)])
+
+
+class TestStats:
+    def test_hits_misses_and_bytes_saved(self):
+        store = CacheStore(1000)
+        store.put(("k",), "v", 100, benefit=450)
+        assert store.get(("k",)) == "v"
+        assert store.get(("absent",)) is None
+        stats = store.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.bytes_saved == 450
+        assert stats.hit_rate == 0.5
+        assert stats.hits_by_kind == {"k": 1}
+
+    def test_peek_does_not_touch_stats(self):
+        store = CacheStore(1000)
+        store.put(("k",), "v", 10)
+        assert store.peek(("k",)) == "v"
+        assert store.peek(("absent",)) is None
+        assert store.stats.lookups == 0
+
+    def test_invalidate_where_targets_one_kind(self):
+        store = CacheStore(1000)
+        store.put(("resolve", "R", 3), 2, 10)
+        store.put(("page", "p1"), "page", 10)
+        dropped = store.invalidate_where(lambda key, _v: key[0] == "resolve")
+        assert dropped == 1
+        assert ("page", "p1") in store
+        assert ("resolve", "R", 3) not in store

@@ -1,0 +1,208 @@
+"""Cluster-level cache correctness across epochs.
+
+The contract under test (the acceptance criteria of the cache subsystem):
+
+* a warm repeat of a retrieval ships strictly fewer bytes than the cold run;
+* publishing a new relation version invalidates exactly the affected
+  result-cache entries — queries at the new epoch bypass the cache and see
+  the new data, queries pinned to the old epoch keep hitting;
+* index pages *shared* between versions keep hitting the page/tuple cache
+  after a publish; only the changed pages go back over the network.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.storage.client import UpdateBatch
+
+
+def _relation(rows: int = 400) -> RelationData:
+    data = RelationData(Schema("events", ["e_id", "e_kind", "e_weight"], key=["e_id"]))
+    for i in range(rows):
+        data.add(f"ev-{i:04d}", ["click", "view", "buy"][i % 3], i % 17)
+    return data
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(4, cache_config=CacheConfig())
+    cluster.publish_relations([_relation()])
+    return cluster
+
+
+class TestWarmRetrieval:
+    def test_warm_repeat_ships_strictly_fewer_bytes(self, cluster):
+        before = cluster.traffic_snapshot()
+        cold = cluster.retrieve("events")
+        cold_bytes = before.delta(cluster.traffic_snapshot()).total_bytes
+        assert cold.pages_from_cache == 0
+        assert cold_bytes > 0
+
+        before = cluster.traffic_snapshot()
+        warm = cluster.retrieve("events")
+        warm_bytes = before.delta(cluster.traffic_snapshot()).total_bytes
+        assert sorted(warm.rows()) == sorted(cold.rows())
+        assert warm.pages_from_cache == warm.pages_scanned
+        assert warm_bytes < cold_bytes
+
+    def test_sparse_relation_with_empty_pages_goes_fully_warm(self):
+        """Pages whose hash range holds no tuples are cached as empty batches
+        (distinguished from unavailable pages), so even sparse relations need
+        zero network traffic on the warm repeat."""
+        cluster = Cluster(4, cache_config=CacheConfig())
+        cluster.publish_relations([_relation(6)])  # 6 tuples over >= 4 pages
+        cold = cluster.retrieve("events")
+        assert cold.pages_scanned >= 4
+        before = cluster.traffic_snapshot()
+        warm = cluster.retrieve("events")
+        warm_bytes = before.delta(cluster.traffic_snapshot()).total_bytes
+        assert warm.pages_from_cache == warm.pages_scanned
+        assert warm_bytes == 0
+        assert sorted(warm.rows()) == sorted(cold.rows())
+
+    def test_predicated_retrievals_stay_correct_and_uncached(self, cluster):
+        predicate = lambda key: key[0] <= "ev-0099"  # noqa: E731
+        first = cluster.retrieve("events", key_predicate=predicate)
+        second = cluster.retrieve("events", key_predicate=predicate)
+        assert len(first.tuples) == 100
+        assert sorted(first.rows()) == sorted(second.rows())
+        # Predicates are opaque callables: their scans must never be cached.
+        assert second.pages_from_cache == 0
+
+
+class TestEpochInvalidation:
+    def test_shared_pages_hit_while_changed_pages_miss(self, cluster):
+        relation = _relation()
+        first = cluster.retrieve("events")
+        warm = cluster.retrieve("events")
+        assert warm.pages_from_cache == warm.pages_scanned
+
+        # Modify a single tuple: exactly one index page gets a new version,
+        # every other page of the new epoch is shared with the old one.
+        change = UpdateBatch(
+            relation.schema, modifications=[("ev-0000", "click", 999)]
+        )
+        cluster.publish(change)
+
+        after = cluster.retrieve("events")
+        assert after.pages_scanned == first.pages_scanned
+        assert after.pages_from_cache == after.pages_scanned - 1
+        changed = dict((r[0], r[2]) for r in after.rows())
+        assert changed["ev-0000"] == 999
+
+        # The old epoch's batches are all still resident: retrieval pinned to
+        # the old version is served entirely from the cache.
+        old = cluster.retrieve("events", epoch=1)
+        assert old.pages_from_cache == old.pages_scanned
+        assert dict((r[0], r[2]) for r in old.rows())["ev-0000"] == 0
+
+    def test_result_cache_bypasses_stale_entries_after_publish(self, cluster):
+        sql = "SELECT e_kind, COUNT(*) AS n FROM events GROUP BY e_kind"
+        cold = cluster.query(sql)
+        assert not cold.statistics.result_cache_hit
+        warm = cluster.query(sql)
+        assert warm.statistics.result_cache_hit
+        assert sorted(warm.rows) == sorted(cold.rows)
+        assert warm.statistics.bytes_total == 0
+
+        # Publish a new version: the next latest-epoch query must bypass the
+        # cached entry and reflect the change.
+        change = UpdateBatch(
+            _relation().schema,
+            inserts=[("ev-9999", "click", 1)],
+        )
+        cluster.publish(change)
+        fresh = cluster.query(sql)
+        assert not fresh.statistics.result_cache_hit
+        counts = dict(fresh.rows)
+        assert counts["click"] == dict(cold.rows)["click"] + 1
+
+        # ... while a query pinned to the old epoch still hits the old entry.
+        pinned = cluster.query(sql, epoch=1)
+        assert pinned.statistics.result_cache_hit
+        assert sorted(pinned.rows) == sorted(cold.rows)
+
+        # And the refreshed result is itself cached at the new epoch.
+        refreshed = cluster.query(sql)
+        assert refreshed.statistics.result_cache_hit
+        assert sorted(refreshed.rows) == sorted(fresh.rows)
+
+    def test_unrelated_publish_keeps_latest_queries_warm(self, cluster):
+        sql = "SELECT COUNT(*) AS n FROM events"
+        cold = cluster.query(sql)
+        assert cluster.query(sql).statistics.result_cache_hit
+
+        # Publishing a *different* relation mints a new cluster epoch, but
+        # the cached entry's scanned versions are untouched: the next
+        # latest-epoch query must still be served from the cache.
+        other = RelationData(Schema("audit", ["a_id", "a_note"], key=["a_id"]))
+        for i in range(50):
+            other.add(f"a{i}", f"note-{i}")
+        cluster.publish(other)
+        warm = cluster.query(sql)
+        assert warm.statistics.result_cache_hit
+        assert warm.rows == cold.rows
+
+    def test_republish_at_same_epoch_drops_version_keyed_entries(self, cluster):
+        """Republishing a relation at an already-used epoch rewrites that
+        version in place (the storage layer replaces it with the new batch);
+        every cache tier must stop serving the old state and mirror whatever
+        the cache-less system answers."""
+        relation = _relation()
+        warm = cluster.retrieve("events")               # warm the scan cache
+        assert len(warm.tuples) == 400
+        cluster.query("SELECT COUNT(*) AS n FROM events")  # warm result cache
+        cluster.publish(
+            UpdateBatch(relation.schema, inserts=[("ev-7777", "view", 1)]),
+            epoch=1,                                    # same epoch, in place
+        )
+        # A cache-less cluster answers with exactly the republished batch;
+        # the warm caches must not keep serving the 400 old tuples.
+        fresh = cluster.retrieve("events", epoch=1)
+        assert fresh.pages_from_cache == 0
+        assert [t.values for t in fresh.tuples] == [("ev-7777", "view", 1)]
+        requery = cluster.query("SELECT COUNT(*) AS n FROM events", epoch=1)
+        assert requery.rows == [(1,)]
+
+    def test_publish_invalidates_only_covering_result_entries(self, cluster):
+        sql = "SELECT MAX(e_weight) AS top FROM events"
+        cluster.query(sql)
+        result_stats = cluster.cache_statistics()["result"]
+        assert result_stats.invalidations == 0
+        cluster.publish(UpdateBatch(
+            _relation().schema, inserts=[("ev-8888", "view", 99)]
+        ))
+        new = cluster.query(sql)
+        assert not new.statistics.result_cache_hit
+        assert new.rows[0][0] == 99
+
+
+class TestResultCacheControls:
+    def test_use_result_cache_false_forces_execution(self, cluster):
+        from repro.query.service import QueryOptions
+
+        sql = "SELECT COUNT(*) AS n FROM events"
+        cluster.query(sql)
+        bypassed = cluster.query(sql, options=QueryOptions(use_result_cache=False))
+        assert not bypassed.statistics.result_cache_hit
+        assert bypassed.statistics.bytes_total > 0
+
+    def test_statistics_report_cluster_wide_counters(self, cluster):
+        cluster.retrieve("events")
+        cluster.retrieve("events")
+        stats = cluster.cache_statistics()
+        assert stats["node"].hits > 0
+        assert stats["node"].bytes_saved > 0
+
+    def test_caching_disabled_by_default(self):
+        plain = Cluster(4)
+        plain.publish_relations([_relation(100)])
+        assert not plain.cache_enabled
+        result = plain.retrieve("events")
+        assert result.pages_from_cache == 0
+        stats = plain.cache_statistics()
+        assert stats["node"].lookups == 0 and stats["result"].lookups == 0
+        repeat = plain.query("SELECT COUNT(*) AS n FROM events")
+        assert not repeat.statistics.result_cache_hit

@@ -1,0 +1,170 @@
+"""Unit tests for the plan fingerprint and the semantic result cache."""
+
+from repro.cache import SemanticResultCache, plan_fingerprint
+from repro.common.types import Schema
+from repro.query.expressions import col, lit
+from repro.query.physical import COLLECT_APPEND, PlanBuilder, PhysicalPlan
+
+
+def _scan_plan(predicate=None, limit=None, columns=None):
+    builder = PlanBuilder()
+    schema = Schema("R", ["x", "v"], key=["x"])
+    scan = builder.scan(schema, columns=columns, sargable=predicate)
+    return PhysicalPlan(builder.ship(scan, collector_mode=COLLECT_APPEND, limit=limit))
+
+
+class TestPlanFingerprint:
+    def test_identical_plans_share_a_fingerprint(self):
+        a = _scan_plan(predicate=col("x").eq(lit(3)))
+        b = _scan_plan(predicate=col("x").eq(lit(3)))
+        # Operator ids differ between independent builders; semantics do not.
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_differing_predicates_differ(self):
+        a = _scan_plan(predicate=col("x").eq(lit(3)))
+        b = _scan_plan(predicate=col("x").eq(lit(4)))
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+    def test_differing_limits_and_columns_differ(self):
+        assert plan_fingerprint(_scan_plan(limit=1)) != plan_fingerprint(_scan_plan(limit=2))
+        assert plan_fingerprint(_scan_plan(columns=["x"])) != plan_fingerprint(_scan_plan())
+
+    def test_fingerprint_is_hashable(self):
+        hash(plan_fingerprint(_scan_plan()))
+
+
+class TestSemanticResultCache:
+    def _store(self, cache, fingerprint="fp", epoch=5, scans=None, rows=((1, 2),)):
+        assert cache.store_result(
+            fingerprint, epoch, ("x", "v"), rows,
+            scans if scans is not None else [("R", 3, None)], cold_bytes=10_000,
+        )
+
+    def test_roundtrip(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache)
+        entry = cache.lookup("fp", 5)
+        assert entry is not None
+        assert entry.rows == ((1, 2),)
+        assert entry.scans == (("R", 3, None),)
+
+    def test_publish_of_scanned_relation_invalidates_covering_entries(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, epoch=5, scans=[("R", 3, None)])
+        # New version of R at epoch 4: a re-run at epoch 5 would resolve the
+        # scan to 4 instead of 3, so the entry must go.
+        assert cache.note_publish("R", 4) == 1
+        assert cache.lookup("fp", 5) is None
+
+    def test_publish_of_other_relation_keeps_entries(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, epoch=5, scans=[("R", 3, None)])
+        assert cache.note_publish("S", 4) == 0
+        assert cache.lookup("fp", 5) is not None
+
+    def test_publish_beyond_requested_epoch_keeps_entries(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, epoch=5, scans=[("R", 3, None)])
+        # Epoch 6 is newer than the query asked for: versions ≤ 5 are
+        # immutable, the entry stays valid forever.
+        assert cache.note_publish("R", 6) == 0
+        assert cache.lookup("fp", 5) is not None
+
+    def test_publish_below_resolution_keeps_entries(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, epoch=5, scans=[("R", 3, None)])
+        # A publish at an epoch strictly below what the entry read cannot
+        # change what a re-run resolves to.
+        assert cache.note_publish("R", 2) == 0
+        assert cache.lookup("fp", 5) is not None
+
+    def test_republish_at_resolved_epoch_invalidates(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, epoch=5, scans=[("R", 3, None)])
+        # The driver API allows republishing at an already-used epoch, which
+        # rewrites version 3 in place: the entry that read it is stale.
+        assert cache.note_publish("R", 3) == 1
+        assert cache.lookup("fp", 5) is None
+
+    def test_gossip_guard_is_conservative_but_preserves_old_epochs(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache, fingerprint="old", epoch=2, scans=[("R", 1, None)])
+        self._store(cache, fingerprint="new", epoch=5, scans=[("R", 3, None)])
+        assert cache.note_epoch(4) == 1  # only the covering entry is dropped
+        assert cache.lookup("old", 2) is not None
+        assert cache.lookup("new", 5) is None
+
+    def test_pinned_scan_above_requested_epoch_is_invalidated(self):
+        cache = SemanticResultCache(1_000_000)
+        # The plan pins the scan to epoch 100 ("far future"): the scan bound
+        # is the pin, not the requested epoch 5.
+        self._store(cache, epoch=5, scans=[("R", 5, 100)])
+        assert cache.lookup("fp", 5) is not None
+        assert cache.note_publish("R", 6) == 1  # 6 <= pin: re-run would see it
+        assert cache.lookup("fp", 5) is None
+
+    def test_same_relation_scanned_at_two_epochs_tracked_separately(self):
+        cache = SemanticResultCache(1_000_000)
+        # Hand-built plan reading R twice: once pinned to epoch 2 (bound 2,
+        # resolved 2) and once following the query epoch 9 (bound 9,
+        # resolved 8).
+        self._store(cache, epoch=9, scans=[("R", 2, 2), ("R", 8, None)])
+        # Publishes at 5 and 3 fall above the pinned scan's bound and at or
+        # below the unpinned scan's resolution — neither scan would change.
+        assert cache.note_publish("R", 5) == 0
+        assert cache.note_publish("R", 3) == 0
+        assert cache.lookup("fp", 9) is not None
+        # A publish at 9 supersedes the unpinned scan's resolution (8 < 9 ≤ 9).
+        assert cache.note_publish("R", 9) == 1
+        assert cache.lookup("fp", 9) is None
+
+    def test_hit_counts_cold_bytes_as_saved(self):
+        cache = SemanticResultCache(1_000_000)
+        self._store(cache)
+        cache.lookup("fp", 5)
+        assert cache.stats.bytes_saved >= 10_000
+
+
+class TestCrossEpochReuse:
+    """An entry cached at an older epoch answers newer epochs until a known
+    publish actually falls between its resolutions and the request."""
+
+    def test_unrelated_publish_does_not_cut_reuse(self):
+        cache = SemanticResultCache(1_000_000)
+        cache.store_result("fp", 2, ("n",), ((1,),), [("R", 1, None)], cold_bytes=500)
+        cache.note_publish("S", 3)  # other relation, new cluster epoch
+        entry = cache.lookup("fp", 3)
+        assert entry is not None and entry.rows == ((1,),)
+
+    def test_covering_publish_cuts_reuse_but_not_old_epochs(self):
+        cache = SemanticResultCache(1_000_000)
+        cache.store_result("fp", 2, ("n",), ((1,),), [("R", 1, None)], cold_bytes=500)
+        cache.note_publish("R", 3)
+        assert cache.lookup("fp", 3) is None  # R@3 covers the request
+        assert cache.lookup("fp", 2) is not None  # pinned old epoch intact
+
+    def test_intermediate_publish_is_seen_even_after_later_ones(self):
+        cache = SemanticResultCache(1_000_000)
+        cache.store_result("fp", 2, ("n",), ((1,),), [("R", 1, None)], cold_bytes=500)
+        cache.note_publish("R", 4)
+        cache.note_publish("R", 9)
+        # Request at 5: the publish at 4 lies in (1, 5] even though the
+        # newest publish (9) is beyond the request.
+        assert cache.lookup("fp", 5) is None
+
+    def test_unattributed_gossip_epoch_blocks_reuse_conservatively(self):
+        cache = SemanticResultCache(1_000_000)
+        cache.store_result("fp", 2, ("n",), ((1,),), [("R", 1, None)], cold_bytes=500)
+        cache.note_epoch(3)  # relation unknown: could be R
+        assert cache.lookup("fp", 4) is None
+        assert cache.lookup("fp", 2) is not None
+        # Once attributed to another relation, reuse resumes.
+        cache.note_publish("S", 3)
+        assert cache.lookup("fp", 4) is not None
+
+    def test_newest_valid_entry_wins(self):
+        cache = SemanticResultCache(1_000_000)
+        cache.store_result("fp", 1, ("n",), ((1,),), [("R", 1, None)], cold_bytes=500)
+        cache.store_result("fp", 4, ("n",), ((2,),), [("R", 4, None)], cold_bytes=500)
+        entry = cache.lookup("fp", 6)
+        assert entry is not None and entry.rows == ((2,),)
