@@ -14,6 +14,8 @@ who wins, what grows, where the knee is — rather than absolute numbers.
 
 import pytest
 
+from repro.workloads import tpch as _tpch
+
 #: Node counts for the local-cluster experiments (the paper uses 1–16).
 LAN_NODE_COUNTS = (1, 2, 4, 8, 16)
 #: Node counts for the EC2-scale experiments (the paper uses 10–100).
@@ -38,8 +40,6 @@ TPCH_SF_FAILURE = 2.0
 # the traffic figures — a regime the paper never operates in.  Running the
 # sweeps at 1/62.5 (LAN) and 1/250 (EC2) of TPC-H keeps the data:control ratio
 # in the paper's regime while the full suite still finishes in minutes.
-from repro.workloads import tpch as _tpch
-
 TPCH_SCALING_DEFAULT = _tpch.DEFAULT_SCALING
 TPCH_SCALING_LAN_SWEEP = _tpch.DEFAULT_SCALING * 32
 TPCH_SCALING_EC2 = _tpch.DEFAULT_SCALING * 4

@@ -1,7 +1,6 @@
 """Figure 11: TPC-H total network traffic, 1-16 nodes."""
 
-from conftest import (LAN_NODE_COUNTS, TPCH_SCALING_LAN_SWEEP, TPCH_SF_NODE_SWEEP,
-                      run_once, series)
+from conftest import LAN_NODE_COUNTS, TPCH_SCALING_LAN_SWEEP, TPCH_SF_NODE_SWEEP, run_once
 from repro.bench import format_table, run_tpch_sweep
 
 

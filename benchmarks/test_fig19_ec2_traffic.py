@@ -1,6 +1,6 @@
 """Figure 19: total traffic on the EC2 profile, 10-100 nodes."""
 
-from conftest import EC2_NODE_COUNTS, TPCH_SCALING_EC2, TPCH_SF_EC2, run_once, series
+from conftest import EC2_NODE_COUNTS, TPCH_SCALING_EC2, TPCH_SF_EC2, run_once
 from repro.bench import format_table, run_tpch_sweep
 
 

@@ -6,8 +6,10 @@ from .harness import (
     format_table,
     run_allocation_balance,
     run_bandwidth_sweep,
+    run_concurrency_experiment,
     run_failure_recovery_experiment,
     run_latency_sweep,
+    run_offered_load_experiment,
     run_recovery_overhead_experiment,
     run_result_cache_experiment,
     run_retrieval_cache_experiment,
@@ -23,8 +25,10 @@ __all__ = [
     "format_table",
     "run_allocation_balance",
     "run_bandwidth_sweep",
+    "run_concurrency_experiment",
     "run_failure_recovery_experiment",
     "run_latency_sweep",
+    "run_offered_load_experiment",
     "run_recovery_overhead_experiment",
     "run_result_cache_experiment",
     "run_retrieval_cache_experiment",

@@ -76,7 +76,6 @@ def _fmt(value) -> str:
 
 
 def _measure(cluster: Cluster, query, label: str, options: QueryOptions | None = None) -> MeasuredQuery:
-    before_traffic = cluster.traffic_snapshot()
     result = cluster.query(query, options=options)
     return MeasuredQuery(
         label=label,
@@ -471,6 +470,153 @@ def run_result_cache_experiment(
                 "result_cache_hit": result.statistics.result_cache_hit,
                 "result_cache_bytes_saved": saved,
             })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Concurrent traffic: throughput / latency under multi-tenant load (repro.runtime)
+# ---------------------------------------------------------------------------
+
+
+def _build_concurrency_cluster(
+    num_nodes: int,
+    tuples_per_relation: int,
+    scenario: str,
+    seed: int,
+    scheduler_config,
+    cache_config,
+):
+    """A cluster loaded with one STBenchmark instance plus its compiled plan.
+
+    The query is compiled once and submitted as a physical plan, so the
+    drivers measure distributed execution (the part that concurrency
+    overlaps), not repeated plan compilation on the submitting client.
+    """
+    from ..optimizer.cost import MachineProfile
+    from ..optimizer.planner import compile_query
+
+    instance = stbenchmark.generate(scenario, tuples_per_relation, seed)
+    cluster = Cluster(num_nodes, profile=LAN_GIGABIT,
+                      scheduler_config=scheduler_config, cache_config=cache_config)
+    cluster.publish_relations(instance.relation_list())
+    plan = compile_query(
+        instance.query, cluster.catalog, machine=MachineProfile.for_cluster(cluster)
+    ).plan
+    return cluster, plan
+
+
+def run_concurrency_experiment(
+    concurrency_levels: Iterable[int] = (1, 2, 4, 8),
+    num_nodes: int = 8,
+    tuples_per_relation: int = 400,
+    scenario: str = "select",
+    ops_per_client: int = 4,
+    scheduler_config=None,
+    cache_config=None,
+    use_result_cache: bool = True,
+    seed: int = 0,
+) -> list[dict]:
+    """Closed-loop concurrency sweep: N clients, one outstanding query each.
+
+    Each level runs on a fresh cluster (same data, same plan); clients are
+    spread round-robin over the nodes, so level 8 on an 8-node cluster is
+    eight tenants querying from eight different machines.  One row per level
+    with aggregate throughput and latency percentiles — the single-client
+    row is the serial baseline every speedup is judged against.
+    """
+    from ..query.service import QueryOptions
+    from ..runtime.workload import ClosedLoopDriver
+
+    options = QueryOptions(use_result_cache=use_result_cache)
+    rows = []
+    for level in concurrency_levels:
+        cluster, plan = _build_concurrency_cluster(
+            num_nodes, tuples_per_relation, scenario, seed, scheduler_config,
+            cache_config,
+        )
+        driver = ClosedLoopDriver(
+            cluster.runtime,
+            num_clients=level,
+            make_op=lambda session, _client, _op: session.submit_query(
+                plan, options=options
+            ),
+            ops_per_client=ops_per_client,
+        )
+        report = driver.run()
+        stats = report.scheduler
+        rows.append({
+            "scenario": scenario,
+            "nodes": num_nodes,
+            "clients": level,
+            "ops": len(report.records),
+            "completed": report.completed,
+            "errors": report.errors,
+            "throughput_ops_s": report.throughput,
+            "mean_latency_s": report.mean_latency,
+            "p50_latency_s": report.p50_latency,
+            "p99_latency_s": report.p99_latency,
+            "mean_queue_delay_s": report.mean_queue_delay,
+            "max_in_flight": stats["max_in_flight"],
+            "peak_queued": stats["peak_queued"],
+            "rejected": stats["rejected"],
+        })
+    return rows
+
+
+def run_offered_load_experiment(
+    arrival_rates: Iterable[float] = (200.0, 1000.0, 5000.0),
+    num_ops: int = 32,
+    num_nodes: int = 8,
+    tuples_per_relation: int = 400,
+    scenario: str = "select",
+    scheduler_config=None,
+    cache_config=None,
+    use_result_cache: bool = True,
+    seed: int = 0,
+) -> list[dict]:
+    """Open-loop sweep: Poisson arrivals at each offered load (queries/s).
+
+    The open-loop driver submits on a schedule regardless of completions, so
+    as the offered load crosses the cluster's capacity the admission queue
+    grows and the queue delay — not the service time — comes to dominate
+    p99 latency.  One row per offered load.
+    """
+    from ..query.service import QueryOptions
+    from ..runtime.workload import OpenLoopDriver
+
+    options = QueryOptions(use_result_cache=use_result_cache)
+    rows = []
+    for rate in arrival_rates:
+        cluster, plan = _build_concurrency_cluster(
+            num_nodes, tuples_per_relation, scenario, seed, scheduler_config,
+            cache_config,
+        )
+        driver = OpenLoopDriver(
+            cluster.runtime,
+            make_op=lambda session, _client, _op: session.submit_query(
+                plan, options=options
+            ),
+            num_ops=num_ops,
+            arrival_rate=rate,
+            seed=seed,
+        )
+        report = driver.run()
+        stats = report.scheduler
+        rows.append({
+            "scenario": scenario,
+            "nodes": num_nodes,
+            "offered_ops_s": rate,
+            "ops": len(report.records),
+            "completed": report.completed,
+            "errors": report.errors,
+            "throughput_ops_s": report.throughput,
+            "p50_latency_s": report.p50_latency,
+            "p99_latency_s": report.p99_latency,
+            "mean_queue_delay_s": report.mean_queue_delay,
+            "max_in_flight": stats["max_in_flight"],
+            "peak_queued": stats["peak_queued"],
+            "rejected": stats["rejected"],
+        })
     return rows
 
 

@@ -136,6 +136,11 @@ class SemanticResultCache:
         #: Epochs the gossip announced whose relation we never learnt: they
         #: must be assumed to affect *any* relation until attributed.
         self._wildcard_epochs: set[int] = set()
+        #: Monotone counter bumped by every invalidation event (publish or
+        #: newly learnt epoch).  The query service compares it across a
+        #: query's lifetime to detect a publish racing the execution — a
+        #: result whose scans may straddle the publish must not be cached.
+        self.publish_seq = 0
 
     @property
     def stats(self) -> CacheStats:
@@ -235,6 +240,7 @@ class SemanticResultCache:
         epochs = self._published.setdefault(relation, [])
         if epoch not in epochs:
             epochs.append(epoch)
+        self.publish_seq += 1
         self._attributed_epochs.add(epoch)
         self._wildcard_epochs.discard(epoch)
 
@@ -262,6 +268,7 @@ class SemanticResultCache:
         """
         if epoch not in self._attributed_epochs:
             self._wildcard_epochs.add(epoch)
+        self.publish_seq += 1
         return self.store.invalidate_where(
             lambda _key, entry: any(
                 scan[1] < epoch <= entry.scan_bound(scan, entry.epoch)

@@ -8,11 +8,16 @@ paper's system: RPC endpoint, membership view, epoch gossip, storage service
 installed via :meth:`enable_query_processing` — the distributed query
 executor.
 
-The class also offers *blocking* convenience wrappers (``publish``,
-``retrieve``, ``run``) that drive the discrete-event loop until the operation
-completes, which is what examples, tests and benchmarks use.  All of the
-underlying operations remain message-based and asynchronous; the wrappers
-simply run the virtual clock forward.
+Operations are submitted through the concurrent runtime layer
+(:mod:`repro.runtime`): :meth:`Cluster.session` returns a per-initiator
+:class:`~repro.runtime.session.Session` whose ``submit_publish`` /
+``submit_retrieve`` / ``submit_query`` methods return futures resolved by
+the event loop, so any number of operations can be in flight concurrently
+under the admission-controlled scheduler.  The *blocking* convenience
+wrappers (``publish``, ``retrieve``, ``query``) that examples, tests and
+benchmarks use are thin shims over that layer: submit one operation, drive
+the discrete-event loop until it drains, return the future's result —
+issuing exactly the message sequence the single-operation path always did.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 from .cache import CacheConfig, CacheStats, NodeCache, SemanticResultCache
 from .common.errors import ReproError
-from .common.types import RelationData, Schema, Value
+from .common.types import RelationData, Value
 from .net.profiles import LAN_GIGABIT, NetworkProfile
 from .net.simnet import Network, SimNode, TrafficSnapshot
 from .net.transport import rpc_endpoint
@@ -31,8 +36,9 @@ from .overlay.gossip import EpochGossip
 from .overlay.membership import MembershipView
 from .overlay.replication import BackgroundReplicator, ReplicationReport
 from .overlay.routing import RoutingSnapshot
+from .runtime.scheduler import SchedulerConfig
+from .runtime.session import Runtime, Session
 from .storage.client import RetrieveResult, StorageClient, UpdateBatch, register_retrieve_handlers
-from .storage.pages import CoordinatorRecord
 from .storage.service import StorageService, storage_of
 
 
@@ -67,6 +73,7 @@ class Cluster:
         page_capacity: int = 2048,
         address_prefix: str = "node",
         cache_config: CacheConfig | None = None,
+        scheduler_config: SchedulerConfig | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -76,10 +83,19 @@ class Cluster:
         #: Caching is opt-in: without a config the cluster behaves exactly
         #: like the cache-less system (the regime the paper's figures report).
         self.cache_config = cache_config
+        #: Admission-control knobs of the runtime scheduler (None = defaults).
+        self.scheduler_config = scheduler_config
         self.network: Network = profile.create_network()
         self.addresses = [f"{address_prefix}-{i:03d}" for i in range(num_nodes)]
         self.nodes: dict[str, ClusterNode] = {}
         self.current_epoch = 0
+        #: Highest epoch whose publish has *completed* (written durably and
+        #: announced).  ``current_epoch`` is bumped when an epoch is assigned
+        #: at submission; with concurrent publishes in flight the two differ,
+        #: and operations default to the durable one — "the data available at
+        #: the epoch in which the operation starts".
+        self.durable_epoch = 0
+        self._runtime: Runtime | None = None
         self._query_services: dict[str, object] = {}
         # The optimizer's catalog is maintained as relations are published.
         from .optimizer.catalog import Catalog
@@ -150,6 +166,37 @@ class Cluster:
     def traffic_snapshot(self) -> TrafficSnapshot:
         return self.network.traffic.snapshot()
 
+    # ------------------------------------------------------------------ runtime
+
+    @property
+    def runtime(self) -> Runtime:
+        """The cluster's concurrent runtime (created lazily, one per cluster)."""
+        if self._runtime is None:
+            self._runtime = Runtime(self, self.scheduler_config)
+        return self._runtime
+
+    def session(self, address: str | None = None) -> Session:
+        """An asynchronous session initiating from ``address``.
+
+        Sessions submit operations without driving the event loop; call
+        :meth:`run` (or ``cluster.runtime.drain()``) to make progress and
+        resolve the returned futures.
+        """
+        return self.runtime.session(address)
+
+    def note_publish(self, relation: str, epoch: int) -> None:
+        """Tell every node's caches that ``relation`` changed at ``epoch``.
+
+        Exact invalidation: gossip only carries the epoch number, so this is
+        how caches learn *which* relation changed.  It also covers publishes
+        at an epoch the gossip already knew (announce() would not re-fire).
+        """
+        for cluster_node in self.nodes.values():
+            if cluster_node.cache is not None:
+                cluster_node.cache.note_publish(relation, epoch)
+            if cluster_node.result_cache is not None:
+                cluster_node.result_cache.note_publish(relation, epoch)
+
     # ------------------------------------------------------------------ publish
 
     def next_epoch(self) -> int:
@@ -162,38 +209,13 @@ class Cluster:
         epoch: int | None = None,
         from_address: str | None = None,
     ) -> int:
-        """Publish a batch (blocking wrapper) and gossip the new epoch.
+        """Publish a batch (blocking shim over a session) and gossip the epoch.
 
         Returns the epoch the batch was published at.
         """
-        if isinstance(data, RelationData):
-            batch = UpdateBatch(schema=data.schema, inserts=list(data.rows))
-            self.catalog.register_relation(data)
-        else:
-            batch = data
-            if batch.relation not in self.catalog:
-                self.catalog.register_relation(
-                    RelationData(batch.schema, list(batch.inserts))
-                )
-        epoch = epoch if epoch is not None else self.next_epoch()
-        self.current_epoch = max(self.current_epoch, epoch)
-        publisher = self.nodes[from_address or self.first_live_address()]
-        results: list[CoordinatorRecord] = []
-        publisher.storage_client.publish(batch, epoch, on_complete=results.append)
+        future = self.session(from_address).submit_publish(data, epoch=epoch)
         self.network.run()
-        if not results:
-            raise ReproError(f"publish of {batch.relation!r} at epoch {epoch} did not complete")
-        publisher.gossip.announce(epoch)
-        self.network.run()
-        # Exact invalidation: gossip only carries the epoch number, so tell
-        # every cache *which* relation changed.  This also covers publishes at
-        # an epoch the gossip already knew (announce() would not re-fire).
-        for cluster_node in self.nodes.values():
-            if cluster_node.cache is not None:
-                cluster_node.cache.note_publish(batch.relation, epoch)
-            if cluster_node.result_cache is not None:
-                cluster_node.result_cache.note_publish(batch.relation, epoch)
-        return epoch
+        return future.result()
 
     def publish_relations(
         self, relations: Iterable[RelationData], epoch: int | None = None
@@ -213,24 +235,12 @@ class Cluster:
         key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
         from_address: str | None = None,
     ) -> RetrieveResult:
-        """Retrieve a relation version (blocking wrapper around Algorithm 1)."""
-        requester = self.nodes[from_address or self.first_live_address()]
-        epoch = epoch if epoch is not None else self.current_epoch
-        results: list[RetrieveResult] = []
-        errors: list[Exception] = []
-        requester.storage_client.retrieve(
-            relation,
-            epoch,
-            on_complete=results.append,
-            key_predicate=key_predicate,
-            on_error=errors.append,
+        """Retrieve a relation version (blocking shim around Algorithm 1)."""
+        future = self.session(from_address).submit_retrieve(
+            relation, epoch=epoch, key_predicate=key_predicate
         )
         self.network.run()
-        if errors:
-            raise errors[0]
-        if not results:
-            raise ReproError(f"retrieval of {relation!r}@{epoch} did not complete")
-        return results[0]
+        return future.result()
 
     # ------------------------------------------------------------------ failures
 
@@ -282,57 +292,18 @@ class Cluster:
         from_address: str | None = None,
         planner_options=None,
     ):
-        """Compile and execute a query (blocking wrapper).
+        """Compile and execute a query (blocking shim over a session).
 
         ``query`` may be a :class:`~repro.query.logical.LogicalQuery` (compiled
         with the cost-based optimizer against this cluster's catalog), an
         already-compiled :class:`~repro.query.physical.PhysicalPlan`, or a SQL
         string (parsed by the single-block SQL frontend).
         """
-        from .optimizer.cost import MachineProfile
-        from .optimizer.planner import compile_query
-        from .query.logical import LogicalQuery
-        from .query.physical import PhysicalPlan
-        from .query.service import QueryOptions
-
-        self.enable_query_processing()
-        initiator = from_address or self.first_live_address()
-        if isinstance(query, str):
-            from .query.sql import parse_query
-
-            query = parse_query(query, self.catalog.schemas())
-        if isinstance(query, LogicalQuery):
-            initiator_cache = self.nodes[initiator].cache
-            compiled = compile_query(
-                query,
-                self.catalog,
-                machine=MachineProfile.for_cluster(self),
-                options=planner_options,
-                residency=initiator_cache.residency() if initiator_cache else None,
-            )
-            plan = compiled.plan
-        elif isinstance(query, PhysicalPlan):
-            plan = query
-        else:
-            raise TypeError(f"cannot execute query of type {type(query).__name__}")
-
-        service = self.query_service(initiator)
-        epoch = epoch if epoch is not None else self.current_epoch
-        results = []
-        errors: list[Exception] = []
-        service.execute(
-            plan,
-            epoch,
-            on_complete=results.append,
-            options=options or QueryOptions(),
-            on_error=errors.append,
+        future = self.session(from_address).submit_query(
+            query, epoch=epoch, options=options, planner_options=planner_options
         )
         self.network.run()
-        if errors:
-            raise errors[0]
-        if not results:
-            raise ReproError(f"query {plan.name!r} did not complete")
-        return results[0]
+        return future.result()
 
     # ------------------------------------------------------------ query wiring
 

@@ -252,10 +252,22 @@ class SimNode:
 
 
 @dataclass(order=True)
-class _Event:
+class ScheduledEvent:
+    """A scheduled action; kept so callers can cancel it before it fires.
+
+    Cancellation leaves the entry in the heap but marks it dead: the run
+    loop discards dead events without advancing the clock, so e.g. a
+    watchdog timer for an operation that already completed neither fires
+    nor drags the virtual time out to its deadline.
+    """
+
     time: float
     sequence: int
     action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class Network:
@@ -282,7 +294,7 @@ class Network:
         self.failure_detection_delay = failure_detection_delay
         self.traffic = TrafficMeter()
         self.nodes: dict[str, SimNode] = {}
-        self._queue: list[_Event] = []
+        self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._pairwise_latency: dict[tuple[str, str], float] = {}
 
@@ -313,14 +325,20 @@ class Network:
 
     # -- event scheduling ------------------------------------------------------
 
-    def schedule(self, delay: float, action: Callable[[], None]) -> None:
-        """Run ``action`` after ``delay`` simulated seconds."""
+    def schedule(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Run ``action`` after ``delay`` simulated seconds.
+
+        Returns the scheduled event; calling its :meth:`~ScheduledEvent.cancel`
+        before it fires discards it without advancing the clock.
+        """
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
-        heapq.heappush(self._queue, _Event(self.now + delay, next(self._sequence), action))
+        event = ScheduledEvent(self.now + delay, next(self._sequence), action)
+        heapq.heappush(self._queue, event)
+        return event
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
-        self.schedule(max(0.0, time - self.now), action)
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
+        return self.schedule(max(0.0, time - self.now), action)
 
     def run(self, until: float | None = None) -> float:
         """Process events until the queue drains (or ``until`` is reached).
@@ -328,6 +346,9 @@ class Network:
         Returns the simulation clock after processing.
         """
         while self._queue:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and self._queue[0].time > until:
                 self.now = until
                 return self.now
@@ -337,7 +358,7 @@ class Network:
         return self.now
 
     def pending_events(self) -> int:
-        return len(self._queue)
+        return sum(1 for event in self._queue if not event.cancelled)
 
     # -- messaging -------------------------------------------------------------
 

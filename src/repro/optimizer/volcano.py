@@ -20,7 +20,7 @@ placement part of the plan:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 
 from ..common.errors import OptimizerError

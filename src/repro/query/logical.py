@@ -10,7 +10,6 @@ information — that is the optimizer's job when it produces a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..common.errors import PlanError
 from ..common.types import Schema
@@ -117,14 +116,14 @@ class LogicalJoin(LogicalPlan):
 
     @property
     def left_keys(self) -> tuple[str, ...]:
-        return tuple(l for l, _r in self.condition)
+        return tuple(left for left, _right in self.condition)
 
     @property
     def right_keys(self) -> tuple[str, ...]:
         return tuple(r for _l, r in self.condition)
 
     def __repr__(self) -> str:
-        cond = ", ".join(f"{l}={r}" for l, r in self.condition)
+        cond = ", ".join(f"{left}={right}" for left, right in self.condition)
         return f"Join({cond}, {self.left!r}, {self.right!r})"
 
 

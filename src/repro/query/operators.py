@@ -21,8 +21,8 @@ All operators carry the provenance and phase machinery of Section V-D:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Protocol, Sequence
 
 from ..common.errors import PlanError
 from ..common.types import Row, Value, partition_hash

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..common.errors import PlanError
 from ..common.types import Schema
@@ -125,7 +125,7 @@ class PhysHashJoin(PhysicalOperator):
         return self.left.output_attributes() + self.right.output_attributes()
 
     def __repr__(self) -> str:
-        cond = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        cond = ", ".join(f"{left}={right}" for left, right in zip(self.left_keys, self.right_keys))
         return f"HashJoin({cond})"
 
 

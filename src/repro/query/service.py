@@ -28,7 +28,7 @@ from ..cache.result import SemanticResultCache, plan_fingerprint
 from ..common.errors import QueryError
 from ..common.hashing import KeyRange
 from ..common.serialization import TupleBatch
-from ..common.types import Row, Value
+from ..common.types import Value
 from ..net.simnet import SimNode
 from ..net.transport import RpcEndpoint, rpc_endpoint
 from ..overlay.membership import MembershipView
@@ -300,7 +300,7 @@ class _NodeQueryContext:
     def __init__(
         self,
         service: "QueryService",
-        query_id: int,
+        query_id: str,
         plan: PhysicalPlan,
         snapshot: RoutingSnapshot,
         initiator: str,
@@ -389,7 +389,7 @@ class _NodeQueryContext:
 class _ActiveQuery:
     """Initiator-side state of one running query."""
 
-    query_id: int
+    query_id: str
     plan: PhysicalPlan
     epoch: int
     options: QueryOptions
@@ -409,6 +409,14 @@ class _ActiveQuery:
     #: exact version keys.
     fingerprint: object = None
     scans: tuple = ()
+    #: Publish sequence number of the initiator's result cache when this
+    #: attempt's scan resolution started.  If it moved by completion time, a
+    #: publish raced the execution and the result must not enter the cache —
+    #: its scans may mix pre- and post-publish resolutions.
+    cache_publish_seq: int = 0
+    #: Participants already sent ``query.abort`` for this query, making the
+    #: abort fan-out idempotent per ``(query_id, node)``.
+    aborts_sent: set[str] = field(default_factory=set)
 
 
 class QueryService:
@@ -430,10 +438,11 @@ class QueryService:
         #: Semantic result cache for queries this node initiates (optional).
         self.result_cache = result_cache
         self._query_ids = itertools.count(1)
-        #: Queries this node participates in (including ones it initiated).
-        self._contexts: dict[int, _NodeQueryContext] = {}
+        #: Queries this node participates in (including ones it initiated),
+        #: keyed by the cluster-unique query id.
+        self._contexts: dict[str, _NodeQueryContext] = {}
         #: Queries this node initiated.
-        self._active: dict[int, _ActiveQuery] = {}
+        self._active: dict[str, _ActiveQuery] = {}
         self._register_handlers()
         node.add_failure_listener(self._on_peer_failure)
         node.services["query"] = self
@@ -458,10 +467,16 @@ class QueryService:
         on_complete: Callable[[QueryResult], None],
         options: QueryOptions | None = None,
         on_error: Callable[[Exception], None] | None = None,
-    ) -> int:
-        """Initiate ``plan`` at ``epoch``; the callback receives the result."""
+    ) -> str:
+        """Initiate ``plan`` at ``epoch``; the callback receives the result.
+
+        Returns the query id — unique across the *cluster*, not just this
+        node, because participants of concurrently initiated queries key
+        their per-query state by it (two initiators' local counters would
+        collide).
+        """
         options = options or QueryOptions()
-        query_id = next(self._query_ids)
+        query_id = self._next_query_id()
         fingerprint = None
         if self.result_cache is not None and options.use_result_cache:
             fingerprint = plan_fingerprint(plan)
@@ -474,6 +489,10 @@ class QueryService:
             started_at=self.node.network.now,
             participating_nodes=len(self.participants_of(snapshot)),
         )
+        # Captured before scan resolution: a publish completing between here
+        # and the result's completion bumps the sequence, which vetoes the
+        # result-cache fill (see _maybe_complete).
+        cache_seq = self._cache_publish_seq()
         self._resolve_scans(
             plan, epoch, snapshot,
             # The routing snapshot the query runs with is taken at launch time
@@ -482,10 +501,19 @@ class QueryService:
             on_ready=lambda records: self._launch(
                 query_id, plan, epoch, options, self.membership.snapshot(), records,
                 statistics, on_complete, fingerprint=fingerprint,
+                cache_publish_seq=cache_seq,
             ),
             on_error=on_error or (lambda exc: (_ for _ in ()).throw(exc)),
         )
         return query_id
+
+    def _next_query_id(self) -> str:
+        """Cluster-unique query id, namespaced by the initiating node."""
+        return f"{self.node.address}/q{next(self._query_ids)}"
+
+    def _cache_publish_seq(self) -> int:
+        """Current publish sequence of this initiator's result cache."""
+        return self.result_cache.publish_seq if self.result_cache is not None else 0
 
     def _serve_cached_result(self, cached, on_complete: Callable[[QueryResult], None]) -> None:
         """Answer a query from the semantic result cache: no network at all."""
@@ -563,7 +591,7 @@ class QueryService:
 
     def _launch(
         self,
-        query_id: int,
+        query_id: str,
         plan: PhysicalPlan,
         epoch: int,
         options: QueryOptions,
@@ -572,6 +600,7 @@ class QueryService:
         statistics: QueryStatistics,
         on_complete: Callable[[QueryResult], None],
         fingerprint: object = None,
+        cache_publish_seq: int = 0,
     ) -> None:
         participants = self.participants_of(snapshot)
         statistics.participating_nodes = len(participants)
@@ -612,6 +641,7 @@ class QueryService:
             traffic_start=self.node.network.traffic.snapshot(),
             fingerprint=fingerprint,
             scans=scanned,
+            cache_publish_seq=cache_publish_seq,
         )
         self._active[query_id] = active
         # Each participant receives only what it needs: the plan, the routing
@@ -663,7 +693,7 @@ class QueryService:
     # ------------------------------------------------------------- participant side
 
     def _on_start(self, _src: str, payload: Mapping[str, object], _respond) -> None:
-        query_id: int = payload["query_id"]
+        query_id: str = payload["query_id"]
         plan: PhysicalPlan = payload["plan"]
         snapshot: RoutingSnapshot = payload["snapshot"]
         options: QueryOptions = payload["options"]
@@ -902,6 +932,12 @@ class QueryService:
             self.result_cache is not None
             and active.options.use_result_cache
             and active.fingerprint is not None
+            # A publish that completed while this query ran may have raced
+            # its scan resolutions (some scans pre-publish, some post); such
+            # a result is correct for *no* epoch key, so it never enters the
+            # cache.  On the serial path the sequence cannot move mid-query
+            # and every result is cached exactly as before.
+            and self._cache_publish_seq() == active.cache_publish_seq
         ):
             self.result_cache.store_result(
                 active.fingerprint,
@@ -912,11 +948,24 @@ class QueryService:
                 cold_bytes=active.statistics.bytes_total,
             )
         # Clean up participant-side state for this query everywhere.
-        for address in self.participants_of(active.snapshot):
-            if address not in active.failed_nodes:
-                self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
+        self._send_aborts(active)
         del self._active[active.query_id]
         active.on_complete(result)
+
+    def _send_aborts(self, active: _ActiveQuery, include_self: bool = True) -> None:
+        """Fan ``query.abort`` out to the query's live participants.
+
+        The single place both completion and restart broadcast from, and
+        idempotent per ``(query_id, node)``: a participant that was already
+        told to drop the query's state is never messaged again.
+        """
+        for address in self.participants_of(active.snapshot):
+            if address in active.failed_nodes or address in active.aborts_sent:
+                continue
+            if not include_self and address == self.node.address:
+                continue
+            active.aborts_sent.add(address)
+            self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
 
     def _on_abort(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         self._contexts.pop(payload["query_id"], None)
@@ -948,9 +997,7 @@ class QueryService:
             raise QueryError(
                 f"query {active.query_id} exceeded the maximum number of restarts"
             )
-        for address in self.participants_of(active.snapshot):
-            if address not in active.failed_nodes and address != self.node.address:
-                self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
+        self._send_aborts(active, include_self=False)
         self._contexts.pop(active.query_id, None)
         del self._active[active.query_id]
 
@@ -967,14 +1014,17 @@ class QueryService:
 
         def relaunch() -> None:
             new_snapshot = self.membership.snapshot()
-            query_id = next(self._query_ids)
+            query_id = self._next_query_id()
             new_statistics = statistics  # keep cumulative timing and counters
+            # The restart re-resolves every scan, so the publish-race guard
+            # window restarts here too.
+            cache_seq = self._cache_publish_seq()
             self._resolve_scans(
                 active.plan, active.epoch, new_snapshot,
                 on_ready=lambda specs: self._launch(
                     query_id, active.plan, active.epoch, active.options, new_snapshot,
                     specs, new_statistics, active.on_complete,
-                    fingerprint=active.fingerprint,
+                    fingerprint=active.fingerprint, cache_publish_seq=cache_seq,
                 ),
                 on_error=lambda exc: (_ for _ in ()).throw(exc),
             )

@@ -1,0 +1,66 @@
+"""Concurrent runtime layer: sessions, admission control, workload drivers.
+
+Everything below this package was already asynchronous — the storage and
+query protocols are cascades of one-way messages over the discrete-event
+simulator — but the public harness only ever drove them one operation at a
+time.  This package is the missing top: futures resolved by the event loop
+(:mod:`~repro.runtime.futures`), an admission-controlled scheduler with
+per-initiator caps, bounded queueing, FIFO/fair policies, timeouts and
+cancellation (:mod:`~repro.runtime.scheduler`), per-tenant sessions
+(:mod:`~repro.runtime.session`) and open/closed-loop workload drivers that
+measure throughput and latency percentiles under concurrent traffic
+(:mod:`~repro.runtime.workload`).
+"""
+
+from .futures import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    QUEUED,
+    RUNNING,
+    AdmissionRejectedError,
+    OpCancelledError,
+    OpFuture,
+    OpTimeoutError,
+)
+from .scheduler import (
+    POLICY_FAIR,
+    POLICY_FIFO,
+    Scheduler,
+    SchedulerConfig,
+    SchedulerStats,
+)
+from .session import Runtime, Session
+from .workload import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    OpRecord,
+    WorkloadReport,
+    percentile,
+)
+
+__all__ = [
+    "AdmissionRejectedError",
+    "CANCELLED",
+    "ClosedLoopDriver",
+    "DONE",
+    "FAILED",
+    "OpCancelledError",
+    "OpFuture",
+    "OpRecord",
+    "OpTimeoutError",
+    "OpenLoopDriver",
+    "PENDING",
+    "POLICY_FAIR",
+    "POLICY_FIFO",
+    "QUEUED",
+    "RUNNING",
+    "Runtime",
+    "Scheduler",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "Session",
+    "WorkloadReport",
+    "percentile",
+]

@@ -1,0 +1,181 @@
+"""Futures for asynchronous cluster operations.
+
+The engine has always been message-driven: every publish, retrieval and
+query is a cascade of callbacks over the discrete-event network.  An
+:class:`OpFuture` is the runtime layer's handle on one such in-flight
+operation — it is resolved *by the event loop* (the completion callback of
+the underlying protocol fires inside ``Network.run``), never by a thread.
+
+Timestamps are simulated seconds.  An operation goes through up to four
+stages: it is *submitted* to the scheduler, *admitted* (immediately, or
+after waiting in the admission queue), *running* until the protocol's
+completion callback fires, and finally *done* / *failed* / *cancelled*.
+The queue delay and service time are the two latency components the
+workload drivers report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.errors import ReproError
+
+#: Lifecycle states of an :class:`OpFuture`.
+PENDING = "pending"      #: created, not yet handed to a scheduler
+QUEUED = "queued"        #: waiting in the admission queue
+RUNNING = "running"      #: admitted; the underlying protocol is in flight
+DONE = "done"            #: completed with a result
+FAILED = "failed"        #: completed with an error
+CANCELLED = "cancelled"  #: cancelled before (or while) running
+
+
+class AdmissionRejectedError(ReproError):
+    """The scheduler's admission queue was full when the op was submitted."""
+
+
+class OpTimeoutError(ReproError):
+    """The operation did not complete within its submission timeout."""
+
+
+class OpCancelledError(ReproError):
+    """The operation was cancelled; it has no result."""
+
+
+class OpFuture:
+    """Handle on one asynchronous cluster operation.
+
+    Created by :class:`~repro.runtime.session.Session` submit methods and
+    resolved by the event loop.  ``result()`` never blocks — driving the
+    network (``cluster.run()`` / ``Runtime.drain``) is what makes progress —
+    it raises if the future is not finished yet.
+    """
+
+    def __init__(self, op_type: str, initiator: str, label: str = "") -> None:
+        self.op_type = op_type
+        self.initiator = initiator
+        self.label = label
+        self.state = PENDING
+        self.submitted_at: float | None = None
+        self.admitted_at: float | None = None
+        self.completed_at: float | None = None
+        self._result: object = None
+        self._error: Exception | None = None
+        self._callbacks: list[Callable[[OpFuture], None]] = []
+        #: Set by the scheduler so ``cancel()`` can be routed back to it.
+        self._scheduler = None
+        #: Message ``result()`` raises with when the op has not finished;
+        #: sessions set an operation-specific one.
+        self._incomplete: str | None = None
+        #: Pending watchdog timer (cancelled by the scheduler on resolution).
+        self._timeout_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpFuture({self.op_type}:{self.label} from {self.initiator}, {self.state})"
+
+    def describe(self) -> str:
+        return f"{self.op_type} {self.label!r}"
+
+    # -- state queries ---------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the operation reached a terminal state."""
+        return self.state in (DONE, FAILED, CANCELLED)
+
+    def succeeded(self) -> bool:
+        return self.state == DONE
+
+    def cancelled(self) -> bool:
+        return self.state == CANCELLED
+
+    def result(self):
+        """The operation's result; raises if it failed or is not finished."""
+        if self.state == DONE:
+            return self._result
+        if self.state == FAILED:
+            raise self._error
+        if self.state == CANCELLED:
+            raise OpCancelledError(f"{self.describe()} was cancelled")
+        raise ReproError(self._incomplete or f"{self.describe()} did not complete")
+
+    def exception(self) -> Exception | None:
+        return self._error
+
+    # -- latency components (simulated seconds) --------------------------------
+
+    @property
+    def queue_delay(self) -> float | None:
+        """Time spent waiting for admission (0 when admitted immediately)."""
+        if self.submitted_at is None or self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def service_time(self) -> float | None:
+        """Time from admission to completion."""
+        if self.admitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.admitted_at
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end time from submission to completion."""
+        if self.submitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- callbacks -------------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["OpFuture"], None]) -> None:
+        """Invoke ``callback(self)`` when the future finishes.
+
+        If it already finished, the callback fires immediately (synchronously,
+        in the caller's event context) — the closed-loop drivers rely on this
+        to never miss a completion.
+        """
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation through the owning scheduler.
+
+        A queued operation is removed from the admission queue and never
+        launched.  A running operation cannot be recalled from the simulated
+        network — it is marked cancelled, its admission slot is released and
+        its eventual completion is discarded.  Returns False when the future
+        already finished (or was never submitted).
+        """
+        if self._scheduler is None or self.done():
+            return False
+        return self._scheduler._cancel(self)
+
+    # -- resolution (scheduler/session internal) -------------------------------
+
+    def _mark_submitted(self, now: float) -> None:
+        self.submitted_at = now
+
+    def _mark_queued(self) -> None:
+        self.state = QUEUED
+
+    def _mark_running(self, now: float) -> None:
+        self.state = RUNNING
+        self.admitted_at = now
+
+    def _finish(self, state: str, now: float) -> None:
+        self.state = state
+        self.completed_at = now
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _set_result(self, value: object, now: float) -> None:
+        self._result = value
+        self._finish(DONE, now)
+
+    def _set_error(self, error: Exception, now: float) -> None:
+        self._error = error
+        self._finish(FAILED, now)
+
+    def _set_cancelled(self, now: float) -> None:
+        self._finish(CANCELLED, now)

@@ -1,0 +1,348 @@
+"""Admission-controlled operation scheduler.
+
+Serving heavy traffic means protecting the cluster from its own clients: an
+unbounded number of concurrent queries would pile onto the participants'
+CPUs and links until every operation's latency explodes.  The
+:class:`Scheduler` bounds that with classic admission control:
+
+* a cluster-wide cap on concurrently *running* operations
+  (``max_in_flight_total``) plus a per-initiator cap
+  (``max_in_flight_per_initiator``) so one tenant cannot monopolise the
+  cluster;
+* a bounded admission queue — submissions beyond the caps wait, and beyond
+  ``queue_capacity`` they are rejected outright (load shedding);
+* two dequeue policies: ``fifo`` (global arrival order) and ``fair``
+  (round-robin across initiators, so a burst from one tenant does not starve
+  the others);
+* per-operation timeouts and best-effort cancellation.
+
+The scheduler is event-driven like everything else: admission happens
+synchronously at submission when a slot is free — which keeps the
+single-operation path byte-identical to the pre-runtime blocking wrappers —
+and otherwise inside the completion callback that frees a slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..net.simnet import Network
+from .futures import (
+    QUEUED,
+    RUNNING,
+    AdmissionRejectedError,
+    OpFuture,
+    OpTimeoutError,
+)
+
+POLICY_FIFO = "fifo"
+POLICY_FAIR = "fair"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission-control knobs for one :class:`Scheduler`."""
+
+    #: Maximum operations running concurrently, cluster-wide.
+    max_in_flight_total: int = 8
+    #: Maximum operations running concurrently per initiating node.
+    max_in_flight_per_initiator: int = 4
+    #: Maximum operations waiting for admission; submissions beyond this are
+    #: rejected with :class:`AdmissionRejectedError`.
+    queue_capacity: int = 1024
+    #: Dequeue policy: ``"fifo"`` or ``"fair"`` (round-robin per initiator).
+    policy: str = POLICY_FIFO
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight_total < 1:
+            raise ValueError("max_in_flight_total must be at least 1")
+        if self.max_in_flight_per_initiator < 1:
+            raise ValueError("max_in_flight_per_initiator must be at least 1")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity cannot be negative")
+        if self.policy not in (POLICY_FIFO, POLICY_FAIR):
+            raise ValueError(f"unknown admission policy {self.policy!r}")
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for everything the scheduler decided."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    #: Currently running / currently waiting operations.
+    in_flight: int = 0
+    queued: int = 0
+    #: High-water marks, the quantities the admission caps are judged by.
+    max_in_flight: int = 0
+    peak_queued: int = 0
+    admitted_by_initiator: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "max_in_flight": self.max_in_flight,
+            "peak_queued": self.peak_queued,
+            "admitted_by_initiator": dict(self.admitted_by_initiator),
+        }
+
+
+@dataclass
+class _QueuedOp:
+    future: OpFuture
+    launch: Callable[[], None]
+
+
+class Scheduler:
+    """Admission control over asynchronous cluster operations."""
+
+    def __init__(self, network: Network, config: SchedulerConfig | None = None) -> None:
+        self.network = network
+        self.config = config or SchedulerConfig()
+        self.stats = SchedulerStats()
+        self._running: set[OpFuture] = set()
+        self._running_per_initiator: dict[str, int] = {}
+        #: FIFO queue (also the arrival-order ground truth for ``fair``'s
+        #: per-initiator sub-queues, which are views keyed by initiator).
+        self._queue: list[_QueuedOp] = []
+        self._per_initiator_queues: dict[str, list[_QueuedOp]] = {}
+        #: Round-robin cursor over initiator names for the fair policy.
+        self._fair_cursor = 0
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        future: OpFuture,
+        launch: Callable[[], None],
+        timeout: float | None = None,
+    ) -> OpFuture:
+        """Admit ``future`` (launching it) or queue it, by the configured caps.
+
+        ``launch`` starts the underlying protocol; its completion callbacks
+        must resolve the future through :meth:`complete` / :meth:`fail`.
+        ``timeout`` (simulated seconds, measured from submission) fails the
+        operation with :class:`OpTimeoutError` if it has not finished in time.
+        """
+        future._scheduler = self
+        future._mark_submitted(self.network.now)
+        self.stats.submitted += 1
+        if timeout is not None:
+            future._timeout_event = self.network.schedule(
+                timeout, lambda: self._on_timeout(future)
+            )
+        if self._has_slot_for(future.initiator):
+            self._start(future, launch)
+            return future
+        if self.stats.queued >= self.config.queue_capacity:
+            self.stats.rejected += 1
+            future._set_error(
+                AdmissionRejectedError(
+                    f"admission queue full ({self.config.queue_capacity} waiting); "
+                    f"{future.describe()} rejected"
+                ),
+                self.network.now,
+            )
+            return future
+        entry = _QueuedOp(future, launch)
+        future._mark_queued()
+        self._queue.append(entry)
+        self._per_initiator_queues.setdefault(future.initiator, []).append(entry)
+        self.stats.queued += 1
+        self.stats.peak_queued = max(self.stats.peak_queued, self.stats.queued)
+        return future
+
+    # -- resolution (called by the sessions' completion callbacks) --------------
+
+    def complete(self, future: OpFuture, result: object) -> None:
+        """Resolve ``future`` with ``result`` and free its admission slot.
+
+        A completion arriving after the future already finished (timeout or
+        cancellation won the race) is discarded — the slot was freed then.
+        """
+        if future.done():
+            return
+        self.stats.completed += 1
+        self._resolve(future, lambda now: future._set_result(result, now))
+
+    def fail(self, future: OpFuture, error: Exception) -> None:
+        """Resolve ``future`` with ``error`` and free its admission slot."""
+        if future.done():
+            return
+        self.stats.failed += 1
+        self._resolve(future, lambda now: future._set_error(error, now))
+
+    def _resolve(self, future: OpFuture, apply: Callable[[float], None]) -> None:
+        """Free the future's admission slot, settle it, then admit the queue.
+
+        The slot is freed *before* ``apply`` fires the done-callbacks so a
+        closed-loop client chaining its next operation from the callback sees
+        accurate in-flight accounting; queued operations are admitted after,
+        preserving their arrival-order priority over anything the callbacks
+        just submitted.
+        """
+        if future._timeout_event is not None:
+            # The watchdog is moot now; cancelling it keeps the event loop
+            # from idling the virtual clock out to the unused deadline.
+            future._timeout_event.cancel()
+        was_queued = future.state == QUEUED
+        was_running = future in self._running
+        if was_queued:
+            self.stats.queued -= 1  # dead entries are skipped lazily on dequeue
+        elif was_running:
+            self._free_slot(future)
+            self._admit_next()
+        apply(self.network.now)
+
+    # -- timeouts / cancellation ------------------------------------------------
+
+    def _on_timeout(self, future: OpFuture) -> None:
+        if future.done():
+            return
+        self.stats.timed_out += 1
+        self._resolve(
+            future,
+            lambda now: future._set_error(
+                OpTimeoutError(f"{future.describe()} timed out"), now
+            ),
+        )
+
+    def _cancel(self, future: OpFuture) -> bool:
+        if future.done():
+            return False
+        self.stats.cancelled += 1
+        self._resolve(future, lambda now: future._set_cancelled(now))
+        return True
+
+    # -- internals --------------------------------------------------------------
+
+    def _has_slot_for(self, initiator: str) -> bool:
+        return (
+            len(self._running) < self.config.max_in_flight_total
+            and self._running_per_initiator.get(initiator, 0)
+            < self.config.max_in_flight_per_initiator
+        )
+
+    def _start(self, future: OpFuture, launch: Callable[[], None]) -> None:
+        self._running.add(future)
+        self._running_per_initiator[future.initiator] = (
+            self._running_per_initiator.get(future.initiator, 0) + 1
+        )
+        self.stats.admitted += 1
+        self.stats.in_flight = len(self._running)
+        self.stats.max_in_flight = max(self.stats.max_in_flight, self.stats.in_flight)
+        by_initiator = self.stats.admitted_by_initiator
+        by_initiator[future.initiator] = by_initiator.get(future.initiator, 0) + 1
+        future._mark_running(self.network.now)
+        try:
+            launch()
+        except Exception as exc:
+            # A launch that blows up synchronously must not leak its
+            # admission slot (nor, when admitted from the queue inside
+            # another op's completion, abort that drain): the error becomes
+            # the operation's result.
+            if future.done():
+                raise
+            self.fail(future, exc)
+
+    def _free_slot(self, future: OpFuture) -> None:
+        self._running.discard(future)
+        remaining = self._running_per_initiator.get(future.initiator, 0) - 1
+        if remaining > 0:
+            self._running_per_initiator[future.initiator] = remaining
+        else:
+            self._running_per_initiator.pop(future.initiator, None)
+        self.stats.in_flight = len(self._running)
+
+    def _admit_next(self) -> None:
+        while self.stats.queued > 0:
+            entry = (
+                self._pop_fair() if self.config.policy == POLICY_FAIR else self._pop_fifo()
+            )
+            if entry is None:
+                return  # nothing admissible under the per-initiator caps
+            self.stats.queued -= 1
+            self._start(entry.future, entry.launch)
+
+    def _pop_fifo(self) -> _QueuedOp | None:
+        """First live entry, in arrival order, whose initiator has a free slot."""
+        index = 0
+        while index < len(self._queue):
+            entry = self._queue[index]
+            if entry.future.state != QUEUED:
+                # Cancelled or timed out while waiting: drop it in passing.
+                del self._queue[index]
+                self._drop_from_initiator_queue(entry)
+                continue
+            if self._has_slot_for(entry.future.initiator):
+                del self._queue[index]
+                self._drop_from_initiator_queue(entry)
+                return entry
+            index += 1
+        return None
+
+    def _pop_fair(self) -> _QueuedOp | None:
+        """Next admissible entry by round-robin over the initiators."""
+        initiators = sorted(self._per_initiator_queues.keys())
+        if not initiators:
+            return None
+        start = self._fair_cursor % len(initiators)
+        for offset in range(len(initiators)):
+            initiator = initiators[(start + offset) % len(initiators)]
+            queue = self._per_initiator_queues[initiator]
+            while queue and queue[0].future.state != QUEUED:
+                stale = queue.pop(0)
+                self._drop_from_fifo_queue(stale)
+            if not queue:
+                self._per_initiator_queues.pop(initiator, None)
+                continue
+            if not self._has_slot_for(initiator):
+                continue
+            entry = queue.pop(0)
+            if not queue:
+                self._per_initiator_queues.pop(initiator, None)
+            self._drop_from_fifo_queue(entry)
+            # Advance the cursor past the initiator just served.
+            self._fair_cursor = (start + offset + 1) % max(1, len(initiators))
+            return entry
+        return None
+
+    def _drop_from_initiator_queue(self, entry: _QueuedOp) -> None:
+        queue = self._per_initiator_queues.get(entry.future.initiator)
+        if queue is None:
+            return
+        if entry in queue:
+            queue.remove(entry)
+        if not queue:
+            self._per_initiator_queues.pop(entry.future.initiator, None)
+
+    def _drop_from_fifo_queue(self, entry: _QueuedOp) -> None:
+        if entry in self._queue:
+            self._queue.remove(entry)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._running)
+
+    @property
+    def queue_depth(self) -> int:
+        return self.stats.queued
+
+    def running_ops(self) -> list[OpFuture]:
+        return [f for f in self._running if f.state == RUNNING]

@@ -1,0 +1,224 @@
+"""Sessions: the asynchronous, multi-tenant face of a cluster.
+
+A :class:`Session` is one tenant's connection to the cluster, bound to the
+node the tenant's operations initiate from.  Its ``submit_*`` methods start
+a publish, retrieval or query *without driving the event loop* and return an
+:class:`~repro.runtime.futures.OpFuture` that the loop resolves — so any
+number of operations, from any number of sessions, can be in flight in the
+same simulated time.  The :class:`Runtime` owns the shared admission
+scheduler and hands out sessions.
+
+The blocking convenience wrappers on :class:`~repro.cluster.Cluster` are
+thin shims over this layer: submit one operation, drain the event loop,
+return the future's result.  With the default scheduler configuration a
+single operation is admitted and launched synchronously at submission, so
+that path issues exactly the message sequence the pre-runtime wrappers did.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..common.types import RelationData, Value
+from .futures import OpFuture
+from .scheduler import Scheduler, SchedulerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..cluster import Cluster
+    from ..storage.client import UpdateBatch
+
+
+class Session:
+    """One initiator's asynchronous operation interface."""
+
+    def __init__(self, runtime: "Runtime", address: str) -> None:
+        self.runtime = runtime
+        self.address = address
+
+    @property
+    def cluster(self) -> "Cluster":
+        return self.runtime.cluster
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.runtime.scheduler
+
+    # -- publish ----------------------------------------------------------------
+
+    def submit_publish(
+        self,
+        data: "UpdateBatch | RelationData",
+        epoch: int | None = None,
+        timeout: float | None = None,
+    ) -> OpFuture:
+        """Publish a batch asynchronously; the future resolves to the epoch.
+
+        The epoch is assigned (and the optimizer catalog updated) at *launch*
+        — admission time, not submission — so concurrent publishes receive
+        distinct epochs in deterministic admission order, while a publish the
+        scheduler rejects, times out in the queue, or that is cancelled
+        before launching leaves no phantom state behind (no catalog entry, no
+        burned epoch).  On completion the new epoch is gossiped, every node's
+        caches learn which relation changed, and the cluster's *durable*
+        epoch advances — operations submitted afterwards see the new version
+        by default.
+        """
+        from ..storage.client import UpdateBatch
+
+        cluster = self.cluster
+        if isinstance(data, RelationData):
+            batch = UpdateBatch(schema=data.schema, inserts=list(data.rows))
+        else:
+            batch = data
+        requested_epoch = epoch
+        publisher = cluster.nodes[self.address]
+        future = OpFuture("publish", self.address, label=batch.relation)
+        future._incomplete = f"publish of {batch.relation!r} did not complete"
+
+        def launch() -> None:
+            if isinstance(data, RelationData):
+                cluster.catalog.register_relation(data)
+            elif batch.relation not in cluster.catalog:
+                cluster.catalog.register_relation(
+                    RelationData(batch.schema, list(batch.inserts))
+                )
+            publish_epoch = (
+                requested_epoch if requested_epoch is not None else cluster.next_epoch()
+            )
+            cluster.current_epoch = max(cluster.current_epoch, publish_epoch)
+            future._incomplete = (
+                f"publish of {batch.relation!r} at epoch {publish_epoch} did not complete"
+            )
+
+            def completed(_record) -> None:
+                # Mirror the blocking wrapper's completion pipeline: gossip
+                # the epoch, then exact-invalidate every cache (gossip only
+                # carries the epoch number, so tell each cache *which*
+                # relation changed; this also covers publishes at an epoch
+                # the gossip already knew).
+                publisher.gossip.announce(publish_epoch)
+                cluster.note_publish(batch.relation, publish_epoch)
+                cluster.durable_epoch = max(cluster.durable_epoch, publish_epoch)
+                self.scheduler.complete(future, publish_epoch)
+
+            publisher.storage_client.publish(batch, publish_epoch, on_complete=completed)
+
+        return self.scheduler.submit(future, launch, timeout=timeout)
+
+    # -- retrieve ---------------------------------------------------------------
+
+    def submit_retrieve(
+        self,
+        relation: str,
+        epoch: int | None = None,
+        key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
+        timeout: float | None = None,
+    ) -> OpFuture:
+        """Start an Algorithm-1 retrieval; the future resolves to its
+        :class:`~repro.storage.client.RetrieveResult`."""
+        cluster = self.cluster
+        requester = cluster.nodes[self.address]
+        epoch = epoch if epoch is not None else cluster.durable_epoch
+        future = OpFuture("retrieve", self.address, label=f"{relation}@{epoch}")
+        future._incomplete = f"retrieval of {relation!r}@{epoch} did not complete"
+
+        def launch() -> None:
+            requester.storage_client.retrieve(
+                relation,
+                epoch,
+                on_complete=lambda result: self.scheduler.complete(future, result),
+                key_predicate=key_predicate,
+                on_error=lambda exc: self.scheduler.fail(future, exc),
+            )
+
+        return self.scheduler.submit(future, launch, timeout=timeout)
+
+    # -- query ------------------------------------------------------------------
+
+    def submit_query(
+        self,
+        query,
+        epoch: int | None = None,
+        options=None,
+        planner_options=None,
+        timeout: float | None = None,
+    ) -> OpFuture:
+        """Compile and start a distributed query; the future resolves to its
+        :class:`~repro.query.service.QueryResult`.
+
+        ``query`` may be a :class:`~repro.query.logical.LogicalQuery`
+        (compiled with the cost-based optimizer against the cluster catalog),
+        an already-compiled :class:`~repro.query.physical.PhysicalPlan`, or a
+        SQL string.  Compilation happens synchronously at submission — only
+        the distributed execution itself is admission-controlled.
+        """
+        from ..optimizer.cost import MachineProfile
+        from ..optimizer.planner import compile_query
+        from ..query.logical import LogicalQuery
+        from ..query.physical import PhysicalPlan
+        from ..query.service import QueryOptions
+
+        cluster = self.cluster
+        cluster.enable_query_processing()
+        if isinstance(query, str):
+            from ..query.sql import parse_query
+
+            query = parse_query(query, cluster.catalog.schemas())
+        if isinstance(query, LogicalQuery):
+            initiator_cache = cluster.nodes[self.address].cache
+            compiled = compile_query(
+                query,
+                cluster.catalog,
+                machine=MachineProfile.for_cluster(cluster),
+                options=planner_options,
+                residency=initiator_cache.residency() if initiator_cache else None,
+            )
+            plan = compiled.plan
+        elif isinstance(query, PhysicalPlan):
+            plan = query
+        else:
+            raise TypeError(f"cannot execute query of type {type(query).__name__}")
+
+        service = cluster.query_service(self.address)
+        epoch = epoch if epoch is not None else cluster.durable_epoch
+        options = options or QueryOptions()
+        future = OpFuture("query", self.address, label=plan.name)
+        future._incomplete = f"query {plan.name!r} did not complete"
+
+        def launch() -> None:
+            service.execute(
+                plan,
+                epoch,
+                on_complete=lambda result: self.scheduler.complete(future, result),
+                options=options,
+                on_error=lambda exc: self.scheduler.fail(future, exc),
+            )
+
+        return self.scheduler.submit(future, launch, timeout=timeout)
+
+
+class Runtime:
+    """Shared concurrent-operation machinery of one cluster.
+
+    Owns the admission :class:`Scheduler` and creates :class:`Session`
+    objects.  One runtime per cluster; the cluster builds it lazily on first
+    use (see :attr:`repro.cluster.Cluster.runtime`).
+    """
+
+    def __init__(self, cluster: "Cluster", config: SchedulerConfig | None = None) -> None:
+        self.cluster = cluster
+        self.scheduler = Scheduler(cluster.network, config)
+
+    def session(self, address: str | None = None) -> Session:
+        """A session initiating from ``address`` (default: first live node)."""
+        return Session(self, address or self.cluster.first_live_address())
+
+    def drain(self, until: float | None = None) -> float:
+        """Drive the event loop until it is empty (or ``until``); returns the
+        simulated time.  Every future submitted before (or during) the drain
+        that can complete will have completed when it returns."""
+        return self.cluster.network.run(until)
+
+    @property
+    def stats(self):
+        return self.scheduler.stats

@@ -1,0 +1,296 @@
+"""Workload drivers: offered load, measured latency.
+
+Two classic driver shapes over the session layer:
+
+* :class:`ClosedLoopDriver` — a fixed number of clients, each with at most
+  one operation outstanding: submit, wait for completion, think, repeat.
+  Offered load adapts to the system (the paper's single-query measurements
+  are the degenerate one-client case).
+* :class:`OpenLoopDriver` — operations arrive on a Poisson process at a
+  configured rate regardless of completions, the standard model for traffic
+  from a large population of independent users.  Arrival times come from a
+  seeded deterministic RNG, so runs are exactly reproducible.
+
+Both record one :class:`OpRecord` per operation and return a
+:class:`WorkloadReport` with aggregate throughput and latency percentiles —
+the quantities a concurrency experiment sweeps offered load against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .futures import OpFuture
+from .session import Runtime, Session
+
+#: Signature of the operation factory both drivers call:
+#: ``make_op(session, client_index, op_index) -> OpFuture``.
+OpFactory = Callable[[Session, int, int], OpFuture]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class OpRecord:
+    """Measured outcome of one driven operation."""
+
+    client: int
+    op_index: int
+    op_type: str
+    label: str
+    submitted_at: float
+    admitted_at: float | None
+    completed_at: float | None
+    ok: bool
+    error: str | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def queue_delay(self) -> float | None:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate view of one driver run (simulated-time metrics)."""
+
+    records: list[OpRecord]
+    started_at: float
+    finished_at: float
+    scheduler: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per simulated second, over the whole run."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.records if r.ok and r.latency is not None]
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = self.latencies()
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        return percentile(self.latencies(), 0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        return percentile(self.latencies(), 0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile(self.latencies(), 0.99)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        delays = [r.queue_delay for r in self.records if r.queue_delay is not None]
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def summary(self) -> dict:
+        """One row of driver metrics, ready for ``format_table``."""
+        return {
+            "ops": len(self.records),
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_s": self.duration,
+            "throughput_ops_s": self.throughput,
+            "mean_latency_s": self.mean_latency,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "mean_queue_delay_s": self.mean_queue_delay,
+        }
+
+
+class _DriverBase:
+    def __init__(self, runtime: Runtime, make_op: OpFactory,
+                 initiators: Sequence[str] | None = None) -> None:
+        self.runtime = runtime
+        self.make_op = make_op
+        self._initiators = list(initiators) if initiators else None
+        self.records: list[OpRecord] = []
+        self._started_at: float | None = None
+
+    def _session_for(self, client: int) -> Session:
+        addresses = self._initiators or self.runtime.cluster.live_addresses()
+        if not addresses:
+            from ..common.errors import ReproError
+
+            raise ReproError("all cluster nodes have failed")
+        return self.runtime.session(addresses[client % len(addresses)])
+
+    def _submit(self, session: Session, client: int, op_index: int,
+                on_done: Callable[[OpFuture], None] | None = None) -> OpFuture:
+        if self._started_at is None:
+            self._started_at = self.runtime.cluster.network.now
+        future = self.make_op(session, client, op_index)
+        record = OpRecord(
+            client=client,
+            op_index=op_index,
+            op_type=future.op_type,
+            label=future.label,
+            submitted_at=future.submitted_at,
+            admitted_at=None,
+            completed_at=None,
+            ok=False,
+        )
+        self.records.append(record)
+
+        def finished(fut: OpFuture) -> None:
+            record.admitted_at = fut.admitted_at
+            record.completed_at = fut.completed_at
+            record.ok = fut.succeeded()
+            if not record.ok:
+                error = fut.exception()
+                record.error = repr(error) if error is not None else fut.state
+            if on_done is not None:
+                on_done(fut)
+
+        future.add_done_callback(finished)
+        return future
+
+    def _report(self) -> WorkloadReport:
+        network = self.runtime.cluster.network
+        completed_times = [r.completed_at for r in self.records if r.completed_at is not None]
+        return WorkloadReport(
+            records=list(self.records),
+            started_at=self._started_at if self._started_at is not None else network.now,
+            finished_at=max(completed_times) if completed_times else network.now,
+            scheduler=self.runtime.stats.snapshot(),
+        )
+
+
+class ClosedLoopDriver(_DriverBase):
+    """``num_clients`` clients, one outstanding operation each.
+
+    Every client runs on its own session; by default sessions are spread
+    round-robin over the live nodes, so eight clients on an eight-node
+    cluster model eight tenants initiating from eight different machines.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        num_clients: int,
+        make_op: OpFactory,
+        ops_per_client: int,
+        think_time: float = 0.0,
+        initiators: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(runtime, make_op, initiators)
+        if num_clients < 1:
+            raise ValueError("a closed-loop workload needs at least one client")
+        if ops_per_client < 1:
+            raise ValueError("ops_per_client must be at least 1")
+        self.num_clients = num_clients
+        self.ops_per_client = ops_per_client
+        self.think_time = think_time
+
+    def run(self) -> WorkloadReport:
+        """Drive all clients to completion; returns the aggregate report."""
+        network = self.runtime.cluster.network
+
+        def client_loop(session: Session, client: int, op_index: int) -> None:
+            def next_op(_fut: OpFuture) -> None:
+                if op_index + 1 >= self.ops_per_client:
+                    return
+                # Always continue through the event queue: a submission the
+                # scheduler rejects synchronously fires its done-callback
+                # inline, and chaining inline from it would recurse one stack
+                # frame per shed operation.
+                network.schedule(
+                    self.think_time,
+                    lambda: client_loop(session, client, op_index + 1),
+                )
+
+            self._submit(session, client, op_index, on_done=next_op)
+
+        for client in range(self.num_clients):
+            client_loop(self._session_for(client), client, 0)
+        self.runtime.drain()
+        return self._report()
+
+
+class OpenLoopDriver(_DriverBase):
+    """Poisson arrivals at ``arrival_rate`` operations per simulated second.
+
+    Submissions do not wait for completions — under overload the admission
+    queue (and then load shedding) is what protects the cluster, which is
+    exactly the regime the scheduler statistics expose.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        make_op: OpFactory,
+        num_ops: int,
+        arrival_rate: float,
+        seed: int = 0,
+        initiators: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(runtime, make_op, initiators)
+        if num_ops < 1:
+            raise ValueError("num_ops must be at least 1")
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        self.num_ops = num_ops
+        self.arrival_rate = arrival_rate
+        self.seed = seed
+
+    def arrival_offsets(self) -> list[float]:
+        """Deterministic Poisson arrival times, relative to the run start."""
+        rng = random.Random(self.seed)
+        offsets, elapsed = [], 0.0
+        for _ in range(self.num_ops):
+            elapsed += rng.expovariate(self.arrival_rate)
+            offsets.append(elapsed)
+        return offsets
+
+    def run(self) -> WorkloadReport:
+        network = self.runtime.cluster.network
+        for op_index, offset in enumerate(self.arrival_offsets()):
+            session = self._session_for(op_index)
+            network.schedule(
+                offset,
+                lambda session=session, op_index=op_index: self._submit(
+                    session, op_index, op_index
+                ),
+            )
+        self.runtime.drain()
+        return self._report()

@@ -48,7 +48,6 @@ from .pages import (
     choose_page_count,
     coordinator_key,
     initial_page_layout,
-    inverse_key,
 )
 from .service import INDEX_SCAN_COST_PER_ID, StorageService
 

@@ -33,7 +33,7 @@ from ..common.types import TupleId, VersionedTuple
 from ..net.simnet import SimNode
 from ..net.transport import RpcEndpoint, rpc_endpoint
 from .localstore import LocalStore
-from .pages import CoordinatorRecord, IndexPage, PageId, PageRef
+from .pages import CoordinatorRecord, IndexPage, PageId
 
 #: CPU cost (seconds) of processing one tuple ID during an index-page scan.
 INDEX_SCAN_COST_PER_ID = 0.2e-6

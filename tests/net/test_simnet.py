@@ -193,7 +193,7 @@ class TestFailures:
     def test_failure_listeners_notified(self):
         net = Network(failure_detection_delay=0.1)
         a = net.add_node("a")
-        b = net.add_node("b")
+        net.add_node("b")
         c = net.add_node("c")
         notified = []
         a.add_failure_listener(lambda addr: notified.append(("a", addr)))
@@ -205,7 +205,7 @@ class TestFailures:
 
     def test_failed_node_not_notified_of_others(self):
         net = Network()
-        a = net.add_node("a")
+        net.add_node("a")
         b = net.add_node("b")
         notified = []
         b.add_failure_listener(lambda addr: notified.append(addr))

@@ -22,7 +22,6 @@ from repro.query.physical import (
     PhysAggregate,
     PhysHashJoin,
     PhysRehash,
-    PhysScan,
 )
 
 R = Schema("R", ["r_id", "r_group", "r_value"], key=["r_id"])

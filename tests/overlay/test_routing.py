@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.errors import RoutingError
-from repro.common.hashing import KEY_SPACE_SIZE, ranges_partition_ring, sha1_key
+from repro.common.hashing import ranges_partition_ring, sha1_key
 from repro.overlay.allocation import PastryAllocation
 from repro.overlay.routing import RoutingSnapshot, RoutingTable, physical_address
 

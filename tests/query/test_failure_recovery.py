@@ -11,7 +11,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.common.types import RelationData, Schema
 from repro.optimizer.planner import PlannerOptions
-from repro.query.expressions import AggregateSpec, Count, Min, Sum, col
+from repro.query.expressions import AggregateSpec, Count, Sum, col
 from repro.query.logical import (
     LogicalAggregate,
     LogicalJoin,

@@ -1,0 +1,85 @@
+"""Unit tests for OpFuture: lifecycle, callbacks, latency accounting."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.runtime import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    OpCancelledError,
+    OpFuture,
+)
+
+
+def test_initial_state():
+    future = OpFuture("query", "node-000", label="q")
+    assert future.state == PENDING
+    assert not future.done()
+    assert not future.succeeded()
+    assert future.latency is None
+    assert future.queue_delay is None
+
+
+def test_result_raises_until_done():
+    future = OpFuture("query", "node-000", label="q")
+    with pytest.raises(ReproError, match="did not complete"):
+        future.result()
+    future._mark_submitted(0.0)
+    future._mark_running(1.0)
+    future._set_result(42, 3.0)
+    assert future.state == DONE
+    assert future.result() == 42
+    assert future.queue_delay == 1.0
+    assert future.service_time == 2.0
+    assert future.latency == 3.0
+
+
+def test_failed_future_reraises_the_error():
+    future = OpFuture("retrieve", "node-000", label="R@1")
+    error = ValueError("boom")
+    future._set_error(error, 1.0)
+    assert future.state == FAILED
+    assert future.exception() is error
+    with pytest.raises(ValueError, match="boom"):
+        future.result()
+
+
+def test_cancelled_future_raises_cancelled_error():
+    future = OpFuture("query", "node-000", label="q")
+    future._set_cancelled(1.0)
+    assert future.state == CANCELLED
+    assert future.cancelled()
+    with pytest.raises(OpCancelledError):
+        future.result()
+
+
+def test_done_callbacks_fire_once_in_order():
+    future = OpFuture("query", "node-000", label="q")
+    fired = []
+    future.add_done_callback(lambda f: fired.append(("a", f.state)))
+    future.add_done_callback(lambda f: fired.append(("b", f.state)))
+    future._set_result("rows", 1.0)
+    assert fired == [("a", DONE), ("b", DONE)]
+
+
+def test_callback_added_after_completion_fires_immediately():
+    future = OpFuture("query", "node-000", label="q")
+    future._set_result("rows", 1.0)
+    fired = []
+    future.add_done_callback(fired.append)
+    assert fired == [future]
+
+
+def test_cancel_without_scheduler_is_a_noop():
+    future = OpFuture("query", "node-000", label="q")
+    assert future.cancel() is False
+    assert not future.done()
+
+
+def test_incomplete_message_is_customisable():
+    future = OpFuture("publish", "node-000", label="R")
+    future._incomplete = "publish of 'R' at epoch 3 did not complete"
+    with pytest.raises(ReproError, match="publish of 'R' at epoch 3"):
+        future.result()

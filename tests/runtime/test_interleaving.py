@@ -1,0 +1,238 @@
+"""Interleaved-operation correctness: the contracts concurrency must keep.
+
+Three scenarios the single-operation harness could never produce:
+
+* two queries from *different initiators* in flight at once — participant
+  state must not cross between them (query ids are cluster-unique);
+* a query racing a covering publish — the initiator's semantic result cache
+  must never serve (or store) rows for an epoch the publish superseded;
+* a node failure while two queries are in flight — both initiators must
+  drive their own recovery to a correct answer.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.query.expressions import col
+from repro.query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+from repro.query.reference import evaluate_query, normalise
+from repro.query.expressions import AggregateSpec, Sum
+from repro.storage.client import UpdateBatch
+
+
+def build_relations(num_r: int = 240, num_s: int = 60, groups: int = 12):
+    r = RelationData(Schema("R", ["x", "y", "v"], key=["x"]))
+    s = RelationData(Schema("S", ["u", "yy", "z"], key=["u"]))
+    for i in range(num_r):
+        r.add(f"k{i}", f"g{i % groups}", i)
+    for j in range(num_s):
+        s.add(f"u{j}", f"g{j % groups}", j * 10)
+    return r, s
+
+
+def scan_query(schema, name="scan"):
+    return LogicalQuery(LogicalScan(schema), name=name)
+
+
+class TestConcurrentInitiators:
+    def test_two_queries_from_different_initiators_stay_isolated(self):
+        r, s = build_relations()
+        cluster = Cluster(5)
+        cluster.publish_relations([r, s])
+        relations = {"R": r, "S": s}
+
+        join = LogicalQuery(
+            LogicalJoin(LogicalScan(r.schema), LogicalScan(s.schema), [("y", "yy")]),
+            name="join",
+        )
+        filtered = LogicalQuery(
+            LogicalSelect(LogicalScan(r.schema), col("v").lt(100)), name="filtered"
+        )
+        f1 = cluster.session("node-000").submit_query(join)
+        f2 = cluster.session("node-001").submit_query(filtered)
+        cluster.run()
+
+        # Both in flight at once, each initiator collected exactly its own
+        # result — no rows leaked across the concurrently executing queries.
+        assert f2.admitted_at < f1.completed_at
+        assert normalise(f1.result().rows) == normalise(evaluate_query(join, relations))
+        assert normalise(f2.result().rows) == normalise(
+            evaluate_query(filtered, relations)
+        )
+
+    def test_same_query_everywhere_returns_identical_answers(self):
+        r, s = build_relations()
+        cluster = Cluster(4)
+        cluster.publish_relations([r, s])
+        query = LogicalQuery(
+            LogicalAggregate(
+                LogicalScan(r.schema), ["y"], [AggregateSpec("total", Sum(), col("v"))]
+            ),
+            name="totals",
+        )
+        futures = [
+            cluster.session(address).submit_query(query)
+            for address in cluster.addresses
+        ]
+        cluster.run()
+        expected = normalise(evaluate_query(query, {"R": r, "S": s}))
+        for future in futures:
+            assert normalise(future.result().rows) == expected
+
+
+class TestQueryRacingPublish:
+    def _updated(self, r: RelationData) -> UpdateBatch:
+        """A covering update: rewrite every group's smallest member."""
+        return UpdateBatch(
+            schema=r.schema,
+            modifications=[(f"k{i}", f"g{i % 12}", 10_000 + i) for i in range(12)],
+        )
+
+    def test_result_cache_never_serves_the_stale_epoch(self):
+        r, _s = build_relations()
+        cluster = Cluster(4, cache_config=CacheConfig())
+        cluster.publish_relations([r])
+        query = scan_query(r.schema)
+
+        # Warm the result cache at epoch 1.
+        warm = cluster.query(query)
+        assert cluster.query(query).statistics.result_cache_hit
+
+        # Race: a query (at the durable epoch 1) and a covering publish
+        # (epoch 2) in flight together.
+        racing = cluster.session("node-000").submit_query(query)
+        publish = cluster.session("node-001").submit_publish(self._updated(r))
+        cluster.run()
+        assert publish.result() == 2
+        assert racing.succeeded()
+
+        # After the publish, a query at the new epoch must see the new rows —
+        # whatever the race stored or invalidated, the stale epoch-1 answer
+        # must not come back.
+        result = cluster.query(query)
+        rows = {row[0]: row[2] for row in result.rows}
+        assert rows["k0"] == 10_000
+        assert rows["k11"] == 10_011
+        assert len(result.rows) == len(warm.rows)
+
+        # And queries pinned to the old epoch still see the old values.
+        old = cluster.query(query, epoch=1)
+        old_rows = {row[0]: row[2] for row in old.rows}
+        assert old_rows["k0"] == 0
+
+    def test_racing_fill_is_vetoed_not_mispoisoned(self):
+        """A result completing after a racing publish must not enter the cache."""
+        r, _s = build_relations()
+        cluster = Cluster(4, cache_config=CacheConfig())
+        cluster.publish_relations([r])
+        query = scan_query(r.schema)
+
+        racing = cluster.session("node-000").submit_query(query)
+        cluster.session("node-001").submit_publish(self._updated(r))
+        cluster.run()
+        assert racing.succeeded()
+
+        # The next query at the post-publish epoch runs cold (no poisoned
+        # entry to hit) and returns the published values.
+        result = cluster.query(query)
+        assert not result.statistics.result_cache_hit
+        assert {row[0]: row[2] for row in result.rows}["k0"] == 10_000
+
+    def test_cache_statistics_stay_consistent_under_interleaving(self):
+        r, _s = build_relations()
+        cluster = Cluster(4, cache_config=CacheConfig())
+        cluster.publish_relations([r])
+        query = scan_query(r.schema)
+        cluster.query(query)
+
+        futures = [cluster.session(a).submit_query(query) for a in cluster.addresses]
+        futures.append(cluster.session("node-002").submit_retrieve("R"))
+        cluster.session("node-001").submit_publish(self._updated(r))
+        cluster.run()
+        assert all(f.succeeded() for f in futures)
+
+        stats = cluster.cache_statistics()
+        for tier in ("node", "result"):
+            tier_stats = stats[tier]
+            assert tier_stats.hits >= 0 and tier_stats.misses >= 0
+            assert tier_stats.bytes_saved >= 0
+        # Invalidation happened (the publish dropped covered entries), and the
+        # system still answers correctly afterwards.
+        post = cluster.query(query)
+        assert {row[0]: row[2] for row in post.rows}["k5"] == 10_005
+
+
+class TestAbortFanOut:
+    def test_abort_is_sent_once_per_query_and_node_even_if_rebroadcast(self):
+        r, _s = build_relations()
+        cluster = Cluster(4)
+        cluster.publish_relations([r])
+        service = cluster.query_service("node-000")
+
+        aborts: list[tuple[str, str]] = []
+        original_cast = service.rpc.cast
+
+        def spying_cast(dst, method, payload, size):
+            if method == "query.abort":
+                aborts.append((payload["query_id"], dst))
+            return original_cast(dst, method, payload, size)
+
+        service.rpc.cast = spying_cast
+
+        # Force a double fan-out: every completion broadcast runs twice; the
+        # per-(query_id, node) guard must collapse the repeat to nothing.
+        original_send = service._send_aborts
+
+        def double_send(active, include_self=True):
+            original_send(active, include_self)
+            original_send(active, include_self)
+
+        service._send_aborts = double_send
+        result = cluster.query(scan_query(r.schema))
+        assert len(result.rows) == 240
+        assert len(aborts) == len(set(aborts))
+        assert len(aborts) == result.statistics.participating_nodes
+
+
+class TestFailureWithConcurrentQueries:
+    @pytest.mark.parametrize("recovery_mode", ["incremental", "restart"])
+    def test_node_failure_with_two_queries_in_flight(self, recovery_mode):
+        from repro.query.service import QueryOptions
+
+        r, s = build_relations(num_r=600, num_s=120)
+        cluster = Cluster(6)
+        cluster.network.failure_detection_delay = 0.0002
+        cluster.publish_relations([r, s])
+        cluster.enable_query_processing()
+        relations = {"R": r, "S": s}
+
+        join = LogicalQuery(
+            LogicalJoin(LogicalScan(r.schema), LogicalScan(s.schema), [("y", "yy")]),
+            name="join",
+        )
+        full = scan_query(r.schema, name="full")
+        options = QueryOptions(recovery_mode=recovery_mode)
+        f1 = cluster.session("node-000").submit_query(join, options=options)
+        f2 = cluster.session("node-001").submit_query(full, options=options)
+        victim = cluster.addresses[4]
+        cluster.fail_node(victim, at_time=cluster.now + 0.0004)
+        cluster.run()
+
+        assert f1.succeeded() and f2.succeeded()
+        assert normalise(f1.result().rows) == normalise(evaluate_query(join, relations))
+        assert normalise(f2.result().rows) == normalise(evaluate_query(full, relations))
+        # The failure landed while the queries were in flight and both
+        # initiators drove their own recovery.
+        handled = (
+            f1.result().statistics.failures_handled
+            + f2.result().statistics.failures_handled
+        )
+        assert handled >= 2

@@ -1,0 +1,277 @@
+"""Unit tests for the admission-controlled scheduler.
+
+Driven against a bare simulated network with hand-rolled launches, so every
+admission decision — caps, queueing, policies, rejection, timeout,
+cancellation — is observable without the full cluster stack.
+"""
+
+import pytest
+
+from repro.net.simnet import Network
+from repro.runtime import (
+    QUEUED,
+    RUNNING,
+    AdmissionRejectedError,
+    OpFuture,
+    OpTimeoutError,
+    Scheduler,
+    SchedulerConfig,
+)
+
+
+def make_scheduler(**kwargs):
+    network = Network()
+    return network, Scheduler(network, SchedulerConfig(**kwargs))
+
+
+def submit(scheduler, initiator, started, timeout=None, label=""):
+    future = OpFuture("op", initiator, label=label or initiator)
+    scheduler.submit(future, lambda: started.append(future), timeout=timeout)
+    return future
+
+
+class TestAdmission:
+    def test_single_op_is_admitted_and_launched_synchronously(self):
+        _network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started)
+        assert started == [future]
+        assert future.state == RUNNING
+        assert future.queue_delay == 0.0
+
+    def test_total_cap_queues_excess_submissions(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=2)
+        started = []
+        futures = [submit(scheduler, f"n{i}", started) for i in range(4)]
+        assert [f.state for f in futures] == [RUNNING, RUNNING, QUEUED, QUEUED]
+        assert scheduler.stats.max_in_flight == 2
+        assert scheduler.stats.queued == 2
+
+    def test_completion_admits_the_next_queued_op(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        first = submit(scheduler, "A", started)
+        second = submit(scheduler, "B", started)
+        assert second.state == QUEUED
+        scheduler.complete(first, "done")
+        assert second.state == RUNNING
+        assert started == [first, second]
+        assert first.result() == "done"
+
+    def test_per_initiator_cap_is_independent_of_total(self):
+        _network, scheduler = make_scheduler(
+            max_in_flight_total=8, max_in_flight_per_initiator=1
+        )
+        started = []
+        a1 = submit(scheduler, "A", started)
+        a2 = submit(scheduler, "A", started)
+        b1 = submit(scheduler, "B", started)
+        assert a1.state == RUNNING
+        assert a2.state == QUEUED  # A is at its per-initiator cap
+        assert b1.state == RUNNING  # B is not
+        scheduler.complete(a1, None)
+        assert a2.state == RUNNING
+
+    def test_per_initiator_cap_does_not_block_the_queue_head(self):
+        _network, scheduler = make_scheduler(
+            max_in_flight_total=2, max_in_flight_per_initiator=1
+        )
+        started = []
+        a1 = submit(scheduler, "A", started)
+        b1 = submit(scheduler, "B", started)
+        a2 = submit(scheduler, "A", started)
+        b2 = submit(scheduler, "B", started)
+        scheduler.complete(b1, None)
+        # a2 is the queue head but A is still at its per-initiator cap: the
+        # freed slot must go to b2 rather than idle behind the head.
+        assert b2.state == RUNNING
+        assert a2.state == QUEUED
+        scheduler.complete(a1, None)
+        assert a2.state == RUNNING
+
+    def test_full_queue_rejects_with_admission_error(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1, queue_capacity=1)
+        started = []
+        submit(scheduler, "A", started)
+        submit(scheduler, "B", started)
+        rejected = submit(scheduler, "C", started)
+        assert rejected.done()
+        with pytest.raises(AdmissionRejectedError):
+            rejected.result()
+        assert scheduler.stats.rejected == 1
+
+
+class TestPolicies:
+    def test_fifo_preserves_arrival_order(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1, policy="fifo")
+        started = []
+        running = submit(scheduler, "A", started)
+        queued = [submit(scheduler, "A", started, label=f"A{i}") for i in range(3)]
+        queued.append(submit(scheduler, "B", started, label="B0"))
+        scheduler.complete(running, None)
+        for expected in queued:
+            assert started[-1] is expected
+            scheduler.complete(expected, None)
+
+    def test_fair_round_robins_across_initiators(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1, policy="fair")
+        started = []
+        running = submit(scheduler, "A", started)
+        for i in range(3):
+            submit(scheduler, "A", started, label=f"A{i}")
+        submit(scheduler, "B", started, label="B0")
+        submit(scheduler, "C", started, label="C0")
+        order = []
+        scheduler.complete(running, None)
+        while len(started) > len(order) + 1:
+            op = started[len(order) + 1]
+            order.append(op.label)
+            scheduler.complete(op, None)
+        # One op per initiator before A's backlog drains — B and C are not
+        # starved behind A's burst (FIFO order would be A0 A1 A2 B0 C0).
+        assert order.index("B0") < order.index("A1")
+        assert order.index("C0") < order.index("A2")
+        assert sorted(order) == ["A0", "A1", "A2", "B0", "C0"]
+
+    def test_fair_policy_respects_per_initiator_cap(self):
+        _network, scheduler = make_scheduler(
+            max_in_flight_total=4, max_in_flight_per_initiator=1, policy="fair"
+        )
+        started = []
+        a1 = submit(scheduler, "A", started)
+        a2 = submit(scheduler, "A", started)
+        b1 = submit(scheduler, "B", started)
+        assert a2.state == QUEUED
+        scheduler.complete(b1, None)
+        assert a2.state == QUEUED  # B finishing frees nothing for A
+        scheduler.complete(a1, None)
+        assert a2.state == RUNNING
+
+
+class TestTimeoutsAndCancellation:
+    def test_running_op_times_out(self):
+        network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started, timeout=0.5)
+        network.run()
+        assert future.done()
+        with pytest.raises(OpTimeoutError):
+            future.result()
+        assert scheduler.stats.timed_out == 1
+        assert scheduler.in_flight == 0  # the slot was reclaimed
+
+    def test_late_completion_after_timeout_is_discarded(self):
+        network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started, timeout=0.5)
+        network.run()
+        scheduler.complete(future, "late")
+        with pytest.raises(OpTimeoutError):
+            future.result()
+        assert scheduler.stats.completed == 0
+
+    def test_queued_op_times_out_without_launching(self):
+        network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        submit(scheduler, "A", started)
+        waiting = submit(scheduler, "B", started, timeout=0.5)
+        network.run()
+        assert waiting.done()
+        assert started == [started[0]]  # B never launched
+        assert scheduler.stats.queued == 0
+
+    def test_cancel_queued_op(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        running = submit(scheduler, "A", started)
+        waiting = submit(scheduler, "B", started)
+        assert waiting.cancel() is True
+        assert waiting.cancelled()
+        scheduler.complete(running, None)
+        assert started == [running]  # the cancelled op is skipped at dequeue
+        assert scheduler.stats.cancelled == 1
+
+    def test_cancel_running_op_frees_the_slot(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        running = submit(scheduler, "A", started)
+        waiting = submit(scheduler, "B", started)
+        assert running.cancel() is True
+        assert waiting.state == RUNNING
+        scheduler.complete(running, "late")  # discarded
+        assert running.cancelled()
+
+    def test_cancel_finished_op_returns_false(self):
+        _network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started)
+        scheduler.complete(future, None)
+        assert future.cancel() is False
+
+    def test_completed_op_timer_does_not_idle_the_clock(self):
+        network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started, timeout=60.0)
+        scheduler.complete(future, "fast")
+        network.run()
+        # The moot watchdog was cancelled: the drain neither fires it nor
+        # advances the virtual clock to its deadline.
+        assert future.result() == "fast"
+        assert network.now < 60.0
+        assert scheduler.stats.timed_out == 0
+
+    def test_launch_exception_fails_the_future_and_frees_the_slot(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1)
+
+        def boom() -> None:
+            raise RuntimeError("launch failed")
+
+        future = OpFuture("op", "A")
+        scheduler.submit(future, boom)
+        with pytest.raises(RuntimeError, match="launch failed"):
+            future.result()
+        assert scheduler.stats.failed == 1
+        assert scheduler.in_flight == 0  # the slot came back
+        started = []
+        follow_up = submit(scheduler, "A", started)
+        assert follow_up.state == RUNNING
+
+    def test_launch_exception_from_the_queue_does_not_abort_the_drain(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        running = submit(scheduler, "A", started)
+        failing = OpFuture("op", "B")
+        scheduler.submit(failing, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        trailing = submit(scheduler, "C", started)
+        # Completing the running op admits the failing launch from the queue;
+        # its error must resolve only its own future, then C proceeds.
+        scheduler.complete(running, None)
+        with pytest.raises(RuntimeError):
+            failing.result()
+        assert trailing.state == RUNNING
+
+
+class TestStats:
+    def test_counters_add_up(self):
+        _network, scheduler = make_scheduler(max_in_flight_total=2)
+        started = []
+        futures = [submit(scheduler, f"n{i % 3}", started) for i in range(6)]
+        index = 0
+        while index < len(started):  # completing admits more, extending `started`
+            scheduler.complete(started[index], None)
+            index += 1
+        stats = scheduler.stats.snapshot()
+        assert stats["submitted"] == 6
+        assert stats["completed"] == 6
+        assert stats["admitted"] == 6
+        assert stats["in_flight"] == 0 and stats["queued"] == 0
+        assert stats["max_in_flight"] == 2
+        assert stats["peak_queued"] == 4
+        assert sum(stats["admitted_by_initiator"].values()) == 6
+        assert all(f.done() for f in futures)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_in_flight_total=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="lifo")

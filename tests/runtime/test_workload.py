@@ -1,0 +1,162 @@
+"""Workload drivers: determinism, record keeping, percentile math."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.runtime import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    SchedulerConfig,
+    percentile,
+)
+
+
+def relation(rows: int = 100) -> RelationData:
+    data = RelationData(Schema("R", ["k", "v"], key=["k"]))
+    for i in range(rows):
+        data.add(f"k{i:04d}", i)
+    return data
+
+
+def build_cluster(**kwargs) -> Cluster:
+    cluster = Cluster(4, **kwargs)
+    cluster.publish_relations([relation()])
+    return cluster
+
+
+def retrieve_op(session, _client, _op):
+    return session.submit_retrieve("R")
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_empty_and_validation(self):
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+
+class TestClosedLoop:
+    def test_runs_every_client_to_completion(self):
+        cluster = build_cluster()
+        driver = ClosedLoopDriver(
+            cluster.runtime, num_clients=3, make_op=retrieve_op, ops_per_client=4
+        )
+        report = driver.run()
+        assert len(report.records) == 12
+        assert report.completed == 12 and report.errors == 0
+        assert report.throughput > 0
+        assert all(r.latency > 0 for r in report.records)
+        assert report.p50_latency <= report.p99_latency
+        # Clients are spread over distinct initiating nodes.
+        assert len({r.client for r in report.records}) == 3
+
+    def test_closed_loop_never_exceeds_one_op_per_client(self):
+        cluster = build_cluster()
+        driver = ClosedLoopDriver(
+            cluster.runtime, num_clients=2, make_op=retrieve_op, ops_per_client=3
+        )
+        report = driver.run()
+        # Per client, operations are strictly sequential in simulated time.
+        for client in range(2):
+            ops = sorted(
+                (r for r in report.records if r.client == client),
+                key=lambda r: r.submitted_at,
+            )
+            for earlier, later in zip(ops, ops[1:]):
+                assert later.submitted_at >= earlier.completed_at
+
+    def test_think_time_spaces_submissions(self):
+        cluster = build_cluster()
+        driver = ClosedLoopDriver(
+            cluster.runtime, num_clients=1, make_op=retrieve_op,
+            ops_per_client=3, think_time=0.05,
+        )
+        report = driver.run()
+        ops = sorted(report.records, key=lambda r: r.submitted_at)
+        for earlier, later in zip(ops, ops[1:]):
+            assert later.submitted_at - earlier.completed_at >= 0.05
+
+    def test_deterministic_across_identical_clusters(self):
+        def run_once():
+            cluster = build_cluster()
+            driver = ClosedLoopDriver(
+                cluster.runtime, num_clients=4, make_op=retrieve_op, ops_per_client=3
+            )
+            report = driver.run()
+            return [(r.client, r.submitted_at, r.completed_at) for r in report.records]
+
+        assert run_once() == run_once()
+
+    def test_summary_row_is_table_ready(self):
+        cluster = build_cluster()
+        report = ClosedLoopDriver(
+            cluster.runtime, num_clients=2, make_op=retrieve_op, ops_per_client=2
+        ).run()
+        summary = report.summary()
+        assert summary["ops"] == 4
+        assert summary["completed"] == 4
+        assert summary["throughput_ops_s"] == pytest.approx(report.throughput)
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_are_deterministic_per_seed(self):
+        cluster = build_cluster()
+        driver = OpenLoopDriver(
+            cluster.runtime, make_op=retrieve_op, num_ops=10,
+            arrival_rate=500.0, seed=7,
+        )
+        twin = OpenLoopDriver(
+            build_cluster().runtime, make_op=retrieve_op, num_ops=10,
+            arrival_rate=500.0, seed=7,
+        )
+        assert driver.arrival_offsets() == twin.arrival_offsets()
+        offsets = driver.arrival_offsets()
+        assert len(offsets) == 10
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+
+    def test_all_arrivals_complete(self):
+        cluster = build_cluster()
+        report = OpenLoopDriver(
+            cluster.runtime, make_op=retrieve_op, num_ops=12, arrival_rate=1000.0
+        ).run()
+        assert report.completed == 12 and report.errors == 0
+        assert report.duration > 0
+
+    def test_load_shedding_does_not_overflow_the_stack(self):
+        cluster = build_cluster(
+            scheduler_config=SchedulerConfig(max_in_flight_total=1, queue_capacity=0)
+        )
+        driver = ClosedLoopDriver(
+            cluster.runtime, num_clients=2, make_op=retrieve_op, ops_per_client=1500
+        )
+        # Most submissions are rejected synchronously; the continuation is
+        # deferred through the event queue, so 3000 chained ops must not
+        # recurse one stack frame each.
+        report = driver.run()
+        assert len(report.records) == 3000
+        assert report.errors > 0
+        assert report.completed + report.errors == 3000
+        assert report.scheduler["rejected"] == report.errors
+
+    def test_overload_queues_behind_the_admission_cap(self):
+        cluster = build_cluster(
+            scheduler_config=SchedulerConfig(max_in_flight_total=2)
+        )
+        report = OpenLoopDriver(
+            cluster.runtime, make_op=retrieve_op, num_ops=16, arrival_rate=1e6
+        ).run()
+        assert report.completed == 16
+        assert report.scheduler["max_in_flight"] <= 2
+        assert report.scheduler["peak_queued"] > 0
+        assert report.mean_queue_delay > 0

@@ -8,7 +8,6 @@ from repro.storage.pages import (
     CoordinatorRecord,
     IndexPage,
     PageId,
-    PageRef,
     catalog_key,
     choose_page_count,
     coordinator_key,
