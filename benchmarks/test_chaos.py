@@ -1,0 +1,42 @@
+"""Chaos benchmark: availability and recovery latency under each fault mix.
+
+Beyond the paper's single-failure experiment (Figure 21), this reports how
+the full system behaves under crash-restart churn, partitions, packet-level
+message chaos and slow nodes — with the invariant checkers asserting that no
+mix ever trades correctness for availability.
+"""
+
+from repro.bench.harness import CHAOS_FAULT_MIXES, format_table, run_chaos_experiment
+
+
+def test_chaos_fault_mixes():
+    rows = run_chaos_experiment(seeds=(0, 1, 2))
+    print()
+    print(format_table(rows))
+
+    by_mix: dict[str, list[dict]] = {}
+    for row in rows:
+        by_mix.setdefault(row["mix"], []).append(row)
+    assert set(by_mix) == set(CHAOS_FAULT_MIXES)
+
+    # Correctness is non-negotiable under every mix.
+    for row in rows:
+        assert row["violations"] == 0, f"{row['mix']} seed {row['seed']}: invariants violated"
+
+    # A fault-free run acknowledges everything.
+    for row in by_mix["clean"]:
+        assert row["availability"] == 1.0
+        assert row["recovery_s"] == 0.0
+
+    # Faulty mixes may fail the crashed initiators' own operations, but the
+    # cluster keeps serving: availability stays well above the floor and the
+    # virtual clock reaches quiescence (recovery completes).
+    for mix, mix_rows in by_mix.items():
+        if mix == "clean":
+            continue
+        mean_availability = sum(r["availability"] for r in mix_rows) / len(mix_rows)
+        assert mean_availability >= 0.5, f"{mix}: availability collapsed"
+        assert all(r["recovery_s"] > 0 for r in mix_rows)
+
+    # Message chaos manifests as transport retransmissions, not as loss.
+    assert any(r["retransmits"] > 0 for r in by_mix["message-chaos"])

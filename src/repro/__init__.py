@@ -8,4 +8,4 @@ network simulator.  See DESIGN.md for the system inventory and EXPERIMENTS.md
 for the reproduced evaluation.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

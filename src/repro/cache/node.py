@@ -94,6 +94,10 @@ class NodeCache:
     def bytes_used(self) -> int:
         return self.store.bytes_used
 
+    def clear(self) -> None:
+        """Drop every entry (a crash-restarted node's cache memory is gone)."""
+        self.store.clear()
+
     # -- coordinator records ---------------------------------------------------
 
     def get_coordinator(self, relation: str, epoch: int) -> "CoordinatorRecord | None":

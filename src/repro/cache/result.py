@@ -146,6 +146,19 @@ class SemanticResultCache:
     def stats(self) -> CacheStats:
         return self.store.stats
 
+    def clear(self) -> None:
+        """Drop every entry and all publish knowledge (crash-restart).
+
+        ``publish_seq`` keeps counting monotonically so any comparison taken
+        across the restart still reads as "something changed".
+        """
+        self.store.clear()
+        self._by_fingerprint.clear()
+        self._published.clear()
+        self._attributed_epochs.clear()
+        self._wildcard_epochs.clear()
+        self.publish_seq += 1
+
     def _on_entry_removed(self, entry) -> None:
         epochs = self._by_fingerprint.get(entry.key[1])
         if epochs is not None:

@@ -97,6 +97,21 @@ class Cluster:
         self.durable_epoch = 0
         self._runtime: Runtime | None = None
         self._query_services: dict[str, object] = {}
+        #: Nodes currently down (crashed and not yet restarted); maintained by
+        #: the network's crash hook at the instant of the crash, so cluster
+        #: bookkeeping never trails the simulator's own liveness.
+        self.failed_addresses: set[str] = set()
+        #: Per-relation tail of the publish chain: concurrent publishes to the
+        #: same relation are serialised so each version builds on its
+        #: committed predecessor (see :meth:`Session.submit_publish`).
+        self._publish_tails: dict[str, object] = {}
+        #: The publish currently *executing* per relation (a chained entry
+        #: whose predecessor died before starting re-chains onto this).
+        self._publishing: dict[str, object] = {}
+        #: Highest epoch acknowledged per relation — the floor the next
+        #: publish of that relation builds on even when every reachable
+        #: catalog replica is stale (e.g. just after a rejoin).
+        self._acked_epochs: dict[str, int] = {}
         # The optimizer's catalog is maintained as relations are published.
         from .optimizer.catalog import Catalog
 
@@ -128,6 +143,7 @@ class Cluster:
                 sim_node, membership, gossip, storage, client,
                 cache=node_cache, result_cache=result_cache,
             )
+        self.network.add_crash_listener(self._on_node_crash)
 
     # ------------------------------------------------------------------ access
 
@@ -245,11 +261,59 @@ class Cluster:
     # ------------------------------------------------------------------ failures
 
     def fail_node(self, address: str, at_time: float | None = None) -> None:
-        """Crash a node immediately or at an absolute simulated time."""
+        """Crash a node immediately or at an absolute simulated time.
+
+        A scheduled crash is bound to the node's current incarnation: if the
+        node crashes and restarts before ``at_time``, the stale schedule does
+        not kill the restarted process.  :attr:`failed_addresses`,
+        ``Network.live_nodes`` and — once the detection delay elapsed — every
+        live node's membership view agree on the outcome.
+        """
         if at_time is None:
             self.network.fail_node(address)
         else:
             self.network.fail_node_at(address, at_time)
+
+    def _on_node_crash(self, address: str) -> None:
+        """Crash-instant bookkeeping (fires from the network, no detection lag)."""
+        self.failed_addresses.add(address)
+        if self._runtime is not None:
+            self._runtime.scheduler.fail_initiator_ops(
+                address,
+                ReproError(f"initiator {address!r} crashed with the operation in flight"),
+            )
+
+    def restart_node(self, address: str, rejoin: bool = True) -> None:
+        """Crash-*restart*: bring a failed node back and re-enter membership.
+
+        The restarted process keeps its durable local store (the B+-tree
+        databases of the storage service — BerkeleyDB's role in the paper's
+        prototype) and replays from it; everything that lived in volatile
+        memory is gone: outstanding RPC calls, in-flight query state, and the
+        node's caches.  With ``rejoin`` (the default) the node announces
+        itself to its configured seed peers — every live node adds it back to
+        its membership view, and the first reply rebuilds the rejoiner's own
+        routing table — and pulls the current epoch through the gossip layer.
+        Drive the event loop (:meth:`run`) to let the rejoin complete, and run
+        :meth:`run_background_replication` to restore the replication factor
+        for the ranges the node inherits back.
+        """
+        cluster_node = self.nodes[address]
+        self.network.restart_node(address)
+        self.failed_addresses.discard(address)
+        rpc_endpoint(cluster_node.node).reset_volatile()
+        cluster_node.storage_client.reset_volatile()
+        if cluster_node.cache is not None:
+            cluster_node.cache.clear()
+        if cluster_node.result_cache is not None:
+            cluster_node.result_cache.clear()
+        query_service = self._query_services.get(address)
+        if query_service is not None:
+            query_service.reset_volatile()
+        if rejoin:
+            peers = [peer for peer in self.addresses if peer != address]
+            cluster_node.membership.rejoin(peers)
+            cluster_node.gossip.pull(peers)
 
     # ------------------------------------------------------- background repair
 

@@ -37,6 +37,11 @@ _TAG_FLOAT = 3
 _TAG_STR = 4
 _TAG_BYTES = 5
 _TAG_TUPLE = 6
+#: Integers whose two's-complement encoding exceeds 255 bytes (≈ ±2**2035).
+#: ``_TAG_INT`` carries a one-byte length, which such values overflow — they
+#: were unencodable before this tag existed, so adding it changes no wire
+#: bytes for previously-encodable values.
+_TAG_BIGINT = 7
 
 
 class SerializationError(ReproError):
@@ -51,6 +56,8 @@ def encode_value(value: Value) -> bytes:
         return bytes([_TAG_BOOL, 1 if value else 0])
     if isinstance(value, int):
         encoded = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        if len(encoded) > 255:
+            return bytes([_TAG_BIGINT]) + struct.pack(">I", len(encoded)) + encoded
         return bytes([_TAG_INT, len(encoded)]) + encoded
     if isinstance(value, float):
         return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
@@ -79,6 +86,11 @@ def decode_value(payload: bytes, offset: int = 0) -> tuple[Value, int]:
     if tag == _TAG_INT:
         length = payload[offset]
         offset += 1
+        raw = payload[offset : offset + length]
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _TAG_BIGINT:
+        (length,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
         raw = payload[offset : offset + length]
         return int.from_bytes(raw, "big", signed=True), offset + length
     if tag == _TAG_FLOAT:

@@ -1,0 +1,271 @@
+"""System-wide invariant checkers for chaos scenarios.
+
+Each checker inspects a finished :class:`~repro.faults.scenarios.ScenarioRunner`
+(the cluster at quiescence plus the runner's bookkeeping of everything it
+submitted) and returns a list of human-readable violation strings — empty
+when the invariant holds.  The checkers are intentionally omniscient: they
+read node-local stores and scheduler internals directly, which a real
+deployment could not, because their job is to catch bugs in the protocols,
+not to be implementable as production probes.
+
+The workload's rows are self-identifying — every row's key carries the tag of
+the publish batch it belongs to — so observed state can be *decomposed* into
+whole batches.  That is what lets the checkers distinguish a legitimately
+absent batch (its publisher crashed before the catalog commit) from a torn
+one (some rows present, some missing), without having to know which epoch an
+unacknowledged publish was assigned.
+
+The invariants:
+
+* **operation conservation** — every submitted operation resolved exactly
+  once; nothing is queued or in flight at quiescence.  (Evaluated first:
+  later checkers issue their own verification operations.)
+* **durable-epoch monotonicity** — the cluster's durable epoch never moved
+  backwards across completions.
+* **membership agreement** — all live nodes' membership views agree with
+  each other and with the simulator's ground-truth liveness.
+* **acked-publish durability** — every acknowledged publish is retrievable
+  at its epoch after all faults healed, with exact batch-level atomicity.
+* **replication restoration** — background repair brought (almost) every
+  tuple back to full replication; no tuple is down to a single copy.
+* **state integrity & reference byte-equality** — the durable-epoch state
+  decomposes into the initial rows plus whole committed batches, and
+  distributed query answers serialize to the same bytes as the single-node
+  reference executor over that state.
+* **cache coherence** — with caching enabled, cached answers byte-equal
+  fresh cache-bypassing executions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..common.serialization import encode_values
+from ..overlay.routing import physical_address
+from ..query.reference import evaluate_query, normalise
+from ..query.service import QueryOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenarios import ScenarioRunner
+
+
+def result_bytes(rows: Iterable[Sequence]) -> bytes:
+    """Canonical byte serialization of a result set (order-insensitive)."""
+    return b"".join(encode_values(row) for row in normalise(rows))
+
+
+def _decomposition_violations(
+    runner: "ScenarioRunner", relation: str, rows, context: str
+) -> tuple[list[str], dict[str, set]]:
+    """Validate that ``rows`` = initial rows + whole publish batches."""
+    violations: list[str] = []
+    groups, unknown = runner.decompose(relation, rows)
+    if unknown:
+        violations.append(
+            f"{context}: {len(unknown)} rows of {relation!r} belong to no known batch"
+        )
+    initial = set(runner.initial_rows(relation))
+    if groups.get("init", set()) != initial:
+        violations.append(
+            f"{context}: initial rows of {relation!r} are damaged "
+            f"({len(groups.get('init', set()))} present, {len(initial)} expected)"
+        )
+    batches = runner.batch_rows(relation)
+    for tag, present in groups.items():
+        if tag == "init":
+            continue
+        if present != batches[tag]:
+            violations.append(
+                f"{context}: batch {tag} of {relation!r} is torn — "
+                f"{len(present)}/{len(batches[tag])} rows present"
+            )
+    return violations, groups
+
+
+def check_operation_conservation(runner: "ScenarioRunner") -> list[str]:
+    violations: list[str] = []
+    stats = runner.cluster.runtime.scheduler.stats
+    resolved = (
+        stats.completed + stats.failed + stats.rejected + stats.cancelled + stats.timed_out
+    )
+    if stats.submitted != resolved:
+        violations.append(
+            f"conservation: {stats.submitted} submitted but {resolved} resolved "
+            f"({stats.snapshot()})"
+        )
+    if stats.in_flight != 0 or stats.queued != 0:
+        violations.append(
+            f"conservation: quiescent cluster still has {stats.in_flight} in-flight "
+            f"and {stats.queued} queued operations"
+        )
+    for op in runner.ops:
+        if op.future is None:
+            violations.append(f"conservation: op{op.index} was never submitted")
+        elif not op.future.done():
+            violations.append(
+                f"conservation: {op.future.describe()} submitted at t={op.at:.4f} "
+                f"never resolved (state {op.future.state!r})"
+            )
+    return violations
+
+
+def check_durable_epoch_monotonic(runner: "ScenarioRunner") -> list[str]:
+    samples = runner.epoch_samples
+    for previous, current in zip(samples, samples[1:]):
+        if current < previous:
+            return [f"durable epoch moved backwards: {previous} -> {current}"]
+    return []
+
+
+def check_membership_agreement(runner: "ScenarioRunner") -> list[str]:
+    violations: list[str] = []
+    cluster = runner.cluster
+    live = sorted(cluster.live_addresses())
+    down = sorted(cluster.failed_addresses)
+    if set(live) & set(down):
+        violations.append(
+            f"membership: failed_addresses {down} overlaps live nodes {live}"
+        )
+    for address in live:
+        members = sorted(cluster.nodes[address].membership.members())
+        if members != live:
+            violations.append(
+                f"membership: {address} sees {members}, ground truth is {live}"
+            )
+    snapshot_nodes = sorted({physical_address(entry) for entry in cluster.snapshot().nodes})
+    if snapshot_nodes != live:
+        violations.append(
+            f"membership: routing snapshot covers {snapshot_nodes}, "
+            f"ground truth is {live}"
+        )
+    return violations
+
+
+def check_acked_publishes_durable(runner: "ScenarioRunner") -> list[str]:
+    violations: list[str] = []
+    for relation in runner.relations:
+        acked = runner.acked_publishes(relation)
+        if not acked:
+            continue
+        committed = runner.committed_epochs(relation)
+        acked_by_epoch = {epoch: tag for tag, epoch, _rows in acked}
+        for tag, epoch, rows in acked:
+            if epoch not in committed:
+                violations.append(
+                    f"acked publish {tag} of {relation!r}@{epoch} has no committed "
+                    f"catalog entry on any live node"
+                )
+                continue
+            retrieved = runner.cluster.retrieve(relation, epoch=epoch)
+            context = f"retrieve {relation!r}@{epoch}"
+            batch_violations, groups = _decomposition_violations(
+                runner, relation, retrieved.rows(), context
+            )
+            violations.extend(batch_violations)
+            if rows - groups.get(tag, set()):
+                violations.append(
+                    f"{context}: the acked batch {tag} itself is missing rows"
+                )
+            for other_epoch, other_tag in acked_by_epoch.items():
+                present = other_tag in groups
+                if other_epoch <= epoch and not present:
+                    violations.append(
+                        f"{context}: earlier acked batch {other_tag}@{other_epoch} lost"
+                    )
+                if other_epoch > epoch and present:
+                    violations.append(
+                        f"{context}: later batch {other_tag}@{other_epoch} visible "
+                        f"at epoch {epoch}"
+                    )
+    return violations
+
+
+def check_replication_restored(
+    runner: "ScenarioRunner",
+    min_copies: int = 2,
+    full_fraction: float = 0.98,
+) -> list[str]:
+    """Every tuple is on ≥ ``min_copies`` live nodes; almost all at full factor.
+
+    The Bloom-filter exchange of the background replicator admits a small
+    false-positive rate (a member may wrongly believe it already holds an
+    item), so a handful of tuples may sit one copy short of the full
+    replication factor — but no tuple may ever be down to a single copy.
+    """
+    violations: list[str] = []
+    cluster = runner.cluster
+    live = cluster.live_addresses()
+    target = min(cluster.replication_factor, len(live))
+    for relation in runner.relations:
+        holders: dict[tuple, set[str]] = {}
+        for address in live:
+            for tup in cluster.storage(address).all_local_tuples(relation):
+                key = (tup.tuple_id.key_values, tup.tuple_id.epoch)
+                holders.setdefault(key, set()).add(address)
+        if not holders:
+            continue
+        fewest = min(len(nodes) for nodes in holders.values())
+        if fewest < min(min_copies, target):
+            violations.append(
+                f"replication: a tuple of {relation!r} is down to {fewest} live copies"
+            )
+        fully = sum(1 for nodes in holders.values() if len(nodes) >= target)
+        if fully < full_fraction * len(holders):
+            violations.append(
+                f"replication: only {fully}/{len(holders)} tuples of {relation!r} "
+                f"are back to {target} copies"
+            )
+    return violations
+
+
+def check_query_reference_equality(runner: "ScenarioRunner") -> list[str]:
+    violations: list[str] = []
+    validated: set[str] = set()
+    for relation, query in runner.verification_queries():
+        if relation not in validated:
+            validated.add(relation)
+            retrieval = runner.observed_retrieval(relation)
+            state_violations, _groups = _decomposition_violations(
+                runner, relation, retrieval.rows(), "durable state"
+            )
+            violations.extend(state_violations)
+        expected_data = runner.observed_relation_data(relation)
+        reference = evaluate_query(query, {relation: expected_data})
+        result = runner.cluster.query(query)
+        if result_bytes(result.rows) != result_bytes(reference):
+            violations.append(
+                f"query {query.name!r} over {relation!r} diverged from the "
+                f"reference executor: {len(result.rows)} rows vs "
+                f"{len(reference)} expected"
+            )
+    return violations
+
+
+def check_cache_coherence(runner: "ScenarioRunner") -> list[str]:
+    if not runner.cluster.cache_enabled:
+        return []
+    violations: list[str] = []
+    for _relation, query in runner.verification_queries():
+        fresh = runner.cluster.query(query, options=QueryOptions(use_result_cache=False))
+        cached = runner.cluster.query(query, options=QueryOptions(use_result_cache=True))
+        warm = runner.cluster.query(query, options=QueryOptions(use_result_cache=True))
+        baseline = result_bytes(fresh.rows)
+        if result_bytes(cached.rows) != baseline or result_bytes(warm.rows) != baseline:
+            violations.append(
+                f"cache incoherence: {query.name!r} cached answer differs from "
+                f"a cache-bypassing execution after faults"
+            )
+    return violations
+
+
+#: Checkers applied by default to every scenario, in evaluation order
+#: (conservation first — later checkers submit verification operations).
+ALL_CHECKERS = (
+    check_operation_conservation,
+    check_durable_epoch_monotonic,
+    check_membership_agreement,
+    check_acked_publishes_durable,
+    check_replication_restored,
+    check_query_reference_equality,
+    check_cache_coherence,
+)

@@ -1,0 +1,515 @@
+"""Seeded chaos scenarios: randomized workload + fault schedules, replayable.
+
+A :class:`ScenarioRunner` composes the runtime layer's multi-tenant workload
+(concurrent publishes, retrievals and queries from many initiators) with a
+randomized fault schedule — crash-restarts, bidirectional partitions with
+scheduled heals, message-chaos windows (loss / duplication / delay /
+reordering) and transient slow nodes — derived entirely from one
+``random.Random(seed)``.  The virtual clock then runs to quiescence, the
+cluster is repaired (partitions healed, crashed nodes restarted and rejoined,
+replication factor restored) and the invariant checkers of
+:mod:`repro.faults.invariants` are evaluated.
+
+Because the simulator is deterministic, a failing scenario replays exactly::
+
+    PYTHONPATH=src python -m repro.faults.scenarios --seed 1234
+
+which is also what ``python -m repro.faults.scenarios`` prints alongside any
+violation, and what the seed-sweep test tells you to run when a seed fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass, field, replace
+
+from ..cluster import Cluster
+from ..common.types import RelationData, Schema
+from ..query.expressions import AggregateSpec, Count, Sum, col
+from ..query.logical import LogicalAggregate, LogicalProject, LogicalQuery, LogicalScan
+from ..runtime.futures import OpFuture
+from ..storage.client import UpdateBatch
+from .injector import FaultInjector, LinkChaos
+
+#: Tag separating the batch a row belongs to from its per-row suffix; the
+#: invariant checkers use it to decompose observed state into whole batches.
+ROW_TAG_SEPARATOR = ":"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Shape of one chaos scenario (fault counts are upper bounds)."""
+
+    num_nodes: int = 6
+    replication_factor: int = 3
+    num_relations: int = 2
+    initial_rows: int = 48
+    #: Mixed operations (publish / retrieve / query) submitted over the window.
+    num_ops: int = 14
+    op_window: float = 0.8
+    publish_rows: int = 10
+    #: Fault budget.
+    crashes: int = 1
+    partitions: int = 1
+    chaos_windows: int = 1
+    slow_nodes: int = 1
+    #: Ceilings for the chaos-window probabilities.
+    max_drop: float = 0.2
+    max_duplicate: float = 0.15
+    max_delay: float = 0.0015
+    detection_delay: float = 0.002
+    cache: bool = False
+
+    def fault_free(self) -> "ScenarioConfig":
+        return replace(self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0)
+
+
+@dataclass
+class ScheduledOp:
+    """One workload operation the scenario submitted (or will submit)."""
+
+    index: int
+    kind: str
+    relation: str
+    initiator: str
+    at: float
+    rows: tuple = ()
+    query: LogicalQuery | None = None
+    future: OpFuture | None = None
+
+    @property
+    def tag(self) -> str:
+        return f"op{self.index}"
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario run."""
+
+    seed: int
+    config: ScenarioConfig
+    violations: list[str]
+    ops_submitted: int = 0
+    ops_acked: int = 0
+    ops_failed: int = 0
+    first_fault_at: float | None = None
+    last_heal_at: float | None = None
+    quiesced_at: float = 0.0
+    mean_latency: float = 0.0
+    scheduler: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted operations that completed successfully."""
+        if self.ops_submitted == 0:
+            return 1.0
+        return self.ops_acked / self.ops_submitted
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Virtual time from the first fault until the system quiesced."""
+        if self.first_fault_at is None:
+            return 0.0
+        return max(0.0, self.quiesced_at - self.first_fault_at)
+
+    def replay_command(self) -> str:
+        return f"PYTHONPATH=src python -m repro.faults.scenarios --seed {self.seed}"
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ops": self.ops_submitted,
+            "acked": self.ops_acked,
+            "failed": self.ops_failed,
+            "availability": self.availability,
+            "mean_latency_s": self.mean_latency,
+            "recovery_s": self.recovery_seconds,
+            "violations": len(self.violations),
+        }
+
+
+class ScenarioRunner:
+    """Build, execute and check one seeded chaos scenario."""
+
+    def __init__(self, seed: int, config: ScenarioConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or ScenarioConfig()
+        #: Schedule randomness; the injector runs on a derived stream so the
+        #: fault *schedule* and the per-message fates do not perturb each
+        #: other as the plan grows.
+        self.rng = random.Random(seed)
+        self.cluster: Cluster | None = None
+        self.injector: FaultInjector | None = None
+        self.ops: list[ScheduledOp] = []
+        self.relations: list[str] = []
+        self.epoch_samples: list[int] = []
+        self._schemas: dict[str, Schema] = {}
+        self._initial_rows: dict[str, list[tuple]] = {}
+        self._batch_rows: dict[str, dict[str, set[tuple]]] = {}
+        self._observed: dict[str, object] = {}
+        self._first_fault_at: float | None = None
+        self._last_heal_at: float | None = None
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_cluster(self) -> None:
+        cache_config = None
+        if self.config.cache:
+            from ..cache import CacheConfig
+
+            cache_config = CacheConfig()
+        self.cluster = Cluster(
+            self.config.num_nodes,
+            replication_factor=self.config.replication_factor,
+            cache_config=cache_config,
+        )
+        self.cluster.network.failure_detection_delay = self.config.detection_delay
+        relations = []
+        for index in range(self.config.num_relations):
+            name = f"chaos_r{index}"
+            schema = Schema(name, ["k", "s", "v"], key=["k"])
+            data = RelationData(schema)
+            for row_index in range(self.config.initial_rows):
+                data.add(
+                    f"init{ROW_TAG_SEPARATOR}{row_index}",
+                    f"g{row_index % 7}",
+                    row_index * 3 + index,
+                )
+            relations.append(data)
+            self.relations.append(name)
+            self._schemas[name] = schema
+            self._initial_rows[name] = [tuple(row) for row in data.rows]
+            self._batch_rows[name] = {}
+        self.cluster.publish_relations(relations)
+        self.cluster.enable_query_processing()
+        # Chaos starts only after the initial state is cleanly in place.
+        self.injector = FaultInjector(
+            self.cluster.network, seed=self.rng.getrandbits(32)
+        )
+
+    def _plan_ops(self) -> None:
+        rng = self.rng
+        for index in range(self.config.num_ops):
+            at = rng.uniform(0.01, self.config.op_window)
+            relation = rng.choice(self.relations)
+            initiator = rng.choice(self.cluster.addresses)
+            kind = rng.choices(("publish", "retrieve", "query"), (0.35, 0.25, 0.4))[0]
+            op = ScheduledOp(index, kind, relation, initiator, at)
+            if kind == "publish":
+                rows = tuple(
+                    (
+                        f"{op.tag}{ROW_TAG_SEPARATOR}{row_index}",
+                        f"g{rng.randrange(7)}",
+                        rng.randrange(1000),
+                    )
+                    for row_index in range(self.config.publish_rows)
+                )
+                op.rows = rows
+                self._batch_rows[relation][op.tag] = set(rows)
+            elif kind == "query":
+                op.query = rng.choice(self._query_shapes(relation))
+            self.ops.append(op)
+            self.cluster.network.schedule_at(at, lambda op=op: self._submit(op))
+
+    def _query_shapes(self, relation: str) -> list[LogicalQuery]:
+        schema = self._schemas[relation]
+        return [
+            LogicalQuery(LogicalScan(schema), name=f"scan_{relation}"),
+            LogicalQuery(
+                LogicalAggregate(
+                    LogicalScan(schema),
+                    ["s"],
+                    [
+                        AggregateSpec("n", Count(), col("v")),
+                        AggregateSpec("total", Sum(), col("v")),
+                    ],
+                ),
+                name=f"agg_{relation}",
+            ),
+            LogicalQuery(
+                LogicalProject(LogicalScan(schema), [("k", col("k")), ("v", col("v"))]),
+                name=f"proj_{relation}",
+            ),
+        ]
+
+    def _submit(self, op: ScheduledOp) -> None:
+        session = self.cluster.session(op.initiator)
+        if op.kind == "publish":
+            batch = UpdateBatch(schema=self._schemas[op.relation], inserts=list(op.rows))
+            op.future = session.submit_publish(batch)
+        elif op.kind == "retrieve":
+            op.future = session.submit_retrieve(op.relation)
+        else:
+            op.future = session.submit_query(op.query)
+        op.future.add_done_callback(
+            lambda _future: self.epoch_samples.append(self.cluster.durable_epoch)
+        )
+
+    # -- fault schedule ----------------------------------------------------------
+
+    def _note_fault(self, at: float) -> None:
+        if self._first_fault_at is None or at < self._first_fault_at:
+            self._first_fault_at = at
+
+    def _note_heal(self, at: float) -> None:
+        if self._last_heal_at is None or at > self._last_heal_at:
+            self._last_heal_at = at
+
+    def _plan_crashes(self) -> None:
+        rng = self.rng
+        network = self.cluster.network
+        busy_until = 0.05
+        for _ in range(self.config.crashes):
+            start = max(rng.uniform(0.05, self.config.op_window), busy_until)
+            downtime = rng.uniform(0.08, 0.2)
+            victim = rng.choice(self.cluster.addresses)
+            restart_at = start + downtime
+            # Crashes are serialised so at most one node is down at a time —
+            # fewer than the replication factor, which is what bounds the
+            # blast radius an acknowledged publish must survive.
+            busy_until = restart_at + 4 * self.config.detection_delay
+            network.schedule_at(start, lambda victim=victim: self.cluster.fail_node(victim))
+            network.schedule_at(
+                restart_at, lambda victim=victim: self.cluster.restart_node(victim)
+            )
+            self._note_fault(start)
+            self._note_heal(restart_at)
+
+    def _plan_partitions(self) -> None:
+        rng = self.rng
+        network = self.cluster.network
+        busy_until = 0.05
+        for _ in range(self.config.partitions):
+            start = max(rng.uniform(0.05, self.config.op_window), busy_until)
+            duration = rng.uniform(0.05, 0.15)
+            busy_until = start + duration + 0.01
+            members = list(self.cluster.addresses)
+            rng.shuffle(members)
+            cut = rng.randrange(1, len(members))
+            side_a, side_b = members[:cut], members[cut:]
+            network.schedule_at(
+                start,
+                lambda a=tuple(side_a), b=tuple(side_b), d=duration: self.injector.partition(
+                    a, b, heal_after=d
+                ),
+            )
+            self._note_fault(start)
+            self._note_heal(start + duration)
+
+    def _plan_chaos_windows(self) -> None:
+        rng = self.rng
+        for _ in range(self.config.chaos_windows):
+            start = rng.uniform(0.02, self.config.op_window)
+            duration = rng.uniform(0.05, 0.2)
+            chaos = LinkChaos(
+                drop=rng.uniform(0.02, self.config.max_drop),
+                duplicate=rng.uniform(0.0, self.config.max_duplicate),
+                delay=rng.uniform(0.0, self.config.max_delay),
+                reorder=rng.uniform(0.0, 0.3),
+                reorder_delay=0.001,
+            )
+            self.injector.chaos_window(chaos, start, duration)
+            self._note_fault(start)
+            self._note_heal(start + duration)
+
+    def _plan_slow_nodes(self) -> None:
+        rng = self.rng
+        network = self.cluster.network
+        for _ in range(self.config.slow_nodes):
+            start = rng.uniform(0.02, self.config.op_window)
+            duration = rng.uniform(0.05, 0.2)
+            victim = rng.choice(self.cluster.addresses)
+            cpu = rng.uniform(2.0, 6.0)
+            bandwidth = rng.uniform(1.5, 4.0)
+            network.schedule_at(
+                start,
+                lambda victim=victim, cpu=cpu, bandwidth=bandwidth, d=duration: (
+                    self.injector.degrade_node(
+                        victim, cpu_slowdown=cpu, bandwidth_slowdown=bandwidth, duration=d
+                    )
+                ),
+            )
+            self._note_fault(start)
+            self._note_heal(start + duration)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, checkers=None) -> ScenarioReport:
+        """Execute the scenario to quiescence and evaluate the invariants."""
+        from .invariants import ALL_CHECKERS
+
+        self._build_cluster()
+        self._plan_ops()
+        self._plan_crashes()
+        self._plan_partitions()
+        self._plan_chaos_windows()
+        self._plan_slow_nodes()
+        self.cluster.run()
+        self._stabilise()
+        report = self._snapshot_report()
+        for checker in checkers or ALL_CHECKERS:
+            report.violations.extend(checker(self))
+        return report
+
+    def _stabilise(self) -> None:
+        """Heal everything, rejoin every crashed node, restore replication."""
+        cluster = self.cluster
+        self.injector.heal_all()
+        self.injector.restore_all_nodes()
+        for address in sorted(cluster.failed_addresses):
+            cluster.restart_node(address)
+        cluster.run()
+        # Anti-entropy until a round copies nothing (bounded: each round only
+        # repairs, so the fixpoint is reached quickly on these data sizes).
+        for _ in range(4):
+            report = cluster.run_background_replication()
+            if report.items_copied == 0:
+                break
+        cluster.run()
+
+    def _snapshot_report(self) -> ScenarioReport:
+        latencies = [
+            op.future.latency
+            for op in self.ops
+            if op.future is not None and op.future.succeeded() and op.future.latency
+        ]
+        return ScenarioReport(
+            seed=self.seed,
+            config=self.config,
+            violations=[],
+            ops_submitted=len(self.ops),
+            ops_acked=sum(
+                1 for op in self.ops if op.future is not None and op.future.succeeded()
+            ),
+            ops_failed=sum(
+                1
+                for op in self.ops
+                if op.future is not None and op.future.done() and not op.future.succeeded()
+            ),
+            first_fault_at=self._first_fault_at,
+            last_heal_at=self._last_heal_at,
+            quiesced_at=self.cluster.now,
+            mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+            scheduler=self.cluster.runtime.scheduler.stats.snapshot(),
+            faults=self.injector.stats.snapshot(),
+        )
+
+    # -- state the invariant checkers consume ------------------------------------
+
+    def initial_rows(self, relation: str) -> list[tuple]:
+        """The rows published cleanly before any chaos started."""
+        return self._initial_rows[relation]
+
+    def batch_rows(self, relation: str) -> dict[str, set[tuple]]:
+        """Rows of every publish batch the scenario generated, by op tag."""
+        return self._batch_rows[relation]
+
+    def acked_publishes(self, relation: str) -> list[tuple[str, int, set[tuple]]]:
+        """``(tag, epoch, rows)`` of every acknowledged publish, epoch order."""
+        acked = [
+            (op.tag, op.future.result(), self._batch_rows[relation][op.tag])
+            for op in self.ops
+            if op.kind == "publish"
+            and op.relation == relation
+            and op.future is not None
+            and op.future.succeeded()
+        ]
+        return sorted(acked, key=lambda item: item[1])
+
+    def committed_epochs(self, relation: str) -> set[int]:
+        """Ground truth: publish epochs with a catalog entry on any live node."""
+        committed: set[int] = set()
+        for address in self.cluster.live_addresses():
+            epochs = self.cluster.storage(address).local_catalog(relation)
+            if epochs:
+                committed.update(epochs)
+        return committed
+
+    def observed_retrieval(self, relation: str):
+        """One post-quiescence retrieval at the durable epoch (memoised)."""
+        if relation not in self._observed:
+            self._observed[relation] = self.cluster.retrieve(relation)
+        return self._observed[relation]
+
+    def observed_relation_data(self, relation: str) -> RelationData:
+        retrieval = self.observed_retrieval(relation)
+        return RelationData(self._schemas[relation], [tuple(r) for r in retrieval.rows()])
+
+    def decompose(self, relation: str, rows) -> tuple[dict[str, set[tuple]], set[tuple]]:
+        """Split observed rows into per-tag groups plus unrecognised rows."""
+        groups: dict[str, set[tuple]] = {}
+        unknown: set[tuple] = set()
+        for row in rows:
+            row = tuple(row)
+            tag = str(row[0]).split(ROW_TAG_SEPARATOR, 1)[0]
+            if tag == "init" or tag in self._batch_rows[relation]:
+                groups.setdefault(tag, set()).add(row)
+            else:
+                unknown.add(row)
+        return groups, unknown
+
+    def verification_queries(self):
+        """``(relation, query)`` pairs evaluated post-quiescence."""
+        for relation in self.relations:
+            for query in self._query_shapes(relation):
+                yield relation, query
+
+
+def run_scenario(seed: int, config: ScenarioConfig | None = None) -> ScenarioReport:
+    """Run one seeded scenario end to end; see :class:`ScenarioRunner`."""
+    return ScenarioRunner(seed, config).run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Replay one seed (or sweep a range) from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Run seeded chaos scenarios against the simulated cluster."
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first seed to run")
+    parser.add_argument("--count", type=int, default=1, help="number of seeds")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--ops", type=int, default=None)
+    parser.add_argument("--crashes", type=int, default=None)
+    parser.add_argument("--partitions", type=int, default=None)
+    parser.add_argument("--chaos-windows", type=int, default=None)
+    parser.add_argument("--slow-nodes", type=int, default=None)
+    parser.add_argument("--cache", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = ScenarioConfig()
+    overrides = {
+        "num_nodes": args.nodes,
+        "num_ops": args.ops,
+        "crashes": args.crashes,
+        "partitions": args.partitions,
+        "chaos_windows": args.chaos_windows,
+        "slow_nodes": args.slow_nodes,
+    }
+    config = replace(
+        config,
+        **{key: value for key, value in overrides.items() if value is not None},
+        cache=args.cache,
+    )
+
+    failures = 0
+    for seed in range(args.seed, args.seed + args.count):
+        report = run_scenario(seed, config)
+        summary = report.summary()
+        line = "  ".join(f"{key}={value}" for key, value in summary.items())
+        print(("OK   " if report.ok else "FAIL ") + line)
+        for violation in report.violations:
+            print(f"  - {violation}")
+        if not report.ok:
+            failures += 1
+            print(f"  replay: {report.replay_command()}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual replay entry point
+    raise SystemExit(main())

@@ -26,6 +26,21 @@ Model
   future messages to/from the failed node and, after a configurable detection
   delay, notify every other live node through registered failure listeners —
   modelling the dropped-TCP-connection signal of Section V-A.
+* Crash-*restart* is supported: :meth:`Network.restart_node` brings a failed
+  node back under a new *incarnation*.  Scheduled failures and in-flight
+  deliveries aimed at an older incarnation are discarded, modelling the fresh
+  TCP connections a restarted process accepts (nothing from before the crash
+  can arrive on them).
+* Deterministic fault injection: when a :class:`repro.faults.FaultInjector`
+  is installed (:attr:`Network.fault_injector`), remote messages travel over
+  a reliable in-order channel per ordered node pair — sequence numbers,
+  receiver-side reordering buffers and sender retransmission — while the
+  injector drops, duplicates, delays and reorders the individual
+  *transmissions* underneath.  This mirrors real deployments, where the
+  paper's engine runs over persistent TCP connections: packet-level chaos
+  surfaces to the application only as added latency and as connection churn,
+  never as silent loss, duplication or reordering of application messages.
+  Without an injector the code path is byte-for-byte the pre-fault one.
 
 The simulation is fully deterministic: events at equal timestamps are ordered
 by insertion sequence, and no wall-clock or OS randomness is consulted.
@@ -48,6 +63,10 @@ Handler = Callable[["Message"], None]
 
 #: Signature of node-failure listeners: ``listener(failed_address) -> None``.
 FailureListener = Callable[[str], None]
+
+#: Sentinel stored in a channel's reordering buffer for a transmission the
+#: transport gave up on: later messages must not stall behind it forever.
+_LOST = object()
 
 
 @dataclass(frozen=True)
@@ -172,6 +191,10 @@ class SimNode:
         self.host = host
         self.node_id = node_id_for(address)
         self.alive = True
+        #: Bumped on every restart.  Events captured against an older
+        #: incarnation (scheduled crashes, in-flight transmissions) are stale
+        #: and must not affect the restarted process.
+        self.incarnation = 0
         self._handlers: dict[str, Handler] = {}
         self._failure_listeners: list[FailureListener] = []
         #: Arbitrary per-node services (storage engine, query fragments...)
@@ -270,6 +293,23 @@ class ScheduledEvent:
         self.cancelled = True
 
 
+class _Channel:
+    """Reliable-transport state for one ordered node pair (fault runs only).
+
+    The sender side stamps each message with ``next_seq``; the receiver side
+    delivers strictly in sequence order, buffering early arrivals and
+    discarding duplicates — the exactly-once, FIFO contract the application
+    protocols were built on (and that TCP provides in a real deployment).
+    """
+
+    __slots__ = ("next_seq", "expected", "buffer")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.expected = 0
+        self.buffer: dict[int, object] = {}
+
+
 class Network:
     """The event loop, clock and link model shared by all simulated nodes."""
 
@@ -297,6 +337,18 @@ class Network:
         self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._pairwise_latency: dict[tuple[str, str], float] = {}
+        #: Installed by :class:`repro.faults.FaultInjector`; None means the
+        #: fault-free fast path (identical to the pre-fault simulator).
+        self.fault_injector = None
+        #: Reliable-channel state per ordered node pair, used only with an
+        #: injector installed.
+        self._channels: dict[tuple[str, str], _Channel] = {}
+        #: Invoked with the address the moment a node crashes (no detection
+        #: delay) — bookkeeping hooks for the cluster layer, not a stand-in
+        #: for the in-band failure listeners other nodes rely on.
+        self._crash_listeners: list[Callable[[str], None]] = []
+        #: Invoked with the address when a node restarts.
+        self._restart_listeners: list[Callable[[str], None]] = []
 
     # -- topology -------------------------------------------------------------
 
@@ -376,7 +428,9 @@ class Network:
         meter.  Remote messages serialise on the sender's egress link, incur
         link latency, serialise on the receiver's ingress link and are then
         handed to the receiving node's handler (which runs when that node's
-        CPU becomes free).
+        CPU becomes free).  With a fault injector installed, remote messages
+        instead travel over the reliable per-pair channel so that injected
+        packet loss, duplication and reordering never surface to handlers.
         """
         sender = self.node(src)
         if not sender.alive:
@@ -390,19 +444,169 @@ class Network:
             return
 
         receiver = self.node(dst)
-        self.traffic.record(src, dst, wire_size)
+        if self.fault_injector is not None:
+            channel = self._channel(src, dst)
+            seq = channel.next_seq
+            channel.next_seq += 1
+            self._transmit(message, seq, 0, sender.incarnation, receiver.incarnation)
+            return
+        self._transfer(message, 0.0)
+
+    def _transfer(self, message: Message, extra_delay: float) -> float:
+        """Charge one transmission of ``message`` over the link model.
+
+        Returns the delivery time; the caller schedules what happens then.
+        """
+        sender = self.node(message.src)
+        receiver = self.node(message.dst)
+        self.traffic.record(message.src, message.dst, message.size)
 
         egress_start = max(self.now, sender._egress_free_at)
-        egress_time = wire_size / sender.host.egress_bandwidth
+        egress_time = message.size / sender.host.egress_bandwidth
         sender._egress_free_at = egress_start + egress_time
 
-        arrival = sender._egress_free_at + self.link_latency(src, dst)
+        arrival = sender._egress_free_at + self.link_latency(message.src, message.dst) + extra_delay
         ingress_start = max(arrival, receiver._ingress_free_at)
-        ingress_time = wire_size / receiver.host.ingress_bandwidth
+        ingress_time = message.size / receiver.host.ingress_bandwidth
         receiver._ingress_free_at = ingress_start + ingress_time
         delivered_at = receiver._ingress_free_at
+        if self.fault_injector is None:
+            self.schedule_at(delivered_at, lambda: self._deliver(message))
+        return delivered_at
 
-        self.schedule_at(delivered_at, lambda: self._deliver(message))
+    # -- reliable channel (fault-injection runs) --------------------------------
+
+    def _channel(self, src: str, dst: str) -> _Channel:
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = self._channels[(src, dst)] = _Channel()
+        return channel
+
+    def _transmit(
+        self,
+        message: Message,
+        seq: int,
+        attempt: int,
+        src_inc: int,
+        dst_inc: int,
+        blocked_streak: int = 0,
+    ) -> None:
+        """One send attempt of channel message ``seq`` under the injector.
+
+        Lost or partition-blocked attempts are retried after the injector's
+        retransmission delay (exactly-once delivery is restored by the
+        receiver-side sequencing).  Retries stop when either endpoint crashed
+        or restarted — the connection the message travelled on is gone.
+        ``attempt`` counts only attempts the link actually *lost*; waiting out
+        a partition (``blocked_streak``) is unbounded, so a partition of any
+        length stalls messages without ever abandoning them.
+        """
+        injector = self.fault_injector
+        sender = self.nodes.get(message.src)
+        receiver = self.nodes.get(message.dst)
+        if injector is None or sender is None or receiver is None:
+            return
+        if not sender.alive or sender.incarnation != src_inc:
+            return
+        if not receiver.alive or receiver.incarnation != dst_inc:
+            return
+        retry = lambda: self._transmit(message, seq, attempt + 1, src_inc, dst_inc)  # noqa: E731
+        if attempt > injector.max_retransmits:
+            injector.stats.abandoned += 1
+            self._channel_skip(message.src, message.dst, seq)
+            return
+        if attempt > 0:
+            injector.stats.retransmits += 1
+        if injector.blocked(message.src, message.dst):
+            # The pair is partitioned: nothing leaves the NIC, the transport
+            # just keeps retrying until the partition heals.
+            injector.stats.blocked += 1
+            self.schedule(
+                injector.retransmit_delay(blocked_streak),
+                lambda: self._transmit(
+                    message, seq, attempt, src_inc, dst_inc, blocked_streak + 1
+                ),
+            )
+            return
+        deliveries = injector.fate(message, attempt)
+        if not deliveries:
+            # Every copy of this attempt died on the link.  The bytes still
+            # left the sender (egress + traffic are charged) but never reach
+            # the receiver's NIC.
+            self.traffic.record(message.src, message.dst, message.size)
+            egress_start = max(self.now, sender._egress_free_at)
+            sender._egress_free_at = egress_start + message.size / sender.host.egress_bandwidth
+            self.schedule(injector.retransmit_delay(attempt), retry)
+            return
+        for extra_delay in deliveries:
+            delivered_at = self._transfer(message, extra_delay)
+            self.schedule_at(
+                delivered_at,
+                lambda: self._receive(message, seq, src_inc, dst_inc, attempt),
+            )
+
+    def _receive(
+        self, message: Message, seq: int, src_inc: int, dst_inc: int, attempt: int
+    ) -> None:
+        """Receiver side of the reliable channel: dedup, order, dispatch."""
+        receiver = self.nodes.get(message.dst)
+        if receiver is None or not receiver.alive or receiver.incarnation != dst_inc:
+            return
+        sender = self.nodes.get(message.src)
+        if sender is None or not sender.alive or sender.incarnation != src_inc:
+            # Same taint rule as the fault-free path: data from a crashed
+            # sender never reaches the application.
+            return
+        injector = self.fault_injector
+        if injector is not None and injector.blocked(message.src, message.dst):
+            # A partition started while the message was in flight: it is cut
+            # on the wire, and the sender-side transport retries it.
+            injector.stats.blocked += 1
+            self.schedule(
+                injector.retransmit_delay(attempt),
+                lambda: self._transmit(message, seq, attempt + 1, src_inc, dst_inc),
+            )
+            return
+        channel = self._channel(message.src, message.dst)
+        if seq < channel.expected or seq in channel.buffer:
+            if injector is not None:
+                injector.stats.deduplicated += 1
+            return
+        if seq != channel.expected:
+            channel.buffer[seq] = message
+            return
+        channel.expected += 1
+        self._dispatch_to_app(message)
+        self._flush_channel(channel)
+
+    def _flush_channel(self, channel: _Channel) -> None:
+        while channel.expected in channel.buffer:
+            queued = channel.buffer.pop(channel.expected)
+            channel.expected += 1
+            if queued is not _LOST:
+                self._dispatch_to_app(queued)
+
+    def _channel_skip(self, src: str, dst: str, seq: int) -> None:
+        """Mark transmission ``seq`` as permanently lost so later messages on
+        the channel are not stalled behind the gap forever."""
+        channel = self._channel(src, dst)
+        if seq < channel.expected:
+            return
+        if seq == channel.expected:
+            channel.expected += 1
+            self._flush_channel(channel)
+        else:
+            channel.buffer[seq] = _LOST
+
+    def _reset_channels(self, address: str) -> None:
+        """Drop all channel state involving ``address`` (connection churn)."""
+        self._channels = {
+            pair: channel
+            for pair, channel in self._channels.items()
+            if address not in pair
+        }
+
+    # -- delivery ---------------------------------------------------------------
 
     def _deliver(self, message: Message) -> None:
         receiver = self.nodes.get(message.dst)
@@ -416,6 +620,10 @@ class Network:
             # operator would treat it as tainted anyway (Section V-D), and the
             # broken connection prevents it from arriving in a real deployment.
             return
+        self._dispatch_to_app(message)
+
+    def _dispatch_to_app(self, message: Message) -> None:
+        receiver = self.nodes[message.dst]
         # Handler execution waits for the receiver's CPU to be free, then the
         # handler itself charges its processing cost.
         unmarshal = (
@@ -437,6 +645,21 @@ class Network:
 
     # -- failures ---------------------------------------------------------------
 
+    def add_crash_listener(self, listener: Callable[[str], None]) -> None:
+        """``listener(address)`` fires the instant a node crashes.
+
+        Unlike the per-node failure listeners (which model the in-band
+        dropped-connection signal and fire after the detection delay), crash
+        listeners are out-of-band bookkeeping for the layer that *owns* the
+        simulation — e.g. the cluster failing the crashed initiator's
+        in-flight operation futures.
+        """
+        self._crash_listeners.append(listener)
+
+    def add_restart_listener(self, listener: Callable[[str], None]) -> None:
+        """``listener(address)`` fires when a node restarts."""
+        self._restart_listeners.append(listener)
+
     def fail_node(self, address: str, detection_delay: float | None = None) -> None:
         """Fail ``address`` immediately (crash-stop model).
 
@@ -449,6 +672,8 @@ class Network:
         if not node.alive:
             return
         node.alive = False
+        for listener in list(self._crash_listeners):
+            listener(address)
         delay = self.failure_detection_delay if detection_delay is None else detection_delay
 
         def notify() -> None:
@@ -458,17 +683,45 @@ class Network:
 
         self.schedule(delay, notify)
 
-    def fail_node_at(self, address: str, at_time: float, detection_delay: float | None = None) -> None:
-        """Schedule a crash of ``address`` at absolute simulated time ``at_time``."""
-        self.schedule_at(at_time, lambda: self.fail_node(address, detection_delay))
+    def fail_node_at(
+        self, address: str, at_time: float, detection_delay: float | None = None
+    ) -> ScheduledEvent:
+        """Schedule a crash of ``address`` at absolute simulated time ``at_time``.
 
-    def restart_node(self, address: str) -> None:
-        """Bring a failed node back (it rejoins empty; used by membership tests)."""
+        The crash is bound to the node's *current incarnation*: if the node
+        crashes and restarts before ``at_time``, the stale scheduled failure
+        must not kill the restarted process.  Returns the scheduled event so
+        callers can also cancel it explicitly.
+        """
         node = self.node(address)
+        incarnation = node.incarnation
+
+        def fire() -> None:
+            if node.alive and node.incarnation == incarnation:
+                self.fail_node(address, detection_delay)
+
+        return self.schedule_at(at_time, fire)
+
+    def restart_node(self, address: str) -> SimNode:
+        """Bring a failed node back under a new incarnation.
+
+        The node's handler registrations and attached services survive (they
+        model the process image plus its durable local store); everything
+        connection-scoped is reset: resource clocks, reliable-channel state,
+        and — via the incarnation bump — any in-flight deliveries or
+        scheduled crashes aimed at the previous incarnation.
+        """
+        node = self.node(address)
+        if not node.alive:
+            node.incarnation += 1
         node.alive = True
         node._cpu_free_at = self.now
         node._egress_free_at = self.now
         node._ingress_free_at = self.now
+        self._reset_channels(address)
+        for listener in list(self._restart_listeners):
+            listener(address)
+        return node
 
 
 def broadcast(

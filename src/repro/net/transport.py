@@ -79,6 +79,17 @@ class RpcEndpoint:
     def unregister(self, method: str) -> None:
         self._methods.pop(method, None)
 
+    def reset_volatile(self) -> None:
+        """Drop per-connection state after a crash-restart.
+
+        Outstanding calls and pings died with the process; registered method
+        handlers survive (they are part of the program, not of a connection).
+        A reply to a pre-crash call that somehow arrives later finds no
+        pending entry and is ignored.
+        """
+        self._pending.clear()
+        self._ping_outstanding.clear()
+
     # -- outgoing --------------------------------------------------------------
 
     def call(
@@ -97,9 +108,27 @@ class RpcEndpoint:
         the caller is expected to learn about it through its own failure
         listener (this matches how the query layer reacts: the recovery
         manager, not each individual call site, drives compensation).
+
+        A call to a peer that *already* crashed fails fast: the failure
+        notification for that peer has fired (or will fire) exactly once, so a
+        request issued afterwards — typically from an operation still holding
+        a pre-crash routing snapshot — would otherwise wait forever for a
+        reply that cannot come.  This models the immediate connection-refused
+        a new TCP connection to a dead host gets.
         """
         call_id = next(self._call_ids)
         self._pending[call_id] = _PendingCall(dst, on_reply, on_failure)
+        destination = self.network.nodes.get(dst)
+        if destination is not None and not destination.alive:
+            def refuse() -> None:
+                if not self.node.alive:
+                    return  # the caller crashed too; nothing to resume
+                pending = self._pending.pop(call_id, None)
+                if pending is not None and pending.on_failure is not None:
+                    pending.on_failure(dst)
+
+            self.network.schedule(self.network.link_latency(self.address, dst), refuse)
+            return call_id
         self.node.send(
             dst,
             _RPC_REQUEST,

@@ -18,13 +18,14 @@ even if the initial push misses nodes.  In the deterministic simulator the
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from ..common.hashing import sha1_key
 from ..net.simnet import SimNode
 from ..net.transport import RpcEndpoint, rpc_endpoint
 
 _GOSSIP_METHOD = "gossip.epoch"
+_PULL_METHOD = "gossip.pull"
 
 
 class EpochGossip:
@@ -44,6 +45,7 @@ class EpochGossip:
         self.current_epoch = 0
         self._listeners: list[Callable[[int], None]] = []
         self.rpc.register(_GOSSIP_METHOD, self._on_gossip)
+        self.rpc.register(_PULL_METHOD, self._on_pull)
         node.services["gossip"] = self
 
     # -- observers ---------------------------------------------------------------
@@ -82,6 +84,27 @@ class EpochGossip:
                 )
 
         run(rounds)
+
+    def pull(self, peers: Iterable[str]) -> None:
+        """Actively fetch the current epoch from ``peers`` (anti-entropy pull).
+
+        Push gossip alone cannot help a node that *missed* announcements — a
+        crash-restarted participant re-enters with a stale epoch and must not
+        wait for the next publish to learn the current one.  Every live peer's
+        reply is folded in through the usual adopt-if-newer rule; dead peers
+        are skipped.
+        """
+        for peer in peers:
+            if peer == self.node.address:
+                continue
+            self.rpc.call(
+                peer, _PULL_METHOD, {}, self.MESSAGE_SIZE,
+                on_reply=lambda reply: self._adopt(int(reply["epoch"])),
+                on_failure=lambda _addr: None,
+            )
+
+    def _on_pull(self, _src: str, _payload: Mapping[str, object], respond) -> None:
+        respond({"epoch": self.current_epoch}, size=self.MESSAGE_SIZE)
 
     # -- internals -----------------------------------------------------------------
 

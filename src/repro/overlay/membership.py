@@ -22,14 +22,17 @@ asks when taking a snapshot.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Mapping
 
 from ..net.simnet import SimNode
+from ..net.transport import RpcEndpoint, rpc_endpoint
 from .allocation import RangeAllocator
 from .routing import RangeMove, RoutingSnapshot, RoutingTable
 
 #: ``listener(kind, address, moves)`` where kind is "join", "leave" or "fail".
 MembershipListener = Callable[[str, str, list[RangeMove]], None]
+
+_JOIN_METHOD = "member.join"
 
 
 class MembershipView:
@@ -44,8 +47,12 @@ class MembershipView:
     ) -> None:
         self.node = node
         self.replication_factor = replication_factor
+        self.allocator = allocator
         self.routing_table = RoutingTable(initial_members, allocator=allocator)
         self._listeners: list[MembershipListener] = []
+        self._rejoin_pending = False
+        self.rpc: RpcEndpoint = rpc_endpoint(node)
+        self.rpc.register(_JOIN_METHOD, self._on_join_request)
         node.add_failure_listener(self._on_peer_failure)
         node.services["membership"] = self
 
@@ -87,9 +94,59 @@ class MembershipView:
         self._notify("fail", address, moves)
         return moves
 
+    # -- crash-restart rejoin -----------------------------------------------------
+
+    def rejoin(self, seeds: Iterable[str]) -> None:
+        """Re-enter the membership after a crash-restart.
+
+        The restarted node's own view is stale — peers may have failed or
+        joined while it was down, and every live node removed *it* at the
+        detection of its crash.  It therefore announces itself to the seed
+        peers (its configured bootstrap list); each live seed adds it back to
+        its view (notifying local listeners exactly as for a fresh join) and
+        replies with its current member list.  The first reply rebuilds the
+        rejoiner's routing table from that authoritative view.  Dead or
+        partitioned seeds are simply skipped — any single live seed suffices.
+        """
+        self._rejoin_pending = True
+        payload = {"address": self.node.address}
+        for peer in seeds:
+            if peer == self.node.address:
+                continue
+            self.rpc.call(
+                peer, _JOIN_METHOD, payload, 24,
+                on_reply=self._on_join_reply,
+                on_failure=lambda _addr: None,
+            )
+
+    def _on_join_request(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        address: str = payload["address"]
+        self.node_joined(address)
+        members = list(self.routing_table.members)
+        respond({"members": members}, size=16 + 16 * len(members))
+
+    def _on_join_reply(self, reply: Mapping[str, object]) -> None:
+        if not self._rejoin_pending:
+            return  # an earlier seed's reply already rebuilt the view
+        self._rejoin_pending = False
+        members = set(reply["members"])
+        members.add(self.node.address)
+        # The allocators assign ranges in hash-ID order, so rebuilding from a
+        # sorted member set yields exactly the allocation the peers computed.
+        self.routing_table = RoutingTable(sorted(members), allocator=self.allocator)
+        self._notify("join", self.node.address, [])
+
     # -- internals ----------------------------------------------------------------
 
     def _on_peer_failure(self, address: str) -> None:
+        peer = self.node.network.nodes.get(address)
+        if peer is not None and peer.alive:
+            # The dropped-connection signal raced a reconnect: the peer
+            # crashed, restarted and rejoined before this node processed the
+            # drop.  A live connection to the new incarnation exists, so the
+            # stale signal must not evict the member — only the transport
+            # and query layers care about the old connection's death.
+            return
         self.node_failed(address)
 
     def _notify(self, kind: str, address: str, moves: list[RangeMove]) -> None:

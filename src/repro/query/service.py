@@ -325,6 +325,17 @@ class _NodeQueryContext:
         # scan op id -> set of index nodes whose scan_done we are waiting for
         self._pending_scan_done: dict[int, set[str]] = {}
         self._scan_completed: set[int] = set()
+        # scan_done markers that arrived for a phase this node has not entered
+        # yet: a fast peer can finish its recovery rescan before this node
+        # even receives the initiator's recover message (messages on different
+        # node pairs are not mutually ordered).  They are replayed when
+        # arm_scans enters the phase; dropping them would hang the query.
+        self._early_scan_done: list[tuple[int, int, str]] = []
+        # Outstanding replica chases for tuple versions this data node was
+        # asked to produce but does not hold locally; the scan cannot
+        # complete while any are in flight, or the recovered rows would
+        # arrive after the operators sealed.
+        self._scan_fetches: dict[int, int] = {}
 
     # -- FragmentContext interface ----------------------------------------------------
 
@@ -355,12 +366,27 @@ class _NodeQueryContext:
     def arm_scans(self, expected_index_nodes: Mapping[int, Sequence[str]]) -> None:
         """Arm (or re-arm, for a recovery phase) the per-scan EOS tracking."""
         self._scan_completed.clear()
+        self._scan_fetches.clear()
         for scan_op_id in self.fragment.scan_sources:
             expected = set(expected_index_nodes.get(scan_op_id, ()))
             expected -= self.failed_nodes
             self._pending_scan_done[scan_op_id] = expected
             if not expected:
                 self._complete_scan(scan_op_id)
+        # Replay markers that raced ahead of this phase's recover message.
+        ready = [entry for entry in self._early_scan_done if entry[0] == self.phase]
+        self._early_scan_done = [
+            entry for entry in self._early_scan_done if entry[0] > self.phase
+        ]
+        for _phase, scan_op_id, sender in ready:
+            self.scan_done_received(scan_op_id, sender)
+
+    def note_scan_done(self, scan_op_id: int, sender: str, phase: int) -> None:
+        """Record a scan_done marker, buffering ones from a future phase."""
+        if phase == self.phase:
+            self.scan_done_received(scan_op_id, sender)
+        elif phase > self.phase:
+            self._early_scan_done.append((phase, scan_op_id, sender))
 
     def scan_done_received(self, scan_op_id: int, sender: str) -> None:
         pending = self._pending_scan_done.get(scan_op_id)
@@ -376,9 +402,24 @@ class _NodeQueryContext:
             if not pending:
                 self._complete_scan(scan_op_id)
 
+    def begin_scan_fetch(self, scan_op_id: int) -> None:
+        self._scan_fetches[scan_op_id] = self._scan_fetches.get(scan_op_id, 0) + 1
+
+    def end_scan_fetch(self, scan_op_id: int) -> None:
+        remaining = self._scan_fetches.get(scan_op_id, 0) - 1
+        if remaining > 0:
+            self._scan_fetches[scan_op_id] = remaining
+        else:
+            self._scan_fetches.pop(scan_op_id, None)
+            pending = self._pending_scan_done.get(scan_op_id)
+            if pending is not None and not pending:
+                self._complete_scan(scan_op_id)
+
     def _complete_scan(self, scan_op_id: int) -> None:
         if scan_op_id in self._scan_completed:
             return
+        if self._scan_fetches.get(scan_op_id):
+            return  # replica chases still in flight; completion re-fires after
         self._scan_completed.add(scan_op_id)
         source = self.fragment.scan_sources.get(scan_op_id)
         if source is not None:
@@ -417,6 +458,10 @@ class _ActiveQuery:
     #: Participants already sent ``query.abort`` for this query, making the
     #: abort fan-out idempotent per ``(query_id, node)``.
     aborts_sent: set[str] = field(default_factory=set)
+    #: Error callback of the submitting session (None for legacy callers):
+    #: exhausting the restart budget resolves the operation through it
+    #: instead of raising into the event loop.
+    on_error: Callable[[Exception], None] | None = None
 
 
 class QueryService:
@@ -443,9 +488,31 @@ class QueryService:
         self._contexts: dict[str, _NodeQueryContext] = {}
         #: Queries this node initiated.
         self._active: dict[str, _ActiveQuery] = {}
+        #: Messages that raced ahead of their query's ``query.start``: message
+        #: channels are FIFO per node pair, but nothing orders the initiator's
+        #: start against a *peer's* dataflow — under skewed link delays a
+        #: participant can receive tuple requests, scan_done markers or row
+        #: batches for a query it has not heard of yet.  Dropping them would
+        #: lose rows silently (or hang the completion protocol), so they are
+        #: held back and replayed in arrival order when the start arrives.
+        self._pending_messages: dict[str, list[tuple[str, Mapping[str, object]]]] = {}
+        #: Query ids whose state this node already tore down (abort received):
+        #: stragglers for these are late, not early, and must stay dropped.
+        #: Insertion-ordered and pruned to a fixed horizon — a straggler can
+        #: only trail its query by the message-delay bound, so tombstones for
+        #: long-finished queries are dead weight on a long-running node.
+        self._finished_queries: dict[str, None] = {}
         self._register_handlers()
         node.add_failure_listener(self._on_peer_failure)
         node.services["query"] = self
+
+    #: Tombstones retained for finished queries (see ``_finished_queries``).
+    FINISHED_QUERY_HORIZON = 4096
+
+    def _note_finished(self, query_id: str) -> None:
+        self._finished_queries[query_id] = None
+        while len(self._finished_queries) > self.FINISHED_QUERY_HORIZON:
+            self._finished_queries.pop(next(iter(self._finished_queries)))
 
     # ------------------------------------------------------------------ registration
 
@@ -453,6 +520,7 @@ class QueryService:
         self.rpc.register("query.start", self._on_start)
         self.rpc.register("query.scan_tuples", self._on_scan_tuples)
         self.rpc.register("query.scan_done", self._on_scan_done)
+        self.rpc.register("query.scan_failed", self._on_scan_failed)
         self.rpc.register("query.data", self._on_data)
         self.rpc.register("query.eos", self._on_eos)
         self.rpc.register("query.recover", self._on_recover)
@@ -501,7 +569,7 @@ class QueryService:
             on_ready=lambda records: self._launch(
                 query_id, plan, epoch, options, self.membership.snapshot(), records,
                 statistics, on_complete, fingerprint=fingerprint,
-                cache_publish_seq=cache_seq,
+                cache_publish_seq=cache_seq, on_error=on_error,
             ),
             on_error=on_error or (lambda exc: (_ for _ in ()).throw(exc)),
         )
@@ -510,6 +578,19 @@ class QueryService:
     def _next_query_id(self) -> str:
         """Cluster-unique query id, namespaced by the initiating node."""
         return f"{self.node.address}/q{next(self._query_ids)}"
+
+    def reset_volatile(self) -> None:
+        """Drop all in-flight query state after a crash-restart.
+
+        Queries this node participated in were recovered (or restarted) by
+        their initiators when the crash was detected; queries it *initiated*
+        had their futures failed by the runtime at crash time.  The query-id
+        counter keeps counting across incarnations, so ids stay unique.
+        """
+        self._contexts.clear()
+        self._active.clear()
+        self._pending_messages.clear()
+        self._finished_queries.clear()
 
     def _cache_publish_seq(self) -> int:
         """Current publish sequence of this initiator's result cache."""
@@ -601,7 +682,12 @@ class QueryService:
         on_complete: Callable[[QueryResult], None],
         fingerprint: object = None,
         cache_publish_seq: int = 0,
+        on_error: Callable[[Exception], None] | None = None,
     ) -> None:
+        if not self.node.alive:
+            # The initiator crashed while its scans were resolving; the
+            # operation's future was failed at crash time.
+            return
         participants = self.participants_of(snapshot)
         statistics.participating_nodes = len(participants)
         # Assign every index page of every scanned relation to its owner under
@@ -642,6 +728,7 @@ class QueryService:
             fingerprint=fingerprint,
             scans=scanned,
             cache_publish_seq=cache_publish_seq,
+            on_error=on_error,
         )
         self._active[query_id] = active
         # Each participant receives only what it needs: the plan, the routing
@@ -692,8 +779,29 @@ class QueryService:
 
     # ------------------------------------------------------------- participant side
 
+    def _context_or_buffer(
+        self, method: str, payload: Mapping[str, object]
+    ) -> _NodeQueryContext | None:
+        """The query's context, or None with the message buffered/dropped.
+
+        Early messages (the query's start has not arrived here yet) are held
+        for replay; late ones (the query was already aborted here) are
+        dropped.  A message for a query whose initiator crashed before this
+        node ever saw the start stays buffered — bounded by the crashed
+        query's fan-out and reclaimed when this node itself restarts.
+        """
+        query_id = payload["query_id"]
+        context = self._contexts.get(query_id)
+        if context is not None:
+            return context
+        if query_id not in self._finished_queries:
+            self._pending_messages.setdefault(query_id, []).append((method, payload))
+        return None
+
     def _on_start(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         query_id: str = payload["query_id"]
+        if query_id in self._finished_queries:
+            return  # the query already completed cluster-wide; stale start
         plan: PhysicalPlan = payload["plan"]
         snapshot: RoutingSnapshot = payload["snapshot"]
         options: QueryOptions = payload["options"]
@@ -709,6 +817,19 @@ class QueryService:
             assigned = spec.pages_by_index_node.get(self.node.address, [])
             if assigned:
                 self._run_index_scan(context, spec, assigned, restrict_ranges=None)
+        # Replay whatever raced ahead of the start, in arrival order.
+        for method, early_payload in self._pending_messages.pop(query_id, ()):
+            self._replay(method, early_payload)
+
+    def _replay(self, method: str, payload: Mapping[str, object]) -> None:
+        handler = {
+            "query.scan_tuples": self._on_scan_tuples,
+            "query.scan_done": self._on_scan_done,
+            "query.data": self._on_data,
+            "query.eos": self._on_eos,
+            "query.recover": self._on_recover,
+        }[method]
+        handler("", payload, None)
 
     def _run_index_scan(
         self,
@@ -778,6 +899,14 @@ class QueryService:
 
             def attempt(index: int) -> None:
                 if index >= len(targets):
+                    # No reachable node can produce this page right now (its
+                    # holders are down or unreachable): rows would silently
+                    # vanish from the answer.  Tell the initiator, which
+                    # restarts the query against a fresh snapshot.
+                    self.rpc.cast(
+                        context.initiator(), "query.scan_failed",
+                        {"query_id": context.query_id, "page_id": ref.page_id}, 24,
+                    )
                     done()
                     return
                 self.rpc.call(
@@ -826,22 +955,86 @@ class QueryService:
         done()
 
     def _on_scan_tuples(self, _src: str, payload: Mapping[str, object], _respond) -> None:
-        context = self._contexts.get(payload["query_id"])
+        context = self._context_or_buffer("query.scan_tuples", payload)
         if context is None:
             return
-        source = context.fragment.scan_sources.get(payload["scan_op_id"])
+        scan_op_id = payload["scan_op_id"]
+        source = context.fragment.scan_sources.get(scan_op_id)
         if source is None:
             return
-        found, _missing = self.storage.lookup_tuples(payload["relation"], payload["tuple_ids"])
+        relation = payload["relation"]
+        found, missing = self.storage.lookup_tuples(relation, payload["tuple_ids"])
         source.deliver_tuples(found)
+        if not missing:
+            return
+        # Tuple versions this node should serve but does not hold (the ring
+        # moved and background replication has not caught up): chase each one
+        # across the replicas before the scan is allowed to complete, exactly
+        # as Algorithm-1 retrieval does — dropping them would silently lose
+        # rows from the answer.  A version found on no live node aborts the
+        # query attempt through the initiator (scan_failed → restart).
+        from ..storage.client import search_targets
+
+        phase = context.phase
+        for tid in missing:
+            context.begin_scan_fetch(scan_op_id)
+            replicas = search_targets(
+                context.snapshot, tid.hash_key, self.replication_factor,
+                exclude=(self.node.address,),
+            )
+
+            def attempt(index: int, tid=tid, replicas=replicas) -> None:
+                if context.phase != phase:
+                    return  # recovery superseded this attempt's chases
+                if index >= len(replicas):
+                    self.rpc.cast(
+                        context.initiator(), "query.scan_failed",
+                        {"query_id": context.query_id, "tuple_id": tid}, 24,
+                    )
+                    context.end_scan_fetch(scan_op_id)
+                    return
+
+                def handle(reply: Mapping[str, object]) -> None:
+                    if context.phase != phase:
+                        return
+                    fetched = [t for t in reply.get("tuples", []) if t.tuple_id == tid]
+                    if fetched:
+                        self.storage.store_tuple(fetched[0])
+                        source.deliver_tuples(fetched)
+                        context.end_scan_fetch(scan_op_id)
+                    else:
+                        attempt(index + 1)
+
+                self.rpc.call(
+                    replicas[index], "store.get_tuples",
+                    {"relation": relation, "tuple_ids": [tid]}, 48,
+                    on_reply=handle,
+                    on_failure=lambda _addr: attempt(index + 1),
+                )
+
+            attempt(0)
+
+    def _on_scan_failed(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        """A participant could not produce a leaf page from any replica.
+
+        Completing the query would silently drop the page's rows, so the
+        initiator restarts it instead: the fresh attempt resolves against the
+        current membership, where the page's holder is typically back (or the
+        page has been re-replicated).  Bounded by ``max_restarts`` like every
+        other restart, after which the query fails loudly.
+        """
+        active = self._active.get(payload["query_id"])
+        if active is None or active.completed:
+            return
+        self._restart_query(active)
 
     def _on_scan_done(self, _src: str, payload: Mapping[str, object], _respond) -> None:
-        context = self._contexts.get(payload["query_id"])
+        context = self._context_or_buffer("query.scan_done", payload)
         if context is None:
             return
-        if payload["phase"] != context.phase:
-            return
-        context.scan_done_received(payload["scan_op_id"], payload["sender"])
+        context.note_scan_done(
+            payload["scan_op_id"], payload["sender"], payload["phase"]
+        )
 
     # ----------------------------------------------------------------- data exchange
 
@@ -884,7 +1077,7 @@ class QueryService:
             if not active.completed:
                 active.collector.accept(rows, active.failed_nodes)
             return
-        context = self._contexts.get(query_id)
+        context = self._context_or_buffer("query.data", payload)
         if context is None:
             return
         receiver = context.fragment.receivers.get(exchange_id)
@@ -901,7 +1094,7 @@ class QueryService:
                 active.collector.sender_eos(sender, payload["phase"])
                 self._maybe_complete(active)
             return
-        context = self._contexts.get(query_id)
+        context = self._context_or_buffer("query.eos", payload)
         if context is None:
             return
         receiver = context.fragment.receivers.get(exchange_id)
@@ -968,7 +1161,10 @@ class QueryService:
             self.rpc.cast(address, "query.abort", {"query_id": active.query_id}, 12)
 
     def _on_abort(self, _src: str, payload: Mapping[str, object], _respond) -> None:
-        self._contexts.pop(payload["query_id"], None)
+        query_id = payload["query_id"]
+        self._contexts.pop(query_id, None)
+        self._pending_messages.pop(query_id, None)
+        self._note_finished(query_id)
 
     # ------------------------------------------------------------------- failures
 
@@ -994,6 +1190,18 @@ class QueryService:
     def _restart_query(self, active: _ActiveQuery) -> None:
         """Abort the in-flight execution and re-run the query from scratch."""
         if active.statistics.restarts >= active.options.max_restarts:
+            error = QueryError(
+                f"query {active.query_id} exceeded the maximum number of restarts"
+            )
+            if active.on_error is not None:
+                # Resolve the submitting session's operation instead of
+                # blowing up the event loop from a message handler.
+                self._send_aborts(active, include_self=False)
+                self._contexts.pop(active.query_id, None)
+                self._active.pop(active.query_id, None)
+                active.completed = True
+                active.on_error(error)
+                return
             raise QueryError(
                 f"query {active.query_id} exceeded the maximum number of restarts"
             )
@@ -1025,8 +1233,9 @@ class QueryService:
                     query_id, active.plan, active.epoch, active.options, new_snapshot,
                     specs, new_statistics, active.on_complete,
                     fingerprint=active.fingerprint, cache_publish_seq=cache_seq,
+                    on_error=active.on_error,
                 ),
-                on_error=lambda exc: (_ for _ in ()).throw(exc),
+                on_error=active.on_error or (lambda exc: (_ for _ in ()).throw(exc)),
             )
 
         relaunch()
@@ -1100,7 +1309,7 @@ class QueryService:
             self.rpc.cast(address, "query.recover", recover_payload, size)
 
     def _on_recover(self, _src: str, payload: Mapping[str, object], _respond) -> None:
-        context = self._contexts.get(payload["query_id"])
+        context = self._context_or_buffer("query.recover", payload)
         if context is None:
             return
         failed: set[str] = set(payload["failed"])

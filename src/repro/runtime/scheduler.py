@@ -228,6 +228,31 @@ class Scheduler:
         self._resolve(future, lambda now: future._set_cancelled(now))
         return True
 
+    def fail_initiator_ops(self, initiator: str, error: Exception) -> int:
+        """Fail every queued or running operation initiated from ``initiator``.
+
+        Called when the initiating node crashes: its client-side protocol
+        state died with it, so the operations can never complete on their own
+        — resolving them here is what keeps the conservation invariant (every
+        submitted operation resolves exactly once) under crash-restart.
+        Queued entries are failed first so freeing the running ops' slots does
+        not launch doomed work from the same initiator.  Returns the number
+        of operations failed.
+        """
+        queued = [
+            entry.future
+            for entry in self._queue
+            if entry.future.initiator == initiator and entry.future.state == QUEUED
+        ]
+        running = [f for f in self._running if f.initiator == initiator]
+        count = 0
+        for future in queued + running:
+            if future.done():
+                continue
+            count += 1
+            self.fail(future, error)
+        return count
+
     # -- internals --------------------------------------------------------------
 
     def _has_slot_for(self, initiator: str) -> bool:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..common.errors import NodeFailedError
 from ..common.types import RelationData, Value
 from .futures import OpFuture
 from .scheduler import Scheduler, SchedulerConfig
@@ -43,6 +44,18 @@ class Session:
     def scheduler(self) -> Scheduler:
         return self.runtime.scheduler
 
+    def _require_live_initiator(self) -> None:
+        """Raise unless this session's node is up.
+
+        Called inside the launch closures: an operation submitted while its
+        initiating node is down must fail — cached state on the initiator
+        could otherwise answer it without ever touching the network, silently
+        resurrecting a dead process.  Raising here turns the launch into the
+        operation's failure through the scheduler's normal error path.
+        """
+        if not self.cluster.network.node(self.address).alive:
+            raise NodeFailedError(self.address, "operation initiated from a failed node")
+
     # -- publish ----------------------------------------------------------------
 
     def submit_publish(
@@ -53,15 +66,22 @@ class Session:
     ) -> OpFuture:
         """Publish a batch asynchronously; the future resolves to the epoch.
 
-        The epoch is assigned (and the optimizer catalog updated) at *launch*
-        — admission time, not submission — so concurrent publishes receive
-        distinct epochs in deterministic admission order, while a publish the
-        scheduler rejects, times out in the queue, or that is cancelled
-        before launching leaves no phantom state behind (no catalog entry, no
-        burned epoch).  On completion the new epoch is gossiped, every node's
-        caches learn which relation changed, and the cluster's *durable*
-        epoch advances — operations submitted afterwards see the new version
-        by default.
+        Publishes to the *same* relation are serialised: each one starts only
+        after its predecessor in the per-relation chain resolved, so every
+        version builds on the committed previous version (two interleaved
+        publishes would otherwise both build on the same base, and whichever
+        committed first would vanish from all later versions — a lost
+        update).  Publishes to different relations still run concurrently.
+
+        The epoch is assigned (and the optimizer catalog updated) when the
+        publish actually starts — at admission for an unchained publish — so
+        concurrent publishes receive distinct epochs in deterministic start
+        order, while a publish the scheduler rejects, times out in the queue,
+        or that is cancelled before starting leaves no phantom state behind
+        (no catalog entry, no burned epoch).  On completion the new epoch is
+        gossiped, every node's caches learn which relation changed, and the
+        cluster's *durable* epoch advances — operations submitted afterwards
+        see the new version by default.
         """
         from ..storage.client import UpdateBatch
 
@@ -75,7 +95,32 @@ class Session:
         future = OpFuture("publish", self.address, label=batch.relation)
         future._incomplete = f"publish of {batch.relation!r} did not complete"
 
-        def launch() -> None:
+        def begin() -> None:
+            if future.done():
+                return  # timed out, cancelled, or its initiator crashed while chained
+            # The immediate predecessor may have died *without starting* (its
+            # initiator crashed while it waited in the chain); its resolution
+            # releases this entry while an earlier publish of the relation is
+            # still mid-flight.  Re-chain onto whatever is actually executing
+            # — starting now would read a base the running publish is about
+            # to supersede, and its batch would vanish from every later
+            # version.
+            running = cluster._publishing.get(batch.relation)
+            if running is not None and running is not future and not running.done():
+                running.add_done_callback(lambda _prev: begin())
+                return
+            cluster._publishing[batch.relation] = future
+            try:
+                start_publish()
+            except Exception as exc:
+                # A chained begin runs from the predecessor's done-callback,
+                # deep inside the event loop: a synchronous failure (e.g. the
+                # publisher crashed while waiting in the chain) must become
+                # this operation's result, not an event-loop exception.
+                self.scheduler.fail(future, exc)
+
+        def start_publish() -> None:
+            self._require_live_initiator()
             if isinstance(data, RelationData):
                 cluster.catalog.register_relation(data)
             elif batch.relation not in cluster.catalog:
@@ -99,10 +144,31 @@ class Session:
                 publisher.gossip.announce(publish_epoch)
                 cluster.note_publish(batch.relation, publish_epoch)
                 cluster.durable_epoch = max(cluster.durable_epoch, publish_epoch)
+                cluster._acked_epochs[batch.relation] = max(
+                    cluster._acked_epochs.get(batch.relation, 0), publish_epoch
+                )
                 self.scheduler.complete(future, publish_epoch)
 
-            publisher.storage_client.publish(batch, publish_epoch, on_complete=completed)
+            publisher.storage_client.publish(
+                batch, publish_epoch, on_complete=completed,
+                previous_epoch_hint=cluster._acked_epochs.get(batch.relation),
+            )
 
+        def launch() -> None:
+            predecessor = cluster._publish_tails.get(batch.relation)
+            cluster._publish_tails[batch.relation] = future
+            if predecessor is not None and not predecessor.done():
+                predecessor.add_done_callback(lambda _prev: begin())
+            else:
+                begin()
+
+        def release_chain(resolved: OpFuture) -> None:
+            if cluster._publish_tails.get(batch.relation) is resolved:
+                del cluster._publish_tails[batch.relation]
+            if cluster._publishing.get(batch.relation) is resolved:
+                del cluster._publishing[batch.relation]
+
+        future.add_done_callback(release_chain)
         return self.scheduler.submit(future, launch, timeout=timeout)
 
     # -- retrieve ---------------------------------------------------------------
@@ -123,6 +189,7 @@ class Session:
         future._incomplete = f"retrieval of {relation!r}@{epoch} did not complete"
 
         def launch() -> None:
+            self._require_live_initiator()
             requester.storage_client.retrieve(
                 relation,
                 epoch,
@@ -186,6 +253,7 @@ class Session:
         future._incomplete = f"query {plan.name!r} did not complete"
 
         def launch() -> None:
+            self._require_live_initiator()
             service.execute(
                 plan,
                 epoch,

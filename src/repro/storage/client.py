@@ -179,10 +179,22 @@ class StorageClient:
         epoch: int,
         on_complete: Callable[[CoordinatorRecord], None],
         snapshot: RoutingSnapshot | None = None,
+        previous_epoch_hint: int | None = None,
     ) -> None:
-        """Publish ``batch`` as the version of its relation at ``epoch``."""
+        """Publish ``batch`` as the version of its relation at ``epoch``.
+
+        ``previous_epoch_hint`` is a floor on the previous version: an epoch
+        the caller *knows* was committed (the runtime remembers the last
+        epoch it acknowledged per relation).  It protects against building on
+        a stale base when every current catalog replica happens to miss the
+        newest entry — possible right after a crash-restarted node, whose
+        durable store predates that entry, reclaimed the catalog range.
+        """
         snapshot = snapshot or self.membership.snapshot()
-        operation = _PublishOperation(self, batch, epoch, snapshot, on_complete)
+        operation = _PublishOperation(
+            self, batch, epoch, snapshot, on_complete,
+            previous_epoch_hint=previous_epoch_hint,
+        )
         operation.start()
 
     # ----------------------------------------------------------------- retrieve
@@ -204,9 +216,86 @@ class StorageClient:
             self, request_id, relation, epoch, key_predicate, snapshot, on_complete, on_error
         )
         self._retrievals[request_id] = operation
-        operation.start()
+        try:
+            operation.start()
+        except Exception:
+            self._retrievals.pop(request_id, None)
+            raise
 
     # -------------------------------------------------------- epoch resolution
+
+    def fetch_catalog_epochs(
+        self,
+        relation: str,
+        snapshot: RoutingSnapshot,
+        on_epochs: Callable[[set[int]], None],
+    ) -> None:
+        """Collect the union of the relation's published epochs.
+
+        The catalog entry is a *grow-only set* replicated by set-union writes,
+        so after membership churn different replicas may hold different
+        subsets — a node that just inherited the catalog range knows only the
+        epochs published since, while the previous holders know the older
+        ones.  Trusting any single reply can therefore silently hide a
+        committed version (a retrieval resolves too far back; worse, a
+        publisher builds the next version on a stale base and loses the
+        intervening batch from every later version).  The whole current
+        replica set is queried in parallel and the replies are unioned; only
+        when every member is down or empty does the search extend, one node
+        at a time, across the rest of the snapshot.  ``on_epochs`` receives
+        the union (possibly empty for an unpublished relation).
+        """
+        targets = search_targets(snapshot, catalog_key(relation), self.replication_factor,
+                                 exclude=())
+        primary = targets[: self.replication_factor]
+        rest = targets[self.replication_factor:]
+        epochs: set[int] = set()
+        outstanding = {"count": len(primary)}
+
+        def extend(index: int) -> None:
+            if index >= len(rest):
+                on_epochs(set(epochs))
+                return
+
+            def handle(reply: Mapping[str, object]) -> None:
+                if reply.get("missing"):
+                    extend(index + 1)
+                    return
+                epochs.update(reply["epochs"])
+                on_epochs(set(epochs))
+
+            self.rpc.call(
+                rest[index], "store.get_catalog", {"relation": relation}, 24,
+                on_reply=handle,
+                on_failure=lambda _addr: extend(index + 1),
+            )
+
+        def conclude() -> None:
+            if epochs:
+                on_epochs(set(epochs))
+            else:
+                extend(0)
+
+        def answered(reply: Mapping[str, object]) -> None:
+            if not reply.get("missing"):
+                epochs.update(reply["epochs"])
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                conclude()
+
+        def failed(_addr: str) -> None:
+            outstanding["count"] -= 1
+            if outstanding["count"] == 0:
+                conclude()
+
+        if not primary:
+            on_epochs(set())
+            return
+        for target in primary:
+            self.rpc.call(
+                target, "store.get_catalog", {"relation": relation}, 24,
+                on_reply=answered, on_failure=failed,
+            )
 
     def resolve_epoch(
         self,
@@ -222,35 +311,22 @@ class StorageClient:
             if cached is not None:
                 self.node.network.schedule(1e-6, lambda: on_resolved(cached))
                 return
-        targets = search_targets(snapshot, catalog_key(relation), self.replication_factor,
-                                 exclude=())
 
-        def attempt(index: int) -> None:
-            if index >= len(targets):
+        def resolve(known: set[int]) -> None:
+            if not known:
                 on_error(RelationNotFoundError(f"relation {relation!r} is not published"))
                 return
+            usable = [e for e in known if e <= epoch]
+            if not usable:
+                on_error(EpochNotFoundError(
+                    f"relation {relation!r} has no version at or before epoch {epoch}"))
+                return
+            resolved = max(usable)
+            if self.cache is not None:
+                self.cache.put_resolution(relation, epoch, resolved)
+            on_resolved(resolved)
 
-            def handle(reply: Mapping[str, object]) -> None:
-                if reply.get("missing"):
-                    attempt(index + 1)
-                    return
-                epochs = [e for e in reply["epochs"] if e <= epoch]
-                if not epochs:
-                    on_error(EpochNotFoundError(
-                        f"relation {relation!r} has no version at or before epoch {epoch}"))
-                    return
-                resolved = max(epochs)
-                if self.cache is not None:
-                    self.cache.put_resolution(relation, epoch, resolved)
-                on_resolved(resolved)
-
-            self.rpc.call(
-                targets[index], "store.get_catalog", {"relation": relation}, 24,
-                on_reply=handle,
-                on_failure=lambda _addr: attempt(index + 1),
-            )
-
-        attempt(0)
+        self.fetch_catalog_epochs(relation, snapshot, resolve)
 
     def fetch_coordinator(
         self,
@@ -290,28 +366,6 @@ class StorageClient:
 
         attempt(0)
 
-    # ------------------------------------------------------------------ helpers
-
-    def _call_with_failover(
-        self,
-        targets: Sequence[str],
-        method: str,
-        payload: Mapping[str, object],
-        size: int,
-        on_reply: Callable[[Mapping[str, object]], None],
-        on_exhausted: Callable[[], None],
-    ) -> None:
-        if not targets:
-            on_exhausted()
-            return
-        self.rpc.call(
-            targets[0], method, payload, size,
-            on_reply=on_reply,
-            on_failure=lambda _addr: self._call_with_failover(
-                targets[1:], method, payload, size, on_reply, on_exhausted
-            ),
-        )
-
     # ----------------------------------------------- retrieve message handlers
 
     def _on_retrieve_manifest(self, _src: str, payload: Mapping[str, object], _respond) -> None:
@@ -327,6 +381,30 @@ class StorageClient:
     def _finish_retrieval(self, request_id: int) -> None:
         self._retrievals.pop(request_id, None)
 
+    def reset_volatile(self) -> None:
+        """Abandon all in-flight retrievals after a crash-restart.
+
+        Their futures were failed when the node crashed; the operations'
+        failure listeners must be unhooked too, or the next unrelated failure
+        would resurrect them as zombies on the restarted node.
+        """
+        for operation in list(self._retrievals.values()):
+            operation._finished = True
+            self.node.remove_failure_listener(operation._on_peer_failure)
+        self._retrievals.clear()
+
+    def _rekey_retrieval(self, operation: "_RetrieveOperation") -> None:
+        """Give a restarting retrieval a fresh request id.
+
+        Results addressed to the old id find no operation and are dropped —
+        that is what keeps a restarted retrieval duplicate-free even when
+        data nodes from the aborted attempt are still pushing results.
+        """
+        self._retrievals.pop(operation.request_id, None)
+        self._next_request_id += 1
+        operation.request_id = self._next_request_id
+        self._retrievals[operation.request_id] = operation
+
 
 class _PublishOperation:
     """State machine for publishing one :class:`UpdateBatch` at one epoch."""
@@ -338,6 +416,7 @@ class _PublishOperation:
         epoch: int,
         snapshot: RoutingSnapshot,
         on_complete: Callable[[CoordinatorRecord], None],
+        previous_epoch_hint: int | None = None,
     ) -> None:
         self.client = client
         self.batch = batch
@@ -345,26 +424,28 @@ class _PublishOperation:
         self.snapshot = snapshot
         self.on_complete = on_complete
         self.relation = batch.relation
+        self.previous_epoch_hint = previous_epoch_hint
+        self._known_epochs: set[int] = set()
         self._previous_record: CoordinatorRecord | None = None
         self._previous_pages: dict[PageId, IndexPage] = {}
 
     # -- step 1: discover the previous version -------------------------------
 
     def start(self) -> None:
-        targets = replica_set(
-            self.snapshot, catalog_key(self.relation), self.client.replication_factor
-        )
-        self.client._call_with_failover(
-            targets,
-            "store.get_catalog",
-            {"relation": self.relation},
-            24,
-            on_reply=self._with_catalog,
-            on_exhausted=lambda: self._with_catalog({"missing": True}),
-        )
+        # The previous version is looked up through the union of the catalog
+        # replicas (see StorageClient.fetch_catalog_epochs): building on a
+        # stale catalog subset would silently drop the unseen batches from
+        # this and every later version.
+        self.client.fetch_catalog_epochs(self.relation, self.snapshot, self._with_catalog)
 
-    def _with_catalog(self, reply: Mapping[str, object]) -> None:
-        previous_epochs = [] if reply.get("missing") else [e for e in reply["epochs"] if e < self.epoch]
+    def _with_catalog(self, known_epochs: set) -> None:
+        self._known_epochs = set(known_epochs)
+        if self.previous_epoch_hint is not None:
+            # The caller vouches for this epoch even if no reachable catalog
+            # replica lists it; the coordinator record it points to is found
+            # by exhaustive search.
+            self._known_epochs.add(self.previous_epoch_hint)
+        previous_epochs = [e for e in self._known_epochs if e < self.epoch]
         if not previous_epochs:
             self._build_first_version()
             return
@@ -396,25 +477,54 @@ class _PublishOperation:
                     self._previous_pages[ref.page_id] = cached_page
                     continue
             completion.add()
-            targets = [
-                physical_address(addr)
-                for addr in self.snapshot.replicas_for_key(ref.storage_key, self.client.replication_factor)
-            ]
-            self.client._call_with_failover(
-                targets,
-                "store.get_page",
-                {"page_id": ref.page_id},
-                32,
-                on_reply=lambda rep, ref=ref: self._store_previous_page(ref, rep, completion),
-                on_exhausted=completion.done,
-            )
+            self._fetch_previous_page(ref, completion)
         completion.seal()
 
+    def _fetch_previous_page(self, ref: PageRef, completion: _Completion) -> None:
+        """Fetch one affected previous-version page, searching exhaustively.
+
+        The new version of an affected page is built as *previous page ±
+        changes*, so fetching the previous version is correctness-critical: a
+        miss silently treated as an empty page would drop every unchanged
+        tuple ID the page carried.  After a membership change the page may
+        legitimately live outside its current replica set (the ring moved and
+        background replication has not caught up), so a ``missing`` reply
+        fails over to the next candidate exactly like a crashed one, across
+        *all* live nodes of the snapshot — the paper's "search other nodes
+        nearby in the system until it found a copy" rule.
+        """
+        targets = search_targets(
+            self.snapshot, ref.storage_key, self.client.replication_factor,
+            exclude=(self.client.node.address,),
+        )
+        local = self.client.node.services.get("storage")
+        if local is not None:
+            page = local.local_or_cached_page(ref.page_id)
+            if page is not None:
+                self._previous_pages[ref.page_id] = page
+                completion.done()
+                return
+
+        def attempt(index: int) -> None:
+            if index >= len(targets):
+                # No live node holds the page: its tuples are unrecoverable
+                # (the failure exceeded the replication factor).  Publishing
+                # proceeds with an empty base rather than deadlocking.
+                completion.done()
+                return
+            self.client.rpc.call(
+                targets[index], "store.get_page", {"page_id": ref.page_id}, 32,
+                on_reply=lambda rep: self._store_previous_page(ref, rep, completion)
+                if not rep.get("missing") else attempt(index + 1),
+                on_failure=lambda _addr: attempt(index + 1),
+            )
+
+        attempt(0)
+
     def _store_previous_page(self, ref: PageRef, reply: Mapping[str, object], completion: _Completion) -> None:
-        if not reply.get("missing"):
-            self._previous_pages[ref.page_id] = reply["page"]
-            if self.client.cache is not None:
-                self.client.cache.put_page(reply["page"])
+        self._previous_pages[ref.page_id] = reply["page"]
+        if self.client.cache is not None:
+            self.client.cache.put_page(reply["page"])
         completion.done()
 
     def _affected_pages(self, record: CoordinatorRecord) -> list[PageRef]:
@@ -520,8 +630,18 @@ class _PublishOperation:
         new_pages: list[IndexPage],
         new_tuples: list[VersionedTuple],
     ) -> None:
+        """Write the version out, with the catalog entry as the commit point.
+
+        Tuples, inverse entries, index pages and the coordinator record fan
+        out concurrently; the catalog entry — what epoch resolution consults —
+        is written only once all of them are acknowledged (or failed over).
+        A publisher that crashes mid-publish therefore leaves either a fully
+        readable version or an invisible orphan: the torn state where a
+        resolvable epoch points at half-written pages cannot occur, and the
+        next publish of the relation builds on the last *committed* version.
+        """
         record = CoordinatorRecord(self.relation, self.epoch, refs)
-        completion = _Completion(lambda: self.on_complete(record))
+        completion = _Completion(lambda: self._commit(record))
         replication = self.client.replication_factor
         rpc = self.client.rpc
 
@@ -569,7 +689,7 @@ class _PublishOperation:
                     on_failure=lambda _addr: completion.done(),
                 )
 
-        # Relation coordinator record and catalog entry.
+        # Relation coordinator record (the catalog entry follows in _commit).
         for destination in replica_set(
             self.snapshot, coordinator_key(self.relation, self.epoch), replication
         ):
@@ -580,15 +700,31 @@ class _PublishOperation:
                 on_reply=lambda _rep: completion.done(),
                 on_failure=lambda _addr: completion.done(),
             )
-        for destination in replica_set(self.snapshot, catalog_key(self.relation), replication):
+
+        completion.seal()
+
+    def _commit(self, record: CoordinatorRecord) -> None:
+        """Write the catalog entries — the version becomes resolvable — then ack.
+
+        The write carries every epoch this publish learnt of, not just its
+        own: catalog entries are grow-only sets merged on write, so each
+        publish doubles as an anti-entropy round that back-fills replicas
+        (e.g. a crash-restarted node whose durable catalog predates recent
+        versions) with the epochs they missed.
+        """
+        epochs = sorted(self._known_epochs | {self.epoch})
+        completion = _Completion(lambda: self.on_complete(record))
+        rpc = self.client.rpc
+        for destination in replica_set(
+            self.snapshot, catalog_key(self.relation), self.client.replication_factor
+        ):
             completion.add()
             rpc.call(
                 destination, "store.put_catalog",
-                {"relation": self.relation, "epochs": [self.epoch]}, 16,
+                {"relation": self.relation, "epochs": epochs}, 8 + 8 * len(epochs),
                 on_reply=lambda _rep: completion.done(),
                 on_failure=lambda _addr: completion.done(),
             )
-
         completion.seal()
 
 
@@ -629,20 +765,101 @@ class _RetrieveOperation:
         self._cached_pages: set[PageId] = set()
         self._unavailable_pages: set[PageId] = set()
         self._pages_from_cache = 0
+        #: Bumped on every failure-driven restart; callbacks belonging to an
+        #: earlier attempt are discarded when they fire late.
+        self._attempt = 0
+        self._restarts = 0
+
+    #: Retrieval restarts tolerated before the operation gives up.  Each
+    #: restart corresponds to (at least) one node failing mid-retrieval.
+    MAX_RESTARTS = 3
 
     def start(self) -> None:
+        # Algorithm 1's data flow is push-based (casts from index and data
+        # nodes back to the requester), so a participant crashing mid-flight
+        # would otherwise leave the retrieval waiting forever for results
+        # that died with it.  The operation therefore watches the transport's
+        # failure signal and restarts itself against a fresh snapshot.  The
+        # listener is registered after the (synchronous) kick-off so a send
+        # that raises — e.g. the requester itself is down — leaks nothing.
+        self._begin()
+        self.client.node.add_failure_listener(self._on_peer_failure)
+
+    def _begin(self) -> None:
+        attempt = self._attempt
         self.client.resolve_epoch(
             self.relation, self.epoch, self.snapshot,
-            on_resolved=self._with_epoch,
-            on_error=self._fail,
+            on_resolved=self._guarded(attempt, self._with_epoch),
+            on_error=self._guarded(attempt, self._fail),
         )
 
+    def _guarded(self, attempt: int, callback):
+        """Wrap ``callback`` so it fires only for the current attempt."""
+
+        def guarded(*args) -> None:
+            if self._finished or attempt != self._attempt:
+                return
+            callback(*args)
+
+        return guarded
+
+    def _on_peer_failure(self, failed_address: str) -> None:
+        """A node failed while this retrieval was in flight: restart it.
+
+        By the time the failure signal fires, the membership view already
+        removed the failed node (it registered its listener first), so the
+        fresh snapshot routes every page to live owners, and the data-node
+        fallback search covers tuples whose owner died.  The restart takes a
+        new request id — results from the aborted attempt find no matching
+        operation and are dropped, so the final tuple set carries no
+        duplicates.
+        """
+        if self._finished:
+            return
+        # A node outside this attempt's snapshot cannot be serving any part
+        # of it (every request and fallback search targets snapshot members),
+        # so its failure must not burn the bounded restart budget.
+        if not any(
+            physical_address(entry) == failed_address
+            for entry in self.snapshot.nodes
+        ):
+            return
+        if not self._restart_attempt():
+            self._fail(TupleNotFoundError(
+                f"retrieval of {self.relation!r}@{self.epoch} restarted "
+                f"{self.MAX_RESTARTS} times without completing"))
+
+    def _restart_attempt(self) -> bool:
+        """Reset per-attempt state and re-run against a fresh snapshot.
+
+        Returns False (without restarting) once the restart budget is spent.
+        """
+        self._restarts += 1
+        if self._restarts > self.MAX_RESTARTS:
+            return False
+        self._attempt += 1
+        self.snapshot = self.client.membership.snapshot()
+        self.resolved_epoch = None
+        self._expected_pages = 0
+        self._manifests.clear()
+        self._results_per_page.clear()
+        self._tuples.clear()
+        self._missing.clear()
+        self._page_tuples.clear()
+        self._cached_pages.clear()
+        self._unavailable_pages.clear()
+        self._pages_from_cache = 0
+        self.client._rekey_retrieval(self)
+        self._begin()
+        return True
+
     def _with_epoch(self, resolved_epoch: int) -> None:
+        attempt = self._attempt
         self.resolved_epoch = resolved_epoch
         self.client.fetch_coordinator(
             self.relation, resolved_epoch, self.snapshot,
-            on_record=self._with_record,
-            on_error=self._fail,
+            on_record=self._guarded(attempt, self._with_record),
+            on_error=self._guarded(attempt, self._fail),
         )
 
     def _with_record(self, record: CoordinatorRecord) -> None:
@@ -712,7 +929,19 @@ class _RetrieveOperation:
         self._finish()
 
     def _finish(self) -> None:
+        if self._unavailable_pages and not self._missing:
+            # A page no reachable node could produce: its rows would be
+            # silently absent from the result, which must never happen —
+            # retry against a fresh snapshot (the holder may have restarted),
+            # then give up loudly.
+            if self._restart_attempt():
+                return
+            self._fail(TupleNotFoundError(
+                f"{len(self._unavailable_pages)} index page(s) of "
+                f"{self.relation!r}@{self.epoch} are unavailable on every replica"))
+            return
         self._finished = True
+        self.client.node.remove_failure_listener(self._on_peer_failure)
         self.client._finish_retrieval(self.request_id)
         if self._missing:
             self.on_error(TupleNotFoundError(
@@ -744,6 +973,7 @@ class _RetrieveOperation:
 
     def _fail(self, exc: Exception) -> None:
         self._finished = True
+        self.client.node.remove_failure_listener(self._on_peer_failure)
         self.client._finish_retrieval(self.request_id)
         self.on_error(exc)
 
@@ -863,20 +1093,31 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
             scan_page(page)
             return
         # The page is not here (e.g. the ring moved since it was written):
-        # fetch it from a replica, keep a local copy, then continue.
+        # fetch it from a replica, keep a local copy, then continue.  A
+        # ``missing`` reply fails over to the next candidate exactly like a
+        # crashed one — after membership churn the page may sit on any node
+        # of the snapshot, and the first candidate answering "not here" says
+        # nothing about the others.
         targets = search_targets(
             snapshot, ref.storage_key, replication_factor, exclude=(node.address,)
         )
 
-        def fetched(reply: Mapping[str, object]) -> None:
-            if reply.get("missing"):
+        def attempt(index: int) -> None:
+            if index >= len(targets):
                 page_unavailable()
                 return
+            rpc.call(
+                targets[index], "store.get_page", {"page_id": ref.page_id}, 32,
+                on_reply=lambda reply: fetched(reply)
+                if not reply.get("missing") else attempt(index + 1),
+                on_failure=lambda _addr: attempt(index + 1),
+            )
+
+        def fetched(reply: Mapping[str, object]) -> None:
             service.store_page(reply["page"])
             scan_page(reply["page"])
 
-        _failover_call(rpc, targets, "store.get_page", {"page_id": ref.page_id}, 32,
-                       fetched, page_unavailable)
+        attempt(0)
 
     rpc.register("store.retrieve_page", on_retrieve_page)
     rpc.register("store.retrieve_tuples", on_retrieve_tuples)
@@ -896,24 +1137,3 @@ class _CompletionCounter:
         if self._outstanding == 0:
             self._on_complete()
 
-
-def _failover_call(
-    rpc: RpcEndpoint,
-    targets: Sequence[str],
-    method: str,
-    payload: Mapping[str, object],
-    size: int,
-    on_reply: Callable[[Mapping[str, object]], None],
-    on_exhausted: Callable[[], None],
-) -> None:
-    """Try ``targets`` in order until one replies; used for replica failover."""
-    if not targets:
-        on_exhausted()
-        return
-    rpc.call(
-        targets[0], method, payload, size,
-        on_reply=on_reply,
-        on_failure=lambda _addr: _failover_call(
-            rpc, targets[1:], method, payload, size, on_reply, on_exhausted
-        ),
-    )

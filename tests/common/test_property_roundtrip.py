@@ -1,0 +1,182 @@
+"""Seeded property-style round-trip tests for serialization and hashing.
+
+Randomized payloads — unicode (including astral planes), deep nesting, empty
+collections, huge integers, special floats — are generated from a fixed seed
+so every failure replays exactly.  These tests surfaced (and now pin) a real
+round-trip bug: integers wider than 255 bytes overflowed ``_TAG_INT``'s
+one-byte length field; they are carried by the ``_TAG_BIGINT`` encoding.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.common.hashing import (
+    KEY_SPACE_SIZE,
+    KeyRange,
+    ranges_partition_ring,
+    sha1_key,
+)
+from repro.common.serialization import (
+    TupleBatch,
+    decode_value,
+    decode_values,
+    encode_value,
+    encode_values,
+)
+
+ALPHABETS = (
+    "abcdefghijklmnop",
+    "äöüßéèêñçøå",
+    "московский",
+    "情報統合思念体",
+    "🜁🜂🜃🜄𝔘𝔫𝔦𝔠𝔬𝔡𝔢🚀",
+)
+
+
+def random_scalar(rng: random.Random, *, big: bool = True):
+    kind = rng.randrange(8)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return rng.random() < 0.5
+    if kind == 2:
+        return rng.randint(-(10 ** rng.randrange(1, 19)), 10 ** rng.randrange(1, 19))
+    if kind == 3 and big:
+        # Wider than 255 bytes two's-complement: the _TAG_BIGINT regression.
+        magnitude = rng.randrange(2040, 4200)
+        return rng.choice((-1, 1)) * (1 << magnitude) + rng.randrange(1 << 64)
+    if kind == 4:
+        return rng.choice(
+            (0.0, -0.0, 1.5, -2.25e300, 5e-324, math.inf, -math.inf)
+        ) * rng.choice((1, rng.random() + 0.1))
+    if kind == 5:
+        alphabet = rng.choice(ALPHABETS)
+        return "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 24)))
+    if kind == 6:
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 32)))
+    return rng.randrange(1000)
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    if depth < 3 and rng.random() < 0.25:
+        return tuple(
+            random_value(rng, depth + 1) for _ in range(rng.randrange(0, 5))
+        )
+    return random_scalar(rng)
+
+
+def values_equal(left, right) -> bool:
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        return len(left) == len(right) and all(
+            values_equal(a, b) for a, b in zip(left, right)
+        )
+    if isinstance(left, float) and isinstance(right, float):
+        if math.isnan(left) or math.isnan(right):
+            return math.isnan(left) and math.isnan(right)
+        return left == right and math.copysign(1, left) == math.copysign(1, right)
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_single_values_round_trip(self, seed):
+        rng = random.Random(seed)
+        for case in range(150):
+            value = random_value(rng)
+            decoded, consumed = decode_value(encode_value(value))
+            assert values_equal(decoded, value), f"seed={seed} case={case}: {value!r}"
+            assert consumed == len(encode_value(value))
+
+    def test_huge_integers_round_trip(self):
+        # The regression pinned explicitly: ±(2**2040 + k) needs > 255 bytes.
+        for value in (1 << 2040, -(1 << 2040) - 12345, (1 << 4096) + 7):
+            decoded, _ = decode_value(encode_value(value))
+            assert decoded == value
+
+    def test_boundary_integers_keep_the_compact_encoding(self):
+        # Up to 255 encoded bytes the original tag (and wire size) is used.
+        boundary = (1 << 2031) - 1  # 2032 bits -> 255 bytes two's-complement
+        assert encode_value(boundary)[0] == 2  # _TAG_INT
+        assert decode_value(encode_value(boundary))[0] == boundary
+        assert encode_value(boundary + 1)[0] == 7  # _TAG_BIGINT
+
+    def test_nan_round_trips(self):
+        decoded, _ = decode_value(encode_value(math.nan))
+        assert math.isnan(decoded)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rows_round_trip(self, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(60):
+            row = tuple(random_value(rng) for _ in range(rng.randrange(0, 8)))
+            decoded, _ = decode_values(encode_values(row))
+            assert values_equal(decoded, row)
+
+    def test_empty_collections(self):
+        assert decode_value(encode_value(()))[0] == ()
+        assert decode_values(encode_values(()))[0] == ()
+        assert decode_value(encode_value(""))[0] == ""
+        assert decode_value(encode_value(b""))[0] == b""
+
+
+class TestTupleBatchRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batches_round_trip_through_compression(self, seed):
+        rng = random.Random(2000 + seed)
+        arity = rng.randrange(1, 6)
+        attributes = [f"a{i}" for i in range(arity)]
+        rows = [
+            tuple(random_scalar(rng, big=False) for _ in range(arity))
+            for _ in range(rng.randrange(0, 40))
+        ]
+        batch = TupleBatch.build(attributes, rows)
+        rebuilt = TupleBatch.unmarshal(batch.compressed_payload())
+        assert rebuilt.attributes == tuple(attributes)
+        assert len(rebuilt.rows) == len(rows)
+        for original, round_tripped in zip(rows, rebuilt.rows):
+            assert values_equal(round_tripped, original)
+
+    def test_empty_batch(self):
+        batch = TupleBatch.build(("x", "y"), [])
+        rebuilt = TupleBatch.unmarshal(batch.compressed_payload())
+        assert rebuilt.rows == [] and rebuilt.attributes == ("x", "y")
+
+
+class TestHashingProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deterministic_and_in_range(self, seed):
+        rng = random.Random(3000 + seed)
+        for _ in range(100):
+            value = random_value(rng)
+            try:
+                key = sha1_key(value)
+            except TypeError:
+                continue  # floats inside are fine; only unhashable kinds skip
+            assert 0 <= key < KEY_SPACE_SIZE
+            assert sha1_key(value) == key
+
+    def test_composite_boundaries_hash_differently(self):
+        assert sha1_key(("ab", "c")) != sha1_key(("a", "bc"))
+        assert sha1_key(("", "a")) != sha1_key(("a", ""))
+        assert sha1_key((1,)) != sha1_key(("1",))
+        assert sha1_key(True) != sha1_key(1)
+        assert sha1_key(None) != sha1_key("")
+
+    def test_lists_and_tuples_hash_identically(self):
+        assert sha1_key(["a", 1, None]) == sha1_key(("a", 1, None))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_splits_partition_the_ring(self, seed):
+        rng = random.Random(4000 + seed)
+        pieces = KeyRange.full_ring(rng.randrange(KEY_SPACE_SIZE)).split(
+            rng.randrange(1, 40)
+        )
+        assert ranges_partition_ring(pieces)
+        for piece in pieces:
+            for key in piece.keys_sample(3):
+                assert piece.contains(key)
+                assert sum(1 for other in pieces if other.contains(key)) == 1

@@ -1,0 +1,137 @@
+"""Cache behaviour under faults (eviction + invalidation across crash-restart).
+
+The dangerous interaction: a publishing node crashes mid-publish and later
+restarts.  Whatever the caches held — semantic query results keyed by
+relation-version epochs, node-level pages/batches/resolutions — must never
+surface data that contradicts a cache-bypassing execution, and the restarted
+node itself comes back with cold (volatile) caches over its durable store.
+"""
+
+from repro.cache import CacheConfig
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.faults.invariants import result_bytes
+from repro.query.logical import LogicalQuery, LogicalScan
+from repro.query.service import QueryOptions
+from repro.storage.client import UpdateBatch
+
+
+def make_relation(rows=150, name="readings"):
+    data = RelationData(Schema(name, ["k", "site", "v"], key=["k"]))
+    for i in range(rows):
+        data.add(f"k{i:04d}", f"s{i % 7}", i)
+    return data
+
+
+def build_cached_cluster(num_nodes=6, **cache_kwargs):
+    cluster = Cluster(num_nodes, cache_config=CacheConfig(**cache_kwargs))
+    cluster.network.failure_detection_delay = 0.002
+    return cluster
+
+
+def scan_query(schema):
+    return LogicalQuery(LogicalScan(schema), name="scan_all")
+
+
+class TestResultCacheAcrossCrashRestart:
+    def test_publisher_crash_mid_publish_never_leaves_a_stale_warm_hit(self):
+        data = make_relation()
+        cluster = build_cached_cluster()
+        cluster.publish(data)
+        query = scan_query(data.schema)
+        warm_up = cluster.query(query)  # fills the initiator's result cache
+        assert not warm_up.statistics.result_cache_hit
+
+        # A second version is published from a node that crashes mid-publish.
+        publisher = cluster.addresses[2]
+        session = cluster.session(publisher)
+        batch = UpdateBatch(data.schema, inserts=[(f"new{i}", "s0", 1000 + i) for i in range(5)])
+        future = session.submit_publish(batch)
+        cluster.fail_node(publisher, at_time=cluster.now + 0.0004)
+        cluster.run()
+        interrupted_acked = future.succeeded()
+
+        # The crashed publisher restarts and the batch is re-published from a
+        # live node (the runtime failed the original future if the crash won).
+        cluster.restart_node(publisher)
+        cluster.run()
+        if not interrupted_acked:
+            cluster.publish(
+                UpdateBatch(data.schema, inserts=[(f"new{i}", "s0", 1000 + i) for i in range(5)])
+            )
+
+        # Whatever happened, the cached answer must byte-match a fresh
+        # cache-bypassing execution at the current durable epoch.
+        fresh = cluster.query(query, options=QueryOptions(use_result_cache=False))
+        cached = cluster.query(query)
+        assert result_bytes(cached.rows) == result_bytes(fresh.rows)
+        assert len(fresh.rows) == 155
+        # And the new version must actually be visible (no stale epoch served).
+        assert any(str(row[0]).startswith("new") for row in cached.rows)
+
+    def test_restarted_node_comes_back_with_cold_caches(self):
+        data = make_relation()
+        cluster = build_cached_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[1]
+        # Warm the victim's node cache and result cache.
+        cluster.retrieve("readings", from_address=victim)
+        cluster.query(scan_query(data.schema), from_address=victim)
+        assert cluster.nodes[victim].cache.bytes_used > 0
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        # Cache memory is volatile; the durable store is not.
+        assert cluster.nodes[victim].cache.bytes_used == 0
+        assert cluster.nodes[victim].result_cache.store.bytes_used == 0
+        assert cluster.storage(victim).tuple_count() > 0
+        # And a post-restart query from the victim is correct (cold, refills).
+        fresh = cluster.query(
+            scan_query(data.schema), from_address=victim,
+            options=QueryOptions(use_result_cache=False),
+        )
+        cached = cluster.query(scan_query(data.schema), from_address=victim)
+        assert result_bytes(cached.rows) == result_bytes(fresh.rows)
+
+    def test_warm_hits_resume_after_faults_heal(self):
+        data = make_relation()
+        cluster = build_cached_cluster()
+        cluster.publish(data)
+        query = scan_query(data.schema)
+        victim = cluster.addresses[3]
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        first = cluster.query(query)
+        second = cluster.query(query)
+        assert second.statistics.result_cache_hit
+        assert result_bytes(first.rows) == result_bytes(second.rows)
+
+
+class TestEvictionUnderFaultChurn:
+    def test_tiny_budget_evicts_but_stays_coherent_across_a_crash(self):
+        data = make_relation(rows=220)
+        cluster = build_cached_cluster(node_budget_bytes=4096, result_budget_bytes=2048)
+        cluster.publish(data)
+        query = scan_query(data.schema)
+        victim = cluster.addresses[2]
+        for round_index in range(3):
+            cluster.publish(UpdateBatch(
+                data.schema,
+                inserts=[(f"r{round_index}-{i}", "s1", i) for i in range(10)],
+            ))
+            cluster.retrieve("readings")
+            cluster.query(query)
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        cluster.publish(UpdateBatch(data.schema, inserts=[("final", "s1", 1)]))
+        stats = cluster.cache_statistics()
+        assert stats["node"].evictions > 0  # the budget is genuinely tiny
+        fresh = cluster.query(query, options=QueryOptions(use_result_cache=False))
+        cached = cluster.query(query)
+        assert result_bytes(cached.rows) == result_bytes(fresh.rows)
+        assert len(fresh.rows) == 220 + 30 + 1

@@ -1,0 +1,227 @@
+"""Crash-*restart* semantics: durable replay, rejoin, repaired replication.
+
+The seed system modelled crash-stop only.  These tests cover the full cycle:
+a node crashes, its durable local store survives, it restarts under a new
+incarnation, rejoins the membership through the join protocol, learns the
+current epoch through the gossip pull, inherits ranges back, and background
+replication restores the replication factor — after which queries, retrievals
+and publishes behave exactly as if the node had never been away.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.query.reference import evaluate_query, normalise
+from repro.query.logical import LogicalQuery, LogicalScan
+
+
+def make_relation(rows=200, name="readings"):
+    data = RelationData(Schema(name, ["k", "site", "v"], key=["k"]))
+    for i in range(rows):
+        data.add(f"k{i:04d}", f"s{i % 9}", i)
+    return data
+
+
+def build_cluster(num_nodes=6, detection_delay=0.002):
+    cluster = Cluster(num_nodes)
+    cluster.network.failure_detection_delay = detection_delay
+    return cluster
+
+
+class TestRestartMechanics:
+    def test_restart_bumps_incarnation_and_revives(self):
+        cluster = build_cluster()
+        victim = cluster.addresses[2]
+        node = cluster.network.node(victim)
+        cluster.fail_node(victim)
+        assert not node.alive
+        assert victim in cluster.failed_addresses
+        cluster.restart_node(victim)
+        assert node.alive
+        assert node.incarnation == 1
+        assert victim not in cluster.failed_addresses
+
+    def test_durable_store_survives_the_crash(self):
+        data = make_relation()
+        cluster = build_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[1]
+        held_before = cluster.storage(victim).tuple_count()
+        assert held_before > 0
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        # The B+-tree databases play BerkeleyDB's role: they are durable.
+        assert cluster.storage(victim).tuple_count() == held_before
+
+    def test_rejoin_restores_membership_agreement(self):
+        cluster = build_cluster()
+        victim = cluster.addresses[3]
+        cluster.fail_node(victim)
+        cluster.run()
+        for address in cluster.live_addresses():
+            assert victim not in cluster.nodes[address].membership.members()
+        cluster.restart_node(victim)
+        cluster.run()
+        live = sorted(cluster.live_addresses())
+        assert victim in live
+        for address in live:
+            assert sorted(cluster.nodes[address].membership.members()) == live
+
+    def test_gossip_pull_teaches_the_rejoiner_the_current_epoch(self):
+        data = make_relation()
+        cluster = build_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[4]
+        cluster.fail_node(victim)
+        cluster.run()
+        # Two more versions are published while the victim is down.
+        from repro.storage.client import UpdateBatch
+
+        for i in range(2):
+            batch = UpdateBatch(data.schema, inserts=[(f"x{i}", "s0", 1000 + i)])
+            cluster.publish(batch)
+        assert cluster.nodes[victim].gossip.current_epoch < cluster.durable_epoch
+        cluster.restart_node(victim)
+        cluster.run()
+        assert cluster.nodes[victim].gossip.current_epoch == cluster.durable_epoch
+
+    def test_stale_scheduled_crash_does_not_kill_the_new_incarnation(self):
+        cluster = build_cluster()
+        victim = cluster.addresses[0]
+        cluster.fail_node(victim, at_time=1.0)
+        cluster.run(until=0.5)
+        cluster.network.fail_node(victim)   # crash now...
+        cluster.restart_node(victim)        # ...and restart before t=1.0
+        cluster.run()
+        # The pre-scheduled crash was aimed at incarnation 0 and must not
+        # fire against the restarted process.
+        assert cluster.network.node(victim).alive
+
+
+class TestServiceAfterRejoin:
+    def test_queries_correct_after_crash_restart_cycle(self):
+        data = make_relation(300)
+        cluster = build_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[2]
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        cluster.run_background_replication()
+        query = LogicalQuery(LogicalScan(data.schema), name="scan_all")
+        result = cluster.query(query)
+        expected = evaluate_query(query, {"readings": data})
+        assert normalise(result.rows) == normalise(expected)
+
+    def test_rejoined_node_participates_in_new_queries(self):
+        data = make_relation(150)
+        cluster = build_cluster(num_nodes=5)
+        cluster.publish(data)
+        victim = cluster.addresses[1]
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        from repro.overlay.routing import physical_address
+
+        snapshot = cluster.snapshot()
+        assert victim in {physical_address(entry) for entry in snapshot.nodes}
+
+    def test_publish_after_rejoin_builds_on_latest_version(self):
+        from repro.storage.client import UpdateBatch
+
+        data = make_relation(120)
+        cluster = build_cluster()
+        first = cluster.publish(data)
+        victim = cluster.addresses[3]
+        cluster.fail_node(victim)
+        cluster.run()
+        second = cluster.publish(
+            UpdateBatch(data.schema, inserts=[("down0", "s1", 1)])
+        )
+        cluster.restart_node(victim)
+        cluster.run()
+        third = cluster.publish(
+            UpdateBatch(data.schema, inserts=[("up0", "s1", 2)])
+        )
+        assert first < second < third
+        rows = cluster.retrieve("readings", epoch=third).rows()
+        keys = {row[0] for row in rows}
+        # Nothing published while the node was down may vanish afterwards.
+        assert "down0" in keys and "up0" in keys
+        assert len(rows) == 122
+
+    def test_replication_factor_restored_after_rejoin(self):
+        data = make_relation(200)
+        cluster = build_cluster(num_nodes=5)
+        cluster.publish(data)
+        victim = cluster.addresses[0]
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.run_background_replication()
+        cluster.restart_node(victim)
+        cluster.run()
+        for _ in range(4):
+            if cluster.run_background_replication().items_copied == 0:
+                break
+        holders: dict[tuple, set[str]] = {}
+        for address in cluster.live_addresses():
+            for tup in cluster.storage(address).all_local_tuples("readings"):
+                key = (tup.tuple_id.key_values, tup.tuple_id.epoch)
+                holders.setdefault(key, set()).add(address)
+        assert min(len(nodes) for nodes in holders.values()) >= 2
+        fully = sum(1 for nodes in holders.values() if len(nodes) >= 3)
+        assert fully >= 0.98 * len(holders)
+
+
+class TestInitiatorCrash:
+    def test_in_flight_ops_of_a_crashed_initiator_fail(self):
+        data = make_relation(200)
+        cluster = build_cluster()
+        cluster.publish(data)
+        session = cluster.session(cluster.addresses[2])
+        future = session.submit_retrieve("readings")
+        cluster.network.fail_node(cluster.addresses[2])
+        cluster.run()
+        assert future.done() and not future.succeeded()
+        stats = cluster.runtime.scheduler.stats
+        assert stats.in_flight == 0
+
+    def test_restart_abandons_pre_crash_retrievals(self):
+        """A retrieval in flight at the crash must not resurrect as a zombie
+        on the restarted node when a later unrelated failure fires."""
+        data = make_relation(200)
+        cluster = build_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[2]
+        future = cluster.session(victim).submit_retrieve("readings")
+        cluster.network.fail_node(victim)
+        cluster.run()
+        assert future.done() and not future.succeeded()
+        cluster.restart_node(victim)
+        cluster.run()
+        client = cluster.nodes[victim].storage_client
+        assert client._retrievals == {}
+        traffic_before = cluster.traffic_snapshot().total_bytes
+        cluster.fail_node(cluster.addresses[4])  # unrelated later failure
+        cluster.run()
+        # The only traffic after the second failure is its own bookkeeping —
+        # no resurrected retrieval fans out from the restarted node.
+        assert client._retrievals == {}
+        assert cluster.traffic_snapshot().total_bytes == traffic_before
+
+    def test_op_submitted_from_a_down_node_fails_loudly(self):
+        data = make_relation(100)
+        cluster = build_cluster()
+        cluster.publish(data)
+        victim = cluster.addresses[1]
+        cluster.network.fail_node(victim)
+        future = cluster.session(victim).submit_retrieve("readings")
+        cluster.run()
+        assert future.done() and not future.succeeded()
+        with pytest.raises(Exception):
+            future.result()

@@ -1,0 +1,104 @@
+"""Regression tests: Cluster.fail_node bookkeeping around scheduled failures.
+
+After any scheduled (``fail_node_at``) failure has been processed, three
+views of liveness must agree: the simulator's ground truth
+(``Network.live_nodes``), the cluster's crash-instant bookkeeping
+(``Cluster.failed_addresses``) and — once the detection delay elapsed —
+every live node's membership view and the routing snapshots derived from it.
+The trickiest case is a query in flight at the exact failure tick.
+"""
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.overlay.routing import physical_address
+from repro.query.logical import LogicalQuery, LogicalScan
+from repro.query.reference import evaluate_query, normalise
+from repro.query.service import RECOVERY_INCREMENTAL, RECOVERY_RESTART, QueryOptions
+
+
+def make_relation(rows=200):
+    data = RelationData(Schema("R", ["x", "y"], key=["x"]))
+    for i in range(rows):
+        data.add(f"k{i}", i)
+    return data
+
+
+def assert_views_agree(cluster):
+    live = sorted(cluster.live_addresses())
+    assert not (set(live) & cluster.failed_addresses)
+    for address in live:
+        assert sorted(cluster.nodes[address].membership.members()) == live
+    snapshot_nodes = sorted({physical_address(e) for e in cluster.snapshot().nodes})
+    assert snapshot_nodes == live
+
+
+class TestScheduledFailureBookkeeping:
+    def test_failed_addresses_track_scheduled_failures(self):
+        cluster = Cluster(5)
+        victim = cluster.addresses[2]
+        cluster.fail_node(victim, at_time=0.5)
+        assert victim not in cluster.failed_addresses  # not crashed yet
+        cluster.run()
+        assert victim in cluster.failed_addresses
+        assert victim not in cluster.live_addresses()
+        assert_views_agree(cluster)
+
+    def test_query_in_flight_at_the_exact_failure_tick(self):
+        """The failure event fires at the same virtual instant the query's
+        start messages are scheduled — before any of them deliver."""
+        for mode in (RECOVERY_INCREMENTAL, RECOVERY_RESTART):
+            data = make_relation()
+            cluster = Cluster(6)
+            cluster.network.failure_detection_delay = 0.002
+            cluster.publish_relations([data])
+            cluster.enable_query_processing()
+            victim = cluster.addresses[3]
+            cluster.fail_node(victim, at_time=cluster.now)  # exact tick
+            query = LogicalQuery(LogicalScan(data.schema), name="copy")
+            result = cluster.query(query, options=QueryOptions(recovery_mode=mode))
+            expected = evaluate_query(query, {"R": data})
+            assert normalise(result.rows) == normalise(expected)
+            assert_views_agree(cluster)
+
+    def test_failure_scheduled_immediately_after_submission(self):
+        """Submission first, failure event second, same virtual instant."""
+        data = make_relation()
+        cluster = Cluster(6)
+        cluster.network.failure_detection_delay = 0.002
+        cluster.publish_relations([data])
+        cluster.enable_query_processing()
+        victim = cluster.addresses[3]
+        query = LogicalQuery(LogicalScan(data.schema), name="copy")
+        future = cluster.session().submit_query(query)
+        cluster.fail_node(victim, at_time=cluster.now)
+        cluster.run()
+        assert len(future.result().rows) == len(data.rows)
+        assert_views_agree(cluster)
+
+    def test_stale_scheduled_failure_is_bound_to_the_incarnation(self):
+        """A node that crashes and restarts before a pre-scheduled failure
+        fires must stay alive: the schedule was aimed at the old process."""
+        cluster = Cluster(4)
+        victim = cluster.addresses[2]
+        cluster.fail_node(victim, at_time=1.0)
+        cluster.run(until=0.4)
+        cluster.network.fail_node(victim)
+        cluster.restart_node(victim)
+        cluster.run()  # the t=1.0 schedule fires here, against incarnation 1
+        assert cluster.network.node(victim).alive
+        assert victim not in cluster.failed_addresses
+        assert_views_agree(cluster)
+
+    def test_two_scheduled_failures_one_node(self):
+        """A second scheduled crash of an already-dead node is a no-op, and
+        the bookkeeping does not double-count."""
+        cluster = Cluster(5)
+        victim = cluster.addresses[1]
+        cluster.fail_node(victim, at_time=0.1)
+        cluster.fail_node(victim, at_time=0.2)
+        cluster.run()
+        assert victim in cluster.failed_addresses
+        assert sorted(cluster.live_addresses()) == sorted(
+            a for a in cluster.addresses if a != victim
+        )
+        assert_views_agree(cluster)

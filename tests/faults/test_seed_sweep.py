@@ -1,0 +1,63 @@
+"""The chaos seed sweep: randomized fault schedules must uphold every invariant.
+
+Each seed derives a complete scenario — workload, crash-restarts, partitions,
+message-chaos windows, slow nodes — and any failure replays exactly with the
+command printed in the assertion message.  ``CHAOS_SEEDS`` scales the sweep
+(the nightly CI job runs a much larger count than the default tier-1 run).
+"""
+
+import os
+
+import pytest
+
+from repro.faults.scenarios import ScenarioConfig, run_scenario
+
+#: Tier-1 default; the nightly job sets CHAOS_SEEDS to a few hundred.
+SEED_COUNT = int(os.environ.get("CHAOS_SEEDS", "24"))
+CACHE_SEED_COUNT = max(4, SEED_COUNT // 4)
+
+
+def assert_no_violations(report):
+    assert report.ok, (
+        f"seed {report.seed} violated {len(report.violations)} invariant(s):\n  "
+        + "\n  ".join(report.violations)
+        + f"\nreplay with: {report.replay_command()}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_chaos_seed_upholds_all_invariants(seed):
+    report = run_scenario(seed)
+    assert_no_violations(report)
+    # The stabilised cluster must be fully repaired, not merely consistent.
+    assert report.ops_submitted == 14
+    assert report.scheduler["in_flight"] == 0
+    assert report.scheduler["queued"] == 0
+
+
+@pytest.mark.parametrize("seed", range(CACHE_SEED_COUNT))
+def test_chaos_seed_with_caching_enabled(seed):
+    report = run_scenario(10_000 + seed, ScenarioConfig(cache=True))
+    assert_no_violations(report)
+
+
+def test_combined_heavy_fault_mix():
+    config = ScenarioConfig(crashes=2, partitions=2, chaos_windows=2, slow_nodes=2)
+    for seed in range(6):
+        report = run_scenario(20_000 + seed, config)
+        assert_no_violations(report)
+
+
+def test_fault_free_scenario_has_full_availability():
+    report = run_scenario(0, ScenarioConfig().fault_free())
+    assert_no_violations(report)
+    assert report.availability == 1.0
+    assert report.recovery_seconds == 0.0
+
+
+def test_reports_are_deterministic_per_seed():
+    first = run_scenario(123)
+    second = run_scenario(123)
+    assert first.summary() == second.summary()
+    assert first.quiesced_at == second.quiesced_at
+    assert first.faults == second.faults
