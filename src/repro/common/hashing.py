@@ -29,6 +29,39 @@ KEY_SPACE_BITS = 160
 KEY_SPACE_SIZE = 1 << KEY_SPACE_BITS
 KEY_SPACE_MASK = KEY_SPACE_SIZE - 1
 
+#: Upper bound of the :func:`sha1_key` memo.  Placement lookups re-hash the
+#: same identifiers constantly (tuple keys during routing, page ids during
+#: scans, relation-version coordinates during resolution); the bound keeps
+#: long chaos sweeps from growing memory without limit while the working set
+#: of any single workload stays comfortably inside it.
+SHA1_CACHE_MAX = 1 << 16
+
+_sha1_cache: dict[object, int] = {}
+
+
+def _cache_key(value: object) -> object:
+    """An injective, hashable cache key for a hash input.
+
+    Python equality conflates values that :func:`_to_bytes` deliberately
+    distinguishes (``1 == True == 1.0``, ``-0.0 == 0.0``), so the raw value
+    cannot key the memo.  Scalars are paired with their exact type (floats
+    with their ``repr``, which is what gets hashed), and sequences map to
+    tuples of child keys — lists and tuples share one digest in
+    ``_to_bytes``, so they may share one cache key too.
+    """
+    kind = type(value)
+    if kind is str or kind is bytes:
+        return value
+    if kind is tuple or kind is list:
+        # Strings are by far the most common element; test them inline so
+        # the common flat-tuple-of-strings key costs one comprehension.
+        return tuple([
+            item if type(item) is str else _cache_key(item) for item in value
+        ])
+    if kind is float:
+        return (float, repr(value))
+    return (kind, value)
+
 
 def _to_bytes(value: object) -> bytes:
     """Encode a hash input deterministically.
@@ -65,9 +98,43 @@ def sha1_key(value: object) -> int:
     Accepts strings, bytes, ints, floats, booleans, ``None`` and (nested)
     tuples/lists of those.  The result is an unsigned integer in
     ``[0, 2**160)``.
+
+    Results are memoised in a bounded cache (:data:`SHA1_CACHE_MAX` entries,
+    oldest half evicted in bulk when the bound is hit — recency bookkeeping
+    per hit would cost more than the amortised eviction): every placement
+    decision in the system funnels through this function with a heavily
+    repeating identifier population, so the common case is one dict hit
+    instead of an encode + SHA-1.
     """
+    cache = _sha1_cache
+    try:
+        key = _cache_key(value)
+        cached = cache.get(key)
+    except TypeError:
+        # Unhashable input (e.g. a dict buried in a tuple): _to_bytes raises
+        # the caller-visible TypeError exactly as it always did.
+        digest = hashlib.sha1(_to_bytes(value)).digest()
+        return int.from_bytes(digest, "big")
+    if cached is not None:
+        return cached
     digest = hashlib.sha1(_to_bytes(value)).digest()
-    return int.from_bytes(digest, "big")
+    result = int.from_bytes(digest, "big")
+    if len(cache) >= SHA1_CACHE_MAX:
+        # Bulk-evict the oldest half (dicts iterate in insertion order).
+        for stale in list(cache)[: SHA1_CACHE_MAX // 2]:
+            del cache[stale]
+    cache[key] = result
+    return result
+
+
+def sha1_cache_size() -> int:
+    """Current number of memoised digests (bounded by SHA1_CACHE_MAX)."""
+    return len(_sha1_cache)
+
+
+def clear_sha1_cache() -> None:
+    """Drop the memo (tests; never required for correctness)."""
+    _sha1_cache.clear()
 
 
 def node_id_for(address: str) -> int:

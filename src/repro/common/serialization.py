@@ -15,6 +15,24 @@ compression.  The simulator charges transfer time and records traffic based on
 the *compressed* size, so the traffic figures inherit realistic compression
 behaviour (string-heavy STBenchmark batches compress much better than the
 mostly-numeric TPC-H batches).
+
+Fast paths
+----------
+The traffic figures depend on the *exact* bytes, so every fast path below is
+byte-identical to the original recursive encoder (pinned by the golden-vector
+tests in ``tests/common/test_golden_wire.py``).  Three levels of speedup:
+
+* **value caches** — the encodings of small integers and short strings are
+  memoised (placement keys, flags and enumeration values repeat endlessly in
+  real batches); both caches are bounded.
+* **type-dispatch** — :func:`encode_value` dispatches on ``type(value)``
+  through a dict instead of an ``isinstance`` chain, falling back to the
+  original chain for subclasses.
+* **column codecs** — :meth:`TupleBatch._marshal` detects each column's type
+  signature once and runs a compiled per-column encoder: fixed-width columns
+  (floats, bools, Nones) are assembled with ``struct`` block packs and strided
+  buffer writes in a single pass, variable-width columns through the value
+  caches.  Mixed columns fall back to per-value encoding.
 """
 
 from __future__ import annotations
@@ -22,7 +40,8 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
 
 from .errors import ReproError
 from .types import Value
@@ -43,54 +62,129 @@ _TAG_TUPLE = 6
 #: bytes for previously-encodable values.
 _TAG_BIGINT = 7
 
+_U32 = struct.Struct(">I")
+_FLOAT_VALUE = struct.Struct(">Bd")
+
+_NONE_BYTES = bytes([_TAG_NONE])
+_BOOL_TRUE = bytes([_TAG_BOOL, 1])
+_BOOL_FALSE = bytes([_TAG_BOOL, 0])
+_FLOAT_TAG = bytes([_TAG_FLOAT])
+_STR_TAG = bytes([_TAG_STR])
+_BYTES_TAG = bytes([_TAG_BYTES])
+_TUPLE_TAG = bytes([_TAG_TUPLE])
+_BIGINT_TAG = bytes([_TAG_BIGINT])
+
+#: Bounded memo of small-integer encodings.  Insert-only with a hard cap:
+#: placement keys and enumeration values revisit a working set far smaller
+#: than the cap, so eviction machinery would cost more than it saves.
+_INT_CACHE: dict[int, bytes] = {}
+_INT_CACHE_MAX = 1 << 16
+#: Bounded memo of short-string encodings (flags, status codes, city names).
+_STR_CACHE: dict[str, bytes] = {}
+_STR_CACHE_MAX = 1 << 16
+_STR_CACHE_MAX_LENGTH = 64
+#: Bounded memo of encoded attribute-name headers, one per schema signature.
+_HEADER_CACHE: dict[tuple[str, ...], bytes] = {}
+_HEADER_CACHE_MAX = 1 << 10
+
 
 class SerializationError(ReproError):
     """Raised when a value cannot be encoded or a payload cannot be decoded."""
 
 
+def _encode_int(value: int) -> bytes:
+    encoded = _INT_CACHE.get(value)
+    if encoded is None:
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        length = len(raw)
+        if length > 255:
+            return _BIGINT_TAG + _U32.pack(length) + raw
+        encoded = bytes((_TAG_INT, length)) + raw
+        # Only narrow integers enter the memo: they are the repeating
+        # population (keys, quantities, flags); wide randoms would flush it.
+        if length <= 5 and len(_INT_CACHE) < _INT_CACHE_MAX:
+            _INT_CACHE[value] = encoded
+    return encoded
+
+
+def _encode_str(value: str) -> bytes:
+    encoded = _STR_CACHE.get(value)
+    if encoded is None:
+        raw = value.encode("utf-8")
+        encoded = _STR_TAG + _U32.pack(len(raw)) + raw
+        if len(value) <= _STR_CACHE_MAX_LENGTH and len(_STR_CACHE) < _STR_CACHE_MAX:
+            _STR_CACHE[value] = encoded
+    return encoded
+
+
+def _encode_float(value: float) -> bytes:
+    return _FLOAT_VALUE.pack(_TAG_FLOAT, value)
+
+
+def _encode_bool(value: bool) -> bytes:
+    return _BOOL_TRUE if value else _BOOL_FALSE
+
+
+def _encode_bytes(value: bytes) -> bytes:
+    return _BYTES_TAG + _U32.pack(len(value)) + value
+
+
+def _encode_tuple(value: tuple) -> bytes:
+    parts = [_TUPLE_TAG, _U32.pack(len(value))]
+    parts.extend(map(encode_value, value))
+    return b"".join(parts)
+
+
+#: Exact-type dispatch for the common case; subclasses (IntEnum and friends)
+#: fall through to the original isinstance chain below.
+_ENCODERS: dict[type, Callable] = {
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    tuple: _encode_tuple,
+}
+
+
 def encode_value(value: Value) -> bytes:
     """Encode a single value with a one-byte type tag."""
     if value is None:
-        return bytes([_TAG_NONE])
+        return _NONE_BYTES
+    encoder = _ENCODERS.get(type(value))
+    if encoder is not None:
+        return encoder(value)
+    # Subclass fallback: the original isinstance chain, in the original order
+    # (bool before int — bool is an int subclass).
     if isinstance(value, bool):
-        return bytes([_TAG_BOOL, 1 if value else 0])
+        return _encode_bool(value)
     if isinstance(value, int):
-        encoded = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
-        if len(encoded) > 255:
-            return bytes([_TAG_BIGINT]) + struct.pack(">I", len(encoded)) + encoded
-        return bytes([_TAG_INT, len(encoded)]) + encoded
+        return _encode_int(value)
     if isinstance(value, float):
-        return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
+        return _encode_float(value)
     if isinstance(value, str):
-        encoded = value.encode("utf-8")
-        return bytes([_TAG_STR]) + struct.pack(">I", len(encoded)) + encoded
+        return _encode_str(value)
     if isinstance(value, bytes):
-        return bytes([_TAG_BYTES]) + struct.pack(">I", len(value)) + value
+        return _encode_bytes(value)
     if isinstance(value, tuple):
-        parts = [bytes([_TAG_TUPLE]), struct.pack(">I", len(value))]
-        parts.extend(encode_value(v) for v in value)
-        return b"".join(parts)
+        return _encode_tuple(value)
     raise SerializationError(f"cannot serialize value of type {type(value).__name__}")
 
 
 def decode_value(payload: bytes, offset: int = 0) -> tuple[Value, int]:
-    """Decode one value starting at ``offset``; returns ``(value, next_offset)``."""
+    """Decode one value starting at ``offset``; returns ``(value, next_offset)``.
+
+    Tags are tested hottest-first (ints, floats and strings dominate real
+    batches); the ordering is invisible on the wire — tags are mutually
+    exclusive.
+    """
     if offset >= len(payload):
         raise SerializationError("truncated payload")
     tag = payload[offset]
     offset += 1
-    if tag == _TAG_NONE:
-        return None, offset
-    if tag == _TAG_BOOL:
-        return bool(payload[offset]), offset + 1
     if tag == _TAG_INT:
         length = payload[offset]
         offset += 1
-        raw = payload[offset : offset + length]
-        return int.from_bytes(raw, "big", signed=True), offset + length
-    if tag == _TAG_BIGINT:
-        (length,) = struct.unpack_from(">I", payload, offset)
-        offset += 4
         raw = payload[offset : offset + length]
         return int.from_bytes(raw, "big", signed=True), offset + length
     if tag == _TAG_FLOAT:
@@ -101,6 +195,15 @@ def decode_value(payload: bytes, offset: int = 0) -> tuple[Value, int]:
         offset += 4
         raw = payload[offset : offset + length]
         return raw.decode("utf-8"), offset + length
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return bool(payload[offset]), offset + 1
+    if tag == _TAG_BIGINT:
+        (length,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        raw = payload[offset : offset + length]
+        return int.from_bytes(raw, "big", signed=True), offset + length
     if tag == _TAG_BYTES:
         (length,) = struct.unpack_from(">I", payload, offset)
         offset += 4
@@ -118,8 +221,15 @@ def decode_value(payload: bytes, offset: int = 0) -> tuple[Value, int]:
 
 def encode_values(values: Sequence[Value]) -> bytes:
     """Encode a value tuple (row) as a length-prefixed sequence."""
-    parts = [struct.pack(">I", len(values))]
-    parts.extend(encode_value(v) for v in values)
+    parts = [_U32.pack(len(values))]
+    append = parts.append
+    encoders = _ENCODERS
+    for value in values:
+        if value is None:
+            append(_NONE_BYTES)
+            continue
+        encoder = encoders.get(type(value))
+        append(encoder(value) if encoder is not None else encode_value(value))
     return b"".join(parts)
 
 
@@ -127,10 +237,99 @@ def decode_values(payload: bytes, offset: int = 0) -> tuple[tuple[Value, ...], i
     (count,) = struct.unpack_from(">I", payload, offset)
     offset += 4
     values = []
+    append = values.append
     for _ in range(count):
         value, offset = decode_value(payload, offset)
-        values.append(value)
+        append(value)
     return tuple(values), offset
+
+
+# ---------------------------------------------------------------------------
+# Column codecs: compiled per column-type signature
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1024)
+def _float_block(count: int) -> struct.Struct:
+    """Block pack for ``count`` untagged big-endian doubles."""
+    return struct.Struct(f">{count}d")
+
+
+def _encode_float_column(column: Sequence[float]) -> bytes:
+    """Single-pass assembly of a float column: one block pack, then strided
+    writes interleave the type tags — no per-value Python calls at all."""
+    count = len(column)
+    packed = _float_block(count).pack(*column)
+    buffer = bytearray(9 * count)
+    buffer[0::9] = _FLOAT_TAG * count
+    for byte_index in range(8):
+        buffer[1 + byte_index :: 9] = packed[byte_index::8]
+    return bytes(buffer)
+
+
+def _encode_bool_column(column: Sequence[bool]) -> bytes:
+    return b"".join([_BOOL_TRUE if value else _BOOL_FALSE for value in column])
+
+
+def _encode_none_column(column: Sequence[None]) -> bytes:
+    return _NONE_BYTES * len(column)
+
+
+def _encode_int_column(column: Sequence[int]) -> bytes:
+    cache_get = _INT_CACHE.get
+    parts = []
+    append = parts.append
+    for value in column:
+        encoded = cache_get(value)
+        if encoded is None:
+            encoded = _encode_int(value)
+        append(encoded)
+    return b"".join(parts)
+
+
+def _encode_str_column(column: Sequence[str]) -> bytes:
+    # Inlined cache loop: one function call per *miss* instead of per value.
+    cache_get = _STR_CACHE.get
+    cache = _STR_CACHE
+    pack = _U32.pack
+    tag = _STR_TAG
+    parts = []
+    append = parts.append
+    for value in column:
+        encoded = cache_get(value)
+        if encoded is None:
+            raw = value.encode("utf-8")
+            encoded = tag + pack(len(raw)) + raw
+            if len(value) <= _STR_CACHE_MAX_LENGTH and len(cache) < _STR_CACHE_MAX:
+                cache[value] = encoded
+        append(encoded)
+    return b"".join(parts)
+
+
+#: Compiled encoder per homogeneous column-type signature.
+_COLUMN_CODECS: dict[type, Callable] = {
+    float: _encode_float_column,
+    int: _encode_int_column,
+    str: _encode_str_column,
+    bool: _encode_bool_column,
+    type(None): _encode_none_column,
+}
+
+
+def _encode_column(column: Sequence[Value]) -> bytes:
+    """Encode one column, dispatching on its type signature.
+
+    ``set(map(type, column))`` is a C-level pass; when the signature is a
+    single exact type the compiled codec runs, otherwise (mixed columns,
+    subclasses, nested tuples) each value goes through :func:`encode_value`,
+    which produces the identical bytes.
+    """
+    signature = set(map(type, column))
+    if len(signature) == 1:
+        codec = _COLUMN_CODECS.get(signature.pop())
+        if codec is not None:
+            return codec(column)
+    return b"".join(map(encode_value, column))
 
 
 @dataclass
@@ -168,16 +367,39 @@ class TupleBatch:
 
         Grouping a column's values together is what lets the compressor
         exploit commonality between tuples (repeated prefixes, small numeric
-        deltas), as the paper's marshalling format does.
+        deltas), as the paper's marshalling format does.  Columns are
+        transposed in one C-level ``zip`` and encoded by the compiled column
+        codecs above; the output is byte-identical to per-value encoding.
         """
-        parts = [struct.pack(">II", len(attributes), len(rows))]
-        for name in attributes:
-            encoded = name.encode("utf-8")
-            parts.append(struct.pack(">H", len(encoded)))
-            parts.append(encoded)
-        for column, _name in enumerate(attributes):
-            for row in rows:
-                parts.append(encode_value(row[column]))
+        arity = len(attributes)
+        attribute_key = tuple(attributes)
+        header = _HEADER_CACHE.get(attribute_key)
+        if header is None:
+            header_parts = []
+            for name in attributes:
+                encoded = name.encode("utf-8")
+                header_parts.append(struct.pack(">H", len(encoded)))
+                header_parts.append(encoded)
+            header = b"".join(header_parts)
+            if len(_HEADER_CACHE) < _HEADER_CACHE_MAX:
+                _HEADER_CACHE[attribute_key] = header
+        parts = [struct.pack(">II", arity, len(rows)), header]
+        if rows:
+            if all(len(row) == arity for row in rows):
+                columns: Iterable[Sequence[Value]] = zip(*rows)
+            elif all(len(row) >= arity for row in rows):
+                columns = (
+                    tuple(row[index] for row in rows) for index in range(arity)
+                )
+            else:
+                # Malformed (short) rows: keep the original per-value loop so
+                # the same IndexError surfaces.
+                for column_index in range(arity):
+                    for row in rows:
+                        parts.append(encode_value(row[column_index]))
+                return b"".join(parts)
+            for column in columns:
+                parts.append(_encode_column(column))
         return b"".join(parts)
 
     @classmethod
@@ -192,12 +414,11 @@ class TupleBatch:
             offset += 2
             attributes.append(raw[offset : offset + length].decode("utf-8"))
             offset += length
-        columns: list[list[Value]] = [[] for _ in range(arity)]
-        for column in range(arity):
-            for _ in range(count):
-                value, offset = decode_value(raw, offset)
-                columns[column].append(value)
-        rows = [tuple(columns[c][i] for c in range(arity)) for i in range(count)]
+        columns: list[list[Value]] = []
+        for _ in range(arity):
+            column, offset = _decode_column(raw, offset, count)
+            columns.append(column)
+        rows = list(zip(*columns)) if columns else [() for _ in range(count)]
         return cls(
             attributes=tuple(attributes),
             rows=rows,
@@ -215,3 +436,40 @@ class TupleBatch:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def _decode_column(payload: bytes, offset: int, count: int) -> tuple[list[Value], int]:
+    """Decode ``count`` values with the common tags inlined (no per-value
+    function call for ints, floats and strings).  A column that is entirely
+    floats — the common case for measures — is detected with one strided tag
+    check and decoded with a single block unpack."""
+    if count and payload[offset] == _TAG_FLOAT:
+        end = offset + 9 * count
+        block = payload[offset:end]
+        if len(block) == 9 * count and block[0::9] == _FLOAT_TAG * count:
+            doubles = bytearray(8 * count)
+            for byte_index in range(8):
+                doubles[byte_index::8] = block[1 + byte_index :: 9]
+            return list(_float_block(count).unpack(doubles)), end
+    values: list[Value] = []
+    append = values.append
+    unpack_float = struct.unpack_from
+    for _ in range(count):
+        tag = payload[offset]
+        if tag == _TAG_INT:
+            length = payload[offset + 1]
+            end = offset + 2 + length
+            append(int.from_bytes(payload[offset + 2 : end], "big", signed=True))
+            offset = end
+        elif tag == _TAG_FLOAT:
+            append(unpack_float(">d", payload, offset + 1)[0])
+            offset += 9
+        elif tag == _TAG_STR:
+            (length,) = unpack_float(">I", payload, offset + 1)
+            end = offset + 5 + length
+            append(payload[offset + 5 : end].decode("utf-8"))
+            offset = end
+        else:
+            value, offset = decode_value(payload, offset)
+            append(value)
+    return values, offset

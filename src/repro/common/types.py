@@ -109,7 +109,13 @@ class Schema:
             raise SchemaError(f"attribute {attribute!r} not in schema {self.name!r}") from None
 
     def key_indexes(self) -> tuple[int, ...]:
-        return tuple(self.index_of(a) for a in self.key)
+        # Schemas are immutable; the key positions are computed once and
+        # reused by every publish/lookup on the relation (hot path).
+        cached = self.__dict__.get("_key_indexes")
+        if cached is None:
+            cached = tuple(self.index_of(a) for a in self.key)
+            object.__setattr__(self, "_key_indexes", cached)
+        return cached
 
     def key_of(self, values: Sequence[Value]) -> tuple[Value, ...]:
         """Extract the key attribute values from a full value tuple."""
@@ -173,8 +179,17 @@ class TupleId:
 
     @property
     def hash_key(self) -> int:
-        """Ring position of the tuple, derived from its partition-key values."""
-        return partition_hash(self.partition_values)
+        """Ring position of the tuple, derived from its partition-key values.
+
+        Computed lazily once per instance: tuple IDs are compared, routed and
+        stored by hash key constantly (B+-tree keys, scan routing, page
+        assignment), and the SHA-1 is pure, so the first result is kept.
+        """
+        cached = self.__dict__.get("_hash_key")
+        if cached is None:
+            cached = partition_hash(self.key_values[: self.partition_width])
+            object.__setattr__(self, "_hash_key", cached)
+        return cached
 
     def with_epoch(self, epoch: int) -> "TupleId":
         return TupleId(self.key_values, epoch, self.partition_width)
@@ -214,8 +229,63 @@ class VersionedTuple:
         return self.tuple_id.hash_key
 
     def estimated_size(self) -> int:
-        """Rough wire size in bytes; used by the traffic accounting."""
-        return estimate_values_size(self.values) + 8 + len(self.relation)
+        """Rough wire size in bytes; used by the traffic accounting.
+
+        Cached per instance: the same stored tuple is re-sized on every
+        store/lookup/replication touch, and the instance is immutable.
+        """
+        cached = self.__dict__.get("_estimated_size")
+        if cached is None:
+            cached = estimate_values_size(self.values) + 8 + len(self.relation)
+            object.__setattr__(self, "_estimated_size", cached)
+        return cached
+
+
+#: Shared attribute-name → position maps, one per distinct attribute tuple.
+#: A handful of plans/schemas produce millions of rows, so the map is built
+#: once per attribute list and every ``row[name]`` becomes one dict lookup
+#: instead of a linear ``tuple.index`` scan.
+_ATTRIBUTE_INDEXES: dict[tuple[str, ...], dict[str, int]] = {}
+#: Hard caps on the shared attribute caches: one entry per distinct schema /
+#: plan signature in normal runs, but long-lived processes generating ad-hoc
+#: schemas (chaos sweeps) must not grow them without limit.  Past the cap new
+#: signatures simply skip the memo.
+_ATTRIBUTE_CACHE_MAX = 1 << 12
+#: Concatenated attribute tuples (join outputs), keyed by the input pair so
+#: every joined row of one join shares one attributes tuple object.
+_CONCAT_ATTRIBUTES: dict[tuple[tuple[str, ...], tuple[str, ...]], tuple[str, ...]] = {}
+
+
+def concat_attributes(
+    left: tuple[str, ...], right: tuple[str, ...]
+) -> tuple[str, ...]:
+    """The concatenation ``left + right``, shared per input pair.
+
+    Join outputs concatenate the same two attribute tuples for every matched
+    row; sharing one result object keeps downstream per-batch compiled-plan
+    lookups hitting the same key.
+    """
+    pair = (left, right)
+    attributes = _CONCAT_ATTRIBUTES.get(pair)
+    if attributes is None:
+        attributes = left + right
+        if len(_CONCAT_ATTRIBUTES) < _ATTRIBUTE_CACHE_MAX:
+            _CONCAT_ATTRIBUTES[pair] = attributes
+    return attributes
+
+
+def attribute_index(attributes: tuple[str, ...]) -> dict[str, int]:
+    lookup = _ATTRIBUTE_INDEXES.get(attributes)
+    if lookup is None:
+        lookup = {}
+        for index, name in enumerate(attributes):
+            # First occurrence wins, matching tuple.index on duplicate
+            # attribute names (join outputs may repeat a name).
+            if name not in lookup:
+                lookup[name] = index
+        if len(_ATTRIBUTE_INDEXES) < _ATTRIBUTE_CACHE_MAX:
+            _ATTRIBUTE_INDEXES[attributes] = lookup
+    return lookup
 
 
 class Row(Mapping[str, Value]):
@@ -227,7 +297,7 @@ class Row(Mapping[str, Value]):
     tuple and only stores the attribute ordering once per schema.
     """
 
-    __slots__ = ("_attributes", "_values")
+    __slots__ = ("_attributes", "_values", "_lookup")
 
     def __init__(self, attributes: Sequence[str], values: Sequence[Value]):
         if len(attributes) != len(values):
@@ -236,6 +306,20 @@ class Row(Mapping[str, Value]):
             )
         self._attributes = tuple(attributes)
         self._values = tuple(values)
+        self._lookup = None
+
+    @classmethod
+    def unchecked(cls, attributes: tuple[str, ...], values: tuple[Value, ...]) -> "Row":
+        """Construct without re-validating lengths (operator inner loops).
+
+        Callers must guarantee ``len(attributes) == len(values)``; the query
+        operators do, because both come from one compiled plan step.
+        """
+        row = object.__new__(cls)
+        row._attributes = attributes
+        row._values = values
+        row._lookup = None
+        return row
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Value]) -> "Row":
@@ -250,9 +334,15 @@ class Row(Mapping[str, Value]):
         return self._values
 
     def __getitem__(self, key: str) -> Value:
+        # The name → position map is shared per attribute tuple and attached
+        # lazily: rows that are only ever read positionally (the vectorized
+        # operators) never pay for it.
+        lookup = self._lookup
+        if lookup is None:
+            lookup = self._lookup = attribute_index(self._attributes)
         try:
-            return self._values[self._attributes.index(key)]
-        except ValueError:
+            return self._values[lookup[key]]
+        except KeyError:
             raise KeyError(key) from None
 
     def __iter__(self):
@@ -273,7 +363,10 @@ class Row(Mapping[str, Value]):
         return Row(tuple(attributes), tuple(self[a] for a in attributes))
 
     def concat(self, other: "Row") -> "Row":
-        return Row(self._attributes + other._attributes, self._values + other._values)
+        return Row.unchecked(
+            concat_attributes(self._attributes, other._attributes),
+            self._values + other._values,
+        )
 
     def estimated_size(self) -> int:
         return estimate_values_size(self._values)

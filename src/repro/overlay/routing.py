@@ -52,13 +52,19 @@ class RoutingSnapshot:
         if not self._ordered:
             raise RoutingError("a routing snapshot must cover the ring")
         self._starts = [start for start, _address in self._ordered]
+        # Snapshots are immutable, and per-tuple routing walks these
+        # constantly: materialise the node order once and memoise the small
+        # neighbour/replica sets instead of recomputing them per lookup.
+        self._nodes = tuple(address for _start, address in self._ordered)
+        self._neighbour_cache: dict[tuple[str, int, bool], list[str]] = {}
+        self._replica_cache: dict[tuple[str, int], list[str]] = {}
 
     # -- basic accessors --------------------------------------------------------
 
     @property
     def nodes(self) -> tuple[str, ...]:
         """Addresses participating in this snapshot, in ring order."""
-        return tuple(address for _start, address in self._ordered)
+        return self._nodes
 
     def __len__(self) -> int:
         return len(self._ordered)
@@ -101,6 +107,10 @@ class RoutingSnapshot:
 
     def neighbours(self, address: str, count: int, clockwise: bool) -> list[str]:
         """``count`` distinct ring neighbours of ``address`` in one direction."""
+        cache_key = (address, count, clockwise)
+        cached = self._neighbour_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
         order = self.nodes
         if address not in order:
             raise RoutingError(f"node {address!r} not in routing snapshot")
@@ -113,7 +123,8 @@ class RoutingSnapshot:
             candidate = order[position]
             if candidate != address and candidate not in result:
                 result.append(candidate)
-        return result
+        self._neighbour_cache[cache_key] = result
+        return list(result)
 
     def replicas_for_key(self, key: int, replication_factor: int) -> list[str]:
         """Owner plus replica holders for ``key``.
@@ -128,6 +139,10 @@ class RoutingSnapshot:
     def replicas_for_owner(self, owner: str, replication_factor: int) -> list[str]:
         if replication_factor < 1:
             raise ValueError("replication factor must be at least 1")
+        cache_key = (owner, replication_factor)
+        cached = self._replica_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
         extra = replication_factor - 1
         clockwise = self.neighbours(owner, (extra + 1) // 2, clockwise=True)
         counter = self.neighbours(owner, extra // 2, clockwise=False)
@@ -135,7 +150,9 @@ class RoutingSnapshot:
         for candidate in clockwise + counter:
             if candidate not in replicas:
                 replicas.append(candidate)
-        return replicas[:replication_factor]
+        replicas = replicas[:replication_factor]
+        self._replica_cache[cache_key] = replicas
+        return list(replicas)
 
     # -- deriving new snapshots --------------------------------------------------
 

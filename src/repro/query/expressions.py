@@ -21,12 +21,13 @@ them:
 
 from __future__ import annotations
 
+import operator as _operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..common.errors import ExpressionError
-from ..common.types import Row, Value
+from ..common.types import Row, Value, attribute_index
 
 
 class Expression(ABC):
@@ -113,13 +114,15 @@ class Literal(Expression):
         return repr(self.value)
 
 
+#: C-level comparison functions: one table serves the interpreted, the
+#: positional-compiled and the columnar evaluation paths alike.
 _COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
 }
 
 
@@ -150,10 +153,10 @@ class Comparison(Expression):
 
 
 _ARITHMETIC: dict[str, Callable[[Value, Value], Value]] = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b,
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+    "/": _operator.truediv,
 }
 
 
@@ -318,6 +321,219 @@ def concat(*arguments: Expression) -> FunctionCall:
 
 
 # ---------------------------------------------------------------------------
+# Compiled (positional) evaluation
+# ---------------------------------------------------------------------------
+
+
+def compile_expression(
+    expression: Expression, attributes: Sequence[str]
+) -> Callable[[Sequence[Value]], Value]:
+    """Compile ``expression`` into a closure over raw value tuples.
+
+    ``evaluate`` resolves every column reference by name through a
+    :class:`~repro.common.types.Row` on every call; the vectorized operators
+    instead resolve names to positions *once* per (expression, attribute
+    list) and evaluate batches through the returned closure, which reads
+    ``values[i]`` directly.  Semantics are identical to ``evaluate`` —
+    including NULL propagation, comparison falsity on NULL and the scalar
+    function table — and a reference to a missing attribute raises the same
+    :class:`ExpressionError`, at call time, as the interpreted path.
+    """
+    attributes = tuple(attributes)
+    return _compile(expression, attribute_index(attributes), attributes)
+
+
+def _compile(
+    expression: Expression,
+    index_of: dict[str, int],
+    attributes: tuple[str, ...],
+) -> Callable[[Sequence[Value]], Value]:
+    if isinstance(expression, Column):
+        name = expression.name
+        position = index_of.get(name)
+        if position is None:
+            def missing(_values: Sequence[Value]) -> Value:
+                raise ExpressionError(f"row has no attribute {name!r}")
+            return missing
+        return lambda values: values[position]
+    if isinstance(expression, Literal):
+        constant = expression.value
+        return lambda _values: constant
+    if isinstance(expression, Comparison):
+        left = _compile(expression.left, index_of, attributes)
+        right = _compile(expression.right, index_of, attributes)
+        compare = _COMPARATORS[expression.operator]
+
+        def run_comparison(values: Sequence[Value]) -> bool:
+            a = left(values)
+            b = right(values)
+            if a is None or b is None:
+                return False
+            return compare(a, b)
+
+        return run_comparison
+    if isinstance(expression, Arithmetic):
+        left = _compile(expression.left, index_of, attributes)
+        right = _compile(expression.right, index_of, attributes)
+        combine = _ARITHMETIC[expression.operator]
+
+        def run_arithmetic(values: Sequence[Value]) -> Value:
+            a = left(values)
+            b = right(values)
+            if a is None or b is None:
+                return None
+            return combine(a, b)
+
+        return run_arithmetic
+    if isinstance(expression, BooleanOp):
+        compiled = tuple(_compile(op, index_of, attributes) for op in expression.operands)
+        if expression.operator == "and":
+            return lambda values: all(f(values) for f in compiled)
+        if expression.operator == "or":
+            return lambda values: any(f(values) for f in compiled)
+        negated = compiled[0]
+        return lambda values: not negated(values)
+    if isinstance(expression, InList):
+        operand = _compile(expression.operand, index_of, attributes)
+        members = expression.values
+        return lambda values: operand(values) in members
+    if isinstance(expression, FunctionCall):
+        function = _FUNCTIONS[expression.name]
+        arguments = tuple(_compile(a, index_of, attributes) for a in expression.arguments)
+        return lambda values: function(*(a(values) for a in arguments))
+    # Unknown expression subclass: evaluate through a Row view, preserving
+    # whatever semantics the subclass defines.
+    def run_fallback(values: Sequence[Value]) -> Value:
+        return expression.evaluate(Row(attributes, values))
+
+    return run_fallback
+
+
+def compile_columnar(
+    expression: Expression, attributes: Sequence[str]
+) -> Callable[[Sequence[Sequence[Value]], int], list[Value]]:
+    """Compile ``expression`` into an evaluator over *column lists*.
+
+    The returned function takes ``(columns, count)`` — one value list per
+    input attribute, all of length ``count`` — and returns the expression's
+    output column.  Each tree node is one list comprehension over its child
+    columns with the C-level ``operator`` functions, so the per-row cost is
+    bytecode, not a closure-call chain.  Column references return the input
+    column itself (zero per-row work).  Semantics match ``evaluate`` exactly:
+    NULL comparisons are false, NULL arithmetic propagates NULL.
+    """
+    attributes = tuple(attributes)
+    return _compile_columnar(expression, attribute_index(attributes), attributes)
+
+
+def _compile_columnar(
+    expression: Expression,
+    index_of: dict[str, int],
+    attributes: tuple[str, ...],
+) -> Callable[[Sequence[Sequence[Value]], int], list[Value]]:
+    if isinstance(expression, Column):
+        name = expression.name
+        position = index_of.get(name)
+        if position is None:
+            def missing(_columns, _count) -> list[Value]:
+                raise ExpressionError(f"row has no attribute {name!r}")
+            return missing
+        return lambda columns, _count: columns[position]
+    if isinstance(expression, Literal):
+        constant = expression.value
+        return lambda _columns, count: [constant] * count
+    if isinstance(expression, Comparison):
+        left = _compile_columnar(expression.left, index_of, attributes)
+        right = _compile_columnar(expression.right, index_of, attributes)
+        compare = _COMPARATORS[expression.operator]
+        return lambda columns, count: [
+            False if a is None or b is None else compare(a, b)
+            for a, b in zip(left(columns, count), right(columns, count))
+        ]
+    if isinstance(expression, Arithmetic):
+        left = _compile_columnar(expression.left, index_of, attributes)
+        right = _compile_columnar(expression.right, index_of, attributes)
+        combine = _ARITHMETIC[expression.operator]
+        return lambda columns, count: [
+            None if a is None or b is None else combine(a, b)
+            for a, b in zip(left(columns, count), right(columns, count))
+        ]
+    if isinstance(expression, BooleanOp):
+        compiled = tuple(
+            _compile_columnar(op, index_of, attributes) for op in expression.operands
+        )
+        if expression.operator == "and":
+            if not compiled:
+                return lambda _columns, count: [True] * count  # all(()) is True
+
+            def run_and(columns, count) -> list[Value]:
+                result = [bool(a) for a in compiled[0](columns, count)]
+                for factor in compiled[1:]:
+                    # Short-circuit semantics per row, preserved batch-wise:
+                    # a later conjunct is only ever evaluated on the rows
+                    # every earlier conjunct accepted (exactly the rows the
+                    # interpreted all() would have evaluated it on), so a
+                    # conjunct guarding a raising expression still guards it.
+                    live = [i for i, a in enumerate(result) if a]
+                    if not live:
+                        break
+                    if len(live) == count:
+                        # Every row passed so far: the conjunct's own column
+                        # becomes the running result.
+                        result = [bool(b) for b in factor(columns, count)]
+                    else:
+                        sub_columns = [[col[i] for i in live] for col in columns]
+                        sub = factor(sub_columns, len(live))
+                        for position, value in zip(live, sub):
+                            result[position] = bool(value)
+                return result
+            return run_and
+        if expression.operator == "or":
+            if not compiled:
+                return lambda _columns, count: [False] * count  # any(()) is False
+
+            def run_or(columns, count) -> list[Value]:
+                result = [bool(a) for a in compiled[0](columns, count)]
+                for factor in compiled[1:]:
+                    # Mirror of run_and: only rows still false see the next
+                    # disjunct, as any() short-circuits row-wise.
+                    live = [i for i, a in enumerate(result) if not a]
+                    if not live:
+                        break
+                    if len(live) == count:
+                        result = [bool(b) for b in factor(columns, count)]
+                    else:
+                        sub_columns = [[col[i] for i in live] for col in columns]
+                        sub = factor(sub_columns, len(live))
+                        for position, value in zip(live, sub):
+                            result[position] = bool(value)
+                return result
+            return run_or
+        negated = compiled[0]
+        return lambda columns, count: [not a for a in negated(columns, count)]
+    if isinstance(expression, InList):
+        operand = _compile_columnar(expression.operand, index_of, attributes)
+        members = expression.values
+        return lambda columns, count: [a in members for a in operand(columns, count)]
+    if isinstance(expression, FunctionCall):
+        function = _FUNCTIONS[expression.name]
+        arguments = tuple(
+            _compile_columnar(a, index_of, attributes) for a in expression.arguments
+        )
+        if not arguments:
+            return lambda _columns, count: [function() for _ in range(count)]
+        return lambda columns, count: [
+            function(*args)
+            for args in zip(*(a(columns, count) for a in arguments))
+        ]
+    # Unknown subclass: evaluate row-wise through the positional compiler.
+    positional = _compile(expression, index_of, attributes)
+    return lambda columns, count: [
+        positional(values) for values in zip(*columns)
+    ] if columns else [positional(()) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
 # Sargable predicate analysis
 # ---------------------------------------------------------------------------
 
@@ -369,10 +585,10 @@ def key_predicate_function(
     """
     if sargable is None:
         return None
-    attributes = tuple(key_attributes)
+    compiled = compile_expression(sargable, tuple(key_attributes))
 
     def evaluate(key_values: tuple[Value, ...]) -> bool:
-        return bool(sargable.evaluate(Row(attributes, key_values)))
+        return bool(compiled(key_values))
 
     return evaluate
 

@@ -24,13 +24,24 @@ from typing import Iterable, Sequence
 from ..common.types import Row, Value, estimate_values_size
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TaggedRow:
-    """A row plus its provenance node-set and production phase."""
+    """A row plus its provenance node-set and production phase.
+
+    Slotted and deliberately *not* ``frozen``: one TaggedRow is allocated per
+    row per operator hop, and the frozen-dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) costs ~3x a plain slotted init on this
+    hottest allocation of the engine.  Treat instances as immutable — every
+    transformation (``with_node``, ``with_phase``, ``merge``) returns a new
+    one — and equality/hashing remain field-based as before.
+    """
 
     row: Row
     nodes: frozenset[str]
     phase: int = 0
+
+    def __hash__(self) -> int:
+        return hash((self.row, self.nodes, self.phase))
 
     def tainted_by(self, failed: Iterable[str]) -> bool:
         """Whether any of ``failed`` contributed to this row."""
@@ -50,7 +61,14 @@ class TaggedRow:
 
     def merge(self, other: "TaggedRow", row: Row) -> "TaggedRow":
         """A derived row combining this row and ``other`` (e.g. a join result)."""
-        return TaggedRow(row, self.nodes | other.nodes, max(self.phase, other.phase))
+        nodes = self.nodes
+        other_nodes = other.nodes
+        if nodes is not other_nodes and nodes != other_nodes:
+            nodes = nodes | other_nodes
+        phase = self.phase
+        if other.phase > phase:
+            phase = other.phase
+        return TaggedRow(row, nodes, phase)
 
     def estimated_size(self, with_provenance: bool = True) -> int:
         """Wire size of the row, optionally including the provenance tag.
@@ -88,3 +106,14 @@ def untainted(rows: Iterable[TaggedRow], failed: Iterable[str]) -> list[TaggedRo
 def batch_size(rows: Iterable[TaggedRow], with_provenance: bool = True) -> int:
     """Estimated wire size of a batch of tagged rows."""
     return sum(row.estimated_size(with_provenance) for row in rows)
+
+
+def provenance_overhead(rows: Iterable[TaggedRow]) -> int:
+    """Wire bytes the provenance tags add to a batch.
+
+    Exactly ``batch_size(rows, True) - batch_size(rows, False)`` — header,
+    node bitmap and phase byte per row — computed without estimating the
+    value payload twice (the hot send path only needs the tag delta on top of
+    the real compressed batch size).
+    """
+    return sum(3 + (len(row.nodes) + 7) // 8 for row in rows)

@@ -45,7 +45,7 @@ from .physical import (
     PhysShip,
     PhysicalPlan,
 )
-from .provenance import TaggedRow, batch_size
+from .provenance import TaggedRow, provenance_overhead
 
 #: Recovery strategies of Section V-D / Figure 21.
 RECOVERY_RESTART = "restart"
@@ -224,7 +224,10 @@ class _ResultCollector:
         self.rows_received = 0
 
     def accept(self, rows: list[TaggedRow], failed: set[str]) -> None:
-        live = [row for row in rows if not row.tainted_by(failed)]
+        if failed:
+            live = [row for row in rows if not row.nodes & failed]
+        else:
+            live = rows  # batch fast path: no failure, nothing is tainted
         self.rows_received += len(live)
         if self.mode == COLLECT_MERGE_PARTIALS:
             self._partials.extend(live)
@@ -1049,7 +1052,9 @@ class QueryService:
         batch = TupleBatch.build(attributes, [row.row.values for row in rows])
         size = batch.wire_size
         if context.provenance_enabled:
-            size += batch_size(rows) - sum(r.row.estimated_size() for r in rows)
+            # Identical to batch_size(rows) - sum(row sizes): only the tag
+            # overhead rides on top of the real compressed batch size.
+            size += provenance_overhead(rows)
         payload = {
             "query_id": context.query_id,
             "exchange_id": exchange_id,

@@ -21,6 +21,7 @@ property the paper borrows from CFS and log-structured filesystems.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -129,6 +130,28 @@ class CoordinatorRecord:
         return 32 + sum(page.estimated_size() for page in self.pages)
 
     def page_for_hash(self, hash_key: int) -> PageRef:
+        """The page whose hash range covers ``hash_key``.
+
+        Publishing resolves one page per changed tuple, so this lookup is
+        O(pages) × O(tuples) on the hot path if done naively.  The ranges of
+        a relation version tile the ring, so a bisect over the (sorted) range
+        starts finds the only candidate; a linear scan remains as the
+        fallback for records whose pages do not tile (never produced by the
+        publish path, but tests construct them).
+        """
+        index = self.__dict__.get("_page_index")
+        if index is None:
+            ordered = sorted(self.pages, key=lambda ref: ref.hash_range.start)
+            index = ([ref.hash_range.start for ref in ordered], ordered)
+            self.__dict__["_page_index"] = index
+        starts, ordered = index
+        if ordered:
+            position = bisect_right(starts, hash_key) - 1
+            # A wrapping arc (start > end, spanning 0) sorts last and owns
+            # keys below every start; position -1 selects exactly it.
+            candidate = ordered[position]
+            if candidate.hash_range.contains(hash_key):
+                return candidate
         for page in self.pages:
             if page.hash_range.contains(hash_key):
                 return page

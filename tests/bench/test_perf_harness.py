@@ -1,0 +1,117 @@
+"""The perf harness: structure of BENCH_perf.json and the regression check.
+
+The timing itself is machine-dependent and never asserted; what is pinned is
+the document layout (future PRs extend the trajectory against it), the
+determinism of the seeded workloads, and the ``--check`` comparison logic
+(machine-speed normalisation, variance floor, tolerance).
+"""
+
+import json
+
+from repro.bench import perf
+
+
+def test_smoke_suite_structure(tmp_path):
+    document = perf.run_suite(seed=0, repeat=1, scale="smoke", include_e2e=False)
+    benches = document["benchmarks"]
+    for name in (
+        "calibration.spin",
+        "serialization.encode_tpch",
+        "serialization.encode_stb",
+        "serialization.decode_tpch",
+        "serialization.values_roundtrip",
+        "hashing.partition_hash",
+        "hashing.tuple_id_hash_key",
+        "hashing.sha1_identifiers",
+        "operators.select_project",
+        "operators.hash_join",
+        "operators.aggregate",
+    ):
+        assert name in benches, name
+        entry = benches[name]
+        assert entry["seconds"] > 0
+        assert entry["ops"] > 0
+        assert entry["us_per_op"] > 0
+    assert document["meta"]["scale"] == "smoke"
+    # The document is JSON-serialisable as produced.
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(document))
+    assert json.loads(path.read_text())["benchmarks"]
+
+
+def test_workloads_are_deterministic():
+    assert perf._tpch_like_rows(50, 3) == perf._tpch_like_rows(50, 3)
+    assert perf._stb_like_rows(50, 3) == perf._stb_like_rows(50, 3)
+    assert perf._mixed_value_tuples(50, 3) == perf._mixed_value_tuples(50, 3)
+    assert perf._tpch_like_rows(50, 3) != perf._tpch_like_rows(50, 4)
+
+
+def _doc(spins, **benches):
+    return {
+        "benchmarks": {
+            "calibration.spin": {"seconds": spins, "ops": 1, "us_per_op": 1.0},
+            **{
+                name: {"seconds": seconds, "ops": 1, "us_per_op": 1.0}
+                for name, seconds in benches.items()
+            },
+        }
+    }
+
+
+def test_check_passes_within_tolerance():
+    reference = _doc(1.0, x=1.0)
+    fresh = _doc(1.0, x=1.2)
+    assert perf.check_regressions(reference, fresh, tolerance=0.25) == []
+
+
+def test_check_fails_beyond_tolerance():
+    reference = _doc(1.0, x=1.0)
+    fresh = _doc(1.0, x=1.3)
+    failures = perf.check_regressions(reference, fresh, tolerance=0.25)
+    assert failures and "x" in failures[0]
+
+
+def test_check_normalises_by_machine_speed():
+    # The fresh machine is 2x slower (calibration 2.0 vs 1.0); a benchmark
+    # that is 1.8x slower in wall time is *faster* after normalisation.
+    reference = _doc(1.0, x=1.0)
+    fresh = _doc(2.0, x=1.8)
+    assert perf.check_regressions(reference, fresh, tolerance=0.25) == []
+
+
+def test_check_applies_variance_floor():
+    # 10 ms vs 40 ms is a 4x regression but below the 50 ms floor: ignored.
+    reference = _doc(1.0, x=0.010)
+    fresh = _doc(1.0, x=0.040)
+    assert perf.check_regressions(reference, fresh, tolerance=0.25) == []
+
+
+def test_check_reports_missing_benchmarks():
+    reference = _doc(1.0, x=1.0)
+    fresh = _doc(1.0)
+    failures = perf.check_regressions(reference, fresh)
+    assert failures and "not in this run" in failures[0]
+
+
+def test_cli_writes_output(tmp_path):
+    output = tmp_path / "BENCH_perf.json"
+    code = perf.main([
+        "--scale", "smoke", "--repeat", "1", "--no-e2e",
+        "--output", str(output),
+    ])
+    assert code == 0
+    document = json.loads(output.read_text())
+    assert "benchmarks" in document and "meta" in document
+
+
+def test_cli_check_against_own_output_passes(tmp_path):
+    output = tmp_path / "BENCH_perf.json"
+    assert perf.main([
+        "--scale", "smoke", "--repeat", "1", "--no-e2e",
+        "--output", str(output),
+    ]) == 0
+    # A fresh run checked against its own numbers is within tolerance.
+    assert perf.main([
+        "--scale", "smoke", "--repeat", "2", "--no-e2e",
+        "--check", str(output),
+    ]) == 0

@@ -1,0 +1,84 @@
+"""The bounded sha1_key memo: correctness of the type-aware cache key.
+
+Python equality conflates values the wire hashing deliberately
+distinguishes (``1 == True == 1.0``, ``-0.0 == 0.0``); a naive value-keyed
+memo would hand one digest to all of them.  These tests pin the injectivity
+of the cache key, the bound, and equality of cached results with fresh
+computation.
+"""
+
+import hashlib
+
+from repro.common import hashing
+from repro.common.hashing import (
+    SHA1_CACHE_MAX,
+    clear_sha1_cache,
+    sha1_cache_size,
+    sha1_key,
+)
+
+
+def fresh_digest(value):
+    """Reference digest computed without the memo."""
+    return int.from_bytes(hashlib.sha1(hashing._to_bytes(value)).digest(), "big")
+
+
+def test_equal_but_distinct_values_get_distinct_digests():
+    clear_sha1_cache()
+    groups = [
+        (1, True, 1.0),
+        (0, False, 0.0, -0.0),
+        (("x", 1), ("x", True), ("x", 1.0)),
+    ]
+    for group in groups:
+        digests = [sha1_key(v) for v in group]
+        # All group members compare equal in Python...
+        assert all(a == b for a in group for b in group)
+        # ...but hash to pairwise-distinct ring positions.
+        assert len(set(digests)) == len(group), group
+        # And every memoised result equals the uncached computation.
+        for value, digest in zip(group, digests):
+            assert digest == fresh_digest(value)
+            assert sha1_key(value) == digest  # cache hit, same answer
+
+
+def test_lists_and_tuples_share_a_digest():
+    clear_sha1_cache()
+    assert sha1_key(["a", 1, None]) == sha1_key(("a", 1, None))
+
+
+def test_nested_structures_roundtrip_through_the_cache():
+    clear_sha1_cache()
+    values = [
+        ("tuple", ("k", 7)),
+        ("tuple", ("k", 7.0)),
+        ("node", "host-3"),
+        (b"\x00", ("nested", (None, False))),
+        -0.0,
+        0.0,
+        float("inf"),
+        2**200,
+    ]
+    first = [sha1_key(v) for v in values]
+    again = [sha1_key(v) for v in values]
+    assert first == again
+    assert first == [fresh_digest(v) for v in values]
+
+
+def test_unhashable_input_raises_like_before():
+    import pytest
+
+    with pytest.raises(TypeError):
+        sha1_key(({"a": 1},))
+
+
+def test_cache_is_bounded():
+    clear_sha1_cache()
+    for index in range(SHA1_CACHE_MAX + 500):
+        sha1_key(("bound-test", index))
+    assert sha1_cache_size() <= SHA1_CACHE_MAX
+    # Entries surviving the eviction still answer correctly.
+    probe = ("bound-test", SHA1_CACHE_MAX + 499)
+    assert sha1_key(probe) == fresh_digest(probe)
+    clear_sha1_cache()
+    assert sha1_cache_size() == 0
