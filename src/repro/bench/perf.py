@@ -6,6 +6,16 @@ SHA-1 placement hashing behind every routing decision.  Each benchmark is a
 deterministic, seeded workload timed with ``time.perf_counter`` — wall-clock
 of *this process*, unlike the figure benchmarks, which report simulated time.
 
+The suite also measures the quantity the paper's headline figures are made
+of: **wire traffic**.  The traffic benchmarks publish a TPC-H instance into
+a simulated cluster and run the figure queries twice — once with the
+wire-traffic optimizer (predicate/projection pushdown + page pruning, the
+default) and once with the evaluate-at-the-participant baseline
+(``PlannerOptions(enable_pushdown=False)``) — recording bytes on the wire,
+message counts and pruned-page counts per query.  Simulated byte counts are
+exact and machine-independent (run under a pinned ``PYTHONHASHSEED``), so
+the regression gate compares them with no variance floor.
+
 Run it as a module::
 
     PYTHONPATH=src python -m repro.bench.perf --output BENCH_perf.json
@@ -14,13 +24,15 @@ and compare against a committed reference (the CI ``perf-smoke`` job)::
 
     PYTHONPATH=src python -m repro.bench.perf --check BENCH_perf.json
 
-``--check`` re-runs the suite and fails (exit 1) when a benchmark regressed
-by more than ``--tolerance`` (default 25%) against the committed file.  To
-keep the check meaningful across machines of different speeds, every file
-records a ``calibration.spin`` benchmark (a fixed pure-Python loop); measured
-times are normalised by the calibration ratio before comparison, and
-benchmarks faster than the variance floor (50 ms) are never failed — CI
-timer noise on sub-50 ms loops is larger than any real regression.
+``--check`` re-runs the suite and fails (exit 1) when a timing benchmark
+regressed by more than ``--tolerance`` (default 25%) against the committed
+file, or when any query's pushdown traffic bytes grew beyond the same
+tolerance.  To keep the timing check meaningful across machines of different
+speeds, every file records a ``calibration.spin`` benchmark (a fixed
+pure-Python loop); measured times are normalised by the calibration ratio
+before comparison, and benchmarks faster than the variance floor (50 ms) are
+never failed — CI timer noise on sub-50 ms loops is larger than any real
+regression.  Traffic bytes are deterministic, so they get no floor.
 
 The JSON layout is stable so future PRs can extend the trajectory::
 
@@ -30,6 +42,16 @@ The JSON layout is stable so future PRs can extend the trajectory::
         "<name>": {"seconds": <best-of-N wall seconds>,
                     "ops": <operations per run>,
                     "us_per_op": <seconds / ops * 1e6>}
+      },
+      "traffic": {
+        "meta": {"nodes": ..., "scale_factor": ..., "seed": ...},
+        "queries": {
+          "<name>": {"bytes_pushdown": ..., "bytes_baseline": ...,
+                      "reduction": ...,  # 1 - pushdown/baseline
+                      "data_bytes_pushdown": ..., "data_bytes_baseline": ...,
+                      "messages_pushdown": ..., "messages_baseline": ...,
+                      "pages_total": ..., "pages_pruned": ...}
+        }
       }
     }
 """
@@ -361,6 +383,89 @@ def bench_e2e_tpch(num_nodes: int, scale_factor: float, seed: int,
 
 
 # ---------------------------------------------------------------------------
+# Wire-traffic benchmarks (simulated bytes: deterministic, machine-independent)
+# ---------------------------------------------------------------------------
+
+
+#: Figure queries measured by the traffic suite, plus one key-selective query
+#: that exercises page pruning (the figure queries filter non-key attributes,
+#: so their sargable part is empty and pruning cannot trigger on them).
+TRAFFIC_QUERIES = ("Q1", "Q3", "Q5", "Q6", "Q10", "PRUNE")
+
+#: Key-selective query for the pruning point: equality on the partition key
+#: bounds the candidate hash set to one ring position, so every index page
+#: whose range misses it is never requested.
+PRUNE_SQL = "SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderkey = 42"
+
+
+def run_traffic_suite(seed: int = 0, nodes: int = 8,
+                      scale_factor: float = 5.0) -> dict:
+    """Measure per-query wire traffic with and without the optimizer.
+
+    Builds one cluster, publishes TPC-H once, then runs every query in
+    :data:`TRAFFIC_QUERIES` twice: with the wire-traffic optimizer (pushdown
+    + pruning, the planner default) and with the evaluate-at-the-participant
+    baseline.  The result cache is disabled so both runs execute for real.
+    All numbers are simulated bytes/messages — exact, not timed.
+    """
+    from ..cluster import Cluster
+    from ..net.profiles import LAN_GIGABIT
+    from ..optimizer.planner import PlannerOptions
+    from ..query.service import QueryOptions
+    from ..query.sql import parse_query
+    from ..workloads import tpch
+
+    instance = tpch.generate(scale_factor, seed)
+    cluster = Cluster(nodes, profile=LAN_GIGABIT)
+    cluster.publish_relations(instance.relation_list())
+    options = QueryOptions(use_result_cache=False)
+    baseline_planner = PlannerOptions(enable_pushdown=False)
+
+    def build(name: str):
+        if name == "PRUNE":
+            return parse_query(PRUNE_SQL, tpch.SCHEMAS)
+        return tpch.query(name)
+
+    queries = {}
+    for name in TRAFFIC_QUERIES:
+        pushed = cluster.query(build(name), options=options)
+        baseline = cluster.query(build(name), options=options,
+                                 planner_options=baseline_planner)
+        # Sanity guard, not the equivalence suite (that is
+        # tests/query/test_pushdown_equivalence.py): coarse float rounding
+        # because the two plans sum aggregates in different orders.
+        from ..query.reference import normalise
+
+        if normalise(pushed.rows, float_digits=2) != normalise(baseline.rows, float_digits=2):
+            raise AssertionError(
+                f"traffic benchmark {name}: pushdown and baseline rows differ"
+            )
+        stats, base = pushed.statistics, baseline.statistics
+        queries[name] = {
+            "bytes_pushdown": stats.bytes_total,
+            "bytes_baseline": base.bytes_total,
+            "reduction": round(1.0 - stats.bytes_total / max(1, base.bytes_total), 4),
+            "data_bytes_pushdown": stats.data_bytes,
+            "data_bytes_baseline": base.data_bytes,
+            "messages_pushdown": stats.messages_total,
+            "messages_baseline": base.messages_total,
+            "pages_total": stats.scan_pages_total,
+            "pages_pruned": stats.scan_pages_pruned,
+        }
+        print(f"traffic.{name:6s} {stats.bytes_total:>10,d} B pushed  "
+              f"{base.bytes_total:>10,d} B baseline  "
+              f"(-{queries[name]['reduction']:.1%}, "
+              f"{stats.scan_pages_pruned}/{stats.scan_pages_total} pages pruned)",
+              file=sys.stderr)
+
+    return {
+        "meta": {"nodes": nodes, "scale_factor": scale_factor, "seed": seed,
+                 "queries": list(TRAFFIC_QUERIES)},
+        "queries": queries,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
 
@@ -375,8 +480,15 @@ E2E_QUERIES = ("Q1", "Q3", "Q6")
 BATCH_ROWS = 256
 
 
+#: Cluster shape of the traffic suite per scale preset: (nodes, scale factor).
+TRAFFIC_SCALES = {
+    "smoke": (5, 0.5),
+    "default": (8, 5.0),
+}
+
+
 def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
-              include_e2e: bool = True) -> dict:
+              include_e2e: bool = True, include_traffic: bool = True) -> dict:
     """Run every benchmark; returns the BENCH_perf.json document."""
     micro_rows, e2e_nodes, e2e_sf = SCALES[scale]
     tpch_rows = _tpch_like_rows(micro_rows, seed)
@@ -447,7 +559,7 @@ def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
               f"{seconds / ops * 1e6:10.3f} us/op  ({ops} ops)",
               file=sys.stderr)
 
-    return {
+    document = {
         "meta": {
             "python": platform.python_version(),
             "seed": seed,
@@ -459,6 +571,12 @@ def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
         },
         "benchmarks": results,
     }
+    if include_traffic:
+        traffic_nodes, traffic_sf = TRAFFIC_SCALES[scale]
+        document["traffic"] = run_traffic_suite(
+            seed=seed, nodes=traffic_nodes, scale_factor=traffic_sf
+        )
+    return document
 
 
 # ---------------------------------------------------------------------------
@@ -466,16 +584,64 @@ def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
 # ---------------------------------------------------------------------------
 
 
+def check_traffic_regressions(reference: dict, fresh: dict,
+                              tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare the wire-traffic section against a committed reference.
+
+    Traffic bytes are *simulated* — exact and machine-independent under a
+    pinned ``PYTHONHASHSEED`` — so unlike the timing check there is no
+    calibration and no variance floor: any query whose pushdown bytes grew
+    beyond ``tolerance`` fails, as does a pushdown plan that lost its edge
+    over the committed baseline run (reduction collapsing to less than half
+    the recorded one signals the optimizer stopped pushing).
+    """
+    ref_traffic = reference.get("traffic", {}).get("queries", {})
+    new_traffic = fresh.get("traffic", {}).get("queries", {})
+    if ref_traffic and not new_traffic:
+        # The whole section is absent: the fresh run skipped traffic
+        # intentionally (--no-traffic); only an *individually* missing query
+        # signals a silently dropped benchmark.
+        return []
+    failures = []
+    for name, ref in ref_traffic.items():
+        new = new_traffic.get(name)
+        if new is None:
+            failures.append(f"traffic.{name}: present in reference but not in this run")
+            continue
+        ref_bytes = ref["bytes_pushdown"]
+        new_bytes = new["bytes_pushdown"]
+        if new_bytes > ref_bytes * (1.0 + tolerance):
+            failures.append(
+                f"traffic.{name}: {new_bytes:,d} B on the wire vs reference "
+                f"{ref_bytes:,d} B (tolerance {tolerance:.0%}, byte counts are "
+                f"deterministic)"
+            )
+        ref_reduction = ref.get("reduction", 0.0)
+        new_reduction = new.get("reduction", 0.0)
+        if ref_reduction > 0.1 and new_reduction < ref_reduction / 2:
+            failures.append(
+                f"traffic.{name}: pushdown reduction fell to {new_reduction:.1%} "
+                f"(reference {ref_reduction:.1%}) — the optimizer stopped pushing"
+            )
+    return failures
+
+
 def check_regressions(reference: dict, fresh: dict,
                       tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
     """Compare a fresh run against a committed reference document.
 
     Times are normalised by the ``calibration.spin`` ratio so that a slower
-    (or faster) CI machine does not read as a regression (or mask one).
-    Returns human-readable failure strings; empty means the check passed.
+    (or faster) CI machine does not read as a regression (or mask one);
+    traffic bytes are exact and compared without a floor
+    (:func:`check_traffic_regressions`).  Returns human-readable failure
+    strings; empty means the check passed.
     """
     ref_benches = reference.get("benchmarks", {})
     new_benches = fresh.get("benchmarks", {})
+    if ref_benches and not new_benches:
+        # Timing section skipped wholesale (--traffic-only): compare only
+        # the sections the fresh run actually produced.
+        ref_benches = {}
     ref_calibration = ref_benches.get("calibration.spin", {}).get("seconds")
     new_calibration = new_benches.get("calibration.spin", {}).get("seconds")
     if ref_calibration and new_calibration:
@@ -499,6 +665,7 @@ def check_regressions(reference: dict, fresh: dict,
                 f"{ref['seconds']:.3f}s (machine-normalised "
                 f"{ref_seconds:.3f}s, tolerance {tolerance:.0%})"
             )
+    failures.extend(check_traffic_regressions(reference, fresh, tolerance))
     return failures
 
 
@@ -521,10 +688,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
     parser.add_argument("--no-e2e", action="store_true",
                         help="skip the end-to-end TPC-H benchmark")
+    parser.add_argument("--no-traffic", action="store_true",
+                        help="skip the wire-traffic benchmarks")
+    parser.add_argument("--traffic-only", action="store_true",
+                        help="run only the wire-traffic benchmarks (emits a "
+                             "document with a traffic section and no timings)")
     args = parser.parse_args(argv)
 
-    document = run_suite(seed=args.seed, repeat=args.repeat, scale=args.scale,
-                         include_e2e=not args.no_e2e)
+    if args.traffic_only:
+        nodes, scale_factor = TRAFFIC_SCALES[args.scale]
+        document = {
+            "meta": {"python": platform.python_version(), "seed": args.seed,
+                     "scale": args.scale, "traffic_only": True},
+            "benchmarks": {},
+            "traffic": run_traffic_suite(seed=args.seed, nodes=nodes,
+                                         scale_factor=scale_factor),
+        }
+    else:
+        document = run_suite(seed=args.seed, repeat=args.repeat, scale=args.scale,
+                             include_e2e=not args.no_e2e,
+                             include_traffic=not args.no_traffic)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

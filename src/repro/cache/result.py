@@ -56,9 +56,14 @@ def plan_fingerprint(plan) -> Hashable:
     def visit(op) -> tuple:
         children = tuple(visit(child) for child in op.children())
         if isinstance(op, PhysScan):
+            # The pushed predicates, the narrowed projection and the pruning
+            # candidates are all part of the scan's semantics: two plans that
+            # push different predicates (or prune different pages) must not
+            # share a cached answer.
             descriptor = (
                 "scan", op.schema.name, tuple(op.columns), op.epoch,
                 repr(op.sargable), repr(op.residual), op.covering,
+                tuple(op.prune_hashes) if op.prune_hashes is not None else None,
             )
         elif isinstance(op, PhysSelect):
             descriptor = ("select", repr(op.predicate))

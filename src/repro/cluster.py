@@ -250,10 +250,20 @@ class Cluster:
         epoch: int | None = None,
         key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
         from_address: str | None = None,
+        predicate=None,
+        columns: Sequence[str] | None = None,
     ) -> RetrieveResult:
-        """Retrieve a relation version (blocking shim around Algorithm 1)."""
+        """Retrieve a relation version (blocking shim around Algorithm 1).
+
+        ``predicate`` (an expression over the relation's attributes) and
+        ``columns`` (a projection) are pushed to the data nodes: tuples are
+        filtered and narrowed where they are stored, before crossing the
+        simulated network.  Projected tuples carry values in ``columns``
+        order.
+        """
         future = self.session(from_address).submit_retrieve(
-            relation, epoch=epoch, key_predicate=key_predicate
+            relation, epoch=epoch, key_predicate=key_predicate,
+            predicate=predicate, columns=columns,
         )
         self.network.run()
         return future.result()

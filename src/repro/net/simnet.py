@@ -108,6 +108,9 @@ class Message:
     payload: Mapping[str, object]
     size: int
     sent_at: float = 0.0
+    #: Protocol kind for the traffic breakdown: the inner RPC method name for
+    #: rpc-framed messages, the raw message type otherwise.
+    kind: str = ""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Message({self.msg_type!r}, {self.src!r}->{self.dst!r}, {self.size}B)"
@@ -118,7 +121,12 @@ class TrafficMeter:
 
     Only *remote* messages are counted; the local fast path bypasses the
     meter.  ``snapshot()`` captures the counters so a benchmark can compute
-    the traffic attributable to a single query.
+    the traffic attributable to a single query.  Besides the per-node
+    counters, the meter keeps a per-*kind* breakdown (the RPC method name for
+    rpc-framed messages, the raw message type otherwise) so benchmarks can
+    attribute bytes to protocol stages — plan dissemination, leaf-scan tuple
+    requests, exchange data, end-of-stream markers — without instrumenting
+    every call site.
     """
 
     def __init__(self) -> None:
@@ -126,12 +134,17 @@ class TrafficMeter:
         self.total_messages = 0
         self.bytes_sent: dict[str, int] = {}
         self.bytes_received: dict[str, int] = {}
+        self.bytes_by_kind: dict[str, int] = {}
+        self.messages_by_kind: dict[str, int] = {}
 
-    def record(self, src: str, dst: str, size: int) -> None:
+    def record(self, src: str, dst: str, size: int, kind: str = "") -> None:
         self.total_bytes += size
         self.total_messages += 1
         self.bytes_sent[src] = self.bytes_sent.get(src, 0) + size
         self.bytes_received[dst] = self.bytes_received.get(dst, 0) + size
+        if kind:
+            self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+            self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
 
     def snapshot(self) -> "TrafficSnapshot":
         return TrafficSnapshot(
@@ -139,6 +152,8 @@ class TrafficMeter:
             total_messages=self.total_messages,
             bytes_sent=dict(self.bytes_sent),
             bytes_received=dict(self.bytes_received),
+            bytes_by_kind=dict(self.bytes_by_kind),
+            messages_by_kind=dict(self.messages_by_kind),
         )
 
 
@@ -148,6 +163,8 @@ class TrafficSnapshot:
     total_messages: int
     bytes_sent: dict[str, int]
     bytes_received: dict[str, int]
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
 
     def delta(self, later: "TrafficSnapshot") -> "TrafficSnapshot":
         """Traffic that occurred between this snapshot and ``later``."""
@@ -161,6 +178,15 @@ class TrafficSnapshot:
             bytes_received={
                 node: later.bytes_received.get(node, 0) - self.bytes_received.get(node, 0)
                 for node in set(later.bytes_received) | set(self.bytes_received)
+            },
+            bytes_by_kind={
+                kind: later.bytes_by_kind.get(kind, 0) - self.bytes_by_kind.get(kind, 0)
+                for kind in set(later.bytes_by_kind) | set(self.bytes_by_kind)
+            },
+            messages_by_kind={
+                kind: later.messages_by_kind.get(kind, 0)
+                - self.messages_by_kind.get(kind, 0)
+                for kind in set(later.messages_by_kind) | set(self.messages_by_kind)
             },
         )
 
@@ -441,7 +467,9 @@ class Network:
         if not sender.alive:
             raise NodeFailedError(src, "attempted to send from a failed node")
         wire_size = size + self.MESSAGE_OVERHEAD_BYTES
-        message = Message(msg_type, src, dst, dict(payload), wire_size, sent_at=self.now)
+        kind = payload.get("method") or msg_type
+        message = Message(msg_type, src, dst, dict(payload), wire_size,
+                          sent_at=self.now, kind=str(kind))
 
         if src == dst:
             # Local fast path: a small fixed dispatch cost, no traffic.
@@ -464,7 +492,7 @@ class Network:
         """
         sender = self.node(message.src)
         receiver = self.node(message.dst)
-        self.traffic.record(message.src, message.dst, message.size)
+        self.traffic.record(message.src, message.dst, message.size, message.kind)
 
         egress_start = max(self.now, sender._egress_free_at)
         egress_time = message.size / sender.host.egress_bandwidth
@@ -538,7 +566,7 @@ class Network:
             # Every copy of this attempt died on the link.  The bytes still
             # left the sender (egress + traffic are charged) but never reach
             # the receiver's NIC.
-            self.traffic.record(message.src, message.dst, message.size)
+            self.traffic.record(message.src, message.dst, message.size, message.kind)
             egress_start = max(self.now, sender._egress_free_at)
             sender._egress_free_at = egress_start + message.size / sender.host.egress_bandwidth
             self.schedule(injector.retransmit_delay(attempt), retry)

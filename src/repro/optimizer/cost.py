@@ -159,6 +159,26 @@ class CostModel:
         disk *= 1.0 - self.warm_fraction(relation, rows * row_size)
         return cpu + disk + self.machine.latency_seconds
 
+    def scan_output_cost(self, output_rows: float, output_row_size: float) -> float:
+        """Materialising the scan's post-pushdown output stream.
+
+        Priced by selectivity × projected row width: the bytes the leaf scan
+        actually injects into the plan after the pushed predicate filtered
+        and the pushed projection narrowed its rows.  Every complete plan
+        scans each base relation exactly once, so this term shifts absolute
+        costs rather than join order — the order-sensitive effect of pushdown
+        flows through the estimate's ``rows``/``row_size``, which every
+        rehash and ship stage is priced from.
+        """
+        per_node_rows = output_rows / self._nodes
+        cpu = per_node_rows / self.machine.tuples_per_second_cpu
+        copy = per_node_rows * output_row_size / self.machine.bytes_per_second_disk
+        return cpu + copy
+
+    def select_cost(self, rows: float) -> float:
+        """Participant-side selection over intermediate rows (lifted plans)."""
+        return rows / self._nodes / self.machine.tuples_per_second_cpu
+
     def rehash_cost(self, rows: float, row_size: float) -> float:
         """Repartitioning: nearly all rows cross the network once."""
         per_node_rows = rows / self._nodes

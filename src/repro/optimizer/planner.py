@@ -41,6 +41,7 @@ from ..query.logical import (
     LogicalScan,
     LogicalSelect,
 )
+from ..query.pushdown import MAX_PRUNE_CANDIDATES, candidate_partition_hashes
 from ..query.physical import (
     COLLECT_APPEND,
     COLLECT_MERGE_PARTIALS,
@@ -65,6 +66,19 @@ class PlannerOptions:
     #: Allow covering index scans when a relation's needed columns are all key
     #: attributes.
     enable_covering_scans: bool = True
+    #: Push scan-local predicates and the referenced-column projection into
+    #: the leaf scans (evaluated at the index/data nodes, before any bytes
+    #: cross the simulated network).  Disabling lifts every scan-local
+    #: predicate into a Select above the scan and makes scans emit the full
+    #: schema — the classic evaluate-at-the-participant plan, kept as the A/B
+    #: baseline for the wire-traffic figures.
+    enable_pushdown: bool = True
+    #: Prune index pages whose hash range provably cannot contain a matching
+    #: tuple (requires ``enable_pushdown``; only predicates that pin the
+    #: partition key to a finite candidate set prune anything).
+    enable_page_pruning: bool = True
+    #: Cap on enumerated partition-key combinations for page pruning.
+    prune_candidate_limit: int = MAX_PRUNE_CANDIDATES
 
 
 @dataclass
@@ -203,18 +217,44 @@ def compile_query(
         else:
             residual_predicates.append(conjunct)
 
-    needed = _needed_columns(block, join_edges, residual_predicates, query)
+    needed = _needed_columns(
+        block, join_edges, residual_predicates, query,
+        local_predicates if options.enable_pushdown else None,
+    )
 
     terms: dict[str, RelationTerm] = {}
     for name, scan in block.scans.items():
         schema = scan.schema
         predicate = and_(*local_predicates[name]) if local_predicates[name] else None
-        sargable, residual = split_sargable(predicate, schema.key)
-        needed_columns = needed[name]
-        covering = (
-            options.enable_covering_scans
-            and set(needed_columns) <= set(schema.key)
-        )
+        if options.enable_pushdown:
+            # Scan-local predicates are evaluated where the data lives: the
+            # sargable part at the index nodes (over tuple-ID key values),
+            # the residual at the data nodes (over the full stored tuple) —
+            # before any row crosses the simulated network.  The scan's
+            # output is narrowed to the columns the rest of the plan
+            # actually reads; attributes referenced only by the pushed
+            # predicate never ship.
+            sargable, residual = split_sargable(predicate, schema.key)
+            lifted = None
+            needed_columns = needed[name]
+            covering = (
+                options.enable_covering_scans
+                and residual is None
+                and set(needed_columns) <= set(schema.key)
+            )
+            prune_hashes = None
+            if options.enable_page_pruning:
+                prune_hashes = candidate_partition_hashes(
+                    sargable, schema.partition_key, options.prune_candidate_limit
+                )
+        else:
+            # A/B baseline: full-width scans, predicates evaluated in a
+            # Select above the scan at the participant, no page pruning.
+            sargable = residual = None
+            lifted = predicate
+            needed_columns = schema.attributes
+            covering = False
+            prune_hashes = None
         terms[name] = RelationTerm(
             name=name,
             schema=schema,
@@ -223,6 +263,8 @@ def compile_query(
             residual=residual,
             covering=covering,
             epoch=scan.epoch if scan.epoch is not None else epoch,
+            lifted=lifted,
+            prune_hashes=prune_hashes,
         )
 
     search = VolcanoJoinSearch(terms, join_edges, catalog, cost_model, builder)
@@ -302,16 +344,26 @@ def _needed_columns(
     join_edges: list[JoinEdge],
     residual_predicates: list[Expression],
     query: LogicalQuery,
+    pushed_predicates: dict[str, list[Expression]] | None = None,
 ) -> dict[str, tuple[str, ...]]:
-    """Columns of each relation that any part of the query references."""
+    """Columns of each relation that any part of the query references.
+
+    ``pushed_predicates`` (relation → scan-local conjuncts) marks predicates
+    that will be evaluated *inside* the leaf scan, at the node holding the
+    data: attributes referenced only by those conjuncts are consumed before
+    the scan emits a row, so they are excluded from the scan's output — the
+    projection-pushdown half of the wire-traffic optimizer.  When ``None``
+    (pushdown disabled), every predicate reference stays in the output,
+    reproducing the evaluate-at-the-participant baseline.
+    """
     referenced: set[str] = set()
     for edges in join_edges:
         referenced.add(edges.left_attribute)
         referenced.add(edges.right_attribute)
     for predicate in residual_predicates:
         referenced |= predicate.references()
-    for predicates in (block.predicates,):
-        for predicate in predicates:
+    if pushed_predicates is None:
+        for predicate in block.predicates:
             referenced |= predicate.references()
     if block.project is not None:
         for _name, expr in block.project:

@@ -41,6 +41,12 @@ class RelationTerm:
     residual: Expression | None = None
     covering: bool = False
     epoch: int | None = None
+    #: Scan-local predicate *not* pushed into the scan (pushdown disabled):
+    #: the leaf becomes scan → Select, evaluated at the participant after the
+    #: full-width rows were produced — the A/B traffic baseline.
+    lifted: Expression | None = None
+    #: Page-pruning candidates for the scan (see PhysScan.prune_hashes).
+    prune_hashes: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -113,7 +119,9 @@ class VolcanoJoinSearch:
     def _leaf(self, name: str) -> _MemoEntry:
         term = self.terms[name]
         statistics = self.catalog.statistics(name)
-        predicate_parts = [p for p in (term.sargable, term.residual) if p is not None]
+        predicate_parts = [
+            p for p in (term.sargable, term.residual, term.lifted) if p is not None
+        ]
         from ..query.expressions import and_
 
         predicate = and_(*predicate_parts) if predicate_parts else None
@@ -126,17 +134,30 @@ class VolcanoJoinSearch:
             if set(term.schema.partition_key) <= set(term.needed_columns)
             else None
         )
-        plan = self.builder.scan(
+        plan: PhysicalOperator = self.builder.scan(
             term.schema,
             columns=term.needed_columns,
             epoch=term.epoch,
             sargable=term.sargable,
             residual=term.residual,
             covering=term.covering,
+            prune_hashes=term.prune_hashes,
         )
+        # The scan is priced in two parts: reading/filtering the stored data,
+        # plus materialising its *post-pushdown* output — selectivity ×
+        # projected row width.  Narrowed, filtered scans therefore enter the
+        # search as cheaper inputs, and the rows/row_size they expose drive
+        # every downstream rehash/ship decision off the same reduced bytes.
+        cost = self.cost.scan_cost(
+            statistics.row_count, statistics.avg_row_size, relation=name
+        ) + self.cost.scan_output_cost(rows, row_size)
+        if term.lifted is not None:
+            # Pushdown disabled: the scan emits full-width rows and the
+            # predicate runs in a Select at the participant.
+            plan = self.builder.select(plan, term.lifted)
+            cost += self.cost.select_cost(statistics.row_count)
         estimate = PlanEstimate(
-            cost=self.cost.scan_cost(statistics.row_count, statistics.avg_row_size,
-                                     relation=name),
+            cost=cost,
             rows=rows,
             row_size=row_size,
             partitioning=partitioning,

@@ -65,13 +65,43 @@ class PhysScan(PhysicalOperator):
     sargable: Expression | None = None
     residual: Expression | None = None
     covering: bool = False
+    #: Plan-time page-pruning candidates: the finite set of ring positions a
+    #: matching tuple can be stored at, derived from the sargable predicate by
+    #: :func:`~repro.query.pushdown.candidate_partition_hashes`.  ``None``
+    #: means the predicate does not bound the partition key (no pruning); an
+    #: empty tuple means no page can match.
+    prune_hashes: tuple[int, ...] | None = None
 
     def output_attributes(self) -> tuple[str, ...]:
         return tuple(self.columns) if self.columns else self.schema.attributes
 
+    def estimated_descriptor_size(self) -> int:
+        """Honest wire size: base framing + projection + pushed predicates.
+
+        The pushed selection/projection ride to every participant inside the
+        plan, so their descriptor bytes are charged here rather than hidden
+        in the flat base — the traffic figures see what pushdown ships.
+        """
+        from .pushdown import columns_wire_size, expression_wire_size
+
+        return (
+            48
+            + columns_wire_size(self.columns)
+            + expression_wire_size(self.sargable)
+            + expression_wire_size(self.residual)
+            + (20 * len(self.prune_hashes) if self.prune_hashes else 0)
+        )
+
     def __repr__(self) -> str:
         kind = "CoveringIndexScan" if self.covering else "DistributedScan"
-        return f"{kind}({self.schema.name})"
+        details = [self.schema.name]
+        if self.sargable is not None:
+            details.append(f"sargable={self.sargable!r}")
+        if self.residual is not None:
+            details.append(f"residual={self.residual!r}")
+        if self.prune_hashes is not None:
+            details.append(f"prunable={len(self.prune_hashes)}")
+        return f"{kind}({', '.join(details)})"
 
 
 @dataclass
@@ -86,6 +116,11 @@ class PhysSelect(PhysicalOperator):
 
     def output_attributes(self) -> tuple[str, ...]:
         return self.child.output_attributes()
+
+    def estimated_descriptor_size(self) -> int:
+        from .pushdown import expression_wire_size
+
+        return 48 + expression_wire_size(self.predicate)
 
     def __repr__(self) -> str:
         return f"Select({self.predicate!r})"
@@ -286,7 +321,8 @@ class PlanBuilder:
 
     def scan(self, schema: Schema, columns: Sequence[str] | None = None, epoch: int | None = None,
              sargable: Expression | None = None, residual: Expression | None = None,
-             covering: bool = False) -> PhysScan:
+             covering: bool = False,
+             prune_hashes: Sequence[int] | None = None) -> PhysScan:
         return PhysScan(
             op_id=self.next_id(),
             schema=schema,
@@ -295,6 +331,7 @@ class PlanBuilder:
             sargable=sargable,
             residual=residual,
             covering=covering,
+            prune_hashes=tuple(prune_hashes) if prune_hashes is not None else None,
         )
 
     def select(self, child: PhysicalOperator, predicate: Expression) -> PhysSelect:

@@ -1,0 +1,387 @@
+"""Wire-traffic pushdown machinery: scan descriptors and page pruning.
+
+The wire-traffic optimizer rests on two plan-time analyses that both live
+here because the optimizer *and* the storage layer need them:
+
+Serializable scan descriptors
+    A predicate pushed into a leaf scan must travel to index and data nodes
+    as part of the plan, so it needs an honest wire representation — not an
+    opaque Python closure.  :class:`ScanPredicate` pairs an expression tree
+    with the attribute signature it is evaluated against; the receiving node
+    compiles it positionally (:func:`~repro.query.expressions.compile_expression`,
+    so NULL semantics match the engine exactly), and
+    :func:`expression_wire_size` prices the descriptor for the traffic
+    accounting the figures report.
+
+Page pruning (key-range / hash-partition analysis)
+    Index pages cover *hash ranges* of the partition-key values
+    (:class:`~repro.storage.pages.PageRef`), so a sargable predicate that
+    pins the partition-key attributes to a finite candidate set — equality,
+    ``IN`` lists, and OR-combinations of those — maps to a finite set of ring
+    positions.  A page whose hash range contains none of them provably holds
+    no matching tuple ID and is never requested.
+    :func:`candidate_partition_hashes` performs the analysis; it returns
+    ``None`` whenever the predicate does not provably bound the partition
+    key (range conjuncts, arithmetic, attributes outside the partition key),
+    so pruning is always sound: every returned candidate set is a superset
+    of the hash keys a matching tuple can have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..common.types import Value, estimate_values_size, partition_hash
+from .expressions import (
+    Arithmetic,
+    BooleanOp,
+    Column,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    compile_expression,
+    split_conjuncts,
+)
+
+#: Cap on the enumerated partition-key combinations.  A predicate that pins
+#: the partition key to more candidates than this is treated as unprunable —
+#: the candidate list itself would start to rival the page list it prunes.
+MAX_PRUNE_CANDIDATES = 64
+
+
+# ---------------------------------------------------------------------------
+# Descriptor sizing
+# ---------------------------------------------------------------------------
+
+
+def expression_wire_size(expression: Expression | None) -> int:
+    """Estimated serialized size of an expression tree in bytes.
+
+    Mirrors a compact prefix encoding: one tag byte per node, column names as
+    length-prefixed UTF-8, literals priced like row values
+    (:func:`~repro.common.types.estimate_values_size`).  This is what plan
+    dissemination and scan-spec messages charge for shipping a pushed
+    predicate, so the committed traffic figures account for the descriptor —
+    pushing a huge predicate is not free.
+    """
+    if expression is None:
+        return 0
+    if isinstance(expression, Column):
+        return 1 + 2 + len(expression.name.encode("utf-8"))
+    if isinstance(expression, Literal):
+        return 1 + estimate_values_size((expression.value,))
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return (
+            2  # tag + operator byte
+            + expression_wire_size(expression.left)
+            + expression_wire_size(expression.right)
+        )
+    if isinstance(expression, BooleanOp):
+        return 2 + sum(expression_wire_size(op) for op in expression.operands)
+    if isinstance(expression, InList):
+        return (
+            2
+            + expression_wire_size(expression.operand)
+            + estimate_values_size(expression.values)
+        )
+    if isinstance(expression, FunctionCall):
+        return (
+            1 + 2 + len(expression.name.encode("utf-8"))
+            + sum(expression_wire_size(a) for a in expression.arguments)
+        )
+    # Unknown subclass: charge its repr (what the fingerprint machinery uses).
+    return 1 + 2 + len(repr(expression).encode("utf-8"))
+
+
+def columns_wire_size(columns: Sequence[str]) -> int:
+    """Wire size of a projection column list (length-prefixed names)."""
+    return 2 + sum(2 + len(name.encode("utf-8")) for name in columns)
+
+
+# ---------------------------------------------------------------------------
+# Serializable predicate descriptor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanPredicate:
+    """A predicate shipped to index/data nodes as a plan descriptor.
+
+    ``attributes`` is the signature the expression is evaluated against —
+    the schema's key attributes for an index-side (sargable) predicate, the
+    full attribute list for a data-side one.  The receiving node compiles the
+    expression positionally against that signature, so evaluation semantics
+    (NULL comparisons false, NULL arithmetic propagating, missing-attribute
+    errors at call time) are exactly the engine's.
+    """
+
+    expression: Expression
+    attributes: tuple[str, ...]
+
+    def __init__(self, expression: Expression, attributes: Sequence[str]):
+        object.__setattr__(self, "expression", expression)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def compile(self) -> Callable[[Sequence[Value]], bool]:
+        """Positional evaluator over raw value tuples (cached per instance)."""
+        compiled = self.__dict__.get("_compiled")
+        if compiled is None:
+            evaluator = compile_expression(self.expression, self.attributes)
+            def compiled(values: Sequence[Value]) -> bool:
+                return bool(evaluator(values))
+            object.__setattr__(self, "_compiled", compiled)
+        return compiled
+
+    def references(self) -> frozenset[str]:
+        return self.expression.references()
+
+    def estimated_size(self) -> int:
+        return expression_wire_size(self.expression) + columns_wire_size(self.attributes)
+
+    def __repr__(self) -> str:
+        return f"ScanPredicate({self.expression!r} over {list(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class ScanProjection:
+    """A projection shipped to data nodes alongside a retrieval.
+
+    ``attributes`` is the relation's full attribute signature (what a stored
+    tuple's values follow), ``columns`` the subset (and order) to keep.
+    Projected tuples carry their values in ``columns`` order.
+    """
+
+    attributes: tuple[str, ...]
+    columns: tuple[str, ...]
+
+    def __init__(self, attributes: Sequence[str], columns: Sequence[str]):
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "columns", tuple(columns))
+        for name in self.columns:
+            if name not in self.attributes:
+                raise ValueError(
+                    f"projected column {name!r} not in attributes {self.attributes}"
+                )
+
+    def positions(self) -> tuple[int, ...]:
+        cached = self.__dict__.get("_positions")
+        if cached is None:
+            cached = tuple(self.attributes.index(name) for name in self.columns)
+            object.__setattr__(self, "_positions", cached)
+        return cached
+
+    def apply(self, values: Sequence[Value]) -> tuple[Value, ...]:
+        return tuple(values[i] for i in self.positions())
+
+    def estimated_size(self) -> int:
+        return columns_wire_size(self.columns)
+
+    def __repr__(self) -> str:
+        return f"ScanProjection({list(self.columns)})"
+
+
+def predicate_callable(
+    predicate: "ScanPredicate | Callable[[Sequence[Value]], bool] | None",
+) -> Callable[[Sequence[Value]], bool] | None:
+    """Normalise a predicate parameter to a callable.
+
+    Storage handlers accept either a serializable :class:`ScanPredicate`
+    (what the engine ships) or a plain callable (the legacy test/driver API —
+    an opaque closure the traffic accounting prices at a flat minimum).
+    """
+    if predicate is None:
+        return None
+    if isinstance(predicate, ScanPredicate):
+        return predicate.compile()
+    return predicate
+
+
+def predicate_wire_size(
+    predicate: "ScanPredicate | Callable[[Sequence[Value]], bool] | None",
+) -> int:
+    """Wire size charged for shipping ``predicate`` in a scan message."""
+    if predicate is None:
+        return 0
+    if isinstance(predicate, ScanPredicate):
+        return predicate.estimated_size()
+    return 16  # opaque callable: framing only (legacy API, sizes unknowable)
+
+
+# ---------------------------------------------------------------------------
+# Page pruning: feasible partition-key analysis
+# ---------------------------------------------------------------------------
+
+
+def _constant_of(expression: Expression) -> tuple[bool, Value]:
+    if isinstance(expression, Literal):
+        return True, expression.value
+    return False, None
+
+
+def _candidate_values(conjunct: Expression, attribute: str) -> set | None:
+    """Values ``attribute`` can take under ``conjunct``; None = unbounded.
+
+    Sound by construction: the returned set is a *superset* of the values of
+    ``attribute`` in any row satisfying the conjunct.  Shapes that do not
+    provably bound the attribute (ranges, arithmetic, references to other
+    attributes) return ``None``.
+    """
+    if isinstance(conjunct, Comparison) and conjunct.operator == "=":
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Column) and left.name == attribute:
+            constant, value = _constant_of(right)
+            if constant:
+                return {value}
+        if isinstance(right, Column) and right.name == attribute:
+            constant, value = _constant_of(left)
+            if constant:
+                return {value}
+        return None
+    if isinstance(conjunct, InList):
+        operand = conjunct.operand
+        if isinstance(operand, Column) and operand.name == attribute:
+            return set(conjunct.values)
+        return None
+    if isinstance(conjunct, BooleanOp) and conjunct.operator == "or":
+        # A disjunction bounds the attribute only if *every* disjunct does.
+        union: set = set()
+        for operand in conjunct.operands:
+            values = _candidate_values(operand, attribute)
+            if values is None:
+                return None
+            union |= values
+        return union
+    if isinstance(conjunct, BooleanOp) and conjunct.operator == "and":
+        merged: set | None = None
+        for operand in conjunct.operands:
+            values = _candidate_values(operand, attribute)
+            if values is None:
+                continue
+            merged = values if merged is None else merged & values
+        return merged
+    return None
+
+
+def _equal_hash_variants(value: Value) -> set:
+    """Every value that compares *equal* to ``value`` but hashes differently.
+
+    The placement hash distinguishes types Python equality conflates
+    (``42 == 42.0 == True`` for 1, ``0.0 == -0.0``), while predicate
+    evaluation uses plain ``==``.  A stored key of any equal-comparing
+    variant satisfies an equality predicate on ``value``, so pruning must
+    keep the pages of *all* variants or it would provably-wrongly skip a
+    matching tuple.  Non-numeric values have no cross-type equalities.
+
+    Returns a set of ``((type, repr), value)`` pairs — see the comment below
+    for why the values cannot live in a plain set.
+    """
+    # Keyed by (type, repr): a plain set would collapse the variants right
+    # back together (``{1, 1.0, True}`` is ``{1}`` — Python set membership
+    # uses the very equality whose hash-divergence this function exists for).
+    variants: dict = {(type(value), repr(value)): value}
+
+    def add(v) -> None:
+        variants[(type(v), repr(v))] = v
+
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, float):
+            as_float = value
+            if value.is_integer():
+                as_int = int(value)
+                add(as_int)
+                if as_int in (0, 1):
+                    add(as_int == 1)
+        else:
+            try:
+                as_float = float(value)
+            except OverflowError:
+                as_float = None
+            if as_float is not None and as_float == value:
+                add(as_float)
+            add(int(value))
+            if value == 0 or value == 1:
+                add(value == 1)
+        if as_float is not None and as_float == 0.0:
+            add(0.0)
+            add(-0.0)
+    return set(variants.items())
+
+
+def candidate_partition_hashes(
+    predicate: Expression | None,
+    partition_key: Sequence[str],
+    limit: int = MAX_PRUNE_CANDIDATES,
+) -> tuple[int, ...] | None:
+    """Ring positions a tuple matching ``predicate`` can be stored at.
+
+    Returns a sorted tuple of candidate :func:`partition_hash` values when the
+    predicate provably bounds *every* partition-key attribute to a finite
+    candidate set of at most ``limit`` combinations; ``None`` when it does
+    not (in which case no pruning is possible).  An empty tuple means the
+    predicate is unsatisfiable over the partition key (contradictory
+    equalities) and *every* page can be pruned.
+    """
+    if predicate is None or not partition_key:
+        return None
+    conjuncts = split_conjuncts(predicate)
+    per_attribute: list[set] = []
+    try:
+        for attribute in partition_key:
+            merged: set | None = None
+            for conjunct in conjuncts:
+                values = _candidate_values(conjunct, attribute)
+                if values is None:
+                    continue
+                merged = values if merged is None else merged & values
+            if merged is None:
+                return None  # this partition-key attribute is unbounded
+            per_attribute.append(merged)
+    except TypeError:
+        # Unhashable literals (e.g. list values, which the expression layer
+        # fully supports) cannot enter the candidate sets; the predicate
+        # still evaluates fine at the index nodes, so just don't prune.
+        return None
+
+    combinations: list[tuple[Value, ...]] = [()]
+    for values in per_attribute:
+        if not values:
+            return ()  # contradiction: no tuple can match
+        # Expand every candidate to its equal-comparing hash variants
+        # (1 == 1.0 == True hash to three different ring positions, and a
+        # stored key of any of them would satisfy the predicate).  The
+        # variants are (type, repr)-keyed pairs so distinct-hashing values
+        # Python considers equal survive the set union.
+        expanded: set = set()
+        for value in values:
+            expanded |= _equal_hash_variants(value)
+        ordered = [
+            pair[1]
+            for pair in sorted(expanded, key=lambda p: (p[0][1], p[0][0].__name__))
+        ]
+        combinations = [
+            prefix + (value,) for prefix in combinations for value in ordered
+        ]
+        if len(combinations) > limit:
+            return None
+    hashes = sorted({partition_hash(combo) for combo in combinations})
+    return tuple(hashes)
+
+
+def prune_page_refs(pages, hashes: Sequence[int] | None):
+    """Split ``pages`` into (kept, pruned-count) under the candidate hashes.
+
+    ``hashes is None`` keeps everything (no pruning possible).  A kept page's
+    hash range contains at least one candidate; a pruned page's range
+    provably cannot contain the hash key of any matching tuple.
+    """
+    if hashes is None:
+        return list(pages), 0
+    kept = [
+        ref
+        for ref in pages
+        if any(ref.hash_range.contains(hash_key) for hash_key in hashes)
+    ]
+    return kept, len(pages) - len(kept)

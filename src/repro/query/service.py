@@ -36,8 +36,8 @@ from ..overlay.routing import RoutingSnapshot, physical_address
 from ..storage.client import StorageClient
 from ..storage.pages import CoordinatorRecord, PageRef
 from ..storage.service import StorageService
-from .expressions import key_predicate_function
 from .operators import Fragment, build_fragment
+from .pushdown import ScanPredicate, prune_page_refs
 from .physical import (
     COLLECT_MERGE_PARTIALS,
     COLLECT_REPLACE_GROUPS,
@@ -86,10 +86,36 @@ class QueryStatistics:
     participating_nodes: int = 0
     #: True when the answer was served from the semantic result cache.
     result_cache_hit: bool = False
+    #: Remote messages the query put on the wire (local sends are free).
+    messages_total: int = 0
+    #: Bytes per protocol stage (RPC method → bytes), e.g. ``query.start``
+    #: (plan + scan-spec dissemination), ``query.scan_tuples`` (leaf-scan
+    #: tuple-ID requests), ``query.data`` (exchange rows) — the breakdown the
+    #: wire-traffic benchmarks report.
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Index pages of all leaf scans under the launch snapshot, and how many
+    #: of them plan-time pruning removed before any node was asked for them.
+    scan_pages_total: int = 0
+    scan_pages_pruned: int = 0
 
     @property
     def execution_time(self) -> float:
         return self.completed_at - self.started_at
+
+    @property
+    def data_bytes(self) -> int:
+        """Exchange-row bytes (``query.data``): the pushdown-sensitive share."""
+        return self.bytes_by_kind.get("query.data", 0)
+
+    def _absorb_traffic(self, delta) -> None:
+        """Fold one attempt's traffic delta into the cumulative counters."""
+        self.bytes_total += delta.total_bytes
+        self.messages_total += delta.total_messages
+        for address, count in delta.per_node_bytes().items():
+            self.bytes_per_node[address] = self.bytes_per_node.get(address, 0) + count
+        for kind, count in delta.bytes_by_kind.items():
+            if count:
+                self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + count
 
 
 @dataclass
@@ -123,14 +149,34 @@ class _ScanSpec:
     epoch: int
     covering: bool
     pages_by_index_node: dict[str, list[PageRef]]
-    key_predicate: Callable[[tuple[Value, ...]], bool] | None
+    #: Sargable predicate as a *serializable descriptor* (expression tree +
+    #: key-attribute signature); each index node compiles it positionally.
+    key_predicate: ScanPredicate | None
+
+    def key_predicate_function(self) -> Callable[[tuple[Value, ...]], bool] | None:
+        return None if self.key_predicate is None else self.key_predicate.compile()
 
     def index_nodes(self) -> list[str]:
         return sorted(self.pages_by_index_node.keys())
 
     def estimated_size(self) -> int:
-        pages = sum(len(refs) for refs in self.pages_by_index_node.values())
-        return 64 + 64 * pages
+        """Wire size of this spec inside a ``query.start`` payload.
+
+        Charges the real contents: fixed framing, each page reference
+        (:meth:`PageRef.estimated_size`), the per-index-node grouping, and
+        the pushed predicate descriptor — not a flat 64 bytes per page.  The
+        projection descriptor rides in the plan itself
+        (:meth:`PhysScan.estimated_descriptor_size`), so it is not
+        double-charged here.
+        """
+        pages = sum(
+            ref.estimated_size()
+            for refs in self.pages_by_index_node.values()
+            for ref in refs
+        )
+        groups = 16 * len(self.pages_by_index_node)
+        predicate = 0 if self.key_predicate is None else self.key_predicate.estimated_size()
+        return 48 + predicate + groups + pages
 
     def restricted_to(self, address: str) -> "_ScanSpec":
         """A copy carrying only the page assignment of ``address``."""
@@ -698,8 +744,15 @@ class QueryService:
         scan_specs: dict[int, _ScanSpec] = {}
         for scan in plan.scans():
             record, resolved_epoch = scan_records[scan.op_id]
+            # Page pruning: a page whose hash range contains none of the
+            # plan-time candidate hashes provably holds no matching tuple ID,
+            # so it is never assigned to an index node — no scan request, no
+            # tuple-ID fan-out, no scan_done marker for it.
+            refs, pruned = prune_page_refs(record.pages, scan.prune_hashes)
+            statistics.scan_pages_total += len(record.pages)
+            statistics.scan_pages_pruned += pruned
             pages_by_node: dict[str, list[PageRef]] = {}
-            for ref in record.pages:
+            for ref in refs:
                 owner = physical_address(snapshot.owner_of(ref.storage_key))
                 pages_by_node.setdefault(owner, []).append(ref)
             scan_specs[scan.op_id] = _ScanSpec(
@@ -708,7 +761,10 @@ class QueryService:
                 epoch=resolved_epoch,
                 covering=scan.covering,
                 pages_by_index_node=pages_by_node,
-                key_predicate=key_predicate_function(scan.sargable, scan.schema.key),
+                key_predicate=(
+                    None if scan.sargable is None
+                    else ScanPredicate(scan.sargable, scan.schema.key)
+                ),
             )
         collector = _ResultCollector(plan.root, participants)
         pinned_epochs = {scan.op_id: scan.epoch for scan in plan.scans()}
@@ -926,8 +982,9 @@ class QueryService:
     def _scan_page_contents(self, context, spec, page, restrict_ranges, done) -> None:
         self.node.charge_cpu(0.2e-6 * len(page.tuple_ids))
         matching = page.tuple_ids
-        if spec.key_predicate is not None:
-            matching = [tid for tid in matching if spec.key_predicate(tid.key_values)]
+        key_predicate = spec.key_predicate_function()
+        if key_predicate is not None:
+            matching = [tid for tid in matching if key_predicate(tid.key_values)]
         if restrict_ranges:
             matching = [
                 tid for tid in matching
@@ -1115,11 +1172,7 @@ class QueryService:
         network = self.node.network
         active.statistics.completed_at = network.now
         traffic = active.traffic_start.delta(network.traffic.snapshot())
-        active.statistics.bytes_total += traffic.total_bytes
-        for address, count in traffic.per_node_bytes().items():
-            active.statistics.bytes_per_node[address] = (
-                active.statistics.bytes_per_node.get(address, 0) + count
-            )
+        active.statistics._absorb_traffic(traffic)
         active.statistics.rows_shipped = active.collector.rows_received
         result = QueryResult(
             attributes=active.plan.output_attributes(),
@@ -1218,11 +1271,7 @@ class QueryService:
         # per-attempt traffic baseline.
         aborted_traffic = active.traffic_start.delta(self.node.network.traffic.snapshot())
         statistics = active.statistics
-        statistics.bytes_total += aborted_traffic.total_bytes
-        for address, count in aborted_traffic.per_node_bytes().items():
-            statistics.bytes_per_node[address] = (
-                statistics.bytes_per_node.get(address, 0) + count
-            )
+        statistics._absorb_traffic(aborted_traffic)
         statistics.restarts += 1
 
         def relaunch() -> None:

@@ -17,7 +17,7 @@ that path issues exactly the message sequence the pre-runtime wrappers did.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..common.errors import NodeFailedError
 from ..common.types import RelationData, Value
@@ -179,23 +179,58 @@ class Session:
         epoch: int | None = None,
         key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
         timeout: float | None = None,
+        predicate=None,
+        columns: Sequence[str] | None = None,
     ) -> OpFuture:
         """Start an Algorithm-1 retrieval; the future resolves to its
-        :class:`~repro.storage.client.RetrieveResult`."""
+        :class:`~repro.storage.client.RetrieveResult`.
+
+        ``predicate`` (an :class:`~repro.query.expressions.Expression` over
+        the relation's attributes, or a prebuilt
+        :class:`~repro.query.pushdown.ScanPredicate`) and ``columns`` (a
+        projection) are pushed to the data nodes and applied before any tuple
+        crosses the simulated network; projected result tuples carry their
+        values in ``columns`` order.
+        """
         cluster = self.cluster
         requester = cluster.nodes[self.address]
         epoch = epoch if epoch is not None else cluster.durable_epoch
         future = OpFuture("retrieve", self.address, label=f"{relation}@{epoch}")
         future._incomplete = f"retrieval of {relation!r}@{epoch} did not complete"
 
+        def build_pushdown():
+            """Resolve predicate/columns against the catalog schema."""
+            pushed, projection = predicate, None
+            if predicate is not None or columns is not None:
+                from ..query.expressions import Expression
+                from ..query.pushdown import ScanPredicate, ScanProjection
+
+                schema = cluster.catalog.schema(relation)
+                if isinstance(predicate, Expression):
+                    pushed = ScanPredicate(predicate, schema.attributes)
+                if columns is not None:
+                    projection = ScanProjection(schema.attributes, columns)
+            return pushed, projection
+
         def launch() -> None:
             self._require_live_initiator()
+            try:
+                # Resolved inside the launch so an unknown relation or bad
+                # projection fails the returned future — the same error
+                # channel every other retrieval failure uses — instead of
+                # raising synchronously out of submit_retrieve.
+                pushed, projection = build_pushdown()
+            except Exception as exc:
+                self.scheduler.fail(future, exc)
+                return
             requester.storage_client.retrieve(
                 relation,
                 epoch,
                 on_complete=lambda result: self.scheduler.complete(future, result),
                 key_predicate=key_predicate,
                 on_error=lambda exc: self.scheduler.fail(future, exc),
+                predicate=pushed,
+                projection=projection,
             )
 
         return self.scheduler.submit(future, launch, timeout=timeout)

@@ -77,6 +77,17 @@ class UpdateBatch:
         return len(self.inserts) + len(self.modifications) + len(self.deletes)
 
 
+def _pushdown():
+    """The descriptor/pruning helpers of :mod:`repro.query.pushdown`.
+
+    Imported lazily: ``repro.query`` eagerly imports its service module,
+    which imports this one, so a module-level import would be circular.
+    """
+    from ..query import pushdown
+
+    return pushdown
+
+
 def search_targets(
     snapshot: RoutingSnapshot,
     key: int,
@@ -207,13 +218,27 @@ class StorageClient:
         key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
         on_error: Callable[[Exception], None] | None = None,
         snapshot: RoutingSnapshot | None = None,
+        predicate=None,
+        projection=None,
     ) -> None:
-        """Retrieve all tuples of ``relation`` visible at ``epoch`` (Algorithm 1)."""
+        """Retrieve all tuples of ``relation`` visible at ``epoch`` (Algorithm 1).
+
+        ``key_predicate`` filters at the *index* nodes (over tuple-ID key
+        values); it may be an opaque callable (legacy API) or a serializable
+        :class:`~repro.query.pushdown.ScanPredicate`.  ``predicate`` (a
+        :class:`ScanPredicate` over the relation's full attribute signature)
+        and ``projection`` (a :class:`~repro.query.pushdown.ScanProjection`)
+        are pushed to the *data* nodes, which filter and project each tuple
+        before it is shipped back — the storage-side half of the wire-traffic
+        optimizer.  Projected result tuples carry their values in the
+        projection's column order.
+        """
         snapshot = snapshot or self.membership.snapshot()
         self._next_request_id += 1
         request_id = self._next_request_id
         operation = _RetrieveOperation(
-            self, request_id, relation, epoch, key_predicate, snapshot, on_complete, on_error
+            self, request_id, relation, epoch, key_predicate, snapshot, on_complete, on_error,
+            predicate=predicate, projection=projection,
         )
         self._retrievals[request_id] = operation
         try:
@@ -741,12 +766,18 @@ class _RetrieveOperation:
         snapshot: RoutingSnapshot,
         on_complete: Callable[[RetrieveResult], None],
         on_error: Callable[[Exception], None] | None,
+        predicate=None,
+        projection=None,
     ) -> None:
         self.client = client
         self.request_id = request_id
         self.relation = relation
         self.epoch = epoch
         self.key_predicate = key_predicate
+        #: Full-tuple predicate descriptor pushed to the data nodes.
+        self.predicate = predicate
+        #: Projection descriptor pushed to the data nodes (None = full rows).
+        self.projection = projection
         self.snapshot = snapshot
         self.on_complete = on_complete
         self.on_error = on_error or (lambda exc: (_ for _ in ()).throw(exc))
@@ -758,9 +789,13 @@ class _RetrieveOperation:
         self._missing: list[TupleId] = []
         self._finished = False
         # Per-page tuple accumulation for the version-keyed batch cache; only
-        # predicate-less retrievals are cacheable (a predicate is an opaque
-        # callable, so its results cannot be keyed).
-        self._cacheable = key_predicate is None and client.cache is not None
+        # unfiltered, unprojected retrievals may *fill* it (the batch must be
+        # the page's complete answer).  Filtered retrievals still *read* it:
+        # a cached full batch is filtered/projected locally, shipping nothing.
+        self._cacheable = (
+            key_predicate is None and predicate is None and projection is None
+            and client.cache is not None
+        )
         self._page_tuples: dict[PageId, list[VersionedTuple]] = {}
         self._cached_pages: set[PageId] = set()
         self._unavailable_pages: set[PageId] = set()
@@ -862,6 +897,28 @@ class _RetrieveOperation:
             on_error=self._guarded(attempt, self._fail),
         )
 
+    def _apply_pushdown(self, batch) -> list[VersionedTuple]:
+        """Filter/project a locally available full tuple batch.
+
+        Applies the same predicate and projection the data nodes would have
+        applied remotely, so a cache-served page produces byte-identical
+        result tuples to a remotely scanned one — with zero wire traffic.
+        """
+        pushdown = _pushdown()
+        key_filter = pushdown.predicate_callable(self.key_predicate)
+        row_filter = pushdown.predicate_callable(self.predicate)
+        tuples = list(batch)
+        if key_filter is not None:
+            tuples = [t for t in tuples if key_filter(t.tuple_id.key_values)]
+        if row_filter is not None:
+            tuples = [t for t in tuples if row_filter(t.values)]
+        if self.projection is not None:
+            tuples = [
+                VersionedTuple(t.relation, t.tuple_id, self.projection.apply(t.values))
+                for t in tuples
+            ]
+        return tuples
+
     def _with_record(self, record: CoordinatorRecord) -> None:
         self._expected_pages = len(record.pages)
         if not record.pages:
@@ -869,15 +926,17 @@ class _RetrieveOperation:
             return
         remote_refs = []
         for ref in record.pages:
-            if self._cacheable:
+            if self.client.cache is not None:
                 batch = self.client.cache.get_scan(ref.page_id)
                 if batch is not None:
                     # The whole page scan is warm: no index-node cast, no
                     # data-node requests, no tuples on the wire.  Unchanged
                     # pages shared with an older epoch hit here even when the
-                    # relation has been republished since.
+                    # relation has been republished since.  A pushed
+                    # predicate/projection is applied to the cached full
+                    # batch locally.
                     self._manifests[ref.page_id] = 0
-                    self._tuples.extend(batch)
+                    self._tuples.extend(self._apply_pushdown(batch))
                     self._cached_pages.add(ref.page_id)
                     self._pages_from_cache += 1
                     continue
@@ -885,6 +944,12 @@ class _RetrieveOperation:
         if not remote_refs:
             self._maybe_finish()
             return
+        pushdown = _pushdown()
+        descriptor_size = (
+            pushdown.predicate_wire_size(self.key_predicate)
+            + pushdown.predicate_wire_size(self.predicate)
+            + (self.projection.estimated_size() if self.projection is not None else 0)
+        )
         for ref in remote_refs:
             index_node = physical_address(self.snapshot.owner_of(ref.storage_key))
             self.client.rpc.cast(
@@ -896,10 +961,12 @@ class _RetrieveOperation:
                     "relation": self.relation,
                     "page_ref": ref,
                     "key_predicate": self.key_predicate,
+                    "predicate": self.predicate,
+                    "projection": self.projection,
                     "snapshot": self.snapshot,
                     "replication_factor": self.client.replication_factor,
                 },
-                size=96,
+                size=96 + descriptor_size,
             )
 
     # -- messages from index / data nodes -----------------------------------------
@@ -999,10 +1066,23 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
         request_id = payload["request_id"]
         page_id = payload["page_id"]
         replication_factor = payload["replication_factor"]
+        row_filter = _pushdown().predicate_callable(payload.get("predicate"))
+        projection = payload.get("projection")
         found, missing = service.lookup_tuples(relation, requested)
 
         def send_result(extra: list[VersionedTuple], still_missing: list[TupleId]) -> None:
+            # Storage-side pushdown: the pushed predicate filters and the
+            # pushed projection narrows each tuple *here*, before the result
+            # is batched for the requester — only surviving, narrowed rows
+            # ever cross the simulated network.
             tuples = found + extra
+            if row_filter is not None:
+                tuples = [t for t in tuples if row_filter(t.values)]
+            if projection is not None:
+                tuples = [
+                    VersionedTuple(t.relation, t.tuple_id, projection.apply(t.values))
+                    for t in tuples
+                ]
             size = sum(t.estimated_size() for t in tuples) + 24 * len(still_missing)
             rpc.cast(requester, "store.retrieve_result",
                      {"request_id": request_id, "page_id": page_id,
@@ -1055,8 +1135,15 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
         requester: str = payload["requester"]
         request_id = payload["request_id"]
         relation = payload["relation"]
-        predicate = payload.get("key_predicate")
+        pushdown = _pushdown()
+        predicate = pushdown.predicate_callable(payload.get("key_predicate"))
+        row_predicate = payload.get("predicate")
+        projection = payload.get("projection")
         replication_factor = payload["replication_factor"]
+        forwarded_size = (
+            pushdown.predicate_wire_size(row_predicate)
+            + (projection.estimated_size() if projection is not None else 0)
+        )
 
         def scan_page(page: IndexPage) -> None:
             """Filter the page and forward per-data-node tuple requests."""
@@ -1077,8 +1164,9 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
                          {"request_id": request_id, "requester": requester,
                           "relation": relation, "tuple_ids": tids,
                           "page_id": ref.page_id, "snapshot": snapshot,
+                          "predicate": row_predicate, "projection": projection,
                           "replication_factor": replication_factor},
-                         size=24 * len(tids) + 64)
+                         size=24 * len(tids) + 64 + forwarded_size)
 
         def page_unavailable() -> None:
             # ``missing`` distinguishes "no replica holds this page" from a

@@ -150,6 +150,11 @@ class StorageService:
             respond({"missing": True}, size=8)
             return
         predicate = payload.get("key_predicate")
+        if predicate is not None and hasattr(predicate, "compile"):
+            # Serializable ScanPredicate descriptor: compile it against its
+            # attribute signature (duck-typed to keep the storage layer free
+            # of query-package imports).
+            predicate = predicate.compile()
         self.node.charge_cpu(INDEX_SCAN_COST_PER_ID * len(page.tuple_ids))
         if predicate is None:
             matching = list(page.tuple_ids)

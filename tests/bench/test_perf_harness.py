@@ -12,7 +12,8 @@ from repro.bench import perf
 
 
 def test_smoke_suite_structure(tmp_path):
-    document = perf.run_suite(seed=0, repeat=1, scale="smoke", include_e2e=False)
+    document = perf.run_suite(seed=0, repeat=1, scale="smoke", include_e2e=False,
+                              include_traffic=False)
     benches = document["benchmarks"]
     for name in (
         "calibration.spin",
@@ -96,7 +97,7 @@ def test_check_reports_missing_benchmarks():
 def test_cli_writes_output(tmp_path):
     output = tmp_path / "BENCH_perf.json"
     code = perf.main([
-        "--scale", "smoke", "--repeat", "1", "--no-e2e",
+        "--scale", "smoke", "--repeat", "1", "--no-e2e", "--no-traffic",
         "--output", str(output),
     ])
     assert code == 0
@@ -110,8 +111,86 @@ def test_cli_check_against_own_output_passes(tmp_path):
         "--scale", "smoke", "--repeat", "1", "--no-e2e",
         "--output", str(output),
     ]) == 0
-    # A fresh run checked against its own numbers is within tolerance.
+    # A fresh run checked against its own numbers is within tolerance — the
+    # traffic bytes in particular reproduce *exactly*.
     assert perf.main([
         "--scale", "smoke", "--repeat", "2", "--no-e2e",
         "--check", str(output),
     ]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Wire-traffic section
+# ---------------------------------------------------------------------------
+
+
+def test_traffic_suite_structure_and_determinism(tmp_path):
+    first = perf.run_traffic_suite(seed=0, nodes=5, scale_factor=0.5)
+    second = perf.run_traffic_suite(seed=0, nodes=5, scale_factor=0.5)
+    assert set(first["queries"]) == set(perf.TRAFFIC_QUERIES)
+    for name, entry in first["queries"].items():
+        assert entry["bytes_pushdown"] > 0
+        assert entry["bytes_baseline"] >= entry["bytes_pushdown"], name
+        assert entry["messages_pushdown"] > 0
+        assert entry["pages_total"] > 0
+    # Simulated byte counts are exact: two runs agree to the byte.
+    assert first["queries"] == second["queries"]
+    # The pruning query actually prunes; the figure queries cannot (their
+    # predicates filter non-key attributes).
+    assert first["queries"]["PRUNE"]["pages_pruned"] > 0
+    path = tmp_path / "traffic.json"
+    path.write_text(json.dumps(first))
+    assert json.loads(path.read_text())["queries"]
+
+
+def _traffic_doc(**queries):
+    return {
+        "benchmarks": {},
+        "traffic": {"queries": {
+            name: {"bytes_pushdown": pushed, "bytes_baseline": base,
+                   "reduction": round(1 - pushed / base, 4)}
+            for name, (pushed, base) in queries.items()
+        }},
+    }
+
+
+def test_traffic_check_passes_when_bytes_hold():
+    reference = _traffic_doc(Q3=(60_000, 120_000))
+    fresh = _traffic_doc(Q3=(61_000, 120_000))
+    assert perf.check_regressions(reference, fresh, tolerance=0.25) == []
+
+
+def test_traffic_check_fails_on_byte_regression():
+    # No variance floor: traffic bytes are deterministic, so a 30% growth is
+    # a real regression even though the absolute numbers are small.
+    reference = _traffic_doc(Q3=(10_000, 20_000))
+    fresh = _traffic_doc(Q3=(13_000, 20_000))
+    failures = perf.check_regressions(reference, fresh, tolerance=0.25)
+    assert failures and "traffic.Q3" in failures[0]
+
+
+def test_traffic_check_fails_when_reduction_collapses():
+    # Bytes within tolerance but the pushdown edge is gone: the optimizer
+    # stopped pushing (e.g. both runs now execute the baseline plan).
+    reference = _traffic_doc(Q3=(100_000, 200_000))
+    fresh = _traffic_doc(Q3=(120_000, 122_000))
+    failures = perf.check_regressions(reference, fresh, tolerance=0.25)
+    assert failures and "stopped pushing" in failures[0]
+
+
+def test_traffic_check_reports_individually_missing_queries():
+    reference = _traffic_doc(Q3=(100, 200), Q5=(100, 200))
+    fresh = _traffic_doc(Q5=(100, 200))
+    failures = perf.check_regressions(reference, fresh)
+    assert failures and "traffic.Q3" in failures[0]
+
+
+def test_check_skips_sections_the_fresh_run_omitted():
+    # --no-traffic: the traffic section is absent wholesale — intentional.
+    reference = _traffic_doc(Q3=(100, 200))
+    reference["benchmarks"] = _doc(1.0, x=1.0)["benchmarks"]
+    timing_only = {"benchmarks": _doc(1.0, x=1.0)["benchmarks"]}
+    assert perf.check_regressions(reference, timing_only) == []
+    # --traffic-only: the timing section is empty — also intentional.
+    traffic_only = _traffic_doc(Q3=(100, 200))
+    assert perf.check_regressions(reference, traffic_only) == []

@@ -1,0 +1,513 @@
+"""Pushdown-vs-reference equivalence suite (the wire-traffic optimizer).
+
+The optimizer may move predicate evaluation and projection to the index/data
+nodes and prune index pages at plan time, but it must never change a single
+result row.  Every test here executes a query three ways — the pushed plan
+(planner default), the evaluate-at-the-participant baseline
+(``PlannerOptions(enable_pushdown=False)``) and the single-process oracle —
+and requires identical rows.  Covered edges: every TPC-H figure query,
+NULL-heavy relations (NULL comparison falsity and ``IN`` lists containing
+NULL), duplicate output attributes in hand-built plans, page pruning (which
+must *provably* never skip a matching page) and a seeded chaos sweep with
+nodes crashing and restarting mid-scan.
+
+Run with a pinned ``PYTHONHASHSEED`` (the tier-1 wrapper does) — the rows
+must match with and without caching, and byte counts in the traffic
+assertions are deterministic.
+"""
+
+import os
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.net.profiles import LAN_GIGABIT
+from repro.optimizer.planner import PlannerOptions, compile_query
+from repro.optimizer.catalog import Catalog
+from repro.query.expressions import (
+    AggregateSpec,
+    Count,
+    InList,
+    Sum,
+    and_,
+    col,
+    not_,
+    or_,
+)
+from repro.query.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalProject,
+    LogicalQuery,
+    LogicalScan,
+    LogicalSelect,
+)
+from repro.query.physical import PhysicalPlan, PlanBuilder
+from repro.query.pushdown import candidate_partition_hashes
+from repro.query.reference import evaluate_query, normalise
+from repro.query.service import (
+    RECOVERY_INCREMENTAL,
+    RECOVERY_RESTART,
+    QueryOptions,
+    QueryService,
+)
+from repro.query.sql import parse_query
+from repro.workloads import tpch
+
+TPCH_SCALE = 0.25
+NO_CACHE = QueryOptions(use_result_cache=False)
+BASELINE = PlannerOptions(enable_pushdown=False)
+NO_PRUNE = PlannerOptions(enable_page_pruning=False)
+
+
+@pytest.fixture(scope="module")
+def tpch_instance():
+    return tpch.generate(TPCH_SCALE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tpch_cluster(tpch_instance):
+    cluster = Cluster(6, profile=LAN_GIGABIT)
+    cluster.publish_relations(tpch_instance.relation_list())
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def cached_cluster(tpch_instance):
+    cluster = Cluster(5, profile=LAN_GIGABIT, cache_config=CacheConfig())
+    cluster.publish_relations(tpch_instance.relation_list())
+    return cluster
+
+
+class TestFigureQueries:
+    """Every TPC-H figure query: pushed == baseline == oracle."""
+
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_pushdown_matches_reference(self, tpch_cluster, tpch_instance, query_name):
+        query = tpch.query(query_name)
+        expected = normalise(evaluate_query(query, tpch_instance.relations))
+        pushed = tpch_cluster.query(tpch.query(query_name), options=NO_CACHE)
+        assert normalise(pushed.rows) == expected
+
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_baseline_matches_reference(self, tpch_cluster, tpch_instance, query_name):
+        query = tpch.query(query_name)
+        expected = normalise(evaluate_query(query, tpch_instance.relations))
+        baseline = tpch_cluster.query(
+            tpch.query(query_name), options=NO_CACHE, planner_options=BASELINE
+        )
+        assert normalise(baseline.rows) == expected
+
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_with_caching_cold_and_warm(self, cached_cluster, tpch_instance, query_name):
+        query = tpch.query(query_name)
+        expected = normalise(evaluate_query(query, tpch_instance.relations))
+        cold = cached_cluster.query(tpch.query(query_name))
+        warm = cached_cluster.query(tpch.query(query_name))
+        assert normalise(cold.rows) == expected
+        assert normalise(warm.rows) == expected
+        assert warm.statistics.result_cache_hit
+
+    def test_pushdown_and_baseline_fingerprints_differ(self, tpch_instance):
+        """Pushed and lifted plans must not share a result-cache entry."""
+        from repro.cache.result import plan_fingerprint
+
+        catalog = Catalog.from_relations(tpch_instance.relation_list())
+        pushed = compile_query(tpch.query("Q6"), catalog).plan
+        lifted = compile_query(tpch.query("Q6"), catalog, options=BASELINE).plan
+        assert plan_fingerprint(pushed) != plan_fingerprint(lifted)
+
+
+class TestColumnNarrowing:
+    """Projection pushdown: predicate-only columns never leave the scan."""
+
+    def test_q6_scan_ships_only_aggregate_inputs(self, tpch_instance):
+        catalog = Catalog.from_relations(tpch_instance.relation_list())
+        plan = compile_query(tpch.query("Q6"), catalog).plan
+        (scan,) = plan.scans()
+        assert set(scan.columns) == {"l_extendedprice", "l_discount"}
+
+    def test_q3_customer_scan_ships_only_join_key(self, tpch_instance):
+        catalog = Catalog.from_relations(tpch_instance.relation_list())
+        plan = compile_query(tpch.query("Q3"), catalog).plan
+        customer = [s for s in plan.scans() if s.schema.name == "customer"][0]
+        assert set(customer.columns) == {"c_custkey"}
+        # The filter still runs — as a pushed residual at the data nodes.
+        assert customer.residual is not None
+
+    def test_baseline_ships_full_schema(self, tpch_instance):
+        catalog = Catalog.from_relations(tpch_instance.relation_list())
+        plan = compile_query(tpch.query("Q6"), catalog, options=BASELINE).plan
+        (scan,) = plan.scans()
+        assert scan.columns == scan.schema.attributes
+        assert scan.sargable is None and scan.residual is None
+
+
+class TestTrafficReduction:
+    """The acceptance numbers: ≥40% scan traffic cut on selective queries."""
+
+    @pytest.fixture(scope="class")
+    def sf5_cluster(self):
+        instance = tpch.generate(5.0, seed=0)
+        cluster = Cluster(8, profile=LAN_GIGABIT)
+        cluster.publish_relations(instance.relation_list())
+        return cluster, instance
+
+    @pytest.mark.parametrize("query_name", ("Q3", "Q5", "Q10"))
+    def test_selective_join_queries_cut_traffic_40_percent(self, sf5_cluster, query_name):
+        cluster, instance = sf5_cluster
+        pushed = cluster.query(tpch.query(query_name), options=NO_CACHE)
+        baseline = cluster.query(
+            tpch.query(query_name), options=NO_CACHE, planner_options=BASELINE
+        )
+        assert normalise(pushed.rows, float_digits=2) == normalise(
+            baseline.rows, float_digits=2
+        )
+        reduction = 1.0 - pushed.statistics.bytes_total / baseline.statistics.bytes_total
+        assert reduction >= 0.40, (
+            f"{query_name}: only {reduction:.1%} traffic reduction "
+            f"({pushed.statistics.bytes_total:,d} vs "
+            f"{baseline.statistics.bytes_total:,d} bytes)"
+        )
+        # The exchange-row share must shrink too, not just dissemination.
+        assert pushed.statistics.data_bytes < baseline.statistics.data_bytes
+
+    def test_statistics_expose_traffic_breakdown(self, sf5_cluster):
+        cluster, _instance = sf5_cluster
+        stats = cluster.query(tpch.query("Q3"), options=NO_CACHE).statistics
+        assert stats.messages_total > 0
+        assert stats.bytes_by_kind.get("query.start", 0) > 0
+        assert stats.data_bytes > 0
+        assert sum(stats.bytes_by_kind.values()) == stats.bytes_total
+
+
+NULLABLE = Schema("nully", ["nk", "nb", "nc", "nd"], key=["nk"])
+
+
+def nullable_relation() -> RelationData:
+    data = RelationData(NULLABLE)
+    numerics = [None, 1, 2, 3, 5.0, -0.0]
+    for i in range(120):
+        data.add(i, numerics[i % len(numerics)], None if i % 3 == 0 else i * 2,
+                 None if i % 5 == 0 else f"s{i % 7}")
+    return data
+
+
+class TestNullSemantics:
+    """NULL comparisons are false, NULL arithmetic propagates — pushed or not."""
+
+    PREDICATES = [
+        col("nb").gt(1),
+        col("nb").eq(None),  # NULL literal: never matches
+        InList(col("nc"), (None, 4, 8)),  # IN list containing NULL
+        or_(col("nc").le(10), col("nd").eq("s1")),
+        and_(not_(col("nd").eq("s2")), (col("nc") + col("nb")).gt(3)),
+        not_(or_(col("nb").lt(2), col("nc").ge(100))),
+    ]
+
+    @pytest.fixture(scope="class")
+    def null_cluster(self):
+        data = nullable_relation()
+        cluster = Cluster(5)
+        cluster.publish_relations([data])
+        return cluster, {"nully": data}
+
+    @pytest.mark.parametrize("index", range(len(PREDICATES)))
+    def test_null_heavy_predicate(self, null_cluster, index):
+        cluster, relations = null_cluster
+        predicate = self.PREDICATES[index]
+        query = LogicalQuery(
+            LogicalProject(
+                LogicalSelect(LogicalScan(NULLABLE), predicate),
+                [("nk", col("nk")), ("nc", col("nc"))],
+            ),
+            name=f"null{index}",
+        )
+        expected = normalise(evaluate_query(query, relations))
+        pushed = cluster.query(query, options=NO_CACHE)
+        baseline = cluster.query(query, options=NO_CACHE, planner_options=BASELINE)
+        assert normalise(pushed.rows) == expected
+        assert normalise(baseline.rows) == expected
+
+    def test_null_aggregate_inputs(self, null_cluster):
+        cluster, relations = null_cluster
+        query = LogicalQuery(
+            LogicalAggregate(
+                LogicalSelect(LogicalScan(NULLABLE), col("nb").ge(0)),
+                group_by=["nd"],
+                aggregates=[
+                    AggregateSpec("total", Sum(), col("nc")),
+                    AggregateSpec("n", Count(), col("nc")),
+                ],
+            ),
+            name="null_agg",
+        )
+        # The group key column contains NULLs alongside strings; normalise's
+        # tuple sort cannot order those, so compare canonical reprs instead.
+        expected = sorted(repr(tuple(r)) for r in evaluate_query(query, relations))
+        got = sorted(repr(tuple(r)) for r in cluster.query(query, options=NO_CACHE).rows)
+        assert got == expected
+
+
+class TestDuplicateAttributes:
+    """Hand-built plans with repeated output columns keep first-wins lookup."""
+
+    def test_scan_with_duplicated_column(self):
+        data = RelationData(Schema("dup", ["k", "v"], key=["k"]))
+        for i in range(40):
+            data.add(i, i * 3)
+        cluster = Cluster(4)
+        cluster.publish_relations([data])
+        builder = PlanBuilder()
+        scan = builder.scan(data.schema, columns=("v", "k", "v"))
+        plan = PhysicalPlan(root=builder.ship(scan), name="dup_cols")
+        result = cluster.query(plan)
+        assert result.attributes == ("v", "k", "v")
+        assert sorted(result.rows) == sorted((i * 3, i, i * 3) for i in range(40))
+
+    def test_join_output_with_shared_column_names(self):
+        left = RelationData(Schema("dl", ["lk", "w"], key=["lk"]))
+        right = RelationData(Schema("dr", ["rk", "lk2", "w2"], key=["rk"]))
+        for i in range(30):
+            left.add(i, i % 5)
+            right.add(i, i, (i % 5) * 10)
+        cluster = Cluster(4)
+        cluster.publish_relations([left, right])
+        query = LogicalQuery(
+            LogicalProject(
+                LogicalJoin(LogicalScan(left.schema), LogicalScan(right.schema),
+                            [("lk", "lk2")]),
+                [("lk", col("lk")), ("w", col("w")), ("w2", col("w2"))],
+            ),
+            name="dup_join",
+        )
+        expected = normalise(evaluate_query(query, {"dl": left, "dr": right}))
+        assert normalise(cluster.query(query, options=NO_CACHE).rows) == expected
+
+
+class TestPagePruning:
+    """Pruning must be invisible in the rows and visible in the traffic."""
+
+    @pytest.fixture(scope="class")
+    def orders_cluster(self):
+        instance = tpch.generate(1.0, seed=3)
+        cluster = Cluster(6, profile=LAN_GIGABIT)
+        cluster.publish_relations(instance.relation_list())
+        return cluster, instance
+
+    def point_query(self, key: int) -> LogicalQuery:
+        return parse_query(
+            f"SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderkey = {key}",
+            tpch.SCHEMAS,
+        )
+
+    def test_point_query_rows_match_without_pruning(self, orders_cluster):
+        cluster, instance = orders_cluster
+        for key in (0, 7, 99, 10**9):  # last one matches nothing
+            query = self.point_query(key)
+            expected = normalise(evaluate_query(query, instance.relations))
+            pruned = cluster.query(self.point_query(key), options=NO_CACHE)
+            unpruned = cluster.query(self.point_query(key), options=NO_CACHE,
+                                     planner_options=NO_PRUNE)
+            assert normalise(pruned.rows) == expected
+            assert normalise(unpruned.rows) == expected
+            assert pruned.statistics.scan_pages_pruned > 0
+            assert unpruned.statistics.scan_pages_pruned == 0
+
+    def test_in_list_and_or_predicates_prune(self, orders_cluster):
+        cluster, instance = orders_cluster
+        sql = ("SELECT o_orderkey, o_custkey FROM orders "
+               "WHERE o_orderkey IN (1, 5, 250, 600)")
+        query = parse_query(sql, tpch.SCHEMAS)
+        expected = normalise(evaluate_query(query, instance.relations))
+        result = cluster.query(parse_query(sql, tpch.SCHEMAS), options=NO_CACHE)
+        assert normalise(result.rows) == expected
+        assert result.statistics.scan_pages_pruned > 0
+
+    def test_contradictory_equalities_prune_everything(self, orders_cluster):
+        cluster, _instance = orders_cluster
+        query = LogicalQuery(
+            LogicalSelect(
+                LogicalScan(tpch.ORDERS),
+                and_(col("o_orderkey").eq(1), col("o_orderkey").eq(2)),
+            ),
+            name="contradiction",
+        )
+        result = cluster.query(query, options=NO_CACHE)
+        assert result.rows == []
+        stats = result.statistics
+        assert stats.scan_pages_pruned == stats.scan_pages_total > 0
+
+    def test_never_requests_unmatchable_page(self, orders_cluster, monkeypatch):
+        """Every page a scan touches can actually contain a matching key."""
+        cluster, _instance = orders_cluster
+        touched = []
+        original = QueryService._process_scan_page
+
+        def recording(self, context, spec, ref, restrict_ranges, done):
+            touched.append((spec.scan_op_id, ref))
+            return original(self, context, spec, ref, restrict_ranges, done)
+
+        monkeypatch.setattr(QueryService, "_process_scan_page", recording)
+        query = self.point_query(13)
+        catalog = cluster.catalog
+        compiled = compile_query(query, catalog)
+        (scan,) = compiled.plan.scans()
+        # The int literal expands to its equal-comparing variants (13, 13.0);
+        # a stored key of either type would satisfy the predicate.
+        assert scan.prune_hashes is not None and len(scan.prune_hashes) == 2
+        cluster.query(compiled.plan, options=NO_CACHE)
+        assert touched, "the scan processed no pages at all"
+        for _op, ref in touched:
+            assert any(ref.hash_range.contains(h) for h in scan.prune_hashes), (
+                f"scan requested page {ref.page_id} whose range cannot hold "
+                f"the predicate's key"
+            )
+
+    def test_unhashable_literals_disable_pruning_without_crashing(self):
+        """List literals are legal Values but cannot enter a candidate set;
+        the analysis must bail out to no-pruning, not raise at plan time."""
+        assert candidate_partition_hashes(col("k").eq([1, 2]), ("k",)) is None
+        assert candidate_partition_hashes(
+            InList(col("k"), ([1, 2], [3])), ("k",)
+        ) is None
+
+    def test_unknown_relation_with_predicate_fails_the_future(self):
+        """The new predicate/columns path must fail through the future like
+        every other retrieval error, not raise out of submit_retrieve."""
+        cluster = Cluster(3)
+        data = RelationData(Schema("known", ["k", "v"], key=["k"]))
+        data.add(1, 2)
+        cluster.publish_relations([data])
+        future = cluster.session().submit_retrieve(
+            "no_such_relation", predicate=col("v").gt(0)
+        )
+        cluster.run()
+        with pytest.raises(Exception):
+            future.result()
+
+    def test_range_predicates_disable_pruning_soundly(self):
+        """Range conjuncts cannot bound a hash: the analysis must bail out."""
+        assert candidate_partition_hashes(col("k").lt(10), ("k",)) is None
+        assert candidate_partition_hashes(col("k").ge(10), ("k",)) is None
+        assert candidate_partition_hashes(
+            or_(col("k").eq(1), col("k").lt(5)), ("k",)
+        ) is None
+        assert candidate_partition_hashes(not_(col("k").eq(1)), ("k",)) is None
+        # Equality buried under OR of equalities is fine: candidates expand
+        # to every equal-comparing variant (1 → {1, 1.0, True}, 2 → {2, 2.0}).
+        hashes = candidate_partition_hashes(
+            or_(col("k").eq(1), col("k").eq(2)), ("k",)
+        )
+        assert hashes is not None and len(hashes) == 5
+
+    def test_cross_type_equality_never_prunes_a_match(self):
+        """1 == 1.0 == True hash to different ring positions: a predicate
+        literal of one type must keep the pages of every equal-comparing
+        stored key, or pruning would silently drop matching rows."""
+        data = RelationData(Schema("xt", ["xk", "xv"], key=["xk"]))
+        stored_keys = [1.0, 2, 3.0, 0.0, 5, -0.0, 7.5]
+        for i, key in enumerate(stored_keys):
+            data.add(key, i)
+        cluster = Cluster(4, page_capacity=1)  # one page per tuple: max pruning
+        cluster.publish_relations([data])
+        for literal, matches in ((1, {1.0}), (2.0, {2}), (0, {0.0, -0.0}),
+                                 (5, {5}), (7.5, {7.5})):
+            query = LogicalQuery(
+                LogicalSelect(LogicalScan(data.schema), col("xk").eq(literal)),
+                name=f"xt{literal!r}",
+            )
+            result = cluster.query(query, options=NO_CACHE)
+            got_keys = {row[0] for row in result.rows}
+            assert got_keys == matches, (
+                f"literal {literal!r}: got keys {got_keys}, expected {matches}"
+            )
+
+    def test_pruning_property_sweep(self, orders_cluster):
+        """Randomised key predicates: pruned == unpruned, always."""
+        import random
+
+        cluster, instance = orders_cluster
+        rng = random.Random(42)
+        num_orders = len(instance.relations["orders"])
+        for _ in range(6):
+            keys = sorted(rng.sample(range(num_orders), rng.randint(1, 5)))
+            in_list = ", ".join(str(k) for k in keys)
+            sql = f"SELECT o_orderkey, o_orderdate FROM orders WHERE o_orderkey IN ({in_list})"
+            pruned = cluster.query(parse_query(sql, tpch.SCHEMAS), options=NO_CACHE)
+            unpruned = cluster.query(parse_query(sql, tpch.SCHEMAS), options=NO_CACHE,
+                                     planner_options=NO_PRUNE)
+            assert normalise(pruned.rows) == normalise(unpruned.rows)
+            assert len(pruned.rows) == len(keys)
+
+
+#: Chaos sweep size; the nightly job can scale it up like CHAOS_SEEDS does.
+PUSHDOWN_CHAOS_SEEDS = int(os.environ.get("PUSHDOWN_CHAOS_SEEDS", "24"))
+
+
+def chaos_relations(seed: int):
+    import random
+
+    rng = random.Random(seed)
+    r = RelationData(Schema("CR", ["x", "g", "v"], key=["x"]))
+    s = RelationData(Schema("CS", ["u", "gg", "z"], key=["u"]))
+    groups = rng.randint(20, 60)
+    for i in range(rng.randint(250, 400)):
+        r.add(f"k{i}", f"g{i % groups}", i)
+    for j in range(rng.randint(60, 120)):
+        s.add(f"u{j}", f"g{j % groups}", j * 3)
+    return r, s
+
+
+class TestChaosSweep:
+    """Crash (and restart) a node mid-scan: pushed results stay row-identical.
+
+    Each seed derives the victim, the crash time, the recovery mode and
+    whether the victim restarts mid-query.  The query pushes both a residual
+    predicate and a narrowed projection into its scans, so recovery rescans
+    exercise the pushdown path end to end.
+    """
+
+    @pytest.mark.parametrize("seed", range(PUSHDOWN_CHAOS_SEEDS))
+    def test_pushdown_correct_under_crash_restart(self, seed):
+        import random
+
+        rng = random.Random(1000 + seed)
+        r, s = chaos_relations(seed)
+        query = LogicalQuery(
+            LogicalAggregate(
+                LogicalSelect(
+                    LogicalJoin(LogicalScan(r.schema), LogicalScan(s.schema),
+                                [("g", "gg")]),
+                    col("v").ge(5),
+                ),
+                group_by=["x"],
+                aggregates=[AggregateSpec("total", Sum(), col("z"))],
+            ),
+            name=f"chaos{seed}",
+        )
+        cluster = Cluster(5)
+        cluster.publish_relations([r, s])
+        cluster.enable_query_processing()
+        victim = cluster.addresses[rng.randrange(1, 5)]
+        offset = rng.uniform(0.0003, 0.004)
+        mode = RECOVERY_INCREMENTAL if seed % 2 == 0 else RECOVERY_RESTART
+        cluster.fail_node(victim, at_time=cluster.now + offset)
+        restart = seed % 3 == 0
+        if restart:
+            # Crash-*restart* mid-query: the restarted incarnation rejoins
+            # while the query is still recovering.
+            cluster.network.schedule(offset + rng.uniform(0.001, 0.003),
+                                     lambda: cluster.restart_node(victim))
+        result = cluster.query(
+            query,
+            options=QueryOptions(recovery_mode=mode, use_result_cache=False),
+        )
+        expected = evaluate_query(query, {"CR": r, "CS": s})
+        assert normalise(result.rows) == normalise(expected), (
+            f"seed {seed}: pushdown result diverged after crash"
+            f"{'+restart' if restart else ''} of {victim} at +{offset:.4f}s "
+            f"({mode})"
+        )
