@@ -458,10 +458,55 @@ def run_traffic_suite(seed: int = 0, nodes: int = 8,
               f"{stats.scan_pages_pruned}/{stats.scan_pages_total} pages pruned)",
               file=sys.stderr)
 
+    # One extra traced run, *after* every measured query so the numbers above
+    # stay byte-identical to untraced runs, attributing the wire bytes of a
+    # figure query to protocol phases from its span tree.
+    spans_section = _traced_span_summary(cluster, build("Q3"), options)
+    print(f"traffic.spans  Q3: {spans_section['span_count']} spans, "
+          f"{spans_section['coverage']:.1%} byte coverage", file=sys.stderr)
+
     return {
         "meta": {"nodes": nodes, "scale_factor": scale_factor, "seed": seed,
                  "queries": list(TRAFFIC_QUERIES)},
         "queries": queries,
+        "spans": spans_section,
+    }
+
+
+#: Protocol phase each span kind belongs to in the ``spans`` summary.
+def _span_phase(kind: str) -> str:
+    if kind.startswith("store.") or kind == "rpc.response":
+        return "storage"
+    if kind.startswith("query.scan"):
+        return "scan"
+    if kind in ("query.data", "query.eos"):
+        return "exchange"
+    return "control"  # query.start/abort/recover, op root spans, gossip
+
+
+def _traced_span_summary(cluster, query, options) -> dict:
+    """Run ``query`` with tracing on; summarise its span tree per phase."""
+    tracer = cluster.enable_tracing()
+    before = cluster.network.traffic.snapshot()
+    traced = cluster.query(query, options=options)
+    metered = before.delta(cluster.network.traffic.snapshot())
+    trace_id = traced.statistics.trace_id
+    spans = tracer.spans_of(trace_id)
+    phases: dict[str, dict[str, int]] = {}
+    for span in spans:
+        bucket = phases.setdefault(_span_phase(span.name), {"spans": 0, "bytes": 0})
+        bucket["spans"] += 1
+        bucket["bytes"] += span.bytes
+    span_bytes = sum(span.bytes for span in spans)
+    cluster.disable_tracing()
+    return {
+        "query": "Q3",
+        "trace_id": trace_id,
+        "span_count": len(spans),
+        "span_bytes": span_bytes,
+        "metered_bytes": metered.total_bytes,
+        "coverage": round(span_bytes / max(1, metered.total_bytes), 4),
+        "phases": {name: phases[name] for name in sorted(phases)},
     }
 
 

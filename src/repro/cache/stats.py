@@ -73,3 +73,29 @@ class CacheStats:
             "hits_by_kind": dict(self.hits_by_kind),
             "misses_by_kind": dict(self.misses_by_kind),
         }
+
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return self.as_dict()
+
+    def metric_series(self, tier: str = ""):
+        """Registry samples: ``cache.hits{tier=...}``, per-kind breakdowns."""
+        tags = {"tier": tier} if tier else {}
+        samples = [
+            ("cache.hits", dict(tags), self.hits),
+            ("cache.misses", dict(tags), self.misses),
+            ("cache.insertions", dict(tags), self.insertions),
+            ("cache.evictions", dict(tags), self.evictions),
+            ("cache.invalidations", dict(tags), self.invalidations),
+            ("cache.rejected", dict(tags), self.rejected),
+            ("cache.bytes_saved", dict(tags), self.bytes_saved),
+        ]
+        for kind in sorted(self.hits_by_kind):
+            samples.append(
+                ("cache.hits", {**tags, "kind": kind}, self.hits_by_kind[kind])
+            )
+        for kind in sorted(self.misses_by_kind):
+            samples.append(
+                ("cache.misses", {**tags, "kind": kind}, self.misses_by_kind[kind])
+            )
+        return samples

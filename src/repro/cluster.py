@@ -116,6 +116,18 @@ class Cluster:
         from .optimizer.catalog import Catalog
 
         self.catalog = Catalog()
+        # The metrics registry exists from construction (it is a handful of
+        # dicts) and pulls the hot-path stats objects through collectors at
+        # snapshot time, so the message path pays nothing for it.
+        from .obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(
+            lambda: self.network.traffic.metric_series()
+        )
+        self.metrics.register_collector(self._scheduler_series)
+        self.metrics.register_collector(self._cache_series)
+        self.metrics.register_collector(self._fault_series)
         for address in self.addresses:
             sim_node = self.network.add_node(address, profile.host)
             rpc_endpoint(sim_node)
@@ -181,6 +193,71 @@ class Cluster:
 
     def traffic_snapshot(self) -> TrafficSnapshot:
         return self.network.traffic.snapshot()
+
+    # ------------------------------------------------------------- observability
+
+    def enable_tracing(self, tracer=None):
+        """Install a tracer on the network (idempotent); returns it.
+
+        Tracing is **off by default**: enabling it adds the propagated trace
+        context's bytes to every remote message, so traced runs are not
+        byte-identical to untraced ones — which is exactly why the golden
+        wire vectors and the committed traffic numbers are recorded with it
+        off.
+        """
+        if self.network.tracer is None:
+            if tracer is None:
+                from .obs.trace import Tracer
+
+                tracer = Tracer()
+            self.network.tracer = tracer
+        return self.network.tracer
+
+    def disable_tracing(self) -> None:
+        """Remove the tracer; captured spans stay readable on the old one."""
+        self.network.tracer = None
+
+    @property
+    def tracer(self):
+        return self.network.tracer
+
+    def observability(self) -> dict:
+        """One uniformly-named snapshot of everything the cluster measures.
+
+        ``metrics`` is the flat ``{"name{tags}": value}`` view over the
+        traffic meter, the scheduler, the cache tiers and the fault injector
+        (``rpc.bytes{kind=...}``, ``scheduler.admitted{initiator=...}``,
+        ``cache.hits{tier=...}``, ...); ``tracing`` summarises the installed
+        tracer, if any.
+        """
+        tracer = self.network.tracer
+        return {
+            "metrics": self.metrics.snapshot(),
+            "tracing": {
+                "enabled": tracer is not None,
+                "spans": len(tracer.spans) if tracer is not None else 0,
+                "traces": len(tracer.query_traces) if tracer is not None else 0,
+            },
+        }
+
+    def _scheduler_series(self):
+        if self._runtime is None:
+            return []
+        return self._runtime.scheduler.stats.metric_series()
+
+    def _cache_series(self):
+        if self.cache_config is None:
+            return []
+        samples = []
+        for tier, stats in self.cache_statistics().items():
+            samples.extend(stats.metric_series(tier))
+        return samples
+
+    def _fault_series(self):
+        injector = self.network.fault_injector
+        if injector is None:
+            return []
+        return injector.stats.metric_series()
 
     # ------------------------------------------------------------------ runtime
 

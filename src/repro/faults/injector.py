@@ -79,6 +79,17 @@ class FaultStats:
     def snapshot(self) -> dict:
         return dict(self.__dict__)
 
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return self.snapshot()
+
+    def metric_series(self):
+        """Registry samples: ``faults.dropped``, ``faults.retransmits``, ..."""
+        return [
+            (f"faults.{name}", {}, value)
+            for name, value in sorted(self.snapshot().items())
+        ]
+
 
 @dataclass
 class _Degradation:

@@ -21,6 +21,7 @@ violation, and what the seed-sweep test tells you to run when a seed fails.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 from dataclasses import dataclass, field, replace
 
@@ -60,6 +61,11 @@ class ScenarioConfig:
     max_delay: float = 0.0015
     detection_delay: float = 0.002
     cache: bool = False
+    #: Capture a distributed trace of the run.  Tracing charges the propagated
+    #: context onto every remote message, so a traced run is a *different*
+    #: (equally deterministic) schedule — invariant outcomes must not change,
+    #: which ``tests/obs`` asserts over a seed sweep.
+    tracing: bool = False
 
     def fault_free(self) -> "ScenarioConfig":
         return replace(self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0)
@@ -137,9 +143,20 @@ class ScenarioReport:
 class ScenarioRunner:
     """Build, execute and check one seeded chaos scenario."""
 
-    def __init__(self, seed: int, config: ScenarioConfig | None = None) -> None:
+    def __init__(
+        self,
+        seed: int,
+        config: ScenarioConfig | None = None,
+        trace_dir: str | None = None,
+    ) -> None:
         self.seed = seed
         self.config = config or ScenarioConfig()
+        #: Where to dump the failing-window trace when an invariant is
+        #: violated; setting it (or ``CHAOS_TRACE_DIR`` in the environment)
+        #: implies tracing.  ``None`` + ``tracing=False`` → no tracer at all.
+        self.trace_dir = trace_dir if trace_dir is not None else os.environ.get(
+            "CHAOS_TRACE_DIR"
+        )
         #: Schedule randomness; the injector runs on a derived stream so the
         #: fault *schedule* and the per-message fates do not perturb each
         #: other as the plan grows.
@@ -188,6 +205,8 @@ class ScenarioRunner:
             self._batch_rows[name] = {}
         self.cluster.publish_relations(relations)
         self.cluster.enable_query_processing()
+        if self.config.tracing or self.trace_dir:
+            self.cluster.enable_tracing()
         # Chaos starts only after the initial state is cleanly in place.
         self.injector = FaultInjector(
             self.cluster.network, seed=self.rng.getrandbits(32)
@@ -355,7 +374,44 @@ class ScenarioRunner:
         report = self._snapshot_report()
         for checker in checkers or ALL_CHECKERS:
             report.violations.extend(checker(self))
+        if report.violations and self.trace_dir:
+            path = self._dump_failure_trace()
+            if path is not None:
+                report.violations.append(f"trace written to {path}")
         return report
+
+    def _dump_failure_trace(self) -> str | None:
+        """Dump the failing window's spans as Chrome-trace JSON.
+
+        The window opens at the first scheduled fault (everything before it is
+        clean setup) and runs to quiescence — exactly the spans a postmortem
+        needs to see which messages were lost, retried or re-parented while
+        the invariant was being broken.
+        """
+        tracer = self.cluster.tracer if self.cluster is not None else None
+        if tracer is None:
+            return None
+        from ..obs.export import write_chrome_trace
+
+        window_start = self._first_fault_at or 0.0
+        window = [span for span in tracer.all_spans() if span.begin >= window_start]
+        # Pull in each windowed span's ancestors so the dump is a forest of
+        # complete lineages (a parentless child would both confuse the
+        # postmortem and fail the exporter's orphan check).
+        included = {span.span_id: span for span in window}
+        for span in window:
+            parent_id = span.parent_id
+            while parent_id is not None and parent_id not in included:
+                parent = tracer.spans.get(parent_id)
+                if parent is None:
+                    break
+                included[parent.span_id] = parent
+                parent_id = parent.parent_id
+        spans = sorted(included.values(), key=lambda span: span.span_id)
+        os.makedirs(self.trace_dir, exist_ok=True)
+        path = os.path.join(self.trace_dir, f"chaos-seed-{self.seed}-trace.json")
+        write_chrome_trace(path, spans)
+        return path
 
     def _stabilise(self) -> None:
         """Heal everything, rejoin every crashed node, restore replication."""
@@ -461,9 +517,13 @@ class ScenarioRunner:
                 yield relation, query
 
 
-def run_scenario(seed: int, config: ScenarioConfig | None = None) -> ScenarioReport:
+def run_scenario(
+    seed: int,
+    config: ScenarioConfig | None = None,
+    trace_dir: str | None = None,
+) -> ScenarioReport:
     """Run one seeded scenario end to end; see :class:`ScenarioRunner`."""
-    return ScenarioRunner(seed, config).run()
+    return ScenarioRunner(seed, config, trace_dir=trace_dir).run()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -480,6 +540,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos-windows", type=int, default=None)
     parser.add_argument("--slow-nodes", type=int, default=None)
     parser.add_argument("--cache", action="store_true")
+    parser.add_argument(
+        "--tracing", action="store_true",
+        help="run with distributed tracing enabled",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="dump Chrome-trace JSON of the failing window here on any "
+        "violation (default: $CHAOS_TRACE_DIR; implies --tracing)",
+    )
     args = parser.parse_args(argv)
 
     config = ScenarioConfig()
@@ -495,11 +564,12 @@ def main(argv: list[str] | None = None) -> int:
         config,
         **{key: value for key, value in overrides.items() if value is not None},
         cache=args.cache,
+        tracing=args.tracing or args.trace_dir is not None,
     )
 
     failures = 0
     for seed in range(args.seed, args.seed + args.count):
-        report = run_scenario(seed, config)
+        report = run_scenario(seed, config, trace_dir=args.trace_dir)
         summary = report.summary()
         line = "  ".join(f"{key}={value}" for key, value in summary.items())
         print(("OK   " if report.ok else "FAIL ") + line)

@@ -111,9 +111,17 @@ class Message:
     #: Protocol kind for the traffic breakdown: the inner RPC method name for
     #: rpc-framed messages, the raw message type otherwise.
     kind: str = ""
+    #: Propagated :class:`~repro.obs.trace.TraceContext` — ``None`` unless a
+    #: tracer is installed on the network.  Its wire cost is charged into
+    #: ``size`` for remote sends only when tracing is on, so the default
+    #: configuration stays byte-identical to untraced builds.
+    trace: object | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Message({self.msg_type!r}, {self.src!r}->{self.dst!r}, {self.size}B)"
+        return (
+            f"Message({self.msg_type!r}, kind={self.kind!r}, "
+            f"{self.src!r}->{self.dst!r}, {self.size}B, sent_at={self.sent_at:.6f})"
+        )
 
 
 class TrafficMeter:
@@ -156,6 +164,48 @@ class TrafficMeter:
             messages_by_kind=dict(self.messages_by_kind),
         )
 
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return self.snapshot().to_dict()
+
+    def metric_series(self):
+        """Registry samples with uniform naming: ``rpc.bytes{kind=...}`` etc."""
+        samples = [
+            ("rpc.bytes", {}, self.total_bytes),
+            ("rpc.messages", {}, self.total_messages),
+        ]
+        for kind in sorted(self.bytes_by_kind):
+            samples.append(("rpc.bytes", {"kind": kind}, self.bytes_by_kind[kind]))
+        for kind in sorted(self.messages_by_kind):
+            samples.append(
+                ("rpc.messages", {"kind": kind}, self.messages_by_kind[kind])
+            )
+        for node in sorted(self.bytes_sent):
+            samples.append(
+                ("rpc.bytes", {"direction": "sent", "node": node}, self.bytes_sent[node])
+            )
+        for node in sorted(self.bytes_received):
+            samples.append(
+                (
+                    "rpc.bytes",
+                    {"direction": "received", "node": node},
+                    self.bytes_received[node],
+                )
+            )
+        return samples
+
+
+def _nonzero_delta(later: dict[str, int], earlier: dict[str, int]) -> dict[str, int]:
+    """Per-key difference with unchanged keys dropped: a key present in both
+    snapshots with the same count produced a meaningless ``0`` entry before,
+    which made warm-cache deltas (no traffic at all) read as a page of
+    zeroes."""
+    return {
+        key: diff
+        for key in sorted(set(later) | set(earlier))
+        if (diff := later.get(key, 0) - earlier.get(key, 0))
+    }
+
 
 @dataclass(frozen=True)
 class TrafficSnapshot:
@@ -167,28 +217,33 @@ class TrafficSnapshot:
     messages_by_kind: dict[str, int] = field(default_factory=dict)
 
     def delta(self, later: "TrafficSnapshot") -> "TrafficSnapshot":
-        """Traffic that occurred between this snapshot and ``later``."""
+        """Traffic that occurred between this snapshot and ``later``.
+
+        Only nodes/kinds whose counters actually changed appear in the delta
+        dicts — an idle node or a protocol stage that moved no bytes is
+        absent, not a zero entry.
+        """
         return TrafficSnapshot(
             total_bytes=later.total_bytes - self.total_bytes,
             total_messages=later.total_messages - self.total_messages,
-            bytes_sent={
-                node: later.bytes_sent.get(node, 0) - self.bytes_sent.get(node, 0)
-                for node in set(later.bytes_sent) | set(self.bytes_sent)
-            },
-            bytes_received={
-                node: later.bytes_received.get(node, 0) - self.bytes_received.get(node, 0)
-                for node in set(later.bytes_received) | set(self.bytes_received)
-            },
-            bytes_by_kind={
-                kind: later.bytes_by_kind.get(kind, 0) - self.bytes_by_kind.get(kind, 0)
-                for kind in set(later.bytes_by_kind) | set(self.bytes_by_kind)
-            },
-            messages_by_kind={
-                kind: later.messages_by_kind.get(kind, 0)
-                - self.messages_by_kind.get(kind, 0)
-                for kind in set(later.messages_by_kind) | set(self.messages_by_kind)
-            },
+            bytes_sent=_nonzero_delta(later.bytes_sent, self.bytes_sent),
+            bytes_received=_nonzero_delta(later.bytes_received, self.bytes_received),
+            bytes_by_kind=_nonzero_delta(later.bytes_by_kind, self.bytes_by_kind),
+            messages_by_kind=_nonzero_delta(
+                later.messages_by_kind, self.messages_by_kind
+            ),
         )
+
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "bytes_sent": dict(self.bytes_sent),
+            "bytes_received": dict(self.bytes_received),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "messages_by_kind": dict(self.messages_by_kind),
+        }
 
     def per_node_bytes(self) -> dict[str, int]:
         """Bytes sent + received per node (the paper's per-node traffic metric)."""
@@ -371,6 +426,10 @@ class Network:
         #: Installed by :class:`repro.faults.FaultInjector`; None means the
         #: fault-free fast path (identical to the pre-fault simulator).
         self.fault_injector = None
+        #: Installed by :meth:`repro.cluster.Cluster.enable_tracing` (a
+        #: :class:`repro.obs.trace.Tracer`); None — the default — means no
+        #: tracing and **zero** change to wire bytes or message handling.
+        self.tracer = None
         #: Reliable-channel state per ordered node pair, used only with an
         #: injector installed.
         self._channels: dict[tuple[str, str], _Channel] = {}
@@ -467,9 +526,15 @@ class Network:
         if not sender.alive:
             raise NodeFailedError(src, "attempted to send from a failed node")
         wire_size = size + self.MESSAGE_OVERHEAD_BYTES
+        if self.tracer is not None and src != dst:
+            # The propagated trace context is real header bytes; charge it.
+            # Local deliveries never touch the wire, so they stay free.
+            wire_size += self.tracer.context_wire_bytes
         kind = payload.get("method") or msg_type
         message = Message(msg_type, src, dst, dict(payload), wire_size,
                           sent_at=self.now, kind=str(kind))
+        if self.tracer is not None:
+            self.tracer.on_send(message, self.now, sender.incarnation)
 
         if src == dst:
             # Local fast path: a small fixed dispatch cost, no traffic.
@@ -493,6 +558,8 @@ class Network:
         sender = self.node(message.src)
         receiver = self.node(message.dst)
         self.traffic.record(message.src, message.dst, message.size, message.kind)
+        if self.tracer is not None:
+            self.tracer.on_transmit(message)
 
         egress_start = max(self.now, sender._egress_free_at)
         egress_time = message.size / sender.host.egress_bandwidth
@@ -550,6 +617,10 @@ class Network:
             return
         if attempt > 0:
             injector.stats.retransmits += 1
+            if self.tracer is not None:
+                # A retry is the *same* logical hop: annotate its span rather
+                # than opening a second one.
+                self.tracer.on_retransmit(message)
         if injector.blocked(message.src, message.dst):
             # The pair is partitioned: nothing leaves the NIC, the transport
             # just keeps retrying until the partition heals.
@@ -567,6 +638,11 @@ class Network:
             # left the sender (egress + traffic are charged) but never reach
             # the receiver's NIC.
             self.traffic.record(message.src, message.dst, message.size, message.kind)
+            if self.tracer is not None:
+                # The lost copy's bytes were metered, so the span carries
+                # them too — span byte totals stay reconcilable with the
+                # traffic meter even under loss.
+                self.tracer.on_transmit(message)
             egress_start = max(self.now, sender._egress_free_at)
             sender._egress_free_at = egress_start + message.size / sender.host.egress_bandwidth
             self.schedule(injector.retransmit_delay(attempt), retry)
@@ -604,6 +680,8 @@ class Network:
         if seq < channel.expected or seq in channel.buffer:
             if injector is not None:
                 injector.stats.deduplicated += 1
+            if self.tracer is not None:
+                self.tracer.on_duplicate(message)
             return
         if seq != channel.expected:
             channel.buffer[seq] = message
@@ -674,7 +752,18 @@ class Network:
         if not receiver.alive:
             return
         receiver.charge_cpu(unmarshal_cost)
-        receiver._dispatch(message)
+        tracer = self.tracer
+        if tracer is not None and message.trace is not None:
+            # The handler runs *inside* the message's span: any send it makes
+            # parents onto this hop, which is what stitches one operation's
+            # causality into a single tree with no per-call-site plumbing.
+            token = tracer.begin_delivery(message, self.now)
+            try:
+                receiver._dispatch(message)
+            finally:
+                tracer.end_delivery(token)
+        else:
+            receiver._dispatch(message)
 
     # -- failures ---------------------------------------------------------------
 

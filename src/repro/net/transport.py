@@ -120,6 +120,24 @@ class RpcEndpoint:
         self._pending[call_id] = _PendingCall(dst, on_reply, on_failure)
         destination = self.network.nodes.get(dst)
         if destination is not None and not destination.alive:
+            tracer = self.network.tracer
+            if tracer is not None:
+                # No message is ever sent, but the refused attempt is still an
+                # event the trace should show: a zero-byte span closed at the
+                # (simulated) moment the connection refusal surfaces.
+                parent = tracer.current()
+                now = self.network.now
+                span = tracer.open_span(
+                    "rpc.refused", self.address, now,
+                    trace_id=parent.trace_id if parent is not None else None,
+                    parent_id=parent.span_id if parent is not None else None,
+                    attrs={"call_id": call_id, "method": method},
+                )
+                span.dst = dst
+                tracer.end_span(
+                    span, now + self.network.link_latency(self.address, dst)
+                )
+
             def refuse() -> None:
                 if not self.node.alive:
                     return  # the caller crashed too; nothing to resume

@@ -1,0 +1,130 @@
+"""Exporters: Chrome-trace/Perfetto JSON for traces, JSON for metrics.
+
+The trace format is the Chrome Trace Event format (the ``traceEvents``
+array of ``"ph": "X"`` complete events), which both ``chrome://tracing``
+and https://ui.perfetto.dev load directly.  Virtual time maps to the
+format's microseconds; each simulated node becomes a process (with a
+``process_name`` metadata event) and each trace becomes a thread lane, so
+one operation reads as one row of nested spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .trace import Span
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict:
+    """Convert spans to a Chrome-trace JSON document (virtual µs)."""
+    spans = list(spans)
+    nodes = sorted({span.node for span in spans})
+    pids = {node: index + 1 for index, node in enumerate(nodes)}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pids[node],
+            "tid": 0,
+            "args": {"name": node},
+        }
+        for node in nodes
+    ]
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".")[0],
+                "ts": span.begin * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pids[span.node],
+                "tid": span.trace_id,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "trace_id": span.trace_id,
+                    "src": span.src,
+                    "dst": span.dst,
+                    "bytes": span.bytes,
+                    "incarnation": span.incarnation,
+                    "retransmits": span.retransmits,
+                    "duplicates": span.duplicates,
+                    "delivered": span.delivered,
+                    **(span.attrs or {}),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Schema-check an exported trace; returns a list of problems (empty
+    when valid).
+
+    Beyond the structural checks the two graph invariants the CI smoke job
+    gates on are verified: every ``parent_id`` resolves to a span in the
+    same trace (**no orphan parents**), and a child begins no earlier than
+    its parent (**spans nest** in virtual time).
+    """
+    errors: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    by_span: dict[tuple[int, int], dict] = {}
+    complete: list[dict] = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            errors.append(f"event {index}: not a trace event object")
+            continue
+        if event["ph"] != "X":
+            continue
+        for required in ("name", "ts", "dur", "pid", "tid", "args"):
+            if required not in event:
+                errors.append(f"event {index}: missing {required!r}")
+                break
+        else:
+            args = event["args"]
+            if not isinstance(args, dict) or "span_id" not in args:
+                errors.append(f"event {index}: args.span_id missing")
+                continue
+            if event["dur"] < 0:
+                errors.append(f"event {index}: negative duration")
+            by_span[(event["tid"], args["span_id"])] = event
+            complete.append(event)
+    for event in complete:
+        parent_id = event["args"].get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_span.get((event["tid"], parent_id))
+        if parent is None:
+            errors.append(
+                f"span {event['args']['span_id']} (trace {event['tid']}): "
+                f"orphan parent {parent_id}"
+            )
+        elif event["ts"] < parent["ts"] - 1e-6:
+            errors.append(
+                f"span {event['args']['span_id']} (trace {event['tid']}): "
+                f"begins before its parent"
+            )
+    return errors
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> dict:
+    """Write the Chrome-trace JSON for ``spans`` to ``path``; returns the
+    document so callers can validate or summarise it."""
+    document = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def write_metrics(path: str, registry) -> dict:
+    """Dump a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as JSON."""
+    document = registry.to_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
+    return document

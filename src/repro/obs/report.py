@@ -1,0 +1,129 @@
+"""CLI: run a figure query with tracing on and export the observability.
+
+Builds a TPC-H cluster, enables tracing, runs one figure query, and writes
+
+* the Chrome-trace/Perfetto JSON of the query's trace (``--trace``),
+* the metrics-registry snapshot (``--metrics``),
+
+then prints the per-operator execution profile and the trace's wire-byte
+coverage (span bytes vs. metered bytes) to stderr.  ``--validate`` schema-
+checks the exported trace — spans must nest and no parent may be orphaned
+— and exits non-zero on failure; the CI ``trace-smoke`` job runs exactly
+this.
+
+Example::
+
+    PYTHONPATH=src python -m repro.obs.report --query Q3 --nodes 8 \
+        --scale-factor 1.0 --trace trace.json --metrics metrics.json
+
+Load ``trace.json`` at https://ui.perfetto.dev (or ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import validate_chrome_trace, write_chrome_trace, write_metrics
+
+
+def run_report(
+    query: str = "Q3",
+    nodes: int = 8,
+    scale_factor: float = 1.0,
+    seed: int = 0,
+    trace_path: str | None = None,
+    metrics_path: str | None = None,
+    validate: bool = False,
+) -> int:
+    from ..cluster import Cluster
+    from ..net.profiles import LAN_GIGABIT
+    from ..query.service import QueryOptions
+    from ..workloads import tpch
+
+    instance = tpch.generate(scale_factor, seed)
+    cluster = Cluster(nodes, profile=LAN_GIGABIT)
+    cluster.publish_relations(instance.relation_list())
+
+    tracer = cluster.enable_tracing()
+    before = cluster.network.traffic.snapshot()
+    result = cluster.query(
+        tpch.query(query), options=QueryOptions(use_result_cache=False)
+    )
+    metered = before.delta(cluster.network.traffic.snapshot())
+
+    statistics = result.statistics
+    profile = statistics.profile()
+    if profile is None:
+        print("no trace was captured for the query", file=sys.stderr)
+        return 2
+    print(profile.format(), file=sys.stderr)
+
+    spans = tracer.spans_of(statistics.trace_id)
+    traced_bytes = sum(span.bytes for span in spans)
+    coverage = traced_bytes / max(1, metered.total_bytes)
+    print(
+        f"trace {statistics.trace_id}: {len(spans)} spans, "
+        f"{traced_bytes:,d} of {metered.total_bytes:,d} metered wire bytes "
+        f"({coverage:.1%} coverage)",
+        file=sys.stderr,
+    )
+
+    status = 0
+    if trace_path:
+        document = write_chrome_trace(trace_path, spans)
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+        if validate:
+            errors = validate_chrome_trace(document)
+            if errors:
+                for error in errors:
+                    print(f"trace schema error: {error}", file=sys.stderr)
+                status = 1
+            else:
+                print("trace schema: ok (spans nest, no orphan parents)",
+                      file=sys.stderr)
+    if metrics_path:
+        write_metrics(metrics_path, cluster.metrics)
+        print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+    if not trace_path and not metrics_path:
+        json.dump(cluster.observability(), sys.stdout, indent=1, default=str)
+        print()
+    if validate and coverage < 0.95:
+        print(
+            f"trace coverage {coverage:.1%} is below the 95% acceptance bar",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--query", default="Q3", help="TPC-H figure query name")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--scale-factor", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", dest="trace_path", default=None,
+                        help="write Chrome-trace/Perfetto JSON here")
+    parser.add_argument("--metrics", dest="metrics_path", default=None,
+                        help="write the metrics snapshot JSON here")
+    parser.add_argument("--validate", action="store_true",
+                        help="fail on trace schema or coverage violations")
+    arguments = parser.parse_args(argv)
+    return run_report(
+        query=arguments.query,
+        nodes=arguments.nodes,
+        scale_factor=arguments.scale_factor,
+        seed=arguments.seed,
+        trace_path=arguments.trace_path,
+        metrics_path=arguments.metrics_path,
+        validate=arguments.validate,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -666,6 +666,7 @@ class ExchangeSender(RuntimeOperator):
         self._buffers: dict[str, list[TaggedRow]] = {}
         self._cache: list[_CachedRow] = []
         self.rows_sent = 0
+        self.batches_sent = 0
 
     # Subclasses decide where a row goes.
     def route(self, tagged: TaggedRow) -> tuple[str, int | None]:
@@ -701,6 +702,7 @@ class ExchangeSender(RuntimeOperator):
         if buffer:
             self.context.send_rows(destination, self.op_id, buffer)
             self.rows_sent += len(buffer)
+            self.batches_sent += 1
             self._buffers[destination] = []
 
     def flush_all(self) -> None:
@@ -747,6 +749,7 @@ class ExchangeSender(RuntimeOperator):
             self.context.send_rows(destination, self.op_id, rows)
             count += len(rows)
             self.rows_sent += len(rows)
+            self.batches_sent += 1
         return count
 
     def _reroute(self, entry: _CachedRow) -> tuple[str, int | None]:

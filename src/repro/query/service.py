@@ -97,6 +97,14 @@ class QueryStatistics:
     #: of them plan-time pruning removed before any node was asked for them.
     scan_pages_total: int = 0
     scan_pages_pruned: int = 0
+    #: Trace identity of the query's span tree, set when the cluster has
+    #: tracing enabled (:meth:`repro.cluster.Cluster.enable_tracing`).
+    trace_id: int | None = None
+
+    # Bound by the service when tracing is on; not dataclass fields so they
+    # stay out of __init__/__repr__ and equality.
+    _tracer = None
+    _plan = None
 
     @property
     def execution_time(self) -> float:
@@ -106,6 +114,54 @@ class QueryStatistics:
     def data_bytes(self) -> int:
         """Exchange-row bytes (``query.data``): the pushdown-sensitive share."""
         return self.bytes_by_kind.get("query.data", 0)
+
+    def profile(self):
+        """The per-operator execution profile, attributed from the span tree.
+
+        Returns a :class:`~repro.obs.profile.QueryProfile` (render it with
+        ``.format()`` or :func:`repro.obs.profile.format_profile`), or
+        ``None`` when the query ran without tracing — including result-cache
+        hits, which execute no operators.
+        """
+        if self._tracer is None or self.trace_id is None or self._plan is None:
+            return None
+        from ..obs.profile import build_profile
+
+        return build_profile(self._tracer, self.trace_id, self._plan)
+
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return {
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "execution_time": self.execution_time,
+            "phases": self.phases,
+            "restarts": self.restarts,
+            "failures_handled": self.failures_handled,
+            "rows_shipped": self.rows_shipped,
+            "bytes_total": self.bytes_total,
+            "bytes_per_node": dict(self.bytes_per_node),
+            "participating_nodes": self.participating_nodes,
+            "result_cache_hit": self.result_cache_hit,
+            "messages_total": self.messages_total,
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "scan_pages_total": self.scan_pages_total,
+            "scan_pages_pruned": self.scan_pages_pruned,
+            "trace_id": self.trace_id,
+        }
+
+    def metric_series(self):
+        """Registry samples: ``query.bytes{kind=...}``, ``query.rows``, ..."""
+        samples = [
+            ("query.bytes", {}, self.bytes_total),
+            ("query.messages", {}, self.messages_total),
+            ("query.rows_shipped", {}, self.rows_shipped),
+            ("query.phases", {}, self.phases),
+            ("query.restarts", {}, self.restarts),
+        ]
+        for kind in sorted(self.bytes_by_kind):
+            samples.append(("query.bytes", {"kind": kind}, self.bytes_by_kind[kind]))
+        return samples
 
     def _absorb_traffic(self, delta) -> None:
         """Fold one attempt's traffic delta into the cumulative counters."""
@@ -606,6 +662,21 @@ class QueryService:
             started_at=self.node.network.now,
             participating_nodes=len(self.participants_of(snapshot)),
         )
+        tracer = self.node.network.tracer
+        if tracer is not None:
+            # Bind the statistics to the trace the query runs under — the
+            # scheduler's operation root span when submitted through the
+            # runtime, or (for direct execute() calls) the trace the first
+            # message will open.  Restarts relaunch under new query ids but
+            # keep this trace, so the profile spans every attempt.
+            context = tracer.current()
+            statistics.trace_id = (
+                context.trace_id if context is not None else None
+            )
+            statistics._tracer = tracer
+            statistics._plan = plan
+            if context is not None:
+                tracer.query_traces.setdefault(query_id, context.trace_id)
         # Captured before scan resolution: a publish completing between here
         # and the result's completion bumps the sequence, which vetoes the
         # result-cache fill (see _maybe_complete).
@@ -1220,9 +1291,53 @@ class QueryService:
 
     def _on_abort(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         query_id = payload["query_id"]
-        self._contexts.pop(query_id, None)
+        self._teardown_context(query_id)
         self._pending_messages.pop(query_id, None)
         self._note_finished(query_id)
+
+    def _teardown_context(self, query_id: str) -> None:
+        """Drop the participant-side context, reporting operator summaries to
+        the tracer first so per-operator row/batch counts survive teardown.
+        Crash resets bypass this deliberately: a dead node reports nothing."""
+        context = self._contexts.pop(query_id, None)
+        if context is None:
+            return
+        tracer = self.node.network.tracer
+        if tracer is not None:
+            self._emit_operator_summaries(tracer, context)
+
+    def _emit_operator_summaries(self, tracer, context: _NodeQueryContext) -> None:
+        from .operators import AggregateOperator, HashJoinOperator
+
+        node = self.node.address
+        query_id = context.query_id
+        fragment = context.fragment
+        for op_id, source in fragment.scan_sources.items():
+            tracer.record_operator_summary(
+                query_id, node, op_id, "scan", {"rows_out": source.rows_produced}
+            )
+        for op_id, sender in fragment.senders.items():
+            tracer.record_operator_summary(
+                query_id, node, op_id, "sender",
+                {"rows_sent": sender.rows_sent, "batches_sent": sender.batches_sent},
+            )
+        for op_id, receiver in fragment.receivers.items():
+            tracer.record_operator_summary(
+                query_id, node, op_id, "receiver",
+                {"rows_received": receiver.rows_received},
+            )
+        for op_id, operator in fragment.operators.items():
+            if op_id < 0:
+                continue  # negative ids alias exchange senders, reported above
+            if isinstance(operator, HashJoinOperator):
+                tracer.record_operator_summary(
+                    query_id, node, op_id, "join", {"rows_out": operator.rows_joined}
+                )
+            elif isinstance(operator, AggregateOperator):
+                tracer.record_operator_summary(
+                    query_id, node, op_id, "aggregate",
+                    {"rows_out": operator.group_count()},
+                )
 
     # ------------------------------------------------------------------- failures
 
@@ -1238,10 +1353,47 @@ class QueryService:
                 continue
             active.failed_nodes.add(failed_address)
             active.statistics.failures_handled += 1
+            # Failure listeners run with no active trace context; open a phase
+            # span in the query's existing trace so the restart/recovery
+            # fan-out stays in the trace instead of becoming orphan roots.
             if active.options.recovery_mode == RECOVERY_RESTART:
-                self._restart_query(active)
+                phase = self._trace_phase(active.statistics, "query.restart")
+                try:
+                    self._restart_query(active)
+                finally:
+                    self._end_trace_phase(phase)
             else:
-                self._incremental_recovery(active, failed_address)
+                phase = self._trace_phase(active.statistics, "query.recovery")
+                try:
+                    self._incremental_recovery(active, failed_address)
+                finally:
+                    self._end_trace_phase(phase)
+
+    def _trace_phase(self, statistics: QueryStatistics, name: str):
+        """Open and activate ``name`` as a span inside the query's trace;
+        returns the token for :meth:`_end_trace_phase` (``None`` untraced)."""
+        tracer = self.node.network.tracer
+        if tracer is None or statistics.trace_id is None:
+            return None
+        context = tracer.current()
+        parent_id = (
+            context.span_id
+            if context is not None and context.trace_id == statistics.trace_id
+            else None
+        )
+        span = tracer.open_span(
+            name, self.node.address, self.node.network.now,
+            trace_id=statistics.trace_id, parent_id=parent_id,
+        )
+        token = tracer.activate(span)
+        return (tracer, span, token)
+
+    def _end_trace_phase(self, phase) -> None:
+        if phase is None:
+            return
+        tracer, span, token = phase
+        tracer.deactivate(token)
+        tracer.end_span(span, self.node.network.now)
 
     # -- full restart ------------------------------------------------------------------
 
@@ -1255,7 +1407,7 @@ class QueryService:
                 # Resolve the submitting session's operation instead of
                 # blowing up the event loop from a message handler.
                 self._send_aborts(active, include_self=False)
-                self._contexts.pop(active.query_id, None)
+                self._teardown_context(active.query_id)
                 self._active.pop(active.query_id, None)
                 active.completed = True
                 active.on_error(error)
@@ -1264,7 +1416,7 @@ class QueryService:
                 f"query {active.query_id} exceeded the maximum number of restarts"
             )
         self._send_aborts(active, include_self=False)
-        self._contexts.pop(active.query_id, None)
+        self._teardown_context(active.query_id)
         del self._active[active.query_id]
 
         # Account the aborted attempt's traffic before the relaunch resets the
@@ -1277,6 +1429,10 @@ class QueryService:
         def relaunch() -> None:
             new_snapshot = self.membership.snapshot()
             query_id = self._next_query_id()
+            tracer = self.node.network.tracer
+            if tracer is not None and statistics.trace_id is not None:
+                # The relaunched attempt keeps the submission's trace.
+                tracer.query_traces.setdefault(query_id, statistics.trace_id)
             new_statistics = statistics  # keep cumulative timing and counters
             # The restart re-resolves every scan, so the publish-race guard
             # window restarts here too.

@@ -68,6 +68,10 @@ class OpFuture:
         self._incomplete: str | None = None
         #: Pending watchdog timer (cancelled by the scheduler on resolution).
         self._timeout_event = None
+        #: Trace identity, set by the scheduler when tracing is enabled: the
+        #: operation's root span covers admission to resolution.
+        self.trace_id: int | None = None
+        self._root_span = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OpFuture({self.op_type}:{self.label} from {self.initiator}, {self.state})"

@@ -100,6 +100,35 @@ class SchedulerStats:
             "admitted_by_initiator": dict(self.admitted_by_initiator),
         }
 
+    def to_dict(self) -> dict:
+        """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
+        return self.snapshot()
+
+    def metric_series(self):
+        """Registry samples: ``scheduler.admitted{initiator=...}`` etc."""
+        samples = [
+            ("scheduler.submitted", {}, self.submitted),
+            ("scheduler.admitted", {}, self.admitted),
+            ("scheduler.completed", {}, self.completed),
+            ("scheduler.failed", {}, self.failed),
+            ("scheduler.rejected", {}, self.rejected),
+            ("scheduler.cancelled", {}, self.cancelled),
+            ("scheduler.timed_out", {}, self.timed_out),
+            ("scheduler.in_flight", {}, self.in_flight),
+            ("scheduler.queued", {}, self.queued),
+            ("scheduler.max_in_flight", {}, self.max_in_flight),
+            ("scheduler.peak_queued", {}, self.peak_queued),
+        ]
+        for initiator in sorted(self.admitted_by_initiator):
+            samples.append(
+                (
+                    "scheduler.admitted",
+                    {"initiator": initiator},
+                    self.admitted_by_initiator[initiator],
+                )
+            )
+        return samples
+
 
 @dataclass
 class _QueuedOp:
@@ -110,10 +139,21 @@ class _QueuedOp:
 class Scheduler:
     """Admission control over asynchronous cluster operations."""
 
-    def __init__(self, network: Network, config: SchedulerConfig | None = None) -> None:
+    def __init__(
+        self,
+        network: Network,
+        config: SchedulerConfig | None = None,
+        metrics=None,
+    ) -> None:
         self.network = network
         self.config = config or SchedulerConfig()
         self.stats = SchedulerStats()
+        #: Virtual-time end-to-end latency histogram, one series per
+        #: ``{kind, initiator}`` tag set — the scheduler is the one place
+        #: every operation passes through, so it observes for all of them.
+        self._op_latency = (
+            metrics.histogram("op.latency") if metrics is not None else None
+        )
         self._running: set[OpFuture] = set()
         self._running_per_initiator: dict[str, int] = {}
         #: FIFO queue (also the arrival-order ground truth for ``fair``'s
@@ -206,6 +246,15 @@ class Scheduler:
         elif was_running:
             self._free_slot(future)
             self._admit_next()
+        root_span = getattr(future, "_root_span", None)
+        if root_span is not None and self.network.tracer is not None:
+            self.network.tracer.end_span(root_span, self.network.now)
+        if self._op_latency is not None and future.submitted_at is not None:
+            self._op_latency.observe(
+                self.network.now - future.submitted_at,
+                kind=future.op_type,
+                initiator=future.initiator,
+            )
         apply(self.network.now)
 
     # -- timeouts / cancellation ------------------------------------------------
@@ -273,8 +322,28 @@ class Scheduler:
         by_initiator = self.stats.admitted_by_initiator
         by_initiator[future.initiator] = by_initiator.get(future.initiator, 0) + 1
         future._mark_running(self.network.now)
+        tracer = self.network.tracer
+        token = None
+        if tracer is not None:
+            # One operation = one trace.  The root span is opened fresh (not
+            # parented on whatever message handler the submission happened to
+            # run inside) so chained operations do not merge into one tree.
+            name = f"{future.op_type}:{future.label}" if future.label else future.op_type
+            span = tracer.start_trace(
+                name,
+                future.initiator,
+                self.network.now,
+                attrs={"kind": future.op_type, "initiator": future.initiator},
+            )
+            future._root_span = span
+            future.trace_id = span.trace_id
+            token = tracer.activate(span)
         try:
-            launch()
+            try:
+                launch()
+            finally:
+                if token is not None:
+                    tracer.deactivate(token)
         except Exception as exc:
             # A launch that blows up synchronously must not leak its
             # admission slot (nor, when admitted from the queue inside

@@ -310,7 +310,9 @@ class Runtime:
 
     def __init__(self, cluster: "Cluster", config: SchedulerConfig | None = None) -> None:
         self.cluster = cluster
-        self.scheduler = Scheduler(cluster.network, config)
+        self.scheduler = Scheduler(
+            cluster.network, config, metrics=getattr(cluster, "metrics", None)
+        )
 
     def session(self, address: str | None = None) -> Session:
         """A session initiating from ``address`` (default: first live node)."""

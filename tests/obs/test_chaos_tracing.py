@@ -1,0 +1,73 @@
+"""Tracing under chaos: invariant outcomes are unchanged, failures dump traces.
+
+A traced run charges the propagated context onto every remote message, so it
+is a *different* deterministic schedule than the untraced run of the same
+seed — timings and retry counts may differ.  What must not differ is the
+verdict: every invariant that holds untraced holds traced, across a seed
+sweep.  And when an invariant does fail, the runner dumps a valid
+Chrome-trace of the failing window for the postmortem.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.scenarios import ScenarioConfig, ScenarioRunner, run_scenario
+from repro.obs.export import validate_chrome_trace
+
+SEED_COUNT = int(os.environ.get("CHAOS_TRACING_SEEDS", "6"))
+
+
+class TestOutcomeEquivalence:
+    @pytest.mark.parametrize("seed", range(SEED_COUNT))
+    def test_tracing_changes_no_invariant_outcome(self, seed):
+        untraced = run_scenario(seed)
+        traced = run_scenario(seed, ScenarioConfig(tracing=True))
+        assert untraced.ok, (
+            f"untraced seed {seed} violated invariants:\n" + "\n".join(untraced.violations)
+        )
+        assert traced.ok, (
+            f"seed {seed} violates invariants only when traced:\n"
+            + "\n".join(traced.violations)
+        )
+        assert traced.ops_submitted == untraced.ops_submitted
+        assert traced.scheduler["in_flight"] == 0
+
+    def test_traced_scenario_is_deterministic(self):
+        first = run_scenario(3, ScenarioConfig(tracing=True))
+        second = run_scenario(3, ScenarioConfig(tracing=True))
+        assert first.summary() == second.summary()
+        assert first.faults == second.faults
+
+
+class TestFailureTraceDump:
+    def test_violation_dumps_failing_window_chrome_trace(self, tmp_path):
+        runner = ScenarioRunner(0, trace_dir=str(tmp_path))
+        report = runner.run(
+            checkers=[lambda _runner: ["synthetic violation for the dump path"]]
+        )
+        assert not report.ok
+        path = tmp_path / "chaos-seed-0-trace.json"
+        assert path.exists()
+        assert any(str(path) in violation for violation in report.violations)
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert events  # the failing window actually contains spans
+        window_start = (runner._first_fault_at or 0.0) * 1e6
+        # The window's own spans are present; earlier events are only the
+        # ancestor lineages pulled in for context.
+        assert any(event["ts"] >= window_start for event in events)
+
+    def test_no_dump_without_violations(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CHAOS_TRACE_DIR", str(tmp_path))
+        report = run_scenario(1)
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_implies_tracing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CHAOS_TRACE_DIR", str(tmp_path))
+        runner = ScenarioRunner(2)
+        runner.run()
+        assert runner.cluster.tracer is not None

@@ -1,0 +1,78 @@
+"""Chrome-trace export: schema, nesting validation, and file round-trips."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+
+def span(span_id, parent_id=None, trace_id=1, begin=0.001, end=0.002,
+         node="a", name="query.data", bytes=100):
+    return Span(
+        trace_id=trace_id, span_id=span_id, parent_id=parent_id, name=name,
+        node=node, begin=begin, end=end, src=node, dst="b", bytes=bytes,
+        delivered=True,
+    )
+
+
+class TestChromeTrace:
+    def test_events_carry_virtual_microseconds(self):
+        document = chrome_trace([span(1, begin=0.5, end=0.75)])
+        (event,) = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert event["ts"] == 0.5 * 1e6
+        assert event["dur"] == 0.25 * 1e6
+        assert event["args"]["bytes"] == 100
+
+    def test_one_process_per_node_with_name_metadata(self):
+        document = chrome_trace([span(1, node="a"), span(2, node="b")])
+        names = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in names} == {"a", "b"}
+        pids = {e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 2
+
+    def test_valid_tree_passes_validation(self):
+        document = chrome_trace([span(1), span(2, parent_id=1, begin=0.0015)])
+        assert validate_chrome_trace(document) == []
+
+    def test_orphan_parent_is_reported(self):
+        document = chrome_trace([span(2, parent_id=99)])
+        errors = validate_chrome_trace(document)
+        assert any("orphan" in error for error in errors)
+
+    def test_child_starting_before_parent_is_reported(self):
+        document = chrome_trace([span(1, begin=0.002), span(2, parent_id=1, begin=0.001)])
+        errors = validate_chrome_trace(document)
+        assert errors
+
+    def test_undelivered_span_renders_zero_width(self):
+        undelivered = span(1)
+        undelivered.end = None
+        undelivered.delivered = False
+        document = chrome_trace([undelivered])
+        (event,) = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 0
+        assert event["args"]["delivered"] is False
+        assert validate_chrome_trace(document) == []
+
+
+class TestFiles:
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, [span(1), span(2, parent_id=1, begin=0.0015)])
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(document) == []
+
+    def test_write_metrics_serialises_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("rpc.bytes").inc(7, kind="query.data")
+        path = tmp_path / "metrics.json"
+        write_metrics(path, registry)
+        document = json.loads(path.read_text())
+        assert document["metrics"]["rpc.bytes{kind=query.data}"] == 7

@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry: instruments, tags, collectors."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SupportsToDict,
+    format_series,
+)
+
+
+class TestFormat:
+    def test_bare_name(self):
+        assert format_series("rpc.bytes", {}) == "rpc.bytes"
+
+    def test_tags_sorted_into_braces(self):
+        name = format_series("rpc.bytes", {"node": "a", "kind": "query.data"})
+        assert name == "rpc.bytes{kind=query.data,node=a}"
+
+
+class TestCounter:
+    def test_accumulates_per_tag_set(self):
+        counter = Counter("cache.hits")
+        counter.inc(tier="node")
+        counter.inc(3, tier="node")
+        counter.inc(tier="result")
+        assert counter.value(tier="node") == 4
+        assert counter.value(tier="result") == 1
+        assert counter.total() == 5
+
+    def test_series_are_sorted_and_formatted(self):
+        counter = Counter("rpc.messages")
+        counter.inc(kind="b")
+        counter.inc(kind="a")
+        names = [format_series(name, tags) for name, tags, _ in counter.series()]
+        assert names == ["rpc.messages{kind=a}", "rpc.messages{kind=b}"]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("scheduler.in_flight")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value() == 1
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max(self):
+        histogram = Histogram("op.latency")
+        for value in (0.001, 0.01, 0.1):
+            histogram.observe(value, kind="query")
+        assert histogram.count(kind="query") == 3
+        ((_, _, summary),) = histogram.series()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.111)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.1)
+
+    def test_buckets_are_cumulative_and_end_at_inf(self):
+        histogram = Histogram("op.latency", buckets=(0.01, 0.1))
+        for value in (0.005, 0.05, 0.5):
+            histogram.observe(value)
+        ((_, _, summary),) = histogram.series()
+        assert summary["buckets"][0.01] == 1
+        assert summary["buckets"][0.1] == 2
+        assert summary["buckets"][float("inf")] == 3
+
+    def test_default_buckets_cover_virtual_time_latencies(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_instruments_are_memoised_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("rpc.bytes") is registry.counter("rpc.bytes")
+
+    def test_name_reuse_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.bytes")
+        with pytest.raises(TypeError):
+            registry.gauge("rpc.bytes")
+
+    def test_collectors_feed_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.bytes").inc(10)
+        registry.register_collector(lambda: [("scheduler.queued", {}, 2)])
+        snapshot = registry.snapshot()
+        assert snapshot["rpc.bytes"] == 10
+        assert snapshot["scheduler.queued"] == 2
+
+    def test_to_dict_protocol(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry, SupportsToDict)
+        assert registry.to_dict() == {"metrics": {}}

@@ -1,0 +1,119 @@
+"""Per-query execution profiles: coverage, reconciliation, fault continuity."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.query.service import RECOVERY_RESTART, QueryOptions
+from repro.workloads import tpch
+
+TPCH_SCALE = 0.25
+NODES = 8
+
+
+@pytest.fixture(scope="module")
+def tpch_instance():
+    return tpch.generate(TPCH_SCALE, seed=0)
+
+
+def traced_cluster(tpch_instance, num_nodes=NODES):
+    cluster = Cluster(num_nodes)
+    cluster.publish_relations(tpch_instance.relation_list())
+    cluster.enable_tracing()
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def traced_q3(tpch_instance):
+    cluster = traced_cluster(tpch_instance)
+    before = cluster.network.traffic.snapshot()
+    result = cluster.query(
+        tpch.query("Q3"), options=QueryOptions(use_result_cache=False)
+    )
+    metered = before.delta(cluster.network.traffic.snapshot())
+    return cluster, result, metered
+
+
+class TestProfile:
+    def test_query_is_bound_to_one_trace(self, traced_q3):
+        cluster, result, _ = traced_q3
+        statistics = result.statistics
+        assert statistics.trace_id is not None
+        assert cluster.tracer.query_ids_of(statistics.trace_id)
+
+    def test_span_tree_covers_metered_wire_bytes(self, traced_q3):
+        cluster, result, metered = traced_q3
+        spans = cluster.tracer.spans_of(result.statistics.trace_id)
+        span_bytes = sum(span.bytes for span in spans)
+        # Acceptance bar is >= 95%; in fault-free runs it is exact.
+        assert span_bytes >= 0.95 * metered.total_bytes
+        assert span_bytes <= metered.total_bytes
+
+    def test_profile_reconciles_with_traffic_meter_per_kind(self, traced_q3):
+        _, result, _ = traced_q3
+        statistics = result.statistics
+        profile = statistics.profile()
+        assert statistics.bytes_by_kind  # the window saw real traffic
+        for kind, wire_bytes in statistics.bytes_by_kind.items():
+            assert profile.bytes_by_kind.get(kind) == wire_bytes
+            assert profile.messages_by_kind.get(kind, 0) > 0
+
+    def test_operator_rows_come_from_fragment_teardown(self, traced_q3):
+        _, result, _ = traced_q3
+        profile = result.statistics.profile()
+        by_label = {row.label: row for row in profile.operators}
+        scans = [row for row in profile.operators if "DistributedScan" in row.label]
+        assert scans and all(row.rows and row.rows > 0 for row in scans)
+        rehash = next(row for row in profile.operators if "Rehash" in row.label)
+        assert rehash.rows > 0 and rehash.batches > 0 and rehash.bytes > 0
+        assert len(by_label) == len(profile.operators)  # plan labels are unique
+
+    def test_format_profile_renders_the_operator_tree(self, traced_q3):
+        _, result, _ = traced_q3
+        profile = result.statistics.profile()
+        text = profile.format()
+        lines = text.splitlines()
+        assert "wire bytes" in lines[0]
+        assert any(line.startswith("Ship") for line in lines)
+        # Children are indented under the root.
+        assert any(line.startswith("  ") for line in lines[1:])
+
+    def test_profile_none_without_tracing(self, tpch_instance):
+        cluster = Cluster(4)
+        cluster.publish_relations(tpch_instance.relation_list())
+        result = cluster.query(
+            tpch.query("Q6"), options=QueryOptions(use_result_cache=False)
+        )
+        assert result.statistics.trace_id is None
+        assert result.statistics.profile() is None
+
+
+class TestFaultContinuity:
+    def test_restarted_query_keeps_its_trace(self, tpch_instance):
+        cluster = traced_cluster(tpch_instance)
+        cluster.network.failure_detection_delay = 0.002
+        cluster.fail_node(cluster.addresses[3], at_time=cluster.now + 0.001)
+        result = cluster.query(
+            tpch.query("Q3"),
+            options=QueryOptions(
+                use_result_cache=False, recovery_mode=RECOVERY_RESTART
+            ),
+        )
+        statistics = result.statistics
+        if statistics.restarts == 0:
+            pytest.skip("query finished before the failure was detected")
+        profile = statistics.profile()
+        # All attempts executed inside the submission's single trace.
+        assert len(profile.query_ids) == statistics.restarts + 1
+        assert profile.bytes_by_kind.get("query.restart") == 0
+        # The restart phase and the per-attempt control traffic are overhead,
+        # not operator work.
+        assert profile.overhead_bytes > 0
+        spans = cluster.tracer.spans_of(statistics.trace_id)
+        assert sum(1 for span in spans if span.name == "query.restart") == (
+            statistics.restarts
+        )
+        # No span of the trace parents onto a different trace.
+        ids = {span.span_id for span in spans}
+        assert all(
+            span.parent_id is None or span.parent_id in ids for span in spans
+        )

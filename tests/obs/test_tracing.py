@@ -1,0 +1,190 @@
+"""Tracing semantics: honest byte accounting, faults, and byte identity.
+
+The load-bearing guarantees:
+
+* tracing is **off by default** and, when off, leaves every wire byte
+  untouched (golden vectors and the traffic gate rely on this);
+* when on, span byte totals reconcile with the traffic meter even under
+  packet loss and duplication — retries and duplicate deliveries annotate
+  the one span for the logical message instead of inventing new ones;
+* a crash-restarted node starts fresh traces under its new incarnation
+  rather than re-parenting onto its previous life's spans.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, LinkChaos
+from repro.net.simnet import HostSpec, Message, Network
+from repro.obs.trace import CONTEXT_WIRE_BYTES, Tracer
+
+
+def make_pair(with_injector=False, seed=7):
+    net = Network(latency=0.001, default_host=HostSpec(
+        egress_bandwidth=1_000_000.0, ingress_bandwidth=1_000_000.0))
+    a = net.add_node("a")
+    b = net.add_node("b")
+    injector = FaultInjector(net, seed=seed) if with_injector else None
+    return net, a, b, injector
+
+
+class TestDefaults:
+    def test_tracing_is_off_by_default(self):
+        net, a, b, _ = make_pair()
+        assert net.tracer is None
+        received = []
+        b.register_handler("app", received.append)
+        a.send("b", "app", {"x": 1}, 100)
+        net.run()
+        (message,) = received
+        # No trace context, no context bytes: the wire size is exactly
+        # payload + fixed overhead, as every golden vector expects.
+        assert message.trace is None
+        assert message.size == 100 + Network.MESSAGE_OVERHEAD_BYTES
+
+    def test_message_repr_includes_kind_and_sent_at(self):
+        message = Message("rpc.cast", "a", "b", {"method": "query.data"},
+                          140, sent_at=1.25, kind="query.data")
+        rendered = repr(message)
+        assert "kind='query.data'" in rendered
+        assert "sent_at=1.250000" in rendered
+
+    def test_traced_remote_send_charges_context_bytes(self):
+        net, a, b, _ = make_pair()
+        net.tracer = Tracer()
+        received = []
+        b.register_handler("app", received.append)
+        a.send("b", "app", {"x": 1}, 100)
+        net.run()
+        (message,) = received
+        assert message.trace is not None
+        assert message.size == (
+            100 + Network.MESSAGE_OVERHEAD_BYTES + CONTEXT_WIRE_BYTES
+        )
+
+    def test_traced_local_send_stays_free(self):
+        net, a, _, _ = make_pair()
+        net.tracer = Tracer()
+        received = []
+        a.register_handler("app", received.append)
+        a.send("a", "app", {}, 100)
+        net.run()
+        assert received[0].size == 100 + Network.MESSAGE_OVERHEAD_BYTES
+
+
+class TestParenting:
+    def test_handler_sends_become_children(self):
+        net, a, b, _ = make_pair()
+        tracer = net.tracer = Tracer()
+
+        def forward(message):
+            b.send("a", "reply", {}, 10)
+
+        b.register_handler("app", forward)
+        a.register_handler("reply", lambda message: None)
+        a.send("b", "app", {}, 10)
+        net.run()
+        request, reply = tracer.all_spans()
+        assert reply.trace_id == request.trace_id
+        assert reply.parent_id == request.span_id
+        assert request.delivered and reply.delivered
+        assert request.end is not None and reply.begin >= request.begin
+
+    def test_spontaneous_sends_open_fresh_traces(self):
+        net, a, b, _ = make_pair()
+        tracer = net.tracer = Tracer()
+        b.register_handler("app", lambda message: None)
+        a.send("b", "app", {}, 10)
+        a.send("b", "app", {}, 10)
+        net.run()
+        first, second = tracer.all_spans()
+        assert first.trace_id != second.trace_id
+        assert first.parent_id is None and second.parent_id is None
+
+
+class TestFaultAccounting:
+    def test_lossy_link_keeps_one_span_and_reconciles_bytes(self):
+        net, a, b, injector = make_pair(with_injector=True)
+        tracer = net.tracer = Tracer()
+        injector.set_link_chaos("a", "b", LinkChaos(drop=0.5, duplicate=0.3))
+        b.register_handler("app", lambda message: None)
+        for index in range(20):
+            a.send("b", "app", {"i": index}, 50)
+        net.run()
+        spans = tracer.all_spans()
+        # One span per logical message, however many times it hit the wire.
+        assert len(spans) == 20
+        assert all(span.delivered for span in spans)
+        assert injector.stats.retransmits > 0  # the seed produced losses
+        assert injector.stats.deduplicated > 0  # ... and duplicate deliveries
+        assert sum(span.retransmits for span in spans) == injector.stats.retransmits
+        assert sum(span.duplicates for span in spans) == injector.stats.deduplicated
+        # Every metered transmission (including lost copies) landed on a span.
+        assert sum(span.bytes for span in spans) == net.traffic.total_bytes
+
+    def test_abandoned_message_span_stays_open(self):
+        net, a, b, injector = make_pair(with_injector=True)
+        injector.max_retransmits = 2
+        tracer = net.tracer = Tracer()
+        injector.set_link_chaos("a", "b", LinkChaos(drop=1.0))
+        b.register_handler("app", lambda message: None)
+        a.send("b", "app", {}, 50)
+        net.run()
+        (span,) = tracer.all_spans()
+        assert not span.delivered and span.end is None
+        assert span.bytes == net.traffic.total_bytes > 0
+
+
+class TestCrashRestart:
+    def test_restarted_node_starts_fresh_traces(self):
+        net, a, b, _ = make_pair(with_injector=True)
+        tracer = net.tracer = Tracer()
+        b.register_handler("app", lambda message: None)
+        a.register_handler("app", lambda message: None)
+        a.send("b", "app", {}, 50)  # in flight when b dies
+        net.fail_node("b")
+        net.run()
+        dead = tracer.all_spans()[0]
+        assert not dead.delivered  # the incarnation guard discarded it
+        restarted = net.restart_node("b")
+        assert restarted.incarnation == 1
+        restarted.send("a", "app", {}, 50)
+        net.run()
+        fresh = tracer.all_spans()[-1]
+        assert fresh.incarnation == 1
+        # The new life is a new trace: nothing re-parents onto the old spans.
+        assert fresh.trace_id != dead.trace_id
+        assert fresh.parent_id is None
+        assert fresh.delivered
+
+
+class TestClusterByteIdentity:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        def run(traced):
+            from repro.cluster import Cluster
+            from repro.common.types import RelationData, Schema
+
+            cluster = Cluster(3, replication_factor=2)
+            if traced:
+                cluster.enable_tracing()
+            schema = Schema("obs_rel", ["k", "v"], key=["k"])
+            data = RelationData(schema)
+            for index in range(30):
+                data.add(f"k{index}", index)
+            cluster.publish_relations([data])
+            retrieval = cluster.retrieve("obs_rel")
+            snapshot = cluster.network.traffic.snapshot()
+            return sorted(tuple(r) for r in retrieval.rows()), snapshot
+
+        return run
+
+    def test_results_identical_and_traced_bytes_fully_explained(self, workload):
+        plain_rows, plain = workload(traced=False)
+        traced_rows, traced = workload(traced=True)
+        assert traced_rows == plain_rows
+        # Fault-free runs send the same messages; tracing adds exactly the
+        # propagated context per remote message and nothing else.
+        assert traced.total_messages == plain.total_messages
+        assert traced.total_bytes == (
+            plain.total_bytes + CONTEXT_WIRE_BYTES * plain.total_messages
+        )
