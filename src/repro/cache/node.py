@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from ..common.serialization import EncodedScanBatch
 from .policies import EvictionPolicy
 from .stats import CacheStats
 from .store import CacheStore
@@ -128,17 +129,21 @@ class NodeCache:
         inserted = self.store.put(key, page, size, benefit=size + RPC_EXCHANGE_OVERHEAD)
         self._account_insert(key, size, inserted)
 
-    # -- per-page retrieval results (tuple batches) ----------------------------
+    # -- per-page retrieval results (encoded tuple batches) --------------------
 
-    def get_scan(self, page_id: "PageId") -> "tuple[VersionedTuple, ...] | None":
+    def get_scan(self, page_id: "PageId") -> "EncodedScanBatch | None":
         return self.store.get((KIND_SCAN, page_id))
 
     def put_scan(self, page_id: "PageId", tuples: Sequence["VersionedTuple"]) -> None:
-        batch = tuple(tuples)
-        size = 64 + sum(t.estimated_size() for t in batch)
+        batch = EncodedScanBatch.from_tuples(tuple(tuples))
+        # Charged at the *actual* encoded payload size, so the byte budget
+        # reflects what the entry really occupies and effective capacity grows
+        # with the encoding win.
+        size = batch.stored_size()
         key = (KIND_SCAN, page_id)
         # A hit saves the retrieve_page cast, the per-data-node tuple requests
-        # and the shipped tuple bytes; the dominant term is the tuple bytes.
+        # and the shipped (encoded) tuple bytes; the dominant term is the
+        # tuple bytes.
         inserted = self.store.put(key, batch, size, benefit=size + 2 * RPC_EXCHANGE_OVERHEAD)
         self._account_insert(key, size, inserted)
 

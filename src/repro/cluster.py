@@ -128,6 +128,7 @@ class Cluster:
         self.metrics.register_collector(self._scheduler_series)
         self.metrics.register_collector(self._cache_series)
         self.metrics.register_collector(self._fault_series)
+        self.metrics.register_collector(self._encoding_series)
         for address in self.addresses:
             sim_node = self.network.add_node(address, profile.host)
             rpc_endpoint(sim_node)
@@ -251,6 +252,23 @@ class Cluster:
         samples = []
         for tier, stats in self.cache_statistics().items():
             samples.extend(stats.metric_series(tier))
+        # Current occupancy per tier (gauges): the bytes actually held under
+        # the budgets right now, cluster-wide.  With encoded tuple batches in
+        # the node tier these are *encoded* bytes — the same charged sizes
+        # the eviction budget enforces.
+        for tier, occupied in self.cache_bytes().items():
+            samples.append(("cache.bytes", {"tier": tier}, occupied))
+        return samples
+
+    def _encoding_series(self):
+        from .common.serialization import ENCODING_STATS
+
+        samples = [
+            ("page.encoded_bytes", {"codec": codec}, count)
+            for codec, count in sorted(ENCODING_STATS.encoded_bytes.items())
+        ]
+        samples.append(("page.encoded_batches", {}, ENCODING_STATS.batches_encoded))
+        samples.append(("page.batches_skipped", {}, ENCODING_STATS.batches_skipped))
         return samples
 
     def _fault_series(self):
@@ -502,6 +520,21 @@ class Cluster:
             if cluster_node.result_cache is not None:
                 result_total.merge(cluster_node.result_cache.stats)
         return {"node": node_total, "result": result_total}
+
+    def cache_bytes(self) -> dict[str, int]:
+        """Bytes currently held per cache tier, cluster-wide.
+
+        Tuple-batch entries are charged at their encoded payload size, so the
+        node tier reports encoded occupancy — the quantity the eviction
+        budget actually enforces.
+        """
+        node_bytes = result_bytes = 0
+        for cluster_node in self.nodes.values():
+            if cluster_node.cache is not None:
+                node_bytes += cluster_node.cache.bytes_used
+            if cluster_node.result_cache is not None:
+                result_bytes += cluster_node.result_cache.store.bytes_used
+        return {"node": node_bytes, "result": result_bytes}
 
 
 def build_cluster(

@@ -44,7 +44,7 @@ from functools import lru_cache
 from typing import Callable, Iterable, Sequence
 
 from .errors import ReproError
-from .types import Value
+from .types import Value, VersionedTuple
 
 #: zlib level 1 ≈ "lightweight Zip-based compression".
 COMPRESSION_LEVEL = 1
@@ -436,6 +436,741 @@ class TupleBatch:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+# ---------------------------------------------------------------------------
+# Encoded columns: dictionary / run-length / frame-of-reference / raw fallback
+# ---------------------------------------------------------------------------
+#
+# Section V-A's marshalling format "exploits commonalities" between tuples;
+# the codecs below push that further with the classic lightweight column
+# encodings.  Each codec tag extends the value-tag namespace above (tags 8-11
+# never appear inside a value stream, so the existing golden vectors are
+# untouched).  Batches stay encoded on the wire and in the scan cache, and
+# pushed predicates are evaluated against dictionary codes, run values, or
+# frame-of-reference bounds *before* any value is materialised — decode
+# happens only for surviving positions, and the counters in
+# :data:`ENCODING_STATS` prove it.
+
+_TAG_DICT = 8
+_TAG_RLE = 9
+_TAG_FOR = 10
+_TAG_RAWCOL = 11
+
+#: Human-readable codec names for the ``page.encoded_bytes{codec=…}`` metrics.
+CODEC_NAMES = {
+    _TAG_DICT: "dict",
+    _TAG_RLE: "rle",
+    _TAG_FOR: "for",
+    _TAG_RAWCOL: "raw",
+}
+
+#: A dictionary column past this many distinct values stops paying for itself.
+_DICT_MAX_DISTINCT = 4096
+
+# Compact per-codec headers.  The batch header already carries the row count,
+# so no codec repeats it; every payload is self-delimiting given the count.
+_DICT_HEADER = struct.Struct(">BH")  # code width, dictionary size
+_RLE_HEADER = struct.Struct(">I")  # run count
+_RLE_RUN = struct.Struct(">H")  # run length (runs are split at 65535)
+_RLE_MAX_RUN = 0xFFFF
+_FOR_WIDTH_FORMATS = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+
+class EncodingStats:
+    """Process-wide instrumentation for the encoding pipeline.
+
+    ``encoded_bytes`` feeds the ``page.encoded_bytes{codec=…}`` counters;
+    the decode counters exist so tests can prove that predicate evaluation
+    over encoded data never materialises values of a non-surviving batch.
+    """
+
+    __slots__ = (
+        "batches_encoded",
+        "encoded_bytes",
+        "columns_decoded",
+        "values_decoded",
+        "batches_decoded",
+        "batches_skipped",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.batches_encoded = 0
+        self.encoded_bytes = {name: 0 for name in CODEC_NAMES.values()}
+        self.columns_decoded = 0
+        self.values_decoded = 0
+        self.batches_decoded = 0
+        self.batches_skipped = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "batches_encoded": self.batches_encoded,
+            "encoded_bytes": dict(self.encoded_bytes),
+            "columns_decoded": self.columns_decoded,
+            "values_decoded": self.values_decoded,
+            "batches_decoded": self.batches_decoded,
+            "batches_skipped": self.batches_skipped,
+        }
+
+
+#: Module-level singleton, like the value caches above: encoding is a
+#: process-wide concern and the observability layer reads deltas.
+ENCODING_STATS = EncodingStats()
+
+
+def _distinct_key(value: Value):
+    """Hashable identity that keeps equal-comparing but distinct values apart.
+
+    A plain ``(type, value)`` key would collapse ``0.0`` and ``-0.0`` (same
+    type, equal, same hash) and a bare value would collapse ``1``/``1.0``/
+    ``True``; decoding must restore the *exact* stored value, so floats and
+    tuples key on their repr (the same trick the page-pruning hash variants
+    use).
+    """
+    kind = type(value)
+    if kind is float or kind is tuple:
+        return (kind, repr(value))
+    return (kind, value)
+
+
+class EncodedColumn:
+    """Base class of the per-column encodings.
+
+    Subclasses expose three capabilities: ``payload()`` (deterministic wire
+    bytes under the codec's tag), ``decode()``/``decode_positions()``
+    (materialise values, bumping the decode counters), and the predicate
+    hooks ``match_positions()``/``min_max()`` that evaluate over the encoded
+    form without materialising anything.
+    """
+
+    __slots__ = ("count",)
+    tag = -1
+
+    def payload(self) -> bytes:
+        raise NotImplementedError
+
+    def decode(self) -> list:
+        raise NotImplementedError
+
+    def decode_positions(self, positions: Sequence[int]) -> list:
+        raise NotImplementedError
+
+    def match_positions(self, test: Callable[[Value], bool]) -> "list[int] | None":
+        """Positions whose value satisfies ``test``; None = undecidable."""
+        return None
+
+    def min_max(self) -> "tuple[Value, Value] | None":
+        """(lo, hi) bounds when the column is provably ordered; else None."""
+        return None
+
+    def _count_decode(self, values_out: int) -> None:
+        stats = ENCODING_STATS
+        stats.columns_decoded += 1
+        stats.values_decoded += values_out
+
+
+def _comparable_bounds(values: Iterable[Value]) -> "tuple[Value, Value] | None":
+    """min/max over ``values`` when they are one orderable exact type."""
+    values = list(values)
+    if not values:
+        return None
+    kind = type(values[0])
+    if kind not in (int, float, str) or any(type(v) is not kind for v in values):
+        return None
+    if kind is float and any(v != v for v in values):
+        # NaN poisons min()/max() (order-dependent results), and a NaN row
+        # still matches ``!=`` — finite bounds over it would be unsound.
+        return None
+    return min(values), max(values)
+
+
+class DictColumn(EncodedColumn):
+    """Dictionary encoding: distinct values once, then fixed-width codes."""
+
+    __slots__ = ("dictionary", "codes", "code_width")
+    tag = _TAG_DICT
+
+    def __init__(self, count: int, dictionary: tuple, codes: bytes, code_width: int):
+        self.count = count
+        self.dictionary = dictionary
+        self.codes = codes
+        self.code_width = code_width
+
+    def payload(self) -> bytes:
+        parts = [_DICT_HEADER.pack(self.code_width, len(self.dictionary))]
+        parts.extend(encode_value(value) for value in self.dictionary)
+        parts.append(self.codes)
+        return b"".join(parts)
+
+    def _code_iter(self):
+        if self.code_width == 1:
+            return iter(self.codes)
+        codes = self.codes
+        return (
+            (codes[i] << 8) | codes[i + 1] for i in range(0, 2 * self.count, 2)
+        )
+
+    def decode(self) -> list:
+        self._count_decode(self.count)
+        dictionary = self.dictionary
+        return [dictionary[code] for code in self._code_iter()]
+
+    def decode_positions(self, positions: Sequence[int]) -> list:
+        self._count_decode(len(positions))
+        dictionary = self.dictionary
+        if self.code_width == 1:
+            codes = self.codes
+            return [dictionary[codes[i]] for i in positions]
+        codes = self.codes
+        return [
+            dictionary[(codes[2 * i] << 8) | codes[2 * i + 1]] for i in positions
+        ]
+
+    def match_positions(self, test: Callable[[Value], bool]) -> "list[int] | None":
+        # Translate the predicate once, against the dictionary, then compare
+        # codes — the column's values are never materialised.
+        matching = {
+            code for code, value in enumerate(self.dictionary) if test(value)
+        }
+        if not matching:
+            return []
+        if len(matching) == len(self.dictionary):
+            return list(range(self.count))
+        return [i for i, code in enumerate(self._code_iter()) if code in matching]
+
+    def min_max(self):
+        return _comparable_bounds(self.dictionary)
+
+
+class RleColumn(EncodedColumn):
+    """Run-length encoding: (value, run length) pairs."""
+
+    __slots__ = ("runs",)
+    tag = _TAG_RLE
+
+    def __init__(self, count: int, runs: tuple):
+        self.count = count
+        self.runs = runs  # tuple of (value, length)
+
+    def payload(self) -> bytes:
+        parts = [_RLE_HEADER.pack(len(self.runs))]
+        for value, length in self.runs:
+            parts.append(encode_value(value))
+            parts.append(_RLE_RUN.pack(length))
+        return b"".join(parts)
+
+    def decode(self) -> list:
+        self._count_decode(self.count)
+        values: list = []
+        for value, length in self.runs:
+            values.extend([value] * length)
+        return values
+
+    def decode_positions(self, positions: Sequence[int]) -> list:
+        self._count_decode(len(positions))
+        # Positions arrive sorted (they come from match/filter scans), so one
+        # forward walk over the runs covers them all.
+        values: list = []
+        run_index = 0
+        run_end = self.runs[0][1] if self.runs else 0
+        for position in positions:
+            while position >= run_end:
+                run_index += 1
+                run_end += self.runs[run_index][1]
+            values.append(self.runs[run_index][0])
+        return values
+
+    def match_positions(self, test: Callable[[Value], bool]) -> "list[int] | None":
+        # One evaluation per *run*: a failing run is skipped wholesale.
+        positions: list[int] = []
+        offset = 0
+        for value, length in self.runs:
+            if test(value):
+                positions.extend(range(offset, offset + length))
+            offset += length
+        return positions
+
+    def min_max(self):
+        return _comparable_bounds(value for value, _ in self.runs)
+
+
+class ForColumn(EncodedColumn):
+    """Frame-of-reference: base + fixed-width unsigned deltas.
+
+    ``scale == 0`` is the plain integer form.  A non-zero scale is the
+    scaled-decimal variant for columns of floats with a fixed number of
+    decimal places (prices, rates, balances): each value is stored as the
+    integer ``value * 10**scale`` and decoded by dividing back.  The encoder
+    only picks this form after verifying every value round-trips *exactly*
+    (value and repr), so decode is bit-faithful.
+    """
+
+    __slots__ = ("base", "delta_width", "deltas", "hi", "scale")
+    tag = _TAG_FOR
+
+    def __init__(
+        self,
+        count: int,
+        base: int,
+        delta_width: int,
+        deltas: bytes,
+        hi: int,
+        scale: int = 0,
+    ):
+        self.count = count
+        self.base = base
+        self.delta_width = delta_width
+        self.deltas = deltas
+        self.hi = hi
+        self.scale = scale
+
+    def payload(self) -> bytes:
+        # Width fits a nibble (1/2/4/8), so the scale rides in the high one.
+        header = self.delta_width | (self.scale << 4)
+        return bytes((header,)) + encode_value(self.base) + self.deltas
+
+    def _delta_struct(self) -> struct.Struct:
+        return struct.Struct(f">{self.count}{_FOR_WIDTH_FORMATS[self.delta_width]}")
+
+    def _materialise(self, scaled: int) -> Value:
+        if self.scale:
+            return scaled / (10.0 ** self.scale)
+        return scaled
+
+    def decode(self) -> list:
+        self._count_decode(self.count)
+        base = self.base
+        if self.scale:
+            divisor = 10.0 ** self.scale
+            return [
+                (base + delta) / divisor
+                for delta in self._delta_struct().unpack(self.deltas)
+            ]
+        return [base + delta for delta in self._delta_struct().unpack(self.deltas)]
+
+    def decode_positions(self, positions: Sequence[int]) -> list:
+        self._count_decode(len(positions))
+        base = self.base
+        width = self.delta_width
+        deltas = self.deltas
+        from_bytes = int.from_bytes
+        scaled = [
+            base + from_bytes(deltas[i * width : (i + 1) * width], "big")
+            for i in positions
+        ]
+        if self.scale:
+            divisor = 10.0 ** self.scale
+            return [value / divisor for value in scaled]
+        return scaled
+
+    def match_positions(self, test: Callable[[Value], bool]) -> "list[int] | None":
+        base = self.base
+        materialise = self._materialise
+        return [
+            i
+            for i, delta in enumerate(self._delta_struct().unpack(self.deltas))
+            if test(materialise(base + delta))
+        ]
+
+    def min_max(self):
+        return self._materialise(self.base), self._materialise(self.hi)
+
+
+class RawColumn(EncodedColumn):
+    """Fallback: the plain tagged-value column encoding (byte-identical to
+    :func:`_encode_column`), with the values kept alongside for free decode."""
+
+    __slots__ = ("values", "_payload")
+    tag = _TAG_RAWCOL
+
+    def __init__(self, values: tuple, payload: bytes):
+        self.count = len(values)
+        self.values = values
+        self._payload = payload
+
+    def payload(self) -> bytes:
+        return self._payload
+
+    def decode(self) -> list:
+        self._count_decode(self.count)
+        return list(self.values)
+
+    def decode_positions(self, positions: Sequence[int]) -> list:
+        self._count_decode(len(positions))
+        values = self.values
+        return [values[i] for i in positions]
+
+
+def encode_column_values(column: Sequence[Value]) -> EncodedColumn:
+    """Encode one column, choosing the cheapest codec by exact payload size.
+
+    One pass collects runs and the distinct-value dictionary; each candidate
+    codec's payload size is then computed exactly (distinct values go through
+    the memoised :func:`encode_value`, so the sizing pass is cheap) and the
+    smallest wins, with the raw tagged encoding as the fallback.  The choice
+    is fully deterministic: first-occurrence dictionary order, fixed
+    comparison order, no hashing of values.
+    """
+    count = len(column)
+    raw_payload = _encode_column(column)
+    best_size = len(raw_payload)
+    best_tag = _TAG_RAWCOL
+    if count >= 4:
+        runs: list = []
+        distinct: dict = {}
+        distinct_values: list = []
+        previous_key = None
+        for value in column:
+            key = _distinct_key(value)
+            if runs and key == previous_key and runs[-1][1] < _RLE_MAX_RUN:
+                runs[-1][1] += 1
+            else:
+                runs.append([value, 1])
+                previous_key = key
+            if distinct is not None and key not in distinct:
+                if len(distinct) >= _DICT_MAX_DISTINCT:
+                    distinct = None
+                else:
+                    distinct[key] = len(distinct)
+                    distinct_values.append(value)
+
+        # Frame-of-reference: int-only columns (bool is an int subclass but
+        # decodes distinctly, so exact-type only) with an int64 base, or
+        # float columns that are exactly fixed-point decimals (scale 2 —
+        # prices, rates, balances), verified value-by-value before use.
+        for_fields = None
+        scaled_column: "list[int] | None" = None
+        for_scale = 0
+        if all(type(value) is int for value in column):
+            scaled_column = list(column)
+        elif all(type(value) is float for value in column):
+            scaled = []
+            for value in column:
+                if value != value or value in (float("inf"), float("-inf")):
+                    scaled = None
+                    break
+                as_int = int(round(value * 100))
+                if as_int / 100.0 != value or repr(as_int / 100.0) != repr(value):
+                    scaled = None
+                    break
+                scaled.append(as_int)
+            if scaled is not None:
+                scaled_column = scaled
+                for_scale = 2
+        if scaled_column is not None:
+            lo = min(scaled_column)
+            hi = max(scaled_column)
+            span = hi - lo
+            if -(1 << 63) <= lo < (1 << 63) and span < (1 << 64):
+                if span <= 0xFF:
+                    width = 1
+                elif span <= 0xFFFF:
+                    width = 2
+                elif span <= 0xFFFFFFFF:
+                    width = 4
+                else:
+                    width = 8
+                for_size = 1 + len(encode_value(lo)) + width * count
+                if for_size < best_size:
+                    best_size = for_size
+                    best_tag = _TAG_FOR
+                    for_fields = (lo, hi, width)
+
+        dict_fields = None
+        if distinct:
+            code_width = 1 if len(distinct) <= 256 else 2
+            dict_size = (
+                _DICT_HEADER.size
+                + sum(len(encode_value(value)) for value in distinct_values)
+                + code_width * count
+            )
+            if dict_size < best_size:
+                best_size = dict_size
+                best_tag = _TAG_DICT
+                dict_fields = code_width
+
+        rle_size = _RLE_HEADER.size + sum(
+            len(encode_value(value)) + _RLE_RUN.size for value, _ in runs
+        )
+        if rle_size < best_size:
+            best_size = rle_size
+            best_tag = _TAG_RLE
+
+        if best_tag == _TAG_RLE:
+            return RleColumn(count, tuple((value, length) for value, length in runs))
+        if best_tag == _TAG_DICT:
+            dictionary = tuple(distinct_values)
+            codes_map = distinct
+            if dict_fields == 1:
+                codes = bytes(codes_map[_distinct_key(value)] for value in column)
+            else:
+                packed = bytearray()
+                for value in column:
+                    code = codes_map[_distinct_key(value)]
+                    packed.append(code >> 8)
+                    packed.append(code & 0xFF)
+                codes = bytes(packed)
+            return DictColumn(count, dictionary, codes, dict_fields)
+        if best_tag == _TAG_FOR:
+            lo, hi, width = for_fields
+            deltas = struct.pack(
+                f">{count}{_FOR_WIDTH_FORMATS[width]}",
+                *[value - lo for value in scaled_column],
+            )
+            return ForColumn(count, lo, width, deltas, hi, for_scale)
+    return RawColumn(tuple(column), raw_payload)
+
+
+def _unmarshal_encoded_column(
+    payload: bytes, offset: int, count: int
+) -> tuple[EncodedColumn, int]:
+    """Parse one tagged codec payload in place.
+
+    There is no per-column length prefix: the batch header's row count plus
+    each codec's compact header fully delimit the payload, which keeps the
+    per-column framing to the single tag byte.
+    """
+    tag = payload[offset]
+    at = offset + 1
+    if tag == _TAG_DICT:
+        code_width, dict_size = _DICT_HEADER.unpack_from(payload, at)
+        at += _DICT_HEADER.size
+        dictionary = []
+        for _ in range(dict_size):
+            value, at = decode_value(payload, at)
+            dictionary.append(value)
+        end = at + code_width * count
+        codes = payload[at:end]
+        return DictColumn(count, tuple(dictionary), codes, code_width), end
+    if tag == _TAG_RLE:
+        (run_count,) = _RLE_HEADER.unpack_from(payload, at)
+        at += _RLE_HEADER.size
+        runs = []
+        for _ in range(run_count):
+            value, at = decode_value(payload, at)
+            (run_length,) = _RLE_RUN.unpack_from(payload, at)
+            at += _RLE_RUN.size
+            runs.append((value, run_length))
+        return RleColumn(count, tuple(runs)), at
+    if tag == _TAG_FOR:
+        header = payload[at]
+        width = header & 0x0F
+        scale = header >> 4
+        base, at = decode_value(payload, at + 1)
+        end = at + width * count
+        deltas = payload[at:end]
+        hi = base
+        if count:
+            hi = base + max(
+                struct.unpack(f">{count}{_FOR_WIDTH_FORMATS[width]}", deltas)
+            )
+        return ForColumn(count, base, width, deltas, hi, scale), end
+    if tag == _TAG_RAWCOL:
+        values, end = _decode_column(payload, offset + 1, count)
+        return RawColumn(tuple(values), payload[offset + 1 : end]), end
+    raise SerializationError(f"unknown column codec tag {tag}")
+
+
+@dataclass
+class EncodedTupleBatch:
+    """A batch whose columns stay individually encoded.
+
+    Same framing roles as :class:`TupleBatch` — the networking layer charges
+    :attr:`wire_size` (compressed marshal plus framing header) — but each
+    column carries its own codec tag, and consumers decode only the columns
+    (and positions) they actually touch.
+
+    The marshal is deliberately leaner than :class:`TupleBatch`'s self-
+    describing format: exchange schemas are fixed by the disseminated plan,
+    so the receiver resolves attribute names from the framing header's
+    attribute digest (already part of ``HEADER_BYTES``) instead of reading
+    them from every batch, and each column is framed by its single tag byte
+    (codec payloads are self-delimiting given the row count).  Batches that
+    zlib cannot shrink ship the marshal as-is — the compressor only pays for
+    itself on larger runs, and small encoded payloads are near-entropy
+    already.
+    """
+
+    attributes: tuple[str, ...]
+    columns: tuple[EncodedColumn, ...]
+    count: int
+    raw_size: int
+    compressed_size: int
+
+    # Destination, batch id, attribute digest.  The raw format's header also
+    # carries explicit payload-length words; the encoded marshal does not
+    # need them (codec payloads are self-delimiting and the message envelope
+    # carries the total), so the framing charge is 16 bytes, not 24.
+    HEADER_BYTES = 16
+
+    @classmethod
+    def build(
+        cls, attributes: Sequence[str], rows: Iterable[Sequence[Value]]
+    ) -> "EncodedTupleBatch":
+        rows = [tuple(r) for r in rows]
+        arity = len(attributes)
+        count = len(rows)
+        if rows and arity:
+            if all(len(row) == arity for row in rows):
+                transposed: Iterable[Sequence[Value]] = zip(*rows)
+            else:
+                transposed = (
+                    tuple(row[index] for row in rows) for index in range(arity)
+                )
+            columns = tuple(encode_column_values(list(c)) for c in transposed)
+        else:
+            # A zero-row batch still marshals one (empty) column per
+            # attribute: the header's arity drives unmarshalling.
+            columns = tuple(encode_column_values([]) for _ in range(arity))
+        batch = cls(
+            attributes=tuple(attributes),
+            columns=columns,
+            count=count,
+            raw_size=0,
+            compressed_size=0,
+        )
+        payload = batch.marshal()
+        compressed = zlib.compress(payload, COMPRESSION_LEVEL)
+        batch.raw_size = len(payload)
+        batch.compressed_size = min(len(compressed), len(payload))
+        stats = ENCODING_STATS
+        stats.batches_encoded += 1
+        encoded_bytes = stats.encoded_bytes
+        for column in columns:
+            encoded_bytes[CODEC_NAMES[column.tag]] += len(column.payload())
+        return batch
+
+    def marshal(self) -> bytes:
+        parts = [struct.pack(">HI", len(self.attributes), self.count)]
+        for column in self.columns:
+            parts.append(bytes((column.tag,)))
+            parts.append(column.payload())
+        return b"".join(parts)
+
+    @classmethod
+    def unmarshal(
+        cls, payload: bytes, attributes: "Sequence[str] | None" = None
+    ) -> "EncodedTupleBatch":
+        """Rebuild a batch from its wire payload.
+
+        ``attributes`` is the schema the framing header's digest resolves to
+        (the exchange operator's output schema); when omitted, positional
+        ``c0..cN`` names are synthesised.  The payload may be either the zlib
+        stream or — when compression did not pay — the bare marshal; the two
+        are distinguishable because a marshal never starts with a valid zlib
+        header (its first byte is the arity's high byte, ``0x00``).
+        """
+        try:
+            raw = zlib.decompress(payload)
+        except zlib.error:
+            raw = payload
+        arity, count = struct.unpack_from(">HI", raw, 0)
+        offset = 6
+        columns = []
+        for _ in range(arity):
+            column, offset = _unmarshal_encoded_column(raw, offset, count)
+            columns.append(column)
+        if attributes is None:
+            attributes = tuple(f"c{i}" for i in range(arity))
+        elif len(attributes) != arity:
+            raise SerializationError(
+                f"schema arity mismatch: {len(attributes)} names for {arity} columns"
+            )
+        return cls(
+            attributes=tuple(attributes),
+            columns=tuple(columns),
+            count=count,
+            raw_size=len(raw),
+            compressed_size=len(payload),
+        )
+
+    def compressed_payload(self) -> bytes:
+        payload = self.marshal()
+        compressed = zlib.compress(payload, COMPRESSION_LEVEL)
+        return compressed if len(compressed) < len(payload) else payload
+
+    @property
+    def wire_size(self) -> int:
+        return self.compressed_size + self.HEADER_BYTES
+
+    def decode_rows(self) -> list[tuple]:
+        """Materialise every row (bumps the batch decode counter)."""
+        ENCODING_STATS.batches_decoded += 1
+        if not self.columns:
+            return [() for _ in range(self.count)]
+        return list(zip(*(column.decode() for column in self.columns)))
+
+    def decode_rows_at(self, positions: Sequence[int]) -> list[tuple]:
+        """Materialise only the given positions of every column."""
+        if not positions:
+            return []
+        ENCODING_STATS.batches_decoded += 1
+        if not self.columns:
+            return [() for _ in positions]
+        return list(
+            zip(*(column.decode_positions(positions) for column in self.columns))
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class EncodedScanBatch:
+    """A scan-cache entry: tuple ids plus the values kept columnar-encoded.
+
+    This is the form :class:`~repro.cache.node.NodeCache` stores for page
+    tuple batches — the budget is charged on :meth:`stored_size` (the actual
+    encoded payload), so effective cache capacity grows with the encoding
+    win.  Pushed predicates evaluate against the encoded columns and only
+    surviving positions are ever decoded back into
+    :class:`~repro.common.types.VersionedTuple` objects.
+    """
+
+    __slots__ = ("relation", "tuple_ids", "deleted_positions", "batch")
+
+    ID_BYTES = 24  # matches the tuple-id wire charge used by scan messages
+
+    def __init__(self, relation, tuple_ids, deleted_positions, batch):
+        self.relation = relation
+        self.tuple_ids = tuple_ids
+        self.deleted_positions = deleted_positions
+        self.batch = batch
+
+    @classmethod
+    def from_tuples(cls, tuples: Sequence[VersionedTuple]) -> "EncodedScanBatch":
+        tuples = tuple(tuples)
+        relation = tuples[0].relation if tuples else ""
+        tuple_ids = tuple(t.tuple_id for t in tuples)
+        deleted = frozenset(i for i, t in enumerate(tuples) if t.deleted)
+        arity = max((len(t.values) for t in tuples), default=0)
+        attributes = tuple(f"c{i}" for i in range(arity))
+        batch = EncodedTupleBatch.build(attributes, [t.values for t in tuples])
+        return cls(relation, tuple_ids, deleted, batch)
+
+    def stored_size(self) -> int:
+        return 64 + self.ID_BYTES * len(self.tuple_ids) + self.batch.compressed_size
+
+    def decode_tuples(self) -> list[VersionedTuple]:
+        rows = self.batch.decode_rows()
+        deleted = self.deleted_positions
+        return [
+            VersionedTuple(self.relation, tuple_id, row, deleted=index in deleted)
+            for index, (tuple_id, row) in enumerate(zip(self.tuple_ids, rows))
+        ]
+
+    def decode_tuples_at(self, positions: Sequence[int]) -> list[VersionedTuple]:
+        rows = self.batch.decode_rows_at(positions)
+        deleted = self.deleted_positions
+        return [
+            VersionedTuple(self.relation, self.tuple_ids[i], row, deleted=i in deleted)
+            for i, row in zip(positions, rows)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tuple_ids)
 
 
 def _decode_column(payload: bytes, offset: int, count: int) -> tuple[list[Value], int]:

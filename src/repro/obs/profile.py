@@ -75,6 +75,9 @@ class QueryProfile:
     operators: list[OperatorProfileRow] = field(default_factory=list)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
     messages_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Columnar-encoding footprint of the query (per-codec encoded bytes and
+    #: batch counters), copied from the statistics when available.
+    encoding: dict = field(default_factory=dict)
     overhead_bytes: int = 0
     total_bytes: int = 0
     span_count: int = 0
@@ -91,6 +94,7 @@ class QueryProfile:
             "operators": [row.to_dict() for row in self.operators],
             "bytes_by_kind": dict(self.bytes_by_kind),
             "messages_by_kind": dict(self.messages_by_kind),
+            "encoding": dict(self.encoding),
             "overhead_bytes": self.overhead_bytes,
             "total_bytes": self.total_bytes,
             "span_count": self.span_count,
@@ -102,11 +106,15 @@ class QueryProfile:
         return format_profile(self)
 
 
-def build_profile(tracer: Tracer, trace_id: int, plan) -> QueryProfile:
+def build_profile(
+    tracer: Tracer, trace_id: int, plan, encoding: dict | None = None
+) -> QueryProfile:
     """Assemble the profile of ``trace_id`` over ``plan``'s operator tree."""
     spans = tracer.spans_of(trace_id)
     query_ids = tuple(sorted(tracer.query_ids_of(trace_id)))
     profile = QueryProfile(trace_id=trace_id, query_ids=query_ids)
+    if encoding:
+        profile.encoding = dict(encoding)
     profile.span_count = len(spans)
 
     rows: list[OperatorProfileRow] = []
@@ -187,6 +195,16 @@ def format_profile(profile: QueryProfile) -> str:
         lines.append("  " * row.depth + row.label + suffix)
     if profile.overhead_bytes:
         lines.append(f"(+ {profile.overhead_bytes} bytes of dissemination/control)")
+    encoded = profile.encoding.get("encoded_bytes") if profile.encoding else None
+    if encoded:
+        per_codec = " ".join(
+            f"{codec}={encoded[codec]}" for codec in sorted(encoded)
+        )
+        lines.append(
+            f"(encoded columns: {per_codec}; "
+            f"{profile.encoding.get('batches_encoded', 0)} batches encoded, "
+            f"{profile.encoding.get('batches_skipped', 0)} skipped undecoded)"
+        )
     return "\n".join(lines)
 
 

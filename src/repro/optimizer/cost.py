@@ -89,9 +89,23 @@ class CostModel:
     estimates (and branch-and-bound thresholds) rather than join order.
     """
 
-    def __init__(self, machine: MachineProfile, residency=None) -> None:
+    #: Typical encoded:raw width ratio of the columnar encodings (dictionary/
+    #: RLE/frame-of-reference with raw fallback) over the benchmark workloads
+    #: — what the committed BENCH_pushdown.json data-byte reductions measure.
+    #: The planner passes this when ``PlannerOptions.enable_encoding`` is on
+    #: so the Volcano search prices scan output at the width that actually
+    #: ships; direct constructions default to 1.0 (raw widths).
+    DEFAULT_ENCODED_RATIO = 0.65
+
+    def __init__(
+        self,
+        machine: MachineProfile,
+        residency=None,
+        encoded_width_ratio: float = 1.0,
+    ) -> None:
         self.machine = machine
         self.residency = residency
+        self.encoded_width_ratio = encoded_width_ratio
 
     def warm_fraction(self, relation: str | None, total_bytes: float) -> float:
         """Fraction of ``relation``'s footprint resident in the local cache."""
@@ -169,10 +183,18 @@ class CostModel:
         costs rather than join order — the order-sensitive effect of pushdown
         flows through the estimate's ``rows``/``row_size``, which every
         rehash and ship stage is priced from.
+
+        With the columnar encodings on, the copy term is priced at the
+        *encoded* width (``encoded_width_ratio``): what leaves the scan — and
+        what every downstream exchange ships — is the encoded batch, so the
+        search sees the real wire cost of a scan's output stream.
         """
         per_node_rows = output_rows / self._nodes
         cpu = per_node_rows / self.machine.tuples_per_second_cpu
-        copy = per_node_rows * output_row_size / self.machine.bytes_per_second_disk
+        copy = (
+            per_node_rows * output_row_size * self.encoded_width_ratio
+            / self.machine.bytes_per_second_disk
+        )
         return cpu + copy
 
     def select_cost(self, rows: float) -> float:

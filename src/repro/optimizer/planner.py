@@ -79,6 +79,11 @@ class PlannerOptions:
     enable_page_pruning: bool = True
     #: Cap on enumerated partition-key combinations for page pruning.
     prune_candidate_limit: int = MAX_PRUNE_CANDIDATES
+    #: Ship exchange batches (and price scan output) at encoded-column sizes
+    #: — dictionary/RLE/frame-of-reference per column, raw fallback.
+    #: Disabling restores the raw tagged-value batch sizes end-to-end, the
+    #: A/B baseline mirroring ``enable_pushdown``.
+    enable_encoding: bool = True
 
 
 @dataclass
@@ -170,7 +175,13 @@ def compile_query(
     """
     machine = machine or MachineProfile()
     options = options or PlannerOptions()
-    cost_model = CostModel(machine, residency=residency)
+    cost_model = CostModel(
+        machine,
+        residency=residency,
+        encoded_width_ratio=(
+            CostModel.DEFAULT_ENCODED_RATIO if options.enable_encoding else 1.0
+        ),
+    )
     builder = PlanBuilder()
     block = _flatten(query)
     if not block.scans:
@@ -330,7 +341,9 @@ def compile_query(
         )
         total_cost += cost_model.ship_cost(rows, join_estimate.row_size)
 
-    plan = PhysicalPlan(root=ship, name=query.name)
+    plan = PhysicalPlan(
+        root=ship, name=query.name, enable_encoding=options.enable_encoding
+    )
     return CompiledQuery(
         plan=plan,
         estimated_cost=total_cost,

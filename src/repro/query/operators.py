@@ -80,6 +80,11 @@ class FragmentContext(Protocol):
     phase: int
     failed_nodes: set[str]
     provenance_enabled: bool
+    #: True when the cluster is large enough that rehash end-of-stream for
+    #: destinations that never received data is relayed through the initiator
+    #: (one summary per sender, one aggregated marker per destination) instead
+    #: of a direct O(n²) fan-out of empty-pair EOS messages.
+    eos_relay_enabled: bool
 
     def charge_cpu(self, seconds: float) -> None: ...
 
@@ -89,9 +94,13 @@ class FragmentContext(Protocol):
 
     def initiator(self) -> str: ...
 
-    def send_rows(self, destination: str, exchange_id: int, rows: list[TaggedRow]) -> None: ...
+    def send_rows(
+        self, destination: str, exchange_id: int, rows: list[TaggedRow], eos: bool = False
+    ) -> None: ...
 
     def send_eos(self, destination: str, exchange_id: int) -> None: ...
+
+    def send_eos_summary(self, exchange_id: int, zero_destinations: list[str]) -> None: ...
 
 
 class RuntimeOperator:
@@ -665,6 +674,12 @@ class ExchangeSender(RuntimeOperator):
         super().__init__(context, op_id)
         self._buffers: dict[str, list[TaggedRow]] = {}
         self._cache: list[_CachedRow] = []
+        #: Destinations this sender has shipped at least one data batch to, in
+        #: any phase.  Deliberately never reset across recovery phases: a
+        #: destination with prior-phase data may still have batches in flight
+        #: on the pair channel, so its EOS must ride the same channel (FIFO)
+        #: rather than the initiator relay, which could overtake them.
+        self._sent_destinations: set[str] = set()
         self.rows_sent = 0
         self.batches_sent = 0
 
@@ -700,6 +715,7 @@ class ExchangeSender(RuntimeOperator):
     def _flush_destination(self, destination: str) -> None:
         buffer = self._buffers.get(destination)
         if buffer:
+            self._sent_destinations.add(destination)
             self.context.send_rows(destination, self.op_id, buffer)
             self.rows_sent += len(buffer)
             self.batches_sent += 1
@@ -710,12 +726,48 @@ class ExchangeSender(RuntimeOperator):
             self._flush_destination(destination)
 
     def finish(self) -> None:
+        # End-of-stream piggybacks on the final residual batch where one
+        # exists: a separate EOS message is mostly fixed per-message framing,
+        # so folding the marker into the last ``query.data`` cast (a one-byte
+        # flag) saves a whole control message per (sender, destination) pair.
+        # Destinations with nothing left buffered still get an explicit EOS —
+        # directly when data went to them earlier (the EOS must trail that
+        # data on the pair channel), or via the initiator relay for
+        # destinations that never saw a row from this sender, turning the
+        # O(n²) empty-pair fan-out into O(n) summaries on large clusters.
+        needs_eos = set(self.eos_destinations())
+        for destination in list(self._buffers.keys()):
+            buffer = self._buffers.get(destination)
+            if buffer and destination in needs_eos:
+                needs_eos.discard(destination)
+                self._sent_destinations.add(destination)
+                self.context.send_rows(destination, self.op_id, buffer, eos=True)
+                self.rows_sent += len(buffer)
+                self.batches_sent += 1
+                self._buffers[destination] = []
         self.flush_all()
+        relay = self.use_eos_summary()
+        zero: list[str] = []
         for destination in self.eos_destinations():
-            self.context.send_eos(destination, self.op_id)
+            if destination not in needs_eos:
+                continue
+            if relay and destination not in self._sent_destinations:
+                zero.append(destination)
+            else:
+                self.context.send_eos(destination, self.op_id)
+        if relay:
+            # Always reported, even with an empty zero list: the initiator
+            # relays a destination's aggregated marker only once *every*
+            # expected sender has reported, so silence would stall the relay.
+            self.context.send_eos_summary(self.op_id, zero)
 
     def eos_destinations(self) -> list[str]:
         raise NotImplementedError
+
+    def use_eos_summary(self) -> bool:
+        """Whether end-of-stream for never-sent-to destinations goes through
+        the initiator relay (rehash senders on large clusters only)."""
+        return False
 
     # -- recovery -----------------------------------------------------------------------
 
@@ -746,6 +798,7 @@ class ExchangeSender(RuntimeOperator):
             entry.tagged = refreshed
         count = 0
         for destination, rows in resent.items():
+            self._sent_destinations.add(destination)
             self.context.send_rows(destination, self.op_id, rows)
             count += len(rows)
             self.rows_sent += len(rows)
@@ -806,6 +859,9 @@ class RehashSender(ExchangeSender):
 
     def eos_destinations(self) -> list[str]:
         return self.context.participants()
+
+    def use_eos_summary(self) -> bool:
+        return self.context.eos_relay_enabled
 
 
 class ShipSender(ExchangeSender):

@@ -247,6 +247,10 @@ class PhysicalPlan:
 
     root: PhysShip
     name: str = "query"
+    #: Ship exchange batches (and price scans) at encoded-column sizes; the
+    #: planner stamps this from ``PlannerOptions.enable_encoding`` so the
+    #: execution layer can A/B the encoding pipeline per query.
+    enable_encoding: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.root, PhysShip):

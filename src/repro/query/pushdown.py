@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..common.serialization import EncodedTupleBatch
 from ..common.types import Value, estimate_values_size, partition_hash
 from .expressions import (
     Arithmetic,
@@ -368,6 +369,152 @@ def candidate_partition_hashes(
             return None
     hashes = sorted({partition_hash(combo) for combo in combinations})
     return tuple(hashes)
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation over encoded columns
+# ---------------------------------------------------------------------------
+
+
+_FLIPPED_COMPARISON = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _simple_bound(conjunct: Expression, attribute: str):
+    """``(operator, literal)`` for ``col op lit`` shapes; None otherwise.
+
+    ``op`` is normalised so the column is on the left; ``IN`` lists come back
+    as ``("in", values)``.  Only these shapes participate in the min/max
+    batch-skip analysis — everything else still evaluates exactly, just
+    per-dictionary-entry / per-run instead of O(1).
+    """
+    if isinstance(conjunct, Comparison):
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Column) and left.name == attribute and isinstance(right, Literal):
+            return conjunct.operator, right.value
+        if isinstance(right, Column) and right.name == attribute and isinstance(left, Literal):
+            return _FLIPPED_COMPARISON[conjunct.operator], left.value
+        return None
+    if isinstance(conjunct, InList) and isinstance(conjunct.operand, Column):
+        return "in", conjunct.values
+    return None
+
+
+def _bounds_exclude(op: str, literal, lo, hi) -> bool:
+    """True when ``col op literal`` provably matches nothing in [lo, hi].
+
+    ``lo``/``hi`` are tight (the actual min/max of the stored values), so
+    ``lo == hi`` means every value equals ``lo``.  Any cross-type comparison
+    that raises makes the check inconclusive — never unsound.
+    """
+    try:
+        if op == "=":
+            return bool(literal < lo or literal > hi)
+        if op == "<":
+            return bool(lo >= literal)
+        if op == "<=":
+            return bool(lo > literal)
+        if op == ">":
+            return bool(hi <= literal)
+        if op == ">=":
+            return bool(hi < literal)
+        if op == "!=":
+            return bool(lo == hi and lo == literal)
+        if op == "in":
+            return all(value is None or value < lo or value > hi for value in literal)
+    except TypeError:
+        return False
+    return False
+
+
+def _unary_test(conjunct: Expression, attribute: str) -> Callable[[Value], bool]:
+    """Compile a single-column conjunct into a value test.
+
+    Compiling through :func:`compile_expression` keeps evaluation semantics
+    — NULL comparisons false, Python ``==`` conflating ``1``/``1.0``/``True``
+    — exactly the engine's, so translating a literal against a dictionary or
+    run value decides precisely what row-at-a-time evaluation would.
+    """
+    evaluator = compile_expression(conjunct, (attribute,))
+
+    def test(value: Value) -> bool:
+        return bool(evaluator((value,)))
+
+    return test
+
+
+def encoded_match_positions(
+    predicate: ScanPredicate, batch: EncodedTupleBatch
+) -> "tuple[list[int] | None, list[Expression]]":
+    """Evaluate a pushed predicate directly over an encoded batch.
+
+    Returns ``(positions, residual)``.  ``positions`` is the sorted list of
+    row positions that may satisfy the predicate (``None`` means every row —
+    nothing was decidable *and* nothing was excluded), computed entirely from
+    the encoded form: equality/IN translate the literal against dictionary
+    codes, ranges check frame-of-reference bounds and RLE runs, and a batch
+    whose bounds provably cannot match is rejected without touching a single
+    value.  ``residual`` holds the conjuncts that could not be decided over
+    the encoded columns; the caller re-evaluates them after decoding the
+    surviving positions (sound, because conjuncts only ever shrink the
+    match set).  Columns are addressed by position in ``predicate.attributes``.
+    """
+    attributes = predicate.attributes
+    conjuncts = split_conjuncts(predicate.expression)
+    positions: "list[int] | None" = None
+    residual: list[Expression] = []
+    for conjunct in conjuncts:
+        references = conjunct.references()
+        if len(references) != 1:
+            residual.append(conjunct)
+            continue
+        (name,) = references
+        try:
+            index = attributes.index(name)
+        except ValueError:
+            residual.append(conjunct)
+            continue
+        if index >= len(batch.columns):
+            residual.append(conjunct)
+            continue
+        column = batch.columns[index]
+        simple = _simple_bound(conjunct, name)
+        if simple is not None:
+            op, literal = simple
+            if op != "in" and literal is None:
+                return [], []  # NULL comparisons are false for every row
+            bounds = column.min_max()
+            if bounds is not None and _bounds_exclude(op, literal, *bounds):
+                return [], []
+        matched = column.match_positions(_unary_test(conjunct, name))
+        if matched is None:
+            residual.append(conjunct)
+            continue
+        if positions is None:
+            positions = matched
+        else:
+            matched_set = set(matched)
+            positions = [p for p in positions if p in matched_set]
+        if not positions:
+            return [], []
+    return positions, residual
+
+
+def conjunction_callable(
+    conjuncts: Sequence[Expression], attributes: Sequence[str]
+) -> "Callable[[Sequence[Value]], bool] | None":
+    """Compile leftover conjuncts back into one positional row filter."""
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        expression = conjuncts[0]
+    else:
+        expression = BooleanOp("and", tuple(conjuncts))
+    evaluator = compile_expression(expression, tuple(attributes))
+
+    def row_filter(values: Sequence[Value]) -> bool:
+        return bool(evaluator(values))
+
+    return row_filter
 
 
 def prune_page_refs(pages, hashes: Sequence[int] | None):

@@ -27,7 +27,7 @@ from typing import Callable, Mapping, Sequence
 from ..cache.result import SemanticResultCache, plan_fingerprint
 from ..common.errors import QueryError
 from ..common.hashing import KeyRange
-from ..common.serialization import TupleBatch
+from ..common.serialization import ENCODING_STATS, EncodedTupleBatch, TupleBatch
 from ..common.types import Value
 from ..net.simnet import SimNode
 from ..net.transport import RpcEndpoint, rpc_endpoint
@@ -97,6 +97,10 @@ class QueryStatistics:
     #: of them plan-time pruning removed before any node was asked for them.
     scan_pages_total: int = 0
     scan_pages_pruned: int = 0
+    #: Columnar-encoding footprint of this query (all attempts): per-codec
+    #: encoded column bytes plus batch encode/decode/skip counts, the delta
+    #: of :data:`repro.common.serialization.ENCODING_STATS` over the run.
+    encoding: dict[str, object] = field(default_factory=dict)
     #: Trace identity of the query's span tree, set when the cluster has
     #: tracing enabled (:meth:`repro.cluster.Cluster.enable_tracing`).
     trace_id: int | None = None
@@ -127,7 +131,9 @@ class QueryStatistics:
             return None
         from ..obs.profile import build_profile
 
-        return build_profile(self._tracer, self.trace_id, self._plan)
+        return build_profile(
+            self._tracer, self.trace_id, self._plan, encoding=self.encoding
+        )
 
     def to_dict(self) -> dict:
         """Common stats-serialization protocol (see :mod:`repro.obs.metrics`)."""
@@ -147,6 +153,7 @@ class QueryStatistics:
             "bytes_by_kind": dict(self.bytes_by_kind),
             "scan_pages_total": self.scan_pages_total,
             "scan_pages_pruned": self.scan_pages_pruned,
+            "encoding": dict(self.encoding),
             "trace_id": self.trace_id,
         }
 
@@ -161,6 +168,9 @@ class QueryStatistics:
         ]
         for kind in sorted(self.bytes_by_kind):
             samples.append(("query.bytes", {"kind": kind}, self.bytes_by_kind[kind]))
+        encoded = self.encoding.get("encoded_bytes", {})
+        for codec in sorted(encoded):
+            samples.append(("query.encoded_bytes", {"codec": codec}, encoded[codec]))
         return samples
 
     def _absorb_traffic(self, delta) -> None:
@@ -172,6 +182,27 @@ class QueryStatistics:
         for kind, count in delta.bytes_by_kind.items():
             if count:
                 self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + count
+
+    def _absorb_encoding(self, before: dict, after: dict) -> None:
+        """Fold one attempt's encoding-stats delta into the cumulative view."""
+        if not before:
+            return  # no launch-time snapshot (e.g. result-cache hit)
+        deltas = {
+            codec: count - before["encoded_bytes"].get(codec, 0)
+            for codec, count in after["encoded_bytes"].items()
+            if count - before["encoded_bytes"].get(codec, 0)
+        }
+        if deltas:
+            encoded = self.encoding.setdefault("encoded_bytes", {})
+            for codec, delta in deltas.items():
+                encoded[codec] = encoded.get(codec, 0) + delta
+        for counter in (
+            "batches_encoded", "batches_decoded", "batches_skipped",
+            "columns_decoded", "values_decoded",
+        ):
+            delta = after[counter] - before[counter]
+            if delta:
+                self.encoding[counter] = self.encoding.get(counter, 0) + delta
 
 
 @dataclass
@@ -225,10 +256,14 @@ class _ScanSpec:
         (:meth:`PhysScan.estimated_descriptor_size`), so it is not
         double-charged here.
         """
+        # Page-ref lists ship delta-encoded: refs are sorted by hash range,
+        # so the first carries both 160-bit bounds (64 bytes, the standalone
+        # PageRef size) and each subsequent ref shares its start bound with
+        # its predecessor's end — page id, one bound, framing (44 bytes).
         pages = sum(
-            ref.estimated_size()
+            64 + 44 * (len(refs) - 1)
             for refs in self.pages_by_index_node.values()
-            for ref in refs
+            if refs
         )
         groups = 16 * len(self.pages_by_index_node)
         predicate = 0 if self.key_predicate is None else self.key_predicate.estimated_size()
@@ -422,6 +457,14 @@ class _NodeQueryContext:
         self.phase = 0
         self.failed_nodes: set[str] = set()
         self.provenance_enabled = options.provenance_enabled
+        self.encoding_enabled = getattr(plan, "enable_encoding", True)
+        # Frozen from the start snapshot so every node (and the initiator)
+        # agrees on the relay decision for the query's whole lifetime,
+        # regardless of how failures later shrink the live set.
+        self.eos_relay_enabled = (
+            len(service.participants_of(snapshot))
+            >= QueryService.EOS_RELAY_MIN_PARTICIPANTS
+        )
         self.fragment: Fragment = build_fragment(plan, self)
         # scan op id -> participants this node must notify when it finishes its
         # index-node duties for that scan (precomputed by the initiator; during
@@ -460,11 +503,16 @@ class _NodeQueryContext:
     def initiator(self) -> str:
         return self.initiator_address
 
-    def send_rows(self, destination: str, exchange_id: int, rows: list[TaggedRow]) -> None:
-        self.service.send_data(self, destination, exchange_id, rows)
+    def send_rows(
+        self, destination: str, exchange_id: int, rows: list[TaggedRow], eos: bool = False
+    ) -> None:
+        self.service.send_data(self, destination, exchange_id, rows, eos=eos)
 
     def send_eos(self, destination: str, exchange_id: int) -> None:
         self.service.send_eos(self, destination, exchange_id)
+
+    def send_eos_summary(self, exchange_id: int, zero_destinations: list[str]) -> None:
+        self.service.send_eos_summary(self, exchange_id, zero_destinations)
 
     # -- scan end-of-stream bookkeeping -------------------------------------------------
 
@@ -549,6 +597,8 @@ class _ActiveQuery:
     phase: int = 0
     completed: bool = False
     traffic_start: object = None
+    #: ENCODING_STATS snapshot at launch; deltas feed ``statistics.encoding``.
+    encoding_start: dict = field(default_factory=dict)
     #: Canonical plan fingerprint (None when result caching is off) and one
     #: ``(relation, resolved epoch, pinned epoch)`` triple per leaf scan,
     #: recorded so the finished result can enter the semantic cache with
@@ -567,6 +617,13 @@ class _ActiveQuery:
     #: exhausting the restart budget resolves the operation through it
     #: instead of raising into the event loop.
     on_error: Callable[[Exception], None] | None = None
+    #: EOS-relay aggregation (large clusters only): ``(exchange_id, phase)``
+    #: -> ``{sender: [destinations the sender had no data for]}``.  Once every
+    #: live participant has reported, the initiator sends each listed
+    #: destination one aggregated ``query.eos`` and drops the entry.
+    eos_summaries: dict[tuple[int, int], dict[str, list[str]]] = field(
+        default_factory=dict
+    )
 
 
 class QueryService:
@@ -614,6 +671,16 @@ class QueryService:
     #: Tombstones retained for finished queries (see ``_finished_queries``).
     FINISHED_QUERY_HORIZON = 4096
 
+    #: Participant count at which rehash end-of-stream for zero-data pairs
+    #: switches from the direct per-pair fan-out to the initiator relay.  The
+    #: direct path costs one fixed-overhead message per empty (sender,
+    #: destination) pair — O(n²) on clusters where most pairs exchange no
+    #: rows — while the relay costs n summaries plus at most n aggregated
+    #: markers.  Below the crossover the per-query summary traffic would
+    #: exceed the handful of empty pairs it replaces, so small clusters keep
+    #: the direct path.
+    EOS_RELAY_MIN_PARTICIPANTS = 16
+
     def _note_finished(self, query_id: str) -> None:
         self._finished_queries[query_id] = None
         while len(self._finished_queries) > self.FINISHED_QUERY_HORIZON:
@@ -628,6 +695,7 @@ class QueryService:
         self.rpc.register("query.scan_failed", self._on_scan_failed)
         self.rpc.register("query.data", self._on_data)
         self.rpc.register("query.eos", self._on_eos)
+        self.rpc.register("query.eos_summary", self._on_eos_summary)
         self.rpc.register("query.recover", self._on_recover)
         self.rpc.register("query.abort", self._on_abort)
 
@@ -855,6 +923,7 @@ class QueryService:
             on_complete=on_complete,
             statistics=statistics,
             traffic_start=self.node.network.traffic.snapshot(),
+            encoding_start=ENCODING_STATS.snapshot(),
             fingerprint=fingerprint,
             scans=scanned,
             cache_publish_seq=cache_publish_seq,
@@ -1175,9 +1244,17 @@ class QueryService:
         destination: str,
         exchange_id: int,
         rows: list[TaggedRow],
+        eos: bool = False,
     ) -> None:
         attributes = rows[0].row.attributes if rows else ()
-        batch = TupleBatch.build(attributes, [row.row.values for row in rows])
+        values = [row.row.values for row in rows]
+        if context.encoding_enabled:
+            # Exchanges ship encoded columns: the charged wire size is the
+            # compressed *encoded* batch.  ``enable_encoding=False`` (the A/B
+            # knob mirroring ``enable_pushdown``) restores the raw batch size.
+            batch = EncodedTupleBatch.build(attributes, values)
+        else:
+            batch = TupleBatch.build(attributes, values)
         size = batch.wire_size
         if context.provenance_enabled:
             # Identical to batch_size(rows) - sum(row sizes): only the tag
@@ -1190,6 +1267,11 @@ class QueryService:
             "phase": context.phase,
             "rows": rows,
         }
+        if eos:
+            # Piggybacked end-of-stream marker: one flag byte on the final
+            # batch instead of a separate fixed-overhead query.eos message.
+            payload["eos"] = True
+            size += 1
         self.rpc.cast(destination, "query.data", payload, size)
 
     def send_eos(self, context: _NodeQueryContext, destination: str, exchange_id: int) -> None:
@@ -1201,14 +1283,85 @@ class QueryService:
         }
         self.rpc.cast(destination, "query.eos", payload, 12)
 
+    def send_eos_summary(
+        self, context: _NodeQueryContext, exchange_id: int, zero_destinations: list[str]
+    ) -> None:
+        """Report exchange completion to the initiator (large clusters only).
+
+        ``zero_destinations`` are the participants this sender shipped no rows
+        to; the initiator relays their end-of-stream in aggregate instead of
+        this node fanning out one empty-pair EOS message each.  Charged as the
+        12-byte control frame plus a destination bitmap over the participants.
+        """
+        payload = {
+            "query_id": context.query_id,
+            "exchange_id": exchange_id,
+            "sender": self.node.address,
+            "phase": context.phase,
+            "zero": list(zero_destinations),
+        }
+        size = 12 + (len(context.participants()) + 7) // 8
+        self.rpc.cast(context.initiator_address, "query.eos_summary", payload, size)
+
+    def _on_eos_summary(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        active = self._active.get(payload["query_id"])
+        if active is None or active.completed:
+            return
+        phase = payload["phase"]
+        if phase < active.phase:
+            # Stale report from before a recovery phase bump: the sender will
+            # re-run finish() in the current phase and report again.
+            return
+        key = (payload["exchange_id"], phase)
+        active.eos_summaries.setdefault(key, {})[payload["sender"]] = list(
+            payload["zero"]
+        )
+        self._maybe_relay_eos(active, key)
+
+    def _maybe_relay_eos(self, active: _ActiveQuery, key: tuple[int, int]) -> None:
+        """Relay aggregated EOS once every live sender reported ``key``."""
+        reports = active.eos_summaries.get(key)
+        if reports is None:
+            return
+        expected = {
+            address
+            for address in self.participants_of(active.snapshot)
+            if address not in active.failed_nodes
+        }
+        if not expected <= set(reports):
+            return
+        exchange_id, phase = key
+        del active.eos_summaries[key]
+        by_destination: dict[str, list[str]] = {}
+        for sender in sorted(expected):
+            for destination in reports[sender]:
+                by_destination.setdefault(destination, []).append(sender)
+        # One aggregated marker per destination: the control frame plus a
+        # sender bitmap over the participants.
+        size = 12 + (len(expected) + 7) // 8
+        for destination, senders in by_destination.items():
+            if destination in active.failed_nodes:
+                continue
+            relay_payload = {
+                "query_id": active.query_id,
+                "exchange_id": exchange_id,
+                "phase": phase,
+                "senders": senders,
+            }
+            self.rpc.cast(destination, "query.eos", relay_payload, size)
+
     def _on_data(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         query_id = payload["query_id"]
         exchange_id = payload["exchange_id"]
         rows: list[TaggedRow] = payload["rows"]
+        eos = payload.get("eos", False)
         active = self._active.get(query_id)
         if active is not None and exchange_id == active.plan.root.op_id:
             if not active.completed:
                 active.collector.accept(rows, active.failed_nodes)
+                if eos:
+                    active.collector.sender_eos(payload["sender"], payload["phase"])
+                    self._maybe_complete(active)
             return
         context = self._context_or_buffer("query.data", payload)
         if context is None:
@@ -1216,15 +1369,23 @@ class QueryService:
         receiver = context.fragment.receivers.get(exchange_id)
         if receiver is not None:
             receiver.accept(rows)
+            if eos:
+                receiver.sender_eos(payload["sender"], payload["phase"])
 
     def _on_eos(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         query_id = payload["query_id"]
         exchange_id = payload["exchange_id"]
-        sender = payload["sender"]
+        phase = payload["phase"]
+        # Direct EOS names one sender; an initiator relay carries the
+        # aggregated list of senders that had no data for this node.
+        senders = payload.get("senders")
+        if senders is None:
+            senders = (payload["sender"],)
         active = self._active.get(query_id)
         if active is not None and exchange_id == active.plan.root.op_id:
             if not active.completed:
-                active.collector.sender_eos(sender, payload["phase"])
+                for sender in senders:
+                    active.collector.sender_eos(sender, phase)
                 self._maybe_complete(active)
             return
         context = self._context_or_buffer("query.eos", payload)
@@ -1232,7 +1393,8 @@ class QueryService:
             return
         receiver = context.fragment.receivers.get(exchange_id)
         if receiver is not None:
-            receiver.sender_eos(sender, payload["phase"])
+            for sender in senders:
+                receiver.sender_eos(sender, phase)
 
     def _maybe_complete(self, active: _ActiveQuery) -> None:
         if active.completed or not active.collector.is_complete(
@@ -1244,6 +1406,9 @@ class QueryService:
         active.statistics.completed_at = network.now
         traffic = active.traffic_start.delta(network.traffic.snapshot())
         active.statistics._absorb_traffic(traffic)
+        active.statistics._absorb_encoding(
+            active.encoding_start, ENCODING_STATS.snapshot()
+        )
         active.statistics.rows_shipped = active.collector.rows_received
         result = QueryResult(
             attributes=active.plan.output_attributes(),
@@ -1424,6 +1589,7 @@ class QueryService:
         aborted_traffic = active.traffic_start.delta(self.node.network.traffic.snapshot())
         statistics = active.statistics
         statistics._absorb_traffic(aborted_traffic)
+        statistics._absorb_encoding(active.encoding_start, ENCODING_STATS.snapshot())
         statistics.restarts += 1
 
         def relaunch() -> None:
@@ -1466,6 +1632,13 @@ class QueryService:
         active.snapshot = new_snapshot
         active.phase += 1
         active.statistics.phases += 1
+        # Summaries gathered for earlier phases are void: every live sender
+        # re-runs finish() in the new phase and reports afresh.
+        active.eos_summaries = {
+            key: reports
+            for key, reports in active.eos_summaries.items()
+            if key[1] >= active.phase
+        }
 
         # Stage 2 will be executed at every node on receipt of the recover
         # message (drop tainted intermediate results).  The collector purges

@@ -33,6 +33,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..cache.node import NodeCache
 from ..common.errors import EpochNotFoundError, RelationNotFoundError, TupleNotFoundError
+from ..common.serialization import ENCODING_STATS, EncodedScanBatch
 from ..common.types import Schema, TupleId, Value, VersionedTuple
 from ..net.simnet import SimNode
 from ..net.transport import RpcEndpoint, rpc_endpoint
@@ -898,12 +899,20 @@ class _RetrieveOperation:
         )
 
     def _apply_pushdown(self, batch) -> list[VersionedTuple]:
-        """Filter/project a locally available full tuple batch.
+        """Filter/project a locally cached (encoded) full tuple batch.
 
         Applies the same predicate and projection the data nodes would have
         applied remotely, so a cache-served page produces byte-identical
         result tuples to a remotely scanned one — with zero wire traffic.
+        Cache entries are :class:`~repro.common.serialization.EncodedScanBatch`
+        objects: the key predicate runs over the (unencoded) tuple ids, the
+        pushed predicate is evaluated directly over the encoded columns, and
+        only surviving positions are decoded.  A batch the predicate provably
+        rules out is skipped without decoding a single value.
         """
+        if isinstance(batch, EncodedScanBatch):
+            return self._apply_pushdown_encoded(batch)
+        # Legacy path for plain tuple sequences (driver/test callers).
         pushdown = _pushdown()
         key_filter = pushdown.predicate_callable(self.key_predicate)
         row_filter = pushdown.predicate_callable(self.predicate)
@@ -912,6 +921,65 @@ class _RetrieveOperation:
             tuples = [t for t in tuples if key_filter(t.tuple_id.key_values)]
         if row_filter is not None:
             tuples = [t for t in tuples if row_filter(t.values)]
+        if self.projection is not None:
+            tuples = [
+                VersionedTuple(t.relation, t.tuple_id, self.projection.apply(t.values))
+                for t in tuples
+            ]
+        return tuples
+
+    def _apply_pushdown_encoded(self, batch: EncodedScanBatch) -> list[VersionedTuple]:
+        pushdown = _pushdown()
+        key_filter = pushdown.predicate_callable(self.key_predicate)
+        candidates: list[int] | None = None
+        if key_filter is not None:
+            candidates = [
+                i for i, tid in enumerate(batch.tuple_ids)
+                if key_filter(tid.key_values)
+            ]
+        residual_filter = None
+        if isinstance(self.predicate, pushdown.ScanPredicate):
+            positions, residual = pushdown.encoded_match_positions(
+                self.predicate, batch.batch
+            )
+            if positions is not None:
+                if candidates is None:
+                    candidates = positions
+                else:
+                    position_set = set(positions)
+                    candidates = [i for i in candidates if i in position_set]
+            residual_filter = pushdown.conjunction_callable(
+                residual, self.predicate.attributes
+            )
+        elif self.predicate is not None:
+            # Opaque callable (legacy API): nothing is decidable on codes.
+            residual_filter = pushdown.predicate_callable(self.predicate)
+        if candidates is not None and not candidates:
+            # Proved empty from tuple ids / encoded metadata alone.
+            ENCODING_STATS.batches_skipped += 1
+            return []
+        if self.projection is not None and residual_filter is None:
+            # Lazy column decode: only the projected columns of the surviving
+            # positions are ever materialised.
+            positions = (
+                candidates if candidates is not None
+                else list(range(len(batch.tuple_ids)))
+            )
+            columns = [
+                batch.batch.columns[i].decode_positions(positions)
+                for i in self.projection.positions()
+            ]
+            rows = list(zip(*columns)) if columns else [() for _ in positions]
+            return [
+                VersionedTuple(batch.relation, batch.tuple_ids[i], row)
+                for i, row in zip(positions, rows)
+            ]
+        if candidates is None:
+            tuples = batch.decode_tuples()
+        else:
+            tuples = batch.decode_tuples_at(candidates)
+        if residual_filter is not None:
+            tuples = [t for t in tuples if residual_filter(t.values)]
         if self.projection is not None:
             tuples = [
                 VersionedTuple(t.relation, t.tuple_id, self.projection.apply(t.values))
@@ -1083,7 +1151,13 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
                     VersionedTuple(t.relation, t.tuple_id, projection.apply(t.values))
                     for t in tuples
                 ]
-            size = sum(t.estimated_size() for t in tuples) + 24 * len(still_missing)
+            # Data nodes ship encoded columns: the charged size is the
+            # compressed encoded batch (ids + columnar payload), not the sum
+            # of raw per-tuple estimates.
+            size = (
+                EncodedScanBatch.from_tuples(tuples).stored_size()
+                + 24 * len(still_missing)
+            )
             rpc.cast(requester, "store.retrieve_result",
                      {"request_id": request_id, "page_id": page_id,
                       "tuples": tuples, "missing": still_missing}, size)

@@ -1,0 +1,122 @@
+"""Occupancy properties of the node cache under encoded batch accounting.
+
+Scan entries are stored as :class:`EncodedScanBatch` and charged at the
+*actual* encoded payload size — not the decoded tuple footprint — so the
+byte budget reflects what an entry really occupies and effective capacity
+grows with the encoding win.  The properties pinned here:
+
+* at every point of a random operation sequence, ``bytes_used`` equals the
+  sum of the live entries' charged sizes and never exceeds the budget;
+* a scan entry's charged size is exactly ``EncodedScanBatch.stored_size()``
+  (64-byte framing + 24 bytes per tuple id + the compressed encoded batch);
+* the per-relation residency aggregate stays consistent with the same sums
+  across eviction and invalidation.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.node import KIND_SCAN, NodeCache
+from repro.cache.policies import make_policy
+from repro.common.hashing import KEY_SPACE_SIZE, KeyRange
+from repro.common.serialization import EncodedScanBatch
+from repro.common.types import TupleId, VersionedTuple
+from repro.storage.pages import CoordinatorRecord, IndexPage, PageId, PageRef
+
+
+def make_tuples(relation, page, count, rng):
+    statuses = ("NEW", "OPEN", "DONE")
+    return [
+        VersionedTuple(
+            relation,
+            TupleId((f"{relation}-{page}-{i}",), 1),
+            (i, statuses[rng.randrange(3)], round(rng.uniform(1, 500), 2)),
+        )
+        for i in range(count)
+    ]
+
+
+def make_page(relation, epoch, sequence, ids=0):
+    span = KEY_SPACE_SIZE // 64
+    ref = PageRef(
+        PageId(relation, epoch, sequence),
+        KeyRange(sequence * span, (sequence + 1) * span),
+    )
+    return IndexPage(
+        ref,
+        [TupleId((f"{relation}-{sequence}-{i}",), epoch) for i in range(ids)],
+    )
+
+
+def live_sizes(cache: NodeCache) -> int:
+    return sum(entry.size for entry in cache.store.entries())
+
+
+class TestOccupancyInvariant:
+    @pytest.mark.parametrize("policy_name", ["lru", "greedy-dual"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bytes_used_tracks_charged_sizes(self, policy_name, seed):
+        rng = random.Random(seed)
+        budget = 6000
+        cache = NodeCache(budget, policy=make_policy(policy_name))
+        relations = ("orders", "lineitem")
+        for _step in range(600):
+            action = rng.random()
+            relation = rng.choice(relations)
+            sequence = rng.randrange(8)
+            if action < 0.35:
+                page_id = PageId(relation, 1, sequence)
+                cache.put_scan(
+                    page_id, make_tuples(relation, sequence, rng.randrange(1, 30), rng)
+                )
+            elif action < 0.55:
+                cache.put_page(make_page(relation, 1, sequence, rng.randrange(0, 40)))
+            elif action < 0.70:
+                record = CoordinatorRecord(
+                    relation, 1, [make_page(relation, 1, s).ref for s in range(4)]
+                )
+                cache.put_coordinator(record)
+            elif action < 0.80:
+                cache.put_resolution(relation, rng.randrange(5), 1)
+            elif action < 0.90:
+                cache.get_scan(PageId(relation, 1, sequence))
+            elif action < 0.97:
+                cache.note_publish(relation, rng.randrange(1, 3))
+            else:
+                cache.note_epoch(rng.randrange(1, 3))
+            assert cache.bytes_used == live_sizes(cache)
+            assert cache.bytes_used <= budget
+            # Per-relation residency equals the scan-entry sums.
+            for name in relations:
+                expected = sum(
+                    entry.size
+                    for entry in cache.store.entries()
+                    if entry.key[0] == KIND_SCAN and entry.key[1].relation == name
+                )
+                assert cache.cached_bytes_for_relation(name) == expected
+
+    def test_scan_entries_charged_at_encoded_size(self):
+        rng = random.Random(7)
+        cache = NodeCache(1 << 20)
+        page_id = PageId("orders", 1, 0)
+        tuples = make_tuples("orders", 0, 50, rng)
+        cache.put_scan(page_id, tuples)
+        (entry,) = [e for e in cache.store.entries() if e.key[0] == KIND_SCAN]
+        reference = EncodedScanBatch.from_tuples(tuple(tuples))
+        assert entry.size == reference.stored_size()
+        # The charge is the compressed encoded payload, which undercuts the
+        # raw decoded footprint for these repetitive columns.
+        assert reference.batch.compressed_size <= reference.batch.raw_size
+        # And the cached value round-trips to the original tuples.
+        assert cache.get_scan(page_id).decode_tuples() == tuples
+
+    def test_oversized_scan_batch_never_evicts(self):
+        rng = random.Random(9)
+        cache = NodeCache(500)
+        cache.put_resolution("orders", 1, 1)
+        held = cache.bytes_used
+        cache.put_scan(PageId("orders", 1, 0), make_tuples("orders", 0, 500, rng))
+        # The oversized batch is rejected outright; prior entries survive.
+        assert cache.bytes_used == held
+        assert cache.get_resolution("orders", 1) == 1

@@ -1,0 +1,266 @@
+"""Decode-counter proofs for predicate evaluation over encoded batches.
+
+The point of keeping batches encoded is that a pushed predicate can reject
+rows — or whole batches — without materialising a single value.  These tests
+instrument :data:`ENCODING_STATS` around :func:`encoded_match_positions` and
+the cache-hit pushdown path and assert the counters directly: dictionary
+equality misses, frame-of-reference range misses and run-length misses must
+leave ``values_decoded`` untouched, and a surviving predicate must decode
+*only* the surviving positions.  Cross-type variants (``1`` / ``1.0`` /
+``True`` compare equal but decode distinctly) are covered explicitly because
+they are the easiest way for a dictionary translation to go wrong.
+"""
+
+import pytest
+
+from repro.common.serialization import (
+    ENCODING_STATS,
+    DictColumn,
+    EncodedScanBatch,
+    EncodedTupleBatch,
+    ForColumn,
+    RleColumn,
+)
+from repro.common.types import TupleId, VersionedTuple
+from repro.query.expressions import Column, Comparison, InList, Literal, and_
+from repro.query.pushdown import ScanPredicate, encoded_match_positions
+from repro.storage.client import _RetrieveOperation
+
+
+@pytest.fixture(autouse=True)
+def reset_stats():
+    before = ENCODING_STATS.snapshot()
+    ENCODING_STATS.reset()
+    yield
+    # Restore the process-wide counters so unrelated tests observing deltas
+    # (bench capture, observability) are unaffected by this module.
+    ENCODING_STATS.reset()
+    ENCODING_STATS.batches_encoded = before["batches_encoded"]
+    ENCODING_STATS.encoded_bytes.update(before["encoded_bytes"])
+    ENCODING_STATS.columns_decoded = before["columns_decoded"]
+    ENCODING_STATS.values_decoded = before["values_decoded"]
+    ENCODING_STATS.batches_decoded = before["batches_decoded"]
+    ENCODING_STATS.batches_skipped = before["batches_skipped"]
+
+
+def predicate(expression, attributes):
+    return ScanPredicate(expression, attributes)
+
+
+def equals(name, value):
+    return Comparison("=", Column(name), Literal(value))
+
+
+def build_batch(attributes, rows):
+    batch = EncodedTupleBatch.build(attributes, rows)
+    # The counters under test are the *decode* side.
+    ENCODING_STATS.columns_decoded = 0
+    ENCODING_STATS.values_decoded = 0
+    return batch
+
+
+class TestDictEqualitySkipping:
+    def test_miss_decodes_nothing(self):
+        rows = [(f"key-{i}", "A" if i % 2 else "B") for i in range(64)]
+        batch = build_batch(("k", "flag"), rows)
+        assert isinstance(batch.columns[1], DictColumn)
+        positions, residual = encoded_match_positions(
+            predicate(equals("flag", "Z"), ("k", "flag")), batch
+        )
+        assert positions == [] and residual == []
+        assert ENCODING_STATS.values_decoded == 0
+        assert ENCODING_STATS.columns_decoded == 0
+
+    def test_hit_decodes_only_survivors(self):
+        rows = [(i, "A" if i % 4 == 0 else "B") for i in range(64)]
+        batch = build_batch(("k", "flag"), rows)
+        positions, residual = encoded_match_positions(
+            predicate(equals("flag", "A"), ("k", "flag")), batch
+        )
+        assert positions == [i for i in range(64) if i % 4 == 0]
+        assert residual == []
+        assert ENCODING_STATS.values_decoded == 0  # matching itself decodes nothing
+        survivors = batch.decode_rows_at(positions)
+        assert [row[1] for row in survivors] == ["A"] * len(positions)
+        assert ENCODING_STATS.values_decoded == len(positions) * 2
+
+    def test_in_list_translates_against_dictionary(self):
+        rows = [(i, ("R", "G", "B")[i % 3]) for i in range(30)]
+        batch = build_batch(("k", "colour"), rows)
+        expression = InList(Column("colour"), ("G", "missing", None))
+        positions, residual = encoded_match_positions(
+            predicate(expression, ("k", "colour")), batch
+        )
+        assert positions == [i for i in range(30) if i % 3 == 1]
+        assert residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+
+class TestRangeSkipping:
+    def test_for_bounds_reject_whole_batch(self):
+        rows = [(100 + i, 2.0 + (i % 7) / 4.0) for i in range(64)]
+        batch = build_batch(("k", "rate"), rows)
+        assert isinstance(batch.columns[0], ForColumn)
+        for expression in (
+            Comparison(">", Column("k"), Literal(10_000)),
+            Comparison("<", Column("k"), Literal(100)),
+            Comparison("<=", Column("k"), Literal(99)),
+            Comparison(">=", Column("k"), Literal(164)),
+            equals("k", 5),
+        ):
+            positions, residual = encoded_match_positions(
+                predicate(expression, ("k", "rate")), batch
+            )
+            assert positions == [] and residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_rle_runs_reject_whole_batch(self):
+        rows = [("pending",) for _ in range(40)] + [("shipped",) for _ in range(24)]
+        batch = build_batch(("status",), rows)
+        assert isinstance(batch.columns[0], RleColumn)
+        positions, residual = encoded_match_positions(
+            predicate(equals("status", "cancelled"), ("status",)), batch
+        )
+        assert positions == [] and residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_scaled_decimal_bounds(self):
+        rows = [(i, 10.25 + (i % 50) * 0.25) for i in range(128)]
+        batch = build_batch(("k", "price"), rows)
+        price = batch.columns[1]
+        assert isinstance(price, ForColumn) and price.scale == 2
+        positions, _ = encoded_match_positions(
+            predicate(Comparison(">", Column("price"), Literal(500.0)), ("k", "price")),
+            batch,
+        )
+        assert positions == []
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_null_literal_comparison_rejects_without_decoding(self):
+        rows = [(i,) for i in range(32)]
+        batch = build_batch(("k",), rows)
+        positions, residual = encoded_match_positions(
+            predicate(equals("k", None), ("k",)), batch
+        )
+        assert positions == [] and residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+
+class TestCrossTypeVariants:
+    """1 / 1.0 / True compare equal; skipping must honour ``==`` semantics."""
+
+    ROWS = [(v,) for v in (1, 1.0, True, 2, 2.0, False, 1, 1.0)]
+
+    def test_equality_matches_every_equal_variant(self):
+        batch = build_batch(("v",), self.ROWS)
+        assert isinstance(batch.columns[0], DictColumn)
+        positions, residual = encoded_match_positions(
+            predicate(equals("v", 1), ("v",)), batch
+        )
+        # Python == conflates the variants, so all three must survive.
+        assert positions == [0, 1, 2, 6, 7]
+        assert residual == []
+        assert ENCODING_STATS.values_decoded == 0
+        decoded = batch.decode_rows_at(positions)
+        assert [repr(row[0]) for row in decoded] == ["1", "1.0", "True", "1", "1.0"]
+
+    def test_miss_with_variants_present_skips_undecoded(self):
+        batch = build_batch(("v",), self.ROWS)
+        positions, residual = encoded_match_positions(
+            predicate(equals("v", 3), ("v",)), batch
+        )
+        assert positions == [] and residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_boolean_literal_matches_numeric_variants(self):
+        batch = build_batch(("v",), self.ROWS)
+        positions, _ = encoded_match_positions(
+            predicate(equals("v", True), ("v",)), batch
+        )
+        assert positions == [0, 1, 2, 6, 7]
+        assert ENCODING_STATS.values_decoded == 0
+
+
+class TestConjunctionsAndResiduals:
+    def test_conjunction_intersects_before_decoding(self):
+        rows = [(i, "A" if i < 8 else "B", 1.25 * i) for i in range(32)]
+        batch = build_batch(("k", "flag", "price"), rows)
+        expression = and_(
+            equals("flag", "A"), Comparison(">=", Column("k"), Literal(4))
+        )
+        positions, residual = encoded_match_positions(
+            predicate(expression, ("k", "flag", "price")), batch
+        )
+        assert positions == [4, 5, 6, 7]
+        assert residual == []
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_multi_column_conjunct_becomes_residual(self):
+        rows = [(i, i * 2) for i in range(16)]
+        batch = build_batch(("a", "b"), rows)
+        expression = Comparison("<", Column("a"), Column("b"))
+        positions, residual = encoded_match_positions(
+            predicate(expression, ("a", "b")), batch
+        )
+        assert positions is None  # nothing decidable on the encoded form
+        assert residual == [expression]
+        assert ENCODING_STATS.values_decoded == 0
+
+
+def make_operation(key_predicate=None, pushed=None, projection=None):
+    operation = object.__new__(_RetrieveOperation)
+    operation.key_predicate = key_predicate
+    operation.predicate = pushed
+    operation.projection = projection
+    return operation
+
+
+class TestCacheHitPushdownPath:
+    """The scan-cache fast path: skipped batches bump ``batches_skipped``."""
+
+    @staticmethod
+    def scan_batch(count=48):
+        tuples = [
+            VersionedTuple(
+                "orders",
+                TupleId((f"o{i}",), 1),
+                (i, "URGENT" if i % 6 == 0 else "NORMAL", 100.25 + i),
+            )
+            for i in range(count)
+        ]
+        batch = EncodedScanBatch.from_tuples(tuples)
+        ENCODING_STATS.columns_decoded = 0
+        ENCODING_STATS.values_decoded = 0
+        ENCODING_STATS.batches_skipped = 0
+        return tuples, batch
+
+    def test_provably_empty_batch_is_skipped_undecoded(self):
+        _, batch = self.scan_batch()
+        operation = make_operation(
+            pushed=ScanPredicate(
+                equals("priority", "LOW"), ("key", "priority", "total")
+            )
+        )
+        assert operation._apply_pushdown(batch) == []
+        assert ENCODING_STATS.batches_skipped == 1
+        assert ENCODING_STATS.values_decoded == 0
+
+    def test_surviving_positions_decode_exactly(self):
+        tuples, batch = self.scan_batch()
+        operation = make_operation(
+            pushed=ScanPredicate(
+                equals("priority", "URGENT"), ("key", "priority", "total")
+            )
+        )
+        result = operation._apply_pushdown(batch)
+        expected = [t for t in tuples if t.values[1] == "URGENT"]
+        assert result == expected
+        assert ENCODING_STATS.batches_skipped == 0
+        # Three columns, decoded only at the surviving positions.
+        assert ENCODING_STATS.values_decoded == 3 * len(expected)
+
+    def test_unfiltered_batch_decodes_everything_once(self):
+        tuples, batch = self.scan_batch()
+        operation = make_operation()
+        assert operation._apply_pushdown(batch) == tuples
+        assert ENCODING_STATS.values_decoded == 3 * len(tuples)

@@ -60,6 +60,7 @@ TPCH_SCALE = 0.25
 NO_CACHE = QueryOptions(use_result_cache=False)
 BASELINE = PlannerOptions(enable_pushdown=False)
 NO_PRUNE = PlannerOptions(enable_page_pruning=False)
+NO_ENCODING = PlannerOptions(enable_encoding=False)
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +110,16 @@ class TestFigureQueries:
         assert normalise(cold.rows) == expected
         assert normalise(warm.rows) == expected
         assert warm.statistics.result_cache_hit
+
+    @pytest.mark.parametrize("query_name", tpch.QUERIES)
+    def test_unencoded_matches_reference(self, tpch_cluster, tpch_instance, query_name):
+        """``enable_encoding=False`` A/B: raw-batch wire path, identical rows."""
+        query = tpch.query(query_name)
+        expected = normalise(evaluate_query(query, tpch_instance.relations))
+        unencoded = tpch_cluster.query(
+            tpch.query(query_name), options=NO_CACHE, planner_options=NO_ENCODING
+        )
+        assert normalise(unencoded.rows) == expected
 
     def test_pushdown_and_baseline_fingerprints_differ(self, tpch_instance):
         """Pushed and lifted plans must not share a result-cache entry."""
@@ -467,11 +478,15 @@ class TestChaosSweep:
     Each seed derives the victim, the crash time, the recovery mode and
     whether the victim restarts mid-query.  The query pushes both a residual
     predicate and a narrowed projection into its scans, so recovery rescans
-    exercise the pushdown path end to end.
+    exercise the pushdown path end to end.  Every seed runs with columnar
+    encoding on and off: recovery must be row-identical on both wire formats.
     """
 
+    @pytest.mark.parametrize(
+        "encoding", [True, False], ids=["encoded", "unencoded"]
+    )
     @pytest.mark.parametrize("seed", range(PUSHDOWN_CHAOS_SEEDS))
-    def test_pushdown_correct_under_crash_restart(self, seed):
+    def test_pushdown_correct_under_crash_restart(self, seed, encoding):
         import random
 
         rng = random.Random(1000 + seed)
@@ -504,6 +519,7 @@ class TestChaosSweep:
         result = cluster.query(
             query,
             options=QueryOptions(recovery_mode=mode, use_result_cache=False),
+            planner_options=PlannerOptions(enable_encoding=encoding),
         )
         expected = evaluate_query(query, {"CR": r, "CS": s})
         assert normalise(result.rows) == normalise(expected), (
