@@ -1,0 +1,144 @@
+"""Complexity pins for the large-cluster scaling work (Section VI at 200+ nodes).
+
+Every test here pins an *operation or byte count* at two cluster sizes rather
+than wall-clock time, so the pins hold on any machine.  Each corresponds to a
+former superlinear wall found while profiling the committed scaling curve
+(``BENCH_scale.json``, produced by ``python -m repro.bench.scale``):
+
+* mid-query failure recovery broadcast ``query.scan_done`` to every
+  participant from every rescanning index node — O(n²) messages per failure;
+* the epoch gossip contacted every peer instead of ``FANOUT`` peers;
+* a crash-restart rejoin collected the full member list from *every* seed —
+  O(n²) bytes per churn event.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import _build_fresh_tpch_cluster
+from repro.bench.scale import _churn_config, check_scaling, fit_exponent, run_scale_point
+from repro.common.types import RelationData, Schema
+from repro.faults.scenarios import ScenarioRunner
+from repro.query.service import RECOVERY_INCREMENTAL, QueryOptions
+from repro.workloads import tpch
+
+
+def _recovery_traffic(num_nodes, failure_offset=0.001):
+    """Run TPC-H Q10 with a mid-query failure; return the traffic delta."""
+    cluster, _ = _build_fresh_tpch_cluster(num_nodes, 2.0, 0, 0.002)
+    cluster.enable_query_processing()
+    victim = cluster.addresses[num_nodes // 2]
+    cluster.fail_node(victim, at_time=cluster.now + failure_offset)
+    before = cluster.network.traffic.snapshot()
+    result = cluster.query(
+        tpch.query("Q10"),
+        options=QueryOptions(recovery_mode=RECOVERY_INCREMENTAL, use_result_cache=False),
+    )
+    delta = before.delta(cluster.network.traffic.snapshot())
+    return delta, result
+
+
+def test_recovery_scan_done_is_not_a_broadcast(benchmark):
+    """Per-failure ``query.scan_done`` messages grow ~linearly with nodes.
+
+    Before the fix every rescanning index node notified *all* participants,
+    so a 4x node count meant ~16x messages; the narrowed receiver sets
+    (``_recovery_receivers``) keep the per-rescanner fan-out bounded by the
+    owners of the rescanned ranges.
+    """
+
+    def measure():
+        small_delta, small_result = _recovery_traffic(8)
+        large_delta, large_result = _recovery_traffic(32)
+        return small_delta, small_result, large_delta, large_result
+
+    small_delta, small_result, large_delta, large_result = run_once(benchmark, measure)
+    small = small_delta.messages_by_kind.get("query.scan_done", 0)
+    large = large_delta.messages_by_kind.get("query.scan_done", 0)
+    # The failure must actually interrupt the query for the pin to bite.
+    assert small_delta.messages_by_kind.get("query.recover", 0) > 0
+    assert large_delta.messages_by_kind.get("query.recover", 0) > 0
+    assert small > 0 and large > 0
+    # 4x the nodes: a broadcast would be ~16x the messages; allow ~2x slack
+    # over linear for the slight growth in owners per rescanned range.
+    assert large <= 10 * small, (small, large)
+    # Recovery still yields the right answer at both sizes.
+    assert len(small_result.rows) == len(large_result.rows) > 0
+
+
+def test_churn_scenario_event_count_scales_subquadratically(benchmark):
+    """The elastic-churn scenario's simulator events stay near-linear."""
+
+    def measure():
+        results = {}
+        for nodes in (40, 80):
+            runner = ScenarioRunner(0, _churn_config(nodes))
+            report = runner.run()
+            results[nodes] = (runner.cluster.network.events_processed, report)
+        return results
+
+    results = run_once(benchmark, measure)
+    for nodes, (_events, report) in results.items():
+        assert report.violations == [], (nodes, report.violations)
+    small, large = results[40][0], results[80][0]
+    # 2x the nodes: quadratic would be 4x the events.
+    assert large <= 3 * small, (small, large)
+
+
+def test_scale_point_and_gate_roundtrip(benchmark):
+    """One small scale point runs end to end and passes its own gate."""
+    point = run_once(
+        benchmark, run_scale_point, 8, seed=0, query_rounds=1, include_churn=True
+    )
+    assert point["nodes"] == 8
+    assert point["totals"]["events"] > 0
+    assert point["totals"]["bytes"] > 0
+    assert point["churn_violations"] == []
+    document = {"points": [point], "scaling": {}}
+    # Identical runs must agree exactly on the deterministic counters.
+    fresh = run_scale_point(8, seed=0, query_rounds=1, include_churn=True)
+    failures = check_scaling(document, {"points": [fresh]}, tolerance=0.0)
+    assert failures == [], failures
+
+
+def test_fit_exponent_recovers_known_slopes():
+    linear = [{"nodes": n, "totals": {"events": 7 * n}} for n in (8, 32, 128)]
+    quadratic = [{"nodes": n, "totals": {"events": n * n}} for n in (8, 32, 128)]
+    def metric(point):
+        return point["totals"]["events"]
+
+    assert abs(fit_exponent(linear, metric) - 1.0) < 1e-6
+    assert abs(fit_exponent(quadratic, metric) - 2.0) < 1e-6
+
+
+def _publish_epoch_bump(cluster):
+    data = RelationData(Schema("gossip_probe", ["k", "v"], key=["k"]))
+    for i in range(8):
+        data.add(f"k{i}", i)
+    before = cluster.network.traffic.snapshot()
+    cluster.publish(data)
+    cluster.run()
+    return before.delta(cluster.network.traffic.snapshot())
+
+
+def test_gossip_round_messages_scale_with_fanout_not_membership(benchmark):
+    """An epoch bump costs O(FANOUT * n) gossip messages, not O(n^2)."""
+
+    def measure():
+        counts = {}
+        for nodes in (24, 48):
+            from repro.cluster import Cluster
+
+            cluster = Cluster(nodes)
+            cluster.run()
+            delta = _publish_epoch_bump(cluster)
+            counts[nodes] = delta.messages_by_kind.get("gossip.epoch", 0)
+        return counts
+
+    counts = run_once(benchmark, measure)
+    assert counts[24] > 0
+    # 2x the nodes: an all-peers push would be ~4x the messages.
+    assert counts[48] <= 2.75 * counts[24], counts
+    # Absolute bound: a handful of FANOUT-wide rounds per node per epoch bump.
+    from repro.overlay.gossip import EpochGossip
+
+    assert counts[48] <= 48 * (EpochGossip.FANOUT + 1), counts

@@ -1,0 +1,484 @@
+"""Simulator scaling harness: Python cost of virtual time vs cluster size.
+
+The figure benchmarks report *simulated* seconds and bytes; this harness
+measures the simulator itself — how much real Python wall-clock one virtual
+second costs as the membership grows — so that O(n) walls in the overlay,
+gossip or query layers show up as a super-linear scaling curve long before
+they make the figure sweeps unrunnable.  Each scale point runs two phases on
+a fresh cluster:
+
+* **workload** — publish a fixed-size TPC-H instance (the *same* data at
+  every point, so only the membership scales) and run figure queries,
+  recording events processed, virtual seconds, wire traffic and the p99
+  virtual-time query latency;
+* **churn** — a seeded elastic-churn scenario (join / graceful leave /
+  crash-restart under sustained mixed load, see
+  :meth:`repro.faults.scenarios.ScenarioConfig.churn_only`) whose invariants
+  must all hold.
+
+The committed trajectory lives in ``BENCH_scale.json``::
+
+    PYTHONPATH=src python -m repro.bench.scale --output BENCH_scale.json
+
+and the CI gate re-runs the suite and compares::
+
+    PYTHONPATH=src python -m repro.bench.scale --check BENCH_scale.json
+
+``--check`` fails (exit 1) when the scaling exponent — the log-log slope of
+wall-clock per virtual second against the node count — reaches 2.0 (the
+membership is a full one-hop ring, so per-event work may grow with n, but
+quadratic growth means some per-event path scans the whole cluster), when the
+deterministic counters (events processed, wire bytes) of any point drift from
+the committed reference by more than ``--tolerance``, or when any churn
+invariant is violated.  Wall-clock seconds themselves are *never* compared
+across machines: the exponent is a within-run ratio, and the recorded
+``calibration_seconds`` (the same fixed spin loop ``BENCH_perf.json`` uses)
+lets a human normalise absolute times when reading the file.
+
+CI knobs: ``SCALE_POINTS`` (comma-separated node counts) overrides the
+default sweep, ``CHURN_SEEDS`` sets the seed-sweep width of ``--churn-sweep``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from .perf import _time_best_of, bench_calibration_spin
+
+#: Node counts of the committed sweep (the paper targets "up to a few hundred
+#: participants"; 500 probes the headroom past that).
+DEFAULT_POINTS = (8, 32, 100, 200, 500)
+
+#: Figure queries of the workload phase: a wide aggregate (Q1), a join that
+#: rehash-shuffles between every pair of participants (Q3) and a selective
+#: scan (Q6).  The data volume is fixed, so growth comes from membership.
+WORKLOAD_QUERIES = ("Q1", "Q3", "Q6")
+
+#: TPC-H scale factor of the workload phase — fixed across every point.
+WORKLOAD_SCALE_FACTOR = 2.0
+
+#: Times each workload query runs (latency samples for the p99).
+QUERY_ROUNDS = 3
+
+#: The scaling gate: the log-log slope of wall-per-virtual-second (and of the
+#: deterministic event count) against node count must stay below this.
+EXPONENT_LIMIT = 2.0
+
+#: Default drift tolerance for the deterministic counters under ``--check``.
+DEFAULT_TOLERANCE = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Phase metering
+# ---------------------------------------------------------------------------
+
+
+def _measure_phase(network, func: Callable[[], None]) -> dict:
+    """Run ``func`` and attribute its wall-clock to the simulator's progress.
+
+    ``events`` (heap events processed) and the traffic counters are exact and
+    machine-independent; ``wall_seconds`` is this process's cost of producing
+    them.
+    """
+    traffic_before = network.traffic.snapshot()
+    events_before = network.events_processed
+    virtual_before = network.now
+    started = time.perf_counter()
+    func()
+    wall = time.perf_counter() - started
+    traffic = traffic_before.delta(network.traffic.snapshot())
+    events = network.events_processed - events_before
+    virtual = network.now - virtual_before
+    return {
+        "wall_seconds": round(wall, 6),
+        "virtual_seconds": round(virtual, 6),
+        "events": events,
+        "bytes": traffic.total_bytes,
+        "messages": traffic.total_messages,
+        "wall_per_virtual_second": round(wall / virtual, 6) if virtual > 0 else 0.0,
+        "us_per_event": round(wall / events * 1e6, 3) if events else 0.0,
+    }
+
+
+def _quantile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (deterministic, no interpolation surprises)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+# ---------------------------------------------------------------------------
+# Scale points
+# ---------------------------------------------------------------------------
+
+
+def _churn_config(nodes: int):
+    from ..faults.scenarios import ScenarioConfig
+
+    return ScenarioConfig(
+        num_nodes=nodes,
+        joins=1,
+        leaves=1,
+        restarts=1,
+        num_ops=12,
+    ).churn_only()
+
+
+def run_scale_point(
+    nodes: int,
+    seed: int = 0,
+    scale_factor: float = WORKLOAD_SCALE_FACTOR,
+    queries: Sequence[str] = WORKLOAD_QUERIES,
+    query_rounds: int = QUERY_ROUNDS,
+    include_churn: bool = True,
+) -> dict:
+    """Measure one cluster size; returns the per-point document."""
+    from ..cluster import Cluster
+    from ..faults.scenarios import ScenarioRunner
+    from ..net.profiles import LAN_GIGABIT
+    from ..overlay.routing import RoutingSnapshot
+    from ..query.service import QueryOptions
+    from ..workloads import tpch
+
+    # Generated outside the timed phases: the generator's cost is independent
+    # of the node count and would flatten the fitted exponent.
+    instance = tpch.generate(scale_factor, seed)
+    snapshot_builds_before = RoutingSnapshot.build_count
+
+    phases: dict[str, dict] = {}
+    cluster_box: list = []
+
+    def build() -> None:
+        cluster = Cluster(nodes, profile=LAN_GIGABIT)
+        cluster.publish_relations(instance.relation_list())
+        cluster.enable_query_processing()
+        cluster_box.append(cluster)
+
+    started = time.perf_counter()
+    build()
+    cluster = cluster_box[0]
+    phases["build"] = {
+        "wall_seconds": round(time.perf_counter() - started, 6),
+        "virtual_seconds": round(cluster.network.now, 6),
+        "events": cluster.network.events_processed,
+        "bytes": cluster.traffic_snapshot().total_bytes,
+        "messages": cluster.traffic_snapshot().total_messages,
+    }
+
+    latencies: list[float] = []
+    options = QueryOptions(use_result_cache=False)
+
+    def run_queries() -> None:
+        for _ in range(query_rounds):
+            for name in queries:
+                before = cluster.now
+                cluster.query(tpch.query(name), options=options)
+                latencies.append(cluster.now - before)
+
+    phases["queries"] = _measure_phase(cluster.network, run_queries)
+
+    point = {
+        "nodes": nodes,
+        "phases": phases,
+        "p99_latency_s": round(_quantile(latencies, 0.99), 6),
+        "snapshot_builds": RoutingSnapshot.build_count - snapshot_builds_before,
+    }
+
+    if include_churn:
+        runner_box: list = []
+
+        def run_churn() -> None:
+            runner = ScenarioRunner(seed, _churn_config(nodes))
+            report = runner.run()
+            runner_box.append((runner, report))
+
+        started = time.perf_counter()
+        run_churn()
+        runner, report = runner_box[0]
+        network = runner.cluster.network
+        phases["churn"] = {
+            "wall_seconds": round(time.perf_counter() - started, 6),
+            "virtual_seconds": round(network.now, 6),
+            "events": network.events_processed,
+            "bytes": network.traffic.total_bytes,
+            "messages": network.traffic.total_messages,
+        }
+        point["churn_violations"] = list(report.violations)
+
+    # The gated aggregate: total Python seconds per total virtual second,
+    # with the deterministic totals alongside for the drift check.
+    wall = sum(phase["wall_seconds"] for phase in phases.values())
+    virtual = sum(phase["virtual_seconds"] for phase in phases.values())
+    events = sum(phase["events"] for phase in phases.values())
+    point["totals"] = {
+        "wall_seconds": round(wall, 6),
+        "virtual_seconds": round(virtual, 6),
+        "events": events,
+        "bytes": sum(phase["bytes"] for phase in phases.values()),
+        "messages": sum(phase["messages"] for phase in phases.values()),
+        "wall_per_virtual_second": round(wall / virtual, 6) if virtual > 0 else 0.0,
+    }
+    return point
+
+
+# ---------------------------------------------------------------------------
+# The suite and its scaling fit
+# ---------------------------------------------------------------------------
+
+
+def fit_exponent(points: Sequence[dict], metric: Callable[[dict], float]) -> float:
+    """Least-squares slope of log(metric) against log(nodes)."""
+    xs = [math.log(point["nodes"]) for point in points]
+    ys = [math.log(max(metric(point), 1e-12)) for point in points]
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+
+
+def _exponents(points: Sequence[dict]) -> dict:
+    return {
+        "wall_per_virtual": round(
+            fit_exponent(points, lambda p: p["totals"]["wall_per_virtual_second"]), 4
+        ),
+        "wall_seconds": round(
+            fit_exponent(points, lambda p: p["totals"]["wall_seconds"]), 4
+        ),
+        "events": round(fit_exponent(points, lambda p: p["totals"]["events"]), 4),
+        "bytes": round(fit_exponent(points, lambda p: p["totals"]["bytes"]), 4),
+    }
+
+
+def run_scale_suite(
+    points: Sequence[int] = DEFAULT_POINTS,
+    seed: int = 0,
+    include_churn: bool = True,
+) -> dict:
+    """Run every scale point; returns the BENCH_scale.json document."""
+    calibration_seconds, _ops = _time_best_of(3, bench_calibration_spin)
+    # Discarded warm-up point: pays the lazy imports (query engine, faults
+    # harness) and bytecode warm-up once, so the smallest measured point's
+    # wall-clock is not inflated relative to the larger ones.
+    run_scale_point(4, seed=seed, query_rounds=1, include_churn=include_churn)
+    measured = []
+    for nodes in sorted(points):
+        point = run_scale_point(nodes, seed=seed, include_churn=include_churn)
+        measured.append(point)
+        totals = point["totals"]
+        print(
+            f"scale.n{nodes:<4d} {totals['wall_seconds']:8.2f} s wall  "
+            f"{totals['virtual_seconds']:8.3f} s virtual  "
+            f"{totals['events']:>9,d} events  "
+            f"{totals['bytes']:>12,d} B  "
+            f"p99 {point['p99_latency_s'] * 1e3:7.2f} ms",
+            file=sys.stderr,
+        )
+        violations = point.get("churn_violations", [])
+        if violations:
+            print(f"scale.n{nodes} churn violations: {violations}", file=sys.stderr)
+    exponents = _exponents(measured) if len(measured) >= 2 else {}
+    if exponents:
+        print(f"scale.exponents {exponents}", file=sys.stderr)
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "seed": seed,
+            "points": [point["nodes"] for point in measured],
+            "scale_factor": WORKLOAD_SCALE_FACTOR,
+            "queries": list(WORKLOAD_QUERIES),
+            "query_rounds": QUERY_ROUNDS,
+            "churn": include_churn,
+            "calibration_seconds": round(calibration_seconds, 6),
+        },
+        "points": measured,
+        "scaling": {"exponents": exponents, "exponent_limit": EXPONENT_LIMIT},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Regression check (CI scale-smoke)
+# ---------------------------------------------------------------------------
+
+
+def check_scaling(
+    reference: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Gate a fresh run against the committed reference; returns failures.
+
+    * Churn invariants must hold at every fresh point.
+    * The fresh scaling exponents (when the run has at least three points)
+      must stay below :data:`EXPONENT_LIMIT`.
+    * Deterministic counters (events, bytes) of every point present in both
+      runs must agree within ``tolerance`` — they drift only when behaviour
+      changed, never from machine speed.
+
+    Wall-clock seconds are never compared across runs (machines differ); the
+    exponent is the timing gate because it is a within-run ratio.
+    """
+    failures: list[str] = []
+    fresh_points = {point["nodes"]: point for point in fresh.get("points", [])}
+    reference_points = {point["nodes"]: point for point in reference.get("points", [])}
+
+    for nodes, point in sorted(fresh_points.items()):
+        for violation in point.get("churn_violations", []):
+            failures.append(f"scale.n{nodes}: churn invariant violated: {violation}")
+
+    if len(fresh_points) >= 3:
+        exponents = _exponents(sorted(fresh_points.values(), key=lambda p: p["nodes"]))
+        for name in ("wall_per_virtual", "events"):
+            if exponents[name] >= EXPONENT_LIMIT:
+                failures.append(
+                    f"scaling exponent {name} = {exponents[name]:.3f} "
+                    f">= limit {EXPONENT_LIMIT} (super-quadratic growth)"
+                )
+
+    for nodes, point in sorted(fresh_points.items()):
+        committed = reference_points.get(nodes)
+        if committed is None:
+            continue
+        for counter in ("events", "bytes"):
+            old = committed["totals"][counter]
+            new = point["totals"][counter]
+            if old and abs(new - old) / old > tolerance:
+                failures.append(
+                    f"scale.n{nodes}: {counter} drifted {old:,d} -> {new:,d} "
+                    f"({(new - old) / old:+.1%}, tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Churn seed sweep
+# ---------------------------------------------------------------------------
+
+
+def run_churn_sweep(seeds: int, nodes: int = 100, first_seed: int = 0) -> list[str]:
+    """Run the churn scenario over a seed range; returns violation strings."""
+    from ..faults.scenarios import ScenarioRunner
+
+    failures: list[str] = []
+    config = _churn_config(nodes)
+    for seed in range(first_seed, first_seed + seeds):
+        report = ScenarioRunner(seed, config).run()
+        status = "OK  " if report.ok else "FAIL"
+        print(
+            f"churn {status} seed={seed} nodes={nodes} "
+            f"acked={report.ops_acked}/{report.ops_submitted} "
+            f"recovery={report.recovery_seconds:.3f}s",
+            file=sys.stderr,
+        )
+        for violation in report.violations:
+            failures.append(f"churn seed {seed}: {violation}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _parse_points(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulator scaling benchmark (wall-clock per virtual second)."
+    )
+    parser.add_argument("--output", default=None, help="write BENCH_scale.json here")
+    parser.add_argument(
+        "--check", default=None,
+        help="re-run and gate against this committed BENCH_scale.json",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--points",
+        default=os.environ.get("SCALE_POINTS", ""),
+        help="comma-separated node counts (default: env SCALE_POINTS or "
+        + ",".join(str(point) for point in DEFAULT_POINTS) + ")",
+    )
+    parser.add_argument("--no-churn", action="store_true",
+                        help="skip the per-point churn phase")
+    parser.add_argument(
+        "--churn-sweep", type=int, default=None, metavar="SEEDS",
+        help="additionally sweep this many churn seeds (default: env "
+        "CHURN_SEEDS when set) and fail on any invariant violation",
+    )
+    parser.add_argument("--churn-nodes", type=int, default=100,
+                        help="cluster size of the churn sweep")
+    parser.add_argument("--sweep-only", action="store_true",
+                        help="run only the churn sweep, not the scale points")
+    args = parser.parse_args(argv)
+
+    points = _parse_points(args.points) if args.points else DEFAULT_POINTS
+    churn_seeds = args.churn_sweep
+    if churn_seeds is None and os.environ.get("CHURN_SEEDS"):
+        churn_seeds = int(os.environ["CHURN_SEEDS"])
+
+    if args.sweep_only:
+        if not churn_seeds:
+            parser.error("--sweep-only requires --churn-sweep (or CHURN_SEEDS)")
+        failures = run_churn_sweep(churn_seeds, nodes=args.churn_nodes,
+                                   first_seed=args.seed)
+        if failures:
+            print("CHURN VIOLATIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        return 0
+
+    document = run_scale_suite(
+        points=points, seed=args.seed, include_churn=not args.no_churn
+    )
+
+    status = 0
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            reference = json.load(handle)
+        failures = check_scaling(reference, document, tolerance=args.tolerance)
+        if failures:
+            print("SCALING REGRESSIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"scaling check passed against {args.check}", file=sys.stderr)
+
+    if churn_seeds:
+        failures = run_churn_sweep(churn_seeds, nodes=args.churn_nodes,
+                                   first_seed=args.seed)
+        if failures:
+            print("CHURN VIOLATIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            status = 1
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    elif not args.check:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -112,6 +112,12 @@ class Cluster:
         #: publish of that relation builds on even when every reachable
         #: catalog replica is stale (e.g. just after a rejoin).
         self._acked_epochs: dict[str, int] = {}
+        #: Shared gossip peer list: one list object handed to every node's
+        #: gossip component and kept until liveness changes.  The gossip layer
+        #: caches its filtered+sorted view keyed by the list's identity, so
+        #: steady-state rounds cost O(FANOUT) instead of rebuilding an O(n)
+        #: list per message.  Crash and restart hooks drop it.
+        self._gossip_peers: list[str] | None = None
         # The optimizer's catalog is maintained as relations are published.
         from .optimizer.catalog import Catalog
 
@@ -135,7 +141,7 @@ class Cluster:
             membership = MembershipView(
                 sim_node, self.addresses, self.replication_factor, allocator=allocator
             )
-            gossip = EpochGossip(sim_node, peers=lambda: list(self.live_addresses()))
+            gossip = EpochGossip(sim_node, peers=self._gossip_peer_list)
             node_cache = result_cache = None
             if cache_config is not None:
                 node_cache = cache_config.build_node_cache(address)
@@ -157,6 +163,7 @@ class Cluster:
                 cache=node_cache, result_cache=result_cache,
             )
         self.network.add_crash_listener(self._on_node_crash)
+        self.network.add_restart_listener(self._on_node_restart)
 
     # ------------------------------------------------------------------ access
 
@@ -168,6 +175,18 @@ class Cluster:
 
     def live_addresses(self) -> list[str]:
         return self.network.live_nodes()
+
+    def _gossip_peer_list(self) -> list[str]:
+        """The gossip peer list, rebuilt only when liveness changed.
+
+        Returns the *same* list object between membership events so each
+        node's gossip component can reuse its sorted view (see
+        :class:`~repro.overlay.gossip.EpochGossip`).
+        """
+        peers = self._gossip_peers
+        if peers is None:
+            peers = self._gossip_peers = list(self.network.live_nodes())
+        return peers
 
     def first_live_address(self) -> str:
         live = self.live_addresses()
@@ -382,11 +401,16 @@ class Cluster:
     def _on_node_crash(self, address: str) -> None:
         """Crash-instant bookkeeping (fires from the network, no detection lag)."""
         self.failed_addresses.add(address)
+        self._gossip_peers = None
         if self._runtime is not None:
             self._runtime.scheduler.fail_initiator_ops(
                 address,
                 ReproError(f"initiator {address!r} crashed with the operation in flight"),
             )
+
+    def _on_node_restart(self, address: str) -> None:
+        """Restart-instant bookkeeping: the live set changed, drop caches."""
+        self._gossip_peers = None
 
     def restart_node(self, address: str, rejoin: bool = True) -> None:
         """Crash-*restart*: bring a failed node back and re-enter membership.
@@ -406,6 +430,7 @@ class Cluster:
         cluster_node = self.nodes[address]
         self.network.restart_node(address)
         self.failed_addresses.discard(address)
+        self._gossip_peers = None
         rpc_endpoint(cluster_node.node).reset_volatile()
         cluster_node.storage_client.reset_volatile()
         if cluster_node.cache is not None:

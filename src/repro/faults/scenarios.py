@@ -55,6 +55,15 @@ class ScenarioConfig:
     partitions: int = 1
     chaos_windows: int = 1
     slow_nodes: int = 1
+    #: Elastic-churn budget (all default 0, so existing seeds replay exactly).
+    #: A *join* takes a node down early and has it rejoin mid-window through
+    #: the full join protocol (the simulated cluster's node set is fixed at
+    #: construction, so an arrival is modelled as the return of a departed
+    #: member); a *leave* is a graceful departure announced to every live
+    #: view; a *restart* is a crash-restart drawn from the churn budget.
+    joins: int = 0
+    leaves: int = 0
+    restarts: int = 0
     #: Ceilings for the chaos-window probabilities.
     max_drop: float = 0.2
     max_duplicate: float = 0.15
@@ -68,6 +77,17 @@ class ScenarioConfig:
     tracing: bool = False
 
     def fault_free(self) -> "ScenarioConfig":
+        return replace(
+            self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0,
+            joins=0, leaves=0, restarts=0,
+        )
+
+    def churn_only(self) -> "ScenarioConfig":
+        """Keep the churn schedule, drop every other fault class.
+
+        The scale harness uses this shape: membership churn under sustained
+        query load, without packet chaos muddying the wire-traffic numbers.
+        """
         return replace(self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0)
 
 
@@ -280,7 +300,7 @@ class ScenarioRunner:
         if self._last_heal_at is None or at > self._last_heal_at:
             self._last_heal_at = at
 
-    def _plan_crashes(self) -> None:
+    def _plan_crashes(self) -> float:
         rng = self.rng
         network = self.cluster.network
         busy_until = 0.05
@@ -299,6 +319,54 @@ class ScenarioRunner:
             )
             self._note_fault(start)
             self._note_heal(restart_at)
+        return busy_until
+
+    def _plan_churn(self, busy_until: float) -> None:
+        """Membership churn: joins, graceful leaves and crash-restarts.
+
+        Continues the crash schedule's serialisation — at most one node is
+        away at any moment, staying below the replication factor — so every
+        acknowledged publish keeps a live replica throughout the run.  Joins
+        are planned first: the "joiner" goes down early and stays away for a
+        large slice of the op window, so its rejoin runs the full join
+        protocol against a cluster that kept working without it.
+        """
+        rng = self.rng
+        network = self.cluster.network
+        events = (
+            ["join"] * self.config.joins
+            + ["leave"] * self.config.leaves
+            + ["restart"] * self.config.restarts
+        )
+        for kind in events:
+            if kind == "join":
+                start = max(busy_until, 0.05)
+                downtime = rng.uniform(0.3, 0.6) * self.config.op_window
+            else:
+                start = max(rng.uniform(0.05, self.config.op_window), busy_until)
+                downtime = rng.uniform(0.08, 0.2)
+            victim = rng.choice(self.cluster.addresses)
+            restart_at = start + downtime
+            busy_until = restart_at + 4 * self.config.detection_delay
+            if kind == "leave":
+                network.schedule_at(start, lambda victim=victim: self._leave(victim))
+            else:
+                network.schedule_at(
+                    start, lambda victim=victim: self.cluster.fail_node(victim)
+                )
+            network.schedule_at(
+                restart_at, lambda victim=victim: self.cluster.restart_node(victim)
+            )
+            self._note_fault(start)
+            self._note_heal(restart_at)
+
+    def _leave(self, address: str) -> None:
+        """Graceful departure: every live peer is told directly, then the
+        node goes dark (no detection delay — peers already removed it)."""
+        for peer in self.cluster.live_addresses():
+            if peer != address:
+                self.cluster.nodes[peer].membership.node_left(address)
+        self.cluster.fail_node(address)
 
     def _plan_partitions(self) -> None:
         rng = self.rng
@@ -365,7 +433,7 @@ class ScenarioRunner:
 
         self._build_cluster()
         self._plan_ops()
-        self._plan_crashes()
+        self._plan_churn(self._plan_crashes())
         self._plan_partitions()
         self._plan_chaos_windows()
         self._plan_slow_nodes()
@@ -539,6 +607,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--partitions", type=int, default=None)
     parser.add_argument("--chaos-windows", type=int, default=None)
     parser.add_argument("--slow-nodes", type=int, default=None)
+    parser.add_argument("--joins", type=int, default=None)
+    parser.add_argument("--leaves", type=int, default=None)
+    parser.add_argument("--restarts", type=int, default=None)
     parser.add_argument("--cache", action="store_true")
     parser.add_argument(
         "--tracing", action="store_true",
@@ -559,6 +630,9 @@ def main(argv: list[str] | None = None) -> int:
         "partitions": args.partitions,
         "chaos_windows": args.chaos_windows,
         "slow_nodes": args.slow_nodes,
+        "joins": args.joins,
+        "leaves": args.leaves,
+        "restarts": args.restarts,
     }
     config = replace(
         config,

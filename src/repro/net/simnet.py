@@ -419,7 +419,17 @@ class Network:
         self.default_host = default_host or HostSpec()
         self.failure_detection_delay = failure_detection_delay
         self.traffic = TrafficMeter()
+        #: Events dispatched by :meth:`run` since construction.  The scale
+        #: harness divides Python wall-clock by this to measure simulator
+        #: overhead per event; deterministic, so tests can pin event *counts*
+        #: instead of timing anything.
+        self.events_processed = 0
         self.nodes: dict[str, SimNode] = {}
+        #: Cache of the live-address list; dropped on membership/liveness
+        #: changes (add, crash, restart).  ``live_nodes`` is called per gossip
+        #: round and per failure broadcast, which at hundreds of nodes made
+        #: the O(n) rebuild a measurable constant drag.
+        self._live_cache: list[str] | None = None
         self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._pairwise_latency: dict[tuple[str, str], float] = {}
@@ -447,6 +457,7 @@ class Network:
             raise ValueError(f"node {address!r} already exists")
         node = SimNode(self, address, host or self.default_host)
         self.nodes[address] = node
+        self._live_cache = None
         return node
 
     def node(self, address: str) -> SimNode:
@@ -456,7 +467,12 @@ class Network:
             raise UnknownNodeError(f"unknown node {address!r}") from None
 
     def live_nodes(self) -> list[str]:
-        return [address for address, node in self.nodes.items() if node.alive]
+        cached = self._live_cache
+        if cached is None:
+            cached = self._live_cache = [
+                address for address, node in self.nodes.items() if node.alive
+            ]
+        return list(cached)
 
     def set_pairwise_latency(self, src: str, dst: str, latency: float) -> None:
         """Override link latency for a specific ordered node pair."""
@@ -496,6 +512,7 @@ class Network:
                 return self.now
             event = heapq.heappop(self._queue)
             self.now = max(self.now, event.time)
+            self.events_processed += 1
             event.action()
         return self.now
 
@@ -794,6 +811,7 @@ class Network:
         if not node.alive:
             return
         node.alive = False
+        self._live_cache = None
         for listener in list(self._crash_listeners):
             listener(address)
         delay = self.failure_detection_delay if detection_delay is None else detection_delay
@@ -837,6 +855,7 @@ class Network:
         if not node.alive:
             node.incarnation += 1
         node.alive = True
+        self._live_cache = None
         node._cpu_free_at = self.now
         node._egress_free_at = self.now
         node._ingress_free_at = self.now

@@ -44,6 +44,12 @@ class EpochGossip:
         self._peers = peers
         self.current_epoch = 0
         self._listeners: list[Callable[[int], None]] = []
+        # Filter+sort cache for _fanout_peers, keyed by the identity of the
+        # list the peers callable returned.  Providers that cache their live
+        # list (the cluster does) hand back the same object until membership
+        # changes, so steady-state gossip skips the O(n log n) re-sort.
+        self._peer_cache_raw: list[str] | None = None
+        self._peer_cache_sorted: list[str] = []
         self.rpc.register(_GOSSIP_METHOD, self._on_gossip)
         self.rpc.register(_PULL_METHOD, self._on_pull)
         node.services["gossip"] = self
@@ -117,15 +123,24 @@ class EpochGossip:
         return True
 
     def _fanout_peers(self, salt: int) -> list[str]:
-        peers = [p for p in self._peers() if p != self.node.address]
+        raw = self._peers()
+        if raw is not self._peer_cache_raw:
+            peers = [p for p in raw if p != self.node.address]
+            peers.sort()
+            self._peer_cache_raw = raw
+            self._peer_cache_sorted = peers
+        peers = self._peer_cache_sorted
         if not peers:
             return []
-        peers.sort()
         # Deterministic pseudo-random selection: rotate by a hash of the node
-        # address and the salt so different announcements reach different peers.
+        # address and the salt so different announcements reach different
+        # peers.  Index FANOUT entries modularly instead of materialising the
+        # rotated copy — same selection, O(FANOUT) instead of O(n) per push.
         offset = sha1_key((self.node.address, salt)) % len(peers)
-        ordered = peers[offset:] + peers[:offset]
-        return ordered[: self.FANOUT]
+        return [
+            peers[(offset + i) % len(peers)]
+            for i in range(min(self.FANOUT, len(peers)))
+        ]
 
     def _on_gossip(self, _src: str, payload: Mapping[str, object], _respond) -> None:
         epoch = int(payload["epoch"])

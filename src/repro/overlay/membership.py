@@ -33,6 +33,7 @@ from .routing import RangeMove, RoutingSnapshot, RoutingTable
 MembershipListener = Callable[[str, str, list[RangeMove]], None]
 
 _JOIN_METHOD = "member.join"
+_VIEW_METHOD = "member.view"
 
 
 class MembershipView:
@@ -53,6 +54,7 @@ class MembershipView:
         self._rejoin_pending = False
         self.rpc: RpcEndpoint = rpc_endpoint(node)
         self.rpc.register(_JOIN_METHOD, self._on_join_request)
+        self.rpc.register(_VIEW_METHOD, self._on_view_request)
         node.add_failure_listener(self._on_peer_failure)
         node.services["membership"] = self
 
@@ -68,7 +70,14 @@ class MembershipView:
         return address in self.routing_table.members
 
     def snapshot(self) -> RoutingSnapshot:
-        """Immutable snapshot of the current allocation, for query initiation."""
+        """Immutable snapshot of the current allocation, for query initiation.
+
+        Cached per membership version by the routing table: back-to-back
+        queries against an unchanged membership receive the *same* snapshot
+        object.  Joins, failures and departures mutate the table (bumping its
+        version and dropping the cache), and a crash-restart rejoin replaces
+        the table wholesale, so every invalidation path is covered.
+        """
         return self.routing_table.snapshot()
 
     # -- membership changes -----------------------------------------------------
@@ -101,27 +110,36 @@ class MembershipView:
 
         The restarted node's own view is stale — peers may have failed or
         joined while it was down, and every live node removed *it* at the
-        detection of its crash.  It therefore announces itself to the seed
-        peers (its configured bootstrap list); each live seed adds it back to
-        its view (notifying local listeners exactly as for a fresh join) and
-        replies with its current member list.  The first reply rebuilds the
-        rejoiner's routing table from that authoritative view.  Dead or
-        partitioned seeds are simply skipped — any single live seed suffices.
+        detection of its crash.  It therefore *announces* itself to every seed
+        peer with a one-way cast (each live seed adds it back to its view,
+        notifying local listeners exactly as for a fresh join) and asks **one**
+        seed for the authoritative member list, failing over to the next seed
+        if that one is dead.  The first view reply rebuilds the rejoiner's own
+        routing table.  Asking a single seed keeps a rejoin O(n) on the wire —
+        every peer replying with the full O(n)-sized member list made each
+        churn event O(n²) bytes, which dominated large-membership churn runs.
         """
         self._rejoin_pending = True
         payload = {"address": self.node.address}
-        for peer in seeds:
-            if peer == self.node.address:
-                continue
-            self.rpc.call(
-                peer, _JOIN_METHOD, payload, 24,
-                on_reply=self._on_join_reply,
-                on_failure=lambda _addr: None,
-            )
+        candidates = [peer for peer in seeds if peer != self.node.address]
+        for peer in candidates:
+            self.rpc.cast(peer, _JOIN_METHOD, payload, 24)
+        self._request_view(candidates, 0)
 
-    def _on_join_request(self, _src: str, payload: Mapping[str, object], respond) -> None:
-        address: str = payload["address"]
-        self.node_joined(address)
+    def _request_view(self, seeds: list[str], index: int) -> None:
+        if not self._rejoin_pending or index >= len(seeds):
+            return
+        self.rpc.call(
+            seeds[index], _VIEW_METHOD, {"address": self.node.address}, 24,
+            on_reply=self._on_join_reply,
+            on_failure=lambda _addr: self._request_view(seeds, index + 1),
+        )
+
+    def _on_join_request(self, _src: str, payload: Mapping[str, object], _respond) -> None:
+        self.node_joined(payload["address"])
+
+    def _on_view_request(self, _src: str, payload: Mapping[str, object], respond) -> None:
+        self.node_joined(payload["address"])
         members = list(self.routing_table.members)
         respond({"members": members}, size=16 + 16 * len(members))
 

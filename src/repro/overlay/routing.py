@@ -38,9 +38,15 @@ class RangeMove:
 class RoutingSnapshot:
     """An immutable assignment of key ranges to node addresses."""
 
+    #: Constructions since import.  Building a snapshot sorts the whole ring
+    #: (O(n log n)), so regression tests pin *how many* are built per workload
+    #: against this counter rather than timing anything.
+    build_count = 0
+
     def __init__(self, ranges: Mapping[str, KeyRange], version: int = 0) -> None:
         if not ranges:
             raise RoutingError("a routing snapshot must contain at least one node")
+        RoutingSnapshot.build_count += 1
         self._ranges = dict(ranges)
         self.version = version
         # Pre-sort the ring boundaries for O(log n) owner lookup and for the
@@ -56,8 +62,10 @@ class RoutingSnapshot:
         # constantly: materialise the node order once and memoise the small
         # neighbour/replica sets instead of recomputing them per lookup.
         self._nodes = tuple(address for _start, address in self._ordered)
+        self._node_index = {address: i for i, address in enumerate(self._nodes)}
         self._neighbour_cache: dict[tuple[str, int, bool], list[str]] = {}
         self._replica_cache: dict[tuple[str, int], list[str]] = {}
+        self._physical_cache: tuple[str, ...] | None = None
 
     # -- basic accessors --------------------------------------------------------
 
@@ -80,6 +88,26 @@ class RoutingSnapshot:
 
     def ranges(self) -> dict[str, KeyRange]:
         return dict(self._ranges)
+
+    def physical_nodes(self) -> tuple[str, ...]:
+        """Distinct physical addresses in ring order.
+
+        Synthetic ``addr#k`` sub-entries (created by :meth:`reassign_failed`)
+        collapse onto their physical node; the first ring-order occurrence
+        wins.  Memoised: the query layer asks for the participant list many
+        times per query and the snapshot is immutable.
+        """
+        cached = self._physical_cache
+        if cached is None:
+            seen: set[str] = set()
+            ordered: list[str] = []
+            for address in self._nodes:
+                physical = physical_address(address)
+                if physical not in seen:
+                    seen.add(physical)
+                    ordered.append(physical)
+            cached = self._physical_cache = tuple(ordered)
+        return cached
 
     # -- lookups ---------------------------------------------------------------
 
@@ -105,6 +133,40 @@ class RoutingSnapshot:
                 return address
         raise RoutingError(f"no node owns key {key}")
 
+    def owners_overlapping(self, key_range: KeyRange) -> list[str]:
+        """Snapshot entries whose range overlaps ``key_range``, in clockwise
+        ring order starting at the owner of ``key_range.start``.
+
+        With a tiling allocation the overlapping entries form one contiguous
+        clockwise run, so the lookup costs O(log n + k) for k overlaps
+        instead of the O(n) filter a per-entry overlap test needs.  Falls
+        back to the full scan for non-tiling allocations (detected exactly
+        like :meth:`owner_of` detects them).
+        """
+        if key_range.is_empty():
+            return []
+        if key_range.full:
+            return list(self._nodes)
+        key = key_range.start & KEY_SPACE_MASK
+        index = bisect_right(self._starts, key) - 1
+        if index < 0:
+            index = len(self._ordered) - 1
+        _start, candidate = self._ordered[index]
+        if not self._ranges[candidate].contains(key):
+            # Non-tiling allocation: overlaps need not be contiguous.
+            return [
+                address for address in self._nodes
+                if self._ranges[address].overlaps(key_range)
+            ]
+        result: list[str] = []
+        count = len(self._ordered)
+        for offset in range(count):
+            address = self._nodes[(index + offset) % count]
+            if not self._ranges[address].overlaps(key_range):
+                break
+            result.append(address)
+        return result
+
     def neighbours(self, address: str, count: int, clockwise: bool) -> list[str]:
         """``count`` distinct ring neighbours of ``address`` in one direction."""
         cache_key = (address, count, clockwise)
@@ -112,9 +174,9 @@ class RoutingSnapshot:
         if cached is not None:
             return list(cached)
         order = self.nodes
-        if address not in order:
+        index = self._node_index.get(address)
+        if index is None:
             raise RoutingError(f"node {address!r} not in routing snapshot")
-        index = order.index(address)
         step = 1 if clockwise else -1
         result: list[str] = []
         position = index
@@ -215,10 +277,11 @@ class RoutingSnapshot:
     def neighbour_successor(self, address: str, survivors: Sequence[str]) -> str:
         """The first surviving node clockwise of ``address``."""
         order = self.nodes
-        index = order.index(address)
+        index = self._node_index[address]
+        survivor_set = set(survivors)
         for offset in range(1, len(order) + 1):
             candidate = order[(index + offset) % len(order)]
-            if candidate in survivors:
+            if candidate in survivor_set:
                 return candidate
         raise RoutingError("no surviving successor found")
 
@@ -239,13 +302,19 @@ def _flatten_ranges(merged: Mapping[str, list[KeyRange]]) -> dict[str, KeyRange]
     """
     result: dict[str, KeyRange] = {}
     existing_keys = set(merged.keys())
+    # First free suffix per address: repeated reassignments used to re-probe
+    # from 1 every time, which is quadratic in the number of arcs a node
+    # accumulates over a long churn run.  The counter resumes where the last
+    # probe ended and produces exactly the same suffixes.
+    next_suffix: dict[str, int] = {}
 
     def unique_key(address: str) -> str:
-        suffix = 1
+        suffix = next_suffix.get(address, 1)
         candidate = f"{address}#{suffix}"
         while candidate in result or candidate in existing_keys:
             suffix += 1
             candidate = f"{address}#{suffix}"
+        next_suffix[address] = suffix + 1
         return candidate
 
     for address, pieces in merged.items():
@@ -281,6 +350,7 @@ class RoutingTable:
         self._members: list[str] = []
         self._allocation: dict[str, KeyRange] = {}
         self._version = 0
+        self._snapshot_cache: RoutingSnapshot | None = None
         for address in addresses:
             self._members.append(address)
         self._recompute()
@@ -314,16 +384,40 @@ class RoutingTable:
     def _recompute(self) -> None:
         self._allocation = self.allocator.allocate(self._members)
         self._version += 1
+        self._snapshot_cache = None
 
     def _diff(self, before: Mapping[str, KeyRange]) -> list[RangeMove]:
         """Ranges whose ownership changed, expressed as moves (approximate:
         reported at the granularity of the new owners' ranges)."""
         moves: list[RangeMove] = []
+        # With the balanced allocator a single membership change shifts every
+        # boundary, so almost every entry needs its previous owner looked up.
+        # A per-entry linear scan of ``before`` made each recompute O(n²) per
+        # node — O(n³) cluster-wide per join/leave once every member's view
+        # processes the event.  Sort the old boundaries once and bisect.
+        ordered = sorted(
+            (key_range.start, address)
+            for address, key_range in before.items()
+            if not key_range.is_empty()
+        )
+        starts = [start for start, _address in ordered]
         for address, new_range in self._allocation.items():
             old_range = before.get(address)
             if old_range is not None and old_range == new_range:
                 continue
-            previous_owner = _owner_in(before, new_range.start)
+            previous_owner = None
+            if ordered:
+                key = new_range.start & KEY_SPACE_MASK
+                index = bisect_right(starts, key) - 1
+                if index < 0:
+                    index = len(ordered) - 1
+                candidate = ordered[index][1]
+                if before[candidate].contains(key):
+                    previous_owner = candidate
+                else:
+                    # Non-tiling allocations (midpoint-style ranges): fall
+                    # back to the scan, exactly like ``RoutingSnapshot``.
+                    previous_owner = _owner_in(before, new_range.start)
             if previous_owner is not None and previous_owner != address:
                 moves.append(RangeMove(new_range, previous_owner, address))
         return moves
@@ -346,8 +440,19 @@ class RoutingTable:
         return dict(self._allocation)
 
     def snapshot(self) -> RoutingSnapshot:
-        """An immutable snapshot of the current allocation."""
-        return RoutingSnapshot(self._allocation, version=self._version)
+        """An immutable snapshot of the current allocation.
+
+        Cached per membership version: queries, publishes and retrieves all
+        take a snapshot up front, and rebuilding one re-sorts the whole ring
+        (O(n log n)).  Any membership change goes through :meth:`_recompute`,
+        which drops the cache, so an unchanged membership hands every caller
+        the same immutable object.
+        """
+        cached = self._snapshot_cache
+        if cached is None or cached.version != self._version:
+            cached = RoutingSnapshot(self._allocation, version=self._version)
+            self._snapshot_cache = cached
+        return cached
 
     def node_id(self, address: str) -> int:
         return node_id_for(address)

@@ -897,6 +897,12 @@ class ExchangeReceiver(RuntimeOperator):
         #: starts must not count towards the recovery phase's completion.
         self._eos_senders: set[tuple[str, int]] = set()
         self._expected_senders: set[str] = set(context.participants())
+        #: Expected senders still outstanding for ``_pending_phase``, kept
+        #: incrementally so the per-EOS completion check stays O(1) instead
+        #: of rebuilding two O(participants) sets each time.  Invalidated on
+        #: phase change and on reset_for_phase.
+        self._pending: set[str] | None = None
+        self._pending_phase = -1
         self.rows_received = 0
 
     def accept(self, rows: list[TaggedRow], input_index: int = 0) -> None:
@@ -930,14 +936,28 @@ class ExchangeReceiver(RuntimeOperator):
 
     def sender_eos(self, sender: str, phase: int = 0) -> None:
         self._eos_senders.add((sender, phase))
+        if self._pending is not None and self._pending_phase == phase:
+            self._pending.discard(sender)
         self._check_done()
 
     def _check_done(self) -> None:
-        expected = {s for s in self._expected_senders if s not in self.context.failed_nodes}
-        current = {s for s, p in self._eos_senders if p == self.context.phase}
-        if expected <= current and not self.finished:
-            self.finished = True
-            self.emit_eos()
+        if self.finished:
+            return
+        # Equivalent to (expected - failed) <= received(current phase),
+        # restated as pending <= failed with pending := expected - received.
+        phase = self.context.phase
+        pending = self._pending
+        if pending is None or self._pending_phase != phase:
+            received = {s for s, p in self._eos_senders if p == phase}
+            pending = {s for s in self._expected_senders if s not in received}
+            self._pending = pending
+            self._pending_phase = phase
+        if pending:
+            failed = self.context.failed_nodes
+            if len(pending) > len(failed) or pending - failed:
+                return
+        self.finished = True
+        self.emit_eos()
 
     def sender_failed(self, address: str) -> None:
         """A sender failed: it will never send EOS, stop waiting for it."""
@@ -949,6 +969,7 @@ class ExchangeReceiver(RuntimeOperator):
             address for address in self.context.participants()
             if address not in self.context.failed_nodes
         }
+        self._pending = None
 
 
 # ---------------------------------------------------------------------------

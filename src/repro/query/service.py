@@ -282,19 +282,10 @@ class _ScanSpec:
         )
 
 
-def _owned_ranges(snapshot: RoutingSnapshot, address: str) -> list[KeyRange]:
-    """All key ranges owned by the physical node ``address`` under ``snapshot``."""
-    return [
-        snapshot.range_of(entry)
-        for entry in snapshot.nodes
-        if physical_address(entry) == address
-    ]
-
-
 def _scan_completion_maps(
     scan_specs: Mapping[int, "_ScanSpec"],
     participants: Sequence[str],
-    owned_ranges: Mapping[str, Sequence[KeyRange]],
+    snapshot: RoutingSnapshot,
 ) -> tuple[dict[str, dict[int, list[str]]], dict[str, dict[int, list[str]]]]:
     """Precompute the scan end-of-stream exchanges for every participant.
 
@@ -313,8 +304,11 @@ def _scan_completion_maps(
     ``scan_done`` is sent exactly to the nodes that are waiting for it.  This
     keeps the completion protocol O(pages) instead of O(participants²): thanks
     to the co-location of index pages and tuple data (Section IV) a page
-    overlaps only one or two adjacent nodes' ranges.
+    overlaps only one or two adjacent nodes' ranges — found by walking the
+    ring from the page range's start (:meth:`RoutingSnapshot.owners_overlapping`)
+    rather than testing every participant's ranges against every page.
     """
+    order_index = {address: i for i, address in enumerate(participants)}
     expected: dict[str, dict[int, list[str]]] = {
         address: {} for address in participants
     }
@@ -334,15 +328,18 @@ def _scan_completion_maps(
                     receivers[index_node][op_id].append(index_node)
                     expected[index_node][op_id].append(index_node)
                 continue
-            for participant in participants:
-                ranges = owned_ranges.get(participant, ())
-                if any(
-                    ref.hash_range.overlaps(key_range)
-                    for ref in pages
-                    for key_range in ranges
-                ):
-                    receivers[index_node][op_id].append(participant)
-                    expected[participant][op_id].append(index_node)
+            touched: set[str] = set()
+            for ref in pages:
+                for entry in snapshot.owners_overlapping(ref.hash_range):
+                    touched.add(physical_address(entry))
+            # Participant order (not discovery order) keeps the scan_done
+            # send sequence identical to the participant-major formulation.
+            for participant in sorted(
+                (address for address in touched if address in order_index),
+                key=order_index.__getitem__,
+            ):
+                receivers[index_node][op_id].append(participant)
+                expected[participant][op_id].append(index_node)
     return expected, receivers
 
 
@@ -355,9 +352,13 @@ class _ResultCollector:
         self._rows: list[TaggedRow] = []
         self._groups: dict[tuple, TaggedRow] = {}
         self._partials: list[TaggedRow] = []
-        #: End-of-stream notifications received, as (sender, phase) pairs.
-        self._eos_senders: set[tuple[str, int]] = set()
+        #: End-of-stream senders received, grouped by phase.
+        self._eos_by_phase: dict[int, set[str]] = {}
         self._expected: set[str] = set(participants)
+        #: Per-phase set of expected senders still outstanding, maintained
+        #: incrementally so completion checks need not rebuild O(n) sets on
+        #: every EOS (built lazily; dropped whenever ``_expected`` changes).
+        self._pending: dict[int, set[str]] = {}
         self.rows_received = 0
 
     def accept(self, rows: list[TaggedRow], failed: set[str]) -> None:
@@ -378,7 +379,10 @@ class _ResultCollector:
             self._rows.extend(live)
 
     def sender_eos(self, sender: str, phase: int = 0) -> None:
-        self._eos_senders.add((sender, phase))
+        self._eos_by_phase.setdefault(phase, set()).add(sender)
+        pending = self._pending.get(phase)
+        if pending is not None:
+            pending.discard(sender)
 
     def purge_tainted(self, failed: set[str]) -> None:
         self._rows = [row for row in self._rows if not row.tainted_by(failed)]
@@ -389,11 +393,23 @@ class _ResultCollector:
 
     def reset_eos(self, participants: Sequence[str], failed: set[str]) -> None:
         self._expected = {address for address in participants if address not in failed}
+        self._pending.clear()
 
     def is_complete(self, failed: set[str], phase: int) -> bool:
-        expected = {address for address in self._expected if address not in failed}
-        current = {sender for sender, sender_phase in self._eos_senders if sender_phase == phase}
-        return expected <= current
+        # Equivalent to (expected - failed) <= received(phase), restated as
+        # pending <= failed with pending := expected - received(phase): the
+        # common mid-stream call answers False after one length comparison
+        # instead of materialising two O(n) sets per EOS message.
+        pending = self._pending.get(phase)
+        if pending is None:
+            received = self._eos_by_phase.get(phase, ())
+            pending = {a for a in self._expected if a not in received}
+            self._pending[phase] = pending
+        if not pending:
+            return True
+        if len(pending) > len(failed):
+            return False
+        return pending <= failed
 
     # -- final result -------------------------------------------------------------
 
@@ -468,10 +484,16 @@ class _NodeQueryContext:
         self.fragment: Fragment = build_fragment(plan, self)
         # scan op id -> participants this node must notify when it finishes its
         # index-node duties for that scan (precomputed by the initiator; during
-        # a recovery phase the notification reverts to a full broadcast).
+        # a recovery phase both sides re-derive the narrowed receiver sets
+        # from the rescan plan via ``_recovery_receivers``).
         self.scan_done_receivers: dict[int, Sequence[str]] = {}
-        # scan op id -> set of index nodes whose scan_done we are waiting for
-        self._pending_scan_done: dict[int, set[str]] = {}
+        # scan op id -> set of (index node, phase) markers we are waiting for.
+        # Tokens carry the phase they were armed in: a recovery re-arm keeps
+        # the previous phase's unsatisfied tokens (that work is still on the
+        # wire), and a marker from a sender satisfies every token of the same
+        # sender with an equal or older phase — per-pair FIFO guarantees all
+        # rows the sender produced up to that phase arrived before it.
+        self._pending_scan_done: dict[int, set[tuple[str, int]]] = {}
         self._scan_completed: set[int] = set()
         # scan_done markers that arrived for a phase this node has not entered
         # yet: a fast peer can finish its recovery rescan before this node
@@ -516,13 +538,33 @@ class _NodeQueryContext:
 
     # -- scan end-of-stream bookkeeping -------------------------------------------------
 
-    def arm_scans(self, expected_index_nodes: Mapping[int, Sequence[str]]) -> None:
-        """Arm (or re-arm, for a recovery phase) the per-scan EOS tracking."""
+    def arm_scans(
+        self,
+        expected_index_nodes: Mapping[int, Sequence[str]],
+        carry_pending: bool = False,
+    ) -> None:
+        """Arm (or re-arm, for a recovery phase) the per-scan EOS tracking.
+
+        With ``carry_pending`` (recovery re-arms) the previous phase's
+        unsatisfied tokens are kept alongside the new expectations: a launch
+        scan whose rows and marker are still in flight when the recover
+        message lands must keep gating the scan, or those rows would arrive
+        after the operators sealed and silently vanish from the answer.
+        """
         self._scan_completed.clear()
         self._scan_fetches.clear()
         for scan_op_id in self.fragment.scan_sources:
-            expected = set(expected_index_nodes.get(scan_op_id, ()))
-            expected -= self.failed_nodes
+            expected = {
+                (sender, self.phase)
+                for sender in expected_index_nodes.get(scan_op_id, ())
+                if sender not in self.failed_nodes
+            }
+            if carry_pending:
+                expected |= {
+                    token
+                    for token in self._pending_scan_done.get(scan_op_id, ())
+                    if token[0] not in self.failed_nodes
+                }
             self._pending_scan_done[scan_op_id] = expected
             if not expected:
                 self._complete_scan(scan_op_id)
@@ -531,27 +573,37 @@ class _NodeQueryContext:
         self._early_scan_done = [
             entry for entry in self._early_scan_done if entry[0] > self.phase
         ]
-        for _phase, scan_op_id, sender in ready:
-            self.scan_done_received(scan_op_id, sender)
+        for phase, scan_op_id, sender in ready:
+            self.scan_done_received(scan_op_id, sender, phase)
 
     def note_scan_done(self, scan_op_id: int, sender: str, phase: int) -> None:
         """Record a scan_done marker, buffering ones from a future phase."""
-        if phase == self.phase:
-            self.scan_done_received(scan_op_id, sender)
-        elif phase > self.phase:
+        if phase > self.phase:
             self._early_scan_done.append((phase, scan_op_id, sender))
+        else:
+            # Markers from the current *or an older* phase are credited: a
+            # stale marker still proves every row its sender produced up to
+            # that phase has been delivered on this pair (FIFO).
+            self.scan_done_received(scan_op_id, sender, phase)
 
-    def scan_done_received(self, scan_op_id: int, sender: str) -> None:
+    def scan_done_received(
+        self, scan_op_id: int, sender: str, phase: int | None = None
+    ) -> None:
         pending = self._pending_scan_done.get(scan_op_id)
         if pending is None:
             return
-        pending.discard(sender)
+        marker_phase = self.phase if phase is None else phase
+        pending -= {
+            token
+            for token in pending
+            if token[0] == sender and token[1] <= marker_phase
+        }
         if not pending:
             self._complete_scan(scan_op_id)
 
     def drop_failed_scan_producers(self, failed: set[str]) -> None:
         for scan_op_id, pending in self._pending_scan_done.items():
-            pending -= failed
+            pending -= {token for token in pending if token[0] in failed}
             if not pending:
                 self._complete_scan(scan_op_id)
 
@@ -937,11 +989,8 @@ class QueryService:
         # catalogue to every node would make plan dissemination grow with
         # (pages × participants) — a real implementation sends scan requests
         # only to the index nodes that own the pages (Algorithm 1).
-        owned_ranges = {
-            address: _owned_ranges(snapshot, address) for address in participants
-        }
         expected_by_participant, receivers_by_index_node = _scan_completion_maps(
-            scan_specs, participants, owned_ranges
+            scan_specs, participants, snapshot
         )
         base_size = plan.estimated_size() + 32 * len(snapshot)
         for address in participants:
@@ -969,12 +1018,13 @@ class QueryService:
             self.rpc.cast(address, "query.start", start_payload, size)
 
     def participants_of(self, snapshot: RoutingSnapshot) -> list[str]:
-        seen: list[str] = []
-        for entry in snapshot.nodes:
-            address = physical_address(entry)
-            if address not in seen:
-                seen.append(address)
-        return seen
+        """Physical participants under ``snapshot``, in ring order.
+
+        Delegates to the snapshot's memoised physical-node tuple (the old
+        per-call list-scan dedup was O(n²) and ran several times per message
+        at large clusters); returns a fresh list so callers may mutate it.
+        """
+        return list(snapshot.physical_nodes())
 
     # ------------------------------------------------------------- participant side
 
@@ -1323,6 +1373,12 @@ class QueryService:
         reports = active.eos_summaries.get(key)
         if reports is None:
             return
+        # Cheap lower bound first: |expected| >= |participants| - |failed|,
+        # and expected <= reports needs len(reports) >= |expected|.  Every
+        # summary but the last one fails this length test, so the O(n) set
+        # comparison below runs once per (exchange, phase), not per report.
+        if len(reports) < len(active.snapshot.physical_nodes()) - len(active.failed_nodes):
+            return
         expected = {
             address
             for address in self.participants_of(active.snapshot)
@@ -1648,7 +1704,6 @@ class QueryService:
 
         # Stage 3: restart leaf-level operations for the failed ranges.
         rescan_by_node: dict[str, list] = {}
-        recovery_index_nodes: dict[int, set[str]] = {op: set() for op in active.scan_specs}
         for op_id, spec in active.scan_specs.items():
             for index_node, pages in spec.pages_by_index_node.items():
                 for ref in pages:
@@ -1657,14 +1712,12 @@ class QueryService:
                         # the page re-scans it entirely.
                         new_owner = physical_address(new_snapshot.owner_of(ref.storage_key))
                         rescan_by_node.setdefault(new_owner, []).append((op_id, ref, None))
-                        recovery_index_nodes[op_id].add(new_owner)
                     elif not spec.covering:
                         # Live index node: re-produce only the tuple IDs whose
                         # data lived on the failed node.
                         rescan_by_node.setdefault(index_node, []).append(
                             (op_id, ref, failed_ranges)
                         )
-                        recovery_index_nodes[op_id].add(index_node)
             # Update the spec's page assignment (failed node's pages move to
             # the new owners) so a later failure reassigns from current state.
             reassigned: dict[str, list[PageRef]] = {}
@@ -1685,7 +1738,6 @@ class QueryService:
             "snapshot": new_snapshot,
             "phase": active.phase,
             "rescans": rescan_by_node,
-            "recovery_index_nodes": {op: sorted(nodes) for op, nodes in recovery_index_nodes.items()},
         }
         size = 64 + 32 * len(new_snapshot) + 64 * sum(len(v) for v in rescan_by_node.values())
         for address in self.participants_of(new_snapshot):
@@ -1711,8 +1763,24 @@ class QueryService:
         for sender in context.fragment.senders.values():
             sender.resend_for_failed(failed)
 
-        # Re-arm scan end-of-stream tracking for the recovery phase.
-        context.arm_scans(payload["recovery_index_nodes"])
+        # Re-arm scan end-of-stream tracking for the recovery phase.  Each
+        # participant derives, from the shared rescan plan, the set of
+        # rescanning index nodes whose rows can reach it; waiters and senders
+        # apply the same rule, so no scan_done is awaited that is never sent.
+        # Previous-phase tokens still pending are carried over: their senders'
+        # rows and markers may still be in flight towards this node.
+        expected: dict[int, set[str]] = {}
+        for index_node, rescan_entries in payload["rescans"].items():
+            for op_id, ref, ranges in rescan_entries:
+                rescan_spec = context.scan_specs.get(op_id)
+                if rescan_spec is None:
+                    continue
+                receivers = _recovery_receivers(
+                    context.snapshot, index_node, rescan_spec, ref, ranges
+                )
+                if self.node.address in receivers:
+                    expected.setdefault(op_id, set()).add(index_node)
+        context.arm_scans(expected, carry_pending=True)
 
         # Stage 3: restart leaf-level operations for this node's share of the
         # failed ranges (acting as index node for the rescanned pages).
@@ -1743,11 +1811,46 @@ class QueryService:
                     "sender": self.node.address,
                     "phase": context.phase,
                 }
-                for address in context.participants():
+                receivers: set[str] = set()
+                for ref, ranges in entries:
+                    receivers |= _recovery_receivers(
+                        context.snapshot, self.node.address, spec, ref, ranges
+                    )
+                for address in sorted(receivers):
                     self.rpc.cast(address, "query.scan_done", done_payload, 12)
 
         for ref, ranges in entries:
             self._process_scan_page(context, spec, ref, ranges, page_processed)
+
+
+def _recovery_receivers(
+    snapshot: RoutingSnapshot,
+    index_node: str,
+    spec: _ScanSpec,
+    ref: PageRef,
+    ranges: Sequence[KeyRange] | None,
+) -> set[str]:
+    """Participants a recovery rescan of ``ref`` at ``index_node`` can reach.
+
+    Covering rescans produce their rows locally, so only the rescanning index
+    node itself gates on the scan.  Non-covering rescans route every
+    re-produced tuple to ``snapshot.owner_of(key)`` with the key inside the
+    rescanned ranges (the whole page's hash range when the index node died,
+    otherwise the failed node's old ranges), so the owners overlapping those
+    ranges under the recovery snapshot are a guaranteed superset of the actual
+    data receivers.  The rescanning sender and every armed waiter derive their
+    expectations from this same function; the previous full broadcast per
+    rescanning node made each mid-query failure O(participants²) scan_done
+    messages, the dominant wall in large-cluster churn runs.
+    """
+    if spec.covering:
+        return {index_node}
+    pieces = (ref.hash_range,) if ranges is None else tuple(ranges)
+    touched: set[str] = set()
+    for piece in pieces:
+        for entry in snapshot.owners_overlapping(piece):
+            touched.add(physical_address(entry))
+    return touched
 
 
 def query_service_of(node: SimNode) -> QueryService:

@@ -1,0 +1,83 @@
+"""Seeded elastic-churn regressions: joins, graceful leaves, crash-restarts.
+
+The churn planner extends the chaos scenarios (``repro.faults.scenarios``)
+with membership *elasticity* — nodes joining mid-window, leaving gracefully,
+and crash-restarting — layered over the usual mixed publish/retrieve/query
+load.  Every test replays a pinned seed so a regression reproduces exactly;
+the large-cluster sweep (``python -m repro.bench.scale --churn-sweep 200``)
+runs the same scenario at 100 nodes across 200 seeds and must stay clean.
+
+These seeds exercised the formerly-superlinear (and in places outright
+wrong) paths while they were being fixed: the O(n²)-byte rejoin view
+exchange, the O(n³) membership-diff probe, and the recovery-phase
+``query.scan_done`` broadcast.
+"""
+
+import pytest
+
+from repro.faults.scenarios import ScenarioConfig, ScenarioRunner
+
+
+def churn_config(**overrides):
+    base = dict(num_nodes=12, joins=1, leaves=1, restarts=1, num_ops=10)
+    base.update(overrides)
+    return ScenarioConfig(**base).churn_only()
+
+
+def run_scenario(seed, config, allow_failed_ops=0):
+    report = ScenarioRunner(seed, config).run()
+    assert report.violations == [], (seed, report.violations)
+    # Ops whose initiator crashed mid-flight may fail; every op is accounted
+    # for either way, and the bound keeps failures to the churn victims.
+    assert report.ops_failed <= allow_failed_ops, (seed, report)
+    assert report.ops_acked + report.ops_failed == report.ops_submitted
+    assert report.ops_acked > 0
+    return report
+
+
+class TestChurnScenarios:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_churn_only_preserves_invariants(self, seed):
+        run_scenario(seed, churn_config(), allow_failed_ops=1)
+
+    @pytest.mark.parametrize("seed", [1, 7, 13, 29])
+    def test_heavy_churn_with_rejoin_interleavings(self, seed):
+        # Multiple rejoins per window stress the one-seed view handshake and
+        # the incremental-recovery rescan narrowing at a larger membership.
+        run_scenario(seed, churn_config(num_nodes=24, joins=2, restarts=2),
+                     allow_failed_ops=2)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_churn_composes_with_packet_chaos(self, seed):
+        config = ScenarioConfig(
+            num_nodes=10, joins=1, leaves=1, restarts=1, crashes=1, num_ops=10
+        )
+        run_scenario(seed, config, allow_failed_ops=2)
+
+    def test_graceful_leave_only(self):
+        run_scenario(11, churn_config(joins=0, restarts=0, leaves=2))
+
+    def test_join_only(self):
+        run_scenario(17, churn_config(leaves=0, restarts=0, joins=2))
+
+
+class TestChurnConfigCompatibility:
+    def test_churn_defaults_to_zero(self):
+        # Pre-churn chaos seeds must replay identically: a default config
+        # draws nothing from the RNG for churn.
+        config = ScenarioConfig()
+        assert (config.joins, config.leaves, config.restarts) == (0, 0, 0)
+
+    def test_fault_free_zeroes_churn(self):
+        config = ScenarioConfig(joins=3, leaves=2, restarts=1, crashes=2)
+        quiet = config.fault_free()
+        assert (quiet.joins, quiet.leaves, quiet.restarts) == (0, 0, 0)
+        assert quiet.crashes == 0
+
+    def test_churn_only_zeroes_packet_chaos(self):
+        config = ScenarioConfig(joins=1, crashes=3, partitions=2, chaos_windows=1)
+        churn = config.churn_only()
+        assert churn.joins == 1
+        assert churn.crashes == 0
+        assert churn.partitions == 0
+        assert churn.chaos_windows == 0

@@ -109,3 +109,81 @@ class TestEpochGossip:
         net.run()
         live = [g for a, g in gossips.items() if a != "n0"]
         assert all(g.current_epoch == 2 for g in live)
+
+
+class TestGossipScaling:
+    """Counter-based pins: gossip work must not grow with the full membership."""
+
+    def build(self, n):
+        net = Network()
+        members = [f"n{i:03d}" for i in range(n)]
+        gossips = {}
+        for address in members:
+            node = net.add_node(address)
+            gossips[address] = EpochGossip(node, peers=lambda members=members: members)
+        return net, members, gossips
+
+    def test_epoch_push_messages_bounded_by_fanout_at_100_nodes(self):
+        # Propagating one new epoch through 100 nodes costs at most
+        # FANOUT pushes per node — not the all-peers broadcast (O(n^2))
+        # the seed implementation used.
+        net, _members, gossips = self.build(100)
+        gossips["n000"].announce(1)
+        net.run()
+        messages = net.traffic.snapshot().messages_by_kind.get("gossip.epoch", 0)
+        adopted = sum(1 for g in gossips.values() if g.current_epoch == 1)
+        assert messages <= 100 * EpochGossip.FANOUT, messages
+        # Push gossip alone reaches nearly everyone; anti-entropy covers the rest.
+        assert adopted >= 90, adopted
+
+
+class TestRejoinScaling:
+    """A crash-restart rejoin is O(n) bytes on the wire, not O(n^2)."""
+
+    def _rejoin_bytes(self, n):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(n)
+        cluster.run()
+        victim = cluster.addresses[1]
+        cluster.fail_node(victim)
+        cluster.run()
+        before = cluster.network.traffic.snapshot()
+        cluster.restart_node(victim)
+        cluster.run()
+        delta = before.delta(cluster.network.traffic.snapshot())
+        join_bytes = sum(
+            size for kind, size in delta.bytes_by_kind.items()
+            if kind in ("member.join", "member.view", "rpc.response")
+        )
+        return join_bytes, delta
+
+    def test_rejoin_requests_one_view_not_n(self):
+        _bytes, delta = self._rejoin_bytes(32)
+        # Every seed learns of the rejoin (one-way announce), but only one
+        # seed ships the O(n) member list back.
+        assert delta.messages_by_kind.get("member.join") == 31
+        assert delta.messages_by_kind.get("member.view") == 1
+
+    def test_rejoin_bytes_scale_linearly_with_membership(self):
+        small, _ = self._rejoin_bytes(32)
+        large, _ = self._rejoin_bytes(64)
+        # 2x the members: the old every-seed-replies protocol was ~4x.
+        assert large <= 2.5 * small, (small, large)
+
+    def test_rejoined_node_agrees_with_peers(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(16)
+        cluster.run()
+        victim = cluster.addresses[3]
+        cluster.fail_node(victim)
+        cluster.run()
+        cluster.restart_node(victim)
+        cluster.run()
+        views = [
+            tuple(sorted(cluster.nodes[address].membership.members()))
+            for address in cluster.addresses
+        ]
+        assert len(set(views)) == 1
+        assert victim in views[0]

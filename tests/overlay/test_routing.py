@@ -192,3 +192,77 @@ class TestFailureReassignment:
             key = sha1_key(("probe", i))
             owner = physical_address(new_snapshot.owner_of(key))
             assert owner not in failed
+
+
+class TestScalingRegressions:
+    """Counter-based pins for the large-cluster routing fixes."""
+
+    def test_snapshot_object_reused_until_membership_changes(self):
+        # Back-to-back snapshots of an unchanged membership are the *same*
+        # object: query initiation at high rates must not rebuild the O(n)
+        # snapshot per query.
+        table = RoutingTable(addresses(12))
+        first = table.snapshot()
+        assert table.snapshot() is first
+        table.add_node("node-99")
+        second = table.snapshot()
+        assert second is not first
+        assert table.snapshot() is second
+        table.remove_node("node-99")
+        assert table.snapshot() is not second
+
+    def test_snapshot_builds_counted_once_per_version(self):
+        table = RoutingTable(addresses(16))
+        table.snapshot()
+        before = RoutingSnapshot.build_count
+        for _ in range(50):
+            table.snapshot()
+        assert RoutingSnapshot.build_count == before
+
+    def test_membership_diff_probes_scale_linearly(self):
+        # The join/leave diff locates each new range's old owner by bisection;
+        # the former linear probe per range made one membership change O(n^2)
+        # KeyRange.contains calls (O(n^3) cluster-wide per churn event).
+        from repro.common.hashing import KeyRange
+
+        counts = {}
+        original = KeyRange.contains
+
+        def run(n):
+            table = RoutingTable(addresses(n))
+            calls = {"n": 0}
+
+            def counting(self, key):
+                calls["n"] += 1
+                return original(self, key)
+
+            KeyRange.contains = counting
+            try:
+                table.add_node("node-999")
+            finally:
+                KeyRange.contains = original
+            return calls["n"]
+
+        counts[64] = run(64)
+        counts[128] = run(128)
+        assert counts[64] > 0
+        # 2x the members: a linear probe per range would be ~4x the calls.
+        assert counts[128] <= 3 * counts[64], counts
+
+    def test_owners_overlapping_matches_linear_scan(self):
+        table = RoutingTable(addresses(9))
+        snapshot = table.snapshot()
+        for i in range(25):
+            start = sha1_key(("ov", i))
+            key_range = KeyRangeFor(start, (start + 2**155) % (2**160))
+            expected = {
+                entry for entry, kr in snapshot.ranges().items()
+                if kr.overlaps(key_range)
+            }
+            assert set(snapshot.owners_overlapping(key_range)) == expected
+
+
+def KeyRangeFor(start, end):
+    from repro.common.hashing import KeyRange
+
+    return KeyRange(start, end)

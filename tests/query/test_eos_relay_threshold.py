@@ -1,0 +1,80 @@
+"""Boundary tests for the initiator EOS relay (Section IV-B, large clusters).
+
+Rehash exchanges must tell every participant when each sender is done, but
+most sender/receiver pairs exchange zero rows.  Below
+``QueryService.EOS_RELAY_MIN_PARTICIPANTS`` each sender closes its empty
+pairs directly with per-pair ``query.eos`` messages; at the threshold and
+above, the senders report an aggregate ``query.eos_summary`` to the
+initiator, which relays the end-of-stream on their behalf — collapsing the
+O(n²) empty-pair traffic.  These tests pin the switch at exactly the
+threshold and check the answer is identical on both sides of it.
+"""
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.query.logical import LogicalJoin, LogicalQuery, LogicalScan
+from repro.query.reference import evaluate_query
+from repro.query.service import QueryOptions, QueryService
+
+THRESHOLD = QueryService.EOS_RELAY_MIN_PARTICIPANTS
+
+
+def make_relations():
+    r = RelationData(Schema("R", ["x", "y", "v"], key=["x"]))
+    s = RelationData(Schema("S", ["sk", "yy", "z"], key=["sk"]))
+    for i in range(90):
+        r.add(f"x{i:03d}", f"y{i % 30}", i)
+    for i in range(60):
+        s.add(f"s{i:03d}", f"y{i % 30}", i * 10)
+    return r, s
+
+
+def run_join(num_nodes):
+    """Run a rehash join on ``num_nodes`` and return (traffic delta, rows)."""
+    r, s = make_relations()
+    cluster = Cluster(num_nodes)
+    cluster.publish(r)
+    cluster.publish(s)
+    cluster.enable_query_processing()
+    query = LogicalQuery(
+        LogicalJoin(LogicalScan(r.schema), LogicalScan(s.schema), [("y", "yy")]),
+        name="relay_join",
+    )
+    before = cluster.network.traffic.snapshot()
+    result = cluster.query(query, options=QueryOptions(use_result_cache=False))
+    delta = before.delta(cluster.network.traffic.snapshot())
+    expected = evaluate_query(query, {"R": r, "S": s})
+    assert sorted(result.rows) == sorted(expected)
+    return delta
+
+
+class TestEosRelayThreshold:
+    def test_threshold_is_sixteen(self):
+        # The boundary tests below pin the exact participant counts; if the
+        # constant moves they must move with it.
+        assert THRESHOLD == 16
+
+    def test_below_threshold_uses_direct_eos(self):
+        delta = run_join(THRESHOLD - 1)
+        assert delta.messages_by_kind.get("query.eos_summary", 0) == 0
+        assert delta.messages_by_kind.get("query.eos", 0) > 0
+
+    def test_at_threshold_switches_to_relay(self):
+        delta = run_join(THRESHOLD)
+        # Every sender reports once per rehash exchange, even with nothing
+        # to relay — silence would stall the aggregate relay.
+        assert delta.messages_by_kind.get("query.eos_summary", 0) > 0
+
+    def test_above_threshold_keeps_relay(self):
+        delta = run_join(THRESHOLD + 1)
+        assert delta.messages_by_kind.get("query.eos_summary", 0) > 0
+
+    def test_relay_collapses_empty_pair_eos_traffic(self):
+        below = run_join(THRESHOLD - 1)
+        at = run_join(THRESHOLD)
+        # One more node, yet the per-pair eos count collapses: the relay
+        # replaces O(n^2) empty-pair messages with O(n) summaries.
+        assert (
+            at.messages_by_kind.get("query.eos", 0)
+            < below.messages_by_kind.get("query.eos", 0) / 4
+        )
