@@ -681,6 +681,123 @@ def run_chaos_experiment(
 
 
 # ---------------------------------------------------------------------------
+# Gray failure: tail latency with one degraded (but live) node (repro.resilience)
+# ---------------------------------------------------------------------------
+
+#: Modes of :func:`run_gray_failure_experiment`: healthy baseline, degraded
+#: cluster with the resilience layer on, degraded cluster without it.
+GRAY_MODES = ("clean", "hedged-degraded", "unhedged-degraded")
+
+
+def run_gray_failure_experiment(
+    modes: Sequence[str] = GRAY_MODES,
+    num_nodes: int = 8,
+    tuples_per_relation: int = 400,
+    num_ops: int = 90,
+    op_interval: float = 0.001,
+    slowdown: float = 10.0,
+    seed: int = 11,
+) -> list[dict]:
+    """Tail latency of open-loop retrievals against a gray-failed node.
+
+    One node is degraded — ``slowdown``x slower CPU and bandwidth — but stays
+    up, answers pings, and keeps its coordinator role: the *gray* failure that
+    crash detection never sees.  Retrievals of three relations are submitted
+    open-loop (fixed ``op_interval`` pacing, regardless of completions), so a
+    slow replica in the read path builds queues and the p99 amplifies far past
+    the raw slowdown factor.  Three modes on otherwise identical clusters:
+
+    * ``clean`` — resilience layer on, nobody degraded (the baseline);
+    * ``hedged-degraded`` — resilience layer on: representative-work probes
+      feed the latency estimators, the victim is suspected, and replica
+      selection routes reads around it;
+    * ``unhedged-degraded`` — resilience layer off: reads keep hitting the
+      victim in primary-owner order.
+
+    One row per mode with p50/p95/p99 (milliseconds) and the resilience
+    counters; ``p99_vs_clean`` is the headline ratio the perf suite gates on
+    (hedged stays within a few x of clean, unhedged blows past the slowdown
+    factor itself).
+    """
+    from ..faults.injector import FaultInjector
+    from ..resilience import ResilienceConfig
+
+    rows = []
+    clean_p99: float | None = None
+    for mode in modes:
+        if mode not in GRAY_MODES:
+            raise ValueError(f"unknown gray-failure mode {mode!r}")
+        config = None if mode == "unhedged-degraded" else ResilienceConfig()
+        cluster = Cluster(num_nodes, profile=LAN_GIGABIT, resilience_config=config)
+        injector = FaultInjector(cluster.network, seed=seed)
+        cluster.publish_relations([
+            _gray_relation(name, tuples_per_relation) for name in ("R", "S", "T")
+        ])
+        victim = cluster.live_addresses()[num_nodes // 2 - 1]
+        if mode != "clean":
+            injector.degrade_node(
+                victim, cpu_slowdown=slowdown, bandwidth_slowdown=slowdown
+            )
+        if config is not None:
+            # Warm the latency estimators, then keep the probe train running
+            # through the measurement window: rehabilitation of a suspect must
+            # be evidence-based (probes carrying representative work), not
+            # decay-based (cheap control replies dragging its EWMA down).
+            cluster.start_resilience_heartbeats(0.3)
+            cluster.run()
+            cluster.start_resilience_heartbeats(num_ops * op_interval + 0.05)
+        session = cluster.session()
+        futures: list = []
+        names = ("R", "S", "T")
+        base = cluster.now
+        for i in range(num_ops):
+            cluster.network.schedule_at(
+                base + i * op_interval,
+                lambda name=names[i % 3]: futures.append(session.submit_retrieve(name)),
+            )
+        cluster.run()
+        latencies = sorted(f.latency for f in futures if f.succeeded())
+        failed = sum(1 for f in futures if not f.succeeded())
+        p50 = _quantile(latencies, 0.50)
+        p95 = _quantile(latencies, 0.95)
+        p99 = _quantile(latencies, 0.99)
+        if mode == "clean":
+            clean_p99 = p99
+        stats = cluster.resilience_statistics() if config is not None else None
+        hedges = stats.hedges if stats is not None else {}
+        rows.append({
+            "mode": mode,
+            "nodes": num_nodes,
+            "ops": num_ops,
+            "failed": failed,
+            "p50_ms": p50 * 1e3,
+            "p95_ms": p95 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "p99_vs_clean": (p99 / clean_p99) if clean_p99 else None,
+            "hedges_won": hedges.get("won", 0),
+            "retries": stats.retries if stats is not None else 0,
+            "breaker_skips": stats.breaker_skips if stats is not None else 0,
+        })
+    return rows
+
+
+def _gray_relation(name: str, rows: int):
+    from ..common.types import RelationData, Schema
+
+    data = RelationData(Schema(name, ["k", "grp", "v"], key=["k"]))
+    for i in range(rows):
+        data.add(f"{name}-{i:05d}", f"g{i % 7}", i)
+    return data
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+# ---------------------------------------------------------------------------
 # Range allocation balance (Figure 2 illustration)
 # ---------------------------------------------------------------------------
 

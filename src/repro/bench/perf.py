@@ -52,8 +52,19 @@ The JSON layout is stable so future PRs can extend the trajectory::
                       "messages_pushdown": ..., "messages_baseline": ...,
                       "pages_total": ..., "pages_pruned": ...}
         }
+      },
+      "gray": {
+        "meta": {"seed": ..., "modes": [...]},
+        "modes": {
+          "<mode>": {"p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
+                      "p99_vs_clean": ..., "failed": ...}
+        }
       }
     }
+
+The ``gray`` section is the gray-failure headline (one node 10x degraded but
+live): ``--check`` holds the hedged degraded p99 within 3x of clean and
+requires the unhedged one to exceed 10x, on top of the drift tolerance.
 """
 
 from __future__ import annotations
@@ -565,6 +576,100 @@ def _traced_span_summary(cluster, query, options) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Gray-failure benchmark (simulated latencies: deterministic, machine-independent)
+# ---------------------------------------------------------------------------
+
+#: Acceptance thresholds for the gray-failure point: with the resilience
+#: layer on, the degraded p99 stays within this multiple of the clean p99 …
+GRAY_HEDGED_MAX_RATIO = 3.0
+#: … and without it, the degraded p99 must blow past the raw slowdown factor
+#: (queue buildup amplifies the tail) — otherwise the experiment lost its
+#: teeth and the hedged number proves nothing.
+GRAY_UNHEDGED_MIN_RATIO = 10.0
+
+
+def run_gray_suite(seed: int = 11) -> dict:
+    """One gray-failure point: p50/p99 per mode plus the headline ratios.
+
+    Simulated latencies of :func:`~repro.bench.harness.run_gray_failure_experiment`
+    — exact and machine-independent under a pinned ``PYTHONHASHSEED``, so the
+    regression gate compares them with no calibration and no variance floor.
+    """
+    from .harness import run_gray_failure_experiment
+
+    rows = run_gray_failure_experiment(seed=seed)
+    modes = {}
+    for row in rows:
+        modes[row["mode"]] = {
+            "p50_ms": round(row["p50_ms"], 4),
+            "p95_ms": round(row["p95_ms"], 4),
+            "p99_ms": round(row["p99_ms"], 4),
+            "p99_vs_clean": round(row["p99_vs_clean"], 4)
+            if row["p99_vs_clean"] is not None else None,
+            "failed": row["failed"],
+        }
+        print(f"gray.{row['mode']:18s} p50={row['p50_ms']:7.3f} ms  "
+              f"p99={row['p99_ms']:7.3f} ms  "
+              f"(x{row['p99_vs_clean']:.2f} vs clean)", file=sys.stderr)
+    return {
+        "meta": {"seed": seed, "modes": [row["mode"] for row in rows]},
+        "modes": modes,
+    }
+
+
+def check_gray_regressions(reference: dict, fresh: dict,
+                           tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Gate the gray-failure point: absolute thresholds plus drift.
+
+    Two absolute invariants (the experiment's reason to exist): the hedged
+    degraded p99 stays within :data:`GRAY_HEDGED_MAX_RATIO` of clean, and the
+    unhedged one exceeds :data:`GRAY_UNHEDGED_MIN_RATIO` — if the latter
+    collapses, the injected degradation no longer hurts and the hedged number
+    is vacuous.  On top of that, the hedged p99 may not drift more than
+    ``tolerance`` above the committed reference (simulated time: exact).
+    """
+    ref_modes = reference.get("gray", {}).get("modes", {})
+    new_modes = fresh.get("gray", {}).get("modes", {})
+    if ref_modes and not new_modes:
+        # Section skipped wholesale (--no-gray): nothing to compare.
+        return []
+    failures = []
+    for mode in ref_modes:
+        if mode not in new_modes:
+            failures.append(f"gray.{mode}: present in reference but not in this run")
+    if failures or not new_modes:
+        return failures
+    hedged = new_modes.get("hedged-degraded", {})
+    unhedged = new_modes.get("unhedged-degraded", {})
+    hedged_ratio = hedged.get("p99_vs_clean")
+    if hedged_ratio is not None and hedged_ratio > GRAY_HEDGED_MAX_RATIO:
+        failures.append(
+            f"gray.hedged-degraded: p99 is {hedged_ratio:.2f}x clean "
+            f"(must stay <= {GRAY_HEDGED_MAX_RATIO:.0f}x — the resilience "
+            f"layer stopped routing around the gray node)"
+        )
+    unhedged_ratio = unhedged.get("p99_vs_clean")
+    if unhedged_ratio is not None and unhedged_ratio <= GRAY_UNHEDGED_MIN_RATIO:
+        failures.append(
+            f"gray.unhedged-degraded: p99 is only {unhedged_ratio:.2f}x clean "
+            f"(must exceed {GRAY_UNHEDGED_MIN_RATIO:.0f}x — the degradation "
+            f"no longer bites, so the hedged number proves nothing)"
+        )
+    for mode, ref in ref_modes.items():
+        new = new_modes[mode]
+        ref_p99, new_p99 = ref.get("p99_ms"), new.get("p99_ms")
+        if ref_p99 and new_p99 and new_p99 > ref_p99 * (1.0 + tolerance):
+            failures.append(
+                f"gray.{mode}: p99 {new_p99:.3f} ms vs reference "
+                f"{ref_p99:.3f} ms (tolerance {tolerance:.0%}, simulated "
+                f"latencies are deterministic)"
+            )
+        if new.get("failed"):
+            failures.append(f"gray.{mode}: {new['failed']} operations failed")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
 
@@ -587,7 +692,8 @@ TRAFFIC_SCALES = {
 
 
 def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
-              include_e2e: bool = True, include_traffic: bool = True) -> dict:
+              include_e2e: bool = True, include_traffic: bool = True,
+              include_gray: bool = True) -> dict:
     """Run every benchmark; returns the BENCH_perf.json document."""
     micro_rows, e2e_nodes, e2e_sf = SCALES[scale]
     tpch_rows = _tpch_like_rows(micro_rows, seed)
@@ -688,6 +794,8 @@ def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
         document["traffic"] = run_traffic_suite(
             seed=seed, nodes=traffic_nodes, scale_factor=traffic_sf
         )
+    if include_gray:
+        document["gray"] = run_gray_suite()
     return document
 
 
@@ -778,6 +886,7 @@ def check_regressions(reference: dict, fresh: dict,
                 f"{ref_seconds:.3f}s, tolerance {tolerance:.0%})"
             )
     failures.extend(check_traffic_regressions(reference, fresh, tolerance))
+    failures.extend(check_gray_regressions(reference, fresh, tolerance))
     return failures
 
 
@@ -802,12 +911,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="skip the end-to-end TPC-H benchmark")
     parser.add_argument("--no-traffic", action="store_true",
                         help="skip the wire-traffic benchmarks")
+    parser.add_argument("--no-gray", action="store_true",
+                        help="skip the gray-failure benchmark")
     parser.add_argument("--traffic-only", action="store_true",
                         help="run only the wire-traffic benchmarks (emits a "
                              "document with a traffic section and no timings)")
+    parser.add_argument("--gray-only", action="store_true",
+                        help="run only the gray-failure experiment (emits a "
+                             "document with a gray section and no timings)")
     args = parser.parse_args(argv)
 
-    if args.traffic_only:
+    if args.gray_only:
+        # Like --traffic-only: no "benchmarks"/"traffic" keys at all, so
+        # --check compares only the gray section (the nightly gray-smoke
+        # job's gate) instead of reporting every unmeasured timing as
+        # vanished.
+        # The gray suite keeps its own fixed seed (the committed point),
+        # exactly as in a full run.
+        document = {
+            "meta": {"python": platform.python_version(),
+                     "gray_only": True},
+            "gray": run_gray_suite(),
+        }
+    elif args.traffic_only:
         # No "benchmarks" key at all: an empty section would read as "every
         # timing benchmark vanished"; a missing one means "not measured" and
         # --check skips the timing comparison entirely.
@@ -821,7 +947,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         document = run_suite(seed=args.seed, repeat=args.repeat, scale=args.scale,
                              include_e2e=not args.no_e2e,
-                             include_traffic=not args.no_traffic)
+                             include_traffic=not args.no_traffic,
+                             include_gray=not args.no_gray)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

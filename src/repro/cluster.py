@@ -36,6 +36,9 @@ from .overlay.gossip import EpochGossip
 from .overlay.membership import MembershipView
 from .overlay.replication import BackgroundReplicator, ReplicationReport
 from .overlay.routing import RoutingSnapshot
+from .resilience.config import ResilienceConfig
+from .resilience.service import NodeResilience
+from .resilience.stats import ResilienceStats
 from .runtime.scheduler import SchedulerConfig
 from .runtime.session import Runtime, Session
 from .storage.client import RetrieveResult, StorageClient, UpdateBatch, register_retrieve_handlers
@@ -55,6 +58,8 @@ class ClusterNode:
     cache: NodeCache | None = None
     #: Initiator-side semantic result cache (None when caching is off).
     result_cache: SemanticResultCache | None = None
+    #: Gray-failure resilience layer (None when resilience is off).
+    resilience: NodeResilience | None = None
 
     @property
     def address(self) -> str:
@@ -74,6 +79,7 @@ class Cluster:
         address_prefix: str = "node",
         cache_config: CacheConfig | None = None,
         scheduler_config: SchedulerConfig | None = None,
+        resilience_config: ResilienceConfig | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -85,6 +91,10 @@ class Cluster:
         self.cache_config = cache_config
         #: Admission-control knobs of the runtime scheduler (None = defaults).
         self.scheduler_config = scheduler_config
+        #: Gray-failure resilience (adaptive timeouts, hedging, breakers) is
+        #: opt-in for the same reason as caching: with it off, every message
+        #: sequence is byte-identical to the pre-resilience system.
+        self.resilience_config = resilience_config
         self.network: Network = profile.create_network()
         self.addresses = [f"{address_prefix}-{i:03d}" for i in range(num_nodes)]
         self.nodes: dict[str, ClusterNode] = {}
@@ -135,9 +145,15 @@ class Cluster:
         self.metrics.register_collector(self._cache_series)
         self.metrics.register_collector(self._fault_series)
         self.metrics.register_collector(self._encoding_series)
+        self.metrics.register_collector(self._resilience_series)
         for address in self.addresses:
             sim_node = self.network.add_node(address, profile.host)
             rpc_endpoint(sim_node)
+            resilience = None
+            if resilience_config is not None:
+                resilience = NodeResilience(
+                    sim_node, resilience_config, peers=self.live_addresses
+                )
             membership = MembershipView(
                 sim_node, self.addresses, self.replication_factor, allocator=allocator
             )
@@ -161,6 +177,7 @@ class Cluster:
             self.nodes[address] = ClusterNode(
                 sim_node, membership, gossip, storage, client,
                 cache=node_cache, result_cache=result_cache,
+                resilience=resilience,
             )
         self.network.add_crash_listener(self._on_node_crash)
         self.network.add_restart_listener(self._on_node_restart)
@@ -295,6 +312,59 @@ class Cluster:
         if injector is None:
             return []
         return injector.stats.metric_series()
+
+    def _resilience_series(self):
+        """Cluster-wide resilience counters plus per-pair breaker gauges.
+
+        The counters are the exact sum of the per-node
+        :class:`~repro.resilience.stats.ResilienceStats` objects (the
+        reconciliation tests hold the registry to that); breaker gauges are
+        emitted per observing node so two nodes' views of the same sick peer
+        stay distinguishable.
+        """
+        if self.resilience_config is None:
+            return []
+        from .resilience.breaker import BREAKER_STATES
+
+        samples = self.resilience_statistics().metric_series()
+        for address in self.addresses:
+            resilience = self.nodes[address].resilience
+            if resilience is None:
+                continue
+            for peer, state in resilience.breaker_states().items():
+                samples.append(
+                    (
+                        "breaker.state",
+                        {"node": address, "peer": peer},
+                        BREAKER_STATES[state],
+                    )
+                )
+        return samples
+
+    def resilience_statistics(self) -> ResilienceStats:
+        """Cluster-wide resilience counters, aggregated over all nodes."""
+        total = ResilienceStats()
+        for cluster_node in self.nodes.values():
+            if cluster_node.resilience is not None:
+                total.merge(cluster_node.resilience.stats)
+        return total
+
+    @property
+    def resilience_enabled(self) -> bool:
+        return self.resilience_config is not None
+
+    def start_resilience_heartbeats(self, duration: float) -> int:
+        """Schedule heartbeat probe trains on every live node for ``duration``.
+
+        Heartbeats are windowed (not free-running) so ``run()`` still drains;
+        workload drivers start a train covering their operation window.
+        Returns the total number of probe rounds scheduled.
+        """
+        rounds = 0
+        for cluster_node in self.nodes.values():
+            if cluster_node.resilience is not None and cluster_node.node.alive:
+                rounds += cluster_node.resilience.start_heartbeats(duration)
+        return rounds
 
     # ------------------------------------------------------------------ runtime
 
@@ -433,6 +503,8 @@ class Cluster:
         self._gossip_peers = None
         rpc_endpoint(cluster_node.node).reset_volatile()
         cluster_node.storage_client.reset_volatile()
+        if cluster_node.resilience is not None:
+            cluster_node.resilience.reset_volatile()
         if cluster_node.cache is not None:
             cluster_node.cache.clear()
         if cluster_node.result_cache is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -102,6 +103,9 @@ class _Partition:
     side_a: frozenset
     side_b: frozenset
     heal_event: object = None
+    #: ``False`` models a half-open link: traffic from ``side_a`` to
+    #: ``side_b`` is cut while the reverse direction still delivers.
+    symmetric: bool = True
 
 
 class FaultInjector:
@@ -174,14 +178,20 @@ class FaultInjector:
         side_a: Iterable[str],
         side_b: Iterable[str],
         heal_after: float | None = None,
+        symmetric: bool = True,
     ) -> int:
         """Cut every link between ``side_a`` and ``side_b``, both directions.
 
         Messages crossing the cut — including ones already in flight — are
         blocked and retried by the transport until :meth:`heal` (scheduled
         automatically ``heal_after`` seconds from now when given).
+
+        With ``symmetric=False`` only the ``side_a`` → ``side_b`` direction
+        is cut — a half-open link, the gray failure where a node can hear
+        its peers but they cannot hear it (requests arrive, replies vanish,
+        or vice versa, depending on which side initiates).
         """
-        partition = _Partition(frozenset(side_a), frozenset(side_b))
+        partition = _Partition(frozenset(side_a), frozenset(side_b), symmetric=symmetric)
         if partition.side_a & partition.side_b:
             raise ValueError("partition sides must be disjoint")
         if not partition.side_a or not partition.side_b:
@@ -210,7 +220,9 @@ class FaultInjector:
     def blocked(self, src: str, dst: str) -> bool:
         """Whether the ordered pair is currently cut by any partition."""
         for partition in self._partitions.values():
-            if (src in partition.side_a and dst in partition.side_b) or (
+            if src in partition.side_a and dst in partition.side_b:
+                return True
+            if partition.symmetric and (
                 src in partition.side_b and dst in partition.side_a
             ):
                 return True
@@ -252,9 +264,26 @@ class FaultInjector:
             self.stats.reordered += 1
         return extra
 
-    def retransmit_delay(self, attempt: int) -> float:
-        """Exponential backoff, capped so long partitions stay affordable."""
-        return self.rto * (2 ** min(attempt, 5))
+    def retransmit_delay(
+        self, attempt: int, src: str | None = None, dst: str | None = None
+    ) -> float:
+        """Exponential backoff, capped so long partitions stay affordable.
+
+        When the transmitting pair is known, a deterministic per-pair jitter
+        of up to one ``rto`` is added: a healing partition otherwise releases
+        every blocked pair's retry on the *same* backoff schedule, and the
+        synchronized retransmission wave hits the healed links all at once.
+        The jitter is derived from a CRC over ``(seed, src, dst, attempt)``
+        — not from Python's ``hash()`` (which varies with ``PYTHONHASHSEED``)
+        and not from the injector's fate RNG (whose stream position depends
+        on unrelated traffic) — so replays of a seed are exact and pairs stay
+        decorrelated from each other.
+        """
+        base = self.rto * (2 ** min(attempt, 5))
+        if src is None or dst is None:
+            return base
+        digest = zlib.crc32(f"{self.seed}:{src}:{dst}:{attempt}".encode())
+        return base + self.rto * (digest / 2**32)
 
     # -- slow nodes --------------------------------------------------------------
 

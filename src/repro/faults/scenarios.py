@@ -53,6 +53,11 @@ class ScenarioConfig:
     #: Fault budget.
     crashes: int = 1
     partitions: int = 1
+    #: One-way partitions (``symmetric=False``): src→dst traffic is dropped
+    #: while dst→src still flows — the classic gray-failure shape where a
+    #: node hears everyone but nobody hears it.  Defaults to 0 so existing
+    #: seeds replay exactly.
+    asymmetric_partitions: int = 0
     chaos_windows: int = 1
     slow_nodes: int = 1
     #: Elastic-churn budget (all default 0, so existing seeds replay exactly).
@@ -78,8 +83,8 @@ class ScenarioConfig:
 
     def fault_free(self) -> "ScenarioConfig":
         return replace(
-            self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0,
-            joins=0, leaves=0, restarts=0,
+            self, crashes=0, partitions=0, asymmetric_partitions=0,
+            chaos_windows=0, slow_nodes=0, joins=0, leaves=0, restarts=0,
         )
 
     def churn_only(self) -> "ScenarioConfig":
@@ -88,7 +93,10 @@ class ScenarioConfig:
         The scale harness uses this shape: membership churn under sustained
         query load, without packet chaos muddying the wire-traffic numbers.
         """
-        return replace(self, crashes=0, partitions=0, chaos_windows=0, slow_nodes=0)
+        return replace(
+            self, crashes=0, partitions=0, asymmetric_partitions=0,
+            chaos_windows=0, slow_nodes=0,
+        )
 
 
 @dataclass
@@ -389,6 +397,34 @@ class ScenarioRunner:
             self._note_fault(start)
             self._note_heal(start + duration)
 
+    def _plan_asymmetric_partitions(self) -> None:
+        """Schedule one-way cuts: a small "muted" group whose outbound
+        traffic toward the rest is dropped while the reverse direction keeps
+        flowing.  Planned after the bidirectional partitions so a zero budget
+        (the default) leaves the rng draw sequence — and therefore every
+        existing seed's schedule — untouched."""
+        rng = self.rng
+        network = self.cluster.network
+        busy_until = 0.05
+        for _ in range(self.config.asymmetric_partitions):
+            start = max(rng.uniform(0.05, self.config.op_window), busy_until)
+            duration = rng.uniform(0.05, 0.15)
+            busy_until = start + duration + 0.01
+            members = list(self.cluster.addresses)
+            rng.shuffle(members)
+            # Mute at most a minority: a one-way cut of half the cluster
+            # starves quorums the same way a bidirectional one would.
+            cut = rng.randrange(1, max(2, len(members) // 2))
+            muted, rest = members[:cut], members[cut:]
+            network.schedule_at(
+                start,
+                lambda a=tuple(muted), b=tuple(rest), d=duration: self.injector.partition(
+                    a, b, heal_after=d, symmetric=False
+                ),
+            )
+            self._note_fault(start)
+            self._note_heal(start + duration)
+
     def _plan_chaos_windows(self) -> None:
         rng = self.rng
         for _ in range(self.config.chaos_windows):
@@ -435,6 +471,7 @@ class ScenarioRunner:
         self._plan_ops()
         self._plan_churn(self._plan_crashes())
         self._plan_partitions()
+        self._plan_asymmetric_partitions()
         self._plan_chaos_windows()
         self._plan_slow_nodes()
         self.cluster.run()
@@ -605,6 +642,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ops", type=int, default=None)
     parser.add_argument("--crashes", type=int, default=None)
     parser.add_argument("--partitions", type=int, default=None)
+    parser.add_argument("--asymmetric-partitions", type=int, default=None)
     parser.add_argument("--chaos-windows", type=int, default=None)
     parser.add_argument("--slow-nodes", type=int, default=None)
     parser.add_argument("--joins", type=int, default=None)
@@ -628,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         "num_ops": args.ops,
         "crashes": args.crashes,
         "partitions": args.partitions,
+        "asymmetric_partitions": args.asymmetric_partitions,
         "chaos_windows": args.chaos_windows,
         "slow_nodes": args.slow_nodes,
         "joins": args.joins,

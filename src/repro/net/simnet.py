@@ -333,6 +333,17 @@ class SimNode:
         self._cpu_free_at = max(self._cpu_free_at, self.network.now) + scaled
         self.cpu_busy_seconds += scaled
 
+    @property
+    def cpu_queue_delay(self) -> float:
+        """Seconds until this node's CPU could start another handler.
+
+        Charges delay *subsequent* handler starts, not the charging handler's
+        own sends; a handler that wants its reply to queue behind the work it
+        models (e.g. the resilience layer's representative-work probes) reads
+        this and schedules the send that far in the future.
+        """
+        return max(0.0, self._cpu_free_at - self.network.now)
+
     def charge_disk_read(self, num_bytes: int) -> None:
         """Account a sequential disk read of ``num_bytes`` as CPU-side latency."""
         if num_bytes <= 0:
@@ -643,7 +654,7 @@ class Network:
             # just keeps retrying until the partition heals.
             injector.stats.blocked += 1
             self.schedule(
-                injector.retransmit_delay(blocked_streak),
+                injector.retransmit_delay(blocked_streak, message.src, message.dst),
                 lambda: self._transmit(
                     message, seq, attempt, src_inc, dst_inc, blocked_streak + 1
                 ),
@@ -662,7 +673,9 @@ class Network:
                 self.tracer.on_transmit(message)
             egress_start = max(self.now, sender._egress_free_at)
             sender._egress_free_at = egress_start + message.size / sender.host.egress_bandwidth
-            self.schedule(injector.retransmit_delay(attempt), retry)
+            self.schedule(
+                injector.retransmit_delay(attempt, message.src, message.dst), retry
+            )
             return
         for extra_delay in deliveries:
             delivered_at = self._transfer(message, extra_delay)
@@ -689,7 +702,7 @@ class Network:
             # on the wire, and the sender-side transport retries it.
             injector.stats.blocked += 1
             self.schedule(
-                injector.retransmit_delay(attempt),
+                injector.retransmit_delay(attempt, message.src, message.dst),
                 lambda: self._transmit(message, seq, attempt + 1, src_inc, dst_inc),
             )
             return

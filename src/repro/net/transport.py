@@ -45,6 +45,8 @@ class _PendingCall:
     dst: str
     on_reply: Callable[[Mapping[str, object]], None]
     on_failure: Callable[[str], None] | None
+    #: Simulated send time, for the endpoint's reply-time observer.
+    sent_at: float = 0.0
 
 
 class RpcEndpoint:
@@ -60,6 +62,13 @@ class RpcEndpoint:
         self._methods: dict[str, RpcHandler] = {}
         self._pending: dict[int, _PendingCall] = {}
         self._call_ids = itertools.count(1)
+        #: Optional measurement hooks (installed by the resilience layer):
+        #: ``reply_observer(dst, rtt)`` fires for every reply received,
+        #: ``failure_observer(dst, kind)`` for every failed call, with
+        #: ``kind`` in ``{"refused", "failed", "timeout"}``.  ``None`` (the
+        #: default) keeps the endpoint byte-identical to the unhooked one.
+        self.reply_observer: Callable[[str, float], None] | None = None
+        self.failure_observer: Callable[[str, str], None] | None = None
         self._ping_seq = itertools.count(1)
         self._ping_outstanding: dict[int, str] = {}
         node.register_handler(_RPC_REQUEST, self._on_request)
@@ -100,6 +109,7 @@ class RpcEndpoint:
         size: int,
         on_reply: Callable[[Mapping[str, object]], None],
         on_failure: Callable[[str], None] | None = None,
+        timeout: float | None = None,
     ) -> int:
         """Send a request to ``dst`` and invoke ``on_reply`` with the response.
 
@@ -109,6 +119,12 @@ class RpcEndpoint:
         listener (this matches how the query layer reacts: the recovery
         manager, not each individual call site, drives compensation).
 
+        ``timeout`` (simulated seconds) bounds the wait for the reply: when it
+        elapses first, ``on_failure`` fires and a reply arriving later is
+        discarded — which is only safe for idempotent requests, since the
+        peer may still execute the handler.  The resilience layer uses this
+        for its adaptively-timed read RPCs.
+
         A call to a peer that *already* crashed fails fast: the failure
         notification for that peer has fired (or will fire) exactly once, so a
         request issued afterwards — typically from an operation still holding
@@ -117,7 +133,23 @@ class RpcEndpoint:
         a new TCP connection to a dead host gets.
         """
         call_id = next(self._call_ids)
-        self._pending[call_id] = _PendingCall(dst, on_reply, on_failure)
+        self._pending[call_id] = _PendingCall(
+            dst, on_reply, on_failure, sent_at=self.network.now
+        )
+        if timeout is not None:
+
+            def expire() -> None:
+                if not self.node.alive:
+                    return
+                pending = self._pending.pop(call_id, None)
+                if pending is None:
+                    return  # answered (or failed) in time
+                if self.failure_observer is not None:
+                    self.failure_observer(dst, "timeout")
+                if pending.on_failure is not None:
+                    pending.on_failure(dst)
+
+            self.network.schedule(timeout, expire)
         destination = self.network.nodes.get(dst)
         if destination is not None and not destination.alive:
             tracer = self.network.tracer
@@ -142,7 +174,11 @@ class RpcEndpoint:
                 if not self.node.alive:
                     return  # the caller crashed too; nothing to resume
                 pending = self._pending.pop(call_id, None)
-                if pending is not None and pending.on_failure is not None:
+                if pending is None:
+                    return
+                if self.failure_observer is not None:
+                    self.failure_observer(dst, "refused")
+                if pending.on_failure is not None:
                     pending.on_failure(dst)
 
             self.network.schedule(self.network.link_latency(self.address, dst), refuse)
@@ -198,11 +234,22 @@ class RpcEndpoint:
 
         handler(message.src, message.payload["body"], respond)
 
+    def cancel_call(self, call_id: int) -> bool:
+        """Withdraw interest in an outstanding call (hedged-race loser).
+
+        The request may still execute remotely; its reply, if it arrives,
+        finds no pending entry and is discarded.  Returns whether the call
+        was still pending.
+        """
+        return self._pending.pop(call_id, None) is not None
+
     def _on_response(self, message: Message) -> None:
         call_id = message.payload["call_id"]
         pending = self._pending.pop(call_id, None)
         if pending is None:
             return  # response to a call already failed over
+        if self.reply_observer is not None:
+            self.reply_observer(pending.dst, self.network.now - pending.sent_at)
         pending.on_reply(message.payload["body"])
 
     def _on_cast(self, message: Message) -> None:
@@ -224,6 +271,8 @@ class RpcEndpoint:
         affected = [cid for cid, call in self._pending.items() if call.dst == failed_address]
         for call_id in affected:
             call = self._pending.pop(call_id)
+            if self.failure_observer is not None:
+                self.failure_observer(failed_address, "failed")
             if call.on_failure is not None:
                 call.on_failure(failed_address)
 

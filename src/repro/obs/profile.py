@@ -78,6 +78,9 @@ class QueryProfile:
     #: Columnar-encoding footprint of the query (per-codec encoded bytes and
     #: batch counters), copied from the statistics when available.
     encoding: dict = field(default_factory=dict)
+    #: Resilience activity during the query (hedges by outcome, retries,
+    #: breaker skips), copied from the statistics when available.
+    resilience: dict = field(default_factory=dict)
     overhead_bytes: int = 0
     total_bytes: int = 0
     span_count: int = 0
@@ -95,6 +98,7 @@ class QueryProfile:
             "bytes_by_kind": dict(self.bytes_by_kind),
             "messages_by_kind": dict(self.messages_by_kind),
             "encoding": dict(self.encoding),
+            "resilience": dict(self.resilience),
             "overhead_bytes": self.overhead_bytes,
             "total_bytes": self.total_bytes,
             "span_count": self.span_count,
@@ -107,7 +111,8 @@ class QueryProfile:
 
 
 def build_profile(
-    tracer: Tracer, trace_id: int, plan, encoding: dict | None = None
+    tracer: Tracer, trace_id: int, plan, encoding: dict | None = None,
+    resilience: dict | None = None,
 ) -> QueryProfile:
     """Assemble the profile of ``trace_id`` over ``plan``'s operator tree."""
     spans = tracer.spans_of(trace_id)
@@ -115,6 +120,8 @@ def build_profile(
     profile = QueryProfile(trace_id=trace_id, query_ids=query_ids)
     if encoding:
         profile.encoding = dict(encoding)
+    if resilience:
+        profile.resilience = dict(resilience)
     profile.span_count = len(spans)
 
     rows: list[OperatorProfileRow] = []
@@ -204,6 +211,17 @@ def format_profile(profile: QueryProfile) -> str:
             f"(encoded columns: {per_codec}; "
             f"{profile.encoding.get('batches_encoded', 0)} batches encoded, "
             f"{profile.encoding.get('batches_skipped', 0)} skipped undecoded)"
+        )
+    if profile.resilience:
+        hedges = profile.resilience.get("hedges", {})
+        launched = sum(
+            hedges.get(outcome, 0) for outcome in ("won", "lost")
+        )
+        lines.append(
+            f"(resilience: {launched} hedges launched "
+            f"({hedges.get('won', 0)} won), "
+            f"{profile.resilience.get('retries', 0)} retries, "
+            f"{profile.resilience.get('breaker_skips', 0)} breaker skips)"
         )
     return "\n".join(lines)
 

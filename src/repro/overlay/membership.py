@@ -129,6 +129,18 @@ class MembershipView:
     def _request_view(self, seeds: list[str], index: int) -> None:
         if not self._rejoin_pending or index >= len(seeds):
             return
+        resilience = self.node.services.get("resilience")
+        if resilience is not None and index == 0:
+            # The view request is a pure read of the seed's member list, so it
+            # is safe to hedge: a second seed is asked after the first one's
+            # p95 reply delay, and whichever view arrives first rebuilds the
+            # routing table (``_on_join_reply`` ignores the loser).
+            resilience.failover_call(
+                seeds, _VIEW_METHOD, {"address": self.node.address}, 24,
+                on_reply=lambda _src, reply: self._on_join_reply(reply),
+                on_exhausted=lambda _last: None,
+            )
+            return
         self.rpc.call(
             seeds[index], _VIEW_METHOD, {"address": self.node.address}, 24,
             on_reply=self._on_join_reply,

@@ -101,6 +101,12 @@ class QueryStatistics:
     #: encoded column bytes plus batch encode/decode/skip counts, the delta
     #: of :data:`repro.common.serialization.ENCODING_STATS` over the run.
     encoding: dict[str, object] = field(default_factory=dict)
+    #: Resilience activity attributable to this query (all attempts): the
+    #: delta of the merged per-node :class:`~repro.resilience.ResilienceStats`
+    #: over the run — hedges by outcome, retries, adaptive timeouts, breaker
+    #: skips.  Empty when the cluster runs without a resilience config (or
+    #: when the query triggered none of it).
+    resilience: dict[str, object] = field(default_factory=dict)
     #: Trace identity of the query's span tree, set when the cluster has
     #: tracing enabled (:meth:`repro.cluster.Cluster.enable_tracing`).
     trace_id: int | None = None
@@ -132,7 +138,8 @@ class QueryStatistics:
         from ..obs.profile import build_profile
 
         return build_profile(
-            self._tracer, self.trace_id, self._plan, encoding=self.encoding
+            self._tracer, self.trace_id, self._plan, encoding=self.encoding,
+            resilience=self.resilience,
         )
 
     def to_dict(self) -> dict:
@@ -154,6 +161,7 @@ class QueryStatistics:
             "scan_pages_total": self.scan_pages_total,
             "scan_pages_pruned": self.scan_pages_pruned,
             "encoding": dict(self.encoding),
+            "resilience": dict(self.resilience),
             "trace_id": self.trace_id,
         }
 
@@ -171,6 +179,11 @@ class QueryStatistics:
         encoded = self.encoding.get("encoded_bytes", {})
         for codec in sorted(encoded):
             samples.append(("query.encoded_bytes", {"codec": codec}, encoded[codec]))
+        hedges = self.resilience.get("hedges", {})
+        for outcome in sorted(hedges):
+            samples.append(("query.hedges", {"outcome": outcome}, hedges[outcome]))
+        if self.resilience.get("retries"):
+            samples.append(("query.rpc_retries", {}, self.resilience["retries"]))
         return samples
 
     def _absorb_traffic(self, delta) -> None:
@@ -203,6 +216,30 @@ class QueryStatistics:
             delta = after[counter] - before[counter]
             if delta:
                 self.encoding[counter] = self.encoding.get(counter, 0) + delta
+
+    def _absorb_resilience(self, before: dict, after: dict) -> None:
+        """Fold one attempt's resilience-stats delta into the cumulative view.
+
+        ``before``/``after`` are merged cluster-wide snapshots (the resilience
+        layer, like :data:`~repro.common.serialization.ENCODING_STATS`, keeps
+        live process-side counters), so the delta attributes every hedge and
+        retry that fired while this query's attempt was in flight.
+        """
+        if not before:
+            return  # resilience disabled, or no launch-time snapshot
+        for counter in ("calls", "retries", "timeouts", "breaker_skips"):
+            delta = after[counter] - before[counter]
+            if delta:
+                self.resilience[counter] = self.resilience.get(counter, 0) + delta
+        deltas = {
+            outcome: count - before["hedges"].get(outcome, 0)
+            for outcome, count in after["hedges"].items()
+            if count - before["hedges"].get(outcome, 0)
+        }
+        if deltas:
+            hedges = self.resilience.setdefault("hedges", {})
+            for outcome, delta in deltas.items():
+                hedges[outcome] = hedges.get(outcome, 0) + delta
 
 
 @dataclass
@@ -651,6 +688,9 @@ class _ActiveQuery:
     traffic_start: object = None
     #: ENCODING_STATS snapshot at launch; deltas feed ``statistics.encoding``.
     encoding_start: dict = field(default_factory=dict)
+    #: Merged resilience-stats snapshot at launch (empty when the cluster has
+    #: no resilience layer); deltas feed ``statistics.resilience``.
+    resilience_start: dict = field(default_factory=dict)
     #: Canonical plan fingerprint (None when result caching is off) and one
     #: ``(relation, resolved epoch, pinned epoch)`` triple per leaf scan,
     #: recorded so the finished result can enter the semantic cache with
@@ -819,6 +859,26 @@ class QueryService:
         """Cluster-unique query id, namespaced by the initiating node."""
         return f"{self.node.address}/q{next(self._query_ids)}"
 
+    def _resilience_totals(self) -> dict:
+        """Merged cluster-wide resilience-stats snapshot (empty if disabled).
+
+        The per-node stats objects are process-side observers (exactly like
+        :data:`ENCODING_STATS`), so reading them here does not touch the
+        simulated wire; the launch/finish delta attributes hedges and retries
+        to the query that was in flight.
+        """
+        merged = None
+        for peer in self.node.network.nodes.values():
+            resilience = peer.services.get("resilience")
+            if resilience is None:
+                continue
+            if merged is None:
+                from ..resilience import ResilienceStats
+
+                merged = ResilienceStats()
+            merged.merge(resilience.stats)
+        return merged.snapshot() if merged is not None else {}
+
     def reset_volatile(self) -> None:
         """Drop all in-flight query state after a crash-restart.
 
@@ -942,9 +1002,21 @@ class QueryService:
             refs, pruned = prune_page_refs(record.pages, scan.prune_hashes)
             statistics.scan_pages_total += len(record.pages)
             statistics.scan_pages_pruned += pruned
+            resilience = self.node.services.get("resilience")
             pages_by_node: dict[str, list[PageRef]] = {}
             for ref in refs:
-                owner = physical_address(snapshot.owner_of(ref.storage_key))
+                if resilience is None:
+                    owner = physical_address(snapshot.owner_of(ref.storage_key))
+                else:
+                    # Any page replica can run the leaf scan (participants
+                    # chase pages they lack), so route around suspected
+                    # owners; with every replica healthy this is exactly the
+                    # primary-owner assignment.
+                    from ..overlay.replication import replica_set
+
+                    owner = resilience.select_target(
+                        replica_set(snapshot, ref.storage_key, self.replication_factor)
+                    )
                 pages_by_node.setdefault(owner, []).append(ref)
             scan_specs[scan.op_id] = _ScanSpec(
                 scan_op_id=scan.op_id,
@@ -976,6 +1048,7 @@ class QueryService:
             statistics=statistics,
             traffic_start=self.node.network.traffic.snapshot(),
             encoding_start=ENCODING_STATS.snapshot(),
+            resilience_start=self._resilience_totals(),
             fingerprint=fingerprint,
             scans=scanned,
             cache_publish_seq=cache_publish_seq,
@@ -1165,6 +1238,24 @@ class QueryService:
                     on_failure=lambda _addr: attempt(index + 1),
                 )
 
+            resilience = self.node.services.get("resilience")
+            if resilience is not None:
+                def unavailable() -> None:
+                    self.rpc.cast(
+                        context.initiator(), "query.scan_failed",
+                        {"query_id": context.query_id, "page_id": ref.page_id}, 24,
+                    )
+                    done()
+
+                resilience.chase_call(
+                    targets, "store.get_page", {"page_id": ref.page_id}, 32,
+                    accept=lambda _src, rep: (
+                        False if rep.get("missing") else (fetched(rep) or True)
+                    ),
+                    on_exhausted=unavailable,
+                )
+                return
+
             attempt(0)
             return
         self._scan_page_contents(context, spec, page, restrict_ranges, done)
@@ -1187,9 +1278,20 @@ class QueryService:
                 source.deliver_key_rows(matching)
             done()
             return
+        resilience = self.node.services.get("resilience")
         by_data_node: dict[str, list] = {}
         for tid in matching:
-            owner = physical_address(context.snapshot.owner_of(tid.hash_key))
+            if resilience is None:
+                owner = physical_address(context.snapshot.owner_of(tid.hash_key))
+            else:
+                # Same health-aware replica choice as the page assignment:
+                # the data-node handler recovers tuple versions it lacks, so
+                # any healthy replica is a valid destination.
+                from ..overlay.replication import replica_set
+
+                owner = resilience.select_target(
+                    replica_set(context.snapshot, tid.hash_key, self.replication_factor)
+                )
             by_data_node.setdefault(owner, []).append(tid)
         for data_node, tids in by_data_node.items():
             self.rpc.cast(
@@ -1226,12 +1328,42 @@ class QueryService:
         from ..storage.client import search_targets
 
         phase = context.phase
+        resilience = self.node.services.get("resilience")
         for tid in missing:
             context.begin_scan_fetch(scan_op_id)
             replicas = search_targets(
                 context.snapshot, tid.hash_key, self.replication_factor,
                 exclude=(self.node.address,),
             )
+
+            if resilience is not None:
+
+                def accept(_src, reply, tid=tid) -> bool:
+                    if context.phase != phase:
+                        return True  # superseded: consume silently
+                    fetched = [t for t in reply.get("tuples", []) if t.tuple_id == tid]
+                    if not fetched:
+                        return False
+                    self.storage.store_tuple(fetched[0])
+                    source.deliver_tuples(fetched)
+                    context.end_scan_fetch(scan_op_id)
+                    return True
+
+                def exhausted(tid=tid) -> None:
+                    if context.phase != phase:
+                        return
+                    self.rpc.cast(
+                        context.initiator(), "query.scan_failed",
+                        {"query_id": context.query_id, "tuple_id": tid}, 24,
+                    )
+                    context.end_scan_fetch(scan_op_id)
+
+                resilience.chase_call(
+                    replicas, "store.get_tuples",
+                    {"relation": relation, "tuple_ids": [tid]}, 48,
+                    accept, on_exhausted=exhausted,
+                )
+                continue
 
             def attempt(index: int, tid=tid, replicas=replicas) -> None:
                 if context.phase != phase:
@@ -1465,6 +1597,9 @@ class QueryService:
         active.statistics._absorb_encoding(
             active.encoding_start, ENCODING_STATS.snapshot()
         )
+        active.statistics._absorb_resilience(
+            active.resilience_start, self._resilience_totals()
+        )
         active.statistics.rows_shipped = active.collector.rows_received
         result = QueryResult(
             attributes=active.plan.output_attributes(),
@@ -1646,6 +1781,7 @@ class QueryService:
         statistics = active.statistics
         statistics._absorb_traffic(aborted_traffic)
         statistics._absorb_encoding(active.encoding_start, ENCODING_STATS.snapshot())
+        statistics._absorb_resilience(active.resilience_start, self._resilience_totals())
         statistics.restarts += 1
 
         def relaunch() -> None:

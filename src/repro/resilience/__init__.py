@@ -1,0 +1,40 @@
+"""Gray-failure resilience: adaptive timeouts, hedging, breakers, shedding.
+
+The paper's failure model (Section V-C) includes "hung or slow" peers, but
+binary failure detection — the dropped-connection signal the membership
+layer reacts to — never fires for a node that is merely 10x slow.  This
+package is the tail-tolerance layer that closes the gap:
+
+* :mod:`.latency` — per-peer RPC latency estimators (EWMA + a small
+  deterministic quantile window) feeding adaptive timeouts and hedge delays;
+* :mod:`.suspicion` — phi-accrual-style suspicion from heartbeat arrivals,
+  combined with a cross-peer latency-ratio test that catches *slow* (not
+  just silent) peers;
+* :mod:`.breaker` — per-pair circuit breakers and a per-node retry budget,
+  so hedges and retries can never storm a sick node;
+* :mod:`.service` — the per-node :class:`NodeResilience` facade wired into
+  the RPC endpoint, exposing health-ranked replica selection and hedged
+  failover calls to the storage and query layers.
+
+Everything is opt-in (``Cluster(resilience_config=...)``) and fully
+deterministic: no wall clock, no unseeded randomness — heartbeat stagger and
+all timing derive from the simulated clock and stable per-address CRCs.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker, RetryBudget
+from .config import ResilienceConfig
+from .latency import LatencyEstimator
+from .service import NodeResilience
+from .stats import ResilienceStats
+from .suspicion import PeerHealth
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "LatencyEstimator",
+    "NodeResilience",
+    "PeerHealth",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "RetryBudget",
+]

@@ -1,0 +1,126 @@
+"""Circuit breakers and retry budgets: the storm arresters.
+
+Hedging and aggressive failover have a well-known failure mode: when a node
+gets sick, every client's retries concentrate on it (or on its healthy
+replicas) and the cure becomes the overload.  Two standard mechanisms bound
+the blast radius:
+
+* a per-pair :class:`CircuitBreaker` stops sending to a peer after a run of
+  consecutive failures, letting a single half-open probe through after a
+  cooldown;
+* a per-node :class:`RetryBudget` (token bucket, as in gRPC's retry design)
+  caps *duplicate* attempts — hedges — to a small fraction of primary
+  traffic, so even a pathological latency distribution cannot double load.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Stable state -> gauge-code mapping for the metrics registry.
+BREAKER_STATES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one (observer, peer) pair."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 0.05) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self._probing = False
+        #: Transition counter (exposed for tests and observability).
+        self.opens = 0
+
+    def state(self, now: float) -> str:
+        if self.opened_at is None:
+            return CLOSED
+        if now - self.opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be sent to the peer right now.
+
+        While open, nothing passes.  Once the cooldown elapsed, exactly one
+        probe passes (half-open); its outcome closes or re-opens the breaker.
+        """
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def on_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def on_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.opened_at is not None:
+            # Half-open probe failed (or a straggling failure landed while
+            # open): restart the cooldown from now.
+            self.opened_at = now
+            self._probing = False
+            self.opens += 1
+        elif self.consecutive_failures >= self.threshold:
+            self.opened_at = now
+            self._probing = False
+            self.opens += 1
+
+    def reset(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+
+class RetryBudget:
+    """Token bucket bounding duplicate (hedge) attempts per node.
+
+    Every primary attempt deposits ``ratio`` tokens; every duplicate attempt
+    withdraws one.  With ``ratio = 0.1`` a node can hedge at most ~10% of
+    its request volume in steady state, plus the configured initial grace.
+    """
+
+    def __init__(self, ratio: float = 0.1, cap: float = 10.0, initial: float = 3.0) -> None:
+        self.ratio = ratio
+        self.cap = cap
+        self.initial = min(initial, cap)
+        self.tokens = self.initial
+        self.deposits = 0
+        self.spent = 0
+        self.denied = 0
+
+    def on_request(self) -> None:
+        self.deposits += 1
+        self.tokens = min(self.cap, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+    def reset(self) -> None:
+        self.tokens = self.initial
+        self.deposits = 0
+        self.spent = 0
+        self.denied = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "tokens": self.tokens,
+            "deposits": self.deposits,
+            "spent": self.spent,
+            "denied": self.denied,
+        }

@@ -1,0 +1,102 @@
+"""Knobs for the gray-failure resilience layer.
+
+Defaults are calibrated for the simulated LAN profiles (sub-millisecond
+RTTs, operation windows under a second of virtual time): heartbeats tick
+every 20 simulated milliseconds, hedges fire after the observed p95, and
+breakers cool off in 50 milliseconds.  All of it is policy, none of it is
+randomness — a configured cluster replays byte-for-byte under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Configuration for one cluster's :class:`~.service.NodeResilience` layer."""
+
+    #: Fire a second attempt at another replica for idempotent read RPCs
+    #: once the first has been outstanding longer than the peer's hedge
+    #: delay.  Turning this off (with everything else unchanged) must not
+    #: change any operation's *result* — the row-identity invariant the
+    #: chaos harness checks.
+    hedging: bool = True
+    #: Quantile of the peer's observed latency window used as the hedge
+    #: delay (Dean & Barroso's "defer the hedge past the p95").
+    hedge_quantile: float = 0.95
+    #: Hedge delay floor / fallback before any latency has been observed.
+    min_hedge_delay: float = 0.002
+    default_hedge_delay: float = 0.005
+
+    #: Adaptive per-RPC timeout = ``quantile(timeout_quantile) *
+    #: timeout_multiplier`` clamped to ``[min_timeout, max_timeout]``;
+    #: ``default_timeout`` applies before any sample has been observed.
+    timeout_quantile: float = 0.99
+    timeout_multiplier: float = 3.0
+    min_timeout: float = 0.01
+    max_timeout: float = 0.5
+    default_timeout: float = 0.05
+
+    #: Heartbeat ("resilience.ping") period per peer, and the phi-accrual
+    #: suspicion level at which a peer is considered unhealthy.  Phi grows
+    #: with the silence since the last heartbeat reply, scaled by the mean
+    #: observed arrival interval: phi == 2 is ~4.6 mean intervals of silence.
+    heartbeat_interval: float = 0.02
+    #: CPU seconds the ping handler charges before answering.  A bare ping is
+    #: answered at full speed even by a CPU-starved machine — the defining
+    #: blind spot of gray failure — so probes carry a sliver of representative
+    #: work, making the measured round-trip reflect the peer's actual ability
+    #: to serve requests, not just its liveness.
+    probe_cpu_cost: float = 0.0001
+    suspicion_threshold: float = 2.0
+    #: A peer whose smoothed RPC latency exceeds this multiple of the median
+    #: across peers is suspected even while it keeps answering — the *slow*
+    #: half of gray failure that arrival-based phi cannot see.
+    latency_suspect_ratio: float = 3.0
+    #: Samples required before the latency-ratio test may fire (protects
+    #: against suspecting a peer off one cold-start outlier).
+    min_latency_samples: int = 3
+
+    #: Retry/hedge budget (per node, token bucket): each primary attempt
+    #: earns ``retry_budget_ratio`` tokens, each duplicate attempt spends
+    #: one, balance capped at ``retry_budget_cap``.  The bucket starts at
+    #: ``retry_budget_initial`` so cold-start hedges are possible.
+    retry_budget_ratio: float = 0.1
+    retry_budget_cap: float = 10.0
+    retry_budget_initial: float = 3.0
+
+    #: Circuit breaker (per observing node, per peer): ``breaker_threshold``
+    #: consecutive failures open it for ``breaker_cooldown`` simulated
+    #: seconds; the first call after cooldown is the half-open probe.
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 0.05
+
+    #: EWMA smoothing factor for the latency estimators and the size of the
+    #: deterministic quantile window (a ring of recent samples).
+    ewma_alpha: float = 0.2
+    quantile_window: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("hedge_quantile", "timeout_quantile", "ewma_alpha"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be within (0, 1]")
+        if self.min_timeout <= 0 or self.max_timeout < self.min_timeout:
+            raise ValueError("timeouts must satisfy 0 < min_timeout <= max_timeout")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.probe_cpu_cost < 0:
+            raise ValueError("probe_cpu_cost must be non-negative")
+        if self.suspicion_threshold <= 0:
+            raise ValueError("suspicion_threshold must be positive")
+        if self.latency_suspect_ratio < 1.0:
+            raise ValueError("latency_suspect_ratio must be >= 1")
+        if self.retry_budget_ratio < 0 or self.retry_budget_cap <= 0:
+            raise ValueError("retry budget must have non-negative ratio, positive cap")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if self.quantile_window < 2:
+            raise ValueError("quantile_window must hold at least 2 samples")

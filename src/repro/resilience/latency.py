@@ -1,0 +1,67 @@
+"""Per-peer RPC latency estimation: EWMA plus a deterministic quantile window.
+
+A full streaming quantile sketch is overkill at this scale: the windows the
+hedging policy cares about are short (the last few dozen replies), and the
+simulator needs bit-for-bit reproducibility more than it needs sublinear
+update cost.  So the estimator keeps a fixed-size ring of recent samples and
+sorts a copy on demand — O(window log window) per quantile read, zero
+approximation error, and identical output on every replay.
+"""
+
+from __future__ import annotations
+
+
+class LatencyEstimator:
+    """Smoothed mean/variance and windowed quantiles of one peer's reply times."""
+
+    def __init__(self, alpha: float = 0.2, window: int = 64) -> None:
+        self.alpha = alpha
+        self.window = window
+        self.count = 0
+        self.mean = 0.0
+        #: EWMA of the squared deviation (a smoothed variance estimate).
+        self.var = 0.0
+        self._ring: list[float] = []
+        self._cursor = 0
+
+    def observe(self, sample: float) -> None:
+        self.count += 1
+        if self.count == 1:
+            self.mean = sample
+            self.var = 0.0
+        else:
+            delta = sample - self.mean
+            self.mean += self.alpha * delta
+            self.var = (1 - self.alpha) * (self.var + self.alpha * delta * delta)
+        if len(self._ring) < self.window:
+            self._ring.append(sample)
+        else:
+            self._ring[self._cursor] = sample
+            self._cursor = (self._cursor + 1) % self.window
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile over the sample window (None before any sample)."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def std(self) -> float:
+        return self.var ** 0.5
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.var = 0.0
+        self._ring.clear()
+        self._cursor = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "p95": self.quantile(0.95),
+        }

@@ -1,0 +1,66 @@
+"""Phi-accrual-style suspicion from heartbeat arrivals.
+
+Classic accrual failure detection (Hayashibara et al.) replaces the binary
+alive/dead verdict with a continuous suspicion level phi that grows with the
+silence since the last heartbeat.  Under the exponential-arrival
+approximation, ``phi = log10(e) * silence / mean_interval`` — phi == 1 after
+~2.3 mean intervals of silence, phi == 2 after ~4.6, and consumers pick the
+threshold that trades detection speed against false suspicion.
+
+Silence-based phi only catches peers that stop answering.  The *slow* half
+of gray failure — a peer that answers everything 10x late — is caught by the
+latency-ratio test in :class:`~.service.NodeResilience`, which compares the
+peer's smoothed RPC latency against the median across peers.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: log10(e): converts "multiples of the mean interval" into accrual phi.
+_LOG10_E = math.log10(math.e)
+
+
+class PeerHealth:
+    """Heartbeat-arrival accrual state for one observed peer."""
+
+    def __init__(self, alpha: float = 0.2, expected_interval: float = 0.02) -> None:
+        self.alpha = alpha
+        #: Prior for the arrival interval until real arrivals are observed
+        #: (the configured heartbeat period is the obvious choice).
+        self.expected_interval = expected_interval
+        self.last_arrival: float | None = None
+        self.mean_interval: float | None = None
+        self.arrivals = 0
+
+    def heartbeat(self, now: float) -> None:
+        """Record a heartbeat (or any proof-of-life reply) arriving at ``now``."""
+        if self.last_arrival is not None:
+            interval = now - self.last_arrival
+            if self.mean_interval is None:
+                self.mean_interval = interval
+            else:
+                self.mean_interval += self.alpha * (interval - self.mean_interval)
+        self.last_arrival = now
+        self.arrivals += 1
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level (0 before the first arrival: no evidence)."""
+        if self.last_arrival is None:
+            return 0.0
+        interval = self.mean_interval or self.expected_interval
+        if interval <= 0:
+            return 0.0
+        return _LOG10_E * (now - self.last_arrival) / interval
+
+    def reset(self) -> None:
+        self.last_arrival = None
+        self.mean_interval = None
+        self.arrivals = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "last_arrival": self.last_arrival,
+            "mean_interval": self.mean_interval,
+        }

@@ -20,6 +20,7 @@ from .futures import (
     QUEUED,
     RUNNING,
     AdmissionRejectedError,
+    DeadlineExceededError,
     OpCancelledError,
     OpFuture,
     OpTimeoutError,
@@ -45,6 +46,7 @@ __all__ = [
     "CANCELLED",
     "ClosedLoopDriver",
     "DONE",
+    "DeadlineExceededError",
     "FAILED",
     "OpCancelledError",
     "OpFuture",

@@ -37,6 +37,18 @@ class OpTimeoutError(ReproError):
     """The operation did not complete within its submission timeout."""
 
 
+class DeadlineExceededError(OpTimeoutError):
+    """The operation was shed: its deadline could not be met.
+
+    Raised *proactively* by the scheduler's deadline-aware admission — the
+    remaining budget could not cover the estimated service time (plus the
+    expected queue wait, in brownout) — so the client learns immediately
+    instead of holding a doomed slot until the watchdog fires.  Subclasses
+    :class:`OpTimeoutError` so callers treating timeouts generically need no
+    new handling.
+    """
+
+
 class OpCancelledError(ReproError):
     """The operation was cancelled; it has no result."""
 
@@ -68,6 +80,10 @@ class OpFuture:
         self._incomplete: str | None = None
         #: Pending watchdog timer (cancelled by the scheduler on resolution).
         self._timeout_event = None
+        #: Absolute simulated time by which the operation must finish; set by
+        #: the scheduler when the submission carries a deadline, consulted by
+        #: its deadline-aware shedding.
+        self.deadline: float | None = None
         #: Trace identity, set by the scheduler when tracing is enabled: the
         #: operation's root span covers admission to resolution.
         self.trace_id: int | None = None

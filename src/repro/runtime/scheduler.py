@@ -29,9 +29,11 @@ from typing import Callable
 
 from ..net.simnet import Network
 from .futures import (
+    PENDING,
     QUEUED,
     RUNNING,
     AdmissionRejectedError,
+    DeadlineExceededError,
     OpFuture,
     OpTimeoutError,
 )
@@ -53,6 +55,17 @@ class SchedulerConfig:
     queue_capacity: int = 1024
     #: Dequeue policy: ``"fifo"`` or ``"fair"`` (round-robin per initiator).
     policy: str = POLICY_FIFO
+    #: Brownout: with the admission queue at or beyond this depth the
+    #: scheduler degrades gracefully — deadline-carrying submissions that
+    #: cannot also cover the *expected queue wait* are shed at submission.
+    #: ``0`` (the default) disables brownout entirely.
+    brownout_queue_threshold: int = 0
+    #: Queue depth at which brownout ends (defaults to half the entry
+    #: threshold, giving the mode hysteresis instead of flapping).
+    brownout_exit_threshold: int | None = None
+    #: EWMA smoothing for the per-op-type service-time estimates that
+    #: deadline shedding judges remaining budgets against.
+    service_estimate_alpha: float = 0.3
 
     def __post_init__(self) -> None:
         if self.max_in_flight_total < 1:
@@ -63,6 +76,23 @@ class SchedulerConfig:
             raise ValueError("queue_capacity cannot be negative")
         if self.policy not in (POLICY_FIFO, POLICY_FAIR):
             raise ValueError(f"unknown admission policy {self.policy!r}")
+        if self.brownout_queue_threshold < 0:
+            raise ValueError("brownout_queue_threshold cannot be negative")
+        if (
+            self.brownout_exit_threshold is not None
+            and not 0 <= self.brownout_exit_threshold <= self.brownout_queue_threshold
+        ):
+            raise ValueError(
+                "brownout_exit_threshold must lie within [0, brownout_queue_threshold]"
+            )
+        if not 0.0 < self.service_estimate_alpha <= 1.0:
+            raise ValueError("service_estimate_alpha must be within (0, 1]")
+
+    @property
+    def brownout_exit(self) -> int:
+        if self.brownout_exit_threshold is not None:
+            return self.brownout_exit_threshold
+        return self.brownout_queue_threshold // 2
 
 
 @dataclass
@@ -82,7 +112,20 @@ class SchedulerStats:
     #: High-water marks, the quantities the admission caps are judged by.
     max_in_flight: int = 0
     peak_queued: int = 0
+    #: Deadline-aware shedding: entries dropped because their remaining
+    #: budget could not cover the estimated service time (``shed_deadline``)
+    #: or, under brownout, the service time plus the expected queue wait
+    #: (``shed_brownout``).  Both are sub-reasons of ``failed``.
+    shed_deadline: int = 0
+    shed_brownout: int = 0
+    #: Times the scheduler entered brownout, and whether it is in it now.
+    brownouts: int = 0
+    brownout_active: bool = False
     admitted_by_initiator: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        return self.shed_deadline + self.shed_brownout
 
     def snapshot(self) -> dict:
         return {
@@ -97,6 +140,10 @@ class SchedulerStats:
             "queued": self.queued,
             "max_in_flight": self.max_in_flight,
             "peak_queued": self.peak_queued,
+            "shed_deadline": self.shed_deadline,
+            "shed_brownout": self.shed_brownout,
+            "brownouts": self.brownouts,
+            "brownout_active": self.brownout_active,
             "admitted_by_initiator": dict(self.admitted_by_initiator),
         }
 
@@ -118,6 +165,10 @@ class SchedulerStats:
             ("scheduler.queued", {}, self.queued),
             ("scheduler.max_in_flight", {}, self.max_in_flight),
             ("scheduler.peak_queued", {}, self.peak_queued),
+            ("scheduler.shed", {"reason": "deadline"}, self.shed_deadline),
+            ("scheduler.shed", {"reason": "brownout"}, self.shed_brownout),
+            ("scheduler.brownouts", {}, self.brownouts),
+            ("scheduler.brownout_active", {}, int(self.brownout_active)),
         ]
         for initiator in sorted(self.admitted_by_initiator):
             samples.append(
@@ -162,6 +213,82 @@ class Scheduler:
         self._per_initiator_queues: dict[str, list[_QueuedOp]] = {}
         #: Round-robin cursor over initiator names for the fair policy.
         self._fair_cursor = 0
+        #: EWMA service-time estimate per op type, fed by every resolved
+        #: running operation; the basis for deadline-aware shedding.
+        self._service_estimates: dict[str, float] = {}
+
+    # -- deadline-aware shedding --------------------------------------------------
+
+    def service_estimate(self, op_type: str) -> float | None:
+        """Current smoothed service-time estimate for ``op_type`` (if any)."""
+        return self._service_estimates.get(op_type)
+
+    def _observe_service_time(self, future: OpFuture) -> None:
+        # Runs inside ``_resolve`` before the future's ``completed_at`` is
+        # stamped, so the sample is measured against the clock directly.
+        if future.admitted_at is None:
+            return
+        sample = self.network.now - future.admitted_at
+        current = self._service_estimates.get(future.op_type)
+        if current is None:
+            self._service_estimates[future.op_type] = sample
+        else:
+            alpha = self.config.service_estimate_alpha
+            self._service_estimates[future.op_type] = current + alpha * (
+                sample - current
+            )
+
+    def _update_brownout(self) -> None:
+        threshold = self.config.brownout_queue_threshold
+        if threshold <= 0:
+            return
+        if not self.stats.brownout_active and self.stats.queued >= threshold:
+            self.stats.brownout_active = True
+            self.stats.brownouts += 1
+        elif self.stats.brownout_active and self.stats.queued <= self.config.brownout_exit:
+            self.stats.brownout_active = False
+
+    def _should_shed(self, future: OpFuture, queued_ahead: int) -> str | None:
+        """Reason to shed ``future`` now, or None if its deadline is feasible.
+
+        The base test sheds only the definitely-doomed: remaining budget
+        below the estimated service time.  Brownout stiffens it with the
+        expected queue wait (estimate x queue depth over the concurrency
+        cap), trading borderline work away early to keep the rest inside
+        their deadlines instead of timing everything out together.
+        """
+        if future.deadline is None:
+            return None
+        estimate = self._service_estimates.get(future.op_type)
+        if estimate is None:
+            return None  # nothing observed yet; admit and let the watchdog judge
+        remaining = future.deadline - self.network.now
+        if remaining < estimate:
+            return "deadline"
+        if self.stats.brownout_active:
+            expected_wait = estimate * (
+                queued_ahead / self.config.max_in_flight_total
+            )
+            if remaining < estimate + expected_wait:
+                return "brownout"
+        return None
+
+    def _shed(self, future: OpFuture, reason: str) -> None:
+        if reason == "deadline":
+            self.stats.shed_deadline += 1
+        else:
+            self.stats.shed_brownout += 1
+        self.stats.failed += 1
+        self._resolve(
+            future,
+            lambda now: future._set_error(
+                DeadlineExceededError(
+                    f"{future.describe()} shed ({reason}): remaining deadline "
+                    "budget cannot cover the estimated service time"
+                ),
+                now,
+            ),
+        )
 
     # -- submission -------------------------------------------------------------
 
@@ -170,6 +297,7 @@ class Scheduler:
         future: OpFuture,
         launch: Callable[[], None],
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> OpFuture:
         """Admit ``future`` (launching it) or queue it, by the configured caps.
 
@@ -177,16 +305,36 @@ class Scheduler:
         must resolve the future through :meth:`complete` / :meth:`fail`.
         ``timeout`` (simulated seconds, measured from submission) fails the
         operation with :class:`OpTimeoutError` if it has not finished in time.
+        ``deadline`` (also relative seconds) additionally opts the operation
+        into deadline-aware shedding: if the remaining budget cannot cover
+        the estimated service time — judged at submission and again at every
+        admission — the operation fails immediately with
+        :class:`DeadlineExceededError` instead of holding resources until the
+        watchdog fires.  A deadline with no explicit timeout arms the
+        watchdog at the deadline.
         """
         future._scheduler = self
         future._mark_submitted(self.network.now)
         self.stats.submitted += 1
+        if deadline is not None:
+            future.deadline = self.network.now + deadline
+            if timeout is None:
+                timeout = deadline
         if timeout is not None:
             future._timeout_event = self.network.schedule(
                 timeout, lambda: self._on_timeout(future)
             )
         if self._has_slot_for(future.initiator):
+            reason = self._should_shed(future, queued_ahead=0)
+            if reason is not None:
+                self._shed(future, reason)
+                return future
             self._start(future, launch)
+            return future
+        self._update_brownout()
+        reason = self._should_shed(future, queued_ahead=self.stats.queued)
+        if reason is not None:
+            self._shed(future, reason)
             return future
         if self.stats.queued >= self.config.queue_capacity:
             self.stats.rejected += 1
@@ -249,6 +397,8 @@ class Scheduler:
         root_span = getattr(future, "_root_span", None)
         if root_span is not None and self.network.tracer is not None:
             self.network.tracer.end_span(root_span, self.network.now)
+        if was_running:
+            self._observe_service_time(future)
         if self._op_latency is not None and future.submitted_at is not None:
             self._op_latency.observe(
                 self.network.now - future.submitted_at,
@@ -370,6 +520,18 @@ class Scheduler:
             if entry is None:
                 return  # nothing admissible under the per-initiator caps
             self.stats.queued -= 1
+            self._update_brownout()
+            # Re-judge the deadline with the time actually spent queued: an
+            # entry that became infeasible while waiting is shed here, and
+            # the freed slot goes to the next queued operation instead.
+            reason = self._should_shed(entry.future, queued_ahead=self.stats.queued)
+            if reason is not None:
+                # Already popped and accounted for: leave the QUEUED state
+                # before resolving so ``_resolve`` does not decrement the
+                # queue gauge a second time.
+                entry.future.state = PENDING
+                self._shed(entry.future, reason)
+                continue
             self._start(entry.future, entry.launch)
 
     def _pop_fifo(self) -> _QueuedOp | None:

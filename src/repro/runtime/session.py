@@ -63,6 +63,7 @@ class Session:
         data: "UpdateBatch | RelationData",
         epoch: int | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> OpFuture:
         """Publish a batch asynchronously; the future resolves to the epoch.
 
@@ -169,7 +170,7 @@ class Session:
                 del cluster._publishing[batch.relation]
 
         future.add_done_callback(release_chain)
-        return self.scheduler.submit(future, launch, timeout=timeout)
+        return self.scheduler.submit(future, launch, timeout=timeout, deadline=deadline)
 
     # -- retrieve ---------------------------------------------------------------
 
@@ -179,6 +180,7 @@ class Session:
         epoch: int | None = None,
         key_predicate: Callable[[tuple[Value, ...]], bool] | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
         predicate=None,
         columns: Sequence[str] | None = None,
     ) -> OpFuture:
@@ -233,7 +235,7 @@ class Session:
                 projection=projection,
             )
 
-        return self.scheduler.submit(future, launch, timeout=timeout)
+        return self.scheduler.submit(future, launch, timeout=timeout, deadline=deadline)
 
     # -- query ------------------------------------------------------------------
 
@@ -244,6 +246,7 @@ class Session:
         options=None,
         planner_options=None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> OpFuture:
         """Compile and start a distributed query; the future resolves to its
         :class:`~repro.query.service.QueryResult`.
@@ -297,7 +300,7 @@ class Session:
                 on_error=lambda exc: self.scheduler.fail(future, exc),
             )
 
-        return self.scheduler.submit(future, launch, timeout=timeout)
+        return self.scheduler.submit(future, launch, timeout=timeout, deadline=deadline)
 
 
 class Runtime:

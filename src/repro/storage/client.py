@@ -277,6 +277,7 @@ class StorageClient:
         rest = targets[self.replication_factor:]
         epochs: set[int] = set()
         outstanding = {"count": len(primary)}
+        resilience = self.node.services.get("resilience")
 
         def extend(index: int) -> None:
             if index >= len(rest):
@@ -296,9 +297,24 @@ class StorageClient:
                 on_failure=lambda _addr: extend(index + 1),
             )
 
+        def extend_resilient() -> None:
+            def accept(_src: str, reply: Mapping[str, object]) -> bool:
+                if reply.get("missing"):
+                    return False
+                epochs.update(reply["epochs"])
+                on_epochs(set(epochs))
+                return True
+
+            resilience.chase_call(
+                rest, "store.get_catalog", {"relation": relation}, 24,
+                accept, on_exhausted=lambda: on_epochs(set(epochs)),
+            )
+
         def conclude() -> None:
             if epochs:
                 on_epochs(set(epochs))
+            elif resilience is not None:
+                extend_resilient()
             else:
                 extend(0)
 
@@ -318,9 +334,18 @@ class StorageClient:
             on_epochs(set())
             return
         for target in primary:
+            # The union must wait for every replica-set member, so a slow one
+            # is an unavoidable straggler unless the wait is bounded: with
+            # resilience on, an adaptive timeout converts "degraded replica"
+            # into the already-handled "unreachable replica" (conclude with
+            # the union so far, extend the search only if it is empty).
             self.rpc.call(
                 target, "store.get_catalog", {"relation": relation}, 24,
                 on_reply=answered, on_failure=failed,
+                timeout=(
+                    resilience.call_timeout(target)
+                    if resilience is not None else None
+                ),
             )
 
     def resolve_epoch(
@@ -376,10 +401,27 @@ class StorageClient:
                 self.cache.put_coordinator(record)
             on_record(record)
 
+        def not_found() -> None:
+            on_error(RelationNotFoundError(
+                f"coordinator record for {relation!r}@{epoch} not found on any replica"))
+
+        resilience = self.node.services.get("resilience")
+        if resilience is not None:
+            # Health-ranked, hedged, adaptively timed — the coordinator fetch
+            # is an idempotent read, so a second in-flight attempt is safe.
+            resilience.chase_call(
+                targets, "store.get_coordinator",
+                {"relation": relation, "epoch": epoch}, 32,
+                accept=lambda _src, rep: (
+                    False if rep.get("missing") else (deliver(rep["record"]) or True)
+                ),
+                on_exhausted=not_found,
+            )
+            return
+
         def attempt(index: int) -> None:
             if index >= len(targets):
-                on_error(RelationNotFoundError(
-                    f"coordinator record for {relation!r}@{epoch} not found on any replica"))
+                not_found()
                 return
             self.rpc.call(
                 targets[index],
@@ -530,6 +572,18 @@ class _PublishOperation:
                 self._previous_pages[ref.page_id] = page
                 completion.done()
                 return
+
+        resilience = self.client.node.services.get("resilience")
+        if resilience is not None:
+            resilience.chase_call(
+                targets, "store.get_page", {"page_id": ref.page_id}, 32,
+                accept=lambda _src, rep: (
+                    False if rep.get("missing")
+                    else (self._store_previous_page(ref, rep, completion) or True)
+                ),
+                on_exhausted=completion.done,
+            )
+            return
 
         def attempt(index: int) -> None:
             if index >= len(targets):
@@ -1018,8 +1072,20 @@ class _RetrieveOperation:
             + pushdown.predicate_wire_size(self.predicate)
             + (self.projection.estimated_size() if self.projection is not None else 0)
         )
+        resilience = self.client.node.services.get("resilience")
         for ref in remote_refs:
-            index_node = physical_address(self.snapshot.owner_of(ref.storage_key))
+            if resilience is None:
+                index_node = physical_address(self.snapshot.owner_of(ref.storage_key))
+            else:
+                # Any page replica can run the index scan (the handler falls
+                # back to its own replica chase when it lacks the page), so
+                # route around suspected owners; all-healthy picks the
+                # primary owner, matching the resilience-off routing.
+                index_node = resilience.select_target(
+                    replica_set(
+                        self.snapshot, ref.storage_key, self.client.replication_factor
+                    )
+                )
             self.client.rpc.cast(
                 index_node,
                 "store.retrieve_page",
@@ -1174,10 +1240,35 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
         recovered: list[VersionedTuple] = []
         still_missing: list[TupleId] = []
         pending = _CompletionCounter(len(missing), lambda: send_result(recovered, still_missing))
+        resilience = node.services.get("resilience")
         for tid in missing:
             replicas = search_targets(
                 snapshot, tid.hash_key, replication_factor, exclude=(node.address,)
             )
+
+            if resilience is not None:
+
+                def accept(_src, reply, tid=tid) -> bool:
+                    fetched_tuples = [
+                        t for t in reply.get("tuples", []) if t.tuple_id == tid
+                    ]
+                    if not fetched_tuples:
+                        return False
+                    service.store_tuple(fetched_tuples[0])
+                    recovered.append(fetched_tuples[0])
+                    pending.done()
+                    return True
+
+                def exhausted(tid=tid) -> None:
+                    still_missing.append(tid)
+                    pending.done()
+
+                resilience.chase_call(
+                    replicas, "store.get_tuples",
+                    {"relation": relation, "tuple_ids": [tid]}, 48,
+                    accept, on_exhausted=exhausted,
+                )
+                continue
 
             def attempt(index: int, tid=tid, replicas=replicas) -> None:
                 if index >= len(replicas):
@@ -1226,9 +1317,20 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
                 matching = list(page.tuple_ids)
             else:
                 matching = [tid for tid in page.tuple_ids if predicate(tid.key_values)]
+            resilience = node.services.get("resilience")
             by_data_node: dict[str, list[TupleId]] = {}
             for tid in matching:
-                owner = physical_address(snapshot.owner_of(tid.hash_key))
+                if resilience is None:
+                    owner = physical_address(snapshot.owner_of(tid.hash_key))
+                else:
+                    # Any replica can serve the tuple request (the handler
+                    # recovers misses from its own replica chase), so prefer
+                    # a healthy one; with every replica healthy this picks
+                    # the primary owner, unchanged from the resilience-off
+                    # routing.
+                    owner = resilience.select_target(
+                        replica_set(snapshot, tid.hash_key, replication_factor)
+                    )
                 by_data_node.setdefault(owner, []).append(tid)
             rpc.cast(requester, "store.retrieve_manifest",
                      {"request_id": request_id, "page_id": ref.page_id,
@@ -1278,6 +1380,17 @@ def register_retrieve_handlers(service: StorageService, replication_factor: int 
         def fetched(reply: Mapping[str, object]) -> None:
             service.store_page(reply["page"])
             scan_page(reply["page"])
+
+        resilience = node.services.get("resilience")
+        if resilience is not None:
+            resilience.chase_call(
+                targets, "store.get_page", {"page_id": ref.page_id}, 32,
+                accept=lambda _src, reply: (
+                    False if reply.get("missing") else (fetched(reply) or True)
+                ),
+                on_exhausted=page_unavailable,
+            )
+            return
 
         attempt(0)
 

@@ -194,3 +194,79 @@ def test_check_skips_sections_the_fresh_run_omitted():
     # --traffic-only: the timing section is empty — also intentional.
     traffic_only = _traffic_doc(Q3=(100, 200))
     assert perf.check_regressions(reference, traffic_only) == []
+
+
+# ---------------------------------------------------------------------------
+# Gray-failure section
+# ---------------------------------------------------------------------------
+
+
+def _gray_doc(clean=1.0, hedged=2.0, unhedged=15.0, failed=0):
+    return {
+        "gray": {
+            "meta": {"seed": 11, "modes": ["clean", "hedged-degraded",
+                                           "unhedged-degraded"]},
+            "modes": {
+                "clean": {"p50_ms": clean, "p95_ms": clean, "p99_ms": clean,
+                          "p99_vs_clean": 1.0, "failed": failed},
+                "hedged-degraded": {
+                    "p50_ms": hedged, "p95_ms": hedged, "p99_ms": hedged,
+                    "p99_vs_clean": hedged / clean, "failed": failed,
+                },
+                "unhedged-degraded": {
+                    "p50_ms": unhedged, "p95_ms": unhedged, "p99_ms": unhedged,
+                    "p99_vs_clean": unhedged / clean, "failed": failed,
+                },
+            },
+        },
+    }
+
+
+def test_gray_check_passes_when_ratios_hold():
+    assert perf.check_gray_regressions(_gray_doc(), _gray_doc(), 0.25) == []
+
+
+def test_gray_check_fails_when_hedged_ratio_blows_past_the_cap():
+    failures = perf.check_gray_regressions(
+        _gray_doc(), _gray_doc(hedged=4.0), 0.25
+    )
+    assert failures and any("hedged" in line for line in failures)
+
+
+def test_gray_check_fails_when_the_unhedged_tail_collapses():
+    # If the bare system stops hurting, the hedged number proves nothing.
+    failures = perf.check_gray_regressions(
+        _gray_doc(), _gray_doc(unhedged=5.0), 0.25
+    )
+    assert failures and any("unhedged" in line for line in failures)
+
+
+def test_gray_check_fails_on_failed_operations():
+    failures = perf.check_gray_regressions(
+        _gray_doc(), _gray_doc(failed=2), 0.25
+    )
+    assert failures and any("failed" in line for line in failures)
+
+
+def test_gray_check_skips_an_omitted_section_but_not_a_missing_mode():
+    reference = _gray_doc()
+    assert perf.check_gray_regressions(reference, {}, 0.25) == []  # --no-gray
+    partial = _gray_doc()
+    del partial["gray"]["modes"]["unhedged-degraded"]
+    failures = perf.check_gray_regressions(reference, partial, 0.25)
+    assert failures and any("not in this run" in line for line in failures)
+
+
+def test_cli_gray_only_checks_just_the_gray_section(tmp_path):
+    output = tmp_path / "BENCH_gray.json"
+    assert perf.main(["--gray-only", "--output", str(output)]) == 0
+    document = json.loads(output.read_text())
+    assert "gray" in document and "benchmarks" not in document
+    # Checked against a reference that also carries timing and traffic
+    # sections, only the gray section is compared (the nightly job's gate).
+    reference = _gray_doc()
+    reference["gray"] = document["gray"]
+    reference["benchmarks"] = _doc(1.0, x=1.0)["benchmarks"]
+    reference_path = tmp_path / "BENCH_ref.json"
+    reference_path.write_text(json.dumps(reference))
+    assert perf.main(["--gray-only", "--check", str(reference_path)]) == 0

@@ -183,3 +183,123 @@ class TestDegradation:
         network.restart_node("a")
         assert node.host == original
         assert injector.quiescent()
+
+
+class TestAsymmetricPartitions:
+    def build_triple(self):
+        network = Network(latency=0.001)
+        got = {}
+        for address in ("a", "b"):
+            node = network.add_node(address)
+            got[address] = []
+            node.register_handler(
+                "msg", lambda m, address=address: got[address].append(network.now)
+            )
+        return network, got
+
+    def test_one_way_cut_blocks_only_the_named_direction(self):
+        network, got = self.build_triple()
+        injector = FaultInjector(network, seed=0)
+        partition_id = injector.partition(["a"], ["b"], symmetric=False)
+        network.send("a", "b", "msg", {}, 10)  # crosses the cut: blocked
+        network.send("b", "a", "msg", {}, 10)  # reverse direction: delivers
+        network.run(until=0.2)
+        assert len(got["a"]) == 1 and got["a"][0] < 0.1
+        assert got["b"] == []
+        injector.heal(partition_id)
+        network.run()
+        assert len(got["b"]) == 1  # retransmission lands after the heal
+
+    def test_blocked_is_directional(self):
+        network, _got = self.build_triple()
+        injector = FaultInjector(network, seed=0)
+        injector.partition(["a"], ["b"], symmetric=False)
+        assert injector.blocked("a", "b") is True
+        assert injector.blocked("b", "a") is False
+
+    def test_symmetric_default_blocks_both_directions(self):
+        network, _got = self.build_triple()
+        injector = FaultInjector(network, seed=0)
+        injector.partition(["a"], ["b"])
+        assert injector.blocked("a", "b") is True
+        assert injector.blocked("b", "a") is True
+
+    def test_half_open_link_loses_replies_not_requests(self):
+        # The canonical gray failure: b hears a perfectly well, but a never
+        # hears b back — a request/reply exchange over the half-open link
+        # stalls on the reply leg only.
+        network = Network(latency=0.001)
+        a, b = network.add_node("a"), network.add_node("b")
+        replies = []
+        b.register_handler(
+            "ping", lambda m: network.send("b", "a", "pong", {}, 10)
+        )
+        a.register_handler("pong", lambda m: replies.append(network.now))
+        injector = FaultInjector(network, seed=0)
+        injector.partition(["b"], ["a"], symmetric=False, heal_after=0.25)
+        network.send("a", "b", "ping", {}, 10)
+        network.run()
+        assert len(replies) == 1 and replies[0] >= 0.25
+
+
+class TestRetransmitJitter:
+    def test_pairless_delay_is_pure_backoff(self):
+        network, _a, _b, _received = build_pair()
+        injector = FaultInjector(network, seed=3)
+        assert injector.retransmit_delay(0) == injector.rto
+        assert injector.retransmit_delay(3) == injector.rto * 8
+        # The exponent is capped so long partitions stay affordable.
+        assert injector.retransmit_delay(50) == injector.rto * 32
+
+    def test_jitter_is_bounded_by_one_rto(self):
+        network, _a, _b, _received = build_pair()
+        injector = FaultInjector(network, seed=3)
+        for attempt in range(8):
+            base = injector.retransmit_delay(attempt)
+            jittered = injector.retransmit_delay(attempt, "a", "b")
+            assert base <= jittered < base + injector.rto
+
+    def test_jitter_is_deterministic_per_seed(self):
+        network, _a, _b, _received = build_pair()
+        first = FaultInjector(network, seed=7)
+        second = FaultInjector(Network(latency=0.001), seed=7)
+        other_seed = FaultInjector(Network(latency=0.001), seed=8)
+        for attempt in range(4):
+            assert first.retransmit_delay(attempt, "a", "b") == second.retransmit_delay(
+                attempt, "a", "b"
+            )
+        assert any(
+            first.retransmit_delay(attempt, "a", "b")
+            != other_seed.retransmit_delay(attempt, "a", "b")
+            for attempt in range(4)
+        )
+
+    def test_pairs_are_decorrelated(self):
+        # The point of the jitter: after a heal, blocked pairs must not
+        # release their retries in one synchronized wave.
+        network, _a, _b, _received = build_pair()
+        injector = FaultInjector(network, seed=5)
+        delays = {
+            (src, dst): injector.retransmit_delay(1, src, dst)
+            for src in ("a", "b", "c")
+            for dst in ("a", "b", "c")
+            if src != dst
+        }
+        assert len(set(delays.values())) == len(delays)
+
+    def test_jitter_does_not_consume_the_fate_rng(self):
+        # Jitter comes from a CRC, not the chaos RNG stream: computing it
+        # must not shift the fates of subsequent transmissions.
+        network, _a, _b, received = build_pair()
+        injector = FaultInjector(network, seed=9)
+        injector.set_default_chaos(LinkChaos(drop=0.2, duplicate=0.1))
+        for _ in range(100):
+            injector.retransmit_delay(2, "a", "b")
+        send_sequence(network)
+        network.run()
+        reference_net, _a2, _b2, reference_received = build_pair()
+        reference = FaultInjector(reference_net, seed=9)
+        reference.set_default_chaos(LinkChaos(drop=0.2, duplicate=0.1))
+        send_sequence(reference_net)
+        reference_net.run()
+        assert received == reference_received

@@ -61,3 +61,36 @@ def test_reports_are_deterministic_per_seed():
     assert first.summary() == second.summary()
     assert first.quiesced_at == second.quiesced_at
     assert first.faults == second.faults
+
+
+def test_asymmetric_partitions_uphold_all_invariants():
+    # One-way cuts (a muted minority whose outbound traffic is dropped) are
+    # the partition shape of gray failures; the invariants must hold just as
+    # they do for bidirectional cuts.
+    config = ScenarioConfig(partitions=0, asymmetric_partitions=2)
+    started = 0
+    for seed in range(6):
+        report = run_scenario(30_000 + seed, config)
+        assert_no_violations(report)
+        started += report.faults["partitions_started"]
+        assert report.faults["partitions_healed"] == report.faults["partitions_started"]
+    assert started > 0  # the budget actually scheduled cuts
+
+
+def test_zero_asymmetric_budget_replays_existing_seeds_exactly():
+    # The new budget defaults to 0 and is planned after the bidirectional
+    # partitions, so pre-existing seeds keep their exact fault schedules.
+    baseline = run_scenario(123)
+    explicit = run_scenario(123, ScenarioConfig(asymmetric_partitions=0))
+    assert baseline.summary() == explicit.summary()
+    assert baseline.faults == explicit.faults
+    assert baseline.quiesced_at == explicit.quiesced_at
+
+
+def test_asymmetric_scenarios_are_deterministic_per_seed():
+    config = ScenarioConfig(asymmetric_partitions=1)
+    first = run_scenario(456, config)
+    second = run_scenario(456, config)
+    assert first.summary() == second.summary()
+    assert first.faults == second.faults
+    assert first.quiesced_at == second.quiesced_at

@@ -1,0 +1,97 @@
+"""Unit tests for the circuit breaker and the retry budget."""
+
+from repro.resilience import CircuitBreaker, RetryBudget
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows_traffic(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=0.05)
+        assert breaker.state(0.0) == CLOSED
+        assert breaker.allow(0.0) is True
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=0.05)
+        for _ in range(2):
+            breaker.on_failure(1.0)
+        assert breaker.state(1.0) == CLOSED  # below threshold
+        breaker.on_failure(1.0)
+        assert breaker.state(1.0) == OPEN
+        assert breaker.allow(1.0) is False
+        assert breaker.opens == 1
+
+    def test_a_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=0.05)
+        breaker.on_failure(1.0)
+        breaker.on_failure(1.0)
+        breaker.on_success(1.0)
+        breaker.on_failure(1.0)
+        assert breaker.state(1.0) == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.on_failure(1.0)
+        assert breaker.state(1.04) == OPEN
+        assert breaker.state(1.05) == HALF_OPEN
+        assert breaker.allow(1.05) is True  # the probe
+        assert breaker.allow(1.05) is False  # everyone else keeps waiting
+
+    def test_probe_success_closes_the_breaker(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.on_failure(1.0)
+        assert breaker.allow(1.06) is True
+        breaker.on_success(1.07)
+        assert breaker.state(1.07) == CLOSED
+        assert breaker.allow(1.07) is True
+
+    def test_probe_failure_restarts_the_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.on_failure(1.0)
+        assert breaker.allow(1.06) is True
+        breaker.on_failure(1.06)
+        assert breaker.state(1.07) == OPEN  # cooldown restarted at 1.06
+        assert breaker.state(1.12) == HALF_OPEN
+        assert breaker.opens == 2
+
+
+class TestRetryBudget:
+    def test_initial_grace_allows_cold_start_hedges(self):
+        budget = RetryBudget(ratio=0.1, cap=10.0, initial=2.0)
+        assert budget.try_spend() is True
+        assert budget.try_spend() is True
+        assert budget.try_spend() is False
+        assert budget.denied == 1
+
+    def test_primary_traffic_earns_tokens_at_the_ratio(self):
+        budget = RetryBudget(ratio=0.1, cap=10.0, initial=0.0)
+        assert budget.try_spend() is False
+        for _ in range(11):
+            budget.on_request()
+        assert budget.try_spend() is True  # 11 * 0.1 accumulates past 1 token
+        assert budget.try_spend() is False
+
+    def test_tokens_are_capped(self):
+        budget = RetryBudget(ratio=1.0, cap=3.0, initial=0.0)
+        for _ in range(100):
+            budget.on_request()
+        assert budget.tokens == 3.0
+
+    def test_spend_never_exceeds_earnings_plus_grace(self):
+        # The storm-arrester invariant the seeded sweeps check end-to-end:
+        # duplicates are bounded by ratio * primaries + the initial grace.
+        budget = RetryBudget(ratio=0.1, cap=10.0, initial=3.0)
+        spent = 0
+        for index in range(500):
+            budget.on_request()
+            if index % 2 == 0 and budget.try_spend():
+                spent += 1
+        assert spent == budget.spent
+        assert budget.spent <= budget.initial + budget.deposits * budget.ratio
+        assert budget.tokens >= 0.0
+
+    def test_reset_restores_the_grace(self):
+        budget = RetryBudget(ratio=0.1, cap=10.0, initial=1.0)
+        assert budget.try_spend() is True
+        budget.reset()
+        assert budget.tokens == 1.0
+        assert budget.spent == 0

@@ -1,0 +1,61 @@
+"""End-to-end smoke of the gray-failure bench experiment.
+
+Runs the experiment behind the committed headline number once, at its
+default scale (the simulator is deterministic, so this is the exact run
+recorded in ``BENCH_perf.json``): with one node gray — slow but alive,
+passing every crash check — the resilience layer must keep the read tail
+within a few x of the clean baseline while the bare system's open-loop
+queue buildup blows its tail past the raw slowdown factor.
+"""
+
+import pytest
+
+from repro.bench.harness import GRAY_MODES, run_gray_failure_experiment
+
+
+@pytest.fixture(scope="module")
+def headline_rows():
+    return {row["mode"]: row for row in run_gray_failure_experiment()}
+
+
+class TestGrayFailureExperiment:
+    def test_all_modes_reported_without_failures(self, headline_rows):
+        assert set(headline_rows) == set(GRAY_MODES)
+        for row in headline_rows.values():
+            assert row["failed"] == 0, row["mode"]
+
+    def test_hedged_tail_stays_near_clean(self, headline_rows):
+        # The perf-suite gate (GRAY_HEDGED_MAX_RATIO): suspicion plus
+        # health-ranked routing hides the gray node from the read path.
+        assert headline_rows["hedged-degraded"]["p99_vs_clean"] <= 3.0
+
+    def test_unhedged_tail_blows_past_the_slowdown(self, headline_rows):
+        # The perf-suite gate (GRAY_UNHEDGED_MIN_RATIO): open-loop arrivals
+        # queue behind the victim, amplifying the tail past the raw 10x.
+        assert headline_rows["unhedged-degraded"]["p99_vs_clean"] > 10.0
+
+    def test_ratio_is_anchored_to_the_clean_baseline(self, headline_rows):
+        clean = headline_rows["clean"]
+        assert clean["p99_vs_clean"] == 1.0
+        for mode, row in headline_rows.items():
+            if mode != "clean":
+                assert row["p99_vs_clean"] == row["p99_ms"] / clean["p99_ms"]
+
+    def test_experiment_is_deterministic(self):
+        settings = dict(num_nodes=6, tuples_per_relation=200, num_ops=40)
+        first = run_gray_failure_experiment(**settings)
+        second = run_gray_failure_experiment(**settings)
+        assert first == second
+        by_mode = {row["mode"]: row for row in first}
+        assert (
+            by_mode["clean"]["p99_ms"]
+            <= by_mode["hedged-degraded"]["p99_ms"]
+            < by_mode["unhedged-degraded"]["p99_ms"]
+        )
+
+    def test_mode_subset_and_unknown_mode(self):
+        settings = dict(num_nodes=6, tuples_per_relation=120, num_ops=15)
+        rows = run_gray_failure_experiment(modes=("clean",), **settings)
+        assert [row["mode"] for row in rows] == ["clean"]
+        with pytest.raises(ValueError, match="degraded-weird"):
+            run_gray_failure_experiment(modes=("degraded-weird",), **settings)

@@ -1,0 +1,109 @@
+"""Seeded gray-failure sweeps: hedging must never change a result.
+
+Hedged requests are duplicates of idempotent reads — whichever replica
+answers, the rows are the same.  The sweep drives seeded workloads against
+clusters with one gray (degraded but live) node and asserts three-way row
+identity: resilience with hedging, resilience without hedging, and no
+resilience layer at all.  On top of that, every run must uphold the
+storm-arrester invariants: duplicate attempts bounded by the retry budget's
+token arithmetic, and breakers open only on real failure evidence.
+
+``GRAY_SEEDS`` scales the sweep (the nightly ``gray-smoke`` job runs a much
+larger count than the tier-1 default); the equivalence portion is capped so
+the nightly widening spends its time on the cheap invariant checks.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.faults.injector import FaultInjector
+from repro.resilience import ResilienceConfig
+
+#: Tier-1 default; the nightly job sets GRAY_SEEDS into the hundreds.
+SEED_COUNT = int(os.environ.get("GRAY_SEEDS", "5"))
+EQUIVALENCE_SEED_COUNT = min(SEED_COUNT, 24)
+
+
+def relation(name, rows=120):
+    data = RelationData(Schema(name, ["k", "grp", "v"], key=["k"]))
+    for index in range(rows):
+        data.add(f"{name}-{index:05d}", f"g{index % 5}", index)
+    return data
+
+
+def run_workload(seed, resilience_config):
+    """One seeded retrieval workload against a cluster with one gray node.
+
+    Returns (sorted rows per op, cluster) so callers can compare results
+    across configurations and inspect the resilience state afterwards.
+    """
+    cluster = Cluster(6, resilience_config=resilience_config)
+    injector = FaultInjector(cluster.network, seed=seed)
+    names = ("R", "S")
+    cluster.publish_relations([relation(name) for name in names])
+    rng = random.Random(seed)
+    victim = cluster.live_addresses()[rng.randrange(6)]
+    slowdown = 2.0 + 8.0 * rng.random()
+    injector.degrade_node(
+        victim, cpu_slowdown=slowdown, bandwidth_slowdown=slowdown
+    )
+    if resilience_config is not None:
+        cluster.start_resilience_heartbeats(0.1)
+        cluster.run()
+    results = []
+    for index in range(6):
+        outcome = cluster.retrieve(names[index % len(names)])
+        results.append(sorted(t.values for t in outcome.tuples))
+    return results, cluster
+
+
+def assert_budget_and_breaker_invariants(cluster):
+    """Per-node storm-arrester invariants, checked after any resilience run."""
+    for address in cluster.live_addresses():
+        resilience = cluster.nodes[address].resilience
+        if resilience is None:
+            continue
+        budget = resilience.retry_budget
+        # Duplicates never outrun earnings: ratio * primaries + the grace.
+        assert budget.spent <= budget.initial + budget.deposits * budget.ratio + 1e-9
+        assert budget.tokens >= 0.0
+        # Without a crash-restart in the run, every spent token is exactly
+        # one launched hedge.
+        assert resilience.stats.hedges_launched == budget.spent
+        # A breaker that ever opened must have real failure evidence: in a
+        # degrade-only workload (no crashes, no refusals) the only failure
+        # kind is an adaptive timeout, and opening takes a consecutive run
+        # of them.
+        for breaker in resilience._breakers.values():
+            if breaker.opens:
+                assert resilience.stats.timeouts >= breaker.threshold
+
+
+@pytest.mark.parametrize("seed", range(EQUIVALENCE_SEED_COUNT))
+def test_hedging_on_off_rows_are_identical(seed):
+    hedged, hedged_cluster = run_workload(seed, ResilienceConfig())
+    unhedged, _ = run_workload(seed, ResilienceConfig(hedging=False))
+    disabled, _ = run_workload(seed, None)
+    assert hedged == unhedged, f"seed {seed}: hedging changed a result"
+    assert hedged == disabled, f"seed {seed}: the resilience layer changed a result"
+    assert_budget_and_breaker_invariants(hedged_cluster)
+
+
+@pytest.mark.parametrize("seed", range(EQUIVALENCE_SEED_COUNT, SEED_COUNT))
+def test_budget_and_breaker_invariants_hold(seed):
+    _results, cluster = run_workload(seed, ResilienceConfig())
+    assert_budget_and_breaker_invariants(cluster)
+
+
+def test_runs_are_deterministic_per_seed():
+    first, first_cluster = run_workload(3, ResilienceConfig())
+    second, second_cluster = run_workload(3, ResilienceConfig())
+    assert first == second
+    assert (
+        first_cluster.resilience_statistics().snapshot()
+        == second_cluster.resilience_statistics().snapshot()
+    )

@@ -1,0 +1,81 @@
+"""Unit tests for the per-peer latency estimator.
+
+The estimator is the ground truth behind every adaptive decision (timeouts,
+hedge delays, the latency-outlier test), so the properties under test are the
+ones those policies rely on: EWMA convergence, exact windowed quantiles, and
+bit-for-bit determinism across replays.
+"""
+
+from repro.resilience import LatencyEstimator
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_mean(self):
+        est = LatencyEstimator(alpha=0.2)
+        est.observe(0.01)
+        assert est.count == 1
+        assert est.mean == 0.01
+        assert est.var == 0.0
+
+    def test_mean_converges_to_a_steady_signal(self):
+        est = LatencyEstimator(alpha=0.2)
+        for _ in range(100):
+            est.observe(0.004)
+        assert abs(est.mean - 0.004) < 1e-12
+        assert est.std < 1e-6
+
+    def test_mean_tracks_a_level_shift(self):
+        est = LatencyEstimator(alpha=0.2)
+        for _ in range(20):
+            est.observe(0.001)
+        for _ in range(60):
+            est.observe(0.010)  # the peer got 10x slower
+        assert est.mean > 0.009
+
+    def test_variance_rises_with_jitter(self):
+        steady = LatencyEstimator(alpha=0.2)
+        jittery = LatencyEstimator(alpha=0.2)
+        for index in range(50):
+            steady.observe(0.005)
+            jittery.observe(0.001 if index % 2 else 0.009)
+        assert jittery.std > steady.std
+
+
+class TestQuantileWindow:
+    def test_no_samples_means_no_quantile(self):
+        assert LatencyEstimator().quantile(0.95) is None
+
+    def test_quantiles_are_exact_over_the_window(self):
+        est = LatencyEstimator(window=10)
+        for sample in [0.005, 0.001, 0.009, 0.003, 0.007]:
+            est.observe(sample)
+        assert est.quantile(0.0) == 0.001
+        assert est.quantile(0.5) == 0.005
+        assert est.quantile(1.0) == 0.009
+
+    def test_ring_evicts_the_oldest_samples(self):
+        est = LatencyEstimator(window=4)
+        for sample in [1.0, 1.0, 1.0, 1.0, 0.002, 0.002, 0.002, 0.002]:
+            est.observe(sample)
+        # The four 1.0s rolled out of the window entirely.
+        assert est.quantile(1.0) == 0.002
+
+    def test_reset_clears_everything(self):
+        est = LatencyEstimator()
+        for _ in range(5):
+            est.observe(0.5)
+        est.reset()
+        assert est.count == 0
+        assert est.mean == 0.0
+        assert est.quantile(0.5) is None
+
+
+class TestDeterminism:
+    def test_identical_streams_produce_identical_state(self):
+        samples = [0.001 * (1 + (i * 7) % 13) for i in range(200)]
+        a, b = LatencyEstimator(), LatencyEstimator()
+        for sample in samples:
+            a.observe(sample)
+            b.observe(sample)
+        assert a.to_dict() == b.to_dict()
+        assert a.quantile(0.99) == b.quantile(0.99)

@@ -1,0 +1,157 @@
+"""Registry reconciliation for the resilience counters.
+
+The metrics registry is a *pull* surface: collectors read the live stats
+objects at scrape time.  These tests hold the registry to exact agreement
+with the per-node :class:`~repro.resilience.stats.ResilienceStats` — a
+drifting counter would make the dashboards lie about hedge traffic — and
+check that breaker gauges, scheduler shed counters and the per-query
+resilience attribution all surface through the same pipeline.
+"""
+
+from repro.cluster import Cluster
+from repro.common.types import RelationData, Schema
+from repro.faults.injector import FaultInjector
+from repro.resilience import ResilienceConfig
+from repro.resilience.breaker import BREAKER_STATES
+
+
+def relation(name, rows=150):
+    data = RelationData(Schema(name, ["k", "grp", "v"], key=["k"]))
+    for index in range(rows):
+        data.add(f"{name}-{index:05d}", f"g{index % 5}", index)
+    return data
+
+
+def build_busy_cluster(seed=7):
+    """A cluster that has actually exercised the resilience machinery."""
+    cluster = Cluster(6, resilience_config=ResilienceConfig())
+    injector = FaultInjector(cluster.network, seed=seed)
+    cluster.publish_relations([relation(name) for name in ("R", "S")])
+    injector.degrade_node(
+        cluster.live_addresses()[2], cpu_slowdown=8.0, bandwidth_slowdown=8.0
+    )
+    cluster.start_resilience_heartbeats(0.2)
+    cluster.run()
+    for index in range(4):
+        cluster.retrieve(("R", "S")[index % 2])
+    return cluster
+
+
+def samples_by_name(cluster):
+    grouped = {}
+    for name, tags, value in cluster.metrics.series():
+        grouped.setdefault(name, []).append((tags, value))
+    return grouped
+
+
+class TestRegistryReconciliation:
+    def test_counters_equal_the_merged_per_node_stats(self):
+        cluster = build_busy_cluster()
+        totals = cluster.resilience_statistics()
+        grouped = samples_by_name(cluster)
+        assert grouped["rpc.retries"] == [({}, totals.retries)]
+        assert grouped["rpc.adaptive_timeouts"] == [({}, totals.timeouts)]
+        assert grouped["rpc.breaker_skips"] == [({}, totals.breaker_skips)]
+        assert grouped["rpc.heartbeats_sent"] == [({}, totals.heartbeats_sent)]
+        assert grouped["rpc.heartbeats_received"] == [
+            ({}, totals.heartbeats_received)
+        ]
+        hedge_samples = {
+            tags["outcome"]: value for tags, value in grouped["rpc.hedges"]
+        }
+        assert hedge_samples == totals.hedges
+        # The probe train definitely ran, so the scrape is not vacuous.
+        assert totals.heartbeats_sent > 0
+
+    def test_merged_stats_are_the_sum_of_the_per_node_stats(self):
+        cluster = build_busy_cluster()
+        totals = cluster.resilience_statistics().snapshot()
+        by_hand = None
+        for address in cluster.live_addresses():
+            snapshot = cluster.nodes[address].resilience.stats.snapshot()
+            if by_hand is None:
+                by_hand = snapshot
+                continue
+            for counter, value in snapshot.items():
+                if counter == "hedges":
+                    for outcome, count in value.items():
+                        by_hand["hedges"][outcome] += count
+                else:
+                    by_hand[counter] += value
+        assert totals == by_hand
+
+    def test_breaker_gauges_cover_every_observed_pair(self):
+        cluster = build_busy_cluster()
+        grouped = samples_by_name(cluster)
+        gauges = {
+            (tags["node"], tags["peer"]): value
+            for tags, value in grouped.get("breaker.state", [])
+        }
+        expected = {}
+        for address in cluster.live_addresses():
+            resilience = cluster.nodes[address].resilience
+            for peer, state in resilience.breaker_states().items():
+                expected[(address, peer)] = BREAKER_STATES[state]
+        assert gauges == expected
+        assert expected  # the workload created at least one breaker
+
+    def test_scheduler_shed_counters_are_scraped(self):
+        cluster = build_busy_cluster()
+        grouped = samples_by_name(cluster)
+        reasons = {tags["reason"]: value for tags, value in grouped["scheduler.shed"]}
+        assert set(reasons) == {"deadline", "brownout"}
+        assert all(value >= 0 for value in reasons.values())
+
+    def test_snapshot_keys_carry_the_tags(self):
+        cluster = build_busy_cluster()
+        snapshot = cluster.observability()["metrics"]
+        for outcome in ("won", "lost", "suppressed_budget", "suppressed_breaker"):
+            assert f"rpc.hedges{{outcome={outcome}}}" in snapshot
+        assert "rpc.retries" in snapshot
+
+
+class TestQueryAttribution:
+    def run_query_with_overlapping_reads(self, cluster):
+        """Submit a query plus retrievals in the same network drain.
+
+        Attribution is a launch/finish delta over the live counters, so the
+        query picks up exactly the resilience activity that fired while it
+        was in flight — here, the hedged-failover calls of the concurrent
+        retrievals.
+        """
+        session = cluster.session()
+        query_future = session.submit_query("SELECT k, v FROM R WHERE v < 40")
+        read_futures = [session.submit_retrieve(name) for name in ("R", "S")]
+        cluster.run()
+        assert all(future.succeeded() for future in read_futures)
+        return query_future.result()
+
+    def test_query_statistics_carry_the_resilience_delta(self):
+        cluster = build_busy_cluster()
+        result = self.run_query_with_overlapping_reads(cluster)
+        attribution = result.statistics.resilience
+        assert attribution["calls"] >= 1
+
+    def test_quiet_query_reports_an_empty_delta(self):
+        # No resilience activity in the window -> nothing to attribute.
+        cluster = build_busy_cluster()
+        result = cluster.query("SELECT k, v FROM R WHERE v < 40")
+        assert result.statistics.resilience == {}
+
+    def test_query_profile_renders_the_resilience_section(self):
+        cluster = build_busy_cluster()
+        cluster.enable_tracing()
+        result = self.run_query_with_overlapping_reads(cluster)
+        profile = result.statistics.profile()
+        assert profile is not None
+        assert profile.resilience == result.statistics.resilience
+        assert "hedges launched" in profile.format()
+
+    def test_disabled_resilience_reports_nothing(self):
+        cluster = Cluster(4)
+        cluster.publish_relations([relation("R")])
+        result = cluster.query("SELECT k FROM R WHERE v < 10")
+        assert result.statistics.resilience == {}
+        grouped = samples_by_name(cluster)
+        assert "rpc.hedges" not in grouped
+        assert "breaker.state" not in grouped

@@ -1,0 +1,345 @@
+"""Behavioural tests for :class:`NodeResilience` over a bare simulated network.
+
+Each test wires a handful of raw ``SimNode``s with resilience facades and
+drives the policies directly — adaptive timeouts, the latency-outlier
+hysteresis, health-ranked replica selection, and the hedged failover state
+machine — without the full cluster stack in the way.
+"""
+
+from repro.net.simnet import Network
+from repro.resilience import NodeResilience, ResilienceConfig
+
+
+def build(count=4, config=None):
+    network = Network(latency=0.001)
+    addresses = [f"n{i}" for i in range(count)]
+    nodes = {address: network.add_node(address) for address in addresses}
+    config = config or ResilienceConfig()
+    resilience = {
+        address: NodeResilience(nodes[address], config, peers=lambda: addresses)
+        for address in addresses
+    }
+    return network, addresses, nodes, resilience
+
+
+def register_read(resilience, address, delay=0.0):
+    """Serve ``read`` on ``address``, optionally holding the reply ``delay``s."""
+    node = resilience[address]
+
+    def handler(src, payload, respond):
+        if delay > 0:
+            node.network.schedule(delay, lambda: respond({"from": address}, 10))
+        else:
+            respond({"from": address}, 10)
+
+    node.rpc.register("read", handler)
+
+
+class TestAdaptiveTimeout:
+    def test_default_before_any_sample(self):
+        _network, _addrs, _nodes, res = build()
+        assert res["n0"].call_timeout("n1") == res["n0"].config.default_timeout
+
+    def test_timeout_tracks_the_observed_tail(self):
+        _network, _addrs, _nodes, res = build()
+        for _ in range(10):
+            res["n0"].estimator("n1").observe(0.02)
+        config = res["n0"].config
+        assert res["n0"].call_timeout("n1") == 0.02 * config.timeout_multiplier
+
+    def test_timeout_is_clamped_to_the_configured_band(self):
+        _network, _addrs, _nodes, res = build()
+        for _ in range(10):
+            res["n0"].estimator("n1").observe(1e-6)
+            res["n0"].estimator("n2").observe(10.0)
+        config = res["n0"].config
+        assert res["n0"].call_timeout("n1") == config.min_timeout
+        assert res["n0"].call_timeout("n2") == config.max_timeout
+
+    def test_outlier_peer_gets_the_fleet_reference_timeout(self):
+        # A consistently slow peer must not inflate its own timeout: once it
+        # is a latency outlier, patience is derived from the healthy fleet.
+        _network, _addrs, _nodes, res = build(count=6)
+        observer = res["n0"]
+        for peer in ("n1", "n2", "n3", "n4"):
+            for _ in range(10):
+                observer.estimator(peer).observe(0.01)
+        for _ in range(10):
+            observer.estimator("n5").observe(0.1)  # 10x the fleet
+        config = observer.config
+        assert observer.call_timeout("n5") == 0.01 * config.timeout_multiplier
+        assert observer.call_timeout("n1") == 0.01 * config.timeout_multiplier
+
+
+class TestLatencySuspicion:
+    def feed(self, res, peer, sample, times=10):
+        for _ in range(times):
+            res.estimator(peer).observe(sample)
+
+    def test_slow_outlier_is_suspected(self):
+        _network, _addrs, _nodes, res = build(count=5)
+        observer = res["n0"]
+        for peer in ("n1", "n2", "n3"):
+            self.feed(observer, peer, 0.001)
+        self.feed(observer, "n4", 0.01)
+        assert observer.healthy("n4") is False
+        assert observer.healthy("n1") is True
+
+    def test_two_reference_peers_are_not_enough(self):
+        # With fewer than three samples of the fleet there is no meaningful
+        # median; nobody gets suspected off thin evidence.
+        _network, _addrs, _nodes, res = build(count=3)
+        observer = res["n0"]
+        self.feed(observer, "n1", 0.001)
+        self.feed(observer, "n2", 0.05)
+        assert observer.healthy("n2") is True
+
+    def test_hysteresis_holds_suspicion_between_the_thresholds(self):
+        # Enter at ratio >= 3, exit only below 1.5: a suspect whose smoothed
+        # latency decays into the band (cheap control replies) stays suspect.
+        _network, _addrs, _nodes, res = build(count=5)
+        observer = res["n0"]
+        for peer in ("n1", "n2", "n3"):
+            self.feed(observer, peer, 0.001)
+        self.feed(observer, "n4", 0.01)
+        assert observer.healthy("n4") is False
+        self.feed(observer, "n4", 0.002, times=30)  # decay to ~2x median
+        assert abs(observer.estimator("n4").mean / 0.001 - 2.0) < 0.3
+        assert observer.healthy("n4") is False  # held by the band
+        self.feed(observer, "n4", 0.001, times=40)  # true recovery
+        assert observer.healthy("n4") is True
+
+    def test_rank_replicas_is_identity_when_all_healthy(self):
+        _network, _addrs, _nodes, res = build(count=5)
+        targets = ["n3", "n1", "n4", "n2"]
+        assert res["n0"].rank_replicas(targets) == targets
+
+    def test_rank_replicas_demotes_the_suspect(self):
+        _network, _addrs, _nodes, res = build(count=5)
+        observer = res["n0"]
+        for peer in ("n1", "n2", "n3"):
+            self.feed(observer, peer, 0.001)
+        self.feed(observer, "n4", 0.01)
+        assert observer.rank_replicas(["n4", "n1", "n2"]) == ["n1", "n2", "n4"]
+        assert observer.select_target(["n4", "n1"]) == "n1"
+
+    def test_open_breaker_makes_a_peer_unhealthy(self):
+        network, _addrs, _nodes, res = build()
+        observer = res["n0"]
+        for _ in range(observer.config.breaker_threshold):
+            observer.breaker("n2").on_failure(network.now)
+        assert observer.healthy("n2") is False
+
+
+class TestFailover:
+    def test_single_healthy_target_replies_once(self):
+        network, _addrs, _nodes, res = build()
+        register_read(res, "n1")
+        replies = []
+        res["n0"].failover_call(["n1"], "read", {}, 10, on_reply=lambda s, b: replies.append(s))
+        network.run()
+        assert replies == ["n1"]
+        assert res["n0"].stats.calls == 1
+        assert res["n0"].stats.retries == 0
+
+    def test_silent_primary_times_out_and_fails_over(self):
+        network, _addrs, _nodes, res = build()
+        res["n1"].rpc.register("read", lambda src, p, respond: None)  # black hole
+        register_read(res, "n2")
+        replies = []
+        res["n0"].failover_call(
+            ["n1", "n2"], "read", {}, 10,
+            on_reply=lambda s, b: replies.append(s), hedge=False,
+        )
+        network.run()
+        assert replies == ["n2"]
+        assert res["n0"].stats.timeouts == 1
+        assert res["n0"].stats.retries == 1
+
+    def test_exhaustion_fires_the_exhausted_callback_once(self):
+        network, _addrs, _nodes, res = build()
+        res["n1"].rpc.register("read", lambda src, p, respond: None)
+        res["n2"].rpc.register("read", lambda src, p, respond: None)
+        replies, exhausted = [], []
+        res["n0"].failover_call(
+            ["n1", "n2"], "read", {}, 10,
+            on_reply=lambda s, b: replies.append(s),
+            on_exhausted=lambda last: exhausted.append(last),
+            hedge=False,
+        )
+        network.run()
+        assert replies == []
+        assert exhausted == ["n2"]
+
+    def test_hedge_wins_against_a_slow_primary(self):
+        network, _addrs, _nodes, res = build()
+        register_read(res, "n1", delay=0.05)  # far beyond the hedge delay
+        register_read(res, "n2")
+        replies = []
+        res["n0"].failover_call(
+            ["n1", "n2"], "read", {}, 10, on_reply=lambda s, b: replies.append(s)
+        )
+        network.run()
+        assert replies == ["n2"]  # exactly one continuation, from the hedge
+        assert res["n0"].stats.hedges["won"] == 1
+        assert res["n0"].stats.hedges["lost"] == 0
+
+    def test_fast_primary_means_the_hedge_never_launches(self):
+        network, _addrs, _nodes, res = build()
+        register_read(res, "n1")
+        register_read(res, "n2")
+        replies = []
+        res["n0"].failover_call(
+            ["n1", "n2"], "read", {}, 10, on_reply=lambda s, b: replies.append(s)
+        )
+        network.run()
+        assert replies == ["n1"]
+        assert res["n0"].stats.hedges_launched == 0
+
+    def test_exhausted_budget_suppresses_the_hedge(self):
+        config = ResilienceConfig(retry_budget_initial=0.0, retry_budget_ratio=0.0)
+        network, _addrs, _nodes, res = build(config=config)
+        register_read(res, "n1", delay=0.02)
+        register_read(res, "n2")
+        replies = []
+        res["n0"].failover_call(
+            ["n1", "n2"], "read", {}, 10, on_reply=lambda s, b: replies.append(s)
+        )
+        network.run()
+        assert replies == ["n1"]  # served late by the primary, not hedged
+        assert res["n0"].stats.hedges["suppressed_budget"] == 1
+
+    def test_open_breaker_suppresses_the_hedge(self):
+        network, _addrs, _nodes, res = build()
+        observer = res["n0"]
+        for _ in range(observer.config.breaker_threshold):
+            observer.breaker("n2").on_failure(network.now)
+        register_read(res, "n1", delay=0.02)
+        register_read(res, "n2")
+        replies = []
+        observer.failover_call(
+            ["n1", "n2"], "read", {}, 10, on_reply=lambda s, b: replies.append(s)
+        )
+        network.run()
+        assert replies == ["n1"]
+        assert observer.stats.hedges["suppressed_breaker"] == 1
+
+    def test_failover_is_fail_open_through_an_open_breaker(self):
+        # The breaker's hard veto applies to optional duplicates only: when
+        # the last remaining candidate's breaker is open, the retry still
+        # goes there (correctness over protection), recording the skip.
+        network, _addrs, _nodes, res = build()
+        observer = res["n0"]
+        for _ in range(observer.config.breaker_threshold):
+            observer.breaker("n2").on_failure(network.now)
+        # Fast observed latencies give n1 the minimum adaptive timeout, so
+        # the failover happens while n2's breaker is still inside its
+        # cooldown (OPEN), not after it has relaxed to half-open.
+        for _ in range(10):
+            observer.estimator("n1").observe(0.001)
+        res["n1"].rpc.register("read", lambda src, p, respond: None)
+        register_read(res, "n2")
+        replies = []
+        observer.failover_call(
+            ["n1", "n2"], "read", {}, 10,
+            on_reply=lambda s, b: replies.append(s), hedge=False,
+        )
+        network.run()
+        assert replies == ["n2"]
+        assert observer.stats.breaker_skips >= 1
+
+
+class TestChase:
+    def test_chase_advances_past_application_misses(self):
+        network, _addrs, _nodes, res = build()
+        for address, found in (("n1", False), ("n2", False), ("n3", True)):
+            res[address].rpc.register(
+                "lookup",
+                lambda src, p, respond, f=found, a=address: respond(
+                    {"found": f, "from": a}, 10
+                ),
+            )
+        hits, exhausted = [], []
+        res["n0"].chase_call(
+            ["n1", "n2", "n3"], "lookup", {}, 10,
+            accept=lambda src, body: bool(body["found"]) and (hits.append(src) or True),
+            on_exhausted=lambda: exhausted.append(True),
+            hedge=False,
+        )
+        network.run()
+        assert hits == ["n3"]
+        assert exhausted == []
+
+    def test_chase_exhausts_when_everyone_misses(self):
+        network, _addrs, _nodes, res = build()
+        for address in ("n1", "n2"):
+            res[address].rpc.register(
+                "lookup", lambda src, p, respond: respond({"found": False}, 10)
+            )
+        exhausted = []
+        res["n0"].chase_call(
+            ["n1", "n2"], "lookup", {}, 10,
+            accept=lambda src, body: bool(body["found"]),
+            on_exhausted=lambda: exhausted.append(True),
+            hedge=False,
+        )
+        network.run()
+        assert exhausted == [True]
+
+
+class TestHeartbeats:
+    def test_probe_train_feeds_the_estimators(self):
+        network, addresses, _nodes, res = build()
+        rounds = res["n0"].start_heartbeats(0.2)
+        network.run()
+        assert rounds > 0
+        assert res["n0"].stats.heartbeats_sent == rounds * (len(addresses) - 1)
+        assert res["n0"].stats.heartbeats_received == res["n0"].stats.heartbeats_sent
+        for peer in addresses[1:]:
+            assert res["n0"].estimator(peer).count > 0
+
+    def test_silent_peer_turns_unhealthy_inside_the_window(self):
+        network, _addrs, _nodes, res = build()
+        res["n0"].start_heartbeats(0.3)
+        network.schedule_at(0.05, lambda: network.fail_node("n3"))
+        verdicts = []
+        network.schedule_at(0.25, lambda: verdicts.append(res["n0"].healthy("n3")))
+        network.run()
+        assert verdicts == [False]
+
+    def test_probe_rtt_reflects_a_cpu_starved_peer(self):
+        # The representative-work pong: a degraded peer answers probes as
+        # slowly as it serves requests, so the estimators see the gray node.
+        from repro.faults.injector import FaultInjector
+
+        def measure(degrade):
+            network, _addrs, nodes, res = build()
+            if degrade:
+                FaultInjector(network, seed=0).degrade_node("n1", cpu_slowdown=50.0)
+            res["n0"].start_heartbeats(0.2)
+            network.run()
+            return res["n0"].estimator("n1").mean
+
+        assert measure(True) > measure(False)
+
+    def test_reset_volatile_forgets_learned_state_not_stats(self):
+        network, _addrs, _nodes, res = build()
+        res["n0"].start_heartbeats(0.1)
+        network.run()
+        sent = res["n0"].stats.heartbeats_sent
+        assert sent > 0
+        res["n0"].reset_volatile()
+        assert res["n0"].estimator("n1").count == 0
+        assert res["n0"].stats.heartbeats_sent == sent
+
+    def test_heartbeat_schedule_is_deterministic(self):
+        def run_once():
+            network, addresses, _nodes, res = build()
+            for address in addresses:
+                res[address].start_heartbeats(0.2)
+            network.run()
+            return {
+                address: res[address].stats.snapshot() for address in addresses
+            }, network.now
+
+        assert run_once() == run_once()

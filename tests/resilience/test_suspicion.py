@@ -1,0 +1,48 @@
+"""Unit tests for phi-accrual suspicion from heartbeat arrivals."""
+
+from repro.resilience import PeerHealth
+
+
+class TestPhi:
+    def test_no_arrivals_means_no_evidence(self):
+        health = PeerHealth()
+        assert health.phi(now=100.0) == 0.0
+
+    def test_phi_is_near_zero_right_after_an_arrival(self):
+        health = PeerHealth(expected_interval=0.02)
+        health.heartbeat(1.0)
+        assert health.phi(1.0) == 0.0
+        assert health.phi(1.001) < 0.1
+
+    def test_phi_grows_with_silence(self):
+        health = PeerHealth(expected_interval=0.02)
+        health.heartbeat(1.0)
+        earlier = health.phi(1.05)
+        later = health.phi(1.5)
+        assert later > earlier > 0.0
+
+    def test_phi_scale_matches_the_accrual_formula(self):
+        # phi == 1 after ~2.3 mean intervals of silence (log10(e) * 2.303 = 1).
+        health = PeerHealth(expected_interval=0.02)
+        for at in (0.0, 0.02, 0.04, 0.06):
+            health.heartbeat(at)
+        assert health.phi(0.06 + 2.303 * 0.02) > 0.99
+        assert health.phi(0.06 + 0.02) < 0.5
+
+    def test_learned_interval_overrides_the_prior(self):
+        # A peer heartbeating every 0.1s (5x the configured prior) must not be
+        # suspected after 0.2s of silence — that is only two of *its* intervals.
+        health = PeerHealth(expected_interval=0.02)
+        for index in range(10):
+            health.heartbeat(index * 0.1)
+        assert health.mean_interval is not None
+        assert abs(health.mean_interval - 0.1) < 1e-9
+        assert health.phi(0.9 + 0.2) < 1.0
+
+    def test_reset_forgets_the_peer(self):
+        health = PeerHealth()
+        health.heartbeat(1.0)
+        health.heartbeat(1.02)
+        health.reset()
+        assert health.arrivals == 0
+        assert health.phi(5.0) == 0.0

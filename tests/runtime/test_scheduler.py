@@ -9,9 +9,11 @@ import pytest
 
 from repro.net.simnet import Network
 from repro.runtime import (
+    FAILED,
     QUEUED,
     RUNNING,
     AdmissionRejectedError,
+    DeadlineExceededError,
     OpFuture,
     OpTimeoutError,
     Scheduler,
@@ -275,3 +277,181 @@ class TestStats:
             SchedulerConfig(max_in_flight_total=0)
         with pytest.raises(ValueError):
             SchedulerConfig(policy="lifo")
+
+
+def submit_with_deadline(scheduler, initiator, started, deadline, label=""):
+    future = OpFuture("op", initiator, label=label or initiator)
+    scheduler.submit(future, lambda: started.append(future), deadline=deadline)
+    return future
+
+
+def seed_service_estimate(network, scheduler, seconds=0.1):
+    """Complete one op taking ``seconds`` so the estimator has a sample."""
+    started = []
+    future = submit(scheduler, "seed", started)
+    network.schedule(seconds, lambda: scheduler.complete(future, "ok"))
+    network.run()
+    return future
+
+
+class TestDeadlineShedding:
+    def test_infeasible_deadline_is_shed_at_submission(self):
+        network, scheduler = make_scheduler()
+        seed_service_estimate(network, scheduler, seconds=0.1)
+        started = []
+        future = submit_with_deadline(scheduler, "A", started, deadline=0.05)
+        assert started == []  # never launched
+        assert future.state == FAILED
+        with pytest.raises(DeadlineExceededError):
+            future.result()
+        assert scheduler.stats.shed_deadline == 1
+        assert scheduler.stats.in_flight == 0
+
+    def test_first_op_of_a_type_is_admitted_without_an_estimate(self):
+        # No service-time sample yet: admit and let the watchdog judge.
+        _network, scheduler = make_scheduler()
+        started = []
+        future = submit_with_deadline(scheduler, "A", started, deadline=0.001)
+        assert started == [future]
+        assert future.state == RUNNING
+
+    def test_deadline_is_rejudged_at_admission_from_the_queue(self):
+        network, scheduler = make_scheduler(max_in_flight_total=1)
+        seed_service_estimate(network, scheduler, seconds=0.1)
+        started = []
+        blocker = submit(scheduler, "A", started)
+        # Feasible at submission (0.15 remaining >= 0.1 estimate)...
+        queued = submit_with_deadline(scheduler, "B", started, deadline=0.15)
+        bystander = submit(scheduler, "C", started)
+        assert queued.state == QUEUED
+        # ...but the slot frees only after 0.1s of queueing.
+        network.schedule(0.1, lambda: scheduler.complete(blocker, "ok"))
+        network.run()
+        assert queued.state == FAILED
+        with pytest.raises(DeadlineExceededError):
+            queued.result()
+        assert scheduler.stats.shed_deadline == 1
+        # The shed entry's slot went straight to the next queued op.
+        assert bystander.state == RUNNING
+        assert scheduler.stats.queued == 0
+
+    def test_deadline_without_timeout_arms_the_watchdog(self):
+        network, scheduler = make_scheduler()
+        started = []
+        future = submit_with_deadline(scheduler, "A", started, deadline=0.05)
+        network.run()
+        assert future.state == FAILED
+        with pytest.raises(OpTimeoutError):
+            future.result()
+        assert scheduler.stats.timed_out == 1
+
+
+class TestBrownout:
+    def build_loaded(self):
+        network, scheduler = make_scheduler(
+            max_in_flight_total=1, brownout_queue_threshold=2
+        )
+        seed_service_estimate(network, scheduler, seconds=0.1)
+        started = []
+        running = submit(scheduler, "A", started)
+        # Brownout is evaluated on the submission/admission paths against
+        # the depth *before* the new entry enqueues, so the third queued op
+        # is the one that observes depth 2 and trips the switch.
+        queued = [submit(scheduler, f"q{i}", started) for i in range(3)]
+        return network, scheduler, running, queued
+
+    def test_queue_depth_enters_brownout(self):
+        _network, scheduler, _running, _queued = self.build_loaded()
+        assert scheduler.stats.brownout_active is True
+        assert scheduler.stats.brownouts == 1
+
+    def test_brownout_sheds_the_borderline_not_the_healthy(self):
+        _network, scheduler, _running, _queued = self.build_loaded()
+        started = []
+        # Covers the service estimate (0.1) but not the expected queue wait
+        # (0.1 estimate * 3 ahead / 1 slot = 0.3) on top of it.
+        borderline = submit_with_deadline(scheduler, "B", started, deadline=0.2)
+        assert borderline.state == FAILED
+        with pytest.raises(DeadlineExceededError):
+            borderline.result()
+        assert scheduler.stats.shed_brownout == 1
+        # A deadline wide enough for estimate + expected wait still queues.
+        healthy = submit_with_deadline(scheduler, "C", started, deadline=2.0)
+        assert healthy.state == QUEUED
+
+    def test_draining_the_queue_exits_brownout(self):
+        network, scheduler, running, queued = self.build_loaded()
+        scheduler.complete(running, "ok")
+        # One admission: depth 3 -> 2, above the exit threshold (2 // 2).
+        assert scheduler.stats.brownout_active is True
+        scheduler.complete(queued[0], "ok")
+        # Next admission: depth 2 -> 1 <= exit threshold, brownout is over.
+        assert scheduler.stats.brownout_active is False
+        assert scheduler.stats.brownouts == 1
+        for future in queued[1:]:
+            scheduler.complete(future, "ok")
+        network.run()
+        assert scheduler.stats.queued == 0
+        assert scheduler.stats.brownouts == 1
+
+    def test_without_threshold_queue_depth_never_browns_out(self):
+        network, scheduler = make_scheduler(max_in_flight_total=1)
+        seed_service_estimate(network, scheduler, seconds=0.1)
+        started = []
+        submit(scheduler, "A", started)
+        for i in range(5):
+            submit(scheduler, f"q{i}", started)
+        assert scheduler.stats.brownout_active is False
+        assert scheduler.stats.brownouts == 0
+
+
+class TestQueuedEdgePaths:
+    def test_timeout_while_queued_keeps_the_gauges_accurate(self):
+        network, scheduler = make_scheduler(max_in_flight_total=1)
+        started = []
+        blocker = submit(scheduler, "A", started)
+        queued = submit(scheduler, "B", started, timeout=0.05)
+        assert scheduler.stats.queued == 1
+        network.run()
+        assert queued.state == FAILED
+        with pytest.raises(OpTimeoutError):
+            queued.result()
+        assert scheduler.stats.timed_out == 1
+        assert scheduler.stats.queued == 0
+        assert scheduler.stats.peak_queued == 1
+        # The dead entry is skipped on the next admission: a fresh op gets
+        # the slot, not the corpse.
+        third = submit(scheduler, "C", started)
+        assert third.state == QUEUED
+        scheduler.complete(blocker, "ok")
+        assert third.state == RUNNING
+        assert started == [blocker, third]
+
+    def test_fail_initiator_ops_covers_queued_and_running(self):
+        _network, scheduler = make_scheduler(
+            max_in_flight_total=2, max_in_flight_per_initiator=2
+        )
+        started = []
+        running = [submit(scheduler, "A", started, label=f"r{i}") for i in range(2)]
+        queued_a = submit(scheduler, "A", started, label="q")
+        queued_b = submit(scheduler, "B", started, label="other")
+        assert [f.state for f in running] == [RUNNING, RUNNING]
+        assert queued_a.state == QUEUED and queued_b.state == QUEUED
+        count = scheduler.fail_initiator_ops("A", RuntimeError("initiator crashed"))
+        assert count == 3
+        for future in running + [queued_a]:
+            assert future.state == FAILED
+            with pytest.raises(RuntimeError):
+                future.result()
+        # The survivor took over a freed slot; accounting is clean.
+        assert queued_b.state == RUNNING
+        assert scheduler.stats.queued == 0
+        assert scheduler.stats.in_flight == 1
+        assert scheduler.stats.failed == 3
+
+    def test_fail_initiator_ops_is_a_noop_for_unknown_initiators(self):
+        _network, scheduler = make_scheduler()
+        started = []
+        future = submit(scheduler, "A", started)
+        assert scheduler.fail_initiator_ops("ghost", RuntimeError("boom")) == 0
+        assert future.state == RUNNING
