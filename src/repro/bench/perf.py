@@ -59,12 +59,25 @@ The JSON layout is stable so future PRs can extend the trajectory::
           "<mode>": {"p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
                       "p99_vs_clean": ..., "failed": ...}
         }
+      },
+      "corruption": {
+        "meta": {"nodes": ..., "corruptions": ..., "ops": ..., "seed": ...},
+        "corrupt_rows_served": 0, "detected_total": ..., "repaired_total": ...,
+        "unrepairable": 0, "detection_ms_mean": ..., "detection_ms_max": ...,
+        "scrub_rounds_to_converge": ..., "scrub_bytes": ...,
+        "scrub_overhead_ratio": ...
       }
     }
 
 The ``gray`` section is the gray-failure headline (one node 10x degraded but
 live): ``--check`` holds the hedged degraded p99 within 3x of clean and
 requires the unhedged one to exceed 10x, on top of the drift tolerance.
+
+The ``corruption`` section is the data-integrity headline (silent at-rest
+bit rot under checksummed storage + scrubbing): ``--check`` requires zero
+corrupt rows served, every injected corruption detected and repaired,
+scrub convergence within the committed round bound, and holds the scrub
+byte overhead within the drift tolerance.
 """
 
 from __future__ import annotations
@@ -670,6 +683,127 @@ def check_gray_regressions(reference: dict, fresh: dict,
 
 
 # ---------------------------------------------------------------------------
+# Corruption benchmark (simulated detection/repair: deterministic)
+# ---------------------------------------------------------------------------
+
+#: The scrubber must converge (one clean round after the last repair) within
+#: this many rounds for the committed corruption point — matches the
+#: default ``IntegrityConfig.max_scrub_rounds``.
+CORRUPTION_MAX_SCRUB_ROUNDS = 4
+
+
+def run_corruption_suite(seed: int = 17) -> dict:
+    """One silent-corruption point: detection, repair convergence, overhead.
+
+    Simulated results of :func:`~repro.bench.harness.run_corruption_experiment`
+    — exact and machine-independent under a pinned ``PYTHONHASHSEED``, so the
+    regression gate applies absolute invariants (zero corrupt rows served,
+    full detection and repair) with no variance floor.
+    """
+    from .harness import run_corruption_experiment
+
+    result = run_corruption_experiment(seed=seed)
+    section = {
+        "meta": {"nodes": result["nodes"], "ops": result["ops"],
+                 "corruptions": result["injected"], "seed": seed},
+        "failed": result["failed"],
+        "corrupt_rows_served": result["corrupt_rows_served"],
+        "detected_by_reads": result["detected_by_reads"],
+        "detected_total": result["detected_total"],
+        "repaired_total": result["repaired_total"],
+        "unrepairable": result["unrepairable"],
+        "quarantine_leftover": result["quarantine_leftover"],
+        "detection_ms_mean": round(result["detection_ms_mean"], 4),
+        "detection_ms_max": round(result["detection_ms_max"], 4),
+        "scrub_rounds_to_converge": result["scrub_rounds_to_converge"],
+        "scrub_bytes": result["scrub_bytes"],
+        "scrub_overhead_ratio": round(result["scrub_overhead_ratio"], 4),
+        "p50_ms": round(result["p50_ms"], 4),
+        "p99_ms": round(result["p99_ms"], 4),
+    }
+    print(f"corruption.detect  {section['detected_total']}/{section['meta']['corruptions']} "
+          f"detected ({section['detected_by_reads']} by reads), "
+          f"mean latency {section['detection_ms_mean']:.1f} ms", file=sys.stderr)
+    print(f"corruption.repair  {section['repaired_total']} repaired, "
+          f"{section['unrepairable']} unrepairable, "
+          f"{section['corrupt_rows_served']} corrupt rows served, "
+          f"converged in {section['scrub_rounds_to_converge']} scrub rounds "
+          f"({section['scrub_bytes']:,d} scrub bytes, "
+          f"x{section['scrub_overhead_ratio']:.2f} of stored)", file=sys.stderr)
+    return section
+
+
+def check_corruption_regressions(reference: dict, fresh: dict,
+                                 tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Gate the corruption point: absolute integrity invariants plus drift.
+
+    The absolute invariants are the experiment's reason to exist: no acked
+    row is ever served corrupted, every injected corruption is detected and
+    repaired, nothing is left unrepairable or quarantined, and the scrubber
+    converges within :data:`CORRUPTION_MAX_SCRUB_ROUNDS`.  On top of that the
+    scrub byte overhead may not drift more than ``tolerance`` above the
+    committed reference (simulated bytes: exact).
+    """
+    ref_section = reference.get("corruption", {})
+    new_section = fresh.get("corruption", {})
+    if ref_section and not new_section:
+        # Section skipped wholesale (--no-corruption): nothing to compare.
+        return []
+    if not new_section:
+        return []
+    failures = []
+    if new_section.get("corrupt_rows_served", 0):
+        failures.append(
+            f"corruption: {new_section['corrupt_rows_served']} corrupted rows "
+            f"served to clients (must be 0 — verification stopped catching "
+            f"checksum mismatches on the read path)"
+        )
+    if new_section.get("failed", 0):
+        failures.append(
+            f"corruption: {new_section['failed']} operations failed (repair "
+            f"should make every injected corruption transparent to readers)"
+        )
+    injected = new_section.get("meta", {}).get("corruptions", 0)
+    detected = new_section.get("detected_total", 0)
+    if detected < injected:
+        failures.append(
+            f"corruption: only {detected}/{injected} injected corruptions "
+            f"detected — the scrubber or read verification lost coverage"
+        )
+    repaired = new_section.get("repaired_total", 0)
+    if repaired < detected:
+        failures.append(
+            f"corruption: only {repaired}/{detected} detected corruptions "
+            f"repaired — read-repair or scrub back-fill stopped converging"
+        )
+    if new_section.get("unrepairable", 0):
+        failures.append(
+            f"corruption: {new_section['unrepairable']} entries unrepairable "
+            f"(every corruption has a clean replica in this experiment)"
+        )
+    if new_section.get("quarantine_leftover", 0):
+        failures.append(
+            f"corruption: {new_section['quarantine_leftover']} entries still "
+            f"quarantined after scrubbing — repair did not drain the quarantine"
+        )
+    rounds = new_section.get("scrub_rounds_to_converge", 0)
+    if rounds > CORRUPTION_MAX_SCRUB_ROUNDS:
+        failures.append(
+            f"corruption: scrubber took {rounds} rounds to converge "
+            f"(bound {CORRUPTION_MAX_SCRUB_ROUNDS})"
+        )
+    ref_overhead = ref_section.get("scrub_overhead_ratio")
+    new_overhead = new_section.get("scrub_overhead_ratio")
+    if ref_overhead and new_overhead and new_overhead > ref_overhead * (1.0 + tolerance):
+        failures.append(
+            f"corruption: scrub byte overhead x{new_overhead:.2f} of stored "
+            f"bytes vs reference x{ref_overhead:.2f} (tolerance "
+            f"{tolerance:.0%}, simulated bytes are deterministic)"
+        )
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
 
@@ -693,7 +827,7 @@ TRAFFIC_SCALES = {
 
 def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
               include_e2e: bool = True, include_traffic: bool = True,
-              include_gray: bool = True) -> dict:
+              include_gray: bool = True, include_corruption: bool = True) -> dict:
     """Run every benchmark; returns the BENCH_perf.json document."""
     micro_rows, e2e_nodes, e2e_sf = SCALES[scale]
     tpch_rows = _tpch_like_rows(micro_rows, seed)
@@ -796,6 +930,8 @@ def run_suite(seed: int = 0, repeat: int = 3, scale: str = "default",
         )
     if include_gray:
         document["gray"] = run_gray_suite()
+    if include_corruption:
+        document["corruption"] = run_corruption_suite()
     return document
 
 
@@ -887,6 +1023,7 @@ def check_regressions(reference: dict, fresh: dict,
             )
     failures.extend(check_traffic_regressions(reference, fresh, tolerance))
     failures.extend(check_gray_regressions(reference, fresh, tolerance))
+    failures.extend(check_corruption_regressions(reference, fresh, tolerance))
     return failures
 
 
@@ -913,15 +1050,31 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="skip the wire-traffic benchmarks")
     parser.add_argument("--no-gray", action="store_true",
                         help="skip the gray-failure benchmark")
+    parser.add_argument("--no-corruption", action="store_true",
+                        help="skip the silent-corruption benchmark")
     parser.add_argument("--traffic-only", action="store_true",
                         help="run only the wire-traffic benchmarks (emits a "
                              "document with a traffic section and no timings)")
     parser.add_argument("--gray-only", action="store_true",
                         help="run only the gray-failure experiment (emits a "
                              "document with a gray section and no timings)")
+    parser.add_argument("--corruption-only", action="store_true",
+                        help="run only the silent-corruption experiment "
+                             "(emits a document with a corruption section "
+                             "and no timings)")
     args = parser.parse_args(argv)
 
-    if args.gray_only:
+    if args.corruption_only:
+        # Like --gray-only: no other sections at all, so --check compares
+        # only the corruption section (the nightly scrub-smoke job's gate).
+        # The corruption suite keeps its own fixed seed (the committed
+        # point), exactly as in a full run.
+        document = {
+            "meta": {"python": platform.python_version(),
+                     "corruption_only": True},
+            "corruption": run_corruption_suite(),
+        }
+    elif args.gray_only:
         # Like --traffic-only: no "benchmarks"/"traffic" keys at all, so
         # --check compares only the gray section (the nightly gray-smoke
         # job's gate) instead of reporting every unmeasured timing as
@@ -948,7 +1101,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         document = run_suite(seed=args.seed, repeat=args.repeat, scale=args.scale,
                              include_e2e=not args.no_e2e,
                              include_traffic=not args.no_traffic,
-                             include_gray=not args.no_gray)
+                             include_gray=not args.no_gray,
+                             include_corruption=not args.no_corruption)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

@@ -64,6 +64,12 @@ class NodeCache:
         # the optimizer's residency probe is O(1) per relation instead of a
         # full entry scan on the query-compilation hot path.
         self._relation_bytes: dict[str, int] = {}
+        # Optional integrity guard (attach_integrity): content checksums are
+        # recorded at fill time and re-verified on every hit, so a bit flip
+        # in a cached buffer is downgraded to a miss instead of being served.
+        self._integrity = None
+        self._integrity_node = None
+        self._checksums: dict[object, int] = {}
 
     @staticmethod
     def _relation_of(key) -> str | None:
@@ -71,7 +77,39 @@ class NodeCache:
             return None
         return key[1].relation  # residency kinds are keyed by PageId
 
+    def attach_integrity(self, integrity, node=None) -> None:
+        """Enable checksum-verified fills/hits (cluster integrity wiring)."""
+        self._integrity = integrity
+        self._integrity_node = node
+
+    def _record_fill(self, key, value) -> None:
+        if self._integrity is None:
+            return
+        from ..integrity.checksum import checksum_of
+
+        checksum = checksum_of(value)
+        if checksum is not None:
+            self._checksums[key] = checksum
+
+    def _verified(self, key, value):
+        """Return the cached value if it still matches its fill-time checksum.
+
+        A mismatch counts a ``cache`` detection, drops the entry, and turns
+        the hit into a miss — the caller re-fetches from verified storage, so
+        a corrupted cache fill is never served.
+        """
+        if value is None or self._integrity is None:
+            return value
+        if self._integrity.verify_cached(
+            self._checksums.get(key), value,
+            site="cache", node=self._integrity_node, detail=key,
+        ):
+            return value
+        self.store.invalidate(key)
+        return None
+
     def _on_entry_removed(self, entry) -> None:
+        self._checksums.pop(entry.key, None)
         relation = self._relation_of(entry.key)
         if relation is not None:
             remaining = self._relation_bytes.get(relation, 0) - entry.size
@@ -98,41 +136,51 @@ class NodeCache:
     def clear(self) -> None:
         """Drop every entry (a crash-restarted node's cache memory is gone)."""
         self.store.clear()
+        self._checksums.clear()
 
     # -- coordinator records ---------------------------------------------------
 
     def get_coordinator(self, relation: str, epoch: int) -> "CoordinatorRecord | None":
-        return self.store.get((KIND_COORDINATOR, relation, epoch))
+        key = (KIND_COORDINATOR, relation, epoch)
+        return self._verified(key, self.store.get(key))
 
     def put_coordinator(self, record: "CoordinatorRecord") -> None:
         size = record.estimated_size()
         key = (KIND_COORDINATOR, record.relation, record.epoch)
         inserted = self.store.put(key, record, size, benefit=size + RPC_EXCHANGE_OVERHEAD)
         self._account_insert(key, size, inserted)
+        if inserted:
+            self._record_fill(key, record)
 
     # -- index pages -----------------------------------------------------------
 
     def get_page(self, page_id: "PageId") -> "IndexPage | None":
-        return self.store.get((KIND_PAGE, page_id))
+        key = (KIND_PAGE, page_id)
+        return self._verified(key, self.store.get(key))
 
     def peek_page(self, page_id: "PageId") -> "IndexPage | None":
         """Page lookup without touching hit/miss counters or recency.
 
         Used when the page is served *to a remote peer* (the bytes still ship,
-        so nothing is saved network-wise) rather than consumed locally.
+        so nothing is saved network-wise) rather than consumed locally.  Still
+        verified: a corrupted cached copy must not be relayed to peers.
         """
-        return self.store.peek((KIND_PAGE, page_id))
+        key = (KIND_PAGE, page_id)
+        return self._verified(key, self.store.peek(key))
 
     def put_page(self, page: "IndexPage") -> None:
         size = page.estimated_size()
         key = (KIND_PAGE, page.page_id)
         inserted = self.store.put(key, page, size, benefit=size + RPC_EXCHANGE_OVERHEAD)
         self._account_insert(key, size, inserted)
+        if inserted:
+            self._record_fill(key, page)
 
     # -- per-page retrieval results (encoded tuple batches) --------------------
 
     def get_scan(self, page_id: "PageId") -> "EncodedScanBatch | None":
-        return self.store.get((KIND_SCAN, page_id))
+        key = (KIND_SCAN, page_id)
+        return self._verified(key, self.store.get(key))
 
     def put_scan(self, page_id: "PageId", tuples: Sequence["VersionedTuple"]) -> None:
         batch = EncodedScanBatch.from_tuples(tuple(tuples))
@@ -146,6 +194,8 @@ class NodeCache:
         # tuple bytes.
         inserted = self.store.put(key, batch, size, benefit=size + 2 * RPC_EXCHANGE_OVERHEAD)
         self._account_insert(key, size, inserted)
+        if inserted:
+            self._record_fill(key, batch)
 
     # -- epoch resolutions -----------------------------------------------------
 

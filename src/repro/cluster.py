@@ -22,6 +22,7 @@ issuing exactly the message sequence the single-operation path always did.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -34,6 +35,13 @@ from .net.transport import rpc_endpoint
 from .overlay.allocation import RangeAllocator
 from .overlay.gossip import EpochGossip
 from .overlay.membership import MembershipView
+from .integrity import (
+    IntegrityConfig,
+    IntegrityScrubber,
+    IntegrityStats,
+    NodeIntegrity,
+    ScrubReport,
+)
 from .overlay.replication import BackgroundReplicator, ReplicationReport
 from .overlay.routing import RoutingSnapshot
 from .resilience.config import ResilienceConfig
@@ -43,6 +51,25 @@ from .runtime.scheduler import SchedulerConfig
 from .runtime.session import Runtime, Session
 from .storage.client import RetrieveResult, StorageClient, UpdateBatch, register_retrieve_handlers
 from .storage.service import StorageService, storage_of
+
+
+@contextmanager
+def _repair_attribution(integrity, source: str):
+    """Attribute quarantine back-fills inside the block to ``source``.
+
+    The guard counts a repair when a quarantined entry is re-stored; which
+    path performed the write (failover / replication / scrub) is ambient, so
+    the maintenance paths flip it around their copy calls.
+    """
+    if integrity is None:
+        yield
+        return
+    previous = integrity.repair_source
+    integrity.repair_source = source
+    try:
+        yield
+    finally:
+        integrity.repair_source = previous
 
 
 @dataclass
@@ -60,6 +87,8 @@ class ClusterNode:
     result_cache: SemanticResultCache | None = None
     #: Gray-failure resilience layer (None when resilience is off).
     resilience: NodeResilience | None = None
+    #: End-to-end data integrity guard (None when integrity is off).
+    integrity: NodeIntegrity | None = None
 
     @property
     def address(self) -> str:
@@ -80,6 +109,7 @@ class Cluster:
         cache_config: CacheConfig | None = None,
         scheduler_config: SchedulerConfig | None = None,
         resilience_config: ResilienceConfig | None = None,
+        integrity_config: IntegrityConfig | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -95,6 +125,14 @@ class Cluster:
         #: opt-in for the same reason as caching: with it off, every message
         #: sequence is byte-identical to the pre-resilience system.
         self.resilience_config = resilience_config
+        #: End-to-end data integrity (checksummed storage, verified reads,
+        #: read-repair, scrubbing) is opt-in too: with it off nothing is
+        #: checksummed and the golden wire vectors stay byte-identical.
+        self.integrity_config = integrity_config
+        #: Cluster-level scrub accounting (rounds, digests, bytes); merged
+        #: with the per-node detection/repair counters by
+        #: :meth:`integrity_statistics`.
+        self._scrub_stats = IntegrityStats()
         self.network: Network = profile.create_network()
         self.addresses = [f"{address_prefix}-{i:03d}" for i in range(num_nodes)]
         self.nodes: dict[str, ClusterNode] = {}
@@ -146,6 +184,7 @@ class Cluster:
         self.metrics.register_collector(self._fault_series)
         self.metrics.register_collector(self._encoding_series)
         self.metrics.register_collector(self._resilience_series)
+        self.metrics.register_collector(self._integrity_series)
         for address in self.addresses:
             sim_node = self.network.add_node(address, profile.host)
             rpc_endpoint(sim_node)
@@ -168,7 +207,12 @@ class Cluster:
                 gossip.add_listener(node_cache.note_epoch)
                 if result_cache is not None:
                     gossip.add_listener(result_cache.note_epoch)
-            storage = StorageService(sim_node, cache=node_cache)
+            integrity = None
+            if integrity_config is not None:
+                integrity = NodeIntegrity(integrity_config)
+                if node_cache is not None:
+                    node_cache.attach_integrity(integrity, node=sim_node)
+            storage = StorageService(sim_node, cache=node_cache, integrity=integrity)
             register_retrieve_handlers(storage, self.replication_factor)
             client = StorageClient(
                 sim_node, membership, self.replication_factor, page_capacity,
@@ -177,7 +221,7 @@ class Cluster:
             self.nodes[address] = ClusterNode(
                 sim_node, membership, gossip, storage, client,
                 cache=node_cache, result_cache=result_cache,
-                resilience=resilience,
+                resilience=resilience, integrity=integrity,
             )
         self.network.add_crash_listener(self._on_node_crash)
         self.network.add_restart_listener(self._on_node_restart)
@@ -340,6 +384,38 @@ class Cluster:
                     )
                 )
         return samples
+
+    def _integrity_series(self):
+        """Cluster-wide integrity counters for the metrics registry.
+
+        The exact sum of the per-node :class:`~repro.integrity.IntegrityStats`
+        plus the cluster-level scrub accounting — the reconciliation tests
+        hold the registry view to that sum.
+        """
+        if self.integrity_config is None:
+            return []
+        return self.integrity_statistics().metric_series()
+
+    def integrity_statistics(self) -> IntegrityStats:
+        """Cluster-wide integrity counters, aggregated over all nodes."""
+        total = IntegrityStats()
+        for cluster_node in self.nodes.values():
+            if cluster_node.integrity is not None:
+                total.merge(cluster_node.integrity.stats)
+        total.merge(self._scrub_stats)
+        return total
+
+    @property
+    def integrity_enabled(self) -> bool:
+        return self.integrity_config is not None
+
+    def quarantined_entries(self) -> dict[str, set]:
+        """Per-node quarantine sets (address -> {(tree, key)}), for invariants."""
+        return {
+            address: set(cluster_node.integrity.quarantined)
+            for address, cluster_node in self.nodes.items()
+            if cluster_node.integrity is not None and cluster_node.integrity.quarantined
+        }
 
     def resilience_statistics(self) -> ResilienceStats:
         """Cluster-wide resilience counters, aggregated over all nodes."""
@@ -541,12 +617,76 @@ class Cluster:
             source = self.storage(src)
             for tup in source.all_local_tuples(relation):
                 if tup.tuple_id.key_values == key_values and tup.tuple_id.epoch == epoch:
-                    self.storage(dst).store_tuple(tup)
+                    store_key = (tup.relation, tup.hash_key, tup.tuple_id)
+                    if source.integrity is not None and not source.integrity.verify(
+                        source.store, "tuples", store_key, tup, "replication",
+                        node=source.node,
+                    ):
+                        # The source copy itself is rotten: don't propagate it.
+                        # It is quarantined now; the scrubber (or a later
+                        # round from a clean holder) back-fills both sides.
+                        return 0
+                    destination = self.storage(dst)
+                    with _repair_attribution(destination.integrity, "replication"):
+                        destination.store_tuple(tup)
                     return tup.estimated_size()
             return 0
 
         replicator = BackgroundReplicator(self.replication_factor, list_items, copy_item)
         return replicator.run_round(snapshot)
+
+    def run_scrub(self) -> ScrubReport:
+        """One digest-exchange scrub round over tuples, pages and coordinators.
+
+        Detects *divergent* — not just absent — copies by comparing freshly
+        recomputed checksums across each range's replica group, quarantines
+        corrupt or minority copies and back-fills them from the resolution
+        winner (highest epoch, then checksum quorum).  Requires the cluster
+        to run with an :class:`~repro.integrity.IntegrityConfig`.
+
+        Like background replication this is maintenance work running directly
+        against the local stores; its byte cost is *accounted* (digest and
+        repair bytes in the report and in ``scrub.bytes``) rather than pushed
+        through the simulated network.
+        """
+        if self.integrity_config is None:
+            raise ReproError("run_scrub() requires integrity_config")
+        snapshot = self.snapshot()
+        total = ScrubReport(rounds=1)
+        for tree in StorageService.SCRUB_TREES:
+
+            def list_digests(address: str, key_range, tree=tree):
+                return self.storage(address).scrub_digests(tree, key_range)
+
+            def copy_item(src: str, dst: str, key, tree=tree) -> int:
+                value = self.storage(src).scrub_fetch(tree, key)
+                if value is None:
+                    return 0
+                destination = self.storage(dst)
+                with _repair_attribution(destination.integrity, "scrub"):
+                    return destination.scrub_store(tree, key, value)
+
+            def quarantine(address: str, key, tree=tree) -> None:
+                self.storage(address).scrub_quarantine(tree, key)
+
+            scrubber = IntegrityScrubber(
+                self.replication_factor, list_digests, copy_item, quarantine,
+                digest_entry_bytes=self.integrity_config.digest_entry_bytes,
+            )
+            report = scrubber.run_round(snapshot)
+            total.digest_entries += report.digest_entries
+            total.digest_bytes += report.digest_bytes
+            total.corrupt_copies += report.corrupt_copies
+            total.divergent_keys += report.divergent_keys
+            total.unrepairable += report.unrepairable
+            total.items_copied += report.items_copied
+            total.bytes_copied += report.bytes_copied
+            total.repairs.extend(report.repairs)
+        self._scrub_stats.scrub_rounds += 1
+        self._scrub_stats.scrub_digests += total.digest_entries
+        self._scrub_stats.scrub_bytes += total.total_bytes
+        self._scrub_stats.unrepairable += total.unrepairable
+        return total
 
     # ------------------------------------------------------------------ queries
 

@@ -76,6 +76,7 @@ class FaultStats:
     partitions_started: int = 0
     partitions_healed: int = 0
     degradations: int = 0
+    corruptions_injected: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -90,6 +91,30 @@ class FaultStats:
             (f"faults.{name}", {}, value)
             for name, value in sorted(self.snapshot().items())
         ]
+
+
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """One silent at-rest mutation the injector applied.
+
+    The scenario invariants replay this list after stabilisation: every
+    event's location must either verify clean (repaired in place) or be
+    absent with a verified replica elsewhere (quarantined and re-replicated).
+    """
+
+    at: float
+    address: str
+    #: What was corrupted: ``tuple``, ``page``, ``coordinator`` (store trees)
+    #: or ``cache`` (a cached scan batch).
+    site: str
+    #: Store tree holding the object (None for cache corruption).
+    tree: str | None
+    key: object
+    description: str
+
+
+#: Store trees the injector can corrupt, in the order candidates are drawn.
+CORRUPTION_TREES = ("tuples", "pages", "coordinator")
 
 
 @dataclass
@@ -134,6 +159,14 @@ class FaultInjector:
         self.rto = rto
         self.max_retransmits = max_retransmits
         self.stats = FaultStats()
+        #: Dedicated RNG stream for at-rest corruption (the PR 9 jitter
+        #: pattern): seeded from a CRC of the injector seed, never from the
+        #: fate RNG, so enabling corruption leaves every existing fault
+        #: schedule byte-identical and replays stay exact.
+        self.corruption_rng = random.Random(
+            zlib.crc32(f"{seed}:corruption".encode())
+        )
+        self.corruption_events: list[CorruptionEvent] = []
         self.default_chaos: LinkChaos = CLEAN_LINK
         self._link_chaos: dict[tuple[str, str], LinkChaos] = {}
         self._partitions: dict[int, _Partition] = {}
@@ -333,6 +366,108 @@ class FaultInjector:
         degradation = self._degraded.pop(address, None)
         if degradation is not None:
             self.network.node(address).host = degradation.original
+
+    # -- silent at-rest corruption ----------------------------------------------
+
+    def corrupt_at_rest(
+        self,
+        targets: Sequence[str] = CORRUPTION_TREES,
+        include_cache: bool = False,
+    ) -> CorruptionEvent | None:
+        """Silently mutate one stored object at rest on a random live node.
+
+        Picks a (node, tree, key) from the dedicated corruption RNG stream,
+        replaces the stored object with a bit-flipped copy *behind* the
+        store's size and checksum bookkeeping — exactly what a latent media
+        error does — and records a :class:`CorruptionEvent`.  With
+        ``include_cache`` a cached scan batch can be the victim instead,
+        modelling a flipped bit in a cache buffer.
+
+        Returns None when nothing corruptible exists (or every candidate is
+        already corrupted).  Draws only from :attr:`corruption_rng`, so the
+        fate stream — and with it every existing fault schedule — replays
+        byte-identically whether or not corruption is enabled.
+        """
+        from ..integrity.corruption import (
+            corrupted_page,
+            corrupted_record,
+            corrupted_scan_batch,
+            corrupted_tuple,
+        )
+
+        rng = self.corruption_rng
+        candidates: list[tuple[str, str]] = []
+        for address in self.network.live_nodes():
+            storage = self.network.node(address).services.get("storage")
+            if storage is None:
+                continue
+            for tree in targets:
+                if storage.store.count(tree):
+                    candidates.append((address, tree))
+            if include_cache and getattr(storage, "cache", None) is not None:
+                if any(self._cache_scan_entries(storage.cache)):
+                    candidates.append((address, "cache"))
+        if not candidates:
+            return None
+
+        # Skip logical objects already corrupted *anywhere*: independent
+        # media errors hitting every replica of the same object at once is
+        # not the regime the repair invariant is about — with all copies
+        # rotten there is nothing to repair from, only loud unrepairable
+        # failure (which the scrubber unit tests cover directly).
+        already = {(e.tree, e.key) for e in self.corruption_events}
+        mutators = {
+            "tuples": ("tuple", corrupted_tuple, lambda v: bool(v.values)),
+            "pages": ("page", corrupted_page, lambda v: bool(v.tuple_ids)),
+            "coordinator": ("coordinator", corrupted_record, lambda v: bool(v.pages)),
+        }
+        for _ in range(16):
+            address, tree = candidates[rng.randrange(len(candidates))]
+            storage = self.network.node(address).services.get("storage")
+            if tree == "cache":
+                entries = self._cache_scan_entries(storage.cache)
+                if not entries:
+                    continue
+                entry = entries[rng.randrange(len(entries))]
+                if (None, entry.key) in already:
+                    continue
+                entry.value = corrupted_scan_batch(entry.value, rng)
+                event = CorruptionEvent(
+                    at=self.network.now, address=address, site="cache",
+                    tree=None, key=entry.key,
+                    description=f"mutated cached scan batch {entry.key!r}",
+                )
+            else:
+                site, mutate, eligible = mutators[tree]
+                entries = [
+                    (key, value)
+                    for key, value in storage.store.items(tree)
+                    if eligible(value) and (tree, key) not in already
+                ]
+                if not entries:
+                    continue
+                key, value = entries[rng.randrange(len(entries))]
+                # Swap the corrupted copy in behind the size/checksum
+                # bookkeeping: the recorded CRC still describes the original.
+                storage.store.tree(tree).put(key, mutate(value, rng))
+                event = CorruptionEvent(
+                    at=self.network.now, address=address, site=site,
+                    tree=tree, key=key,
+                    description=f"mutated {site} {key!r} in tree {tree!r}",
+                )
+            self.corruption_events.append(event)
+            self.stats.corruptions_injected += 1
+            return event
+        return None
+
+    @staticmethod
+    def _cache_scan_entries(cache) -> list:
+        """Cached scan-batch entries of one node cache (mutable in place)."""
+        return [
+            entry
+            for entry in cache.store.entries()
+            if isinstance(entry.key, tuple) and entry.key and entry.key[0] == "scan"
+        ]
 
     # -- introspection -----------------------------------------------------------
 

@@ -34,6 +34,9 @@ The invariants:
   reference executor over that state.
 * **cache coherence** — with caching enabled, cached answers byte-equal
   fresh cache-bypassing executions.
+* **corruption detection & repair** — with an at-rest corruption budget,
+  every injected corruption was detected, nothing stays quarantined beyond
+  the unrepairable count, and no reachable copy is still corrupt at rest.
 """
 
 from __future__ import annotations
@@ -258,6 +261,88 @@ def check_cache_coherence(runner: "ScenarioRunner") -> list[str]:
     return violations
 
 
+def _replica_group(snapshot, placement: int, replication_factor: int) -> list[str]:
+    """The addresses a read of ``placement`` would be routed to."""
+    for entry in snapshot.nodes:
+        if snapshot.range_of(entry).contains(placement):
+            group = [physical_address(entry)]
+            for replica in snapshot.replicas_for_owner(entry, replication_factor):
+                address = physical_address(replica)
+                if address not in group:
+                    group.append(address)
+            return group
+    return []
+
+
+def check_corruption_detected_and_repaired(runner: "ScenarioRunner") -> list[str]:
+    """Every injected at-rest corruption was detected and repaired.
+
+    Detection is counted cluster-wide (read path, cache fill, or scrub —
+    whichever got there first); repair completion is established by the
+    quarantine sets having drained down to the unrepairable count and by
+    re-verifying every corrupted location directly.  A location may remain
+    corrupt *at rest* only when it is orphaned outside the key's current
+    replica group — routing never serves it, so reads cannot observe it.
+    """
+    injector = runner.injector
+    events = list(getattr(injector, "corruption_events", ())) if injector else []
+    if not events:
+        return []
+    cluster = runner.cluster
+    if not cluster.integrity_enabled:
+        return [
+            f"corruption: {len(events)} corruptions injected but the cluster "
+            f"runs without the integrity layer"
+        ]
+    violations: list[str] = []
+    stats = cluster.integrity_statistics()
+    # Durable-tree corruptions must all be found (reads or the scrub digest
+    # exchange).  A corrupted *cache* entry has no scrub coverage: it is
+    # detected only if read again (and dropped from the cache either way),
+    # so it is excluded from the detection floor — the result-correctness
+    # invariant separately proves it was never served.
+    durable = sum(1 for event in events if event.tree is not None)
+    durable_detected = stats.detected_total - stats.detected.get("cache", 0)
+    if durable_detected < durable:
+        violations.append(
+            f"corruption: {durable} durable corruptions injected but only "
+            f"{durable_detected} detected"
+        )
+    quarantined = sum(len(keys) for keys in cluster.quarantined_entries().values())
+    if quarantined > stats.unrepairable:
+        violations.append(
+            f"corruption: {quarantined} entries still quarantined at quiescence "
+            f"({stats.unrepairable} unrepairable)"
+        )
+    from ..integrity import checksum_of
+    from ..storage.pages import coordinator_key
+
+    snapshot = cluster.snapshot()
+    for event in events:
+        if event.tree is None:
+            continue  # cache corruption: the entry is dropped on detection
+        service = cluster.storage(event.address)
+        value = service.store.get(event.tree, event.key)
+        if value is None:
+            continue  # quarantined; bounded by the unrepairable check above
+        stored = service.store.get_checksum(event.tree, event.key)
+        if stored is None or checksum_of(value) == stored:
+            continue  # repaired in place (or re-written legitimately)
+        if event.tree == "tuples":
+            placement = event.key[1]
+        elif event.tree == "pages":
+            placement = value.ref.storage_key
+        else:
+            placement = coordinator_key(*event.key)
+        group = _replica_group(snapshot, placement, cluster.replication_factor)
+        if event.address in group:
+            violations.append(
+                f"corruption: {event.description} on {event.address} is still "
+                f"corrupt at rest and reachable by reads"
+            )
+    return violations
+
+
 #: Checkers applied by default to every scenario, in evaluation order
 #: (conservation first — later checkers submit verification operations).
 ALL_CHECKERS = (
@@ -268,4 +353,5 @@ ALL_CHECKERS = (
     check_replication_restored,
     check_query_reference_equality,
     check_cache_coherence,
+    check_corruption_detected_and_repaired,
 )

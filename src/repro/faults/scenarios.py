@@ -69,6 +69,15 @@ class ScenarioConfig:
     joins: int = 0
     leaves: int = 0
     restarts: int = 0
+    #: Silent at-rest corruption budget (default 0, so existing seeds replay
+    #: exactly).  Each event bit-flips one stored tuple / index page /
+    #: coordinator record (or, with caching on, a cached scan batch) behind
+    #: the checksum bookkeeping; a non-zero budget implies ``integrity``.
+    corruptions: int = 0
+    #: Run the cluster with the end-to-end integrity layer (checksummed
+    #: storage, verified reads, read-repair, scrubbing) even without a
+    #: corruption budget.
+    integrity: bool = False
     #: Ceilings for the chaos-window probabilities.
     max_drop: float = 0.2
     max_duplicate: float = 0.15
@@ -85,6 +94,7 @@ class ScenarioConfig:
         return replace(
             self, crashes=0, partitions=0, asymmetric_partitions=0,
             chaos_windows=0, slow_nodes=0, joins=0, leaves=0, restarts=0,
+            corruptions=0,
         )
 
     def churn_only(self) -> "ScenarioConfig":
@@ -95,7 +105,7 @@ class ScenarioConfig:
         """
         return replace(
             self, crashes=0, partitions=0, asymmetric_partitions=0,
-            chaos_windows=0, slow_nodes=0,
+            chaos_windows=0, slow_nodes=0, corruptions=0,
         )
 
 
@@ -153,7 +163,14 @@ class ScenarioReport:
         return max(0.0, self.quiesced_at - self.first_fault_at)
 
     def replay_command(self) -> str:
-        return f"PYTHONPATH=src python -m repro.faults.scenarios --seed {self.seed}"
+        command = f"PYTHONPATH=src python -m repro.faults.scenarios --seed {self.seed}"
+        if self.config.corruptions:
+            command += f" --corruptions {self.config.corruptions}"
+        elif self.config.integrity:
+            command += " --integrity"
+        if self.config.cache:
+            command += " --cache"
+        return command
 
     def summary(self) -> dict:
         return {
@@ -209,10 +226,16 @@ class ScenarioRunner:
             from ..cache import CacheConfig
 
             cache_config = CacheConfig()
+        integrity_config = None
+        if self.config.integrity or self.config.corruptions:
+            from ..integrity import IntegrityConfig
+
+            integrity_config = IntegrityConfig()
         self.cluster = Cluster(
             self.config.num_nodes,
             replication_factor=self.config.replication_factor,
             cache_config=cache_config,
+            integrity_config=integrity_config,
         )
         self.cluster.network.failure_detection_delay = self.config.detection_delay
         relations = []
@@ -461,6 +484,27 @@ class ScenarioRunner:
             self._note_fault(start)
             self._note_heal(start + duration)
 
+    def _plan_corruptions(self) -> None:
+        """Schedule silent at-rest corruption events over the op window.
+
+        Planned after every other fault class so a zero budget (the default)
+        leaves the rng draw sequence — and therefore every existing seed's
+        schedule — untouched.  The schedule rng only draws the *instants*;
+        the victim (node, tree, key) is drawn at fire time from the
+        injector's dedicated corruption stream, which keeps the per-message
+        fate stream unperturbed either way.
+        """
+        rng = self.rng
+        network = self.cluster.network
+        include_cache = self.config.cache
+        for _ in range(self.config.corruptions):
+            at = rng.uniform(0.02, self.config.op_window)
+            network.schedule_at(
+                at,
+                lambda: self.injector.corrupt_at_rest(include_cache=include_cache),
+            )
+            self._note_fault(at)
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, checkers=None) -> ScenarioReport:
@@ -474,6 +518,7 @@ class ScenarioRunner:
         self._plan_asymmetric_partitions()
         self._plan_chaos_windows()
         self._plan_slow_nodes()
+        self._plan_corruptions()
         self.cluster.run()
         self._stabilise()
         report = self._snapshot_report()
@@ -532,6 +577,14 @@ class ScenarioRunner:
             report = cluster.run_background_replication()
             if report.items_copied == 0:
                 break
+        # Digest-exchange scrub rounds until one finds nothing to fix (same
+        # bounded-fixpoint argument); this is where divergent copies silent
+        # corruption left behind are detected and back-filled.
+        if cluster.integrity_enabled:
+            for _ in range(cluster.integrity_config.max_scrub_rounds):
+                scrub = cluster.run_scrub()
+                if not (scrub.corrupt_copies or scrub.divergent_keys or scrub.items_copied):
+                    break
         cluster.run()
 
     def _snapshot_report(self) -> ScenarioReport:
@@ -648,6 +701,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--joins", type=int, default=None)
     parser.add_argument("--leaves", type=int, default=None)
     parser.add_argument("--restarts", type=int, default=None)
+    parser.add_argument("--corruptions", type=int, default=None)
+    parser.add_argument(
+        "--integrity", action="store_true",
+        help="run with the end-to-end integrity layer even without a "
+        "corruption budget (a non-zero --corruptions implies it)",
+    )
     parser.add_argument("--cache", action="store_true")
     parser.add_argument(
         "--tracing", action="store_true",
@@ -672,11 +731,13 @@ def main(argv: list[str] | None = None) -> int:
         "joins": args.joins,
         "leaves": args.leaves,
         "restarts": args.restarts,
+        "corruptions": args.corruptions,
     }
     config = replace(
         config,
         **{key: value for key, value in overrides.items() if value is not None},
         cache=args.cache,
+        integrity=args.integrity,
         tracing=args.tracing or args.trace_dir is not None,
     )
 

@@ -1,0 +1,88 @@
+"""Content checksums over the canonical serialized form of stored objects.
+
+Every checksum is a CRC-32 over the deterministic wire encoding
+(:func:`~repro.common.serialization.encode_values`) of the object's logical
+content — the same bytes two honest replicas of the same version would
+serialize — so equal content always yields an equal checksum and any value
+mutation, dropped tuple id or re-pointed page reference changes it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from ..common.serialization import EncodedScanBatch, encode_values
+from ..common.types import VersionedTuple
+from ..storage.pages import CoordinatorRecord, IndexPage
+
+
+def tuple_checksum(tup: VersionedTuple) -> int:
+    """CRC over a tuple version's identity, liveness flag and values."""
+    header = (
+        tup.relation,
+        tuple(tup.tuple_id.key_values),
+        tup.tuple_id.epoch,
+        bool(tup.deleted),
+    )
+    return zlib.crc32(encode_values(header) + encode_values(tuple(tup.values)))
+
+
+def page_checksum(page: IndexPage) -> int:
+    """CRC over a page's identity, hash range and tuple-ID list."""
+    pid = page.page_id
+    header = (
+        pid.relation,
+        pid.epoch,
+        pid.sequence,
+        page.hash_range.start,
+        page.hash_range.end,
+    )
+    ids = tuple((tuple(tid.key_values), tid.epoch) for tid in page.tuple_ids)
+    return zlib.crc32(encode_values(header) + encode_values(ids))
+
+
+def record_checksum(record: CoordinatorRecord) -> int:
+    """CRC over a coordinator record's identity and page-reference list."""
+    pages = tuple(
+        (
+            ref.page_id.relation,
+            ref.page_id.epoch,
+            ref.page_id.sequence,
+            ref.hash_range.start,
+            ref.hash_range.end,
+        )
+        for ref in record.pages
+    )
+    return zlib.crc32(
+        encode_values((record.relation, record.epoch)) + encode_values(pages)
+    )
+
+
+def scan_batch_checksum(batch: EncodedScanBatch) -> int:
+    """CRC over a cached scan batch: ids, deleted positions, encoded payload.
+
+    The encoded payload is deterministic (codec selection is content-driven),
+    so two batches built from the same tuple versions checksum identically
+    and any value mutation — even one applied by re-encoding — differs.
+    """
+    ids = tuple((tuple(tid.key_values), tid.epoch) for tid in batch.tuple_ids)
+    meta = (batch.relation, tuple(sorted(batch.deleted_positions)))
+    return zlib.crc32(
+        encode_values(meta)
+        + encode_values(ids)
+        + batch.batch.compressed_payload()
+    )
+
+
+def checksum_of(value: Any) -> int | None:
+    """Checksum dispatch by stored-object type; None for unchecked kinds."""
+    if isinstance(value, VersionedTuple):
+        return tuple_checksum(value)
+    if isinstance(value, IndexPage):
+        return page_checksum(value)
+    if isinstance(value, CoordinatorRecord):
+        return record_checksum(value)
+    if isinstance(value, EncodedScanBatch):
+        return scan_batch_checksum(value)
+    return None

@@ -1,0 +1,28 @@
+"""Opt-in configuration for the data-integrity layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Tuning knobs for checksumming, verification and scrubbing.
+
+    Passed as ``Cluster(..., integrity_config=IntegrityConfig())``; the
+    default ``None`` keeps the cluster byte-identical to a build without the
+    integrity layer (no checksums computed, no reads verified).
+    """
+
+    #: Verify the stored checksum on every storage-service read (coordinator
+    #: records, index pages, page scans, tuple lookups).
+    verify_reads: bool = True
+    #: Verify cached entries when they are served from a ``NodeCache``
+    #: (a corrupted cache fill must never be served).
+    verify_cache: bool = True
+    #: Invariant bound: every injected corruption must be detected and
+    #: repaired within this many scrub rounds after the cluster stabilises.
+    max_scrub_rounds: int = 4
+    #: Wire cost charged per digest entry in a scrub exchange — one 20-byte
+    #: key hash, an 8-byte version, a 4-byte CRC and framing.
+    digest_entry_bytes: int = 44

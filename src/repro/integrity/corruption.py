@@ -1,0 +1,103 @@
+"""Deterministic value mutators modelling silent at-rest corruption.
+
+Each mutator returns a *new* object (the stored types are immutable) whose
+logical content differs from the original in exactly one place — a flipped
+bit in a value, a re-pointed tuple id, a page reference with the wrong
+sequence — the way a latent sector error or a bit flip in a cached buffer
+manifests.  The fault injector swaps the corrupted copy into the store
+*behind* the checksum table, so the recorded CRC still describes the
+original bytes and verification catches the lie.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Any
+
+from ..common.serialization import EncodedScanBatch
+from ..common.types import TupleId, VersionedTuple
+from ..storage.pages import CoordinatorRecord, IndexPage, PageId, PageRef
+
+
+def corrupt_value(value: Any, rng: random.Random) -> Any:
+    """A copy of ``value`` guaranteed to differ from it."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << rng.randrange(16))
+    if isinstance(value, float):
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        # Flip a mantissa bit; retry upward if the flip lands on a NaN
+        # payload bit that round-trips to the same comparison result.
+        flipped = struct.unpack("<d", struct.pack("<Q", bits ^ (1 << rng.randrange(48))))[0]
+        return flipped if flipped != value else value + 1.0
+    if isinstance(value, str):
+        if not value:
+            return "\x01"
+        index = rng.randrange(len(value))
+        mutated = chr((ord(value[index]) ^ (1 << rng.randrange(7))) or 1)
+        return value[:index] + mutated + value[index + 1:]
+    if isinstance(value, bytes):
+        if not value:
+            return b"\x01"
+        index = rng.randrange(len(value))
+        return value[:index] + bytes([value[index] ^ (1 << rng.randrange(8))]) + value[index + 1:]
+    if isinstance(value, tuple) and value:
+        index = rng.randrange(len(value))
+        return value[:index] + (corrupt_value(value[index], rng),) + value[index + 1:]
+    if value is None:
+        return 0
+    return value
+
+
+def corrupted_tuple(tup: VersionedTuple, rng: random.Random) -> VersionedTuple:
+    """One value of the tuple bit-flipped; identity (tuple id) untouched."""
+    if not tup.values:
+        return VersionedTuple(tup.relation, tup.tuple_id, tup.values, not tup.deleted)
+    values = list(tup.values)
+    index = rng.randrange(len(values))
+    values[index] = corrupt_value(values[index], rng)
+    return VersionedTuple(tup.relation, tup.tuple_id, tuple(values), tup.deleted)
+
+
+def corrupted_page(page: IndexPage, rng: random.Random) -> IndexPage:
+    """One tuple id on the page re-pointed at a phantom epoch."""
+    ids = list(page.tuple_ids)
+    if not ids:
+        return page
+    index = rng.randrange(len(ids))
+    tid = ids[index]
+    ids[index] = TupleId(tid.key_values, tid.epoch + 1 + rng.randrange(3),
+                         tid.partition_width)
+    return IndexPage(page.ref, ids)
+
+
+def corrupted_record(record: CoordinatorRecord, rng: random.Random) -> CoordinatorRecord:
+    """One page reference of the record re-pointed at a phantom sequence."""
+    if not record.pages:
+        return record
+    pages = list(record.pages)
+    index = rng.randrange(len(pages))
+    ref = pages[index]
+    pid = ref.page_id
+    pages[index] = PageRef(
+        PageId(pid.relation, pid.epoch, pid.sequence + 1 + rng.randrange(3)),
+        ref.hash_range,
+    )
+    return CoordinatorRecord(record.relation, record.epoch, pages)
+
+
+def corrupted_scan_batch(batch: EncodedScanBatch, rng: random.Random) -> EncodedScanBatch:
+    """A cached scan batch with one tuple's values mutated, re-encoded.
+
+    Decoding, mutating and re-encoding models a bit flip inside the encoded
+    column buffer: the batch stays structurally valid (it decodes without
+    error) but one row's content is silently wrong.
+    """
+    tuples = batch.decode_tuples()
+    if not tuples:
+        return batch
+    index = rng.randrange(len(tuples))
+    tuples[index] = corrupted_tuple(tuples[index], rng)
+    return EncodedScanBatch.from_tuples(tuples)

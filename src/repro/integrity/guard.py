@@ -1,0 +1,109 @@
+"""Per-node verification state: record checksums, verify reads, quarantine.
+
+One :class:`NodeIntegrity` is attached to each node's storage service (and
+its caches) when the cluster runs with an
+:class:`~repro.integrity.config.IntegrityConfig`.  It owns the node's
+:class:`~repro.integrity.stats.IntegrityStats` and the quarantine
+bookkeeping that turns a later re-store of a failed entry into a counted
+read-repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .checksum import checksum_of
+from .config import IntegrityConfig
+from .stats import IntegrityStats
+
+
+class NodeIntegrity:
+    """Checksum recording, read verification and quarantine for one node."""
+
+    def __init__(self, config: IntegrityConfig, stats: IntegrityStats | None = None) -> None:
+        self.config = config
+        self.stats = stats or IntegrityStats()
+        #: Entries failed and removed, awaiting a verified back-fill; a
+        #: subsequent :meth:`record` of the same ``(tree, key)`` is the
+        #: repair completing and is attributed to :attr:`repair_source`.
+        self.quarantined: set[tuple[str, Any]] = set()
+        #: Virtual time each ``(tree, key)`` first failed verification on this
+        #: node — the corruption bench derives detection latency from it.
+        self.detection_times: dict[tuple[str, Any], float] = {}
+        #: Which repair path is currently writing: ``failover`` for the
+        #: replica-chase read-repair (the default), flipped to
+        #: ``replication``/``scrub`` by the cluster around those copy paths.
+        self.repair_source = "failover"
+
+    # -- write path ------------------------------------------------------------
+
+    def record(self, store, tree: str, key: Any, value: Any) -> None:
+        """Compute and store the content checksum beside a fresh write."""
+        checksum = checksum_of(value)
+        if checksum is None:
+            return
+        store.set_checksum(tree, key, checksum)
+        if (tree, key) in self.quarantined:
+            self.quarantined.discard((tree, key))
+            self.stats.note_repaired(self.repair_source)
+
+    # -- read path -------------------------------------------------------------
+
+    def verify(self, store, tree: str, key: Any, value: Any, site: str,
+               node=None) -> bool:
+        """Re-checksum ``value`` against the stored CRC; quarantine on mismatch.
+
+        Returns True when the entry is intact (or was written before the
+        integrity layer was enabled, so no checksum is recorded).  On a
+        mismatch the local copy is failed loudly — detection counter, trace
+        span when tracing is on — and removed from the store so the existing
+        replica-failover paths transparently fetch a verified copy and
+        back-fill it.
+        """
+        if not self.config.verify_reads:
+            return True
+        expected = store.get_checksum(tree, key)
+        if expected is None:
+            return True
+        if checksum_of(value) == expected:
+            return True
+        self.stats.note_detected(site)
+        self.stats.quarantined += 1
+        self.quarantined.add((tree, key))
+        if node is not None:
+            self.detection_times.setdefault((tree, key), node.now)
+        store.delete(tree, key)
+        self._trace(node, site, tree, key)
+        return False
+
+    def verify_cached(self, checksum: int | None, value: Any, site: str = "cache",
+                      node=None, detail: Any = None) -> bool:
+        """Verify a cache entry against the checksum recorded at fill time."""
+        if checksum is None or not self.config.verify_cache:
+            return True
+        if checksum_of(value) == checksum:
+            return True
+        self.stats.note_detected(site)
+        self._trace(node, site, "cache", detail)
+        return False
+
+    # -- internals -------------------------------------------------------------
+
+    def _trace(self, node, site: str, tree: str, key: Any) -> None:
+        """Emit a zero-duration detection span when tracing is enabled."""
+        if node is None:
+            return
+        tracer = getattr(node.network, "tracer", None)
+        if tracer is None:
+            return
+        now = node.network.now
+        context = tracer.current()
+        span = tracer.open_span(
+            "integrity.detected",
+            node.address,
+            now,
+            trace_id=context.trace_id if context is not None else None,
+            parent_id=context.span_id if context is not None else None,
+            attrs={"site": site, "tree": tree, "key": repr(key)},
+        )
+        tracer.end_span(span, now)

@@ -1,0 +1,180 @@
+"""Divergence-detecting background scrubber (digest-based anti-entropy).
+
+The :class:`~repro.overlay.replication.BackgroundReplicator` exchanges Bloom
+filters, which can only name *absent* copies; a replica holding silently
+corrupted bytes looks present and is never repaired.  The scrubber upgrades
+the exchange to per-range digests over ``(key, version, checksum)``: each
+member of a range's replica group re-checksums what it holds and publishes
+one digest entry per key, so the group detects divergent — not just missing
+— copies.
+
+Resolution is by epoch, then checksum quorum: among copies that self-verify
+(fresh CRC equals the CRC recorded at write time), the highest version wins,
+ties broken by the majority fresh checksum (smallest checksum on an exact
+tie, for determinism).  Copies that fail their own stored checksum are
+quarantined outright; every losing or missing member is back-filled from the
+winner.  A key with no self-verified copy anywhere is counted unrepairable
+and left in place so reads fail loudly instead of serving a guess.
+
+Like the replicator, the scrubber is decoupled from the storage engine
+through callbacks so it can be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..overlay.routing import RoutingSnapshot, physical_address
+
+
+@dataclass(frozen=True)
+class DigestEntry:
+    """One member's digest line for one key inside a scrubbed range."""
+
+    #: Version component of the resolution order (the object's epoch).
+    version: int
+    #: CRC freshly computed over the bytes the member holds *now*.
+    checksum: int
+    #: CRC recorded beside the entry at write time (None = written before
+    #: the integrity layer was enabled; treated as self-consistent).
+    stored: int | None
+    #: Size of the underlying object, for repair byte accounting.
+    size: int
+
+    def self_verified(self) -> bool:
+        return self.stored is None or self.checksum == self.stored
+
+
+@dataclass
+class ScrubReport:
+    """Summary of one digest-exchange scrub round."""
+
+    rounds: int = 0
+    digest_entries: int = 0
+    digest_bytes: int = 0
+    #: Copies whose fresh checksum contradicted their own stored checksum
+    #: (at-rest corruption caught locally) — quarantined.
+    corrupt_copies: int = 0
+    #: Keys where held copies disagreed (corrupt or minority copies present).
+    divergent_keys: int = 0
+    #: Keys for which no self-verified copy existed in the replica group.
+    unrepairable: int = 0
+    items_copied: int = 0
+    bytes_copied: int = 0
+    repairs: list[tuple[str, str, object]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.digest_bytes + self.bytes_copied
+
+
+class IntegrityScrubber:
+    """Periodic digest-based divergence detection and repair.
+
+    ``list_digests(address, key_range)``
+        ``{key: DigestEntry}`` for everything ``address`` holds in the range,
+        with freshly recomputed checksums.
+    ``copy_item(src, dst, key)``
+        copy one verified item from ``src`` to ``dst``; returns its size.
+    ``quarantine(address, key)``
+        fail the copy at ``address`` loudly and remove it pending repair.
+    """
+
+    def __init__(
+        self,
+        replication_factor: int,
+        list_digests: Callable[[str, object], dict[object, DigestEntry]],
+        copy_item: Callable[[str, str, object], int],
+        quarantine: Callable[[str, object], None],
+        digest_entry_bytes: int = 44,
+    ) -> None:
+        self.replication_factor = replication_factor
+        self._list_digests = list_digests
+        self._copy_item = copy_item
+        self._quarantine = quarantine
+        self.digest_entry_bytes = digest_entry_bytes
+
+    def run_round(self, snapshot: RoutingSnapshot) -> ScrubReport:
+        """One digest exchange over every owner range's replica group."""
+        report = ScrubReport(rounds=1)
+        for entry in snapshot.nodes:
+            owner = physical_address(entry)
+            owner_range = snapshot.range_of(entry)
+            if owner_range.is_empty():
+                continue
+            group = [owner]
+            for replica in snapshot.replicas_for_owner(entry, self.replication_factor):
+                address = physical_address(replica)
+                if address not in group:
+                    group.append(address)
+
+            digests = {
+                member: self._list_digests(member, owner_range) for member in group
+            }
+            for member_digest in digests.values():
+                report.digest_entries += len(member_digest)
+                report.digest_bytes += self.digest_entry_bytes * len(member_digest)
+
+            all_keys: dict[object, None] = {}
+            for member in group:
+                for key in digests[member]:
+                    all_keys.setdefault(key)
+
+            for key in all_keys:
+                held = {
+                    member: digests[member][key]
+                    for member in group
+                    if key in digests[member]
+                }
+                bad = [m for m, d in held.items() if not d.self_verified()]
+                good = {m: d for m, d in held.items() if d.self_verified()}
+                if not good:
+                    # No verified source anywhere: leave every copy in place
+                    # so reads fail loudly (verification aborts the query)
+                    # instead of vanishing the key behind a quarantine.
+                    report.unrepairable += 1
+                    continue
+                for member in bad:
+                    self._quarantine(member, key)
+                    report.corrupt_copies += 1
+
+                # Resolve: highest version, then majority fresh checksum
+                # (smallest checksum on a tie — deterministic).
+                best_version = max(d.version for d in good.values())
+                contenders = {
+                    m: d for m, d in good.items() if d.version == best_version
+                }
+                tally: dict[int, int] = {}
+                for d in contenders.values():
+                    tally[d.checksum] = tally.get(d.checksum, 0) + 1
+                winner_checksum = min(
+                    tally, key=lambda checksum: (-tally[checksum], checksum)
+                )
+                winner = next(
+                    m for m in group
+                    if m in contenders and contenders[m].checksum == winner_checksum
+                )
+                losers = [
+                    m for m, d in good.items()
+                    if (d.version, d.checksum) != (best_version, winner_checksum)
+                ]
+                for member in losers:
+                    self._quarantine(member, key)
+                if bad or losers:
+                    report.divergent_keys += 1
+
+                for member in group:
+                    if member == winner:
+                        continue
+                    intact = (
+                        member in good
+                        and member not in losers
+                    )
+                    if intact:
+                        continue
+                    copied = self._copy_item(winner, member, key)
+                    report.items_copied += 1
+                    report.bytes_copied += copied
+                    report.repairs.append((winner, member, key))
+        return report

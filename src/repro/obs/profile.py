@@ -81,6 +81,9 @@ class QueryProfile:
     #: Resilience activity during the query (hedges by outcome, retries,
     #: breaker skips), copied from the statistics when available.
     resilience: dict = field(default_factory=dict)
+    #: Integrity activity during the query (corruptions detected by site,
+    #: read-repairs by source), copied from the statistics when available.
+    integrity: dict = field(default_factory=dict)
     overhead_bytes: int = 0
     total_bytes: int = 0
     span_count: int = 0
@@ -99,6 +102,7 @@ class QueryProfile:
             "messages_by_kind": dict(self.messages_by_kind),
             "encoding": dict(self.encoding),
             "resilience": dict(self.resilience),
+            "integrity": dict(self.integrity),
             "overhead_bytes": self.overhead_bytes,
             "total_bytes": self.total_bytes,
             "span_count": self.span_count,
@@ -112,7 +116,7 @@ class QueryProfile:
 
 def build_profile(
     tracer: Tracer, trace_id: int, plan, encoding: dict | None = None,
-    resilience: dict | None = None,
+    resilience: dict | None = None, integrity: dict | None = None,
 ) -> QueryProfile:
     """Assemble the profile of ``trace_id`` over ``plan``'s operator tree."""
     spans = tracer.spans_of(trace_id)
@@ -122,6 +126,8 @@ def build_profile(
         profile.encoding = dict(encoding)
     if resilience:
         profile.resilience = dict(resilience)
+    if integrity:
+        profile.integrity = dict(integrity)
     profile.span_count = len(spans)
 
     rows: list[OperatorProfileRow] = []
@@ -222,6 +228,15 @@ def format_profile(profile: QueryProfile) -> str:
             f"({hedges.get('won', 0)} won), "
             f"{profile.resilience.get('retries', 0)} retries, "
             f"{profile.resilience.get('breaker_skips', 0)} breaker skips)"
+        )
+    if profile.integrity:
+        detected = profile.integrity.get("detected", {})
+        repaired = profile.integrity.get("repaired", {})
+        sites = " ".join(f"{site}={detected[site]}" for site in sorted(detected))
+        lines.append(
+            f"(integrity: {sum(detected.values())} corruptions detected"
+            + (f" ({sites})" if sites else "")
+            + f", {sum(repaired.values())} read-repaired)"
         )
     return "\n".join(lines)
 

@@ -85,6 +85,10 @@ class ReplicationReport:
     filters_exchanged: int = 0
     items_copied: int = 0
     bytes_copied: int = 0
+    #: Keys a member's own Bloom filter claimed it held but the exact
+    #: membership double-check against its store disproved; each one would
+    #: have been a silently skipped repair.
+    bloom_false_positives: int = 0
     repairs: list[tuple[str, str, object]] = field(default_factory=list)
 
 
@@ -151,9 +155,18 @@ class BackgroundReplicator:
 
             for member in group:
                 summary = summaries[member]
+                member_items = holdings[member]
                 for key, source in holder_of.items():
-                    if source == member or key in summary:
+                    if source == member:
                         continue
+                    if key in summary:
+                        # A Bloom hit only *suggests* the member holds the
+                        # key; a false positive in its own filter would skip
+                        # the repair forever.  The exact double-check is a
+                        # local store lookup — no wire cost.
+                        if key in member_items:
+                            continue
+                        report.bloom_false_positives += 1
                     copied_bytes = self._copy_item(source, member, key)
                     report.items_copied += 1
                     report.bytes_copied += copied_bytes

@@ -107,6 +107,12 @@ class QueryStatistics:
     #: skips.  Empty when the cluster runs without a resilience config (or
     #: when the query triggered none of it).
     resilience: dict[str, object] = field(default_factory=dict)
+    #: Integrity activity attributable to this query (all attempts): the
+    #: delta of the merged per-node :class:`~repro.integrity.IntegrityStats`
+    #: over the run — detections by site, repairs by source, quarantines.
+    #: Empty when the cluster runs without an integrity config (or the
+    #: query's reads all verified clean).
+    integrity: dict[str, object] = field(default_factory=dict)
     #: Trace identity of the query's span tree, set when the cluster has
     #: tracing enabled (:meth:`repro.cluster.Cluster.enable_tracing`).
     trace_id: int | None = None
@@ -139,7 +145,7 @@ class QueryStatistics:
 
         return build_profile(
             self._tracer, self.trace_id, self._plan, encoding=self.encoding,
-            resilience=self.resilience,
+            resilience=self.resilience, integrity=self.integrity,
         )
 
     def to_dict(self) -> dict:
@@ -162,6 +168,7 @@ class QueryStatistics:
             "scan_pages_pruned": self.scan_pages_pruned,
             "encoding": dict(self.encoding),
             "resilience": dict(self.resilience),
+            "integrity": dict(self.integrity),
             "trace_id": self.trace_id,
         }
 
@@ -184,6 +191,12 @@ class QueryStatistics:
             samples.append(("query.hedges", {"outcome": outcome}, hedges[outcome]))
         if self.resilience.get("retries"):
             samples.append(("query.rpc_retries", {}, self.resilience["retries"]))
+        detected = self.integrity.get("detected", {})
+        for site in sorted(detected):
+            samples.append(("query.integrity_detected", {"site": site}, detected[site]))
+        repaired = self.integrity.get("repaired", {})
+        for source in sorted(repaired):
+            samples.append(("query.integrity_repaired", {"source": source}, repaired[source]))
         return samples
 
     def _absorb_traffic(self, delta) -> None:
@@ -240,6 +253,29 @@ class QueryStatistics:
             hedges = self.resilience.setdefault("hedges", {})
             for outcome, delta in deltas.items():
                 hedges[outcome] = hedges.get(outcome, 0) + delta
+
+    def _absorb_integrity(self, before: dict, after: dict) -> None:
+        """Fold one attempt's integrity-stats delta into the cumulative view.
+
+        ``before``/``after`` are merged cluster-wide snapshots, so every
+        corruption this query's reads surfaced — and every read-repair its
+        failover performed — is attributed to it.
+        """
+        if not before:
+            return  # integrity disabled, or no launch-time snapshot
+        for tagged in ("detected", "repaired"):
+            deltas = {
+                key: count - before[tagged].get(key, 0)
+                for key, count in after[tagged].items()
+                if count - before[tagged].get(key, 0)
+            }
+            if deltas:
+                folded = self.integrity.setdefault(tagged, {})
+                for key, delta in deltas.items():
+                    folded[key] = folded.get(key, 0) + delta
+        delta = after["quarantined"] - before["quarantined"]
+        if delta:
+            self.integrity["quarantined"] = self.integrity.get("quarantined", 0) + delta
 
 
 @dataclass
@@ -691,6 +727,9 @@ class _ActiveQuery:
     #: Merged resilience-stats snapshot at launch (empty when the cluster has
     #: no resilience layer); deltas feed ``statistics.resilience``.
     resilience_start: dict = field(default_factory=dict)
+    #: Merged integrity-stats snapshot at launch (empty when the cluster has
+    #: no integrity layer); deltas feed ``statistics.integrity``.
+    integrity_start: dict = field(default_factory=dict)
     #: Canonical plan fingerprint (None when result caching is off) and one
     #: ``(relation, resolved epoch, pinned epoch)`` triple per leaf scan,
     #: recorded so the finished result can enter the semantic cache with
@@ -879,6 +918,26 @@ class QueryService:
             merged.merge(resilience.stats)
         return merged.snapshot() if merged is not None else {}
 
+    def _integrity_totals(self) -> dict:
+        """Merged cluster-wide integrity-stats snapshot (empty if disabled).
+
+        Same process-side-observer pattern as :meth:`_resilience_totals`: the
+        launch/finish delta attributes detections and read-repairs to the
+        query whose reads surfaced them.
+        """
+        merged = None
+        for peer in self.node.network.nodes.values():
+            storage = peer.services.get("storage")
+            integrity = getattr(storage, "integrity", None)
+            if integrity is None:
+                continue
+            if merged is None:
+                from ..integrity import IntegrityStats
+
+                merged = IntegrityStats()
+            merged.merge(integrity.stats)
+        return merged.snapshot() if merged is not None else {}
+
     def reset_volatile(self) -> None:
         """Drop all in-flight query state after a crash-restart.
 
@@ -1049,6 +1108,7 @@ class QueryService:
             traffic_start=self.node.network.traffic.snapshot(),
             encoding_start=ENCODING_STATS.snapshot(),
             resilience_start=self._resilience_totals(),
+            integrity_start=self._integrity_totals(),
             fingerprint=fingerprint,
             scans=scanned,
             cache_publish_seq=cache_publish_seq,
@@ -1600,6 +1660,9 @@ class QueryService:
         active.statistics._absorb_resilience(
             active.resilience_start, self._resilience_totals()
         )
+        active.statistics._absorb_integrity(
+            active.integrity_start, self._integrity_totals()
+        )
         active.statistics.rows_shipped = active.collector.rows_received
         result = QueryResult(
             attributes=active.plan.output_attributes(),
@@ -1782,6 +1845,7 @@ class QueryService:
         statistics._absorb_traffic(aborted_traffic)
         statistics._absorb_encoding(active.encoding_start, ENCODING_STATS.snapshot())
         statistics._absorb_resilience(active.resilience_start, self._resilience_totals())
+        statistics._absorb_integrity(active.integrity_start, self._integrity_totals())
         statistics.restarts += 1
 
         def relaunch() -> None:

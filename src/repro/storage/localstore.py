@@ -218,6 +218,13 @@ class LocalStore:
         self._order = order
         self._trees: dict[str, BPlusTree] = {}
         self.bytes_stored = 0
+        #: Per-entry byte footprint, so replacing or deleting an entry
+        #: adjusts ``bytes_stored`` instead of drifting it upward forever.
+        self._entry_sizes: dict[tuple[str, Any], int] = {}
+        #: Content checksums recorded beside entries when the integrity layer
+        #: is on (CRC over the canonical serialized form, written at
+        #: publish/replication time and compared on every read).
+        self._checksums: dict[tuple[str, Any], int] = {}
 
     def tree(self, name: str) -> BPlusTree:
         if name not in self._trees:
@@ -226,13 +233,30 @@ class LocalStore:
 
     def put(self, tree: str, key: Any, value: Any, size: int = 0) -> None:
         self.tree(tree).put(key, value)
-        self.bytes_stored += size
+        previous = self._entry_sizes.pop((tree, key), 0)
+        self.bytes_stored += size - previous
+        if size:
+            self._entry_sizes[(tree, key)] = size
 
     def get(self, tree: str, key: Any, default: Any = None) -> Any:
         return self.tree(tree).get(key, default)
 
     def delete(self, tree: str, key: Any) -> bool:
-        return self.tree(tree).delete(key)
+        removed = self.tree(tree).delete(key)
+        if removed:
+            self.bytes_stored -= self._entry_sizes.pop((tree, key), 0)
+            self._checksums.pop((tree, key), None)
+        return removed
+
+    # -- content checksums -------------------------------------------------------
+
+    def set_checksum(self, tree: str, key: Any, checksum: int) -> None:
+        """Record the content checksum stored beside ``(tree, key)``."""
+        self._checksums[(tree, key)] = checksum
+
+    def get_checksum(self, tree: str, key: Any) -> int | None:
+        """The recorded checksum for ``(tree, key)``, or None if unchecked."""
+        return self._checksums.get((tree, key))
 
     def contains(self, tree: str, key: Any) -> bool:
         return key in self.tree(tree)

@@ -52,7 +52,7 @@ _INVERSE_TREE = "inverse"
 class StorageService:
     """Storage RPC handlers and local state for a single simulated node."""
 
-    def __init__(self, node: SimNode, cache=None) -> None:
+    def __init__(self, node: SimNode, cache=None, integrity=None) -> None:
         self.node = node
         self.rpc: RpcEndpoint = rpc_endpoint(node)
         self.store = LocalStore()
@@ -61,6 +61,11 @@ class StorageService:
         #: acting as a client can safely be served to peers after the ring
         #: moved, instead of failing over to replicas.
         self.cache = cache
+        #: Optional :class:`~repro.integrity.NodeIntegrity`.  When set, every
+        #: write records a content checksum beside the entry and every read
+        #: re-verifies it; a mismatch quarantines the local copy so the
+        #: caller's replica-failover path read-repairs it transparently.
+        self.integrity = integrity
         #: Local observers notified when tuples are written (used by tests and
         #: by the background replicator's bookkeeping).
         self._write_listeners: list[Callable[[VersionedTuple], None]] = []
@@ -85,6 +90,27 @@ class StorageService:
     def add_write_listener(self, listener: Callable[[VersionedTuple], None]) -> None:
         self._write_listeners.append(listener)
 
+    # -------------------------------------------------------------- integrity
+
+    def _record_checksum(self, tree: str, key, value) -> None:
+        """Record the content checksum beside a fresh write (no-op when off)."""
+        if self.integrity is not None:
+            self.integrity.record(self.store, tree, key, value)
+
+    def _verified(self, tree: str, key, value, site: str):
+        """Return ``value`` if it passes verification, else None.
+
+        A failed copy is quarantined and deleted by the guard, so to every
+        caller the entry simply looks *missing* — which routes the read into
+        the existing replica-failover paths, and the back-fill they perform
+        becomes the read-repair.
+        """
+        if value is None or self.integrity is None:
+            return value
+        if self.integrity.verify(self.store, tree, key, value, site, node=self.node):
+            return value
+        return None
+
     # ------------------------------------------------------- coordinator role
 
     def _on_put_coordinator(self, _src: str, payload: Mapping[str, object], respond) -> None:
@@ -95,10 +121,11 @@ class StorageService:
             record,
             size=record.estimated_size(),
         )
+        self._record_checksum(_COORD_TREE, (record.relation, record.epoch), record)
         respond({"ok": True}, size=8)
 
     def _on_get_coordinator(self, _src: str, payload: Mapping[str, object], respond) -> None:
-        record = self.store.get(_COORD_TREE, (payload["relation"], payload["epoch"]))
+        record = self.local_coordinator(payload["relation"], payload["epoch"])
         if record is None:
             respond({"missing": True}, size=8)
         else:
@@ -123,10 +150,11 @@ class StorageService:
     def _on_put_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
         page: IndexPage = payload["page"]
         self.store.put(_PAGE_TREE, page.page_id, page, size=page.estimated_size())
+        self._record_checksum(_PAGE_TREE, page.page_id, page)
         respond({"ok": True}, size=8)
 
     def _on_get_page(self, _src: str, payload: Mapping[str, object], respond) -> None:
-        page = self.store.get(_PAGE_TREE, payload["page_id"])
+        page = self.local_page(payload["page_id"])
         if page is None and self.cache is not None:
             # Serve a remote reader from the cache, but bypass the hit
             # counters: the page still crosses the network in the reply, so
@@ -145,7 +173,7 @@ class StorageService:
         The predicate is a callable over the tuple's *key values* (sargable in
         the paper's sense: evaluable from the index entry alone).
         """
-        page = self.store.get(_PAGE_TREE, payload["page_id"])
+        page = self.local_page(payload["page_id"], site="scan")
         if page is None:
             respond({"missing": True}, size=8)
             return
@@ -175,6 +203,7 @@ class StorageService:
                 tup,
                 size=tup.estimated_size(),
             )
+            self._record_checksum(_TUPLE_TREE, (tup.relation, tup.hash_key, tup.tuple_id), tup)
             total += tup.estimated_size()
             count += 1
             for listener in self._write_listeners:
@@ -214,13 +243,15 @@ class StorageService:
     # ------------------------------------------------------- local (in-process)
 
     def local_coordinator(self, relation: str, epoch: int) -> CoordinatorRecord | None:
-        return self.store.get(_COORD_TREE, (relation, epoch))
+        record = self.store.get(_COORD_TREE, (relation, epoch))
+        return self._verified(_COORD_TREE, (relation, epoch), record, "coordinator")
 
     def local_catalog(self, relation: str) -> tuple[int, ...] | None:
         return self.store.get(_CATALOG_TREE, relation)
 
-    def local_page(self, page_id: PageId) -> IndexPage | None:
-        return self.store.get(_PAGE_TREE, page_id)
+    def local_page(self, page_id: PageId, site: str = "page") -> IndexPage | None:
+        page = self.store.get(_PAGE_TREE, page_id)
+        return self._verified(_PAGE_TREE, page_id, page, site)
 
     def local_or_cached_page(self, page_id: PageId) -> IndexPage | None:
         """Page from the local store, falling back to the node cache.
@@ -232,7 +263,7 @@ class StorageService:
         served through :meth:`_on_get_page`, which deliberately bypasses the
         hit counters (the bytes still ship).
         """
-        page = self.store.get(_PAGE_TREE, page_id)
+        page = self.local_page(page_id)
         if page is None and self.cache is not None:
             page = self.cache.get_page(page_id)
         return page
@@ -249,6 +280,7 @@ class StorageService:
         count = 0
         for tid in tuple_ids:
             tup = self.store.get(_TUPLE_TREE, (relation, tid.hash_key, tid))
+            tup = self._verified(_TUPLE_TREE, (relation, tid.hash_key, tid), tup, "tuple")
             count += 1
             if tup is None:
                 missing.append(tid)
@@ -266,13 +298,16 @@ class StorageService:
             tup,
             size=tup.estimated_size(),
         )
+        self._record_checksum(_TUPLE_TREE, (tup.relation, tup.hash_key, tup.tuple_id), tup)
 
     def store_page(self, page: IndexPage) -> None:
         self.store.put(_PAGE_TREE, page.page_id, page, size=page.estimated_size())
+        self._record_checksum(_PAGE_TREE, page.page_id, page)
 
     def store_coordinator(self, record: CoordinatorRecord) -> None:
         self.store.put(_COORD_TREE, (record.relation, record.epoch), record,
                        size=record.estimated_size())
+        self._record_checksum(_COORD_TREE, (record.relation, record.epoch), record)
 
     def local_tuples_in_range(self, relation: str, hash_range) -> list[VersionedTuple]:
         """All locally stored tuple versions of ``relation`` within ``hash_range``."""
@@ -291,6 +326,75 @@ class StorageService:
 
     def tuple_count(self) -> int:
         return self.store.count(_TUPLE_TREE)
+
+    # ------------------------------------------------------------ scrub surface
+
+    #: Trees covered by the integrity scrubber's digest exchange.
+    SCRUB_TREES = (_TUPLE_TREE, _PAGE_TREE, _COORD_TREE)
+
+    def scrub_digests(self, tree: str, key_range) -> dict:
+        """Digest lines for everything held in ``tree`` within ``key_range``.
+
+        Checksums are *recomputed* from the bytes held now, paired with the
+        checksum recorded at write time, so the scrubber can tell a locally
+        rotted copy (fresh != stored) from a divergent-but-self-consistent
+        one (both replicas verify, checksums differ across the group).
+        """
+        from ..integrity.checksum import checksum_of
+        from ..integrity.scrubber import DigestEntry
+        from .pages import coordinator_key
+
+        entries: dict = {}
+        for key, value in self.store.items(tree):
+            if tree == _TUPLE_TREE:
+                _rel, hash_key, tid = key
+                placement, version = hash_key, tid.epoch
+            elif tree == _PAGE_TREE:
+                placement, version = value.ref.storage_key, key.epoch
+            elif tree == _COORD_TREE:
+                relation, epoch = key
+                placement, version = coordinator_key(relation, epoch), epoch
+            else:
+                continue
+            if not key_range.contains(placement):
+                continue
+            entries[key] = DigestEntry(
+                version=version,
+                checksum=checksum_of(value),
+                stored=self.store.get_checksum(tree, key),
+                size=value.estimated_size(),
+            )
+        return entries
+
+    def scrub_fetch(self, tree: str, key):
+        """Raw read for the scrubber's repair copy (no verification here:
+        the digest exchange already established this copy self-verifies)."""
+        return self.store.get(tree, key)
+
+    def scrub_store(self, tree: str, key, value) -> int:
+        """Back-fill one repaired entry; returns its size for accounting."""
+        if tree == _TUPLE_TREE:
+            self.store_tuple(value)
+        elif tree == _PAGE_TREE:
+            self.store_page(value)
+        elif tree == _COORD_TREE:
+            self.store_coordinator(value)
+        else:
+            raise ValueError(f"unscrubable tree {tree!r}")
+        return value.estimated_size()
+
+    def scrub_quarantine(self, tree: str, key) -> None:
+        """Fail a corrupt/divergent copy loudly and remove it pending repair."""
+        value = self.store.get(tree, key)
+        if value is None:
+            return
+        if self.integrity is not None:
+            self.integrity.stats.note_detected("scrub")
+            self.integrity.stats.quarantined += 1
+            self.integrity.quarantined.add((tree, key))
+            self.integrity.detection_times.setdefault((tree, key), self.node.now)
+            self.integrity._trace(self.node, "scrub", tree, key)
+        self.store.delete(tree, key)
 
 
 def storage_of(node: SimNode) -> StorageService:

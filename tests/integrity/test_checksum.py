@@ -1,0 +1,117 @@
+"""Content checksums: equal content, equal CRC; any mutation, a different one."""
+
+import random
+
+from repro.common.hashing import KeyRange
+from repro.common.serialization import EncodedScanBatch
+from repro.common.types import TupleId, VersionedTuple
+from repro.integrity import (
+    checksum_of,
+    corrupt_value,
+    corrupted_page,
+    corrupted_record,
+    corrupted_scan_batch,
+    corrupted_tuple,
+    page_checksum,
+    record_checksum,
+    scan_batch_checksum,
+    tuple_checksum,
+)
+from repro.storage.pages import CoordinatorRecord, IndexPage, PageId, PageRef
+
+
+def make_tuple(i=0, deleted=False):
+    return VersionedTuple(
+        "rel", TupleId((f"key-{i}",), epoch=1), (f"key-{i}", 3.25, i, b"\x00\x01"),
+        deleted,
+    )
+
+
+def make_page(num_ids=5):
+    ref = PageRef(PageId("rel", 1, 0), KeyRange(100, 5000))
+    return IndexPage(ref, [TupleId((f"key-{i}",), epoch=1) for i in range(num_ids)])
+
+
+def make_record(num_pages=3):
+    pages = [
+        PageRef(PageId("rel", 1, seq), KeyRange(seq * 1000, (seq + 1) * 1000))
+        for seq in range(num_pages)
+    ]
+    return CoordinatorRecord("rel", 1, pages)
+
+
+class TestChecksumStability:
+    def test_equal_tuples_checksum_identically(self):
+        assert tuple_checksum(make_tuple(7)) == tuple_checksum(make_tuple(7))
+
+    def test_equal_pages_checksum_identically(self):
+        assert page_checksum(make_page()) == page_checksum(make_page())
+
+    def test_equal_records_checksum_identically(self):
+        assert record_checksum(make_record()) == record_checksum(make_record())
+
+    def test_equal_scan_batches_checksum_identically(self):
+        first = EncodedScanBatch.from_tuples([make_tuple(i) for i in range(8)])
+        second = EncodedScanBatch.from_tuples([make_tuple(i) for i in range(8)])
+        assert scan_batch_checksum(first) == scan_batch_checksum(second)
+
+
+class TestChecksumSensitivity:
+    def test_value_mutation_changes_tuple_checksum(self):
+        rng = random.Random(0)
+        original = make_tuple()
+        for _ in range(20):
+            assert tuple_checksum(corrupted_tuple(original, rng)) != tuple_checksum(original)
+
+    def test_deleted_flag_changes_tuple_checksum(self):
+        assert tuple_checksum(make_tuple(deleted=True)) != tuple_checksum(make_tuple())
+
+    def test_repointed_tuple_id_changes_page_checksum(self):
+        rng = random.Random(0)
+        original = make_page()
+        for _ in range(20):
+            assert page_checksum(corrupted_page(original, rng)) != page_checksum(original)
+
+    def test_dropped_tuple_id_changes_page_checksum(self):
+        original = make_page(5)
+        truncated = IndexPage(original.ref, original.tuple_ids[:-1])
+        assert page_checksum(truncated) != page_checksum(original)
+
+    def test_repointed_page_ref_changes_record_checksum(self):
+        rng = random.Random(0)
+        original = make_record()
+        for _ in range(20):
+            assert record_checksum(corrupted_record(original, rng)) != record_checksum(original)
+
+    def test_scan_batch_mutation_survives_reencoding(self):
+        # The corrupted batch is re-encoded (structurally valid, content
+        # wrong) — exactly the case a structural check would miss.
+        rng = random.Random(0)
+        original = EncodedScanBatch.from_tuples([make_tuple(i) for i in range(8)])
+        for _ in range(10):
+            mutated = corrupted_scan_batch(original, rng)
+            assert scan_batch_checksum(mutated) != scan_batch_checksum(original)
+
+
+class TestCorruptValue:
+    def test_always_differs(self):
+        rng = random.Random(1)
+        samples = [True, 0, 12345, -7, 3.5, 0.0, "", "hello", b"", b"\xff\x00",
+                   (1, "two"), None]
+        for value in samples:
+            for _ in range(10):
+                assert corrupt_value(value, rng) != value
+
+
+class TestDispatch:
+    def test_dispatch_by_stored_type(self):
+        batch = EncodedScanBatch.from_tuples([make_tuple()])
+        assert checksum_of(make_tuple()) == tuple_checksum(make_tuple())
+        assert checksum_of(make_page()) == page_checksum(make_page())
+        assert checksum_of(make_record()) == record_checksum(make_record())
+        assert checksum_of(batch) == scan_batch_checksum(batch)
+
+    def test_unchecked_kinds_return_none(self):
+        assert checksum_of(42) is None
+        assert checksum_of("raw") is None
+        assert checksum_of(None) is None

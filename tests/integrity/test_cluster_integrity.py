@@ -1,0 +1,157 @@
+"""Cluster-level integrity: detection end to end, scrub convergence,
+exact reconciliation with the metrics registry, and query attribution."""
+
+import pytest
+
+from repro.bench.harness import _gray_relation
+from repro.cluster import Cluster
+from repro.common.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.integrity import IntegrityConfig
+from repro.obs.metrics import format_series
+
+NODES = 6
+ROWS = 200
+
+
+def integrity_cluster(seed=3, rows=ROWS):
+    cluster = Cluster(NODES, integrity_config=IntegrityConfig())
+    injector = FaultInjector(cluster.network, seed=seed)
+    cluster.publish_relations([_gray_relation("R", rows)])
+    cluster.run()
+    return cluster, injector
+
+
+def scrub_until_clean(cluster):
+    rounds = 0
+    for _ in range(cluster.integrity_config.max_scrub_rounds):
+        report = cluster.run_scrub()
+        rounds += 1
+        if not (report.corrupt_copies or report.divergent_keys or report.items_copied):
+            break
+    return rounds
+
+
+class TestEndToEnd:
+    def test_injected_corruptions_detected_and_repaired_by_scrub(self):
+        cluster, injector = integrity_cluster()
+        for _ in range(5):
+            injector.corrupt_at_rest()
+        injected = len(injector.corruption_events)
+        assert injected == 5
+        scrub_until_clean(cluster)
+        stats = cluster.integrity_statistics()
+        assert stats.detected_total == injected
+        assert stats.repaired_total == injected
+        assert stats.unrepairable == 0
+        assert cluster.quarantined_entries() == {}
+
+    def test_retrieve_never_serves_corrupted_rows(self):
+        cluster, injector = integrity_cluster(seed=9)
+        for _ in range(4):
+            injector.corrupt_at_rest()
+        result = cluster.retrieve("R")
+        expected = {f"R-{i:05d}": (f"R-{i:05d}", f"g{i % 7}", i) for i in range(ROWS)}
+        rows = list(result.rows())
+        assert len(rows) == ROWS
+        for row in rows:
+            assert tuple(row) == expected[row[0]]
+
+    def test_scrub_requires_the_integrity_layer(self):
+        cluster = Cluster(4)
+        with pytest.raises(ReproError):
+            cluster.run_scrub()
+
+    def test_scrub_converges_within_configured_rounds(self):
+        cluster, injector = integrity_cluster(seed=21)
+        for _ in range(8):
+            injector.corrupt_at_rest()
+        rounds = scrub_until_clean(cluster)
+        assert rounds <= cluster.integrity_config.max_scrub_rounds
+        # A further round finds nothing: the repairs themselves verified.
+        report = cluster.run_scrub()
+        assert report.corrupt_copies == 0
+        assert report.items_copied == 0
+
+
+class TestMetricsReconciliation:
+    def test_registry_equals_integrity_statistics_exactly(self):
+        cluster, injector = integrity_cluster(seed=5)
+        for _ in range(6):
+            injector.corrupt_at_rest()
+        cluster.retrieve("R")
+        scrub_until_clean(cluster)
+        stats = cluster.integrity_statistics()
+        assert stats.detected_total > 0
+        metrics = cluster.metrics.snapshot()
+        for name, tags, value in stats.metric_series():
+            assert metrics[format_series(name, tags)] == value
+
+    def test_scrub_accounting_reaches_the_registry(self):
+        cluster, injector = integrity_cluster(seed=7)
+        injector.corrupt_at_rest()
+        rounds = scrub_until_clean(cluster)
+        metrics = cluster.metrics.snapshot()
+        assert metrics["scrub.rounds"] == rounds
+        assert metrics["scrub.digests"] > 0
+        assert metrics["scrub.bytes"] > 0
+        assert metrics["scrub.bytes"] == cluster.integrity_statistics().scrub_bytes
+
+    def test_observability_surfaces_integrity_counters(self):
+        cluster, injector = integrity_cluster(seed=11)
+        injector.corrupt_at_rest()
+        scrub_until_clean(cluster)
+        observed = cluster.observability()["metrics"]
+        assert any(key.startswith("integrity.detected") for key in observed)
+        assert observed["scrub.rounds"] >= 1
+
+    def test_integrity_off_emits_no_series(self):
+        cluster = Cluster(4)
+        cluster.publish_relations([_gray_relation("R", 50)])
+        cluster.run()
+        metrics = cluster.metrics.snapshot()
+        assert not any(
+            key.startswith(("integrity.", "scrub.")) for key in metrics
+        )
+
+
+class TestQueryAttribution:
+    def test_query_statistics_carry_detections_in_its_window(self):
+        from repro.workloads import tpch
+
+        instance = tpch.generate(0.1, seed=0)
+        cluster = Cluster(NODES, integrity_config=IntegrityConfig())
+        injector = FaultInjector(cluster.network, seed=2)
+        cluster.publish_relations(instance.relation_list())
+        cluster.run()
+        for _ in range(6):
+            injector.corrupt_at_rest(targets=("tuples",))
+        result = cluster.query(tpch.query("Q1"))
+        integrity = result.statistics.integrity
+        # Q1 scans lineitem (the bulk of the instance): at least one of the
+        # corrupted tuples sits under the scan and is detected mid-query.
+        assert sum(integrity.get("detected", {}).values()) > 0
+        assert integrity.get("detected", {}) == {
+            site: count
+            for site, count in cluster.integrity_statistics().detected.items()
+        }
+        assert "integrity" in result.statistics.to_dict()
+
+    def test_profile_renders_the_integrity_block(self):
+        from repro.workloads import tpch
+
+        instance = tpch.generate(0.1, seed=0)
+        cluster = Cluster(NODES, integrity_config=IntegrityConfig())
+        injector = FaultInjector(cluster.network, seed=4)
+        cluster.publish_relations(instance.relation_list())
+        cluster.enable_tracing()
+        cluster.run()
+        for _ in range(6):
+            injector.corrupt_at_rest(targets=("tuples",))
+        result = cluster.query(tpch.query("Q1"))
+        statistics = result.statistics
+        if sum(statistics.integrity.get("detected", {}).values()) == 0:
+            pytest.skip("no corruption landed under this query's scan")
+        text = statistics.profile().format()
+        assert "integrity" in text
+        assert "detected" in text

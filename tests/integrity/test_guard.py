@@ -1,0 +1,135 @@
+"""NodeIntegrity: record, verify, quarantine, and repair attribution."""
+
+import random
+from types import SimpleNamespace
+
+from repro.common.types import TupleId, VersionedTuple
+from repro.integrity import IntegrityConfig, NodeIntegrity, corrupted_tuple
+from repro.storage.localstore import LocalStore
+
+TREE = "tuples"
+
+
+def make_tuple(i=0):
+    return VersionedTuple("rel", TupleId((f"key-{i}",), epoch=1), (f"key-{i}", i))
+
+
+def stub_node(now=1.5):
+    # Enough of a simulated node for detection timestamps; no tracer.
+    return SimpleNamespace(now=now, address="node-0", network=SimpleNamespace())
+
+
+def make_state(config=None):
+    store = LocalStore()
+    integrity = NodeIntegrity(config or IntegrityConfig())
+    tup = make_tuple()
+    store.put(TREE, "k", tup, size=64)
+    integrity.record(store, TREE, "k", tup)
+    return store, integrity, tup
+
+
+class TestVerify:
+    def test_intact_entry_passes(self):
+        store, integrity, tup = make_state()
+        assert integrity.verify(store, TREE, "k", tup, "tuple")
+        assert integrity.stats.detected_total == 0
+
+    def test_unchecked_entry_passes(self):
+        # Written before the integrity layer was enabled: no recorded CRC.
+        store, integrity, _ = make_state()
+        other = make_tuple(1)
+        store.put(TREE, "k2", other, size=64)
+        assert integrity.verify(store, TREE, "k2", other, "tuple")
+
+    def test_corrupt_entry_fails_and_quarantines(self):
+        store, integrity, tup = make_state()
+        rotten = corrupted_tuple(tup, random.Random(0))
+        # Swap behind the bookkeeping, the way the injector does: the
+        # recorded CRC still describes the original bytes.
+        store.tree(TREE).put("k", rotten)
+        assert not integrity.verify(store, TREE, "k", rotten, "tuple",
+                                    node=stub_node(now=2.5))
+        assert integrity.stats.detected == {"tuple": 1}
+        assert integrity.stats.quarantined == 1
+        assert (TREE, "k") in integrity.quarantined
+        assert integrity.detection_times[(TREE, "k")] == 2.5
+        # The local copy is failed loudly and removed so the replica-chase
+        # read path back-fills a verified one.
+        assert store.get(TREE, "k") is None
+        assert store.get_checksum(TREE, "k") is None
+
+    def test_verify_reads_disabled_skips(self):
+        store, integrity, tup = make_state(IntegrityConfig(verify_reads=False))
+        rotten = corrupted_tuple(tup, random.Random(0))
+        store.tree(TREE).put("k", rotten)
+        assert integrity.verify(store, TREE, "k", rotten, "tuple")
+        assert integrity.stats.detected_total == 0
+
+
+class TestRepairAttribution:
+    def _quarantine(self, store, integrity, tup):
+        rotten = corrupted_tuple(tup, random.Random(0))
+        store.tree(TREE).put("k", rotten)
+        assert not integrity.verify(store, TREE, "k", rotten, "tuple")
+
+    def test_restore_counts_as_failover_repair(self):
+        store, integrity, tup = make_state()
+        self._quarantine(store, integrity, tup)
+        store.put(TREE, "k", tup, size=64)
+        integrity.record(store, TREE, "k", tup)
+        assert integrity.stats.repaired == {"failover": 1}
+        assert not integrity.quarantined
+
+    def test_repair_source_attributes_scrub(self):
+        store, integrity, tup = make_state()
+        self._quarantine(store, integrity, tup)
+        integrity.repair_source = "scrub"
+        store.put(TREE, "k", tup, size=64)
+        integrity.record(store, TREE, "k", tup)
+        assert integrity.stats.repaired == {"scrub": 1}
+
+    def test_fresh_write_is_not_a_repair(self):
+        store, integrity, tup = make_state()
+        integrity.record(store, TREE, "k", tup)
+        assert integrity.stats.repaired_total == 0
+
+    def test_repeated_detection_timestamps_keep_the_first(self):
+        store, integrity, tup = make_state()
+        rotten = corrupted_tuple(tup, random.Random(0))
+        store.tree(TREE).put("k", rotten)
+        integrity.verify(store, TREE, "k", rotten, "tuple", node=stub_node(1.0))
+        store.tree(TREE).put("k", rotten)
+        store.set_checksum(TREE, "k", 123)  # re-recorded, still rotten
+        integrity.verify(store, TREE, "k", rotten, "tuple", node=stub_node(9.0))
+        assert integrity.detection_times[(TREE, "k")] == 1.0
+
+
+class TestVerifyCached:
+    def test_matching_fill_checksum_passes(self):
+        integrity = NodeIntegrity(IntegrityConfig())
+        tup = make_tuple()
+        from repro.integrity import checksum_of
+
+        assert integrity.verify_cached(checksum_of(tup), tup)
+        assert integrity.stats.detected_total == 0
+
+    def test_mismatch_is_detected_at_the_cache_site(self):
+        integrity = NodeIntegrity(IntegrityConfig())
+        tup = make_tuple()
+        rotten = corrupted_tuple(tup, random.Random(0))
+        from repro.integrity import checksum_of
+
+        assert not integrity.verify_cached(checksum_of(tup), rotten)
+        assert integrity.stats.detected == {"cache": 1}
+
+    def test_uncached_checksum_passes(self):
+        integrity = NodeIntegrity(IntegrityConfig())
+        assert integrity.verify_cached(None, make_tuple())
+
+    def test_verify_cache_disabled_skips(self):
+        integrity = NodeIntegrity(IntegrityConfig(verify_cache=False))
+        rotten = corrupted_tuple(make_tuple(), random.Random(0))
+        from repro.integrity import checksum_of
+
+        assert integrity.verify_cached(checksum_of(make_tuple()), rotten)
+        assert integrity.stats.detected_total == 0

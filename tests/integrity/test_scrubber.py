@@ -1,0 +1,201 @@
+"""IntegrityScrubber unit tests: dict-backed stores, no simulator.
+
+The scrubber is decoupled from the storage engine through callbacks (like
+the BackgroundReplicator), so these tests model a replica group as plain
+dicts: ``values[addr][key]`` is the content a member holds *now* (its fresh
+checksum), ``recorded[addr][key]`` the CRC written beside it at store time,
+and ``versions[addr][key]`` the copy's epoch.  Corruption = mutating
+``values`` behind ``recorded``; divergence = self-consistent members that
+disagree.
+"""
+
+from repro.common.hashing import sha1_key
+from repro.integrity import DigestEntry, IntegrityScrubber
+from repro.overlay.replication import replica_set
+from repro.overlay.routing import RoutingTable
+
+REPLICATION_FACTOR = 3
+ITEM_SIZE = 10
+
+
+class ScrubHarness:
+    def __init__(self, num_nodes=5, num_items=60):
+        self.snapshot = RoutingTable(
+            [f"node-{i}" for i in range(num_nodes)]
+        ).snapshot()
+        addresses = [f"node-{i}" for i in range(num_nodes)]
+        self.values = {a: {} for a in addresses}
+        self.recorded = {a: {} for a in addresses}
+        self.versions = {a: {} for a in addresses}
+        self.quarantined = []
+        self.items = []
+        for i in range(num_items):
+            key = sha1_key(("item", i))
+            self.items.append(key)
+            for member in replica_set(self.snapshot, key, REPLICATION_FACTOR):
+                self.put(member, key, content=i)
+
+    def put(self, address, key, content, version=1):
+        self.values[address][key] = content
+        self.recorded[address][key] = content
+        self.versions[address][key] = version
+
+    def corrupt(self, address, key):
+        """Flip the content behind the recorded CRC (at-rest corruption)."""
+        self.values[address][key] ^= 1
+
+    def holders(self, key):
+        return sorted(a for a in self.values if key in self.values[a])
+
+    def group(self, key):
+        return replica_set(self.snapshot, key, REPLICATION_FACTOR)
+
+    # -- scrubber callbacks ----------------------------------------------------
+
+    def list_digests(self, address, key_range):
+        return {
+            key: DigestEntry(
+                version=self.versions[address][key],
+                checksum=self.values[address][key],
+                stored=self.recorded[address].get(key),
+                size=ITEM_SIZE,
+            )
+            for key in self.values[address]
+            if key_range.contains(key)
+        }
+
+    def copy_item(self, src, dst, key):
+        self.put(dst, key, self.values[src][key],
+                 version=self.versions[src][key])
+        return ITEM_SIZE
+
+    def quarantine(self, address, key):
+        self.quarantined.append((address, key))
+        del self.values[address][key]
+        self.recorded[address].pop(key, None)
+        self.versions[address].pop(key, None)
+
+    def scrubber(self):
+        return IntegrityScrubber(
+            REPLICATION_FACTOR, self.list_digests, self.copy_item,
+            self.quarantine,
+        )
+
+
+class TestCleanGroup:
+    def test_clean_round_finds_nothing(self):
+        harness = ScrubHarness()
+        report = harness.scrubber().run_round(harness.snapshot)
+        assert report.corrupt_copies == 0
+        assert report.divergent_keys == 0
+        assert report.unrepairable == 0
+        assert report.items_copied == 0
+        assert not harness.quarantined
+
+    def test_digest_byte_accounting(self):
+        harness = ScrubHarness()
+        scrubber = harness.scrubber()
+        report = scrubber.run_round(harness.snapshot)
+        assert report.digest_entries > 0
+        assert report.digest_bytes == report.digest_entries * scrubber.digest_entry_bytes
+        assert report.total_bytes == report.digest_bytes + report.bytes_copied
+
+
+class TestCorruptCopy:
+    def test_corrupt_copy_is_quarantined_and_backfilled(self):
+        harness = ScrubHarness()
+        key = harness.items[0]
+        victim = harness.group(key)[1]
+        harness.corrupt(victim, key)
+        report = harness.scrubber().run_round(harness.snapshot)
+        assert report.corrupt_copies == 1
+        assert report.divergent_keys == 1
+        assert (victim, key) in harness.quarantined
+        # Back-filled from a verified member: the group agrees again.
+        contents = {harness.values[a][key] for a in harness.group(key)}
+        assert len(contents) == 1
+        assert report.items_copied >= 1
+
+    def test_second_round_is_idle(self):
+        harness = ScrubHarness()
+        harness.corrupt(harness.group(harness.items[3])[0], harness.items[3])
+        scrubber = harness.scrubber()
+        scrubber.run_round(harness.snapshot)
+        second = scrubber.run_round(harness.snapshot)
+        assert second.corrupt_copies == 0
+        assert second.divergent_keys == 0
+        assert second.items_copied == 0
+
+
+class TestDivergence:
+    def test_checksum_quorum_wins(self):
+        # All copies self-verify (their recorded CRC matches what they hold)
+        # but one member holds different content — a divergence the Bloom
+        # exchange can never see, because the copy is *present*.
+        harness = ScrubHarness()
+        key = harness.items[1]
+        minority = harness.group(key)[2]
+        majority_content = harness.values[harness.group(key)[0]][key]
+        harness.put(minority, key, content=majority_content ^ 4)
+        report = harness.scrubber().run_round(harness.snapshot)
+        assert report.divergent_keys == 1
+        assert (minority, key) in harness.quarantined
+        assert all(
+            harness.values[a][key] == majority_content
+            for a in harness.group(key)
+        )
+
+    def test_higher_version_beats_the_quorum(self):
+        harness = ScrubHarness()
+        key = harness.items[2]
+        group = harness.group(key)
+        newer_content = harness.values[group[0]][key] + 1000
+        harness.put(group[0], key, content=newer_content, version=2)
+        harness.scrubber().run_round(harness.snapshot)
+        assert all(harness.values[a][key] == newer_content for a in group)
+        assert all(harness.versions[a][key] == 2 for a in group)
+
+    def test_exact_tie_resolves_deterministically(self):
+        harness = ScrubHarness()
+        key = harness.items[4]
+        group = harness.group(key)
+        base = harness.values[group[0]][key]
+        # A 1-1 split (third copy removed): smallest checksum must win.
+        harness.put(group[1], key, content=base + 8)
+        if len(group) > 2:
+            del harness.values[group[2]][key]
+        first = ScrubHarness()
+        first.put(group[1], key, content=base + 8)
+        if len(group) > 2:
+            del first.values[group[2]][key]
+        harness.scrubber().run_round(harness.snapshot)
+        first.scrubber().run_round(first.snapshot)
+        assert harness.values[group[0]][key] == first.values[group[0]][key] == min(base, base + 8)
+
+
+class TestUnrepairable:
+    def test_no_verified_copy_is_left_in_place(self):
+        harness = ScrubHarness()
+        key = harness.items[5]
+        group = harness.group(key)
+        for member in group:
+            harness.corrupt(member, key)
+        report = harness.scrubber().run_round(harness.snapshot)
+        assert report.unrepairable == 1
+        # Left in place so reads fail loudly instead of vanishing the key.
+        assert harness.holders(key) == sorted(group)
+        assert not harness.quarantined
+
+
+class TestMissingCopies:
+    def test_absent_copy_is_backfilled_without_divergence(self):
+        harness = ScrubHarness()
+        key = harness.items[6]
+        group = harness.group(key)
+        del harness.values[group[1]][key]
+        del harness.recorded[group[1]][key]
+        del harness.versions[group[1]][key]
+        report = harness.scrubber().run_round(harness.snapshot)
+        assert key in harness.values[group[1]]
+        assert report.divergent_keys == 0  # absence is not divergence
+        assert report.items_copied >= 1

@@ -119,3 +119,62 @@ class TestBackgroundReplicator:
         first = replicator.run_round(snapshot)
         second = replicator.run_round(snapshot)
         assert second.items_copied <= first.items_copied * 0.1
+
+    def test_round_repairs_every_missing_replica_exactly(self):
+        # The Bloom filter only *suggests* membership; the exact store
+        # double-check closes the false-positive hole, so a round must
+        # reach full replication with no "modulo FP" allowance at all.
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        replication_factor = 3
+        stores, items = self._make_state(snapshot, replication_factor)
+
+        def list_items(address, key_range):
+            return {k: v for k, v in stores[address].items() if key_range.contains(k)}
+
+        def copy_item(src, dst, key):
+            stores[dst][key] = stores[src][key]
+            return stores[src][key]
+
+        replicator = BackgroundReplicator(replication_factor, list_items, copy_item)
+        replicator.run_round(snapshot)
+        for key in items:
+            holders = [a for a in stores if key in stores[a]]
+            assert len(holders) >= replication_factor
+
+    def test_bloom_false_positives_are_counted_and_repaired(self, monkeypatch):
+        # Force the false-positive hole deterministically: every filter
+        # claims every key, so without the exact store double-check no
+        # repair would ever run.  The round must still reach full
+        # replication and count each disproved claim.
+        import repro.overlay.replication as replication_module
+
+        class SaturatedBloom:
+            def __init__(self, expected_items, false_positive_rate=0.01):
+                pass
+
+            def add(self, key):
+                pass
+
+            def __contains__(self, key):
+                return True
+
+        monkeypatch.setattr(replication_module, "BloomFilter", SaturatedBloom)
+        snapshot = RoutingTable(addresses(5)).snapshot()
+        replication_factor = 3
+        stores, items = self._make_state(snapshot, replication_factor)
+
+        def list_items(address, key_range):
+            return {k: v for k, v in stores[address].items() if key_range.contains(k)}
+
+        def copy_item(src, dst, key):
+            stores[dst][key] = stores[src][key]
+            return stores[src][key]
+
+        replicator = BackgroundReplicator(replication_factor, list_items, copy_item)
+        report = replicator.run_round(snapshot)
+        assert report.items_copied > 0
+        # Every copy the saturated filters tried to veto was a counted FP.
+        assert report.bloom_false_positives == report.items_copied
+        for key in items:
+            holders = [a for a in stores if key in stores[a]]
+            assert len(holders) >= replication_factor

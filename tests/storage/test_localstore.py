@@ -183,3 +183,59 @@ class TestLocalStore:
         for i in range(10):
             store.put("t", i, i)
         assert [k for k, _ in store.range_scan("t", 2, 5)] == [2, 3, 4]
+
+
+class TestByteAccounting:
+    def test_replacing_an_entry_does_not_double_count(self):
+        store = LocalStore()
+        store.put("t", "k", "v1", size=100)
+        store.put("t", "k", "v2", size=120)
+        assert store.bytes_stored == 120
+
+    def test_replacing_with_a_smaller_entry_shrinks(self):
+        store = LocalStore()
+        store.put("t", "k", "v1", size=100)
+        store.put("t", "k", "v2", size=40)
+        assert store.bytes_stored == 40
+
+    def test_delete_releases_the_entry_bytes(self):
+        store = LocalStore()
+        store.put("t", "a", "v", size=100)
+        store.put("t", "b", "w", size=50)
+        store.delete("t", "a")
+        assert store.bytes_stored == 50
+        store.delete("t", "b")
+        assert store.bytes_stored == 0
+
+    def test_churned_entry_returns_to_zero(self):
+        # The regression: replace + delete used to leave bytes_stored
+        # drifting upward by one stale size per overwrite.
+        store = LocalStore()
+        for round_trip in range(10):
+            store.put("t", "k", f"v{round_trip}", size=100 + round_trip)
+        store.delete("t", "k")
+        assert store.bytes_stored == 0
+
+    def test_same_key_in_different_trees_counts_both(self):
+        store = LocalStore()
+        store.put("a", "k", "v", size=10)
+        store.put("b", "k", "v", size=20)
+        assert store.bytes_stored == 30
+        store.delete("a", "k")
+        assert store.bytes_stored == 20
+
+
+class TestChecksumTable:
+    def test_checksum_round_trip(self):
+        store = LocalStore()
+        store.put("t", "k", "v", size=10)
+        store.set_checksum("t", "k", 0xDEAD)
+        assert store.get_checksum("t", "k") == 0xDEAD
+        assert store.get_checksum("t", "other") is None
+
+    def test_delete_drops_the_checksum(self):
+        store = LocalStore()
+        store.put("t", "k", "v", size=10)
+        store.set_checksum("t", "k", 7)
+        store.delete("t", "k")
+        assert store.get_checksum("t", "k") is None
